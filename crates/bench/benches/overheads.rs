@@ -1,0 +1,79 @@
+//! The scheduling-overhead constants of the strategy comparison (§V/§VI):
+//! spin-poll cost, park/unpark wake latency, and dependency-check cost.
+//! These feed `djstar_sim::strategy::OverheadModel`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn bench_spin_poll(c: &mut Criterion) {
+    static FLAG: AtomicU64 = AtomicU64::new(0);
+    c.bench_function("spin_poll_acquire_load", |b| {
+        b.iter(|| {
+            core::hint::spin_loop();
+            FLAG.load(Ordering::Acquire)
+        })
+    });
+}
+
+fn bench_dep_check(c: &mut Criterion) {
+    let epochs: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(7)).collect();
+    c.bench_function("dep_check_4_preds", |b| {
+        b.iter(|| {
+            epochs
+                .iter()
+                .all(|e| e.load(Ordering::Acquire) == 7)
+        })
+    });
+}
+
+fn bench_park_unpark(c: &mut Criterion) {
+    // Ping-pong between two threads: one round trip = two wakes.
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    let turn = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let main_thread = std::thread::current();
+    let worker = {
+        let turn = Arc::clone(&turn);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                while !turn.load(Ordering::Acquire) {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::park_timeout(Duration::from_millis(5));
+                }
+                turn.store(false, Ordering::Release);
+                main_thread.unpark();
+            }
+        })
+    };
+    let worker_thread = worker.thread().clone();
+    c.bench_function("park_unpark_round_trip", |b| {
+        b.iter(|| {
+            turn.store(true, Ordering::Release);
+            worker_thread.unpark();
+            while turn.load(Ordering::Acquire) {
+                std::thread::park_timeout(Duration::from_millis(5));
+            }
+        })
+    });
+    stop.store(true, Ordering::Release);
+    worker_thread.unpark();
+    worker.join().unwrap();
+}
+
+fn bench_measured_model(c: &mut Criterion) {
+    c.bench_function("measure_overheads_full", |b| {
+        b.iter(djstar_bench::measure_overheads)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
+    targets = bench_spin_poll, bench_dep_check, bench_park_unpark, bench_measured_model
+}
+criterion_main!(benches);

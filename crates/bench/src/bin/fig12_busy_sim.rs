@@ -1,0 +1,82 @@
+//! E8 — Fig. 12 and the §VI closing analysis: the BUSY strategy replayed
+//! inside the simulator, compared against measurement and against the
+//! optimal schedule.
+//!
+//! Paper numbers: the idealized §IV simulation predicts 327 µs for BUSY on
+//! four threads — within 8 % of the 4-core optimal schedule (324 µs /
+//! 295 µs unbounded) — while the measurement lands at 452 µs because "the
+//! simulation cannot take into account node assignment, thread management
+//! and dependency checking". This binary quantifies exactly that gap by
+//! simulating BUSY twice: with zero overheads (RESCON-style) and with the
+//! measured host overhead model.
+
+use djstar_bench::{build_harness, mean_ms, sim_cycles};
+use djstar_sim::earliest::earliest_start;
+use djstar_sim::gantt::render_schedule;
+use djstar_sim::list::list_schedule;
+use djstar_sim::strategy::{
+    simulate_makespans, simulate_strategy, OverheadModel, SimStrategy,
+};
+
+fn main() {
+    let h = build_harness();
+    let threads = 4;
+    let cycles = sim_cycles();
+    let means = h.durations.means(h.graph.len());
+
+    println!("# Fig. 12 — simulation of the BUSY schedule (4 threads)\n");
+
+    let optimal_inf = earliest_start(&h.graph, &means, 0).makespan_ns;
+    let optimal_4 = list_schedule(&h.graph, &means, 0, 4).makespan_ns();
+    let busy_ideal = simulate_strategy(
+        &h.graph,
+        &means,
+        0,
+        threads,
+        SimStrategy::Busy,
+        &OverheadModel::zero(),
+    );
+    let busy_overhead =
+        simulate_makespans(&h.graph, &h.durations, threads, SimStrategy::Busy, &h.overheads, cycles);
+
+    println!("optimal schedule, unbounded procs : {:>8.1} us  (paper: 295 us)", optimal_inf as f64 / 1e3);
+    println!("optimal schedule, 4 cores         : {:>8.1} us  (paper: 324 us)", optimal_4 as f64 / 1e3);
+    println!(
+        "BUSY simulated, no overheads      : {:>8.1} us  (paper: 327 us)",
+        busy_ideal.makespan_ns() as f64 / 1e3
+    );
+    println!(
+        "BUSY simulated, host overheads    : {:>8.1} us  (paper measured: 452 us)",
+        mean_ms(&busy_overhead) * 1e3
+    );
+    let eff = optimal_4 as f64 / busy_ideal.makespan_ns() as f64;
+    println!(
+        "\nefficiency of idealized BUSY vs 4-core optimal: {:.0} %  (paper: ~99 %, 'within 8 %' of unbounded)",
+        eff * 100.0
+    );
+    let gap = mean_ms(&busy_overhead) * 1e3 / (busy_ideal.makespan_ns() as f64 / 1e3) - 1.0;
+    println!(
+        "overhead gap (scheduling/thread management/dependency checks): +{:.1} %  (paper: 452/327 = +38 %)",
+        gap * 100.0
+    );
+
+    println!("\n## Simulated BUSY schedule (Fig. 12 picture)\n");
+    println!("{}", render_schedule(&busy_ideal, 110));
+
+    // Overhead attribution: turn each overhead on in isolation.
+    println!("## Overhead attribution (mean over {cycles} cycles, ms)\n");
+    let zero = OverheadModel::zero();
+    let mut rows: Vec<(&str, OverheadModel)> = vec![("none", zero)];
+    let mut only_spin = zero;
+    only_spin.spin_poll_ns = h.overheads.spin_poll_ns;
+    rows.push(("spin poll", only_spin));
+    let mut only_disp = zero;
+    only_disp.dispatch_ns = h.overheads.dispatch_ns;
+    only_disp.dep_check_ns = h.overheads.dep_check_ns;
+    rows.push(("dispatch + dep checks", only_disp));
+    rows.push(("all (host model)", h.overheads));
+    for (label, oh) in rows {
+        let ms = simulate_makespans(&h.graph, &h.durations, threads, SimStrategy::Busy, &oh, cycles);
+        println!("{label:>24}: {:.4} ms", mean_ms(&ms));
+    }
+}

@@ -1,0 +1,89 @@
+//! E1 — the §III-B hotspot analysis.
+//!
+//! Paper (measured with the Visual Studio profiler on the original
+//! sequential application, GUI included): 88 % of total run-time is the
+//! APC; inside it, 33 % audio stream preprocessing, 38 % audio-graph
+//! execution, 16 % timecode decoding. This binary runs the engine's scoped
+//! hotspot profiler over `DJSTAR_MEASURE_CYCLES` sequential APCs, adding a
+//! simulated GUI tick (DJ Star redraws waveforms etc. — the paper's
+//! remaining 12 %) so the top-level split is comparable.
+
+use djstar_bench::measure_cycles;
+use djstar_core::exec::Strategy;
+use djstar_engine::apc::AudioEngine;
+use djstar_engine::profiling::HotspotProfiler;
+use djstar_workload::scenario::Scenario;
+use std::time::Instant;
+
+fn main() {
+    let cycles = measure_cycles();
+    eprintln!("[hotspot] running {cycles} profiled sequential APCs ...");
+    let mut engine = AudioEngine::new(Scenario::paper_default(), Strategy::Sequential, 1);
+    engine.warmup(50);
+
+    let mut profiler = HotspotProfiler::new();
+    for cycle in 0..cycles {
+        engine.run_apc_profiled(&mut profiler);
+        // Simulated GUI: DJ Star redraws at ~30 fps, i.e. roughly every
+        // 11th APC; the redraw walks the waveform taps and meters.
+        if cycle % 11 == 0 {
+            let t0 = Instant::now();
+            let mut acc = 0.0f32;
+            let out = engine.output();
+            for s in out.samples() {
+                acc += s.abs();
+            }
+            acc += djstar_dsp::work::burn(800_000, acc.fract());
+            std::hint::black_box(acc);
+            profiler.record("gui", t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    println!("# §III-B hotspot analysis ({cycles} APCs)\n");
+    println!("| region | total ms | share | paper |");
+    println!("|---|---|---|---|");
+    let apc_ns: u64 = ["apc/timecode", "apc/preprocessing", "apc/graph", "apc/various"]
+        .iter()
+        .map(|r| profiler.total_of(r))
+        .sum();
+    let paper = |region: &str| match region {
+        "apc/timecode" => "16 % of APC runtime",
+        "apc/preprocessing" => "33 % of APC runtime",
+        "apc/graph" => "38 % of APC runtime",
+        "apc/various" => "(remainder)",
+        "gui" => "~12 % of total",
+        _ => "",
+    };
+    for row in profiler.report() {
+        println!(
+            "| {} | {:.1} | {:.1} % | {} |",
+            row.region,
+            row.total_ns as f64 / 1e6,
+            row.share * 100.0,
+            paper(row.region)
+        );
+    }
+    let total: u64 = profiler.grand_total().as_nanos() as u64;
+    println!(
+        "\nAPC share of total run-time: {:.1} %   (paper: 88 %)",
+        apc_ns as f64 / total as f64 * 100.0
+    );
+    println!("\nshares *within* the APC:\n");
+    for (region, paper_pct) in [
+        ("apc/preprocessing", 33.0 / 88.0 * 100.0),
+        ("apc/graph", 38.0 / 88.0 * 100.0),
+        ("apc/timecode", 16.0 / 88.0 * 100.0),
+    ] {
+        println!(
+            "  {region:<20} {:.1} %   (paper: {:.1} %)",
+            profiler.total_of(region) as f64 / apc_ns as f64 * 100.0,
+            paper_pct
+        );
+    }
+    println!(
+        "\nmean APC: {:.3} ms; TP+GP+VC: {:.3} ms (paper: ~0.8 ms); 2.9 ms budget leaves {:.3} ms for the graph (paper: 2.1 ms)",
+        apc_ns as f64 / cycles as f64 / 1e6,
+        (apc_ns - profiler.total_of("apc/graph")) as f64 / cycles as f64 / 1e6,
+        2.9 - (apc_ns - profiler.total_of("apc/graph")) as f64 / cycles as f64 / 1e6
+    );
+}

@@ -1,0 +1,68 @@
+//! E10 — the §VI claim that "increasing the thread count above four does
+//! not accelerate the computations any further, and the increased thread
+//! overhead even lowers the speedup slightly".
+//!
+//! Each strategy is simulated at 1–8 virtual threads; the knee must sit at
+//! 4 (the graph's steady-state parallelism is the four deck chains).
+
+use djstar_bench::{build_harness, mean_ms, sim_cycles};
+use djstar_sim::strategy::{simulate_makespans, SimStrategy};
+
+fn main() {
+    let h = build_harness();
+    let cycles = sim_cycles().min(5_000);
+    let baseline = h.sequential_sum_ms();
+
+    println!("# §VI — thread scaling, 1-8 virtual threads ({cycles} cycles)\n");
+    println!("sequential baseline: {baseline:.4} ms\n");
+    println!("| threads | BUSY ms | BUSY x | SLEEP ms | SLEEP x | WS ms | WS x |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut best = [(0usize, f64::INFINITY); 3];
+    for threads in 1..=8usize {
+        let mut cells = Vec::new();
+        for (si, strat) in SimStrategy::ALL.iter().enumerate() {
+            let ms = mean_ms(&simulate_makespans(
+                &h.graph,
+                &h.durations,
+                threads,
+                *strat,
+                &h.overheads,
+                cycles,
+            ));
+            if ms < best[si].1 {
+                best[si] = (threads, ms);
+            }
+            cells.push(format!("{ms:.4} | {:.2}", baseline / ms));
+        }
+        println!("| {threads} | {} |", cells.join(" | "));
+    }
+    println!();
+    for (si, strat) in SimStrategy::ALL.iter().enumerate() {
+        println!(
+            "{}: best at {} threads ({:.4} ms)",
+            strat.label(),
+            best[si].0,
+            best[si].1
+        );
+    }
+    // The paper's exact observation is a slight *degradation* beyond 4
+    // threads, caused by real oversubscription effects (cache pressure,
+    // context switches) the virtual-time model does not include; what the
+    // model does reproduce is the knee: the 2->4 gain is large, the 4->8
+    // gain marginal. Quantify both.
+    println!();
+    for strat in SimStrategy::ALL {
+        let at = |t: usize| {
+            mean_ms(&simulate_makespans(
+                &h.graph, &h.durations, t, strat, &h.overheads, cycles,
+            ))
+        };
+        let (m2, m4, m8) = (at(2), at(4), at(8));
+        println!(
+            "{}: gain 2->4 threads = {:.1} %, gain 4->8 threads = {:.1} %  (paper: large, then none/negative)",
+            strat.label(),
+            (m2 / m4 - 1.0) * 100.0,
+            (m4 / m8 - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! A fixed-capacity Chase–Lev work-stealing deque of node ids.
+//!
+//! §V-C of the paper: *"We implemented the queues as double ended queues
+//! (deque) which can be accessed from both sides. We implemented the
+//! convention that stealing threads access the queue from the top and local
+//! executor threads access their queue from the bottom. This convention
+//! enables a theft and a local access to happen at the same time as long as
+//! `length(deque) >= 2` without the need to use explicit locking."*
+//!
+//! This is the classic Chase–Lev deque (Chase & Lev, SPAA 2005) with the
+//! memory orderings of Lê et al. (PPoPP 2013). Because the DJ Star graph has
+//! a fixed number of nodes (67), the buffer never needs to grow: capacity is
+//! fixed at construction, and `push` reports overflow instead of
+//! reallocating. Elements are `u32` node ids stored in atomics, so the
+//! implementation is entirely safe Rust.
+
+use std::sync::atomic::{AtomicIsize, AtomicU32, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// Got an element.
+    Success(u32),
+    /// The deque was empty.
+    Empty,
+    /// Lost a race with the owner or another thief; caller may retry.
+    Retry,
+}
+
+/// A single-owner, multi-thief deque of `u32` values.
+///
+/// The *owner* calls [`push`](WorkDeque::push) and [`pop`](WorkDeque::pop)
+/// (bottom end, LIFO); any thread may call [`steal`](WorkDeque::steal)
+/// (top end, FIFO).
+#[derive(Debug)]
+pub struct WorkDeque {
+    bottom: AtomicIsize,
+    top: AtomicIsize,
+    buf: Box<[AtomicU32]>,
+    mask: usize,
+}
+
+impl WorkDeque {
+    /// A deque with capacity `cap` rounded up to a power of two.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "deque capacity must be positive");
+        let cap = cap.next_power_of_two();
+        WorkDeque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buf: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Approximate length; exact when called by the owner with no
+    /// concurrent thieves.
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner: push `v` at the bottom. Returns `Err(v)` when full.
+    pub fn push(&self, v: u32) -> Result<(), u32> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.buf.len() as isize {
+            return Err(v);
+        }
+        self.buf[(b as usize) & self.mask].store(v, Ordering::Relaxed);
+        // Publish the element before making it visible via `bottom`.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner: pop from the bottom (most recently pushed first — the LIFO
+    /// cache-locality order §V-C argues for).
+    pub fn pop(&self) -> Option<u32> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom update before reading top (total order with the
+        // thief's fence).
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty.
+            let v = self.buf[(b as usize) & self.mask].load(Ordering::Relaxed);
+            if t == b {
+                // Single element: race with thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(v)
+                } else {
+                    None
+                }
+            } else {
+                Some(v)
+            }
+        } else {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: steal from the top (longest-waiting element first; §V-C notes
+    /// such nodes "are more likely to produce a high number of new tasks").
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let v = self.buf[(t as usize) & self.mask].load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(v)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_for_owner() {
+        let d = WorkDeque::new(8);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        d.push(3).unwrap();
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn fifo_for_thief() {
+        let d = WorkDeque::new(8);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        d.push(3).unwrap();
+        assert_eq!(d.steal(), Steal::Success(1));
+        assert_eq!(d.steal(), Steal::Success(2));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_overflows_cleanly() {
+        let d = WorkDeque::new(3);
+        assert_eq!(d.capacity(), 4);
+        for i in 0..4 {
+            d.push(i).unwrap();
+        }
+        assert_eq!(d.push(99), Err(99));
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn push_after_wraparound() {
+        let d = WorkDeque::new(4);
+        for round in 0..10u32 {
+            for i in 0..4 {
+                d.push(round * 10 + i).unwrap();
+            }
+            for _ in 0..4 {
+                assert!(d.pop().is_some());
+            }
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_pop_restores_state() {
+        let d = WorkDeque::new(4);
+        assert_eq!(d.pop(), None);
+        d.push(7).unwrap();
+        assert_eq!(d.pop(), Some(7));
+    }
+
+    /// Concurrency smoke test: one owner pushes N items and pops, three
+    /// thieves steal; every item must be consumed exactly once.
+    #[test]
+    fn no_loss_no_duplication_under_contention() {
+        const N: u32 = 10_000;
+        let d = Arc::new(WorkDeque::new(N as usize));
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+
+        let mut thieves = Vec::new();
+        for _ in 0..3 {
+            let d = Arc::clone(&d);
+            let sum = Arc::clone(&sum);
+            let count = Arc::clone(&count);
+            thieves.push(std::thread::spawn(move || loop {
+                match d.steal() {
+                    Steal::Success(v) => {
+                        sum.fetch_add(v as u64, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {
+                        if count.load(Ordering::Relaxed) >= N as u64 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    Steal::Retry => {}
+                }
+            }));
+        }
+
+        // Owner: push everything, then drain what the thieves left.
+        for i in 1..=N {
+            while d.push(i).is_err() {
+                std::thread::yield_now();
+            }
+            // Interleave some owner pops.
+            if i % 3 == 0 {
+                if let Some(v) = d.pop() {
+                    sum.fetch_add(v as u64, Ordering::Relaxed);
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(v) = d.pop() {
+            sum.fetch_add(v as u64, Ordering::Relaxed);
+            count.fetch_add(1, Ordering::Relaxed);
+        }
+        // Wait until every element is accounted for (thieves may still hold
+        // stolen-but-uncounted items for a moment).
+        while count.load(Ordering::Relaxed) < N as u64 {
+            std::thread::yield_now();
+        }
+        for t in thieves {
+            t.join().unwrap();
+        }
+        assert_eq!(count.load(Ordering::Relaxed), N as u64);
+        assert_eq!(sum.load(Ordering::Relaxed), (N as u64) * (N as u64 + 1) / 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! Extension: a hybrid spin-then-park strategy.
+//!
+//! §VI frames the BUSY-vs-SLEEP trade-off as all-or-nothing: spinning wins
+//! because cycles are short, "if wasting resources on waiting is not an
+//! option, work-stealing is a solid alternative". The classic middle ground
+//! — spin for a bounded budget, then park — is the obvious follow-up the
+//! paper leaves open; this executor implements it so the ablation study can
+//! sweep the spin budget between the two extremes (budget 0 ≈ SLEEP,
+//! budget ∞ ≈ BUSY).
+//!
+//! Assignment and wake-up machinery are identical to
+//! [`SleepExecutor`](super::SleepExecutor): round-robin static assignment,
+//! pending counters, waiter registration, predecessor wake-ups. Only the
+//! wait differs: up to `spin_budget` polls of the pending counter happen
+//! before the thread registers and parks.
+
+use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
+use crate::graph::{GraphTopology, NodeId, TaskGraph};
+use crate::processor::Processor;
+use crate::trace::{ScheduleTrace, TraceKind};
+use djstar_dsp::AudioBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Spin-then-park executor.
+pub struct HybridExecutor {
+    shared: Arc<HybridShared>,
+    workers: Vec<JoinHandle<()>>,
+    tracing: bool,
+    last_trace: Option<ScheduleTrace>,
+}
+
+struct HybridShared {
+    base: Shared,
+    /// Maximum spin polls before parking.
+    spin_budget: AtomicU32,
+}
+
+impl HybridExecutor {
+    /// Build the executor; `spin_budget` is the number of dependency polls
+    /// performed before giving up and parking (0 behaves like SLEEP).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or `threads > 64`.
+    pub fn new(graph: TaskGraph, threads: usize, frames: usize, spin_budget: u32) -> Self {
+        assert!((1..=64).contains(&threads), "1..=64 threads supported");
+        let shared = Arc::new(HybridShared {
+            base: Shared::new(ExecGraph::new(graph, frames), threads),
+            spin_budget: AtomicU32::new(spin_budget),
+        });
+        let mut workers = Vec::new();
+        let mut handles = vec![std::thread::current()];
+        for me in 1..threads {
+            let sh = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name(format!("hybrid-worker-{me}"))
+                .spawn(move || worker_loop(&sh, me))
+                .expect("spawn hybrid worker");
+            handles.push(h.thread().clone());
+            workers.push(h);
+        }
+        // SAFETY: no cycle in flight yet.
+        unsafe { shared.base.handles.set(handles) };
+        HybridExecutor {
+            shared,
+            workers,
+            tracing: false,
+            last_trace: None,
+        }
+    }
+
+    /// Change the spin budget between cycles.
+    pub fn set_spin_budget(&mut self, budget: u32) {
+        self.shared.spin_budget.store(budget, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(shared: &HybridShared, me: usize) {
+    let mut seen = 0u64;
+    while let Some(epoch) = shared.base.wait_for_cycle(seen) {
+        seen = epoch;
+        run_cycle_part(shared, me, epoch);
+    }
+}
+
+/// Outcome of a hybrid wait, for tracing.
+enum WaitOutcome {
+    NoWait,
+    SpunOnly,
+    Parked,
+}
+
+/// Spin up to the budget, then register-and-park until `pending == 0`.
+fn hybrid_wait(sh: &HybridShared, node: usize, me: usize) -> WaitOutcome {
+    let cell = sh.base.exec.cell(node);
+    let pending = |o: Ordering| cell.pending.load(o);
+    if pending(Ordering::Acquire) == 0 {
+        return WaitOutcome::NoWait;
+    }
+    let budget = sh.spin_budget.load(Ordering::Relaxed);
+    for i in 0..budget {
+        if pending(Ordering::Acquire) == 0 {
+            return WaitOutcome::SpunOnly;
+        }
+        if i % 1024 == 1023 {
+            std::thread::yield_now();
+        } else {
+            core::hint::spin_loop();
+        }
+    }
+    // Budget exhausted: fall back to the SLEEP protocol.
+    loop {
+        cell.waiter.store(me + 1, Ordering::SeqCst);
+        if pending(Ordering::Acquire) == 0 {
+            cell.waiter.store(0, Ordering::SeqCst);
+            return WaitOutcome::Parked;
+        }
+        std::thread::park();
+        if pending(Ordering::Acquire) == 0 {
+            cell.waiter.store(0, Ordering::SeqCst);
+            return WaitOutcome::Parked;
+        }
+    }
+}
+
+fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
+    let tracing = sh.base.tracing.load(Ordering::Relaxed);
+    let topo = sh.base.exec.topology();
+    // SAFETY: epoch acquired.
+    let ctx = unsafe { sh.base.ctx(epoch) };
+    // SAFETY: handles written before the epoch was published.
+    let handles = unsafe { sh.base.handles.get() };
+    let mut events: Vec<RawEvent> = Vec::new();
+    for (k, &node) in topo.queue().iter().enumerate() {
+        if k % sh.base.threads != me {
+            continue;
+        }
+        let w0 = Instant::now();
+        let outcome = hybrid_wait(sh, node as usize, me);
+        if tracing {
+            let kind = match outcome {
+                WaitOutcome::NoWait => None,
+                WaitOutcome::SpunOnly => Some(TraceKind::BusyWait),
+                WaitOutcome::Parked => Some(TraceKind::Sleep),
+            };
+            if let Some(kind) = kind {
+                events.push(RawEvent {
+                    node,
+                    kind,
+                    start: w0,
+                    end: Instant::now(),
+                });
+            }
+        }
+        let t0 = Instant::now();
+        // SAFETY: exactly-once by static assignment; pending==0 acquired.
+        unsafe { sh.base.exec.execute(node as usize, &ctx) };
+        if tracing {
+            events.push(RawEvent {
+                node,
+                kind: TraceKind::Exec,
+                start: t0,
+                end: Instant::now(),
+            });
+        }
+        for &s in topo.succs(NodeId(node)) {
+            let sc = sh.base.exec.cell(s as usize);
+            if sc.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let w = sc.waiter.swap(0, Ordering::SeqCst);
+                if w != 0 {
+                    handles[w - 1].unpark();
+                }
+            }
+        }
+        sh.base.node_finished();
+    }
+    if tracing {
+        sh.base.flush_trace(me, events);
+    }
+}
+
+impl GraphExecutor for HybridExecutor {
+    fn strategy(&self) -> Strategy {
+        Strategy::Hybrid
+    }
+
+    fn threads(&self) -> usize {
+        self.shared.base.threads
+    }
+
+    fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        let sh = &self.shared;
+        sh.base.tracing.store(self.tracing, Ordering::Relaxed);
+        // SAFETY: driver thread, no cycle in flight.
+        let epoch = unsafe { sh.base.begin_cycle(external_audio, controls) };
+        let start = unsafe { *sh.base.cycle_start.get() };
+        run_cycle_part(sh, 0, epoch);
+        sh.base.wait_cycle_done();
+        let duration = start.elapsed();
+        if self.tracing {
+            sh.base.wait_trace_flushed();
+            self.last_trace = Some(sh.base.collect_trace());
+        }
+        CycleResult { duration }
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn take_trace(&mut self) -> Option<ScheduleTrace> {
+        self.last_trace.take()
+    }
+
+    fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
+        // SAFETY: `&mut self` proves no cycle in flight.
+        unsafe { self.shared.base.exec.read_output_unsync(node, dst) };
+    }
+
+    fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
+        // SAFETY: as in `read_output`.
+        unsafe { self.shared.base.exec.node_processor_unsync(node) }
+    }
+
+    fn topology(&self) -> &GraphTopology {
+        self.shared.base.exec.topology()
+    }
+}
+
+impl Drop for HybridExecutor {
+    fn drop(&mut self) {
+        self.shared.base.shutdown.store(true, Ordering::Release);
+        let handles = unsafe { self.shared.base.handles.get() };
+        for h in handles.iter().skip(1) {
+            h.unpark();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_support::{diamond_sum_graph, fan_graph, run_and_check};
+
+    #[test]
+    fn computes_same_result_as_sequential() {
+        for (threads, budget) in [(1, 0), (2, 0), (3, 10_000), (4, u32::MAX)] {
+            run_and_check(
+                |g, frames| Box::new(HybridExecutor::new(g, threads, frames, budget)),
+                &format!("hybrid-{threads}-{budget}"),
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_many_cycles_with_budget_changes() {
+        let mut ex = HybridExecutor::new(diamond_sum_graph(), 3, 8, 1_000);
+        for cycle in 0..150 {
+            if cycle == 50 {
+                ex.set_spin_budget(0);
+            }
+            if cycle == 100 {
+                ex.set_spin_budget(u32::MAX);
+            }
+            ex.run_cycle(&[], &[]);
+            let mut out = AudioBuf::zeroed(2, 8);
+            ex.read_output(NodeId(3), &mut out);
+            assert_eq!(out.sample(0, 0), 3.0);
+        }
+    }
+
+    #[test]
+    fn traces_are_dependency_safe() {
+        let mut ex = HybridExecutor::new(fan_graph(12), 4, 8, 500);
+        ex.set_tracing(true);
+        for _ in 0..20 {
+            ex.run_cycle(&[], &[]);
+            let trace = ex.take_trace().unwrap();
+            let topo = ex.topology();
+            assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
+            assert_eq!(trace.executions().len(), topo.len());
+        }
+    }
+}

@@ -1,0 +1,809 @@
+//! Graph execution runtime: per-node atomic dependency state and the four
+//! executors (sequential baseline plus the paper's three strategies).
+//!
+//! # The epoch protocol
+//!
+//! Every cycle has an *epoch* (a monotonically increasing `u64`). A node is
+//! "done for epoch E" when its `done_epoch` atomic equals `E`. The protocol:
+//!
+//! 1. Between cycles, only the driver thread touches node state. It resets
+//!    pending-dependency counters, writes the external inputs, then
+//!    publishes the new epoch with a `Release` store (and wakes workers).
+//! 2. A worker acquires the epoch (`Acquire` load), which makes every
+//!    driver write of step 1 visible.
+//! 3. The executing worker of a node reads each predecessor's output only
+//!    after observing `done_epoch == E` with `Acquire`; the predecessor's
+//!    executor stored it with `Release` after writing the output. This
+//!    happens-before edge makes the output buffer read safe.
+//! 4. Exactly one worker executes each node per cycle (*exactly-once
+//!    ownership*): BUSY/SLEEP assign nodes statically round-robin; WS
+//!    transfers ownership through deque `pop`/`steal` uniqueness, with a
+//!    node entering a deque exactly once (when its pending counter hits
+//!    zero, which `fetch_sub` reports to exactly one caller).
+//! 5. The driver returns from `run_cycle` only after the done-counter
+//!    reaches the node count with `Acquire`, so after `run_cycle` all node
+//!    state is again owned by the driver (workers increment the counter
+//!    with `Release` as their final access of the cycle).
+
+mod busy;
+mod hybrid;
+mod sequential;
+mod sleeping;
+mod stealing;
+
+pub use busy::BusyExecutor;
+pub use hybrid::HybridExecutor;
+pub use sequential::SequentialExecutor;
+pub use sleeping::SleepExecutor;
+pub use stealing::StealExecutor;
+
+use crate::graph::{GraphTopology, NodeId, TaskGraph};
+use crate::processor::{CycleCtx, Processor};
+use crate::trace::{ScheduleTrace, TraceEvent, TraceKind};
+use djstar_dsp::AudioBuf;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum number of predecessors a node may have (the DJ Star mixer has 5).
+pub const MAX_INPUTS: usize = 16;
+
+/// The scheduling strategies of the paper (§V) plus the sequential baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Original single-threaded queue execution.
+    Sequential,
+    /// Busy-waiting: round-robin static assignment, spin on dependencies.
+    Busy,
+    /// Thread-sleeping: round-robin static assignment, park on dependencies,
+    /// predecessors wake the registered executor.
+    Sleep,
+    /// Work-stealing: per-thread deques of ready nodes.
+    Steal,
+    /// Extension (not in the paper): spin for a bounded budget, then park.
+    Hybrid,
+}
+
+impl Strategy {
+    /// The strategy's name as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Sequential => "SEQ",
+            Strategy::Busy => "BUSY",
+            Strategy::Sleep => "SLEEP",
+            Strategy::Steal => "WS",
+            Strategy::Hybrid => "HYBRID",
+        }
+    }
+
+    /// The three parallel strategies.
+    pub const PARALLEL: [Strategy; 3] = [Strategy::Busy, Strategy::Sleep, Strategy::Steal];
+}
+
+/// Result of one graph cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleResult {
+    /// Wall-clock graph execution time (what Table I reports).
+    pub duration: Duration,
+}
+
+/// Object-safe executor interface shared by all strategies.
+pub trait GraphExecutor: Send {
+    /// Which strategy this executor implements.
+    fn strategy(&self) -> Strategy;
+
+    /// Number of worker threads (including the calling thread).
+    fn threads(&self) -> usize;
+
+    /// Execute one full graph cycle with the given external inputs.
+    fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult;
+
+    /// Enable/disable schedule tracing (adds overhead; off by default).
+    fn set_tracing(&mut self, on: bool);
+
+    /// Take the trace of the most recent traced cycle.
+    fn take_trace(&mut self) -> Option<ScheduleTrace>;
+
+    /// Copy a node's output buffer into `dst` (call between cycles only;
+    /// enforced by `&mut self`).
+    fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf);
+
+    /// Mutable access to a node's processor between cycles (to turn knobs).
+    fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor;
+
+    /// The graph topology.
+    fn topology(&self) -> &GraphTopology;
+}
+
+/// Runtime payload of a node (behind the `UnsafeCell`).
+struct NodeRuntime {
+    processor: Box<dyn Processor>,
+    output: AudioBuf,
+}
+
+/// Per-node runtime cell: payload plus atomic scheduling state.
+pub(crate) struct NodeCell {
+    runtime: UnsafeCell<NodeRuntime>,
+    /// Unmet-dependency counter for the current epoch (SLEEP and WS).
+    pending: AtomicU32,
+    /// Epoch this node last completed.
+    done_epoch: AtomicU64,
+    /// SLEEP: registered executor worker index + 1 (0 = none).
+    waiter: AtomicUsize,
+}
+
+// SAFETY: access to `runtime` is governed by the epoch protocol documented
+// at module level; all other fields are atomics.
+unsafe impl Sync for NodeCell {}
+
+/// A value written only by the driver between cycles and read by workers
+/// after acquiring the epoch.
+pub(crate) struct DriverCell<T>(UnsafeCell<T>);
+
+// SAFETY: the epoch protocol (driver writes happen-before the Release epoch
+// store; workers read after the Acquire epoch load; workers' reads complete
+// before their Release done-count increment, which the driver Acquires).
+unsafe impl<T: Send> Sync for DriverCell<T> {}
+
+impl<T> DriverCell<T> {
+    pub(crate) fn new(v: T) -> Self {
+        DriverCell(UnsafeCell::new(v))
+    }
+
+    /// Driver-only write between cycles.
+    ///
+    /// # Safety
+    /// No cycle may be in flight and only the driver may call this.
+    pub(crate) unsafe fn set(&self, v: T) {
+        *self.0.get() = v;
+    }
+
+    /// Driver-only in-place mutation between cycles.
+    ///
+    /// # Safety
+    /// No cycle may be in flight and only the driver may call this.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    /// Read during a cycle (after acquiring the epoch) or by the driver.
+    ///
+    /// # Safety
+    /// Caller must hold the epoch-acquire happens-before edge described in
+    /// the module docs (or be the driver between cycles).
+    pub(crate) unsafe fn get(&self) -> &T {
+        &*self.0.get()
+    }
+}
+
+/// External per-cycle inputs, copied in by the driver.
+#[derive(Default)]
+pub(crate) struct ExternalInputs {
+    pub audio: Vec<AudioBuf>,
+    pub controls: Vec<f32>,
+}
+
+/// The executable form of a [`TaskGraph`]: topology plus runtime cells.
+pub struct ExecGraph {
+    topo: Arc<GraphTopology>,
+    cells: Box<[NodeCell]>,
+    /// Placeholder for initializing input reference arrays.
+    empty: AudioBuf,
+}
+
+impl ExecGraph {
+    /// Build the runtime graph; every node gets an output buffer of
+    /// `frames` frames with the processor's channel count.
+    ///
+    /// # Panics
+    /// Panics if any node has more than [`MAX_INPUTS`] predecessors.
+    pub fn new(graph: TaskGraph, frames: usize) -> Self {
+        let (topo, processors) = graph.into_parts();
+        for n in 0..topo.len() {
+            assert!(
+                topo.preds(NodeId(n as u32)).len() <= MAX_INPUTS,
+                "node {n} has more than {MAX_INPUTS} predecessors"
+            );
+        }
+        let cells: Box<[NodeCell]> = processors
+            .into_iter()
+            .map(|processor| {
+                let channels = processor.output_channels();
+                NodeCell {
+                    runtime: UnsafeCell::new(NodeRuntime {
+                        processor,
+                        output: AudioBuf::zeroed(channels, frames),
+                    }),
+                    pending: AtomicU32::new(0),
+                    done_epoch: AtomicU64::new(0),
+                    waiter: AtomicUsize::new(0),
+                }
+            })
+            .collect();
+        ExecGraph {
+            topo: Arc::new(topo),
+            cells,
+            empty: AudioBuf::zeroed(1, 1),
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &GraphTopology {
+        &self.topo
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the graph has no nodes (never, for validated graphs).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    pub(crate) fn cell(&self, node: usize) -> &NodeCell {
+        &self.cells[node]
+    }
+
+    /// Spin until `node` is done for `epoch` (BUSY dependency wait).
+    /// Returns `true` if any waiting actually occurred.
+    #[inline]
+    pub(crate) fn spin_until_done(&self, node: usize, epoch: u64) -> bool {
+        let cell = &self.cells[node];
+        if cell.done_epoch.load(Ordering::Acquire) == epoch {
+            return false;
+        }
+        let mut spins = 0u32;
+        while cell.done_epoch.load(Ordering::Acquire) != epoch {
+            spins = spins.wrapping_add(1);
+            if spins % 4096 == 0 {
+                // On over-subscribed machines a pure spin would starve the
+                // worker that must produce this dependency.
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+        }
+        true
+    }
+
+    /// True when `node` is done for `epoch` (an `Acquire` read: a `true`
+    /// result also makes the node's output visible to the caller).
+    #[inline]
+    pub fn is_done(&self, node: usize, epoch: u64) -> bool {
+        self.cells[node].done_epoch.load(Ordering::Acquire) == epoch
+    }
+
+    /// Execute `node` for `epoch` and publish its completion.
+    ///
+    /// # Safety
+    /// Caller must be the exclusive executor of `node` this epoch, and every
+    /// predecessor must already be done for `epoch` (observed with
+    /// `Acquire`).
+    pub(crate) unsafe fn execute(&self, node: usize, ctx: &CycleCtx<'_>) {
+        let preds = self.topo.preds(NodeId(node as u32));
+        let mut inputs: [&AudioBuf; MAX_INPUTS] = [&self.empty; MAX_INPUTS];
+        for (k, &p) in preds.iter().enumerate() {
+            // SAFETY: predecessor is done for this epoch; its executor
+            // released the output before the done_epoch store we acquired.
+            inputs[k] = &(*self.cells[p as usize].runtime.get()).output;
+        }
+        // SAFETY: exclusive ownership of `node` this epoch.
+        let rt = &mut *self.cells[node].runtime.get();
+        rt.processor.process(&inputs[..preds.len()], &mut rt.output, ctx);
+        self.cells[node].done_epoch.store(ctx.epoch, Ordering::Release);
+    }
+
+    /// Reset pending counters for a new cycle. Driver only, between cycles.
+    pub(crate) fn reset_pending(&self) {
+        for n in 0..self.cells.len() {
+            let preds = self.topo.preds(NodeId(n as u32)).len() as u32;
+            self.cells[n].pending.store(preds, Ordering::Relaxed);
+            self.cells[n].waiter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy a node's output. Driver only, between cycles.
+    pub(crate) fn read_output_internal(&mut self, node: NodeId, dst: &mut AudioBuf) {
+        // `&mut self` proves no cycle is in flight.
+        let rt = self.cells[node.idx()].runtime.get_mut();
+        if rt.output.channels() == dst.channels() && rt.output.frames() == dst.frames() {
+            dst.copy_from(&rt.output);
+        } else {
+            dst.clear();
+            dst.mix_add(&rt.output, 1.0);
+        }
+    }
+
+    /// Mutable processor access. Driver only, between cycles.
+    pub(crate) fn node_processor_internal(&mut self, node: NodeId) -> &mut dyn Processor {
+        self.cells[node.idx()].runtime.get_mut().processor.as_mut()
+    }
+
+    /// Copy a node's output through the `UnsafeCell` without `&mut self`.
+    ///
+    /// # Safety
+    /// Only the driver may call this, with no cycle in flight (the threaded
+    /// executors enforce it by requiring `&mut` on themselves).
+    pub(crate) unsafe fn read_output_unsync(&self, node: NodeId, dst: &mut AudioBuf) {
+        let rt = &*self.cells[node.idx()].runtime.get();
+        if rt.output.channels() == dst.channels() && rt.output.frames() == dst.frames() {
+            dst.copy_from(&rt.output);
+        } else {
+            dst.clear();
+            dst.mix_add(&rt.output, 1.0);
+        }
+    }
+
+    /// Mutable processor access through the `UnsafeCell` without `&mut self`.
+    ///
+    /// # Safety
+    /// Same contract as [`read_output_unsync`](Self::read_output_unsync);
+    /// additionally the caller must not create overlapping references to the
+    /// same node.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn node_processor_unsync(&self, node: NodeId) -> &mut dyn Processor {
+        (*self.cells[node.idx()].runtime.get()).processor.as_mut()
+    }
+}
+
+/// A raw trace event collected during a cycle (worker-local clock).
+#[derive(Clone, Copy)]
+pub(crate) struct RawEvent {
+    pub node: u32,
+    pub kind: TraceKind,
+    pub start: Instant,
+    pub end: Instant,
+}
+
+/// Convert worker-local raw events into a [`ScheduleTrace`] relative to
+/// `cycle_start`.
+pub(crate) fn finish_trace(
+    workers: u32,
+    cycle_start: Instant,
+    raw: Vec<(u32, Vec<RawEvent>)>,
+) -> ScheduleTrace {
+    let mut events = Vec::new();
+    for (worker, evs) in raw {
+        for e in evs {
+            events.push(TraceEvent {
+                node: e.node,
+                worker,
+                start_ns: e.start.duration_since(cycle_start).as_nanos() as u64,
+                end_ns: e.end.duration_since(cycle_start).as_nanos() as u64,
+                kind: e.kind,
+            });
+        }
+    }
+    ScheduleTrace { workers, events }
+}
+
+/// State shared between the driver and the worker threads of a threaded
+/// executor.
+pub(crate) struct Shared {
+    pub exec: ExecGraph,
+    /// Current cycle epoch; driver bumps with `Release`.
+    pub epoch: AtomicU64,
+    /// Nodes completed this cycle; workers increment with `Release`.
+    pub done_count: AtomicU32,
+    /// Set to request worker shutdown.
+    pub shutdown: AtomicBool,
+    /// Total worker count, including the driver (worker 0).
+    pub threads: usize,
+    /// Whether to record trace events this cycle.
+    pub tracing: AtomicBool,
+    /// External inputs for the current cycle.
+    pub external: DriverCell<ExternalInputs>,
+    /// Instant of the current cycle's start (for trace offsets).
+    pub cycle_start: DriverCell<Instant>,
+    /// Thread handles by worker index; slot 0 is refreshed by the driver
+    /// each cycle (the driver participates as worker 0).
+    pub handles: DriverCell<Vec<std::thread::Thread>>,
+    /// Per-worker trace sinks, drained by the driver after a traced cycle.
+    pub trace_sinks: Vec<parking_lot::Mutex<Vec<RawEvent>>>,
+    /// Workers that have flushed their trace sink this cycle (traced cycles
+    /// only); the driver waits for all of them before collecting.
+    pub trace_flushed: AtomicU32,
+    /// Workers that have fully left the current cycle's work loop. Needed
+    /// by executors whose workers touch *shared* work queues (WS): a
+    /// lingering worker that has not yet observed completion must not be
+    /// able to pop work seeded for the next cycle, so the driver waits for
+    /// every worker to pass this barrier before `run_cycle` returns.
+    pub cycle_exited: AtomicU32,
+}
+
+impl Shared {
+    pub(crate) fn new(exec: ExecGraph, threads: usize) -> Self {
+        Shared {
+            exec,
+            epoch: AtomicU64::new(0),
+            done_count: AtomicU32::new(0),
+            shutdown: AtomicBool::new(false),
+            threads,
+            tracing: AtomicBool::new(false),
+            external: DriverCell::new(ExternalInputs::default()),
+            cycle_start: DriverCell::new(Instant::now()),
+            handles: DriverCell::new(Vec::new()),
+            trace_sinks: (0..threads).map(|_| parking_lot::Mutex::new(Vec::new())).collect(),
+            trace_flushed: AtomicU32::new(0),
+            cycle_exited: AtomicU32::new(0),
+        }
+    }
+
+    /// Worker-side: signal that this worker has fully left the cycle loop.
+    pub(crate) fn signal_cycle_exit(&self) {
+        self.cycle_exited.fetch_add(1, Ordering::Release);
+    }
+
+    /// Driver-side: wait until `count` workers signalled their exit.
+    pub(crate) fn wait_cycle_exited(&self, count: u32) {
+        let mut spins = 0u32;
+        while self.cycle_exited.load(Ordering::Acquire) < count {
+            spins += 1;
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Worker-side: store this cycle's trace events and mark them flushed.
+    pub(crate) fn flush_trace(&self, worker: usize, events: Vec<RawEvent>) {
+        *self.trace_sinks[worker].lock() = events;
+        self.trace_flushed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Driver-side: wait until every worker flushed its trace this cycle.
+    pub(crate) fn wait_trace_flushed(&self) {
+        while self.trace_flushed.load(Ordering::Acquire) != self.threads as u32 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Worker-side: wait until the epoch exceeds `seen` (spin, then park).
+    /// Returns the new epoch, or `None` on shutdown.
+    pub(crate) fn wait_for_cycle(&self, seen: u64) -> Option<u64> {
+        let mut spins = 0u32;
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e > seen {
+                return Some(e);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            spins += 1;
+            if spins < 512 {
+                core::hint::spin_loop();
+            } else if spins < 1024 {
+                std::thread::yield_now();
+            } else {
+                std::thread::park();
+            }
+        }
+    }
+
+    /// Driver-side: prepare and publish a new cycle. Returns its epoch.
+    ///
+    /// # Safety
+    /// Must only be called by the driver with no cycle in flight.
+    pub(crate) unsafe fn begin_cycle(&self, external_audio: &[AudioBuf], controls: &[f32]) -> u64 {
+        self.exec.reset_pending();
+        self.done_count.store(0, Ordering::Relaxed);
+        self.trace_flushed.store(0, Ordering::Relaxed);
+        self.cycle_exited.store(0, Ordering::Relaxed);
+        {
+            let ext = self.external.get_mut();
+            // Reuse allocations where layouts match.
+            if ext.audio.len() == external_audio.len()
+                && ext
+                    .audio
+                    .iter()
+                    .zip(external_audio)
+                    .all(|(a, b)| a.channels() == b.channels() && a.frames() == b.frames())
+            {
+                for (dst, src) in ext.audio.iter_mut().zip(external_audio) {
+                    dst.copy_from(src);
+                }
+            } else {
+                ext.audio = external_audio.to_vec();
+            }
+            ext.controls.clear();
+            ext.controls.extend_from_slice(controls);
+        }
+        self.handles.get_mut()[0] = std::thread::current();
+        self.cycle_start.set(Instant::now());
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        self.epoch.store(epoch, Ordering::Release);
+        // Wake any parked workers (unpark before park is safe: the token is
+        // consumed by the next park).
+        let handles = self.handles.get();
+        for h in handles.iter().skip(1) {
+            h.unpark();
+        }
+        epoch
+    }
+
+    /// Driver-side: wait until all nodes finished (spin-then-yield).
+    pub(crate) fn wait_cycle_done(&self) {
+        let n = self.exec.len() as u32;
+        let mut spins = 0u32;
+        while self.done_count.load(Ordering::Acquire) != n {
+            spins += 1;
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Build the borrowed cycle context for `epoch`.
+    ///
+    /// # Safety
+    /// Caller must hold the epoch happens-before edge (worker after
+    /// `wait_for_cycle`, or the driver).
+    pub(crate) unsafe fn ctx(&self, epoch: u64) -> CycleCtx<'_> {
+        let ext = self.external.get();
+        CycleCtx {
+            epoch,
+            external_audio: &ext.audio,
+            controls: &ext.controls,
+        }
+    }
+
+    /// Record completion of one node; returns `true` when it was the last.
+    #[inline]
+    pub(crate) fn node_finished(&self) -> bool {
+        let prev = self.done_count.fetch_add(1, Ordering::Release) + 1;
+        prev == self.exec.len() as u32
+    }
+
+    /// Collect per-worker traces after a traced cycle (driver only).
+    pub(crate) fn collect_trace(&self) -> ScheduleTrace {
+        let cycle_start = unsafe { *self.cycle_start.get() };
+        let raw: Vec<(u32, Vec<RawEvent>)> = self
+            .trace_sinks
+            .iter()
+            .enumerate()
+            .map(|(w, m)| (w as u32, std::mem::take(&mut *m.lock())))
+            .collect();
+        finish_trace(self.threads as u32, cycle_start, raw)
+    }
+}
+
+/// Graphs and checks shared by the executor test suites.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::graph::{Section, TaskGraphBuilder};
+    use crate::processor::FnProcessor;
+
+    /// n0 fills 1.0, n1 fills 2.0, n2 sums its inputs, n3 copies n2.
+    pub(crate) fn diamond_sum_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let n0 = b.add(
+            "one",
+            Section::DeckA,
+            Box::new(FnProcessor(|_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                out.samples_mut().fill(1.0);
+            })),
+            &[],
+        );
+        let n1 = b.add(
+            "two",
+            Section::DeckB,
+            Box::new(FnProcessor(|_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                out.samples_mut().fill(2.0);
+            })),
+            &[],
+        );
+        let n2 = b.add(
+            "sum",
+            Section::Master,
+            Box::new(FnProcessor(|inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                out.clear();
+                for i in inp {
+                    out.mix_add(i, 1.0);
+                }
+            })),
+            &[n0, n1],
+        );
+        b.add(
+            "copy",
+            Section::Master,
+            Box::new(FnProcessor(|inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                out.copy_from(inp[0]);
+            })),
+            &[n2],
+        );
+        b.build().unwrap()
+    }
+
+    /// `width` sources (filling `(i+1) * f(epoch)`), one doubler per source,
+    /// and a sink summing all doublers. Sink value:
+    /// `2 * f(epoch) * width*(width+1)/2`.
+    pub(crate) fn fan_graph(width: usize) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let mut doublers = Vec::new();
+        for i in 0..width {
+            let src = b.add(
+                format!("src{i}"),
+                Section::deck(i % 4),
+                Box::new(FnProcessor(
+                    move |_: &[&AudioBuf], out: &mut AudioBuf, ctx: &CycleCtx<'_>| {
+                        let f = (ctx.epoch % 7 + 1) as f32;
+                        out.samples_mut().fill((i as f32 + 1.0) * f);
+                    },
+                )),
+                &[],
+            );
+            doublers.push(b.add(
+                format!("dbl{i}"),
+                Section::deck(i % 4),
+                Box::new(FnProcessor(|inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    out.copy_from(inp[0]);
+                    out.scale(2.0);
+                })),
+                &[src],
+            ));
+        }
+        // Fan into intermediate sums of at most 4 inputs to respect
+        // MAX_INPUTS, then a final sink.
+        let mut layer = doublers;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in layer.chunks(4) {
+                next.push(b.add(
+                    "sum",
+                    Section::Master,
+                    Box::new(FnProcessor(
+                        |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                            out.clear();
+                            for i in inp {
+                                out.mix_add(i, 1.0);
+                            }
+                        },
+                    )),
+                    chunk,
+                ));
+            }
+            layer = next;
+        }
+        b.build().unwrap()
+    }
+
+    /// Run a candidate executor against the sequential baseline on the same
+    /// graph for 50 cycles and require identical sink output each cycle.
+    pub(crate) fn run_and_check(
+        make: impl Fn(TaskGraph, usize) -> Box<dyn GraphExecutor>,
+        label: &str,
+    ) {
+        let frames = 8;
+        let mut seq = SequentialExecutor::new(fan_graph(13), frames);
+        let mut cand = make(fan_graph(13), frames);
+        assert_eq!(seq.topology().len(), cand.topology().len());
+        let sink = NodeId((seq.topology().len() - 1) as u32);
+        for cycle in 0..50 {
+            seq.run_cycle(&[], &[]);
+            cand.run_cycle(&[], &[]);
+            let mut a = AudioBuf::zeroed(2, frames);
+            let mut b = AudioBuf::zeroed(2, frames);
+            seq.read_output(sink, &mut a);
+            cand.read_output(sink, &mut b);
+            assert_eq!(a, b, "{label}: cycle {cycle} diverged");
+            // Known closed form for the fan graph.
+            let f = ((cycle + 1) % 7 + 1) as f32;
+            let expect = 2.0 * f * (13.0 * 14.0 / 2.0);
+            assert_eq!(a.sample(0, 0), expect, "{label}: wrong value cycle {cycle}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Section, TaskGraphBuilder};
+    use crate::processor::{FnProcessor, Passthrough};
+
+    #[test]
+    fn exec_graph_executes_in_queue_order() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add(
+            "src",
+            Section::DeckA,
+            Box::new(FnProcessor(|_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                out.samples_mut().fill(2.0);
+            })),
+            &[],
+        );
+        let _ = b.add(
+            "sink",
+            Section::Master,
+            Box::new(FnProcessor(|inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                out.copy_from(inp[0]);
+                out.scale(3.0);
+            })),
+            &[a],
+        );
+        let g = b.build().unwrap();
+        let mut exec = ExecGraph::new(g, 8);
+        let ctx = CycleCtx::bare(1);
+        for &n in exec.topology().queue().to_vec().iter() {
+            unsafe { exec.execute(n as usize, &ctx) };
+        }
+        let mut out = AudioBuf::zeroed(2, 8);
+        exec.read_output_internal(NodeId(1), &mut out);
+        assert!(out.samples().iter().all(|&s| s == 6.0));
+    }
+
+    #[test]
+    fn done_epoch_tracks_epochs() {
+        let mut b = TaskGraphBuilder::new();
+        b.add("a", Section::DeckA, Box::new(Passthrough), &[]);
+        let g = b.build().unwrap();
+        let exec = ExecGraph::new(g, 4);
+        assert!(!exec.is_done(0, 1));
+        unsafe { exec.execute(0, &CycleCtx::bare(1)) };
+        assert!(exec.is_done(0, 1));
+        assert!(!exec.is_done(0, 2));
+        assert!(!exec.spin_until_done(0, 1)); // already done: no wait
+    }
+
+    #[test]
+    fn reset_pending_restores_counts() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add("a", Section::DeckA, Box::new(Passthrough), &[]);
+        let x = b.add("b", Section::DeckA, Box::new(Passthrough), &[a]);
+        b.add("c", Section::DeckA, Box::new(Passthrough), &[a, x]);
+        let g = b.build().unwrap();
+        let exec = ExecGraph::new(g, 4);
+        exec.reset_pending();
+        assert_eq!(exec.cell(0).pending.load(Ordering::Relaxed), 0);
+        assert_eq!(exec.cell(1).pending.load(Ordering::Relaxed), 1);
+        assert_eq!(exec.cell(2).pending.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "predecessors")]
+    fn too_many_preds_rejected() {
+        let mut b = TaskGraphBuilder::new();
+        let mut preds = Vec::new();
+        for i in 0..(MAX_INPUTS + 1) {
+            preds.push(b.add(format!("s{i}"), Section::DeckA, Box::new(Passthrough), &[]));
+        }
+        b.add("sink", Section::Master, Box::new(Passthrough), &preds);
+        let g = b.build().unwrap();
+        ExecGraph::new(g, 4);
+    }
+
+    #[test]
+    fn external_inputs_reach_processors() {
+        let mut b = TaskGraphBuilder::new();
+        b.add(
+            "reader",
+            Section::DeckA,
+            Box::new(FnProcessor(|_: &[&AudioBuf], out: &mut AudioBuf, ctx: &CycleCtx<'_>| {
+                out.copy_from(&ctx.external_audio[0]);
+                out.scale(ctx.controls[0]);
+            })),
+            &[],
+        );
+        let g = b.build().unwrap();
+        let mut exec = ExecGraph::new(g, 4);
+        let ext = AudioBuf::from_fn(2, 4, |_, _| 1.0);
+        let ctx = CycleCtx {
+            epoch: 1,
+            external_audio: std::slice::from_ref(&ext),
+            controls: &[0.5],
+        };
+        unsafe { exec.execute(0, &ctx) };
+        let mut out = AudioBuf::zeroed(2, 4);
+        exec.read_output_internal(NodeId(0), &mut out);
+        assert!(out.samples().iter().all(|&s| s == 0.5));
+    }
+}

@@ -1,0 +1,166 @@
+//! The sequential baseline: DJ Star's original implementation.
+//!
+//! §IV: "the task graph is implemented using a simple queue. Nodes are
+//! inserted according to their depth in the dependency graph … single nodes
+//! can simply be removed from the queue in the same order (FIFO) during
+//! graph execution and processed sequentially."
+
+use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Strategy};
+use crate::graph::{GraphTopology, NodeId, TaskGraph};
+use crate::processor::{CycleCtx, Processor};
+use crate::trace::{ScheduleTrace, TraceKind};
+use djstar_dsp::AudioBuf;
+use std::time::Instant;
+
+/// Single-threaded FIFO execution of the depth-sorted queue.
+pub struct SequentialExecutor {
+    exec: ExecGraph,
+    epoch: u64,
+    tracing: bool,
+    last_trace: Option<ScheduleTrace>,
+}
+
+impl SequentialExecutor {
+    /// Build a sequential executor over `graph` with `frames`-frame buffers.
+    pub fn new(graph: TaskGraph, frames: usize) -> Self {
+        SequentialExecutor {
+            exec: ExecGraph::new(graph, frames),
+            epoch: 0,
+            tracing: false,
+            last_trace: None,
+        }
+    }
+}
+
+impl GraphExecutor for SequentialExecutor {
+    fn strategy(&self) -> Strategy {
+        Strategy::Sequential
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        self.epoch += 1;
+        let ctx = CycleCtx {
+            epoch: self.epoch,
+            external_audio,
+            controls,
+        };
+        let start = Instant::now();
+        if self.tracing {
+            let mut events = Vec::with_capacity(self.exec.len());
+            for &n in self.exec.topology().queue() {
+                let t0 = Instant::now();
+                // SAFETY: single thread executes every node in queue order,
+                // which is a valid topological order.
+                unsafe { self.exec.execute(n as usize, &ctx) };
+                events.push(RawEvent {
+                    node: n,
+                    kind: TraceKind::Exec,
+                    start: t0,
+                    end: Instant::now(),
+                });
+            }
+            self.last_trace = Some(super::finish_trace(1, start, vec![(0, events)]));
+        } else {
+            for &n in self.exec.topology().queue() {
+                // SAFETY: as above.
+                unsafe { self.exec.execute(n as usize, &ctx) };
+            }
+        }
+        CycleResult {
+            duration: start.elapsed(),
+        }
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn take_trace(&mut self) -> Option<ScheduleTrace> {
+        self.last_trace.take()
+    }
+
+    fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
+        self.exec.read_output_internal(node, dst);
+    }
+
+    fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
+        self.exec.node_processor_internal(node)
+    }
+
+    fn topology(&self) -> &GraphTopology {
+        self.exec.topology()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Section, TaskGraphBuilder};
+    use crate::processor::FnProcessor;
+
+    fn chain_graph(n: usize) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..n {
+            let preds: Vec<NodeId> = prev.into_iter().collect();
+            prev = Some(b.add(
+                format!("n{i}"),
+                Section::Master,
+                Box::new(FnProcessor(
+                    move |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                        let base = inp.first().map(|b| b.sample(0, 0)).unwrap_or(0.0);
+                        out.samples_mut().fill(base + 1.0);
+                    },
+                )),
+                &preds,
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_accumulates_through_cycle() {
+        let mut ex = SequentialExecutor::new(chain_graph(5), 4);
+        ex.run_cycle(&[], &[]);
+        let mut out = AudioBuf::zeroed(2, 4);
+        ex.read_output(NodeId(4), &mut out);
+        assert_eq!(out.sample(0, 0), 5.0);
+    }
+
+    #[test]
+    fn trace_is_a_valid_order_on_one_worker() {
+        let mut ex = SequentialExecutor::new(chain_graph(6), 4);
+        ex.set_tracing(true);
+        ex.run_cycle(&[], &[]);
+        let trace = ex.take_trace().unwrap();
+        assert_eq!(trace.executions().len(), 6);
+        assert_eq!(trace.execution_order(), vec![0, 1, 2, 3, 4, 5]);
+        let topo = ex.topology();
+        assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
+        // All on worker 0.
+        assert!(trace.events.iter().all(|e| e.worker == 0));
+    }
+
+    #[test]
+    fn take_trace_none_when_untraced() {
+        let mut ex = SequentialExecutor::new(chain_graph(2), 4);
+        ex.run_cycle(&[], &[]);
+        assert!(ex.take_trace().is_none());
+    }
+
+    #[test]
+    fn epochs_isolate_cycles() {
+        let mut ex = SequentialExecutor::new(chain_graph(3), 4);
+        let r1 = ex.run_cycle(&[], &[]);
+        let r2 = ex.run_cycle(&[], &[]);
+        assert!(r1.duration.as_nanos() > 0);
+        assert!(r2.duration.as_nanos() > 0);
+        let mut out = AudioBuf::zeroed(2, 4);
+        ex.read_output(NodeId(2), &mut out);
+        assert_eq!(out.sample(0, 0), 3.0);
+    }
+}

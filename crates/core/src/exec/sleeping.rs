@@ -1,0 +1,268 @@
+//! The thread-sleeping strategy (§V-B).
+//!
+//! Same round-robin static assignment as BUSY, but "instead of actively
+//! waiting for dependency fulfillment … threads are explicitly put to sleep
+//! until their dependencies are met. … Nodes that are finished computing
+//! send a signal to their successor node which in turn wakes up its assigned
+//! thread. The wake up procedure only occurs when all predecessor nodes are
+//! finished."
+//!
+//! Mechanics: each node has a `pending` counter (unmet predecessors this
+//! epoch) and a `waiter` slot. A worker arriving at a node with
+//! `pending > 0` registers itself in `waiter`, re-checks, and parks
+//! (register → re-check → park, so a wake between the check and the park is
+//! never lost — `unpark` before `park` leaves a token). A worker finishing
+//! a node decrements each successor's `pending` with `AcqRel`; the one that
+//! brings it to zero swaps out the `waiter` and unparks it. The `AcqRel`
+//! read-modify-write chain forms a release sequence, so the executor that
+//! observes `pending == 0` with `Acquire` sees every predecessor's output.
+//!
+//! Deadlock freedom follows from the same queue-position argument as BUSY.
+
+use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
+use crate::graph::{GraphTopology, NodeId, TaskGraph};
+use crate::processor::Processor;
+use crate::trace::{ScheduleTrace, TraceKind};
+use djstar_dsp::AudioBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Thread-sleeping executor: static round-robin assignment + park/unpark.
+pub struct SleepExecutor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    tracing: bool,
+    last_trace: Option<ScheduleTrace>,
+}
+
+impl SleepExecutor {
+    /// Build the executor with `threads` workers (including the calling
+    /// thread) over `graph` with `frames`-frame buffers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or `threads > 64`.
+    pub fn new(graph: TaskGraph, threads: usize, frames: usize) -> Self {
+        assert!((1..=64).contains(&threads), "1..=64 threads supported");
+        let shared = Arc::new(Shared::new(ExecGraph::new(graph, frames), threads));
+        let mut workers = Vec::new();
+        let mut handles = vec![std::thread::current()];
+        for me in 1..threads {
+            let sh = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name(format!("sleep-worker-{me}"))
+                .spawn(move || worker_loop(&sh, me))
+                .expect("spawn sleep worker");
+            handles.push(h.thread().clone());
+            workers.push(h);
+        }
+        // SAFETY: no cycle in flight yet.
+        unsafe { shared.handles.set(handles) };
+        SleepExecutor {
+            shared,
+            workers,
+            tracing: false,
+            last_trace: None,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    let mut seen = 0u64;
+    while let Some(epoch) = shared.wait_for_cycle(seen) {
+        seen = epoch;
+        run_cycle_part(shared, me, epoch);
+    }
+}
+
+/// Wait for `node`'s dependencies by parking (returns once `pending == 0`).
+fn sleep_until_ready(shared: &Shared, node: usize, me: usize) -> bool {
+    let cell = shared.exec.cell(node);
+    if cell_pending(shared, node) == 0 {
+        return false;
+    }
+    loop {
+        // Register as this node's executor, then re-check before parking.
+        cell.waiter.store(me + 1, Ordering::SeqCst);
+        if cell_pending(shared, node) == 0 {
+            cell.waiter.store(0, Ordering::SeqCst);
+            return true;
+        }
+        std::thread::park();
+        // Spurious wakes (e.g. the cycle-start broadcast token) re-check.
+        if cell_pending(shared, node) == 0 {
+            cell.waiter.store(0, Ordering::SeqCst);
+            return true;
+        }
+    }
+}
+
+#[inline]
+fn cell_pending(shared: &Shared, node: usize) -> u32 {
+    shared.exec.cell(node).pending.load(Ordering::Acquire)
+}
+
+fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
+    let tracing = shared.tracing.load(Ordering::Relaxed);
+    let topo = shared.exec.topology();
+    // SAFETY: epoch acquired.
+    let ctx = unsafe { shared.ctx(epoch) };
+    // SAFETY: handles were written before the epoch was published.
+    let handles = unsafe { shared.handles.get() };
+    let mut events: Vec<RawEvent> = Vec::new();
+    for (k, &node) in topo.queue().iter().enumerate() {
+        if k % shared.threads != me {
+            continue;
+        }
+        if tracing {
+            let w0 = Instant::now();
+            let waited = sleep_until_ready(shared, node as usize, me);
+            if waited {
+                events.push(RawEvent {
+                    node,
+                    kind: TraceKind::Sleep,
+                    start: w0,
+                    end: Instant::now(),
+                });
+            }
+            let t0 = Instant::now();
+            // SAFETY: exactly-once ownership (static assignment); pending==0
+            // observed with Acquire implies all predecessor outputs visible.
+            unsafe { shared.exec.execute(node as usize, &ctx) };
+            events.push(RawEvent {
+                node,
+                kind: TraceKind::Exec,
+                start: t0,
+                end: Instant::now(),
+            });
+        } else {
+            sleep_until_ready(shared, node as usize, me);
+            // SAFETY: as above.
+            unsafe { shared.exec.execute(node as usize, &ctx) };
+        }
+        // Signal successors; wake the registered executor of any successor
+        // whose last dependency this was.
+        for &s in topo.succs(NodeId(node)) {
+            let sc = shared.exec.cell(s as usize);
+            if sc.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let w = sc.waiter.swap(0, Ordering::SeqCst);
+                if w != 0 {
+                    handles[w - 1].unpark();
+                }
+            }
+        }
+        shared.node_finished();
+    }
+    if tracing {
+        shared.flush_trace(me, events);
+    }
+}
+
+impl GraphExecutor for SleepExecutor {
+    fn strategy(&self) -> Strategy {
+        Strategy::Sleep
+    }
+
+    fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        self.shared.tracing.store(self.tracing, Ordering::Relaxed);
+        // SAFETY: driver thread, no cycle in flight.
+        let epoch = unsafe { self.shared.begin_cycle(external_audio, controls) };
+        let start = unsafe { *self.shared.cycle_start.get() };
+        run_cycle_part(&self.shared, 0, epoch);
+        self.shared.wait_cycle_done();
+        let duration = start.elapsed();
+        if self.tracing {
+            self.shared.wait_trace_flushed();
+            self.last_trace = Some(self.shared.collect_trace());
+        }
+        CycleResult { duration }
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn take_trace(&mut self) -> Option<ScheduleTrace> {
+        self.last_trace.take()
+    }
+
+    fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
+        // SAFETY: `&mut self` proves no cycle in flight.
+        unsafe { self.shared.exec.read_output_unsync(node, dst) };
+    }
+
+    fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
+        // SAFETY: as in `read_output`.
+        unsafe { self.shared.exec.node_processor_unsync(node) }
+    }
+
+    fn topology(&self) -> &GraphTopology {
+        self.shared.exec.topology()
+    }
+}
+
+impl Drop for SleepExecutor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let handles = unsafe { self.shared.handles.get() };
+        for h in handles.iter().skip(1) {
+            h.unpark();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_support::{diamond_sum_graph, fan_graph, run_and_check};
+
+    #[test]
+    fn computes_same_result_as_sequential() {
+        for threads in [1, 2, 3, 4] {
+            run_and_check(
+                |g, frames| Box::new(SleepExecutor::new(g, threads, frames)),
+                &format!("sleep-{threads}"),
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_many_cycles() {
+        let mut ex = SleepExecutor::new(diamond_sum_graph(), 3, 8);
+        for _ in 0..200 {
+            ex.run_cycle(&[], &[]);
+            let mut out = AudioBuf::zeroed(2, 8);
+            ex.read_output(NodeId(3), &mut out);
+            assert_eq!(out.sample(0, 0), 3.0);
+        }
+    }
+
+    #[test]
+    fn trace_has_sleep_kind_and_valid_order() {
+        let mut ex = SleepExecutor::new(fan_graph(16), 4, 8);
+        ex.set_tracing(true);
+        let mut saw_any_sleep = false;
+        for _ in 0..50 {
+            ex.run_cycle(&[], &[]);
+            let trace = ex.take_trace().unwrap();
+            let topo = ex.topology();
+            assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
+            saw_any_sleep |= trace
+                .events
+                .iter()
+                .any(|e| e.kind == TraceKind::Sleep);
+        }
+        // On a single-core CI box sleeping is in fact very likely, but we
+        // only assert the structural properties above; `saw_any_sleep` keeps
+        // the variable observable without making the test flaky.
+        let _ = saw_any_sleep;
+    }
+}

@@ -1,0 +1,375 @@
+//! The work-stealing strategy (§V-C).
+//!
+//! "1) Each thread gets its own working queue. 2) This queue only contains
+//! nodes which are executable, i.e. all dependencies are met. 3) Threads can
+//! steal nodes from other threads once their own queue is empty. … When a
+//! new APC starts, the main thread fills up the processing queues of all
+//! executor threads. It distributes all nodes without dependencies (source
+//! nodes) to the threads. We categorize the source nodes as Deck A/B/C/D or
+//! Master in order to be able to assign nodes from the same section to the
+//! same thread."
+//!
+//! Ownership transfer: a node enters a deque exactly once — either seeded by
+//! the driver between cycles, or pushed by the worker whose `fetch_sub`
+//! brought its pending counter to zero (which happens for exactly one
+//! caller). Deque `pop`/`steal` hand each element to exactly one thread, so
+//! the exactly-once execution invariant holds.
+//!
+//! Idle workers park in an [`IdleSet`]; a worker that releases ready
+//! successors wakes sleepers to come and steal. "Sleeping in fact only
+//! occurs when there are solely nodes available with unfinished
+//! dependencies" — i.e. near the end of the graph (§VI). The driver (worker
+//! 0) never parks intra-cycle; it spin-yields so it can observe completion.
+
+use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
+use crate::deque::{Steal, WorkDeque};
+use crate::graph::{GraphTopology, NodeId, Section, TaskGraph};
+use crate::idle::IdleSet;
+use crate::processor::{CycleCtx, Processor};
+use crate::trace::{ScheduleTrace, TraceKind};
+use djstar_dsp::AudioBuf;
+use std::sync::atomic::{fence, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Shared state of the work-stealing executor: the common cycle machinery
+/// plus per-worker deques and the idle set.
+pub(crate) struct WsShared {
+    pub base: Shared,
+    pub deques: Vec<WorkDeque>,
+    /// Filled by the driver right after spawning, before the first cycle.
+    pub idle: OnceLock<IdleSet>,
+}
+
+/// Work-stealing executor.
+pub struct StealExecutor {
+    shared: Arc<WsShared>,
+    workers: Vec<JoinHandle<()>>,
+    tracing: bool,
+    last_trace: Option<ScheduleTrace>,
+}
+
+/// Which worker a section's source nodes are seeded to (§V-C's
+/// deck-affinity categorization).
+pub(crate) fn seed_target(section: Section, threads: usize) -> usize {
+    match section.deck_index() {
+        Some(d) => d % threads,
+        None => 4 % threads,
+    }
+}
+
+impl StealExecutor {
+    /// Build the executor with `threads` workers (including the calling
+    /// thread) over `graph` with `frames`-frame buffers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or `threads > 64`.
+    pub fn new(graph: TaskGraph, threads: usize, frames: usize) -> Self {
+        assert!((1..=64).contains(&threads), "1..=64 threads supported");
+        let exec = ExecGraph::new(graph, frames);
+        let nodes = exec.len();
+        let shared = Arc::new(WsShared {
+            base: Shared::new(exec, threads),
+            deques: (0..threads).map(|_| WorkDeque::new(nodes.max(4))).collect(),
+            idle: OnceLock::new(),
+        });
+        let mut workers = Vec::new();
+        let mut handles = vec![std::thread::current()];
+        for me in 1..threads {
+            let sh = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name(format!("ws-worker-{me}"))
+                .spawn(move || worker_loop(&sh, me))
+                .expect("spawn ws worker");
+            handles.push(h.thread().clone());
+            workers.push(h);
+        }
+        shared
+            .idle
+            .set(IdleSet::new(handles.clone()))
+            .expect("idle set initialized once");
+        // SAFETY: no cycle in flight yet.
+        unsafe { shared.base.handles.set(handles) };
+        StealExecutor {
+            shared,
+            workers,
+            tracing: false,
+            last_trace: None,
+        }
+    }
+}
+
+fn worker_loop(ws: &WsShared, me: usize) {
+    let mut seen = 0u64;
+    while let Some(epoch) = ws.base.wait_for_cycle(seen) {
+        seen = epoch;
+        run_cycle_part(ws, me, epoch);
+    }
+}
+
+/// One steal sweep over the other workers' deques.
+fn steal_sweep(ws: &WsShared, me: usize) -> Option<u32> {
+    let threads = ws.base.threads;
+    for off in 1..threads {
+        let victim = (me + off) % threads;
+        loop {
+            match ws.deques[victim].steal() {
+                Steal::Success(n) => return Some(n),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+/// True when every deque currently appears empty.
+fn all_deques_empty(ws: &WsShared) -> bool {
+    ws.deques.iter().all(|d| d.is_empty())
+}
+
+/// Execute `node`, release ready successors to `me`'s deque, wake thieves.
+///
+/// # Safety
+/// `node` must have been obtained from a deque `pop`/`steal` this epoch
+/// (exactly-once ownership; readiness was established by the pending
+/// protocol before the node entered a deque).
+unsafe fn run_node(
+    ws: &WsShared,
+    me: usize,
+    node: u32,
+    ctx: &CycleCtx<'_>,
+    tracing: bool,
+    events: &mut Vec<RawEvent>,
+) {
+    if tracing {
+        let t0 = Instant::now();
+        ws.base.exec.execute(node as usize, ctx);
+        events.push(RawEvent {
+            node,
+            kind: TraceKind::Exec,
+            start: t0,
+            end: Instant::now(),
+        });
+    } else {
+        ws.base.exec.execute(node as usize, ctx);
+    }
+    let topo = ws.base.exec.topology();
+    let idle = ws.idle.get().expect("idle set initialized");
+    let mut released = 0u32;
+    for &s in topo.succs(NodeId(node)) {
+        if ws.base.exec.cell(s as usize).pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            ws.deques[me]
+                .push(s)
+                .expect("deque sized for the whole graph");
+            released += 1;
+        }
+    }
+    if released > 0 {
+        // Publish the pushes before scanning for sleepers (pairs with the
+        // fence idle workers issue between registering and re-checking).
+        fence(Ordering::SeqCst);
+        for _ in 0..released {
+            if idle.wake_one().is_none() {
+                break;
+            }
+        }
+    }
+    if ws.base.node_finished() {
+        // Last node of the cycle: release every sleeper so all workers
+        // observe completion and return to the cycle barrier.
+        idle.wake_all();
+    }
+}
+
+fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
+    let tracing = ws.base.tracing.load(Ordering::Relaxed);
+    // SAFETY: epoch acquired.
+    let ctx = unsafe { ws.base.ctx(epoch) };
+    let idle = ws.idle.get().expect("idle set initialized");
+    let total = ws.base.exec.len() as u32;
+    let mut events: Vec<RawEvent> = Vec::new();
+    loop {
+        // 1. Local work, newest first (LIFO: §V-C cache-locality argument).
+        if let Some(node) = ws.deques[me].pop() {
+            // SAFETY: popped from own deque.
+            unsafe { run_node(ws, me, node, &ctx, tracing, &mut events) };
+            continue;
+        }
+        // 2. Steal, oldest first from a victim.
+        if let Some(node) = steal_sweep(ws, me) {
+            // SAFETY: stolen exactly once.
+            unsafe { run_node(ws, me, node, &ctx, tracing, &mut events) };
+            continue;
+        }
+        // 3. Cycle complete?
+        if ws.base.done_count.load(Ordering::Acquire) == total {
+            break;
+        }
+        // 4. Idle. The driver spin-yields (it must observe completion and
+        //    may be running on a thread the IdleSet has no handle for);
+        //    workers park until new work is released.
+        if me == 0 {
+            std::thread::yield_now();
+            continue;
+        }
+        idle.register(me);
+        fence(Ordering::SeqCst);
+        if !all_deques_empty(ws) || ws.base.done_count.load(Ordering::Acquire) == total {
+            idle.deregister(me);
+            continue;
+        }
+        if tracing {
+            let w0 = Instant::now();
+            std::thread::park();
+            events.push(RawEvent {
+                node: u32::MAX,
+                kind: TraceKind::Idle,
+                start: w0,
+                end: Instant::now(),
+            });
+        } else {
+            std::thread::park();
+        }
+        idle.deregister(me);
+    }
+    if tracing {
+        ws.base.flush_trace(me, events);
+    }
+    // Exit barrier: a worker that has left this loop can no longer pop
+    // work, so once every worker has signalled, the driver may safely seed
+    // the next cycle's deques.
+    ws.base.signal_cycle_exit();
+}
+
+impl GraphExecutor for StealExecutor {
+    fn strategy(&self) -> Strategy {
+        Strategy::Steal
+    }
+
+    fn threads(&self) -> usize {
+        self.shared.base.threads
+    }
+
+    fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        let ws = &self.shared;
+        ws.base.tracing.store(self.tracing, Ordering::Relaxed);
+        // Seed source nodes by section affinity *before* publishing the
+        // epoch; the deques are quiescent between cycles, so these pushes
+        // are ordinary owner pushes logically performed on behalf of each
+        // target worker.
+        let topo = ws.base.exec.topology();
+        ws.base.exec.reset_pending();
+        for &src in topo.sources() {
+            let target = seed_target(topo.section(NodeId(src)), ws.base.threads);
+            ws.deques[target]
+                .push(src)
+                .expect("deque sized for the whole graph");
+        }
+        // SAFETY: driver thread, no cycle in flight. (`begin_cycle` resets
+        // the pending counters again; that is idempotent.)
+        let epoch = unsafe { ws.base.begin_cycle(external_audio, controls) };
+        let start = unsafe { *ws.base.cycle_start.get() };
+        run_cycle_part(ws, 0, epoch);
+        ws.base.wait_cycle_done();
+        // All nodes are done; now wait for every worker to leave the work
+        // loop so none can touch the deques we will seed next cycle.
+        ws.base.wait_cycle_exited(ws.base.threads as u32);
+        let duration = start.elapsed();
+        if self.tracing {
+            ws.base.wait_trace_flushed();
+            self.last_trace = Some(ws.base.collect_trace());
+        }
+        CycleResult { duration }
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    fn take_trace(&mut self) -> Option<ScheduleTrace> {
+        self.last_trace.take()
+    }
+
+    fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
+        // SAFETY: `&mut self` proves no cycle in flight.
+        unsafe { self.shared.base.exec.read_output_unsync(node, dst) };
+    }
+
+    fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
+        // SAFETY: as in `read_output`.
+        unsafe { self.shared.base.exec.node_processor_unsync(node) }
+    }
+
+    fn topology(&self) -> &GraphTopology {
+        self.shared.base.exec.topology()
+    }
+}
+
+impl Drop for StealExecutor {
+    fn drop(&mut self) {
+        self.shared.base.shutdown.store(true, Ordering::Release);
+        let handles = unsafe { self.shared.base.handles.get() };
+        for h in handles.iter().skip(1) {
+            h.unpark();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::test_support::{diamond_sum_graph, fan_graph, run_and_check};
+
+    #[test]
+    fn computes_same_result_as_sequential() {
+        for threads in [1, 2, 3, 4] {
+            run_and_check(
+                |g, frames| Box::new(StealExecutor::new(g, threads, frames)),
+                &format!("ws-{threads}"),
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_many_cycles() {
+        let mut ex = StealExecutor::new(diamond_sum_graph(), 4, 8);
+        for _ in 0..200 {
+            ex.run_cycle(&[], &[]);
+            let mut out = AudioBuf::zeroed(2, 8);
+            ex.read_output(NodeId(3), &mut out);
+            assert_eq!(out.sample(0, 0), 3.0);
+        }
+    }
+
+    #[test]
+    fn every_node_executed_exactly_once_per_cycle() {
+        let mut ex = StealExecutor::new(fan_graph(16), 4, 8);
+        ex.set_tracing(true);
+        for _ in 0..30 {
+            ex.run_cycle(&[], &[]);
+            let trace = ex.take_trace().unwrap();
+            let mut nodes: Vec<u32> = trace.executions().iter().map(|e| e.node).collect();
+            nodes.sort_unstable();
+            let expect: Vec<u32> = (0..ex.topology().len() as u32).collect();
+            assert_eq!(nodes, expect);
+            let topo = ex.topology();
+            assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
+        }
+    }
+
+    #[test]
+    fn seed_targets_follow_sections() {
+        assert_eq!(seed_target(Section::DeckA, 4), 0);
+        assert_eq!(seed_target(Section::DeckB, 4), 1);
+        assert_eq!(seed_target(Section::DeckC, 4), 2);
+        assert_eq!(seed_target(Section::DeckD, 4), 3);
+        assert_eq!(seed_target(Section::Master, 4), 0);
+        assert_eq!(seed_target(Section::DeckD, 2), 1);
+        assert_eq!(seed_target(Section::Master, 1), 0);
+    }
+}

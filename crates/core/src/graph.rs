@@ -1,0 +1,535 @@
+//! The static task graph: nodes, dependency edges and the depth-sorted
+//! execution queue.
+//!
+//! DJ Star implements its audio processing cycle as a task graph whose
+//! "nodes represent different audio computations and the edges describe the
+//! data flow" (§IV). The production implementation keeps the graph in "a
+//! simple queue. Nodes are inserted according to their depth in the
+//! dependency graph … column by column and from left to right" — so nodes
+//! within one column (equal depth) never depend on each other and the queue
+//! order is a valid sequential execution order. This module reproduces that
+//! representation and validates its invariants.
+
+use crate::processor::Processor;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a node in its [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The section of the DJ Star workbench a node belongs to (Fig. 3).
+///
+/// The work-stealing strategy seeds "nodes from the same section to the same
+/// thread" to exploit data locality (§V-C), so the section is part of the
+/// core graph model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    DeckA,
+    DeckB,
+    DeckC,
+    DeckD,
+    Master,
+}
+
+impl Section {
+    /// All sections in deck order, master last.
+    pub const ALL: [Section; 5] = [
+        Section::DeckA,
+        Section::DeckB,
+        Section::DeckC,
+        Section::DeckD,
+        Section::Master,
+    ];
+
+    /// Deck index 0–3, or `None` for the master section.
+    pub fn deck_index(self) -> Option<usize> {
+        match self {
+            Section::DeckA => Some(0),
+            Section::DeckB => Some(1),
+            Section::DeckC => Some(2),
+            Section::DeckD => Some(3),
+            Section::Master => None,
+        }
+    }
+
+    /// The deck section with the given index (0–3).
+    pub fn deck(i: usize) -> Section {
+        match i {
+            0 => Section::DeckA,
+            1 => Section::DeckB,
+            2 => Section::DeckC,
+            3 => Section::DeckD,
+            _ => panic!("deck index {i} out of range"),
+        }
+    }
+}
+
+/// Errors detected while building a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A predecessor id referenced a node that does not exist.
+    UnknownPredecessor { node: u32, pred: u32 },
+    /// The dependency relation contains a cycle.
+    Cyclic,
+    /// The same predecessor was listed twice for one node.
+    DuplicateEdge { node: u32, pred: u32 },
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownPredecessor { node, pred } => {
+                write!(f, "node {node} references unknown predecessor {pred}")
+            }
+            GraphError::Cyclic => write!(f, "dependency graph contains a cycle"),
+            GraphError::DuplicateEdge { node, pred } => {
+                write!(f, "node {node} lists predecessor {pred} twice")
+            }
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Immutable structural data of a validated graph, shared by executors and
+/// the schedule simulator.
+#[derive(Debug)]
+pub struct GraphTopology {
+    names: Vec<String>,
+    sections: Vec<Section>,
+    preds: Vec<Vec<u32>>,
+    succs: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+    /// Node ids in DJ Star queue order: sorted by depth, insertion order
+    /// within equal depth ("column by column, left to right").
+    queue: Vec<u32>,
+    /// Nodes with no predecessors, in queue order.
+    sources: Vec<u32>,
+}
+
+impl GraphTopology {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the graph has no nodes (never, for validated graphs).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a node.
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.names[n.idx()]
+    }
+
+    /// Section of a node.
+    pub fn section(&self, n: NodeId) -> Section {
+        self.sections[n.idx()]
+    }
+
+    /// Predecessors of a node.
+    pub fn preds(&self, n: NodeId) -> &[u32] {
+        &self.preds[n.idx()]
+    }
+
+    /// Successors of a node.
+    pub fn succs(&self, n: NodeId) -> &[u32] {
+        &self.succs[n.idx()]
+    }
+
+    /// Depth of a node: 0 for sources, else 1 + max depth of predecessors.
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.depth[n.idx()]
+    }
+
+    /// The DJ Star execution queue (a valid topological order).
+    pub fn queue(&self) -> &[u32] {
+        &self.queue
+    }
+
+    /// Source nodes (no dependencies), in queue order.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Length of the critical path in *node count* (not time): the longest
+    /// chain of dependencies, i.e. `max depth + 1`.
+    pub fn critical_path_len(&self) -> usize {
+        self.depth.iter().copied().max().map_or(0, |d| d as usize + 1)
+    }
+
+    /// Verify that `order` is a permutation of all nodes consistent with the
+    /// dependencies (every node after all its predecessors). Test helper for
+    /// schedules and traces.
+    pub fn is_valid_execution_order(&self, order: &[u32]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.len()];
+        for (i, &n) in order.iter().enumerate() {
+            let Some(slot) = pos.get_mut(n as usize) else {
+                return false;
+            };
+            if *slot != usize::MAX {
+                return false; // duplicate
+            }
+            *slot = i;
+        }
+        for n in 0..self.len() {
+            for &p in &self.preds[n] {
+                if pos[p as usize] >= pos[n] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Render the graph in Graphviz DOT format (node names, one cluster per
+    /// section).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph djstar {\n  rankdir=LR;\n");
+        for (si, sec) in Section::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "  subgraph cluster_{si} {{\n    label=\"{sec:?}\";\n"
+            ));
+            for n in 0..self.len() {
+                if self.sections[n] == *sec {
+                    out.push_str(&format!("    n{} [label=\"{}\"];\n", n, self.names[n]));
+                }
+            }
+            out.push_str("  }\n");
+        }
+        for n in 0..self.len() {
+            for &p in &self.preds[n] {
+                out.push_str(&format!("  n{p} -> n{n};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A validated task graph: topology plus one processor per node.
+pub struct TaskGraph {
+    topo: GraphTopology,
+    processors: Vec<Box<dyn Processor>>,
+}
+
+impl TaskGraph {
+    /// The structural data.
+    pub fn topology(&self) -> &GraphTopology {
+        &self.topo
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// True when the graph has no nodes (never, for validated graphs).
+    pub fn is_empty(&self) -> bool {
+        self.topo.is_empty()
+    }
+
+    /// Decompose into topology and processors (used by `ExecGraph`).
+    pub(crate) fn into_parts(self) -> (GraphTopology, Vec<Box<dyn Processor>>) {
+        (self.topo, self.processors)
+    }
+}
+
+impl fmt::Debug for TaskGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskGraph")
+            .field("nodes", &self.topo.len())
+            .finish()
+    }
+}
+
+struct BuildNode {
+    name: String,
+    section: Section,
+    processor: Box<dyn Processor>,
+    preds: Vec<u32>,
+}
+
+/// Builder for [`TaskGraph`]: add nodes with their predecessors, then
+/// [`build`](TaskGraphBuilder::build) validates and computes depths, the
+/// queue order and successor lists.
+#[derive(Default)]
+pub struct TaskGraphBuilder {
+    nodes: Vec<BuildNode>,
+}
+
+impl TaskGraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a node computing `processor`, depending on `preds`.
+    /// Returns its id.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        section: Section,
+        processor: Box<dyn Processor>,
+        preds: &[NodeId],
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(BuildNode {
+            name: name.into(),
+            section,
+            processor,
+            preds: preds.iter().map(|p| p.0).collect(),
+        });
+        id
+    }
+
+    /// Validate and produce the graph.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        // Edge validation.
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &p in &node.preds {
+                if p as usize >= n {
+                    return Err(GraphError::UnknownPredecessor {
+                        node: i as u32,
+                        pred: p,
+                    });
+                }
+                if !seen.insert(p) {
+                    return Err(GraphError::DuplicateEdge {
+                        node: i as u32,
+                        pred: p,
+                    });
+                }
+            }
+        }
+        // Kahn topological sort to detect cycles and compute depth.
+        let mut indegree: Vec<u32> = self.nodes.iter().map(|nd| nd.preds.len() as u32).collect();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &p in &node.preds {
+                succs[p as usize].push(i as u32);
+            }
+        }
+        let mut depth = vec![0u32; n];
+        let mut ready: VecDeque<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(v) = ready.pop_front() {
+            visited += 1;
+            for &s in &succs[v as usize] {
+                depth[s as usize] = depth[s as usize].max(depth[v as usize] + 1);
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    ready.push_back(s);
+                }
+            }
+        }
+        if visited != n {
+            return Err(GraphError::Cyclic);
+        }
+        // DJ Star queue: stable sort by depth keeps insertion order within a
+        // column ("column by column and from left to right").
+        let mut queue: Vec<u32> = (0..n as u32).collect();
+        queue.sort_by_key(|&i| depth[i as usize]);
+        let sources: Vec<u32> = queue
+            .iter()
+            .copied()
+            .filter(|&i| self.nodes[i as usize].preds.is_empty())
+            .collect();
+
+        let mut names = Vec::with_capacity(n);
+        let mut sections = Vec::with_capacity(n);
+        let mut preds = Vec::with_capacity(n);
+        let mut processors = Vec::with_capacity(n);
+        for node in self.nodes {
+            names.push(node.name);
+            sections.push(node.section);
+            preds.push(node.preds);
+            processors.push(node.processor);
+        }
+        Ok(TaskGraph {
+            topo: GraphTopology {
+                names,
+                sections,
+                preds,
+                succs,
+                depth,
+                queue,
+                sources,
+            },
+            processors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::Passthrough;
+
+    fn pt() -> Box<dyn Processor> {
+        Box::new(Passthrough)
+    }
+
+    /// a -> b -> d, a -> c -> d  (diamond)
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add("a", Section::DeckA, pt(), &[]);
+        let x = b.add("b", Section::DeckA, pt(), &[a]);
+        let y = b.add("c", Section::DeckB, pt(), &[a]);
+        b.add("d", Section::Master, pt(), &[x, y]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_depths_and_queue() {
+        let g = diamond();
+        let t = g.topology();
+        assert_eq!(t.depth(NodeId(0)), 0);
+        assert_eq!(t.depth(NodeId(1)), 1);
+        assert_eq!(t.depth(NodeId(2)), 1);
+        assert_eq!(t.depth(NodeId(3)), 2);
+        assert_eq!(t.queue(), &[0, 1, 2, 3]);
+        assert_eq!(t.sources(), &[0]);
+        assert_eq!(t.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn successors_computed() {
+        let g = diamond();
+        let t = g.topology();
+        assert_eq!(t.succs(NodeId(0)), &[1, 2]);
+        assert_eq!(t.succs(NodeId(1)), &[3]);
+        assert_eq!(t.succs(NodeId(3)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn queue_is_valid_execution_order() {
+        let g = diamond();
+        let t = g.topology();
+        assert!(t.is_valid_execution_order(t.queue()));
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        let g = diamond();
+        let t = g.topology();
+        assert!(!t.is_valid_execution_order(&[3, 1, 2, 0])); // sink first
+        assert!(!t.is_valid_execution_order(&[0, 1, 2])); // missing node
+        assert!(!t.is_valid_execution_order(&[0, 1, 1, 3])); // duplicate
+        assert!(!t.is_valid_execution_order(&[0, 1, 2, 9])); // unknown id
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // Build a 2-cycle by forward-referencing: a depends on b, b on a.
+        let mut b = TaskGraphBuilder::new();
+        let _a = b.add("a", Section::DeckA, pt(), &[NodeId(1)]);
+        let _b = b.add("b", Section::DeckA, pt(), &[NodeId(0)]);
+        assert_eq!(b.build().err(), Some(GraphError::Cyclic));
+    }
+
+    #[test]
+    fn unknown_pred_detected() {
+        let mut b = TaskGraphBuilder::new();
+        b.add("a", Section::DeckA, pt(), &[NodeId(5)]);
+        assert_eq!(
+            b.build().err(),
+            Some(GraphError::UnknownPredecessor { node: 0, pred: 5 })
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_detected() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add("a", Section::DeckA, pt(), &[]);
+        b.add("b", Section::DeckA, pt(), &[a, a]);
+        assert_eq!(
+            b.build().err(),
+            Some(GraphError::DuplicateEdge { node: 1, pred: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(TaskGraphBuilder::new().build().err(), Some(GraphError::Empty));
+    }
+
+    #[test]
+    fn same_depth_nodes_never_depend_on_each_other() {
+        // This is the "column property" the paper's queue relies on; it holds
+        // by construction of depth. Verify on a random-ish DAG.
+        let mut b = TaskGraphBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..30u32 {
+            let preds: Vec<NodeId> = ids
+                .iter()
+                .copied()
+                .filter(|p: &NodeId| (i + p.0) % 7 == 0)
+                .collect();
+            ids.push(b.add(format!("n{i}"), Section::Master, pt(), &preds));
+        }
+        let g = b.build().unwrap();
+        let t = g.topology();
+        for n in 0..t.len() {
+            for &p in t.preds(NodeId(n as u32)) {
+                assert!(t.depth(NodeId(p)) < t.depth(NodeId(n as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_export_mentions_all_nodes() {
+        let g = diamond();
+        let dot = g.topology().to_dot();
+        for name in ["\"a\"", "\"b\"", "\"c\"", "\"d\""] {
+            assert!(dot.contains(name), "missing {name} in {dot}");
+        }
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n3"));
+    }
+
+    #[test]
+    fn section_deck_round_trip() {
+        for i in 0..4 {
+            assert_eq!(Section::deck(i).deck_index(), Some(i));
+        }
+        assert_eq!(Section::Master.deck_index(), None);
+    }
+}

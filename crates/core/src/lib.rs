@@ -1,0 +1,51 @@
+//! The paper's primary contribution: the DJ Star audio **task graph** and the
+//! three parallel scheduling strategies evaluated against it — busy-waiting,
+//! thread-sleeping and work-stealing (§IV–V of *Parallelizing a Real-Time
+//! Audio Application*, IPPS 2015).
+//!
+//! # Architecture
+//!
+//! * [`graph`] — the static task graph: nodes with audio processors,
+//!   dependency edges, and the depth-sorted FIFO queue DJ Star stores the
+//!   graph in ("nodes are inserted according to their depth in the
+//!   dependency graph", §IV).
+//! * [`processor`] — the [`Processor`](processor::Processor) trait node
+//!   payloads implement, and the per-cycle context handed to them.
+//! * [`exec`] — the runtime: an [`ExecGraph`](exec::ExecGraph) with atomic
+//!   per-node dependency state, plus one executor per strategy:
+//!   [`SequentialExecutor`](exec::SequentialExecutor),
+//!   [`BusyExecutor`](exec::BusyExecutor),
+//!   [`SleepExecutor`](exec::SleepExecutor) and
+//!   [`StealExecutor`](exec::StealExecutor).
+//! * [`deque`] — a fixed-capacity Chase–Lev work-stealing deque (owner pops
+//!   LIFO from the bottom, thieves steal FIFO from the top — the exact
+//!   convention of §V-C).
+//! * [`idle`] — a bitmask-based idle-worker set used to park and wake
+//!   work-stealing workers.
+//! * [`trace`] — per-cycle schedule traces (which thread ran which node
+//!   when, including wait intervals), the data behind Fig. 11.
+//!
+//! # Memory-safety argument
+//!
+//! Node payloads live in `UnsafeCell`s and are accessed without locks. The
+//! safety invariant, enforced by every executor, is *exactly-once ownership
+//! per cycle*: a node is executed by exactly one thread per cycle, and a
+//! thread only reads a predecessor's output after observing its
+//! `done_epoch` equal to the current epoch with `Acquire` ordering (the
+//! writer published it with `Release`). See `exec` for the detailed
+//! proof obligations.
+
+pub mod deque;
+pub mod exec;
+pub mod graph;
+pub mod idle;
+pub mod processor;
+pub mod trace;
+
+pub use exec::{
+    BusyExecutor, CycleResult, ExecGraph, GraphExecutor, HybridExecutor, SequentialExecutor,
+    SleepExecutor, StealExecutor, Strategy,
+};
+pub use graph::{GraphError, NodeId, Section, TaskGraph, TaskGraphBuilder};
+pub use processor::{CycleCtx, Processor};
+pub use trace::{ScheduleTrace, TraceEvent, TraceKind};

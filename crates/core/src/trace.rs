@@ -1,0 +1,198 @@
+//! Schedule traces: which worker executed which node when.
+//!
+//! Fig. 11 of the paper visualizes "typical schedule realizations": per
+//! thread, the sequence of executed nodes, with gray boxes for busy-waiting
+//! and white gaps for sleeping. A [`ScheduleTrace`] captures exactly that
+//! data for one cycle; `djstar-sim::gantt` renders it.
+
+use serde::{Deserialize, Serialize};
+
+/// What a worker was doing during a trace interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Executing the node.
+    Exec,
+    /// Busy-waiting on the node's dependencies (BUSY strategy).
+    BusyWait,
+    /// Parked waiting for the node's dependencies (SLEEP strategy).
+    Sleep,
+    /// Idle: no executable node found (WS strategy, before parking/stealing).
+    Idle,
+}
+
+/// One interval of one worker's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Node id this interval refers to (`u32::MAX` for anonymous idling).
+    pub node: u32,
+    /// Worker index.
+    pub worker: u32,
+    /// Interval start, nanoseconds from cycle start.
+    pub start_ns: u64,
+    /// Interval end, nanoseconds from cycle start.
+    pub end_ns: u64,
+    /// Interval kind.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Interval length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// The complete trace of one cycle.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// Number of workers that participated.
+    pub workers: u32,
+    /// All intervals, in no particular order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ScheduleTrace {
+    /// Events of one worker, sorted by start time.
+    pub fn worker_timeline(&self, worker: u32) -> Vec<TraceEvent> {
+        let mut v: Vec<TraceEvent> = self
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.worker == worker)
+            .collect();
+        v.sort_by_key(|e| e.start_ns);
+        v
+    }
+
+    /// Execution events only, sorted by start time.
+    pub fn executions(&self) -> Vec<TraceEvent> {
+        let mut v: Vec<TraceEvent> = self
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.kind == TraceKind::Exec)
+            .collect();
+        v.sort_by_key(|e| e.start_ns);
+        v
+    }
+
+    /// Node ids in execution *start* order (ties broken by node id).
+    pub fn execution_order(&self) -> Vec<u32> {
+        let mut v = self.executions();
+        v.sort_by_key(|e| (e.start_ns, e.node));
+        v.into_iter().map(|e| e.node).collect()
+    }
+
+    /// Makespan: the latest execution end time (ns).
+    pub fn makespan_ns(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Exec)
+            .map(|e| e.end_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total time spent in a given non-exec state across workers (ns).
+    pub fn total_ns(&self, kind: TraceKind) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.duration_ns())
+            .sum()
+    }
+
+    /// Check that no node started before every one of its predecessors (as
+    /// given by `preds(node)`) had finished. This is the dependency-safety
+    /// check the integration tests run against every strategy.
+    pub fn respects_dependencies(&self, preds: impl Fn(u32) -> Vec<u32>) -> bool {
+        let execs = self.executions();
+        let mut end_of = std::collections::HashMap::new();
+        for e in &execs {
+            end_of.insert(e.node, e.end_ns);
+        }
+        for e in &execs {
+            for p in preds(e.node) {
+                match end_of.get(&p) {
+                    Some(&pend) if pend <= e.start_ns => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: u32, worker: u32, start: u64, end: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            node,
+            worker,
+            start_ns: start,
+            end_ns: end,
+            kind,
+        }
+    }
+
+    #[test]
+    fn timeline_sorted_per_worker() {
+        let t = ScheduleTrace {
+            workers: 2,
+            events: vec![
+                ev(1, 0, 50, 80, TraceKind::Exec),
+                ev(0, 0, 0, 40, TraceKind::Exec),
+                ev(2, 1, 10, 90, TraceKind::Exec),
+            ],
+        };
+        let w0 = t.worker_timeline(0);
+        assert_eq!(w0.len(), 2);
+        assert_eq!(w0[0].node, 0);
+        assert_eq!(t.makespan_ns(), 90);
+        assert_eq!(t.execution_order(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn dependency_check_passes_for_ordered_trace() {
+        let t = ScheduleTrace {
+            workers: 1,
+            events: vec![ev(0, 0, 0, 10, TraceKind::Exec), ev(1, 0, 10, 20, TraceKind::Exec)],
+        };
+        assert!(t.respects_dependencies(|n| if n == 1 { vec![0] } else { vec![] }));
+    }
+
+    #[test]
+    fn dependency_check_fails_for_overlap() {
+        let t = ScheduleTrace {
+            workers: 2,
+            events: vec![ev(0, 0, 0, 10, TraceKind::Exec), ev(1, 1, 5, 20, TraceKind::Exec)],
+        };
+        assert!(!t.respects_dependencies(|n| if n == 1 { vec![0] } else { vec![] }));
+    }
+
+    #[test]
+    fn dependency_check_fails_for_missing_pred() {
+        let t = ScheduleTrace {
+            workers: 1,
+            events: vec![ev(1, 0, 0, 10, TraceKind::Exec)],
+        };
+        assert!(!t.respects_dependencies(|n| if n == 1 { vec![0] } else { vec![] }));
+    }
+
+    #[test]
+    fn wait_time_accounting() {
+        let t = ScheduleTrace {
+            workers: 1,
+            events: vec![
+                ev(0, 0, 0, 10, TraceKind::BusyWait),
+                ev(0, 0, 10, 30, TraceKind::Exec),
+                ev(u32::MAX, 0, 30, 35, TraceKind::Idle),
+            ],
+        };
+        assert_eq!(t.total_ns(TraceKind::BusyWait), 10);
+        assert_eq!(t.total_ns(TraceKind::Idle), 5);
+        assert_eq!(t.makespan_ns(), 30);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the task graph, the deque and the executors on
+//! randomly generated DAGs.
+
+use djstar_core::deque::{Steal, WorkDeque};
+use djstar_core::exec::{
+    BusyExecutor, GraphExecutor, SequentialExecutor, SleepExecutor, StealExecutor,
+};
+use djstar_core::graph::{NodeId, Section, TaskGraph, TaskGraphBuilder};
+use djstar_core::processor::{CycleCtx, FnProcessor};
+use djstar_dsp::AudioBuf;
+use proptest::prelude::*;
+
+/// Random DAG description: for node i, a bitmask over earlier nodes
+/// selecting predecessors (truncated to MAX_INPUTS).
+fn dag_strategy(max_nodes: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(any::<bool>(), 0..max_nodes), 1..max_nodes)
+        .prop_map(|masks| {
+            masks
+                .iter()
+                .enumerate()
+                .map(|(i, mask)| {
+                    mask.iter()
+                        .enumerate()
+                        .filter(|&(j, &b)| j < i && b)
+                        .map(|(j, _)| j as u32)
+                        .take(8)
+                        .collect()
+                })
+                .collect()
+        })
+}
+
+/// Build a graph whose node i writes `i + 1 + max(pred values)` so the sink
+/// values are schedule-independent but dependency-sensitive.
+fn build_graph(preds: &[Vec<u32>]) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new();
+    for (i, ps) in preds.iter().enumerate() {
+        let pred_ids: Vec<NodeId> = ps.iter().map(|&p| NodeId(p)).collect();
+        let val = (i + 1) as f32;
+        b.add(
+            format!("n{i}"),
+            Section::deck(i % 4),
+            Box::new(FnProcessor(
+                move |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    let base = inp
+                        .iter()
+                        .map(|b| b.sample(0, 0))
+                        .fold(0.0f32, f32::max);
+                    out.samples_mut().fill(base + val);
+                },
+            )),
+            &pred_ids,
+        );
+    }
+    b.build().expect("forward edges only: always a DAG")
+}
+
+/// Expected node values of the arithmetic above, computed directly.
+fn expected_values(preds: &[Vec<u32>]) -> Vec<f32> {
+    let mut vals = vec![0.0f32; preds.len()];
+    for i in 0..preds.len() {
+        let base = preds[i]
+            .iter()
+            .map(|&p| vals[p as usize])
+            .fold(0.0f32, f32::max);
+        vals[i] = base + (i + 1) as f32;
+    }
+    vals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_dags_build_with_valid_queues(preds in dag_strategy(24)) {
+        let g = build_graph(&preds);
+        let t = g.topology();
+        prop_assert!(t.is_valid_execution_order(t.queue()));
+        // Depth is consistent: every edge increases depth.
+        for n in 0..t.len() as u32 {
+            for &p in t.preds(NodeId(n)) {
+                prop_assert!(t.depth(NodeId(p)) < t.depth(NodeId(n)));
+            }
+        }
+        // Sources are exactly the nodes without predecessors.
+        let src_count = (0..t.len() as u32)
+            .filter(|&n| t.preds(NodeId(n)).is_empty())
+            .count();
+        prop_assert_eq!(t.sources().len(), src_count);
+    }
+
+    #[test]
+    fn all_executors_compute_correct_values_on_random_dags(
+        preds in dag_strategy(20),
+        threads in 1usize..5,
+    ) {
+        let want = expected_values(&preds);
+        let sink = preds.len() - 1;
+        let frames = 4;
+        let mut executors: Vec<Box<dyn GraphExecutor>> = vec![
+            Box::new(SequentialExecutor::new(build_graph(&preds), frames)),
+            Box::new(BusyExecutor::new(build_graph(&preds), threads, frames)),
+            Box::new(SleepExecutor::new(build_graph(&preds), threads, frames)),
+            Box::new(StealExecutor::new(build_graph(&preds), threads, frames)),
+        ];
+        for ex in &mut executors {
+            for _ in 0..3 {
+                ex.run_cycle(&[], &[]);
+            }
+            let mut out = AudioBuf::zeroed(2, frames);
+            ex.read_output(NodeId(sink as u32), &mut out);
+            prop_assert!(
+                (out.sample(0, 0) - want[sink]).abs() < 1e-4,
+                "{:?}: got {}, want {}",
+                ex.strategy(),
+                out.sample(0, 0),
+                want[sink]
+            );
+        }
+    }
+
+    #[test]
+    fn traces_on_random_dags_respect_dependencies(
+        preds in dag_strategy(16),
+        threads in 2usize..5,
+    ) {
+        let mut ex = StealExecutor::new(build_graph(&preds), threads, 4);
+        ex.set_tracing(true);
+        for _ in 0..5 {
+            ex.run_cycle(&[], &[]);
+            let trace = ex.take_trace().unwrap();
+            prop_assert_eq!(trace.executions().len(), preds.len());
+            let topo = ex.topology();
+            prop_assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
+        }
+    }
+
+    #[test]
+    fn deque_matches_sequential_model(ops in prop::collection::vec(any::<(bool, bool)>(), 0..200)) {
+        // Single-threaded model check: (push?, from_top?) operations against
+        // a VecDeque reference. Owner pops bottom (back), thief steals top
+        // (front).
+        let deque = WorkDeque::new(256);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut counter = 0u32;
+        for (push, from_top) in ops {
+            if push {
+                counter += 1;
+                if deque.push(counter).is_ok() {
+                    model.push_back(counter);
+                }
+            } else if from_top {
+                let got = match deque.steal() {
+                    Steal::Success(v) => Some(v),
+                    _ => None,
+                };
+                prop_assert_eq!(got, model.pop_front());
+            } else {
+                prop_assert_eq!(deque.pop(), model.pop_back());
+            }
+            prop_assert_eq!(deque.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! RBJ ("Audio EQ Cookbook") biquad filters and cascades.
+//!
+//! These are the workhorse of the channel strips and sample-preprocess (SP)
+//! filter nodes in the DJ Star graph. Coefficients follow Robert
+//! Bristow-Johnson's cookbook formulas; the state uses transposed direct
+//! form II, which is well-behaved in `f32`.
+
+use crate::buffer::AudioBuf;
+
+/// Filter kinds supported by [`BiquadCoeffs::design`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterKind {
+    Lowpass,
+    Highpass,
+    Bandpass,
+    Notch,
+    /// Peaking EQ with the given gain in dB.
+    Peaking { gain_db: f32 },
+    /// Low shelf with the given gain in dB.
+    LowShelf { gain_db: f32 },
+    /// High shelf with the given gain in dB.
+    HighShelf { gain_db: f32 },
+}
+
+/// Normalized biquad coefficients (a0 divided out).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiquadCoeffs {
+    pub b0: f32,
+    pub b1: f32,
+    pub b2: f32,
+    pub a1: f32,
+    pub a2: f32,
+}
+
+impl BiquadCoeffs {
+    /// Identity (pass-through) coefficients.
+    pub fn identity() -> Self {
+        BiquadCoeffs {
+            b0: 1.0,
+            b1: 0.0,
+            b2: 0.0,
+            a1: 0.0,
+            a2: 0.0,
+        }
+    }
+
+    /// Design a filter at `freq_hz` with quality factor `q` for `sample_rate`.
+    ///
+    /// `freq_hz` is clamped into `(0, sample_rate/2)` and `q` to a sane
+    /// minimum, so a UI sweeping a knob to its end stop cannot produce an
+    /// unstable filter.
+    pub fn design(kind: FilterKind, freq_hz: f32, q: f32, sample_rate: u32) -> Self {
+        let fs = sample_rate as f32;
+        let f = freq_hz.clamp(1.0, 0.499 * fs);
+        let q = q.max(0.05);
+        let w0 = core::f32::consts::TAU * f / fs;
+        let (sin, cos) = w0.sin_cos();
+        let alpha = sin / (2.0 * q);
+
+        let (b0, b1, b2, a0, a1, a2) = match kind {
+            FilterKind::Lowpass => {
+                let b1 = 1.0 - cos;
+                (b1 / 2.0, b1, b1 / 2.0, 1.0 + alpha, -2.0 * cos, 1.0 - alpha)
+            }
+            FilterKind::Highpass => {
+                let b1 = -(1.0 + cos);
+                let b0 = (1.0 + cos) / 2.0;
+                (b0, b1, b0, 1.0 + alpha, -2.0 * cos, 1.0 - alpha)
+            }
+            FilterKind::Bandpass => (alpha, 0.0, -alpha, 1.0 + alpha, -2.0 * cos, 1.0 - alpha),
+            FilterKind::Notch => (1.0, -2.0 * cos, 1.0, 1.0 + alpha, -2.0 * cos, 1.0 - alpha),
+            FilterKind::Peaking { gain_db } => {
+                let a = 10f32.powf(gain_db / 40.0);
+                (
+                    1.0 + alpha * a,
+                    -2.0 * cos,
+                    1.0 - alpha * a,
+                    1.0 + alpha / a,
+                    -2.0 * cos,
+                    1.0 - alpha / a,
+                )
+            }
+            FilterKind::LowShelf { gain_db } => {
+                let a = 10f32.powf(gain_db / 40.0);
+                let sq = 2.0 * a.sqrt() * alpha;
+                (
+                    a * ((a + 1.0) - (a - 1.0) * cos + sq),
+                    2.0 * a * ((a - 1.0) - (a + 1.0) * cos),
+                    a * ((a + 1.0) - (a - 1.0) * cos - sq),
+                    (a + 1.0) + (a - 1.0) * cos + sq,
+                    -2.0 * ((a - 1.0) + (a + 1.0) * cos),
+                    (a + 1.0) + (a - 1.0) * cos - sq,
+                )
+            }
+            FilterKind::HighShelf { gain_db } => {
+                let a = 10f32.powf(gain_db / 40.0);
+                let sq = 2.0 * a.sqrt() * alpha;
+                (
+                    a * ((a + 1.0) + (a - 1.0) * cos + sq),
+                    -2.0 * a * ((a - 1.0) + (a + 1.0) * cos),
+                    a * ((a + 1.0) + (a - 1.0) * cos - sq),
+                    (a + 1.0) - (a - 1.0) * cos + sq,
+                    2.0 * ((a - 1.0) - (a + 1.0) * cos),
+                    (a + 1.0) - (a - 1.0) * cos - sq,
+                )
+            }
+        };
+        BiquadCoeffs {
+            b0: b0 / a0,
+            b1: b1 / a0,
+            b2: b2 / a0,
+            a1: a1 / a0,
+            a2: a2 / a0,
+        }
+    }
+}
+
+/// A stereo biquad filter (independent state per channel), transposed
+/// direct form II.
+#[derive(Debug, Clone)]
+pub struct Biquad {
+    coeffs: BiquadCoeffs,
+    // Two state variables per channel.
+    z1: [f32; 2],
+    z2: [f32; 2],
+}
+
+impl Biquad {
+    /// Filter with the given coefficients.
+    pub fn new(coeffs: BiquadCoeffs) -> Self {
+        Biquad {
+            coeffs,
+            z1: [0.0; 2],
+            z2: [0.0; 2],
+        }
+    }
+
+    /// Convenience: design and construct in one step.
+    pub fn design(kind: FilterKind, freq_hz: f32, q: f32, sample_rate: u32) -> Self {
+        Self::new(BiquadCoeffs::design(kind, freq_hz, q, sample_rate))
+    }
+
+    /// Replace the coefficients, keeping state (for smooth knob sweeps).
+    pub fn set_coeffs(&mut self, coeffs: BiquadCoeffs) {
+        self.coeffs = coeffs;
+    }
+
+    /// Current coefficients.
+    pub fn coeffs(&self) -> BiquadCoeffs {
+        self.coeffs
+    }
+
+    /// Clear the filter state.
+    pub fn reset(&mut self) {
+        self.z1 = [0.0; 2];
+        self.z2 = [0.0; 2];
+    }
+
+    /// Process one sample on `channel` (0 or 1).
+    #[inline]
+    pub fn tick(&mut self, channel: usize, x: f32) -> f32 {
+        let c = &self.coeffs;
+        let y = c.b0 * x + self.z1[channel];
+        self.z1[channel] = c.b1 * x - c.a1 * y + self.z2[channel];
+        self.z2[channel] = c.b2 * x - c.a2 * y;
+        y
+    }
+
+    /// Filter a whole buffer in place.
+    pub fn process(&mut self, buf: &mut AudioBuf) {
+        let channels = buf.channels();
+        let frames = buf.frames();
+        let data = buf.samples_mut();
+        for i in 0..frames {
+            for ch in 0..channels {
+                let idx = i * channels + ch;
+                data[idx] = self.tick(ch, data[idx]);
+            }
+        }
+    }
+}
+
+/// A cascade of identical-topology biquads applied in series, e.g. a 4th
+/// order lowpass built from two 2nd-order sections.
+#[derive(Debug, Clone)]
+pub struct BiquadCascade {
+    sections: Vec<Biquad>,
+}
+
+impl BiquadCascade {
+    /// Cascade of `n` sections with the same design.
+    pub fn design(kind: FilterKind, freq_hz: f32, q: f32, sample_rate: u32, n: usize) -> Self {
+        BiquadCascade {
+            sections: (0..n)
+                .map(|_| Biquad::design(kind, freq_hz, q, sample_rate))
+                .collect(),
+        }
+    }
+
+    /// Number of second-order sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when the cascade has no sections (pass-through).
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Clear all section states.
+    pub fn reset(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+    }
+
+    /// Filter a buffer in place through every section.
+    pub fn process(&mut self, buf: &mut AudioBuf) {
+        for s in &mut self.sections {
+            s.process(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::{Oscillator, Waveform};
+
+    /// Measure output RMS of a steady sine through a filter.
+    fn response(kind: FilterKind, cutoff: f32, tone: f32) -> f32 {
+        let mut osc = Oscillator::new(Waveform::Sine, tone, 44_100);
+        let mut filt = Biquad::design(kind, cutoff, core::f32::consts::FRAC_1_SQRT_2, 44_100);
+        // Let transients settle, then measure.
+        let mut buf = AudioBuf::zeroed(1, 4096);
+        for s in buf.samples_mut() {
+            *s = osc.next_sample();
+        }
+        filt.process(&mut buf);
+        let mut buf2 = AudioBuf::zeroed(1, 4096);
+        for s in buf2.samples_mut() {
+            *s = osc.next_sample();
+        }
+        filt.process(&mut buf2);
+        buf2.rms() / core::f32::consts::FRAC_1_SQRT_2 // normalize: sine RMS = 1/sqrt(2)
+    }
+
+    #[test]
+    fn lowpass_passes_low_blocks_high() {
+        let low = response(FilterKind::Lowpass, 1000.0, 100.0);
+        let high = response(FilterKind::Lowpass, 1000.0, 10_000.0);
+        assert!(low > 0.9, "low band gain {low}");
+        assert!(high < 0.05, "high band gain {high}");
+    }
+
+    #[test]
+    fn highpass_blocks_low_passes_high() {
+        let low = response(FilterKind::Highpass, 1000.0, 100.0);
+        let high = response(FilterKind::Highpass, 1000.0, 10_000.0);
+        assert!(low < 0.05, "low band gain {low}");
+        assert!(high > 0.9, "high band gain {high}");
+    }
+
+    #[test]
+    fn bandpass_peaks_at_center() {
+        let center = response(FilterKind::Bandpass, 1000.0, 1000.0);
+        let off = response(FilterKind::Bandpass, 1000.0, 8000.0);
+        assert!(center > off * 3.0, "center {center} vs off {off}");
+    }
+
+    #[test]
+    fn notch_rejects_center() {
+        let center = response(FilterKind::Notch, 1000.0, 1000.0);
+        let off = response(FilterKind::Notch, 1000.0, 4000.0);
+        assert!(center < 0.1, "notch center gain {center}");
+        assert!(off > 0.8, "notch off-center gain {off}");
+    }
+
+    #[test]
+    fn peaking_boosts_center() {
+        let boosted = response(FilterKind::Peaking { gain_db: 12.0 }, 1000.0, 1000.0);
+        assert!(boosted > 3.0 && boosted < 4.5, "peak gain {boosted} (expect ~4x)");
+    }
+
+    #[test]
+    fn shelves_shape_spectrum() {
+        let lo = response(FilterKind::LowShelf { gain_db: -12.0 }, 1000.0, 100.0);
+        let hi = response(FilterKind::LowShelf { gain_db: -12.0 }, 1000.0, 10_000.0);
+        assert!(lo < 0.35 && hi > 0.8, "lowshelf lo {lo} hi {hi}");
+        let lo = response(FilterKind::HighShelf { gain_db: 12.0 }, 1000.0, 100.0);
+        let hi = response(FilterKind::HighShelf { gain_db: 12.0 }, 1000.0, 10_000.0);
+        assert!(hi / lo > 3.0, "highshelf lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn filter_is_stable_on_noise() {
+        use crate::osc::NoiseSource;
+        let mut noise = NoiseSource::new(3);
+        let mut filt = Biquad::design(FilterKind::Lowpass, 200.0, 4.0, 44_100);
+        let mut buf = AudioBuf::zeroed(2, 128);
+        for _ in 0..200 {
+            for s in buf.samples_mut() {
+                *s = noise.next_sample();
+            }
+            filt.process(&mut buf);
+            assert!(buf.is_finite());
+            assert!(buf.peak() < 20.0, "unstable: peak {}", buf.peak());
+        }
+    }
+
+    #[test]
+    fn identity_coeffs_pass_through() {
+        let mut filt = Biquad::new(BiquadCoeffs::identity());
+        let mut buf = AudioBuf::from_fn(2, 16, |ch, i| (ch + i) as f32 * 0.01);
+        let orig = buf.clone();
+        filt.process(&mut buf);
+        for (a, b) in buf.samples().iter().zip(orig.samples()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn design_clamps_out_of_range_cutoff() {
+        // Nyquist-exceeding cutoff must still give a finite, stable filter.
+        let mut filt = Biquad::design(FilterKind::Lowpass, 96_000.0, 0.7, 44_100);
+        let mut buf = AudioBuf::from_fn(1, 256, |_, i| if i == 0 { 1.0 } else { 0.0 });
+        filt.process(&mut buf);
+        assert!(buf.is_finite());
+    }
+
+    #[test]
+    fn cascade_is_steeper_than_single() {
+        let single = response(FilterKind::Lowpass, 1000.0, 4000.0);
+        let mut osc = Oscillator::new(Waveform::Sine, 4000.0, 44_100);
+        let mut casc =
+            BiquadCascade::design(FilterKind::Lowpass, 1000.0, core::f32::consts::FRAC_1_SQRT_2, 44_100, 3);
+        let mut buf = AudioBuf::zeroed(1, 4096);
+        for s in buf.samples_mut() {
+            *s = osc.next_sample();
+        }
+        casc.process(&mut buf);
+        let mut buf2 = AudioBuf::zeroed(1, 4096);
+        for s in buf2.samples_mut() {
+            *s = osc.next_sample();
+        }
+        casc.process(&mut buf2);
+        let triple = buf2.rms() / core::f32::consts::FRAC_1_SQRT_2;
+        assert!(triple < single * 0.1, "single {single}, cascade {triple}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut filt = Biquad::design(FilterKind::Lowpass, 500.0, 0.7, 44_100);
+        let mut buf = AudioBuf::from_fn(1, 64, |_, _| 1.0);
+        filt.process(&mut buf);
+        filt.reset();
+        let mut impulse = AudioBuf::from_fn(1, 1, |_, _| 0.0);
+        filt.process(&mut impulse);
+        assert_eq!(impulse.sample(0, 0), 0.0);
+    }
+}

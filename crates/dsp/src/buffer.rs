@@ -1,0 +1,241 @@
+//! Interleaved floating-point audio buffers.
+
+/// An interleaved audio buffer with 1 or 2 channels of `f32` samples.
+///
+/// This is the unit of data flowing along the edges of the DJ Star task
+/// graph: each node owns one output buffer, reads the output buffers of its
+/// predecessors, and the sound card consumes the final one per cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AudioBuf {
+    channels: usize,
+    frames: usize,
+    data: Vec<f32>,
+}
+
+impl AudioBuf {
+    /// A silent buffer with `channels` channels and `frames` frames.
+    ///
+    /// # Panics
+    /// Panics unless `channels` is 1 or 2, the only layouts DJ Star uses.
+    pub fn zeroed(channels: usize, frames: usize) -> Self {
+        assert!(
+            channels == 1 || channels == 2,
+            "only mono and stereo buffers are supported"
+        );
+        AudioBuf {
+            channels,
+            frames,
+            data: vec![0.0; channels * frames],
+        }
+    }
+
+    /// A silent stereo buffer of the engine's standard 128 frames.
+    pub fn stereo_default() -> Self {
+        Self::zeroed(2, crate::BUFFER_FRAMES)
+    }
+
+    /// Build a buffer by evaluating `f(channel, frame)`.
+    pub fn from_fn(channels: usize, frames: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut buf = Self::zeroed(channels, frames);
+        for i in 0..frames {
+            for ch in 0..channels {
+                buf.data[i * channels + ch] = f(ch, i);
+            }
+        }
+        buf
+    }
+
+    /// Number of channels (1 or 2).
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of frames.
+    #[inline]
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Interleaved samples.
+    #[inline]
+    pub fn samples(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable interleaved samples.
+    #[inline]
+    pub fn samples_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Sample of `channel` at `frame`.
+    #[inline]
+    pub fn sample(&self, channel: usize, frame: usize) -> f32 {
+        self.data[frame * self.channels + channel]
+    }
+
+    /// Set the sample of `channel` at `frame`.
+    #[inline]
+    pub fn set_sample(&mut self, channel: usize, frame: usize, value: f32) {
+        self.data[frame * self.channels + channel] = value;
+    }
+
+    /// Zero every sample without reallocating.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Copy the contents of `src`, which must have the same layout.
+    ///
+    /// # Panics
+    /// Panics on layout mismatch; graph wiring guarantees matching layouts.
+    pub fn copy_from(&mut self, src: &AudioBuf) {
+        assert_eq!(self.channels, src.channels, "channel-count mismatch");
+        assert_eq!(self.frames, src.frames, "frame-count mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Add `gain * src` into this buffer. When `src` is mono and `self` is
+    /// stereo the mono signal is added to both channels; the symmetric
+    /// downmix averages left and right.
+    pub fn mix_add(&mut self, src: &AudioBuf, gain: f32) {
+        assert_eq!(self.frames, src.frames, "frame-count mismatch");
+        match (self.channels, src.channels) {
+            (a, b) if a == b => {
+                for (d, s) in self.data.iter_mut().zip(&src.data) {
+                    *d += gain * s;
+                }
+            }
+            (2, 1) => {
+                for i in 0..self.frames {
+                    let s = gain * src.data[i];
+                    self.data[2 * i] += s;
+                    self.data[2 * i + 1] += s;
+                }
+            }
+            (1, 2) => {
+                for i in 0..self.frames {
+                    let s = 0.5 * (src.data[2 * i] + src.data[2 * i + 1]);
+                    self.data[i] += gain * s;
+                }
+            }
+            _ => unreachable!("buffers are mono or stereo"),
+        }
+    }
+
+    /// Multiply every sample by `gain`.
+    pub fn scale(&mut self, gain: f32) {
+        for s in &mut self.data {
+            *s *= gain;
+        }
+    }
+
+    /// Root-mean-square level over all channels.
+    pub fn rms(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let sum: f32 = self.data.iter().map(|s| s * s).sum();
+        (sum / self.data.len() as f32).sqrt()
+    }
+
+    /// Largest absolute sample value.
+    pub fn peak(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, s| m.max(s.abs()))
+    }
+
+    /// Sum of squared samples (signal energy); drives the data-dependent
+    /// node cost model, mirroring the paper's observation that node run-time
+    /// "additionally depends on the actual audio stream data" (§IV).
+    pub fn energy(&self) -> f32 {
+        self.data.iter().map(|s| s * s).sum()
+    }
+
+    /// True if every sample is finite (no NaN/inf escaped a filter).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|s| s.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_silent() {
+        let b = AudioBuf::zeroed(2, 16);
+        assert_eq!(b.channels(), 2);
+        assert_eq!(b.frames(), 16);
+        assert_eq!(b.samples().len(), 32);
+        assert_eq!(b.rms(), 0.0);
+        assert_eq!(b.peak(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mono and stereo")]
+    fn rejects_surround() {
+        AudioBuf::zeroed(6, 16);
+    }
+
+    #[test]
+    fn from_fn_interleaves() {
+        let b = AudioBuf::from_fn(2, 3, |ch, i| (ch * 10 + i) as f32);
+        assert_eq!(b.samples(), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+        assert_eq!(b.sample(1, 2), 12.0);
+    }
+
+    #[test]
+    fn mix_add_same_layout() {
+        let mut a = AudioBuf::from_fn(2, 2, |_, _| 1.0);
+        let b = AudioBuf::from_fn(2, 2, |_, _| 2.0);
+        a.mix_add(&b, 0.5);
+        assert!(a.samples().iter().all(|&s| (s - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn mix_add_mono_into_stereo() {
+        let mut st = AudioBuf::zeroed(2, 2);
+        let mono = AudioBuf::from_fn(1, 2, |_, i| i as f32 + 1.0);
+        st.mix_add(&mono, 1.0);
+        assert_eq!(st.sample(0, 0), 1.0);
+        assert_eq!(st.sample(1, 0), 1.0);
+        assert_eq!(st.sample(0, 1), 2.0);
+    }
+
+    #[test]
+    fn mix_add_stereo_into_mono_averages() {
+        let mut mono = AudioBuf::zeroed(1, 1);
+        let mut st = AudioBuf::zeroed(2, 1);
+        st.set_sample(0, 0, 1.0);
+        st.set_sample(1, 0, 3.0);
+        mono.mix_add(&st, 1.0);
+        assert_eq!(mono.sample(0, 0), 2.0);
+    }
+
+    #[test]
+    fn rms_and_peak_of_known_signal() {
+        let b = AudioBuf::from_fn(1, 4, |_, i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        assert!((b.rms() - 1.0).abs() < 1e-6);
+        assert_eq!(b.peak(), 1.0);
+        assert!((b.energy() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn copy_and_clear() {
+        let src = AudioBuf::from_fn(2, 4, |_, i| i as f32);
+        let mut dst = AudioBuf::zeroed(2, 4);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.clear();
+        assert_eq!(dst.peak(), 0.0);
+    }
+
+    #[test]
+    fn finite_detects_nan() {
+        let mut b = AudioBuf::zeroed(1, 2);
+        assert!(b.is_finite());
+        b.set_sample(0, 1, f32::NAN);
+        assert!(!b.is_finite());
+    }
+}

@@ -1,0 +1,204 @@
+//! Linkwitz–Riley 4th-order crossover: splits audio into frequency bands
+//! that sum back to a flat (allpass) response.
+//!
+//! The SP ("sample preprocess") nodes of the DJ Star graph form a per-deck
+//! filterbank whose outputs the first effect node recombines (Fig. 3). For
+//! that recombination to be transparent, the band filters must be a proper
+//! crossover — LR4 (two cascaded 2nd-order Butterworth sections per side)
+//! is the standard choice: each split's low + high outputs sum to an
+//! allpass, so any tree of splits reconstructs the input spectrum flat.
+
+use crate::biquad::{Biquad, FilterKind};
+use crate::buffer::AudioBuf;
+
+/// One LR4 two-way split (low side + high side, each a double Butterworth).
+#[derive(Debug, Clone)]
+pub struct Lr4Split {
+    low: [Biquad; 2],
+    high: [Biquad; 2],
+}
+
+/// Butterworth Q for each cascaded section of an LR4 half.
+const BUTTERWORTH_Q: f32 = core::f32::consts::FRAC_1_SQRT_2;
+
+impl Lr4Split {
+    /// A split at `freq_hz`.
+    pub fn new(freq_hz: f32, sample_rate: u32) -> Self {
+        let mk = |kind| Biquad::design(kind, freq_hz, BUTTERWORTH_Q, sample_rate);
+        Lr4Split {
+            low: [mk(FilterKind::Lowpass), mk(FilterKind::Lowpass)],
+            high: [mk(FilterKind::Highpass), mk(FilterKind::Highpass)],
+        }
+    }
+
+    /// Split `input` into `low_out` and `high_out` (all same layout).
+    pub fn split(&mut self, input: &AudioBuf, low_out: &mut AudioBuf, high_out: &mut AudioBuf) {
+        low_out.copy_from(input);
+        for s in &mut self.low {
+            s.process(low_out);
+        }
+        high_out.copy_from(input);
+        for s in &mut self.high {
+            s.process(high_out);
+        }
+    }
+
+    /// Clear filter state.
+    pub fn reset(&mut self) {
+        for s in self.low.iter_mut().chain(self.high.iter_mut()) {
+            s.reset();
+        }
+    }
+}
+
+/// A 4-band crossover built from three LR4 splits in a tree:
+/// `in → [low | rest]`, `rest → [mid-low | rest2]`, `rest2 → [mid-high | high]`.
+///
+/// Because every LR4 split sums allpass-flat, the four bands sum back to
+/// the input magnitude (with the tree's phase rotation).
+#[derive(Debug, Clone)]
+pub struct FourBandCrossover {
+    splits: [Lr4Split; 3],
+    scratch: [AudioBuf; 2],
+}
+
+impl FourBandCrossover {
+    /// Crossover at the three ascending frequencies `f1 < f2 < f3`.
+    ///
+    /// # Panics
+    /// Panics if the frequencies are not strictly ascending.
+    pub fn new(f1: f32, f2: f32, f3: f32, sample_rate: u32, channels: usize, frames: usize) -> Self {
+        assert!(f1 < f2 && f2 < f3, "crossover points must ascend");
+        FourBandCrossover {
+            splits: [
+                Lr4Split::new(f1, sample_rate),
+                Lr4Split::new(f2, sample_rate),
+                Lr4Split::new(f3, sample_rate),
+            ],
+            scratch: [
+                AudioBuf::zeroed(channels, frames),
+                AudioBuf::zeroed(channels, frames),
+            ],
+        }
+    }
+
+    /// The standard DJ Star SP filterbank: 200 / 1200 / 5000 Hz.
+    pub fn djstar_default(channels: usize, frames: usize) -> Self {
+        Self::new(200.0, 1_200.0, 5_000.0, crate::SAMPLE_RATE, channels, frames)
+    }
+
+    /// Split `input` into the four `bands` (lowest first).
+    pub fn split(&mut self, input: &AudioBuf, bands: &mut [AudioBuf; 4]) {
+        let [scratch_a, scratch_b] = &mut self.scratch;
+        // in → band0 | rest (scratch_a)
+        self.splits[0].split(input, &mut bands[0], scratch_a);
+        // rest → band1 | rest2 (scratch_b)
+        self.splits[1].split(scratch_a, &mut bands[1], scratch_b);
+        // rest2 → band2 | band3
+        let (b2, b3) = bands.split_at_mut(3);
+        self.splits[2].split(scratch_b, &mut b2[2], &mut b3[0]);
+    }
+
+    /// Clear all filter state.
+    pub fn reset(&mut self) {
+        for s in &mut self.splits {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::{Oscillator, Waveform};
+
+    /// Band-sum magnitude at `tone` Hz after settling.
+    fn reconstruction_gain(tone: f32) -> f32 {
+        let mut xo = FourBandCrossover::djstar_default(1, 512);
+        let mut osc = Oscillator::new(Waveform::Sine, tone, 44_100);
+        let mut bands = [
+            AudioBuf::zeroed(1, 512),
+            AudioBuf::zeroed(1, 512),
+            AudioBuf::zeroed(1, 512),
+            AudioBuf::zeroed(1, 512),
+        ];
+        let mut sum = AudioBuf::zeroed(1, 512);
+        let mut gain = 0.0;
+        for block in 0..24 {
+            let input = AudioBuf::from_fn(1, 512, |_, _| osc.next_sample());
+            xo.split(&input, &mut bands);
+            sum.clear();
+            for b in &bands {
+                sum.mix_add(b, 1.0);
+            }
+            if block >= 16 {
+                gain = sum.rms() / core::f32::consts::FRAC_1_SQRT_2;
+            }
+        }
+        gain
+    }
+
+    #[test]
+    fn band_sum_is_flat_across_the_spectrum() {
+        for tone in [50.0, 120.0, 200.0, 500.0, 1_200.0, 3_000.0, 5_000.0, 9_000.0, 14_000.0] {
+            let g = reconstruction_gain(tone);
+            assert!(
+                (0.85..=1.15).contains(&g),
+                "reconstruction at {tone} Hz: {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn bands_are_selective() {
+        // A 60 Hz tone lands in band 0; a 10 kHz tone in band 3.
+        let mut xo = FourBandCrossover::djstar_default(1, 512);
+        let mut bands = [
+            AudioBuf::zeroed(1, 512),
+            AudioBuf::zeroed(1, 512),
+            AudioBuf::zeroed(1, 512),
+            AudioBuf::zeroed(1, 512),
+        ];
+        let mut osc = Oscillator::new(Waveform::Sine, 60.0, 44_100);
+        for _ in 0..20 {
+            let input = AudioBuf::from_fn(1, 512, |_, _| osc.next_sample());
+            xo.split(&input, &mut bands);
+        }
+        assert!(bands[0].rms() > bands[3].rms() * 10.0, "60 Hz leaked upward");
+
+        let mut xo = FourBandCrossover::djstar_default(1, 512);
+        let mut osc = Oscillator::new(Waveform::Sine, 10_000.0, 44_100);
+        for _ in 0..20 {
+            let input = AudioBuf::from_fn(1, 512, |_, _| osc.next_sample());
+            xo.split(&input, &mut bands);
+        }
+        assert!(bands[3].rms() > bands[0].rms() * 10.0, "10 kHz leaked downward");
+    }
+
+    #[test]
+    fn lr4_two_way_sums_flat_at_crossover() {
+        // The hardest point is the crossover frequency itself (-6 dB per
+        // side, in phase → exact reconstruction for LR).
+        let mut split = Lr4Split::new(1_000.0, 44_100);
+        let mut osc = Oscillator::new(Waveform::Sine, 1_000.0, 44_100);
+        let mut lo = AudioBuf::zeroed(1, 512);
+        let mut hi = AudioBuf::zeroed(1, 512);
+        let mut gain = 0.0;
+        for block in 0..24 {
+            let input = AudioBuf::from_fn(1, 512, |_, _| osc.next_sample());
+            split.split(&input, &mut lo, &mut hi);
+            let mut sum = lo.clone();
+            sum.mix_add(&hi, 1.0);
+            if block >= 16 {
+                gain = sum.rms() / core::f32::consts::FRAC_1_SQRT_2;
+            }
+        }
+        assert!((gain - 1.0).abs() < 0.05, "crossover-point gain {gain}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn rejects_unordered_crossover_points() {
+        FourBandCrossover::new(1_000.0, 500.0, 5_000.0, 44_100, 1, 64);
+    }
+}

@@ -1,0 +1,116 @@
+//! Bitcrusher: bit-depth and sample-rate reduction.
+
+use crate::buffer::AudioBuf;
+use crate::effects::Effect;
+
+/// Lo-fi effect quantizing amplitude to `bits` levels and holding each
+/// sample for `downsample` frames.
+#[derive(Debug, Clone)]
+pub struct Bitcrusher {
+    bits: f32,
+    downsample: usize,
+    mix: f32,
+    hold: [f32; 2],
+    counter: usize,
+}
+
+impl Bitcrusher {
+    /// Crusher with effective `bits` (1–16), hold factor `downsample` (>= 1)
+    /// and dry/wet `mix`.
+    pub fn new(bits: f32, downsample: usize, mix: f32) -> Self {
+        Bitcrusher {
+            bits: bits.clamp(1.0, 16.0),
+            downsample: downsample.max(1),
+            mix: mix.clamp(0.0, 1.0),
+            hold: [0.0; 2],
+            counter: 0,
+        }
+    }
+
+    #[inline]
+    fn quantize(&self, x: f32) -> f32 {
+        let levels = 2f32.powf(self.bits);
+        (x * levels).round() / levels
+    }
+}
+
+impl Effect for Bitcrusher {
+    fn process(&mut self, buf: &mut AudioBuf) {
+        let channels = buf.channels();
+        let frames = buf.frames();
+        for i in 0..frames {
+            if self.counter == 0 {
+                for ch in 0..channels.min(2) {
+                    self.hold[ch] = self.quantize(buf.sample(ch, i));
+                }
+            }
+            self.counter = (self.counter + 1) % self.downsample;
+            for ch in 0..channels.min(2) {
+                let dry = buf.sample(ch, i);
+                buf.set_sample(ch, i, dry * (1.0 - self.mix) + self.hold[ch] * self.mix);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.hold = [0.0; 2];
+        self.counter = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "bitcrusher"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_reduces_distinct_levels() {
+        let mut fx = Bitcrusher::new(2.0, 1, 1.0); // 4 levels per unit
+        let mut buf = AudioBuf::from_fn(1, 100, |_, i| i as f32 / 100.0);
+        fx.process(&mut buf);
+        let mut levels: Vec<i32> = buf
+            .samples()
+            .iter()
+            .map(|s| (s * 1000.0).round() as i32)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 6, "levels: {}", levels.len());
+    }
+
+    #[test]
+    fn downsample_holds_values() {
+        let mut fx = Bitcrusher::new(16.0, 4, 1.0);
+        let mut buf = AudioBuf::from_fn(1, 16, |_, i| i as f32 * 0.01);
+        fx.process(&mut buf);
+        // Every group of 4 output samples is constant.
+        for g in 0..4 {
+            let v = buf.sample(0, g * 4);
+            for k in 1..4 {
+                assert_eq!(buf.sample(0, g * 4 + k), v);
+            }
+        }
+    }
+
+    #[test]
+    fn dry_mix_passes_signal() {
+        let mut fx = Bitcrusher::new(2.0, 8, 0.0);
+        let orig = AudioBuf::from_fn(2, 32, |ch, i| (ch as f32 + i as f32) * 0.01);
+        let mut buf = orig.clone();
+        fx.process(&mut buf);
+        for (a, b) in buf.samples().iter().zip(orig.samples()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn params_clamped() {
+        let fx = Bitcrusher::new(0.0, 0, 2.0);
+        assert_eq!(fx.bits, 1.0);
+        assert_eq!(fx.downsample, 1);
+        assert_eq!(fx.mix, 1.0);
+    }
+}

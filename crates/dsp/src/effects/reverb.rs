@@ -1,0 +1,224 @@
+//! Schroeder reverberator: four parallel feedback combs into two series
+//! allpass diffusers, per channel (with slightly detuned right-channel
+//! delays for stereo width).
+
+use crate::buffer::AudioBuf;
+use crate::delayline::DelayLine;
+use crate::effects::Effect;
+
+struct Comb {
+    line: DelayLine,
+    delay: usize,
+    feedback: f32,
+    /// One-pole lowpass in the feedback path (damping).
+    damp_state: f32,
+    damp: f32,
+}
+
+impl Comb {
+    fn new(delay: usize, feedback: f32, damp: f32) -> Self {
+        Comb {
+            line: DelayLine::new(delay + 1),
+            delay,
+            feedback,
+            damp_state: 0.0,
+            damp,
+        }
+    }
+
+    #[inline]
+    fn tick(&mut self, x: f32) -> f32 {
+        let out = self.line.read(self.delay);
+        self.damp_state = out * (1.0 - self.damp) + self.damp_state * self.damp;
+        self.line.push(x + self.damp_state * self.feedback);
+        out
+    }
+
+    fn clear(&mut self) {
+        self.line.clear();
+        self.damp_state = 0.0;
+    }
+}
+
+struct Allpass {
+    line: DelayLine,
+    delay: usize,
+    gain: f32,
+}
+
+impl Allpass {
+    fn new(delay: usize, gain: f32) -> Self {
+        Allpass {
+            line: DelayLine::new(delay + 1),
+            delay,
+            gain,
+        }
+    }
+
+    #[inline]
+    fn tick(&mut self, x: f32) -> f32 {
+        let delayed = self.line.read(self.delay);
+        let y = -self.gain * x + delayed;
+        self.line.push(x + self.gain * y);
+        y
+    }
+
+    fn clear(&mut self) {
+        self.line.clear();
+    }
+}
+
+/// A classic Schroeder reverb.
+pub struct Reverb {
+    combs: [Vec<Comb>; 2],
+    allpasses: [Vec<Allpass>; 2],
+    mix: f32,
+}
+
+/// Comb delays (samples at 44.1 kHz), from the classic Freeverb tuning.
+const COMB_DELAYS: [usize; 4] = [1557, 1617, 1491, 1422];
+/// Allpass delays.
+const ALLPASS_DELAYS: [usize; 2] = [225, 556];
+/// Right-channel detune (samples).
+const STEREO_SPREAD: usize = 23;
+
+impl Reverb {
+    /// Reverb with tail length set by `room` in `[0, 1]`, high-frequency
+    /// `damp` in `[0, 1]`, and dry/wet `mix`.
+    pub fn new(sample_rate: u32, room: f32, damp: f32, mix: f32) -> Self {
+        let scale = sample_rate as f32 / 44_100.0;
+        let room = room.clamp(0.0, 1.0);
+        let damp = damp.clamp(0.0, 0.99);
+        let feedback = 0.7 + 0.28 * room;
+        let make = |spread: usize| -> (Vec<Comb>, Vec<Allpass>) {
+            (
+                COMB_DELAYS
+                    .iter()
+                    .map(|&d| {
+                        Comb::new(((d + spread) as f32 * scale) as usize, feedback, damp)
+                    })
+                    .collect(),
+                ALLPASS_DELAYS
+                    .iter()
+                    .map(|&d| Allpass::new(((d + spread) as f32 * scale) as usize, 0.5))
+                    .collect(),
+            )
+        };
+        let (cl, al) = make(0);
+        let (cr, ar) = make(STEREO_SPREAD);
+        Reverb {
+            combs: [cl, cr],
+            allpasses: [al, ar],
+            mix: mix.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Effect for Reverb {
+    fn process(&mut self, buf: &mut AudioBuf) {
+        let channels = buf.channels();
+        let frames = buf.frames();
+        for i in 0..frames {
+            for ch in 0..channels.min(2) {
+                let dry = buf.sample(ch, i);
+                let mut wet = 0.0;
+                for comb in &mut self.combs[ch] {
+                    wet += comb.tick(dry);
+                }
+                wet *= 0.25;
+                for ap in &mut self.allpasses[ch] {
+                    wet = ap.tick(wet);
+                }
+                buf.set_sample(ch, i, dry * (1.0 - self.mix) + wet * self.mix);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for ch in 0..2 {
+            for c in &mut self.combs[ch] {
+                c.clear();
+            }
+            for a in &mut self.allpasses[ch] {
+                a.clear();
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "reverb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_produces_a_decaying_tail() {
+        let mut rv = Reverb::new(44_100, 0.6, 0.3, 1.0);
+        let mut first = AudioBuf::from_fn(2, 128, |_, i| if i == 0 { 1.0 } else { 0.0 });
+        rv.process(&mut first);
+        // Feed silence; the tail must appear and then decay.
+        let mut peak_early = 0.0f32;
+        let mut peak_late = 0.0f32;
+        for block in 0..400 {
+            let mut silence = AudioBuf::zeroed(2, 128);
+            rv.process(&mut silence);
+            let p = silence.peak();
+            if block < 40 {
+                peak_early = peak_early.max(p);
+            }
+            if block > 350 {
+                peak_late = peak_late.max(p);
+            }
+        }
+        assert!(peak_early > 1e-3, "no reverb tail: {peak_early}");
+        assert!(
+            peak_late < peak_early * 0.5,
+            "tail not decaying: early {peak_early}, late {peak_late}"
+        );
+    }
+
+    #[test]
+    fn longer_room_means_longer_tail() {
+        let tail_energy = |room: f32| -> f32 {
+            let mut rv = Reverb::new(44_100, room, 0.2, 1.0);
+            let mut first = AudioBuf::from_fn(2, 128, |_, i| if i == 0 { 1.0 } else { 0.0 });
+            rv.process(&mut first);
+            let mut energy = 0.0;
+            for block in 0..300 {
+                let mut silence = AudioBuf::zeroed(2, 128);
+                rv.process(&mut silence);
+                if block > 100 {
+                    energy += silence.energy();
+                }
+            }
+            energy
+        };
+        assert!(tail_energy(0.9) > tail_energy(0.1) * 2.0);
+    }
+
+    #[test]
+    fn stereo_channels_decorrelate() {
+        let mut rv = Reverb::new(44_100, 0.7, 0.2, 1.0);
+        let mut buf = AudioBuf::from_fn(2, 2048, |_, i| if i == 0 { 1.0 } else { 0.0 });
+        rv.process(&mut buf);
+        let mut diff = 0.0f32;
+        for i in 1600..2048 {
+            diff += (buf.sample(0, i) - buf.sample(1, i)).abs();
+        }
+        assert!(diff > 1e-3, "channels identical: spread not applied");
+    }
+
+    #[test]
+    fn stable_on_sustained_input() {
+        let mut rv = Reverb::new(44_100, 0.95, 0.1, 0.5);
+        for k in 0..300 {
+            let mut buf = AudioBuf::from_fn(2, 128, |_, i| 0.8 * ((k * 128 + i) as f32 * 0.2).sin());
+            rv.process(&mut buf);
+            assert!(buf.is_finite());
+            assert!(buf.peak() < 10.0, "reverb unstable: {}", buf.peak());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Tremolo: LFO amplitude modulation.
+
+use crate::buffer::AudioBuf;
+use crate::effects::Effect;
+use crate::osc::{Oscillator, Waveform};
+
+/// Amplitude modulation by a sine LFO: gain sweeps `[1 - depth, 1]`.
+pub struct Tremolo {
+    lfo: Oscillator,
+    depth: f32,
+    sample_rate: f32,
+}
+
+impl Tremolo {
+    /// Tremolo at `rate_hz` with `depth` in `[0, 1]`.
+    pub fn new(sample_rate: u32, rate_hz: f32, depth: f32) -> Self {
+        Tremolo {
+            lfo: Oscillator::new(Waveform::Sine, rate_hz, sample_rate),
+            depth: depth.clamp(0.0, 1.0),
+            sample_rate: sample_rate as f32,
+        }
+    }
+}
+
+impl Effect for Tremolo {
+    fn process(&mut self, buf: &mut AudioBuf) {
+        let channels = buf.channels();
+        let frames = buf.frames();
+        for i in 0..frames {
+            let lfo = self.lfo.next_sample(); // [-1, 1]
+            let gain = 1.0 - self.depth * (0.5 + 0.5 * lfo);
+            for ch in 0..channels.min(2) {
+                let s = buf.sample(ch, i);
+                buf.set_sample(ch, i, s * gain);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.lfo = Oscillator::new(Waveform::Sine, self.lfo.freq(), self.sample_rate as u32);
+    }
+
+    fn name(&self) -> &'static str {
+        "tremolo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_never_exceeds_unity() {
+        let mut fx = Tremolo::new(44_100, 100.0, 1.0);
+        let mut buf = AudioBuf::from_fn(2, 4096, |_, _| 1.0);
+        fx.process(&mut buf);
+        assert!(buf.peak() <= 1.0 + 1e-6);
+        // With depth 1 the gain reaches ~0 somewhere in a full LFO period.
+        let min = buf.samples().iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(min < 0.05, "min gain {min}");
+    }
+
+    #[test]
+    fn zero_depth_is_transparent() {
+        let mut fx = Tremolo::new(44_100, 5.0, 0.0);
+        let orig = AudioBuf::from_fn(1, 128, |_, i| (i as f32 * 0.1).sin());
+        let mut buf = orig.clone();
+        fx.process(&mut buf);
+        for (a, b) in buf.samples().iter().zip(orig.samples()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn modulation_at_requested_rate() {
+        // 344.53 cycles/buffer-rate: use a rate that completes one period in
+        // exactly 441 samples and check periodicity.
+        let mut fx = Tremolo::new(44_100, 100.0, 0.5);
+        let mut buf = AudioBuf::from_fn(1, 882, |_, _| 1.0);
+        fx.process(&mut buf);
+        for i in 0..441 {
+            assert!(
+                (buf.sample(0, i) - buf.sample(0, i + 441)).abs() < 1e-3,
+                "not periodic at {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Stereo widener: mid/side balance adjustment.
+
+use crate::buffer::AudioBuf;
+use crate::effects::Effect;
+
+/// Scales the side (L-R) component relative to the mid (L+R) component.
+/// `width` 1.0 is transparent, 0.0 collapses to mono, > 1.0 widens.
+#[derive(Debug, Clone)]
+pub struct StereoWidener {
+    width: f32,
+}
+
+impl StereoWidener {
+    /// Widener with `width` clamped to `[0, 2]`.
+    pub fn new(width: f32) -> Self {
+        StereoWidener {
+            width: width.clamp(0.0, 2.0),
+        }
+    }
+}
+
+impl Effect for StereoWidener {
+    fn process(&mut self, buf: &mut AudioBuf) {
+        if buf.channels() != 2 {
+            return; // mono signals have no stereo image to widen
+        }
+        let frames = buf.frames();
+        for i in 0..frames {
+            let l = buf.sample(0, i);
+            let r = buf.sample(1, i);
+            let mid = 0.5 * (l + r);
+            let side = 0.5 * (l - r) * self.width;
+            buf.set_sample(0, i, mid + side);
+            buf.set_sample(1, i, mid - side);
+        }
+    }
+
+    fn reset(&mut self) {
+        // Stateless.
+    }
+
+    fn name(&self) -> &'static str {
+        "stereo-widener"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_zero_collapses_to_mono() {
+        let mut fx = StereoWidener::new(0.0);
+        let mut buf = AudioBuf::from_fn(2, 8, |ch, i| if ch == 0 { i as f32 } else { -(i as f32) });
+        fx.process(&mut buf);
+        for i in 0..8 {
+            assert!((buf.sample(0, i) - buf.sample(1, i)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn width_one_is_transparent() {
+        let mut fx = StereoWidener::new(1.0);
+        let orig = AudioBuf::from_fn(2, 8, |ch, i| (ch as f32 + 1.0) * i as f32 * 0.1);
+        let mut buf = orig.clone();
+        fx.process(&mut buf);
+        for (a, b) in buf.samples().iter().zip(orig.samples()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn widening_preserves_mid() {
+        let mut fx = StereoWidener::new(2.0);
+        let mut buf = AudioBuf::from_fn(2, 4, |ch, _| if ch == 0 { 0.8 } else { 0.2 });
+        fx.process(&mut buf);
+        // Mid = 0.5 stays; side doubled: l = 0.5 + 0.6, r = 0.5 - 0.6.
+        assert!((buf.sample(0, 0) - 1.1).abs() < 1e-6);
+        assert!((buf.sample(1, 0) + 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mono_input_untouched() {
+        let mut fx = StereoWidener::new(2.0);
+        let orig = AudioBuf::from_fn(1, 8, |_, i| i as f32 * 0.05);
+        let mut buf = orig.clone();
+        fx.process(&mut buf);
+        assert_eq!(buf, orig);
+    }
+}

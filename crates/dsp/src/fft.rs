@@ -1,0 +1,241 @@
+//! Radix-2 FFT and spectral helpers.
+//!
+//! §III-B of the paper notes that "audio effects heavily rely on core
+//! algorithms such as Fourier transformation". This is a from-scratch
+//! iterative radix-2 Cooley–Tukey implementation used by the spectral
+//! effects and the master spectrum analyzer.
+
+use core::f32::consts::TAU;
+
+/// A complex number in rectangular form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    pub fn new(re: f32, im: f32) -> Self {
+        Complex { re, im }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f32 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    /// Complex multiplication.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // tiny internal helper, not an ops overload
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    #[inline]
+    fn add(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    #[inline]
+    fn sub(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+/// In-place FFT. `inverse` selects the inverse transform (which also
+/// divides by the length, so `ifft(fft(x)) == x`).
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two.
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * TAU / len as f32;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f32;
+        for c in data {
+            c.re *= scale;
+            c.im *= scale;
+        }
+    }
+}
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+///
+/// # Panics
+/// Panics unless `signal.len()` is a power of two.
+pub fn fft_real(signal: &[f32]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&s| Complex::new(s, 0.0)).collect();
+    fft_inplace(&mut data, false);
+    data
+}
+
+/// Magnitude spectrum of a real signal (first `n/2 + 1` bins).
+pub fn magnitude_spectrum(signal: &[f32]) -> Vec<f32> {
+    let spec = fft_real(signal);
+    let n = spec.len();
+    spec.iter().take(n / 2 + 1).map(|c| c.abs()).collect()
+}
+
+/// Index of the strongest non-DC bin and its frequency in Hz.
+pub fn dominant_frequency(signal: &[f32], sample_rate: u32) -> f32 {
+    let mags = magnitude_spectrum(signal);
+    let (idx, _) = mags
+        .iter()
+        .enumerate()
+        .skip(1)
+        .fold((0usize, 0.0f32), |best, (i, &m)| {
+            if m > best.1 {
+                (i, m)
+            } else {
+                best
+            }
+        });
+    idx as f32 * sample_rate as f32 / signal.len() as f32
+}
+
+/// A Hann window of length `n`.
+pub fn hann_window(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| 0.5 - 0.5 * (TAU * i as f32 / n as f32).cos())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, cycles: f32) -> Vec<f32> {
+        (0..n).map(|i| (TAU * cycles * i as f32 / n as f32).sin()).collect()
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let signal = sine(256, 7.0);
+        let mut data: Vec<Complex> = signal.iter().map(|&s| Complex::new(s, 0.0)).collect();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for (c, &s) in data.iter().zip(&signal) {
+            assert!((c.re - s).abs() < 1e-4, "{} vs {}", c.re, s);
+            assert!(c.im.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_its_bin() {
+        let signal = sine(512, 17.0);
+        let mags = magnitude_spectrum(&signal);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, 17);
+        // A full-scale sine of exact bin frequency: |X[k]| = n/2.
+        assert!((mags[17] - 256.0).abs() < 1.0, "{}", mags[17]);
+    }
+
+    #[test]
+    fn dominant_frequency_detects_tone() {
+        let sr = 44_100u32;
+        let n = 1024;
+        // 10 full cycles in 1024 samples → 10 * 44100/1024 ≈ 430.7 Hz.
+        let signal = sine(n, 10.0);
+        let f = dominant_frequency(&signal, sr);
+        assert!((f - 430.66).abs() < 1.0, "f = {f}");
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let signal = sine(128, 3.0);
+        let time_energy: f32 = signal.iter().map(|s| s * s).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f32 =
+            spec.iter().map(|c| c.abs() * c.abs()).sum::<f32>() / signal.len() as f32;
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-2 * time_energy,
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn linearity() {
+        let a = sine(64, 2.0);
+        let b = sine(64, 5.0);
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fsum = fft_real(&sum);
+        for i in 0..64 {
+            assert!((fa[i].re + fb[i].re - fsum[i].re).abs() < 1e-3);
+            assert!((fa[i].im + fb[i].im - fsum[i].im).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        fft_real(&[0.0; 100]);
+    }
+
+    #[test]
+    fn hann_window_shape() {
+        let w = hann_window(64);
+        assert!(w[0] < 1e-6);
+        assert!((w[32] - 1.0).abs() < 1e-3);
+        assert_eq!(w.len(), 64);
+    }
+
+    #[test]
+    fn tiny_transforms() {
+        let mut one = vec![Complex::new(3.0, 0.0)];
+        fft_inplace(&mut one, false);
+        assert_eq!(one[0].re, 3.0);
+        let mut two = vec![Complex::new(1.0, 0.0), Complex::new(2.0, 0.0)];
+        fft_inplace(&mut two, false);
+        assert!((two[0].re - 3.0).abs() < 1e-6);
+        assert!((two[1].re + 1.0).abs() < 1e-6);
+    }
+}

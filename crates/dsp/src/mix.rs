@@ -1,0 +1,151 @@
+//! Mixer arithmetic: gains, pans, crossfades and channel summing —
+//! the "Mixer" node of Fig. 3.
+
+use crate::buffer::AudioBuf;
+use crate::db::{crossfade_gains, pan_gains};
+
+/// Per-channel strip settings feeding the mixer.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelStripParams {
+    /// Channel fader gain (linear, >= 0).
+    pub fader: f32,
+    /// Pan position in `[-1, 1]`.
+    pub pan: f32,
+    /// Crossfader side assignment: -1 = side A, 0 = center (unaffected),
+    /// +1 = side B.
+    pub crossfader_side: f32,
+}
+
+impl Default for ChannelStripParams {
+    fn default() -> Self {
+        ChannelStripParams {
+            fader: 1.0,
+            pan: 0.0,
+            crossfader_side: 0.0,
+        }
+    }
+}
+
+/// Apply fader gain and equal-power pan to a stereo buffer in place.
+pub fn apply_strip(buf: &mut AudioBuf, params: &ChannelStripParams) {
+    let (pl, pr) = pan_gains(params.pan);
+    // Scale pan gains so center position is transparent (cos 45° ≈ 0.707
+    // would otherwise attenuate both channels).
+    let norm = core::f32::consts::SQRT_2;
+    let gl = params.fader * pl * norm;
+    let gr = params.fader * pr * norm;
+    match buf.channels() {
+        2 => {
+            let frames = buf.frames();
+            for i in 0..frames {
+                let l = buf.sample(0, i);
+                let r = buf.sample(1, i);
+                buf.set_sample(0, i, l * gl);
+                buf.set_sample(1, i, r * gr);
+            }
+        }
+        _ => buf.scale(params.fader),
+    }
+}
+
+/// The gain contribution of a channel given the master crossfader position
+/// `x` in `[0, 1]` and the channel's side assignment.
+pub fn crossfader_gain(x: f32, side: f32) -> f32 {
+    let (a, b) = crossfade_gains(x);
+    if side < -0.5 {
+        a
+    } else if side > 0.5 {
+        b
+    } else {
+        1.0
+    }
+}
+
+/// Sum `inputs[i] * gains[i]` into `out` (cleared first).
+///
+/// # Panics
+/// Panics if `inputs` and `gains` lengths differ.
+pub fn mix_into(out: &mut AudioBuf, inputs: &[&AudioBuf], gains: &[f32]) {
+    assert_eq!(inputs.len(), gains.len(), "one gain per input");
+    out.clear();
+    for (buf, &g) in inputs.iter().zip(gains) {
+        out.mix_add(buf, g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_strip_is_transparent() {
+        let params = ChannelStripParams::default();
+        let orig = AudioBuf::from_fn(2, 16, |ch, i| (ch as f32 + 1.0) * i as f32 * 0.01);
+        let mut buf = orig.clone();
+        apply_strip(&mut buf, &params);
+        for (a, b) in buf.samples().iter().zip(orig.samples()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn hard_left_pan_silences_right() {
+        let params = ChannelStripParams {
+            pan: -1.0,
+            ..Default::default()
+        };
+        let mut buf = AudioBuf::from_fn(2, 4, |_, _| 1.0);
+        apply_strip(&mut buf, &params);
+        assert!(buf.sample(1, 0).abs() < 1e-6);
+        assert!(buf.sample(0, 0) > 1.0); // sqrt(2) * cos(0)
+    }
+
+    #[test]
+    fn fader_scales() {
+        let params = ChannelStripParams {
+            fader: 0.5,
+            ..Default::default()
+        };
+        let mut buf = AudioBuf::from_fn(2, 2, |_, _| 1.0);
+        apply_strip(&mut buf, &params);
+        assert!((buf.sample(0, 0) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn crossfader_sides() {
+        assert!((crossfader_gain(0.0, -1.0) - 1.0).abs() < 1e-6);
+        assert!(crossfader_gain(1.0, -1.0).abs() < 1e-6);
+        assert!(crossfader_gain(0.0, 1.0).abs() < 1e-6);
+        assert!((crossfader_gain(1.0, 1.0) - 1.0).abs() < 1e-6);
+        assert_eq!(crossfader_gain(0.3, 0.0), 1.0);
+    }
+
+    #[test]
+    fn mix_into_sums_weighted() {
+        let a = AudioBuf::from_fn(2, 2, |_, _| 1.0);
+        let b = AudioBuf::from_fn(2, 2, |_, _| 2.0);
+        let mut out = AudioBuf::from_fn(2, 2, |_, _| 99.0); // must be cleared
+        mix_into(&mut out, &[&a, &b], &[1.0, 0.5]);
+        assert!(out.samples().iter().all(|&s| (s - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn mixing_is_linear() {
+        // mix(a, gains g) + mix(b, gains g) == mix(a + b, gains g)
+        let a = AudioBuf::from_fn(2, 8, |ch, i| (ch + i) as f32 * 0.1);
+        let b = AudioBuf::from_fn(2, 8, |ch, i| (ch as f32 - i as f32) * 0.05);
+        let mut ab = a.clone();
+        ab.mix_add(&b, 1.0);
+
+        let mut out_a = AudioBuf::zeroed(2, 8);
+        let mut out_b = AudioBuf::zeroed(2, 8);
+        let mut out_ab = AudioBuf::zeroed(2, 8);
+        mix_into(&mut out_a, &[&a], &[0.7]);
+        mix_into(&mut out_b, &[&b], &[0.7]);
+        mix_into(&mut out_ab, &[&ab], &[0.7]);
+        for i in 0..out_ab.samples().len() {
+            let sum = out_a.samples()[i] + out_b.samples()[i];
+            assert!((sum - out_ab.samples()[i]).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! State-variable filter (Chamberlin topology): simultaneous lowpass,
+//! bandpass and highpass outputs with smooth, per-sample modulatable
+//! parameters — the filter DJ software prefers for swept "filter" effects
+//! because its coefficients can be changed every sample without zipper
+//! noise, unlike a biquad redesign.
+
+use crate::buffer::AudioBuf;
+
+/// Which output of the SVF to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvfOutput {
+    Lowpass,
+    Bandpass,
+    Highpass,
+    Notch,
+}
+
+/// A stereo Chamberlin state-variable filter.
+#[derive(Debug, Clone)]
+pub struct StateVariableFilter {
+    f: f32,
+    q_inv: f32,
+    output: SvfOutput,
+    low: [f32; 2],
+    band: [f32; 2],
+    sample_rate: f32,
+}
+
+impl StateVariableFilter {
+    /// SVF at `cutoff_hz` with resonance `q` (0.5–20), taking `output`.
+    pub fn new(cutoff_hz: f32, q: f32, output: SvfOutput, sample_rate: u32) -> Self {
+        let mut svf = StateVariableFilter {
+            f: 0.0,
+            q_inv: 1.0 / q.clamp(0.5, 20.0),
+            output,
+            low: [0.0; 2],
+            band: [0.0; 2],
+            sample_rate: sample_rate as f32,
+        };
+        svf.set_cutoff(cutoff_hz);
+        svf
+    }
+
+    /// Change the cutoff (cheap; callable per sample).
+    pub fn set_cutoff(&mut self, cutoff_hz: f32) {
+        // Chamberlin stability bound: f = 2 sin(pi fc / fs), fc < fs/6.
+        let fc = cutoff_hz.clamp(10.0, self.sample_rate / 6.5);
+        self.f = 2.0 * (core::f32::consts::PI * fc / self.sample_rate).sin();
+    }
+
+    /// Change the resonance.
+    pub fn set_q(&mut self, q: f32) {
+        self.q_inv = 1.0 / q.clamp(0.5, 20.0);
+    }
+
+    /// Clear state.
+    pub fn reset(&mut self) {
+        self.low = [0.0; 2];
+        self.band = [0.0; 2];
+    }
+
+    /// Process one sample on `channel`.
+    #[inline]
+    pub fn tick(&mut self, channel: usize, x: f32) -> f32 {
+        let low = &mut self.low[channel];
+        let band = &mut self.band[channel];
+        *low += self.f * *band;
+        let high = x - *low - self.q_inv * *band;
+        *band += self.f * high;
+        match self.output {
+            SvfOutput::Lowpass => *low,
+            SvfOutput::Bandpass => *band,
+            SvfOutput::Highpass => high,
+            SvfOutput::Notch => *low + high,
+        }
+    }
+
+    /// Filter a buffer in place.
+    pub fn process(&mut self, buf: &mut AudioBuf) {
+        let channels = buf.channels();
+        let frames = buf.frames();
+        for i in 0..frames {
+            for ch in 0..channels.min(2) {
+                let y = self.tick(ch, buf.sample(ch, i));
+                buf.set_sample(ch, i, y);
+            }
+        }
+    }
+}
+
+/// A DC blocker: one-pole highpass at ~5 Hz removing offset drift that
+/// would eat headroom at the master limiter.
+#[derive(Debug, Clone)]
+pub struct DcBlocker {
+    r: f32,
+    x1: [f32; 2],
+    y1: [f32; 2],
+}
+
+impl DcBlocker {
+    /// A DC blocker for the given sample rate.
+    pub fn new(sample_rate: u32) -> Self {
+        DcBlocker {
+            r: 1.0 - core::f32::consts::TAU * 5.0 / sample_rate as f32,
+            x1: [0.0; 2],
+            y1: [0.0; 2],
+        }
+    }
+
+    /// Clear state.
+    pub fn reset(&mut self) {
+        self.x1 = [0.0; 2];
+        self.y1 = [0.0; 2];
+    }
+
+    /// Filter a buffer in place.
+    pub fn process(&mut self, buf: &mut AudioBuf) {
+        let channels = buf.channels();
+        let frames = buf.frames();
+        for i in 0..frames {
+            for ch in 0..channels.min(2) {
+                let x = buf.sample(ch, i);
+                let y = x - self.x1[ch] + self.r * self.y1[ch];
+                self.x1[ch] = x;
+                self.y1[ch] = y;
+                buf.set_sample(ch, i, y);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::{Oscillator, Waveform};
+
+    fn response(output: SvfOutput, cutoff: f32, tone: f32) -> f32 {
+        let mut svf = StateVariableFilter::new(cutoff, 0.707, output, 44_100);
+        let mut osc = Oscillator::new(Waveform::Sine, tone, 44_100);
+        // settle
+        for _ in 0..4096 {
+            svf.tick(0, osc.next_sample());
+        }
+        let mut energy = 0.0f32;
+        for _ in 0..4096 {
+            let y = svf.tick(0, osc.next_sample());
+            energy += y * y;
+        }
+        (energy / 4096.0).sqrt() / core::f32::consts::FRAC_1_SQRT_2
+    }
+
+    #[test]
+    fn lowpass_passes_low_blocks_high() {
+        assert!(response(SvfOutput::Lowpass, 1000.0, 100.0) > 0.9);
+        assert!(response(SvfOutput::Lowpass, 1000.0, 6000.0) < 0.1);
+    }
+
+    #[test]
+    fn highpass_blocks_low_passes_high() {
+        assert!(response(SvfOutput::Highpass, 1000.0, 100.0) < 0.1);
+        assert!(response(SvfOutput::Highpass, 1000.0, 6000.0) > 0.8);
+    }
+
+    #[test]
+    fn bandpass_peaks_at_cutoff() {
+        let at = response(SvfOutput::Bandpass, 1000.0, 1000.0);
+        let off = response(SvfOutput::Bandpass, 1000.0, 5000.0);
+        assert!(at > off * 3.0, "at {at}, off {off}");
+    }
+
+    #[test]
+    fn notch_rejects_cutoff() {
+        let at = response(SvfOutput::Notch, 1000.0, 1000.0);
+        let off = response(SvfOutput::Notch, 1000.0, 4000.0);
+        assert!(at < 0.2, "notch at cutoff: {at}");
+        assert!(off > 0.7, "notch off cutoff: {off}");
+    }
+
+    #[test]
+    fn per_sample_sweep_stays_stable() {
+        let mut svf = StateVariableFilter::new(100.0, 8.0, SvfOutput::Lowpass, 44_100);
+        let mut osc = Oscillator::new(Waveform::Saw, 220.0, 44_100);
+        let mut peak = 0.0f32;
+        for i in 0..88_200 {
+            // Sweep cutoff 100 Hz → 6 kHz and back, every sample.
+            let phase = (i as f32 / 44_100.0 * 0.5).fract();
+            let sweep = if phase < 0.5 { phase * 2.0 } else { 2.0 - phase * 2.0 };
+            svf.set_cutoff(100.0 * (60.0f32).powf(sweep));
+            let y = svf.tick(0, 0.5 * osc.next_sample());
+            assert!(y.is_finite());
+            peak = peak.max(y.abs());
+        }
+        assert!(peak < 8.0, "sweep peak {peak}");
+    }
+
+    #[test]
+    fn dc_blocker_removes_offset_keeps_audio() {
+        let mut dc = DcBlocker::new(44_100);
+        let mut osc = Oscillator::new(Waveform::Sine, 441.0, 44_100);
+        // Settle past the filter's ~32 ms time constant.
+        for _ in 0..50 {
+            let mut buf = AudioBuf::from_fn(1, 128, |_, _| 0.5 + 0.3 * osc.next_sample());
+            dc.process(&mut buf);
+        }
+        // Measure the mean over a whole number of sine periods (441 Hz →
+        // 100-sample period; 6400 samples = 64 periods) so the tone itself
+        // averages out and only residual DC remains.
+        let mut sum = 0.0f32;
+        let mut rms_acc = 0.0f32;
+        const BLOCKS: usize = 50;
+        for _ in 0..BLOCKS {
+            let mut buf = AudioBuf::from_fn(1, 128, |_, _| 0.5 + 0.3 * osc.next_sample());
+            dc.process(&mut buf);
+            sum += buf.samples().iter().sum::<f32>();
+            rms_acc += buf.rms();
+        }
+        let mean = sum / (BLOCKS as f32 * 128.0);
+        assert!(mean.abs() < 0.01, "residual DC {mean}");
+        assert!(rms_acc / BLOCKS as f32 > 0.15, "audio destroyed");
+    }
+}

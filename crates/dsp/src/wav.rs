@@ -1,0 +1,214 @@
+//! Minimal WAV (RIFF PCM) reading and writing, from scratch.
+//!
+//! DJ Star records the master bus to disk (the RecordBuffer path of
+//! Fig. 3); this module provides the 16-bit PCM encode/decode for that
+//! path and for the examples that dump audible output.
+
+use crate::buffer::AudioBuf;
+use std::io::{self, Read, Write};
+
+/// Samples and format of a decoded WAV file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavData {
+    /// Interleaved samples normalized to `[-1, 1]`.
+    pub samples: Vec<f32>,
+    /// Channel count.
+    pub channels: u16,
+    /// Sample rate in Hz.
+    pub sample_rate: u32,
+}
+
+impl WavData {
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        if self.channels == 0 {
+            0
+        } else {
+            self.samples.len() / self.channels as usize
+        }
+    }
+}
+
+/// Encode interleaved `[-1, 1]` samples as a 16-bit PCM WAV stream.
+pub fn write_wav<W: Write>(
+    mut w: W,
+    samples: &[f32],
+    channels: u16,
+    sample_rate: u32,
+) -> io::Result<()> {
+    let data_len = (samples.len() * 2) as u32;
+    let byte_rate = sample_rate * channels as u32 * 2;
+    let block_align = channels * 2;
+
+    w.write_all(b"RIFF")?;
+    w.write_all(&(36 + data_len).to_le_bytes())?;
+    w.write_all(b"WAVE")?;
+    // fmt chunk
+    w.write_all(b"fmt ")?;
+    w.write_all(&16u32.to_le_bytes())?;
+    w.write_all(&1u16.to_le_bytes())?; // PCM
+    w.write_all(&channels.to_le_bytes())?;
+    w.write_all(&sample_rate.to_le_bytes())?;
+    w.write_all(&byte_rate.to_le_bytes())?;
+    w.write_all(&block_align.to_le_bytes())?;
+    w.write_all(&16u16.to_le_bytes())?; // bits per sample
+    // data chunk
+    w.write_all(b"data")?;
+    w.write_all(&data_len.to_le_bytes())?;
+    for &s in samples {
+        let v = (s.clamp(-1.0, 1.0) * 32767.0).round() as i16;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Append an [`AudioBuf`]'s interleaved samples to a growing sample vector
+/// (a convenience for recording loops).
+pub fn append_buffer(sink: &mut Vec<f32>, buf: &AudioBuf) {
+    sink.extend_from_slice(buf.samples());
+}
+
+fn read_exact_buf<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {
+    let mut v = vec![0u8; n];
+    r.read_exact(&mut v)?;
+    Ok(v)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Decode a 16-bit PCM WAV stream.
+pub fn read_wav<R: Read>(mut r: R) -> io::Result<WavData> {
+    let riff = read_exact_buf(&mut r, 12)?;
+    if &riff[0..4] != b"RIFF" || &riff[8..12] != b"WAVE" {
+        return Err(bad("not a RIFF/WAVE stream"));
+    }
+    let mut channels = 0u16;
+    let mut sample_rate = 0u32;
+    let mut bits = 0u16;
+    let mut data: Option<Vec<u8>> = None;
+    loop {
+        let mut header = [0u8; 8];
+        match r.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let id = &header[0..4];
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        match id {
+            b"fmt " => {
+                let chunk = read_exact_buf(&mut r, len)?;
+                if len < 16 {
+                    return Err(bad("fmt chunk too short"));
+                }
+                let format = u16::from_le_bytes(chunk[0..2].try_into().unwrap());
+                if format != 1 {
+                    return Err(bad("only PCM WAV is supported"));
+                }
+                channels = u16::from_le_bytes(chunk[2..4].try_into().unwrap());
+                sample_rate = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+                bits = u16::from_le_bytes(chunk[14..16].try_into().unwrap());
+            }
+            b"data" => {
+                data = Some(read_exact_buf(&mut r, len)?);
+            }
+            _ => {
+                // Skip unknown chunk (word-aligned).
+                read_exact_buf(&mut r, len + (len & 1))?;
+            }
+        }
+    }
+    let data = data.ok_or_else(|| bad("missing data chunk"))?;
+    if bits != 16 {
+        return Err(bad("only 16-bit WAV is supported"));
+    }
+    if channels == 0 || sample_rate == 0 {
+        return Err(bad("missing fmt chunk"));
+    }
+    let samples = data
+        .chunks_exact(2)
+        .map(|b| i16::from_le_bytes([b[0], b[1]]) as f32 / 32767.0)
+        .collect();
+    Ok(WavData {
+        samples,
+        channels,
+        sample_rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_audio() {
+        let samples: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.05).sin() * 0.8).collect();
+        let mut bytes = Vec::new();
+        write_wav(&mut bytes, &samples, 2, 44_100).unwrap();
+        let decoded = read_wav(&bytes[..]).unwrap();
+        assert_eq!(decoded.channels, 2);
+        assert_eq!(decoded.sample_rate, 44_100);
+        assert_eq!(decoded.samples.len(), samples.len());
+        assert_eq!(decoded.frames(), 500);
+        for (a, b) in decoded.samples.iter().zip(&samples) {
+            assert!((a - b).abs() < 1.0 / 32000.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn header_is_canonical() {
+        let mut bytes = Vec::new();
+        write_wav(&mut bytes, &[0.0; 4], 1, 48_000).unwrap();
+        assert_eq!(&bytes[0..4], b"RIFF");
+        assert_eq!(&bytes[8..12], b"WAVE");
+        assert_eq!(&bytes[12..16], b"fmt ");
+        assert_eq!(&bytes[36..40], b"data");
+        assert_eq!(bytes.len(), 44 + 8);
+    }
+
+    #[test]
+    fn clipping_values_are_clamped() {
+        let mut bytes = Vec::new();
+        write_wav(&mut bytes, &[2.0, -2.0], 1, 44_100).unwrap();
+        let d = read_wav(&bytes[..]).unwrap();
+        assert!((d.samples[0] - 1.0).abs() < 1e-3);
+        assert!((d.samples[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_wav(&b"not a wav"[..]).is_err());
+        let mut almost = Vec::new();
+        write_wav(&mut almost, &[0.0; 4], 1, 44_100).unwrap();
+        almost[0] = b'X';
+        assert!(read_wav(&almost[..]).is_err());
+    }
+
+    #[test]
+    fn skips_unknown_chunks() {
+        let mut bytes = Vec::new();
+        write_wav(&mut bytes, &[0.5, -0.5], 1, 44_100).unwrap();
+        // Inject a LIST chunk between fmt and data.
+        let mut patched = bytes[..36].to_vec();
+        patched.extend_from_slice(b"LIST");
+        patched.extend_from_slice(&4u32.to_le_bytes());
+        patched.extend_from_slice(b"INFO");
+        patched.extend_from_slice(&bytes[36..]);
+        // Fix RIFF size.
+        let new_size = (patched.len() - 8) as u32;
+        patched[4..8].copy_from_slice(&new_size.to_le_bytes());
+        let d = read_wav(&patched[..]).unwrap();
+        assert_eq!(d.samples.len(), 2);
+    }
+
+    #[test]
+    fn append_buffer_accumulates() {
+        let buf = AudioBuf::from_fn(2, 4, |ch, i| (ch + i) as f32 * 0.1);
+        let mut sink = Vec::new();
+        append_buffer(&mut sink, &buf);
+        append_buffer(&mut sink, &buf);
+        assert_eq!(sink.len(), 16);
+    }
+}

@@ -1,0 +1,201 @@
+//! Event middleware: the decoupling layer between the control surface and
+//! the core (Fig. 2 of the paper's architecture).
+//!
+//! "The User Interface layer … communicates with the Core subsystems
+//! indirectly via the Event Middleware." DJ Star's GUI and USB controllers
+//! emit control events; the middleware queues them and the engine drains
+//! the queue once per APC, so knob turns never race the audio thread.
+//! This module reproduces that layer: a timestamped control-event queue
+//! with per-cycle draining and last-writer-wins coalescing per control.
+
+use std::collections::VecDeque;
+
+/// A control-surface event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlEvent {
+    /// Crossfader moved to a position in `[0, 1]`.
+    Crossfader(f32),
+    /// Deck fader moved (deck index, gain).
+    DeckGain(usize, f32),
+    /// Deck EQ changed (deck, low/mid/high dB).
+    DeckEq(usize, [f32; 3]),
+    /// Deck filter knob moved (deck, position in `[-1, 1]`).
+    DeckFilter(usize, f32),
+    /// Effect slot toggled (deck, slot, enabled).
+    FxToggle(usize, usize, bool),
+    /// Master gain changed.
+    MasterGain(f32),
+    /// Deck transport nudge: a momentary speed offset (deck, delta).
+    Nudge(usize, f32),
+}
+
+/// A queued event with the cycle it was submitted in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedEvent {
+    /// Engine cycle at submission time.
+    pub cycle: u64,
+    /// The event.
+    pub event: ControlEvent,
+}
+
+/// The middleware queue. Events accumulate between APCs; the engine drains
+/// once per cycle. Bounded: the oldest events are dropped beyond the
+/// capacity (a stuck GUI must not grow the audio process unboundedly).
+#[derive(Debug)]
+pub struct EventQueue {
+    queue: VecDeque<QueuedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventQueue {
+    /// A queue holding at most `capacity` pending events.
+    pub fn new(capacity: usize) -> Self {
+        EventQueue {
+            queue: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// DJ Star's default: 256 pending events.
+    pub fn standard() -> Self {
+        Self::new(256)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Events dropped due to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Submit an event from the control surface.
+    pub fn push(&mut self, cycle: u64, event: ControlEvent) {
+        if self.queue.len() == self.capacity {
+            self.queue.pop_front();
+            self.dropped += 1;
+        }
+        self.queue.push_back(QueuedEvent { cycle, event });
+    }
+
+    /// Drain all pending events in submission order.
+    pub fn drain(&mut self) -> Vec<QueuedEvent> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Drain with last-writer-wins coalescing: for continuous controls
+    /// (faders, knobs), only the most recent value per control survives;
+    /// discrete toggles are preserved in order. This is what keeps a fast
+    /// knob sweep from costing one EQ redesign per MIDI tick.
+    pub fn drain_coalesced(&mut self) -> Vec<QueuedEvent> {
+        let all: Vec<QueuedEvent> = self.queue.drain(..).collect();
+        let mut out: Vec<QueuedEvent> = Vec::with_capacity(all.len());
+        for qe in all {
+            let slot = out.iter_mut().rev().find(|o| coalesces(&o.event, &qe.event));
+            match slot {
+                Some(o) if !matches!(qe.event, ControlEvent::FxToggle(..)) => *o = qe,
+                _ => out.push(qe),
+            }
+        }
+        out
+    }
+}
+
+/// True when `b` supersedes `a` (same continuous control).
+fn coalesces(a: &ControlEvent, b: &ControlEvent) -> bool {
+    use ControlEvent::*;
+    match (a, b) {
+        (Crossfader(_), Crossfader(_)) => true,
+        (MasterGain(_), MasterGain(_)) => true,
+        (DeckGain(d1, _), DeckGain(d2, _)) => d1 == d2,
+        (DeckEq(d1, _), DeckEq(d2, _)) => d1 == d2,
+        (DeckFilter(d1, _), DeckFilter(d2, _)) => d1 == d2,
+        (Nudge(d1, _), Nudge(d2, _)) => d1 == d2,
+        _ => false,
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_drain_in_order() {
+        let mut q = EventQueue::standard();
+        q.push(1, ControlEvent::Crossfader(0.1));
+        q.push(1, ControlEvent::DeckGain(0, 0.5));
+        q.push(2, ControlEvent::MasterGain(0.9));
+        let drained = q.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].event, ControlEvent::Crossfader(0.1));
+        assert_eq!(drained[2].cycle, 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn coalescing_keeps_last_value_per_control() {
+        let mut q = EventQueue::standard();
+        for i in 0..10 {
+            q.push(1, ControlEvent::Crossfader(i as f32 / 10.0));
+        }
+        q.push(1, ControlEvent::DeckGain(0, 0.3));
+        q.push(1, ControlEvent::DeckGain(1, 0.4));
+        q.push(1, ControlEvent::DeckGain(0, 0.7));
+        let drained = q.drain_coalesced();
+        assert_eq!(drained.len(), 3, "{drained:?}");
+        assert_eq!(drained[0].event, ControlEvent::Crossfader(0.9));
+        // Deck 0's later value won; deck 1 untouched.
+        assert!(drained.contains(&QueuedEvent {
+            cycle: 1,
+            event: ControlEvent::DeckGain(0, 0.7)
+        }));
+        assert!(drained.contains(&QueuedEvent {
+            cycle: 1,
+            event: ControlEvent::DeckGain(1, 0.4)
+        }));
+    }
+
+    #[test]
+    fn toggles_are_never_coalesced() {
+        let mut q = EventQueue::standard();
+        q.push(1, ControlEvent::FxToggle(0, 1, true));
+        q.push(1, ControlEvent::FxToggle(0, 1, false));
+        q.push(1, ControlEvent::FxToggle(0, 1, true));
+        assert_eq!(q.drain_coalesced().len(), 3);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut q = EventQueue::new(3);
+        for i in 0..5 {
+            q.push(i, ControlEvent::MasterGain(i as f32));
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 2);
+        let drained = q.drain();
+        assert_eq!(drained[0].cycle, 2, "oldest surviving event");
+    }
+
+    #[test]
+    fn different_decks_do_not_coalesce() {
+        let mut q = EventQueue::standard();
+        q.push(1, ControlEvent::DeckFilter(0, -0.5));
+        q.push(1, ControlEvent::DeckFilter(1, 0.5));
+        assert_eq!(q.drain_coalesced().len(), 2);
+    }
+}

@@ -1,0 +1,369 @@
+//! Assembly of the 67-node DJ Star task graph (Fig. 3).
+//!
+//! Structure per deck `d` (4 decks):
+//!
+//! ```text
+//! SPd1..SPd4  ─┬─► FXd1 ─► FXd2 ─► FXd3 ─► FXd4 ─► Channel_d ─► (Mixer, CueBuffer)
+//! LevelMeter_d │   (the effect chain sums the four preprocess bands)
+//! WaveformTap_d│  independent bookkeeping sources
+//! BeatPhase_d  │
+//! KeyDetect_d ─┘
+//! ```
+//!
+//! Master section: `ClockTick → AudioSampler → Mixer → MasterBuffer →
+//! {AudioOut1 → LatencyMon, RecordBuffer, MasterMeter, SpectrumTap}`,
+//! `Channels → CueBuffer → MonitorBuffer`, `Mixer → {HeadroomCalc,
+//! AutoGain}`, `ClockTick → TempoMaster`, and `{AudioOut1, RecordBuffer,
+//! MonitorBuffer} → StatsCollector`.
+//!
+//! Node count: 4 decks × (4 SP + 4 FX + 1 Channel + 4 bookkeeping) = 52,
+//! plus 15 master-section nodes = **67** (the paper's count, §IV). Source
+//! nodes: 16 SP + 16 deck bookkeeping + ClockTick = **33**, matching the
+//! paper's measured initial concurrency of 33.
+
+use crate::nodes::*;
+use djstar_core::graph::{NodeId, Section, TaskGraph, TaskGraphBuilder};
+use djstar_dsp::effects::EffectKind;
+use djstar_workload::scenario::Scenario;
+
+/// Ids of the landmark nodes of the built graph.
+#[derive(Debug, Clone)]
+pub struct NodeMap {
+    /// SP filters, `[deck][band]`.
+    pub sp: [[NodeId; 4]; 4],
+    /// Effect chain, `[deck][slot]`.
+    pub fx: [[NodeId; 4]; 4],
+    /// Channel strips per deck.
+    pub channel: [NodeId; 4],
+    /// The mixer.
+    pub mixer: NodeId,
+    /// Master buffer (post-mixer bus).
+    pub master_buffer: NodeId,
+    /// Final audio output (what the sound card consumes).
+    pub audio_out: NodeId,
+    /// Record path.
+    pub record: NodeId,
+    /// Cue mix.
+    pub cue: NodeId,
+    /// Headphone monitor.
+    pub monitor: NodeId,
+    /// Clock tick source.
+    pub clock: NodeId,
+    /// The sampler.
+    pub sampler: NodeId,
+    /// The stats sink (last node of the queue).
+    pub stats: NodeId,
+}
+
+/// The effect kinds loaded into the four FX slots of every deck.
+pub const DECK_FX: [EffectKind; 4] = [
+    EffectKind::EchoDelay,
+    EffectKind::Flanger,
+    EffectKind::Phaser,
+    EffectKind::Overdrive,
+];
+
+/// Build the DJ Star graph for `scenario`.
+///
+/// Inactive decks still contribute their nodes (the paper's graph always
+/// has 67 nodes; unused decks process silence), but their effects are
+/// disabled.
+pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
+    let mut b = TaskGraphBuilder::new();
+    let profile = scenario.work;
+    let sr = djstar_dsp::SAMPLE_RATE;
+    let mut seed = 0u32;
+    let mut next_seed = || {
+        seed += 1;
+        seed
+    };
+    let deck_letter = |d: usize| ["A", "B", "C", "D"][d];
+
+    let mut sp = [[NodeId(0); 4]; 4];
+    let mut fx = [[NodeId(0); 4]; 4];
+    let mut channel = [NodeId(0); 4];
+
+    for d in 0..4 {
+        let section = Section::deck(d);
+        let cfg = &scenario.decks[d];
+        // Sample-preprocess filterbank (sources).
+        #[allow(clippy::needless_range_loop)] // `band` names the SP slot
+        for band in 0..4 {
+            sp[d][band] = b.add(
+                format!("SP{}{}", deck_letter(d), band + 1),
+                section,
+                Box::new(SpFilterNode::new(d, band, profile, next_seed())),
+                &[],
+            );
+        }
+        // Effect chain: FX1 sums the four bands, then FX2..FX4 in series.
+        // The deck's fx_weight scales the chain's compute (the paper's
+        // chains are visibly imbalanced, Fig. 11).
+        let mut deck_profile = profile;
+        deck_profile.fx_iters =
+            ((profile.fx_iters as f32 * cfg.fx_weight).round() as u32).max(1);
+        for slot in 0..4 {
+            let preds: Vec<NodeId> = if slot == 0 {
+                sp[d].to_vec()
+            } else {
+                vec![fx[d][slot - 1]]
+            };
+            let effect = DECK_FX[slot].build(sr);
+            let enabled = cfg.active && cfg.fx_enabled[slot];
+            fx[d][slot] = b.add(
+                format!("FX{}{}", deck_letter(d), slot + 1),
+                section,
+                Box::new(EffectNode::new(effect, enabled, deck_profile, next_seed())),
+                &preds,
+            );
+        }
+        // Channel strip.
+        channel[d] = b.add(
+            format!("Channel{}", deck_letter(d)),
+            section,
+            Box::new(ChannelNode::new(
+                d,
+                cfg.filter_pos,
+                cfg.eq_db,
+                profile,
+                next_seed(),
+            )),
+            &[fx[d][3]],
+        );
+        // Independent bookkeeping sources.
+        b.add(
+            format!("LevelMeter{}", deck_letter(d)),
+            section,
+            Box::new(LevelMeterNode::for_deck(d, profile, next_seed())),
+            &[],
+        );
+        b.add(
+            format!("WaveformTap{}", deck_letter(d)),
+            section,
+            Box::new(WaveformTapNode::new(d, profile, next_seed())),
+            &[],
+        );
+        b.add(
+            format!("BeatPhase{}", deck_letter(d)),
+            section,
+            Box::new(BeatPhaseNode::new(d, profile, next_seed())),
+            &[],
+        );
+        b.add(
+            format!("KeyDetect{}", deck_letter(d)),
+            section,
+            Box::new(KeyDetectNode::new(d, profile, next_seed())),
+            &[],
+        );
+    }
+
+    // Master section.
+    let clock = b.add(
+        "ClockTick",
+        Section::Master,
+        Box::new(ClockTickNode::new(profile, next_seed())),
+        &[],
+    );
+    let sampler = b.add(
+        "AudioSampler",
+        Section::Master,
+        Box::new(SamplerNode::new(profile, next_seed())),
+        &[clock],
+    );
+    let mixer = b.add(
+        "Mixer",
+        Section::Master,
+        Box::new(MixerNode::new(profile, next_seed())),
+        &[channel[0], channel[1], channel[2], channel[3], sampler],
+    );
+    let master_buffer = b.add(
+        "MasterBuffer",
+        Section::Master,
+        Box::new(MasterBufferNode::new(profile, next_seed())),
+        &[mixer],
+    );
+    let audio_out = b.add(
+        "AudioOut1",
+        Section::Master,
+        Box::new(AudioOutNode::new(profile, next_seed())),
+        &[master_buffer],
+    );
+    let record = b.add(
+        "RecordBuffer",
+        Section::Master,
+        Box::new(RecordBufferNode::new(profile, next_seed())),
+        &[master_buffer],
+    );
+    let cue = b.add(
+        "CueBuffer",
+        Section::Master,
+        Box::new(CueBufferNode::new(
+            [false, true, false, false],
+            profile,
+            next_seed(),
+        )),
+        &[channel[0], channel[1], channel[2], channel[3]],
+    );
+    let monitor = b.add(
+        "MonitorBuffer",
+        Section::Master,
+        Box::new(MonitorBufferNode::new(profile, next_seed())),
+        &[cue],
+    );
+    b.add(
+        "MasterMeter",
+        Section::Master,
+        Box::new(LevelMeterNode::for_input(profile, next_seed())),
+        &[master_buffer],
+    );
+    b.add(
+        "SpectrumTap",
+        Section::Master,
+        Box::new(SpectrumTapNode::new(profile, next_seed())),
+        &[master_buffer],
+    );
+    b.add(
+        "HeadroomCalc",
+        Section::Master,
+        Box::new(HeadroomCalcNode::new(profile, next_seed())),
+        &[mixer],
+    );
+    b.add(
+        "AutoGain",
+        Section::Master,
+        Box::new(AutoGainNode::new(profile, next_seed())),
+        &[mixer],
+    );
+    b.add(
+        "TempoMaster",
+        Section::Master,
+        Box::new(TempoMasterNode::new(profile, next_seed())),
+        &[clock],
+    );
+    b.add(
+        "LatencyMon",
+        Section::Master,
+        Box::new(LatencyMonNode::new(profile, next_seed())),
+        &[audio_out],
+    );
+    let stats = b.add(
+        "StatsCollector",
+        Section::Master,
+        Box::new(StatsCollectorNode::new(profile, next_seed())),
+        &[audio_out, record, monitor],
+    );
+
+    let graph = b.build().expect("the DJ Star graph is a valid DAG");
+    (
+        graph,
+        NodeMap {
+            sp,
+            fx,
+            channel,
+            mixer,
+            master_buffer,
+            audio_out,
+            record,
+            cue,
+            monitor,
+            clock,
+            sampler,
+            stats,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djstar_workload::scenario::Scenario;
+
+    #[test]
+    fn graph_has_exactly_67_nodes() {
+        let (g, _) = build_djstar_graph(&Scenario::light_test());
+        assert_eq!(g.len(), 67, "the paper's graph has 67 nodes");
+    }
+
+    #[test]
+    fn graph_has_exactly_33_sources() {
+        let (g, _) = build_djstar_graph(&Scenario::light_test());
+        assert_eq!(
+            g.topology().sources().len(),
+            33,
+            "the paper measures 33 initially concurrent nodes"
+        );
+    }
+
+    #[test]
+    fn queue_is_valid_and_covers_all_nodes() {
+        let (g, _) = build_djstar_graph(&Scenario::light_test());
+        let t = g.topology();
+        assert!(t.is_valid_execution_order(t.queue()));
+    }
+
+    #[test]
+    fn critical_path_matches_structure() {
+        // SP → FX1 → FX2 → FX3 → FX4 → Channel → Mixer → MasterBuffer →
+        // AudioOut → StatsCollector = 10 nodes.
+        let (g, _) = build_djstar_graph(&Scenario::light_test());
+        assert_eq!(g.topology().critical_path_len(), 10);
+    }
+
+    #[test]
+    fn node_map_names_line_up() {
+        let (g, map) = build_djstar_graph(&Scenario::light_test());
+        let t = g.topology();
+        assert_eq!(t.name(map.mixer), "Mixer");
+        assert_eq!(t.name(map.audio_out), "AudioOut1");
+        assert_eq!(t.name(map.sp[2][0]), "SPC1");
+        assert_eq!(t.name(map.fx[1][3]), "FXB4");
+        assert_eq!(t.name(map.channel[3]), "ChannelD");
+        assert_eq!(t.name(map.stats), "StatsCollector");
+    }
+
+    #[test]
+    fn stats_collector_is_the_unique_sink() {
+        let (g, map) = build_djstar_graph(&Scenario::light_test());
+        let t = g.topology();
+        // Sinks = nodes with no successors that are not bookkeeping outputs.
+        let audio_sinks: Vec<u32> = (0..t.len() as u32)
+            .filter(|&n| t.succs(NodeId(n)).is_empty())
+            .collect();
+        assert!(audio_sinks.contains(&map.stats.0));
+        // The stats node has the maximum depth in the graph.
+        let max_depth = (0..t.len() as u32)
+            .map(|n| t.depth(NodeId(n)))
+            .max()
+            .unwrap();
+        assert_eq!(t.depth(map.stats), max_depth);
+    }
+
+    #[test]
+    fn sections_partition_the_graph() {
+        let (g, _) = build_djstar_graph(&Scenario::light_test());
+        let t = g.topology();
+        let mut per_section = std::collections::HashMap::new();
+        for n in 0..t.len() as u32 {
+            *per_section.entry(t.section(NodeId(n))).or_insert(0usize) += 1;
+        }
+        assert_eq!(per_section[&Section::DeckA], 13);
+        assert_eq!(per_section[&Section::DeckB], 13);
+        assert_eq!(per_section[&Section::DeckC], 13);
+        assert_eq!(per_section[&Section::DeckD], 13);
+        assert_eq!(per_section[&Section::Master], 15);
+    }
+
+    #[test]
+    fn initial_concurrency_drops_to_about_four_chains() {
+        // After the sources, the structural parallelism is the 4 FX chains:
+        // depth 1 holds the four FX1 nodes plus the two clock followers.
+        let (g, _) = build_djstar_graph(&Scenario::light_test());
+        let t = g.topology();
+        let depth1: Vec<&str> = (0..t.len() as u32)
+            .filter(|&n| t.depth(NodeId(n)) == 1)
+            .map(|n| t.name(NodeId(n)))
+            .collect();
+        assert_eq!(depth1.len(), 6, "{depth1:?}");
+        assert!(depth1.iter().filter(|n| n.starts_with("FX")).count() == 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! The DJ Star application engine: everything around the task graph.
+//!
+//! DJ Star's audio processing cycle (APC) is
+//! `T(APC) = T(TP) + T(GP) + T(Graph) + T(VC)` (§VI):
+//!
+//! * **TP** — timecode processing: decoding the control signal of the
+//!   external turntables ([`timecode`]), 16 % of the APC in the paper.
+//! * **GP** — graph preprocessing: time stretching, phase alignment and
+//!   buffer management for each deck ([`deck`]), the largest non-graph
+//!   chunk (33 %).
+//! * **Graph** — the 67-node task graph ([`graphbuild`], executed by
+//!   `djstar-core`), 38 %.
+//! * **VC** — various calculations (master tempo, accounting).
+//!
+//! [`apc::AudioEngine`] drives all four phases against a simulated sound
+//! card ([`soundcard`]) with the 2.9 ms deadline, and [`profiling`] is the
+//! scoped-timer hotspot profiler used to regenerate the §III analysis.
+
+pub mod apc;
+pub mod deck;
+pub mod events;
+pub mod graphbuild;
+pub mod nodes;
+pub mod profiling;
+pub mod soundcard;
+pub mod sync;
+pub mod timecode;
+
+pub use apc::{ApcTiming, AudioEngine, AuxWork};
+pub use graphbuild::{build_djstar_graph, NodeMap};
+pub use soundcard::SoundCardSim;

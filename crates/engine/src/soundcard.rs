@@ -1,0 +1,152 @@
+//! Simulated sound card: the source of the real-time constraint.
+//!
+//! §III-A: "Audio streams are output at 44.1 kHz … If this timing condition
+//! cannot be met and handing over the audio packet occurs too late, the
+//! sound hardware is forced to either replay the last audio packet or to
+//! output silence." With the standard 128-sample buffer the card requests a
+//! packet every 2.9 ms.
+//!
+//! [`SoundCardSim`] accepts one buffer per cycle together with the time the
+//! engine took to produce it, tracks deadline misses (= audible glitches),
+//! and performs the hardware-side sanity checks (finite samples within
+//! full-scale).
+
+use djstar_dsp::buffer::AudioBuf;
+use djstar_stats::DeadlineTracker;
+
+/// What the card did with a submitted buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitResult {
+    /// Delivered on time.
+    Ok,
+    /// Delivered late: the card already replayed the previous packet
+    /// (audible glitch).
+    Underrun,
+    /// The samples were malformed (NaN/inf or beyond full scale); the card
+    /// muted the packet. Indicates an engine bug, counted separately.
+    Rejected,
+}
+
+/// The simulated audio interface.
+#[derive(Debug)]
+pub struct SoundCardSim {
+    frames: usize,
+    tracker: DeadlineTracker,
+    rejected: u64,
+    /// Peak level of everything ever submitted (for output verification).
+    max_peak: f32,
+}
+
+impl SoundCardSim {
+    /// A card requesting `frames`-sample packets at `sample_rate`.
+    pub fn new(frames: usize, sample_rate: u32) -> Self {
+        SoundCardSim {
+            frames,
+            tracker: DeadlineTracker::for_buffer(frames as u32, sample_rate),
+            rejected: 0,
+            max_peak: 0.0,
+        }
+    }
+
+    /// The card of the paper's setup: 128 frames at 44.1 kHz.
+    pub fn paper_default() -> Self {
+        Self::new(djstar_dsp::BUFFER_FRAMES, djstar_dsp::SAMPLE_RATE)
+    }
+
+    /// Deadline per packet in nanoseconds (≈ 2.9 ms for the default).
+    pub fn deadline_ns(&self) -> u64 {
+        self.tracker.deadline_ns()
+    }
+
+    /// Submit one packet that took `elapsed_ns` to produce.
+    pub fn submit(&mut self, buf: &AudioBuf, elapsed_ns: u64) -> SubmitResult {
+        if buf.frames() != self.frames || !buf.is_finite() || buf.peak() > 1.0 + 1e-4 {
+            self.rejected += 1;
+            // A malformed packet is also a timing event for the tracker.
+            self.tracker.record(elapsed_ns);
+            return SubmitResult::Rejected;
+        }
+        self.max_peak = self.max_peak.max(buf.peak());
+        if self.tracker.record(elapsed_ns) {
+            SubmitResult::Ok
+        } else {
+            SubmitResult::Underrun
+        }
+    }
+
+    /// Number of packets delivered late (glitches).
+    pub fn underruns(&self) -> u64 {
+        self.tracker.misses()
+    }
+
+    /// Number of malformed packets.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total packets submitted.
+    pub fn packets(&self) -> u64 {
+        self.tracker.cycles()
+    }
+
+    /// The deadline bookkeeping.
+    pub fn tracker(&self) -> &DeadlineTracker {
+        &self.tracker
+    }
+
+    /// Loudest sample ever accepted.
+    pub fn max_peak(&self) -> f32 {
+        self.max_peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_deadline_is_2_9_ms() {
+        let c = SoundCardSim::paper_default();
+        assert!((c.deadline_ns() as f64 / 1e6 - 2.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn on_time_packets_accepted() {
+        let mut c = SoundCardSim::paper_default();
+        let buf = AudioBuf::stereo_default();
+        assert_eq!(c.submit(&buf, 1_000_000), SubmitResult::Ok);
+        assert_eq!(c.underruns(), 0);
+        assert_eq!(c.packets(), 1);
+    }
+
+    #[test]
+    fn late_packets_are_underruns() {
+        let mut c = SoundCardSim::paper_default();
+        let buf = AudioBuf::stereo_default();
+        assert_eq!(c.submit(&buf, 5_000_000), SubmitResult::Underrun);
+        assert_eq!(c.underruns(), 1);
+    }
+
+    #[test]
+    fn malformed_packets_rejected() {
+        let mut c = SoundCardSim::paper_default();
+        let mut bad = AudioBuf::stereo_default();
+        bad.set_sample(0, 0, f32::NAN);
+        assert_eq!(c.submit(&bad, 1000), SubmitResult::Rejected);
+        let mut loud = AudioBuf::stereo_default();
+        loud.set_sample(0, 0, 2.0);
+        assert_eq!(c.submit(&loud, 1000), SubmitResult::Rejected);
+        let wrong_size = AudioBuf::zeroed(2, 64);
+        assert_eq!(c.submit(&wrong_size, 1000), SubmitResult::Rejected);
+        assert_eq!(c.rejected(), 3);
+    }
+
+    #[test]
+    fn tracks_peak() {
+        let mut c = SoundCardSim::paper_default();
+        let mut buf = AudioBuf::stereo_default();
+        buf.set_sample(0, 5, 0.7);
+        c.submit(&buf, 1000);
+        assert!((c.max_peak() - 0.7).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,186 @@
+//! Beat matching: tempo sync and phase alignment between decks.
+//!
+//! §II: DJs "mix multiple digital tracks … to a continuous stream of
+//! music"; the GP phase computes per-deck beat phases precisely so the
+//! software can assist beatmatching. This module implements the assistant:
+//! given a master deck, [`SyncController`] computes the tempo factor a
+//! slave deck needs to match BPM, plus a transient phase-correction nudge
+//! that pulls the beats into alignment — the "SYNC" button of every DJ
+//! application.
+
+use crate::deck::TrackPlayer;
+
+/// Output of one sync computation for a slave deck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncAdvice {
+    /// Tempo factor the slave should run at so its effective BPM equals the
+    /// master's.
+    pub tempo: f32,
+    /// Momentary tempo multiplier (≈1.0) applied on top to close the phase
+    /// gap over the next beats; 1.0 once aligned.
+    pub phase_correction: f32,
+    /// Current phase error in beats, in `(-0.5, 0.5]`.
+    pub phase_error: f32,
+}
+
+/// Computes sync advice and tracks convergence.
+#[derive(Debug, Clone)]
+pub struct SyncController {
+    /// How aggressively the phase gap closes (fraction per beat, 0–1).
+    aggressiveness: f32,
+    /// |phase error| below which the decks count as locked (beats).
+    lock_threshold: f32,
+}
+
+impl SyncController {
+    /// A controller with the given phase-closing aggressiveness (clamped
+    /// into `[0.01, 1.0]`).
+    pub fn new(aggressiveness: f32) -> Self {
+        SyncController {
+            aggressiveness: aggressiveness.clamp(0.01, 1.0),
+            lock_threshold: 0.04,
+        }
+    }
+
+    /// DJ Star's default feel: close ~15 % of the gap per beat.
+    pub fn standard() -> Self {
+        Self::new(0.15)
+    }
+
+    /// Compute the advice for `slave` to match `master`.
+    ///
+    /// `master_bpm`/`slave_bpm` are the *track* BPMs; the players' current
+    /// tempo factors and beat phases are read from the decks.
+    pub fn advise(
+        &self,
+        master: &TrackPlayer,
+        master_bpm: f32,
+        slave: &TrackPlayer,
+        slave_bpm: f32,
+    ) -> SyncAdvice {
+        // Tempo match: slave_bpm * tempo == master_bpm * master.tempo().
+        let target_effective = master_bpm * master.tempo();
+        let tempo = if slave_bpm > 1.0 {
+            (target_effective / slave_bpm).clamp(0.25, 4.0)
+        } else {
+            1.0
+        };
+        let phase_error = slave.phase_offset_to(master);
+        // Close `aggressiveness` of the gap per beat: a positive error
+        // (slave ahead) means slowing down momentarily.
+        let phase_correction = if phase_error.abs() <= self.lock_threshold {
+            1.0
+        } else {
+            (1.0 - self.aggressiveness * phase_error).clamp(0.7, 1.3)
+        };
+        SyncAdvice {
+            tempo,
+            phase_correction,
+            phase_error,
+        }
+    }
+
+    /// True when the advice indicates beat lock.
+    pub fn is_locked(&self, advice: &SyncAdvice) -> bool {
+        advice.phase_error.abs() <= self.lock_threshold
+    }
+}
+
+impl Default for SyncController {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djstar_dsp::buffer::AudioBuf;
+    use djstar_workload::track::{synth_track, TrackStyle};
+
+    fn deck(bpm: f32, seed: u64) -> TrackPlayer {
+        TrackPlayer::new(synth_track(seed, bpm, 4.0, TrackStyle::House))
+    }
+
+    #[test]
+    fn tempo_advice_matches_bpm() {
+        let mut master = deck(128.0, 1);
+        let slave = deck(120.0, 2);
+        let mut out = AudioBuf::zeroed(2, 128);
+        for _ in 0..30 {
+            master.pull(1.0, &mut out);
+        }
+        let sync = SyncController::standard();
+        let advice = sync.advise(&master, 128.0, &slave, 120.0);
+        // 120 * tempo ≈ 128 * master_tempo(≈1.0)
+        let effective = 120.0 * advice.tempo;
+        assert!(
+            (effective - 128.0 * master.tempo()).abs() < 0.5,
+            "effective {effective}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_sync_converges_to_beat_lock() {
+        let mut master = deck(126.0, 3);
+        let mut slave = deck(132.0, 4);
+        let sync = SyncController::standard();
+        let mut out = AudioBuf::zeroed(2, 128);
+        // Deliberately desynchronize.
+        for _ in 0..57 {
+            slave.pull(1.0, &mut out);
+        }
+        let mut locked_streak = 0;
+        for _ in 0..3000 {
+            master.pull(1.0, &mut out);
+            let advice = sync.advise(&master, 126.0, &slave, 132.0);
+            slave.pull(advice.tempo * advice.phase_correction, &mut out);
+            if sync.is_locked(&advice) {
+                locked_streak += 1;
+                if locked_streak > 100 {
+                    break;
+                }
+            } else {
+                locked_streak = 0;
+            }
+        }
+        assert!(
+            locked_streak > 100,
+            "never achieved stable beat lock; final error {}",
+            sync.advise(&master, 126.0, &slave, 132.0).phase_error
+        );
+        // And the tempos matched: effective BPMs within 1 %.
+        let m_eff = 126.0 * master.tempo();
+        let s_eff = 132.0 * slave.tempo();
+        assert!(
+            (m_eff / s_eff - 1.0).abs() < 0.02,
+            "BPM mismatch: {m_eff} vs {s_eff}"
+        );
+    }
+
+    #[test]
+    fn locked_decks_get_neutral_correction() {
+        let master = deck(124.0, 5);
+        let slave = deck(124.0, 6);
+        // Fresh decks share phase 0 → already locked.
+        let sync = SyncController::standard();
+        let advice = sync.advise(&master, 124.0, &slave, 124.0);
+        assert_eq!(advice.phase_correction, 1.0);
+        assert!(sync.is_locked(&advice));
+    }
+
+    #[test]
+    fn correction_is_bounded() {
+        let mut master = deck(140.0, 7);
+        let mut slave = deck(80.0, 8);
+        let mut out = AudioBuf::zeroed(2, 128);
+        for _ in 0..91 {
+            slave.pull(1.3, &mut out);
+        }
+        master.pull(1.0, &mut out);
+        let sync = SyncController::new(1.0); // maximum aggressiveness
+        let advice = sync.advise(&master, 140.0, &slave, 80.0);
+        assert!((0.7..=1.3).contains(&advice.phase_correction));
+        assert!((0.25..=4.0).contains(&advice.tempo));
+    }
+}

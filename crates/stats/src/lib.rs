@@ -1,0 +1,49 @@
+//! Measurement and statistics substrate for the DJ Star reproduction.
+//!
+//! The paper's evaluation (§VI) is built on four kinds of artifacts:
+//!
+//! * average response times per strategy and thread count (Table I),
+//! * speedups relative to the sequential baseline (Fig. 8),
+//! * execution-time histograms and cumulative histograms over 10 000
+//!   audio-processing cycles (Figs. 9 and 10),
+//! * deadline-miss counts against the 2.9 ms sound-card budget.
+//!
+//! This crate provides exactly those building blocks: [`Summary`] for moment
+//! statistics and percentiles, [`Histogram`] with cumulative views,
+//! [`SpeedupTable`] for strategy × thread-count matrices,
+//! [`DeadlineTracker`] for miss accounting, and plain-text renderers
+//! ([`render`]) used by every harness binary so figures can be regenerated on
+//! a terminal without a plotting stack.
+
+pub mod deadline;
+pub mod histogram;
+pub mod online;
+pub mod render;
+pub mod report;
+pub mod speedup;
+pub mod summary;
+
+pub use deadline::DeadlineTracker;
+pub use histogram::{CumulativeView, Histogram};
+pub use online::OnlineStats;
+pub use report::CsvReport;
+pub use speedup::SpeedupTable;
+pub use summary::Summary;
+
+/// Convert seconds to microseconds (the unit the paper reports graph times in).
+#[inline]
+pub fn secs_to_us(s: f64) -> f64 {
+    s * 1e6
+}
+
+/// Convert nanoseconds to milliseconds (the unit of Table I).
+#[inline]
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Convert nanoseconds to microseconds.
+#[inline]
+pub fn ns_to_us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}

@@ -1,0 +1,196 @@
+//! Plain-text rendering of tables, histograms and charts.
+//!
+//! The harness binaries regenerate every figure of the paper on a terminal,
+//! so each plot type has an ASCII renderer: horizontal bar histograms
+//! (Fig. 9), cumulative staircases (Fig. 10), and markdown tables (Table I).
+
+use crate::histogram::{CumulativeView, Histogram};
+use crate::speedup::SpeedupTable;
+
+/// Render a [`Histogram`] as rows of `#` bars, one row per bin.
+///
+/// `width` is the maximum bar width in characters; the fullest bin spans it.
+pub fn histogram_bars(h: &Histogram, width: usize, unit: &str) -> String {
+    let max = h.bins().iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for i in 0..h.bin_count() {
+        let (a, b) = h.bin_range(i);
+        let count = h.bin(i);
+        let bar = "#".repeat((count as usize * width).div_ceil(max as usize).min(width));
+        out.push_str(&format!(
+            "{a:7.3}-{b:7.3} {unit} |{bar:<width$}| {count}\n",
+            width = width
+        ));
+    }
+    if h.underflow() > 0 || h.overflow() > 0 {
+        out.push_str(&format!(
+            "(clamped: {} below range, {} above range)\n",
+            h.underflow(),
+            h.overflow()
+        ));
+    }
+    out
+}
+
+/// Render a [`CumulativeView`] as a staircase of `#` bars (Fig. 10 style).
+pub fn cumulative_bars(c: &CumulativeView, width: usize, lo: f64, hi: f64, unit: &str) -> String {
+    let counts = c.counts();
+    let max = counts.last().copied().unwrap_or(0).max(1);
+    let n = counts.len();
+    let w = (hi - lo) / n as f64;
+    let mut out = String::new();
+    for (i, &count) in counts.iter().enumerate() {
+        let edge = lo + w * (i + 1) as f64;
+        let bar = "#".repeat((count as usize * width).div_ceil(max as usize).min(width));
+        out.push_str(&format!(
+            "<= {edge:7.3} {unit} |{bar:<width$}| {count}\n",
+            width = width
+        ));
+    }
+    out
+}
+
+/// Render a [`SpeedupTable`] as a markdown table of times, in the layout of
+/// the paper's Table I (strategies as rows, thread counts as columns).
+pub fn table_times(t: &SpeedupTable, unit: &str) -> String {
+    let mut out = String::new();
+    out.push_str("| Threads |");
+    for th in &t.threads {
+        out.push_str(&format!(" {th} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &t.threads {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (name, times) in &t.rows {
+        out.push_str(&format!("| {name} |"));
+        for v in times {
+            out.push_str(&format!(" {v:.4} |"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "(times in {unit}; sequential baseline {:.4} {unit})\n",
+        t.baseline
+    ));
+    out
+}
+
+/// Render the speedups of a [`SpeedupTable`] as a markdown table (Fig. 8).
+pub fn table_speedups(t: &SpeedupTable) -> String {
+    let mut out = String::new();
+    out.push_str("| Threads |");
+    for th in &t.threads {
+        out.push_str(&format!(" {th} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &t.threads {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (r, (name, _)) in t.rows.iter().enumerate() {
+        out.push_str(&format!("| {name} |"));
+        for s in t.speedups(r) {
+            out.push_str(&format!(" {s:.2} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an (x, y) series as a compact ASCII line chart with `rows` lines.
+///
+/// Used for the concurrency-over-time profile of Fig. 4.
+pub fn line_chart(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
+    if points.is_empty() || rows == 0 || cols == 0 {
+        return String::new();
+    }
+    let xmin = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ymax = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let ymin = 0.0f64;
+    let xspan = (xmax - xmin).max(f64::MIN_POSITIVE);
+    let yspan = (ymax - ymin).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    for &(x, y) in points {
+        let cx = (((x - xmin) / xspan) * (cols - 1) as f64).round() as usize;
+        let cy = (((y - ymin) / yspan) * (rows - 1) as f64).round() as usize;
+        grid[rows - 1 - cy][cx.min(cols - 1)] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:8.1} |")
+        } else if i == rows - 1 {
+            format!("{ymin:8.1} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          +{}\n           {xmin:<10.1}{:>width$.1}\n",
+        "-".repeat(cols),
+        xmax,
+        width = cols.saturating_sub(10)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_render_contains_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(0.1);
+        h.record(0.9);
+        h.record(0.95);
+        let s = histogram_bars(&h, 10, "ms");
+        assert!(s.contains("| 1"), "{s}");
+        assert!(s.contains("| 2"), "{s}");
+    }
+
+    #[test]
+    fn cumulative_render_monotone_bars() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..8 {
+            h.record(i as f64 / 8.0);
+        }
+        let c = h.cumulative();
+        let s = cumulative_bars(&c, 20, 0.0, 1.0, "ms");
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.lines().last().unwrap().contains("| 8"));
+    }
+
+    #[test]
+    fn table_render_has_all_rows() {
+        let mut t = SpeedupTable::new(vec![1, 2], 1.0);
+        t.push_row("BUSY", vec![1.0, 0.5]);
+        t.push_row("SLEEP", vec![1.1, 0.6]);
+        let times = table_times(&t, "ms");
+        assert!(times.contains("BUSY") && times.contains("SLEEP"));
+        let sp = table_speedups(&t);
+        assert!(sp.contains("2.00"), "{sp}");
+    }
+
+    #[test]
+    fn line_chart_renders_peak() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (50 - i) as f64)).collect();
+        let s = line_chart(&pts, 8, 40);
+        assert!(s.contains('*'));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn line_chart_empty_is_empty() {
+        assert!(line_chart(&[], 5, 5).is_empty());
+    }
+}

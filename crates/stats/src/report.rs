@@ -1,0 +1,102 @@
+//! CSV export of measurement series — the machine-readable companion to
+//! the text renderers, so plots can be regenerated outside the terminal.
+
+use std::fmt::Write as _;
+
+/// A simple CSV builder for numeric series with a shared index column.
+///
+/// Columns are added as `(name, values)`; shorter columns pad with empty
+/// cells. The index column counts rows from 0 (cycle number in the
+/// experiment harnesses).
+#[derive(Debug, Default, Clone)]
+pub struct CsvReport {
+    columns: Vec<(String, Vec<f64>)>,
+}
+
+impl CsvReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a column. Returns `self` for chaining.
+    pub fn column(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.columns.push((name.into(), values));
+        self
+    }
+
+    /// Number of data rows (longest column).
+    pub fn rows(&self) -> usize {
+        self.columns.iter().map(|(_, v)| v.len()).max().unwrap_or(0)
+    }
+
+    /// Render the CSV (header + rows; index column first).
+    pub fn render(&self) -> String {
+        let mut out = String::from("index");
+        for (name, _) in &self.columns {
+            // Quote names containing separators.
+            if name.contains(',') || name.contains('"') {
+                let escaped = name.replace('"', "\"\"");
+                let _ = write!(out, ",\"{escaped}\"");
+            } else {
+                let _ = write!(out, ",{name}");
+            }
+        }
+        out.push('\n');
+        for row in 0..self.rows() {
+            let _ = write!(out, "{row}");
+            for (_, values) in &self.columns {
+                match values.get(row) {
+                    Some(v) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let csv = CsvReport::new()
+            .column("busy_ms", vec![1.0, 2.0])
+            .column("sleep_ms", vec![1.5, 2.5])
+            .render();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "index,busy_ms,sleep_ms");
+        assert_eq!(lines[1], "0,1,1.5");
+        assert_eq!(lines[2], "1,2,2.5");
+    }
+
+    #[test]
+    fn ragged_columns_pad() {
+        let csv = CsvReport::new()
+            .column("a", vec![1.0])
+            .column("b", vec![2.0, 3.0])
+            .render();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2], "1,,3");
+    }
+
+    #[test]
+    fn empty_report_is_header_only() {
+        let csv = CsvReport::new().render();
+        assert_eq!(csv, "index\n");
+    }
+
+    #[test]
+    fn quotes_awkward_names() {
+        let csv = CsvReport::new()
+            .column("with,comma", vec![1.0])
+            .render();
+        assert!(csv.starts_with("index,\"with,comma\"\n"));
+    }
+}

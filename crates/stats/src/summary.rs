@@ -1,0 +1,142 @@
+//! Moment statistics and percentiles over a sample of measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a set of `f64` samples.
+///
+/// The paper reports means (Table I), worst cases and distribution shape
+/// (§VI); this type computes all of them in one pass over a sample vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected); 0.0 for fewer than two samples.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample (the paper's "worst case execution time").
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of `samples`.
+    ///
+    /// Returns `None` for an empty sample set: every statistic would be
+    /// undefined and the paper's harness treats "no data" as an error.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        })
+    }
+
+    /// Arbitrary percentile (0..=100) of the same sample set; `samples` need
+    /// not be sorted.
+    pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(percentile_sorted(&sorted, p))
+    }
+}
+
+/// Nearest-rank percentile with linear interpolation on a pre-sorted slice.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_set_has_no_summary() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+        assert_eq!(s.median, 3.5);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        // Sample stddev of 1..5 is sqrt(2.5).
+        assert!((s.stddev - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let samples = [0.0, 10.0];
+        assert_eq!(Summary::percentile(&samples, 50.0), Some(5.0));
+        assert_eq!(Summary::percentile(&samples, 0.0), Some(0.0));
+        assert_eq!(Summary::percentile(&samples, 100.0), Some(10.0));
+        assert_eq!(Summary::percentile(&samples, 25.0), Some(2.5));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = Summary::of(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p99_close_to_max_for_uniform() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = Summary::of(&samples).unwrap();
+        assert!(s.p99 >= 985.0 && s.p99 <= 999.0, "p99 = {}", s.p99);
+    }
+}

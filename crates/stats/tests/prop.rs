@@ -1,0 +1,67 @@
+//! Property-based tests for the statistics substrate.
+
+use djstar_stats::{Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn summary_orders_min_mean_max(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&samples).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.count, samples.len());
+    }
+
+    #[test]
+    fn percentiles_are_monotone(samples in prop::collection::vec(-1e3f64..1e3, 1..100),
+                                p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let vlo = Summary::percentile(&samples, lo).unwrap();
+        let vhi = Summary::percentile(&samples, hi).unwrap();
+        prop_assert!(vlo <= vhi + 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_samples(values in prop::collection::vec(-10.0f64..10.0, 0..500),
+                                   bins in 1usize..50) {
+        let mut h = Histogram::new(-5.0, 5.0, bins);
+        h.record_all(&values);
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let bin_sum: u64 = h.bins().iter().sum();
+        prop_assert_eq!(bin_sum, values.len() as u64);
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_total(values in prop::collection::vec(0.0f64..1.0, 1..300)) {
+        let mut h = Histogram::new(0.0, 1.0, 16);
+        h.record_all(&values);
+        let c = h.cumulative();
+        let counts = c.counts();
+        for w in counts.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(*counts.last().unwrap(), values.len() as u64);
+    }
+
+    #[test]
+    fn fraction_below_is_monotone_in_value(values in prop::collection::vec(0.0f64..1.0, 1..200),
+                                           a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut h = Histogram::new(0.0, 1.0, 20);
+        h.record_all(&values);
+        let c = h.cumulative();
+        prop_assert!(c.fraction_below(lo) <= c.fraction_below(hi) + 1e-12);
+    }
+
+    #[test]
+    fn summary_scale_invariance(samples in prop::collection::vec(1.0f64..100.0, 2..100),
+                                k in 0.1f64..10.0) {
+        let s1 = Summary::of(&samples).unwrap();
+        let scaled: Vec<f64> = samples.iter().map(|v| v * k).collect();
+        let s2 = Summary::of(&scaled).unwrap();
+        prop_assert!((s2.mean - s1.mean * k).abs() < 1e-6 * s1.mean.abs().max(1.0) * k);
+        prop_assert!((s2.max - s1.max * k).abs() < 1e-6 * s1.max.abs().max(1.0) * k);
+    }
+}

@@ -1,0 +1,182 @@
+//! DJ performance scenarios: deck, mixer and effect configurations.
+
+use crate::profile::WorkProfile;
+use crate::track::TrackStyle;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one deck.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DeckConfig {
+    /// Whether the deck is playing.
+    pub active: bool,
+    /// Playback tempo factor (1.0 = original; time-stretched, not pitched).
+    pub tempo: f32,
+    /// Channel fader gain.
+    pub gain: f32,
+    /// 3-band EQ gains in dB (low, mid, high).
+    pub eq_db: [f32; 3],
+    /// Channel filter knob position in `[-1, 1]`.
+    pub filter_pos: f32,
+    /// Which of the four FX slots are enabled.
+    pub fx_enabled: [bool; 4],
+    /// Relative compute weight of this deck's effect chain. The paper's
+    /// deck chains are visibly imbalanced (Fig. 11: the large effect blocks
+    /// differ per deck), which is what limits the 4-thread speedup to 2.40;
+    /// unequal weights reproduce that imbalance.
+    pub fx_weight: f32,
+    /// Seed of this deck's synthesized track.
+    pub track_seed: u64,
+    /// Track tempo in BPM.
+    pub bpm: f32,
+    /// Track style.
+    #[serde(skip, default = "default_style")]
+    pub style: TrackStyle,
+}
+
+fn default_style() -> TrackStyle {
+    TrackStyle::House
+}
+
+impl DeckConfig {
+    /// An active deck with everything engaged (the paper's benchmark uses
+    /// all 67 nodes, i.e. all effects on).
+    pub fn full(track_seed: u64, bpm: f32) -> Self {
+        DeckConfig {
+            active: true,
+            tempo: 1.0,
+            gain: 0.8,
+            eq_db: [0.0, 0.0, 0.0],
+            filter_pos: 0.0,
+            fx_enabled: [true; 4],
+            fx_weight: 1.0,
+            track_seed,
+            bpm,
+            style: TrackStyle::House,
+        }
+    }
+
+    /// An inactive deck.
+    pub fn idle() -> Self {
+        DeckConfig {
+            active: false,
+            tempo: 1.0,
+            gain: 0.0,
+            eq_db: [0.0; 3],
+            filter_pos: 0.0,
+            fx_enabled: [false; 4],
+            fx_weight: 1.0,
+            track_seed: 0,
+            bpm: 120.0,
+            style: TrackStyle::House,
+        }
+    }
+}
+
+/// A complete performance scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The four decks.
+    pub decks: [DeckConfig; 4],
+    /// Crossfader position in `[0, 1]`.
+    pub crossfader: f32,
+    /// Master output gain.
+    pub master_gain: f32,
+    /// Node cost model.
+    pub work: WorkProfile,
+    /// Length of the synthesized tracks in seconds.
+    pub track_secs: f32,
+}
+
+impl Scenario {
+    /// The paper's evaluation setup: four active decks with different
+    /// tracks, all effects engaged, paper-scale node costs.
+    pub fn paper_default() -> Self {
+        Scenario {
+            decks: [
+                DeckConfig {
+                    tempo: 1.02,
+                    fx_weight: 1.55,
+                    ..DeckConfig::full(11, 126.0)
+                },
+                DeckConfig {
+                    tempo: 0.98,
+                    fx_weight: 1.0,
+                    style: TrackStyle::Breakbeat,
+                    ..DeckConfig::full(22, 132.0)
+                },
+                DeckConfig {
+                    eq_db: [-6.0, 0.0, 3.0],
+                    fx_weight: 0.75,
+                    ..DeckConfig::full(33, 124.0)
+                },
+                DeckConfig {
+                    filter_pos: -0.3,
+                    fx_weight: 0.55,
+                    style: TrackStyle::Ambient,
+                    ..DeckConfig::full(44, 128.0)
+                },
+            ],
+            crossfader: 0.5,
+            master_gain: 0.9,
+            work: WorkProfile::paper_scale(),
+            track_secs: 30.0,
+        }
+    }
+
+    /// Same structure but tiny node costs and short tracks, for tests.
+    pub fn light_test() -> Self {
+        let mut s = Self::paper_default();
+        s.work = WorkProfile::light();
+        s.track_secs = 2.0;
+        s
+    }
+
+    /// A two-deck mix (decks C/D idle) — used by the thread-scaling and
+    /// ablation studies.
+    pub fn two_deck_mix() -> Self {
+        let mut s = Self::paper_default();
+        s.decks[2] = DeckConfig::idle();
+        s.decks[3] = DeckConfig::idle();
+        s
+    }
+
+    /// Number of active decks.
+    pub fn active_decks(&self) -> usize {
+        self.decks.iter().filter(|d| d.active).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_four_full_decks() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.active_decks(), 4);
+        assert!(s.decks.iter().all(|d| d.fx_enabled.iter().all(|&e| e)));
+        // Different tracks per deck, as in the paper.
+        let seeds: std::collections::HashSet<u64> =
+            s.decks.iter().map(|d| d.track_seed).collect();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn two_deck_mix_has_two_active() {
+        assert_eq!(Scenario::two_deck_mix().active_decks(), 2);
+    }
+
+    #[test]
+    fn light_test_is_cheap() {
+        let s = Scenario::light_test();
+        assert!(s.work.fx_iters < 1000);
+        assert!(s.track_secs <= 2.0);
+    }
+
+    #[test]
+    fn scenario_is_serializable() {
+        fn assert_ser<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_ser::<Scenario>();
+        assert_ser::<DeckConfig>();
+    }
+}

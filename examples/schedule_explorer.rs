@@ -1,0 +1,76 @@
+//! Schedule explorer: inspect the 67-node graph and compare how each
+//! scheduling strategy lays it out across threads.
+//!
+//! ```sh
+//! cargo run --release --example schedule_explorer -- [threads] [--dot]
+//! ```
+//!
+//! With `--dot` the graph is printed in Graphviz format instead.
+
+use djstar_core::exec::Strategy;
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_engine::graphbuild::build_djstar_graph;
+use djstar_sim::earliest::earliest_start;
+use djstar_sim::gantt::render_schedule;
+use djstar_sim::list::list_schedule;
+use djstar_sim::model::{DurationModel, SimGraph};
+use djstar_sim::strategy::{simulate_strategy, OverheadModel, SimStrategy};
+use djstar_workload::scenario::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = args
+        .iter()
+        .filter_map(|a| a.parse().ok())
+        .find(|&t: &usize| (1..=16).contains(&t))
+        .unwrap_or(4);
+
+    if args.iter().any(|a| a == "--dot") {
+        let (graph, _) = build_djstar_graph(&Scenario::paper_default());
+        println!("{}", graph.topology().to_dot());
+        return;
+    }
+
+    eprintln!("measuring node durations (400 cycles) ...");
+    let mut engine = AudioEngine::with_aux(
+        Scenario::paper_default(),
+        Strategy::Sequential,
+        1,
+        AuxWork::light(),
+    );
+    engine.warmup(30);
+    let samples = engine.measured_node_durations(400);
+    let graph = SimGraph::from_topology(engine.executor_mut().topology());
+    let durations = DurationModel::Empirical(samples).means(graph.len());
+    let overheads = OverheadModel::default_host();
+
+    println!("## DJ Star graph\n");
+    println!("{} nodes, {} sources", graph.len(), graph.sources().len());
+    let inf = earliest_start(&graph, &durations, 0);
+    println!(
+        "critical path: {:.1} us through {}",
+        inf.makespan_ns as f64 / 1e3,
+        inf.critical_path
+            .iter()
+            .map(|&n| graph.name(n))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    println!("max concurrency: {}\n", inf.max_concurrency);
+
+    println!("## List schedule ({threads} cores)\n");
+    let ls = list_schedule(&graph, &durations, 0, threads as u32);
+    println!("makespan {:.1} us", ls.makespan_ns() as f64 / 1e3);
+    println!("{}", render_schedule(&ls, 100));
+
+    for strat in SimStrategy::ALL {
+        let s = simulate_strategy(&graph, &durations, 0, threads, strat, &overheads);
+        println!(
+            "## {} ({} threads) — makespan {:.1} us\n",
+            strat.label(),
+            threads,
+            s.makespan_ns() as f64 / 1e3
+        );
+        println!("{}", render_schedule(&s, 100));
+    }
+}

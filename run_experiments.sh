@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper (DESIGN.md §4).
+# Results land in results/<binary>.txt. Takes a few minutes at full scale;
+# override DJSTAR_CYCLES / DJSTAR_MEASURE_CYCLES to trade fidelity for time.
+set -e
+cargo build --release -p djstar-bench --bins
+for bin in hotspot_analysis fig4_optimal_schedule table1_response_times \
+           fig9_histograms fig11_schedules fig12_busy_sim deadline_misses \
+           thread_scaling ablations; do
+  echo "=== $bin ==="
+  ./target/release/$bin | tee results/$bin.txt
+done

@@ -1,0 +1,133 @@
+//! End-to-end pipeline tests: engine → graph → sound card, across all
+//! strategies, on the light workload.
+
+use djstar_core::exec::Strategy;
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_engine::soundcard::{SoundCardSim, SubmitResult};
+use djstar_workload::scenario::Scenario;
+
+fn light_engine(strategy: Strategy, threads: usize) -> AudioEngine {
+    AudioEngine::with_aux(Scenario::light_test(), strategy, threads, AuxWork::light())
+}
+
+#[test]
+fn full_pipeline_delivers_valid_packets() {
+    for strategy in [
+        Strategy::Sequential,
+        Strategy::Busy,
+        Strategy::Sleep,
+        Strategy::Steal,
+    ] {
+        let threads = if strategy == Strategy::Sequential { 1 } else { 3 };
+        let mut engine = light_engine(strategy, threads);
+        let mut card = SoundCardSim::paper_default();
+        engine.warmup(20);
+        for _ in 0..100 {
+            let t = engine.run_apc();
+            let out = engine.output();
+            let res = card.submit(&out, t.total().as_nanos() as u64);
+            assert_ne!(
+                res,
+                SubmitResult::Rejected,
+                "{strategy:?} produced a malformed packet"
+            );
+        }
+        assert_eq!(card.rejected(), 0);
+        assert_eq!(card.packets(), 100);
+        assert!(card.max_peak() > 0.0, "{strategy:?}: silent output");
+    }
+}
+
+#[test]
+fn all_strategies_bit_identical_over_long_run() {
+    // 120 cycles with live control movement: the graph output must stay
+    // bit-identical across schedulers (floating-point sums have a fixed
+    // order per node regardless of which thread runs it).
+    let script = |engine: &mut AudioEngine, c: usize| {
+        engine.set_crossfader(c as f32 / 120.0);
+        engine.set_deck_gain(1, 0.5 + 0.5 * (c as f32 * 0.1).sin());
+    };
+    let mut reference = Vec::new();
+    {
+        let mut engine = light_engine(Strategy::Sequential, 1);
+        for c in 0..120 {
+            script(&mut engine, c);
+            engine.run_apc();
+            reference.push(engine.output());
+        }
+    }
+    for strategy in [Strategy::Busy, Strategy::Sleep, Strategy::Steal, Strategy::Hybrid] {
+        let mut engine = light_engine(strategy, 4);
+        for (c, want) in reference.iter().enumerate() {
+            script(&mut engine, c);
+            engine.run_apc();
+            let got = engine.output();
+            assert_eq!(
+                want.samples(),
+                got.samples(),
+                "{strategy:?} diverged at cycle {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_deck_scenario_runs() {
+    let mut scenario = Scenario::two_deck_mix();
+    scenario.work = djstar_workload::profile::WorkProfile::light();
+    scenario.track_secs = 2.0;
+    let mut engine = AudioEngine::with_aux(scenario, Strategy::Busy, 2, AuxWork::light());
+    engine.warmup(30);
+    let out = engine.output();
+    assert!(out.is_finite());
+    assert!(out.rms() > 1e-4, "two active decks must produce audio");
+}
+
+#[test]
+fn deadline_accounting_matches_timings() {
+    let mut engine = light_engine(Strategy::Sequential, 1);
+    let mut card = SoundCardSim::paper_default();
+    engine.warmup(5);
+    // Feed artificial timings: alternate on-time and late.
+    for i in 0..50 {
+        engine.run_apc();
+        let out = engine.output();
+        let elapsed = if i % 10 == 9 { 5_000_000 } else { 1_000_000 };
+        card.submit(&out, elapsed);
+    }
+    assert_eq!(card.underruns(), 5);
+    assert_eq!(card.packets(), 50);
+    assert!((card.tracker().miss_rate() - 0.1).abs() < 1e-9);
+}
+
+#[test]
+fn output_respects_master_limiter_under_hot_settings() {
+    let mut scenario = Scenario::light_test();
+    for d in &mut scenario.decks {
+        d.gain = 3.0; // absurd fader settings
+        d.eq_db = [12.0, 12.0, 12.0];
+    }
+    scenario.master_gain = 2.0;
+    let mut engine = AudioEngine::with_aux(scenario, Strategy::Busy, 2, AuxWork::light());
+    engine.warmup(100);
+    for _ in 0..50 {
+        engine.run_apc();
+        let out = engine.output();
+        assert!(out.peak() <= 1.0 + 1e-4, "output clipped: {}", out.peak());
+        assert!(out.is_finite());
+    }
+}
+
+#[test]
+fn engine_survives_extreme_tempo_and_silence() {
+    let mut scenario = Scenario::light_test();
+    scenario.decks[0].tempo = 3.9;
+    scenario.decks[1].tempo = 0.26;
+    scenario.decks[2].active = false;
+    scenario.decks[3].active = false;
+    let mut engine = AudioEngine::with_aux(scenario, Strategy::Steal, 4, AuxWork::light());
+    for _ in 0..200 {
+        engine.run_apc();
+        assert!(engine.output().is_finite());
+    }
+}
