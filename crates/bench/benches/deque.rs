@@ -1,33 +1,29 @@
 //! Chase–Lev work-stealing deque operation costs (feeds the WS simulator's
 //! `queue_op_ns` / `steal_ns` overheads).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use djstar_bench::microbench::bench;
 use djstar_core::deque::{Steal, WorkDeque};
 
-fn bench_owner_ops(c: &mut Criterion) {
+fn bench_owner_ops() {
     let deque = WorkDeque::new(256);
-    c.bench_function("deque_push_pop", |b| {
-        b.iter(|| {
-            deque.push(42).unwrap();
-            deque.pop()
-        })
+    bench("deque_push_pop", || {
+        deque.push(42).unwrap();
+        deque.pop()
     });
 }
 
-fn bench_steal(c: &mut Criterion) {
+fn bench_steal() {
     let deque = WorkDeque::new(256);
-    c.bench_function("deque_push_steal", |b| {
-        b.iter(|| {
-            deque.push(42).unwrap();
-            match deque.steal() {
-                Steal::Success(v) => v,
-                _ => 0,
-            }
-        })
+    bench("deque_push_steal", || {
+        deque.push(42).unwrap();
+        match deque.steal() {
+            Steal::Success(v) => v,
+            _ => 0,
+        }
     });
 }
 
-fn bench_contended_steal(c: &mut Criterion) {
+fn bench_contended_steal() {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     let deque = Arc::new(WorkDeque::new(1024));
@@ -45,22 +41,19 @@ fn bench_contended_steal(c: &mut Criterion) {
             }
         })
     };
-    c.bench_function("deque_steal_contended", |b| {
-        b.iter(|| loop {
-            match deque.steal() {
-                Steal::Success(v) => break v,
-                Steal::Empty => std::thread::yield_now(),
-                Steal::Retry => {}
-            }
-        })
+    bench("deque_steal_contended", || loop {
+        match deque.steal() {
+            Steal::Success(v) => break v,
+            Steal::Empty => std::thread::yield_now(),
+            Steal::Retry => {}
+        }
     });
     stop.store(true, Ordering::Relaxed);
     feeder.join().unwrap();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_owner_ops, bench_steal, bench_contended_steal
+fn main() {
+    bench_owner_ops();
+    bench_steal();
+    bench_contended_steal();
 }
-criterion_main!(benches);

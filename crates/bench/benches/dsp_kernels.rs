@@ -1,7 +1,7 @@
 //! Per-node-class DSP kernel costs on the standard 128-frame buffer:
 //! the raw material of the graph's node-duration distribution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use djstar_bench::microbench::{bench, group};
 use djstar_dsp::biquad::{Biquad, FilterKind};
 use djstar_dsp::buffer::AudioBuf;
 use djstar_dsp::dynamics::Limiter;
@@ -17,74 +17,63 @@ fn music_buf() -> AudioBuf {
     })
 }
 
-fn bench_effects(c: &mut Criterion) {
-    let mut group = c.benchmark_group("effects_128f");
+fn bench_effects() {
+    group("effects_128f");
     for kind in EffectKind::ALL {
         let mut fx = kind.build(djstar_dsp::SAMPLE_RATE);
         let mut buf = music_buf();
-        group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
-            b.iter(|| fx.process(&mut buf))
-        });
+        bench(&format!("effects_128f/{kind:?}"), || fx.process(&mut buf));
     }
-    group.finish();
 }
 
-fn bench_filters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("filters_128f");
+fn bench_filters() {
+    group("filters_128f");
     let mut biquad = Biquad::design(FilterKind::Lowpass, 1_000.0, 0.7, djstar_dsp::SAMPLE_RATE);
     let mut buf = music_buf();
-    group.bench_function("biquad", |b| b.iter(|| biquad.process(&mut buf)));
+    bench("biquad", || biquad.process(&mut buf));
     let mut eq = ThreeBandEq::new(djstar_dsp::SAMPLE_RATE);
     eq.set_gains(3.0, -2.0, 4.0);
-    group.bench_function("three_band_eq", |b| b.iter(|| eq.process(&mut buf)));
+    bench("three_band_eq", || eq.process(&mut buf));
     let mut lim = Limiter::master(djstar_dsp::SAMPLE_RATE);
-    group.bench_function("limiter", |b| b.iter(|| lim.process(&mut buf)));
-    group.bench_function("goertzel_8_bands", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for f in [60.0, 150.0, 400.0, 1000.0, 2500.0, 5000.0, 10000.0, 15000.0] {
-                acc += goertzel_power(buf.samples(), f, djstar_dsp::SAMPLE_RATE);
-            }
-            acc
-        })
+    bench("limiter", || lim.process(&mut buf));
+    let meter_buf = music_buf();
+    bench("goertzel_8_bands", || {
+        let mut acc = 0.0f32;
+        for f in [60.0, 150.0, 400.0, 1000.0, 2500.0, 5000.0, 10000.0, 15000.0] {
+            acc += goertzel_power(meter_buf.samples(), f, djstar_dsp::SAMPLE_RATE);
+        }
+        acc
     });
-    group.finish();
 }
 
-fn bench_fft(c: &mut Criterion) {
+fn bench_fft() {
     use djstar_dsp::fft::{fft_inplace, fft_real, Complex};
-    let mut group = c.benchmark_group("fft");
+    group("fft");
     for n in [128usize, 512, 2048] {
         let signal: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.13).sin()).collect();
-        group.bench_function(BenchmarkId::new("real", n), |b| {
-            b.iter(|| fft_real(&signal).len())
-        });
+        bench(&format!("fft/real/{n}"), || fft_real(&signal).len());
         let template: Vec<Complex> = signal.iter().map(|&s| Complex::new(s, 0.0)).collect();
-        group.bench_function(BenchmarkId::new("roundtrip", n), |b| {
-            b.iter(|| {
-                let mut data = template.clone();
-                fft_inplace(&mut data, false);
-                fft_inplace(&mut data, true);
-                data[0].re
-            })
+        bench(&format!("fft/roundtrip/{n}"), || {
+            let mut data = template.clone();
+            fft_inplace(&mut data, false);
+            fft_inplace(&mut data, true);
+            data[0].re
         });
     }
-    group.finish();
 }
 
-fn bench_burn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("burn_kernel");
+fn bench_burn() {
+    group("burn_kernel");
     for iters in [1_000u32, 16_000] {
-        group.bench_function(BenchmarkId::from_parameter(iters), |b| {
-            b.iter(|| djstar_dsp::work::burn(iters, 0.4))
+        bench(&format!("burn_kernel/{iters}"), || {
+            djstar_dsp::work::burn(iters, 0.4)
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_effects, bench_filters, bench_fft, bench_burn
+fn main() {
+    bench_effects();
+    bench_filters();
+    bench_fft();
+    bench_burn();
 }
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion counterpart of Table I: per-cycle graph execution time of the
+//! Wall-clock counterpart of Table I: per-cycle graph execution time of the
 //! real executors (sequential plus each strategy at the host's sensible
 //! thread count) and of the virtual-time simulators.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use djstar_bench::microbench::{bench, group};
 use djstar_core::exec::Strategy;
 use djstar_engine::apc::{AudioEngine, AuxWork};
 use djstar_sim::model::{DurationModel, SimGraph};
@@ -10,33 +10,36 @@ use djstar_sim::strategy::{simulate_strategy, OverheadModel, SimStrategy};
 use djstar_workload::scenario::Scenario;
 
 fn scenario() -> Scenario {
-    // A reduced work profile keeps Criterion's many iterations affordable
-    // while preserving the node-cost *distribution*.
+    // A reduced work profile keeps the many iterations affordable while
+    // preserving the node-cost *distribution*.
     let mut s = Scenario::paper_default();
     s.work = s.work.scaled(0.1);
     s.track_secs = 8.0;
     s
 }
 
-fn bench_real_executors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("real_graph_cycle");
+fn bench_real_executors() {
+    group("real_graph_cycle");
     for (strategy, label) in [
         (Strategy::Sequential, "SEQ"),
         (Strategy::Busy, "BUSY"),
         (Strategy::Sleep, "SLEEP"),
         (Strategy::Steal, "WS"),
     ] {
-        let threads = if strategy == Strategy::Sequential { 1 } else { 2 };
+        let threads = if strategy == Strategy::Sequential {
+            1
+        } else {
+            2
+        };
         let mut engine = AudioEngine::with_aux(scenario(), strategy, threads, AuxWork::light());
         engine.warmup(20);
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| engine.run_apc().graph)
+        bench(&format!("real_graph_cycle/{label}"), || {
+            engine.run_apc().graph
         });
     }
-    group.finish();
 }
 
-fn bench_simulators(c: &mut Criterion) {
+fn bench_simulators() {
     // Build the empirical inputs once.
     let mut engine = AudioEngine::with_aux(scenario(), Strategy::Sequential, 1, AuxWork::light());
     engine.warmup(20);
@@ -45,22 +48,17 @@ fn bench_simulators(c: &mut Criterion) {
     let durations = DurationModel::Empirical(samples);
     let overheads = OverheadModel::default_host();
 
-    let mut group = c.benchmark_group("simulated_cycle_4t");
+    group("simulated_cycle_4t");
     for strat in SimStrategy::ALL {
-        group.bench_function(BenchmarkId::from_parameter(strat.label()), |b| {
-            let mut cycle = 0usize;
-            b.iter(|| {
-                cycle += 1;
-                simulate_strategy(&graph, &durations, cycle, 4, strat, &overheads).makespan_ns()
-            })
+        let mut cycle = 0usize;
+        bench(&format!("simulated_cycle_4t/{}", strat.label()), || {
+            cycle += 1;
+            simulate_strategy(&graph, &durations, cycle, 4, strat, &overheads).makespan_ns()
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_real_executors, bench_simulators
+fn main() {
+    bench_real_executors();
+    bench_simulators();
 }
-criterion_main!(benches);

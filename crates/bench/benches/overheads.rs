@@ -2,32 +2,26 @@
 //! spin-poll cost, park/unpark wake latency, and dependency-check cost.
 //! These feed `djstar_sim::strategy::OverheadModel`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use djstar_bench::microbench::bench;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-fn bench_spin_poll(c: &mut Criterion) {
+fn bench_spin_poll() {
     static FLAG: AtomicU64 = AtomicU64::new(0);
-    c.bench_function("spin_poll_acquire_load", |b| {
-        b.iter(|| {
-            core::hint::spin_loop();
-            FLAG.load(Ordering::Acquire)
-        })
+    bench("spin_poll_acquire_load", || {
+        core::hint::spin_loop();
+        FLAG.load(Ordering::Acquire)
     });
 }
 
-fn bench_dep_check(c: &mut Criterion) {
+fn bench_dep_check() {
     let epochs: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(7)).collect();
-    c.bench_function("dep_check_4_preds", |b| {
-        b.iter(|| {
-            epochs
-                .iter()
-                .all(|e| e.load(Ordering::Acquire) == 7)
-        })
+    bench("dep_check_4_preds", || {
+        epochs.iter().all(|e| e.load(Ordering::Acquire) == 7)
     });
 }
 
-fn bench_park_unpark(c: &mut Criterion) {
+fn bench_park_unpark() {
     // Ping-pong between two threads: one round trip = two wakes.
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
@@ -51,29 +45,25 @@ fn bench_park_unpark(c: &mut Criterion) {
         })
     };
     let worker_thread = worker.thread().clone();
-    c.bench_function("park_unpark_round_trip", |b| {
-        b.iter(|| {
-            turn.store(true, Ordering::Release);
-            worker_thread.unpark();
-            while turn.load(Ordering::Acquire) {
-                std::thread::park_timeout(Duration::from_millis(5));
-            }
-        })
+    bench("park_unpark_round_trip", || {
+        turn.store(true, Ordering::Release);
+        worker_thread.unpark();
+        while turn.load(Ordering::Acquire) {
+            std::thread::park_timeout(Duration::from_millis(5));
+        }
     });
     stop.store(true, Ordering::Release);
     worker_thread.unpark();
     worker.join().unwrap();
 }
 
-fn bench_measured_model(c: &mut Criterion) {
-    c.bench_function("measure_overheads_full", |b| {
-        b.iter(djstar_bench::measure_overheads)
-    });
+fn bench_measured_model() {
+    bench("measure_overheads_full", djstar_bench::measure_overheads);
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
-    targets = bench_spin_poll, bench_dep_check, bench_park_unpark, bench_measured_model
+fn main() {
+    bench_spin_poll();
+    bench_dep_check();
+    bench_park_unpark();
+    bench_measured_model();
 }
-criterion_main!(benches);

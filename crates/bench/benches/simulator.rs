@@ -1,7 +1,7 @@
 //! Throughput of the schedule simulators themselves (they must chew
 //! through 10 000-cycle experiments quickly).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use djstar_bench::microbench::{bench, group};
 use djstar_engine::graphbuild::build_djstar_graph;
 use djstar_sim::earliest::earliest_start;
 use djstar_sim::list::list_schedule;
@@ -12,36 +12,36 @@ use djstar_workload::scenario::Scenario;
 fn dj_graph() -> (SimGraph, DurationModel) {
     let (graph, _) = build_djstar_graph(&Scenario::light_test());
     let sim = SimGraph::from_topology(graph.topology());
-    let durations =
-        DurationModel::Constant((0..sim.len() as u64).map(|i| 1_000 + (i * 631) % 50_000).collect());
+    let durations = DurationModel::Constant(
+        (0..sim.len() as u64)
+            .map(|i| 1_000 + (i * 631) % 50_000)
+            .collect(),
+    );
     (sim, durations)
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis() {
     let (graph, durations) = dj_graph();
-    c.bench_function("earliest_start_67_nodes", |b| {
-        b.iter(|| earliest_start(&graph, &durations, 0).makespan_ns)
+    bench("earliest_start_67_nodes", || {
+        earliest_start(&graph, &durations, 0).makespan_ns
     });
-    c.bench_function("list_schedule_4_cores", |b| {
-        b.iter(|| list_schedule(&graph, &durations, 0, 4).makespan_ns())
+    bench("list_schedule_4_cores", || {
+        list_schedule(&graph, &durations, 0, 4).makespan_ns()
     });
 }
 
-fn bench_strategies(c: &mut Criterion) {
+fn bench_strategies() {
     let (graph, durations) = dj_graph();
     let overheads = OverheadModel::default_host();
-    let mut group = c.benchmark_group("strategy_sim_4t");
+    group("strategy_sim_4t");
     for strat in SimStrategy::ALL {
-        group.bench_function(BenchmarkId::from_parameter(strat.label()), |b| {
-            b.iter(|| simulate_strategy(&graph, &durations, 0, 4, strat, &overheads).makespan_ns())
+        bench(&format!("strategy_sim_4t/{}", strat.label()), || {
+            simulate_strategy(&graph, &durations, 0, 4, strat, &overheads).makespan_ns()
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(50);
-    targets = bench_analysis, bench_strategies
+fn main() {
+    bench_analysis();
+    bench_strategies();
 }
-criterion_main!(benches);

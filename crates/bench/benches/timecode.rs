@@ -1,49 +1,46 @@
 //! Timecode generation/decoding cost — the per-cycle TP phase (16 % of the
 //! APC in the paper's hotspot analysis).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use djstar_bench::microbench::bench;
 use djstar_dsp::buffer::AudioBuf;
 use djstar_engine::timecode::{TimecodeDecoder, TimecodeGenerator};
 
-fn bench_generate(c: &mut Criterion) {
+fn bench_generate() {
     let mut generator = TimecodeGenerator::new(djstar_dsp::SAMPLE_RATE);
     let mut buf = AudioBuf::stereo_default();
-    c.bench_function("timecode_generate_128f", |b| {
-        b.iter(|| generator.generate(1.02, &mut buf))
+    bench("timecode_generate_128f", || {
+        generator.generate(1.02, &mut buf)
     });
 }
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode() {
     let mut generator = TimecodeGenerator::new(djstar_dsp::SAMPLE_RATE);
     let mut decoder = TimecodeDecoder::new(djstar_dsp::SAMPLE_RATE);
     let mut buf = AudioBuf::stereo_default();
     generator.generate(1.02, &mut buf);
-    c.bench_function("timecode_decode_128f", |b| {
-        b.iter(|| decoder.decode(&buf).speed)
-    });
+    bench("timecode_decode_128f", || decoder.decode(&buf).speed);
 }
 
-fn bench_full_cycle_4_decks(c: &mut Criterion) {
-    let mut gens: Vec<TimecodeGenerator> =
-        (0..4).map(|_| TimecodeGenerator::new(djstar_dsp::SAMPLE_RATE)).collect();
-    let mut decs: Vec<TimecodeDecoder> =
-        (0..4).map(|_| TimecodeDecoder::new(djstar_dsp::SAMPLE_RATE)).collect();
+fn bench_full_cycle_4_decks() {
+    let mut gens: Vec<TimecodeGenerator> = (0..4)
+        .map(|_| TimecodeGenerator::new(djstar_dsp::SAMPLE_RATE))
+        .collect();
+    let mut decs: Vec<TimecodeDecoder> = (0..4)
+        .map(|_| TimecodeDecoder::new(djstar_dsp::SAMPLE_RATE))
+        .collect();
     let mut buf = AudioBuf::stereo_default();
-    c.bench_function("timecode_tp_phase_4_decks", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for d in 0..4 {
-                gens[d].generate(1.0 + d as f32 * 0.01, &mut buf);
-                acc += decs[d].decode(&buf).speed;
-            }
-            acc
-        })
+    bench("timecode_tp_phase_4_decks", || {
+        let mut acc = 0.0f32;
+        for d in 0..4 {
+            gens[d].generate(1.0 + d as f32 * 0.01, &mut buf);
+            acc += decs[d].decode(&buf).speed;
+        }
+        acc
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(50);
-    targets = bench_generate, bench_decode, bench_full_cycle_4_decks
+fn main() {
+    bench_generate();
+    bench_decode();
+    bench_full_cycle_4_decks();
 }
-criterion_main!(benches);

@@ -1,53 +1,53 @@
 //! WSOLA time-stretching cost — the dominant part of the GP phase (33 % of
 //! the APC in the paper's hotspot analysis).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use djstar_bench::microbench::{bench, group};
 use djstar_dsp::stretch::TimeStretcher;
 use djstar_workload::track::{synth_track, TrackStyle};
 
-fn bench_stretch(c: &mut Criterion) {
+fn bench_stretch() {
     let track = synth_track(5, 126.0, 10.0, TrackStyle::House);
-    let mut group = c.benchmark_group("wsola_128f");
+    group("wsola_128f");
     for tempo in [0.9f32, 1.0, 1.1, 1.5] {
         let mut stretcher = TimeStretcher::new();
         let mut out = vec![0.0f32; djstar_dsp::BUFFER_FRAMES];
-        group.bench_function(BenchmarkId::from_parameter(tempo), |b| {
-            b.iter(|| {
-                if stretcher.position() > (track.samples().len() - 10_000) as f64 {
-                    stretcher.seek(0.0);
-                }
-                stretcher.process(track.samples(), tempo, &mut out);
-                out[0]
-            })
+        bench(&format!("wsola_128f/{tempo}"), || {
+            if stretcher.position() > (track.samples().len() - 10_000) as f64 {
+                stretcher.seek(0.0);
+            }
+            stretcher.process(track.samples(), tempo, &mut out);
+            out[0]
         });
     }
-    group.finish();
 }
 
-fn bench_gp_phase_4_decks(c: &mut Criterion) {
+fn bench_gp_phase_4_decks() {
     let tracks: Vec<_> = (0..4)
-        .map(|d| synth_track(d as u64 + 1, 124.0 + d as f32 * 2.0, 10.0, TrackStyle::House))
+        .map(|d| {
+            synth_track(
+                d as u64 + 1,
+                124.0 + d as f32 * 2.0,
+                10.0,
+                TrackStyle::House,
+            )
+        })
         .collect();
     let mut stretchers: Vec<TimeStretcher> = (0..4).map(|_| TimeStretcher::new()).collect();
     let mut out = vec![0.0f32; djstar_dsp::BUFFER_FRAMES];
-    c.bench_function("gp_stretch_4_decks", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for d in 0..4 {
-                if stretchers[d].position() > (tracks[d].samples().len() - 10_000) as f64 {
-                    stretchers[d].seek(0.0);
-                }
-                stretchers[d].process(tracks[d].samples(), 1.0 + d as f32 * 0.02, &mut out);
-                acc += out[0];
+    bench("gp_stretch_4_decks", || {
+        let mut acc = 0.0f32;
+        for d in 0..4 {
+            if stretchers[d].position() > (tracks[d].samples().len() - 10_000) as f64 {
+                stretchers[d].seek(0.0);
             }
-            acc
-        })
+            stretchers[d].process(tracks[d].samples(), 1.0 + d as f32 * 0.02, &mut out);
+            acc += out[0];
+        }
+        acc
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_stretch, bench_gp_phase_4_decks
+fn main() {
+    bench_stretch();
+    bench_gp_phase_4_decks();
 }
-criterion_main!(benches);

@@ -40,19 +40,31 @@ fn main() {
     for (label, cfg) in [
         (
             "section seed + LIFO (paper)",
-            WsConfig { seed_by_section: true, lifo_local: true },
+            WsConfig {
+                seed_by_section: true,
+                lifo_local: true,
+            },
         ),
         (
             "round-robin seed + LIFO",
-            WsConfig { seed_by_section: false, lifo_local: true },
+            WsConfig {
+                seed_by_section: false,
+                lifo_local: true,
+            },
         ),
         (
             "section seed + FIFO local",
-            WsConfig { seed_by_section: true, lifo_local: false },
+            WsConfig {
+                seed_by_section: true,
+                lifo_local: false,
+            },
         ),
         (
             "round-robin seed + FIFO",
-            WsConfig { seed_by_section: false, lifo_local: false },
+            WsConfig {
+                seed_by_section: false,
+                lifo_local: false,
+            },
         ),
     ] {
         let ms: Vec<u64> = (0..cycles)
@@ -92,10 +104,20 @@ fn main() {
     for k in [0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let scaled = scale_model(&h.durations, k, h.graph.len());
         let busy = mean_ms(&simulate_makespans(
-            &h.graph, &scaled, threads, SimStrategy::Busy, &h.overheads, cycles,
+            &h.graph,
+            &scaled,
+            threads,
+            SimStrategy::Busy,
+            &h.overheads,
+            cycles,
         ));
         let sleep = mean_ms(&simulate_makespans(
-            &h.graph, &scaled, threads, SimStrategy::Sleep, &h.overheads, cycles,
+            &h.graph,
+            &scaled,
+            threads,
+            SimStrategy::Sleep,
+            &h.overheads,
+            cycles,
         ));
         println!(
             "| {k}x | {busy:.4} | {sleep:.4} | +{:.1} % |",

@@ -14,13 +14,12 @@
 
 use djstar_bench::{build_harness, sim_cycles};
 use djstar_core::exec::Strategy;
+use djstar_dsp::rng::SmallRng;
 use djstar_engine::apc::{AudioEngine, AuxWork};
 use djstar_engine::soundcard::SoundCardSim;
 use djstar_sim::strategy::{simulate_makespans, SimStrategy};
 use djstar_stats::render::histogram_bars;
 use djstar_stats::Histogram;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let h = build_harness();
@@ -65,14 +64,14 @@ fn main() {
 
     // OS jitter: rare preemption stalls on a general-purpose OS. ~0.5 per
     // mille of cycles lose a 1-4 ms scheduler quantum.
-    let mut rng = StdRng::seed_from_u64(0xD1_5C_0A_11);
+    let mut rng = SmallRng::seed_from_u64(0xD1_5C_0A_11);
     let mut card = SoundCardSim::paper_default();
     let mut hist = Histogram::new(0.0, 4.0, 40);
     let out = AudioBufFactory::make();
     for (i, &g) in graph_ns.iter().enumerate() {
         let aux = aux_ns[i % aux_ns.len()];
-        let jitter: u64 = if rng.random::<f64>() < 0.0005 {
-            rng.random_range(1_000_000..4_000_000)
+        let jitter: u64 = if rng.chance(0.0005) {
+            rng.range_u64(1_000_000, 4_000_000)
         } else {
             0
         };
@@ -82,8 +81,14 @@ fn main() {
     }
 
     println!("# §VI deadline analysis ({cycles} APCs, BUSY, 4 threads)\n");
-    println!("mean graph time      : {:.3} ms  (paper: ~0.45 ms)", mean(&graph_ns));
-    println!("mean TP+GP+VC        : {:.3} ms  (paper: ~0.8 ms)", aux_mean as f64 / 1e6);
+    println!(
+        "mean graph time      : {:.3} ms  (paper: ~0.45 ms)",
+        mean(&graph_ns)
+    );
+    println!(
+        "mean TP+GP+VC        : {:.3} ms  (paper: ~0.8 ms)",
+        aux_mean as f64 / 1e6
+    );
     println!(
         "deadline             : {:.3} ms",
         card.deadline_ns() as f64 / 1e6
@@ -103,6 +108,24 @@ fn main() {
     );
     println!("\nAPC duration distribution:\n");
     println!("{}", histogram_bars(&hist, 60, "ms"));
+
+    // Real-engine telemetry artifact for this experiment: a short BUSY run
+    // with per-worker cycle counters, so the raw per-cycle records land in
+    // results/ next to the figure.
+    let real_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(threads);
+    let report = djstar_bench::telemetry::capture_and_export(
+        &format!("deadline_busy_{real_threads}t"),
+        &h.scenario,
+        Strategy::Busy,
+        real_threads,
+        50,
+        500,
+    );
+    println!("\n## Telemetry (real BUSY engine, {real_threads} thread(s))\n");
+    println!("{}", report.render());
 }
 
 fn mean(ns: &[u64]) -> f64 {

@@ -53,8 +53,7 @@ fn main() {
         );
         // Order statistics the paper discusses: WS runs small independent
         // nodes early; BUSY/SLEEP follow the round-robin queue order.
-        let mut order: Vec<(u64, u32)> =
-            s.entries.iter().map(|e| (e.start_ns, e.node)).collect();
+        let mut order: Vec<(u64, u32)> = s.entries.iter().map(|e| (e.start_ns, e.node)).collect();
         order.sort();
         let first: Vec<String> = order
             .iter()

@@ -14,9 +14,7 @@ use djstar_bench::{build_harness, mean_ms, sim_cycles};
 use djstar_sim::earliest::earliest_start;
 use djstar_sim::gantt::render_schedule;
 use djstar_sim::list::list_schedule;
-use djstar_sim::strategy::{
-    simulate_makespans, simulate_strategy, OverheadModel, SimStrategy,
-};
+use djstar_sim::strategy::{simulate_makespans, simulate_strategy, OverheadModel, SimStrategy};
 
 fn main() {
     let h = build_harness();
@@ -36,11 +34,23 @@ fn main() {
         SimStrategy::Busy,
         &OverheadModel::zero(),
     );
-    let busy_overhead =
-        simulate_makespans(&h.graph, &h.durations, threads, SimStrategy::Busy, &h.overheads, cycles);
+    let busy_overhead = simulate_makespans(
+        &h.graph,
+        &h.durations,
+        threads,
+        SimStrategy::Busy,
+        &h.overheads,
+        cycles,
+    );
 
-    println!("optimal schedule, unbounded procs : {:>8.1} us  (paper: 295 us)", optimal_inf as f64 / 1e3);
-    println!("optimal schedule, 4 cores         : {:>8.1} us  (paper: 324 us)", optimal_4 as f64 / 1e3);
+    println!(
+        "optimal schedule, unbounded procs : {:>8.1} us  (paper: 295 us)",
+        optimal_inf as f64 / 1e3
+    );
+    println!(
+        "optimal schedule, 4 cores         : {:>8.1} us  (paper: 324 us)",
+        optimal_4 as f64 / 1e3
+    );
     println!(
         "BUSY simulated, no overheads      : {:>8.1} us  (paper: 327 us)",
         busy_ideal.makespan_ns() as f64 / 1e3
@@ -76,7 +86,14 @@ fn main() {
     rows.push(("dispatch + dep checks", only_disp));
     rows.push(("all (host model)", h.overheads));
     for (label, oh) in rows {
-        let ms = simulate_makespans(&h.graph, &h.durations, threads, SimStrategy::Busy, &oh, cycles);
+        let ms = simulate_makespans(
+            &h.graph,
+            &h.durations,
+            threads,
+            SimStrategy::Busy,
+            &oh,
+            cycles,
+        );
         println!("{label:>24}: {:.4} ms", mean_ms(&ms));
     }
 }

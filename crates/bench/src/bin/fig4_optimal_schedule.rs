@@ -59,10 +59,7 @@ fn main() {
         "makespan: {:.1} us   (paper: 324 us)",
         four.makespan_ns() as f64 / 1e3
     );
-    println!(
-        "vs unbounded: +{:.1} %   (paper: +8 %)",
-        slowdown * 100.0
-    );
+    println!("vs unbounded: +{:.1} %   (paper: +8 %)", slowdown * 100.0);
     println!("\nschedule (Fig. 4 lower panel):\n");
     println!("{}", render_schedule(&four, 100));
 

@@ -42,10 +42,15 @@ fn main() {
     println!("# §III-B hotspot analysis ({cycles} APCs)\n");
     println!("| region | total ms | share | paper |");
     println!("|---|---|---|---|");
-    let apc_ns: u64 = ["apc/timecode", "apc/preprocessing", "apc/graph", "apc/various"]
-        .iter()
-        .map(|r| profiler.total_of(r))
-        .sum();
+    let apc_ns: u64 = [
+        "apc/timecode",
+        "apc/preprocessing",
+        "apc/graph",
+        "apc/various",
+    ]
+    .iter()
+    .map(|r| profiler.total_of(r))
+    .sum();
     let paper = |region: &str| match region {
         "apc/timecode" => "16 % of APC runtime",
         "apc/preprocessing" => "33 % of APC runtime",

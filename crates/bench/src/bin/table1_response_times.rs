@@ -56,11 +56,35 @@ fn main() {
 
     // Headline checks, in the spirit of §VI.
     let (winner, best) = table.best_in_column(3).expect("rows present");
-    println!("winner at 4 threads: {} ({best:.4} ms)", table.rows[winner].0);
+    println!(
+        "winner at 4 threads: {} ({best:.4} ms)",
+        table.rows[winner].0
+    );
     println!(
         "BUSY speedup at 4 threads: {:.2} (paper: 2.40)",
         table.speedup(0, 3)
     );
+
+    // Telemetry artifacts: short real-engine runs of each parallel
+    // strategy with cycle counters enabled, exported as JSONL next to the
+    // table (see DESIGN.md "Telemetry").
+    let real_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    println!("\n# Telemetry (real engines, {real_threads} thread(s), 400 cycles)\n");
+    for strat in [Strategy::Busy, Strategy::Sleep, Strategy::Steal] {
+        let label = djstar_bench::telemetry::strategy_label(strat).to_lowercase();
+        let report = djstar_bench::telemetry::capture_and_export(
+            &format!("table1_{label}_{real_threads}t"),
+            &h.scenario,
+            strat,
+            real_threads,
+            50,
+            400,
+        );
+        println!("{}", report.render());
+    }
 
     if run_real_executors() {
         println!("\n# Real executors (wall clock; only meaningful on multi-core hosts)\n");

@@ -1,0 +1,102 @@
+//! E11 — telemetry baseline: run every scheduling strategy on the real
+//! engine with per-worker cycle counters enabled, and leave two artifacts:
+//!
+//! * `results/telemetry_<strategy>_<T>t.jsonl` — raw per-cycle records,
+//! * `BENCH_telemetry.json` (repo root) — aggregated per-strategy baseline:
+//!   mean/p50/p90/p99/p99.9 graph and wait times, counter totals, and the
+//!   deadline-miss ledger against the 2.9 ms budget.
+//!
+//! The binary also runs the overhead guard: telemetry must cost less than
+//! 2 % of the graph time, measured by toggling telemetry off/on in
+//! adjacent blocks on the *same* engine and taking the median over the
+//! per-pair deltas of fastest cycles (pairing cancels seconds-scale host
+//! drift, minima shed one-sided preemption noise, and the median sheds
+//! pairs that straddled a stall).
+//! Set `DJSTAR_STRICT=1` to make a guard failure exit non-zero; by default
+//! it only warns, because a loaded host can still pollute even the minima.
+//!
+//! Knobs: `DJSTAR_TELEMETRY_CYCLES` (default 2000), `DJSTAR_THREADS`
+//! (default: available parallelism, capped at 4), `DJSTAR_CALIBRATE=0`
+//! to skip workload calibration.
+
+use djstar_bench::telemetry::{
+    bench_json, capture_and_export, overhead_fraction, strategy_label, DEADLINE_NS,
+};
+use djstar_bench::PAPER_SEQUENTIAL_MS;
+use djstar_core::exec::Strategy;
+use djstar_engine::apc::AudioEngine;
+use djstar_workload::scenario::Scenario;
+use std::time::Duration;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cycles = env_usize("DJSTAR_TELEMETRY_CYCLES", 2_000);
+    let threads = env_usize(
+        "DJSTAR_THREADS",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4),
+    )
+    .max(1);
+
+    let scenario = if std::env::var("DJSTAR_CALIBRATE").is_ok_and(|v| v == "0") {
+        Scenario::paper_default()
+    } else {
+        eprintln!("[telemetry] calibrating work profile toward {PAPER_SEQUENTIAL_MS} ms ...");
+        AudioEngine::calibrate(
+            Scenario::paper_default(),
+            Duration::from_nanos((PAPER_SEQUENTIAL_MS * 1e6) as u64),
+            200,
+        )
+    };
+
+    let runs = [
+        (Strategy::Sequential, 1),
+        (Strategy::Busy, threads),
+        (Strategy::Sleep, threads),
+        (Strategy::Steal, threads),
+        (Strategy::Hybrid, threads),
+    ];
+
+    println!(
+        "# Telemetry baseline ({cycles} cycles per strategy, {:.3} ms deadline)\n",
+        DEADLINE_NS as f64 / 1e6
+    );
+    let mut reports = Vec::new();
+    for (strategy, t) in runs {
+        let label = strategy_label(strategy);
+        eprintln!("[telemetry] running {label} @ {t} thread(s) ...");
+        let tag = format!("{}_{}t", label.to_lowercase(), t);
+        let report = capture_and_export(&tag, &scenario, strategy, t, 50, cycles);
+        println!("{}", report.render());
+        reports.push(report);
+    }
+
+    let json = bench_json(&reports).render();
+    match std::fs::write("BENCH_telemetry.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("[telemetry] wrote BENCH_telemetry.json"),
+        Err(e) => eprintln!("[telemetry] cannot write BENCH_telemetry.json: {e}"),
+    }
+
+    // Overhead guard: counters + ring drain must stay under 2 % of the
+    // graph time. Measured on the sequential executor (the configuration
+    // where the fixed per-node cost is largest relative to waiting time).
+    eprintln!("[telemetry] measuring recording overhead (off vs on) ...");
+    let frac = overhead_fraction(&scenario, Strategy::Sequential, 1, 500, 3);
+    let pct = frac * 100.0;
+    let pass = frac < 0.02;
+    println!(
+        "telemetry overhead: {pct:+.3} % of fastest graph time (budget 2 %) — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass && std::env::var("DJSTAR_STRICT").is_ok_and(|v| v != "0") {
+        std::process::exit(1);
+    }
+}

@@ -6,6 +6,7 @@
 //! 4 (the graph's steady-state parallelism is the four deck chains).
 
 use djstar_bench::{build_harness, mean_ms, sim_cycles};
+use djstar_core::exec::Strategy;
 use djstar_sim::strategy::{simulate_makespans, SimStrategy};
 
 fn main() {
@@ -54,7 +55,12 @@ fn main() {
     for strat in SimStrategy::ALL {
         let at = |t: usize| {
             mean_ms(&simulate_makespans(
-                &h.graph, &h.durations, t, strat, &h.overheads, cycles,
+                &h.graph,
+                &h.durations,
+                t,
+                strat,
+                &h.overheads,
+                cycles,
             ))
         };
         let (m2, m4, m8) = (at(2), at(4), at(8));
@@ -65,4 +71,22 @@ fn main() {
             (m4 / m8 - 1.0) * 100.0
         );
     }
+
+    // Telemetry artifact: a real work-stealing run with cycle counters —
+    // the steal hit rates and deque high-water marks complement the
+    // virtual-time scaling table above.
+    let real_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let report = djstar_bench::telemetry::capture_and_export(
+        &format!("scaling_ws_{real_threads}t"),
+        &h.scenario,
+        Strategy::Steal,
+        real_threads,
+        50,
+        400,
+    );
+    println!("\n## Telemetry (real WS engine, {real_threads} thread(s))\n");
+    println!("{}", report.render());
 }

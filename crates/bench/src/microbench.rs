@@ -1,0 +1,59 @@
+//! Minimal wall-clock microbenchmark runner.
+//!
+//! The workspace builds offline without Criterion, so the `benches/` targets
+//! use this instead: adaptive batch sizing (double the iteration count until
+//! a batch is long enough to time reliably), then a fixed measurement window,
+//! reporting mean and best ns/iter. Run via `cargo bench` as usual; set
+//! `DJSTAR_BENCH_MS` to change the per-benchmark measurement window.
+
+use std::time::{Duration, Instant};
+
+/// Measurement window per benchmark (milliseconds), `DJSTAR_BENCH_MS`.
+fn window_ms() -> u64 {
+    std::env::var("DJSTAR_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Time `f`, printing `name  <mean> ns/iter (best <min>)`.
+///
+/// The closure's return value is passed through [`std::hint::black_box`] so
+/// the optimizer cannot delete the measured work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm up and find a batch size that runs for at least ~2 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        if t0.elapsed() >= Duration::from_millis(2) || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 2;
+    }
+    // Measure whole batches inside the window.
+    let window = Duration::from_millis(window_ms());
+    let start = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut total_ns = 0u128;
+    let mut batches = 0u32;
+    while batches < 3 || (start.elapsed() < window && batches < 1000) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos();
+        best = best.min(ns as f64 / iters as f64);
+        total_ns += ns;
+        batches += 1;
+    }
+    let mean = total_ns as f64 / (batches as u64 * iters) as f64;
+    println!("{name:<44} {mean:>12.1} ns/iter   (best {best:.1}, {batches} x {iters})");
+}
+
+/// Print a section header, mirroring Criterion's group labels.
+pub fn group(name: &str) {
+    println!("\n## {name}");
+}

@@ -20,6 +20,7 @@
 use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
 use crate::graph::{GraphTopology, NodeId, TaskGraph};
 use crate::processor::Processor;
+use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
 use crate::trace::{ScheduleTrace, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::sync::atomic::Ordering;
@@ -33,6 +34,7 @@ pub struct BusyExecutor {
     workers: Vec<JoinHandle<()>>,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
+    telemetry: Option<TelemetryRing>,
 }
 
 impl BusyExecutor {
@@ -63,6 +65,7 @@ impl BusyExecutor {
             workers,
             tracing: false,
             last_trace: None,
+            telemetry: None,
         }
     }
 }
@@ -79,6 +82,8 @@ fn worker_loop(shared: &Shared, me: usize) {
 /// Execute worker `me`'s round-robin share of the queue for `epoch`.
 fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let tracing = shared.tracing.load(Ordering::Relaxed);
+    let telem = shared.telemetry.load(Ordering::Relaxed);
+    let counters = &shared.counters[me];
     let topo = shared.exec.topology();
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
     let ctx = unsafe { shared.ctx(epoch) };
@@ -88,30 +93,42 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             continue;
         }
         let preds = topo.preds(NodeId(node));
-        if tracing {
+        if tracing || telem {
             let w0 = Instant::now();
-            let mut waited = false;
+            let mut spins = 0u64;
             for &p in preds {
-                waited |= shared.exec.spin_until_done(p as usize, epoch);
+                spins += shared.exec.spin_until_done(p as usize, epoch);
             }
-            if waited {
-                events.push(RawEvent {
-                    node,
-                    kind: TraceKind::BusyWait,
-                    start: w0,
-                    end: Instant::now(),
-                });
+            if spins > 0 {
+                let w1 = Instant::now();
+                if tracing {
+                    events.push(RawEvent {
+                        node,
+                        kind: TraceKind::BusyWait,
+                        start: w0,
+                        end: w1,
+                    });
+                }
+                if telem {
+                    counters.add_spin(spins, (w1 - w0).as_nanos() as u64);
+                }
             }
             let t0 = Instant::now();
             // SAFETY: exactly-once ownership by round-robin assignment; all
             // predecessors observed done for this epoch.
             unsafe { shared.exec.execute(node as usize, &ctx) };
-            events.push(RawEvent {
-                node,
-                kind: TraceKind::Exec,
-                start: t0,
-                end: Instant::now(),
-            });
+            let t1 = Instant::now();
+            if tracing {
+                events.push(RawEvent {
+                    node,
+                    kind: TraceKind::Exec,
+                    start: t0,
+                    end: t1,
+                });
+            }
+            if telem {
+                counters.add_exec((t1 - t0).as_nanos() as u64);
+            }
         } else {
             for &p in preds {
                 shared.exec.spin_until_done(p as usize, epoch);
@@ -136,15 +153,22 @@ impl GraphExecutor for BusyExecutor {
     }
 
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        self.shared.tracing.store(self.tracing, Ordering::Relaxed);
         self.shared
-            .tracing
-            .store(self.tracing, Ordering::Relaxed);
+            .telemetry
+            .store(self.telemetry.is_some(), Ordering::Relaxed);
         // SAFETY: driver thread, no cycle in flight (`&mut self`).
         let epoch = unsafe { self.shared.begin_cycle(external_audio, controls) };
         let start = unsafe { *self.shared.cycle_start.get() };
         run_cycle_part(&self.shared, 0, epoch);
         self.shared.wait_cycle_done();
         let duration = start.elapsed();
+        if let Some(ring) = self.telemetry.as_mut() {
+            // All counter updates happen-before the workers' final
+            // done-count increments, acquired by `wait_cycle_done`.
+            let slot = ring.begin_push(epoch, duration.as_nanos() as u64);
+            self.shared.drain_counters(slot);
+        }
         if self.tracing {
             self.shared.wait_trace_flushed();
             self.last_trace = Some(self.shared.collect_trace());
@@ -158,6 +182,27 @@ impl GraphExecutor for BusyExecutor {
 
     fn take_trace(&mut self) -> Option<ScheduleTrace> {
         self.last_trace.take()
+    }
+
+    fn set_telemetry(&mut self, on: bool) {
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(TelemetryRing::new(
+                    DEFAULT_RING_CAPACITY,
+                    self.shared.threads,
+                ));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetryRing> {
+        let taken = self.telemetry.take();
+        if let Some(r) = &taken {
+            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+        }
+        taken
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {

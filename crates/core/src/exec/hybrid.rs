@@ -17,6 +17,7 @@
 use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
 use crate::graph::{GraphTopology, NodeId, TaskGraph};
 use crate::processor::Processor;
+use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
 use crate::trace::{ScheduleTrace, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -30,6 +31,7 @@ pub struct HybridExecutor {
     workers: Vec<JoinHandle<()>>,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
+    telemetry: Option<TelemetryRing>,
 }
 
 struct HybridShared {
@@ -68,6 +70,7 @@ impl HybridExecutor {
             workers,
             tracing: false,
             last_trace: None,
+            telemetry: None,
         }
     }
 
@@ -85,11 +88,11 @@ fn worker_loop(shared: &HybridShared, me: usize) {
     }
 }
 
-/// Outcome of a hybrid wait, for tracing.
+/// Outcome of a hybrid wait, for tracing and telemetry.
 enum WaitOutcome {
     NoWait,
-    SpunOnly,
-    Parked,
+    SpunOnly { spins: u64 },
+    Parked { spins: u64, parks: u64 },
 }
 
 /// Spin up to the budget, then register-and-park until `pending == 0`.
@@ -102,7 +105,9 @@ fn hybrid_wait(sh: &HybridShared, node: usize, me: usize) -> WaitOutcome {
     let budget = sh.spin_budget.load(Ordering::Relaxed);
     for i in 0..budget {
         if pending(Ordering::Acquire) == 0 {
-            return WaitOutcome::SpunOnly;
+            return WaitOutcome::SpunOnly {
+                spins: u64::from(i) + 1,
+            };
         }
         if i % 1024 == 1023 {
             std::thread::yield_now();
@@ -111,22 +116,27 @@ fn hybrid_wait(sh: &HybridShared, node: usize, me: usize) -> WaitOutcome {
         }
     }
     // Budget exhausted: fall back to the SLEEP protocol.
+    let spins = u64::from(budget);
+    let mut parks = 0u64;
     loop {
         cell.waiter.store(me + 1, Ordering::SeqCst);
         if pending(Ordering::Acquire) == 0 {
             cell.waiter.store(0, Ordering::SeqCst);
-            return WaitOutcome::Parked;
+            return WaitOutcome::Parked { spins, parks };
         }
         std::thread::park();
+        parks += 1;
         if pending(Ordering::Acquire) == 0 {
             cell.waiter.store(0, Ordering::SeqCst);
-            return WaitOutcome::Parked;
+            return WaitOutcome::Parked { spins, parks };
         }
     }
 }
 
 fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
     let tracing = sh.base.tracing.load(Ordering::Relaxed);
+    let telem = sh.base.telemetry.load(Ordering::Relaxed);
+    let counters = &sh.base.counters[me];
     let topo = sh.base.exec.topology();
     // SAFETY: epoch acquired.
     let ctx = unsafe { sh.base.ctx(epoch) };
@@ -139,38 +149,80 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
         }
         let w0 = Instant::now();
         let outcome = hybrid_wait(sh, node as usize, me);
-        if tracing {
-            let kind = match outcome {
-                WaitOutcome::NoWait => None,
-                WaitOutcome::SpunOnly => Some(TraceKind::BusyWait),
-                WaitOutcome::Parked => Some(TraceKind::Sleep),
-            };
-            if let Some(kind) = kind {
-                events.push(RawEvent {
-                    node,
-                    kind,
-                    start: w0,
-                    end: Instant::now(),
-                });
+        if tracing || telem {
+            let w1 = Instant::now();
+            let wait_ns = (w1 - w0).as_nanos() as u64;
+            match outcome {
+                WaitOutcome::NoWait => {}
+                WaitOutcome::SpunOnly { spins } => {
+                    if tracing {
+                        events.push(RawEvent {
+                            node,
+                            kind: TraceKind::BusyWait,
+                            start: w0,
+                            end: w1,
+                        });
+                    }
+                    if telem {
+                        counters.add_spin(spins, wait_ns);
+                    }
+                }
+                WaitOutcome::Parked { spins, parks } => {
+                    if tracing {
+                        events.push(RawEvent {
+                            node,
+                            kind: TraceKind::Sleep,
+                            start: w0,
+                            end: w1,
+                        });
+                    }
+                    if telem {
+                        // The wait spanned the spin budget and the park; the
+                        // duration is booked against the park, which
+                        // dominates once the budget is exhausted.
+                        counters.add_spin(spins, 0);
+                        counters.add_park(parks, wait_ns);
+                    }
+                }
             }
         }
         let t0 = Instant::now();
         // SAFETY: exactly-once by static assignment; pending==0 acquired.
         unsafe { sh.base.exec.execute(node as usize, &ctx) };
-        if tracing {
-            events.push(RawEvent {
-                node,
-                kind: TraceKind::Exec,
-                start: t0,
-                end: Instant::now(),
-            });
+        if tracing || telem {
+            let t1 = Instant::now();
+            if tracing {
+                events.push(RawEvent {
+                    node,
+                    kind: TraceKind::Exec,
+                    start: t0,
+                    end: t1,
+                });
+            }
+            if telem {
+                counters.add_exec((t1 - t0).as_nanos() as u64);
+            }
         }
         for &s in topo.succs(NodeId(node)) {
             let sc = sh.base.exec.cell(s as usize);
             if sc.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let w = sc.waiter.swap(0, Ordering::SeqCst);
                 if w != 0 {
-                    handles[w - 1].unpark();
+                    if telem {
+                        counters.add_unpark();
+                    }
+                    if tracing {
+                        let u0 = Instant::now();
+                        handles[w - 1].unpark();
+                        events.push(RawEvent {
+                            node: s,
+                            kind: TraceKind::Unpark,
+                            start: u0,
+                            end: Instant::now(),
+                        });
+                    } else {
+                        handles[w - 1].unpark();
+                    }
                 }
             }
         }
@@ -193,12 +245,21 @@ impl GraphExecutor for HybridExecutor {
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
         let sh = &self.shared;
         sh.base.tracing.store(self.tracing, Ordering::Relaxed);
+        sh.base
+            .telemetry
+            .store(self.telemetry.is_some(), Ordering::Relaxed);
         // SAFETY: driver thread, no cycle in flight.
         let epoch = unsafe { sh.base.begin_cycle(external_audio, controls) };
         let start = unsafe { *sh.base.cycle_start.get() };
         run_cycle_part(sh, 0, epoch);
         sh.base.wait_cycle_done();
         let duration = start.elapsed();
+        if let Some(ring) = self.telemetry.as_mut() {
+            // Counter updates happen-before the workers' final done-count
+            // increments, acquired by `wait_cycle_done`.
+            let slot = ring.begin_push(epoch, duration.as_nanos() as u64);
+            sh.base.drain_counters(slot);
+        }
         if self.tracing {
             sh.base.wait_trace_flushed();
             self.last_trace = Some(sh.base.collect_trace());
@@ -212,6 +273,27 @@ impl GraphExecutor for HybridExecutor {
 
     fn take_trace(&mut self) -> Option<ScheduleTrace> {
         self.last_trace.take()
+    }
+
+    fn set_telemetry(&mut self, on: bool) {
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(TelemetryRing::new(
+                    DEFAULT_RING_CAPACITY,
+                    self.shared.base.threads,
+                ));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetryRing> {
+        let taken = self.telemetry.take();
+        if let Some(r) = &taken {
+            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+        }
+        taken
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {

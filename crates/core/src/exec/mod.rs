@@ -39,6 +39,7 @@ pub use stealing::StealExecutor;
 
 use crate::graph::{GraphTopology, NodeId, TaskGraph};
 use crate::processor::{CycleCtx, Processor};
+use crate::telemetry::{CounterSnapshot, CycleCounters, TelemetryRing};
 use crate::trace::{ScheduleTrace, TraceEvent, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::cell::UnsafeCell;
@@ -104,6 +105,21 @@ pub trait GraphExecutor: Send {
 
     /// Take the trace of the most recent traced cycle.
     fn take_trace(&mut self) -> Option<ScheduleTrace>;
+
+    /// Enable/disable telemetry counter collection. Far cheaper than
+    /// tracing (a handful of `Relaxed` counter adds per node, no
+    /// allocation inside a cycle); off by default. Implementations that do
+    /// not support telemetry may ignore this.
+    fn set_telemetry(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Take the ring of per-cycle telemetry records collected so far.
+    /// Collection continues afterwards (with a fresh ring) if telemetry is
+    /// still enabled. `None` when telemetry is off or unsupported.
+    fn take_telemetry(&mut self) -> Option<TelemetryRing> {
+        None
+    }
 
     /// Copy a node's output buffer into `dst` (call between cycles only;
     /// enforced by `&mut self`).
@@ -249,16 +265,16 @@ impl ExecGraph {
     }
 
     /// Spin until `node` is done for `epoch` (BUSY dependency wait).
-    /// Returns `true` if any waiting actually occurred.
+    /// Returns the number of spin iterations — 0 iff no waiting occurred.
     #[inline]
-    pub(crate) fn spin_until_done(&self, node: usize, epoch: u64) -> bool {
+    pub(crate) fn spin_until_done(&self, node: usize, epoch: u64) -> u64 {
         let cell = &self.cells[node];
         if cell.done_epoch.load(Ordering::Acquire) == epoch {
-            return false;
+            return 0;
         }
-        let mut spins = 0u32;
+        let mut spins = 1u64;
         while cell.done_epoch.load(Ordering::Acquire) != epoch {
-            spins = spins.wrapping_add(1);
+            spins += 1;
             if spins % 4096 == 0 {
                 // On over-subscribed machines a pure spin would starve the
                 // worker that must produce this dependency.
@@ -267,7 +283,7 @@ impl ExecGraph {
                 core::hint::spin_loop();
             }
         }
-        true
+        spins
     }
 
     /// True when `node` is done for `epoch` (an `Acquire` read: a `true`
@@ -293,8 +309,11 @@ impl ExecGraph {
         }
         // SAFETY: exclusive ownership of `node` this epoch.
         let rt = &mut *self.cells[node].runtime.get();
-        rt.processor.process(&inputs[..preds.len()], &mut rt.output, ctx);
-        self.cells[node].done_epoch.store(ctx.epoch, Ordering::Release);
+        rt.processor
+            .process(&inputs[..preds.len()], &mut rt.output, ctx);
+        self.cells[node]
+            .done_epoch
+            .store(ctx.epoch, Ordering::Release);
     }
 
     /// Reset pending counters for a new cycle. Driver only, between cycles.
@@ -395,6 +414,11 @@ pub(crate) struct Shared {
     pub threads: usize,
     /// Whether to record trace events this cycle.
     pub tracing: AtomicBool,
+    /// Whether to record telemetry counters this cycle.
+    pub telemetry: AtomicBool,
+    /// Per-worker telemetry counters, recorded `Relaxed` on the hot path
+    /// and drained by the driver between cycles.
+    pub counters: Box<[CycleCounters]>,
     /// External inputs for the current cycle.
     pub external: DriverCell<ExternalInputs>,
     /// Instant of the current cycle's start (for trace offsets).
@@ -403,7 +427,7 @@ pub(crate) struct Shared {
     /// each cycle (the driver participates as worker 0).
     pub handles: DriverCell<Vec<std::thread::Thread>>,
     /// Per-worker trace sinks, drained by the driver after a traced cycle.
-    pub trace_sinks: Vec<parking_lot::Mutex<Vec<RawEvent>>>,
+    pub trace_sinks: Vec<std::sync::Mutex<Vec<RawEvent>>>,
     /// Workers that have flushed their trace sink this cycle (traced cycles
     /// only); the driver waits for all of them before collecting.
     pub trace_flushed: AtomicU32,
@@ -424,12 +448,27 @@ impl Shared {
             shutdown: AtomicBool::new(false),
             threads,
             tracing: AtomicBool::new(false),
+            telemetry: AtomicBool::new(false),
+            counters: (0..threads).map(|_| CycleCounters::new()).collect(),
             external: DriverCell::new(ExternalInputs::default()),
             cycle_start: DriverCell::new(Instant::now()),
             handles: DriverCell::new(Vec::new()),
-            trace_sinks: (0..threads).map(|_| parking_lot::Mutex::new(Vec::new())).collect(),
+            trace_sinks: (0..threads)
+                .map(|_| std::sync::Mutex::new(Vec::new()))
+                .collect(),
             trace_flushed: AtomicU32::new(0),
             cycle_exited: AtomicU32::new(0),
+        }
+    }
+
+    /// Driver-side: move every worker's counters into `out` (and reset
+    /// them). Call only after the cycle-completion barrier that orders all
+    /// worker-side counter updates before the driver's reads
+    /// (`wait_cycle_done`, or `wait_cycle_exited` for executors whose
+    /// workers keep recording until they leave the cycle loop).
+    pub(crate) fn drain_counters(&self, out: &mut [CounterSnapshot]) {
+        for (c, o) in self.counters.iter().zip(out.iter_mut()) {
+            c.drain_into(o);
         }
     }
 
@@ -453,7 +492,7 @@ impl Shared {
 
     /// Worker-side: store this cycle's trace events and mark them flushed.
     pub(crate) fn flush_trace(&self, worker: usize, events: Vec<RawEvent>) {
-        *self.trace_sinks[worker].lock() = events;
+        *self.trace_sinks[worker].lock().unwrap() = events;
         self.trace_flushed.fetch_add(1, Ordering::Release);
     }
 
@@ -570,7 +609,7 @@ impl Shared {
             .trace_sinks
             .iter()
             .enumerate()
-            .map(|(w, m)| (w as u32, std::mem::take(&mut *m.lock())))
+            .map(|(w, m)| (w as u32, std::mem::take(&mut *m.lock().unwrap())))
             .collect();
         finish_trace(self.threads as u32, cycle_start, raw)
     }
@@ -589,36 +628,44 @@ pub(crate) mod test_support {
         let n0 = b.add(
             "one",
             Section::DeckA,
-            Box::new(FnProcessor(|_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
-                out.samples_mut().fill(1.0);
-            })),
+            Box::new(FnProcessor(
+                |_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    out.samples_mut().fill(1.0);
+                },
+            )),
             &[],
         );
         let n1 = b.add(
             "two",
             Section::DeckB,
-            Box::new(FnProcessor(|_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
-                out.samples_mut().fill(2.0);
-            })),
+            Box::new(FnProcessor(
+                |_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    out.samples_mut().fill(2.0);
+                },
+            )),
             &[],
         );
         let n2 = b.add(
             "sum",
             Section::Master,
-            Box::new(FnProcessor(|inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
-                out.clear();
-                for i in inp {
-                    out.mix_add(i, 1.0);
-                }
-            })),
+            Box::new(FnProcessor(
+                |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    out.clear();
+                    for i in inp {
+                        out.mix_add(i, 1.0);
+                    }
+                },
+            )),
             &[n0, n1],
         );
         b.add(
             "copy",
             Section::Master,
-            Box::new(FnProcessor(|inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
-                out.copy_from(inp[0]);
-            })),
+            Box::new(FnProcessor(
+                |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    out.copy_from(inp[0]);
+                },
+            )),
             &[n2],
         );
         b.build().unwrap()
@@ -645,10 +692,12 @@ pub(crate) mod test_support {
             doublers.push(b.add(
                 format!("dbl{i}"),
                 Section::deck(i % 4),
-                Box::new(FnProcessor(|inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
-                    out.copy_from(inp[0]);
-                    out.scale(2.0);
-                })),
+                Box::new(FnProcessor(
+                    |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                        out.copy_from(inp[0]);
+                        out.scale(2.0);
+                    },
+                )),
                 &[src],
             ));
         }
@@ -716,18 +765,22 @@ mod tests {
         let a = b.add(
             "src",
             Section::DeckA,
-            Box::new(FnProcessor(|_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
-                out.samples_mut().fill(2.0);
-            })),
+            Box::new(FnProcessor(
+                |_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    out.samples_mut().fill(2.0);
+                },
+            )),
             &[],
         );
         let _ = b.add(
             "sink",
             Section::Master,
-            Box::new(FnProcessor(|inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
-                out.copy_from(inp[0]);
-                out.scale(3.0);
-            })),
+            Box::new(FnProcessor(
+                |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    out.copy_from(inp[0]);
+                    out.scale(3.0);
+                },
+            )),
             &[a],
         );
         let g = b.build().unwrap();
@@ -751,7 +804,7 @@ mod tests {
         unsafe { exec.execute(0, &CycleCtx::bare(1)) };
         assert!(exec.is_done(0, 1));
         assert!(!exec.is_done(0, 2));
-        assert!(!exec.spin_until_done(0, 1)); // already done: no wait
+        assert_eq!(exec.spin_until_done(0, 1), 0); // already done: no wait
     }
 
     #[test]
@@ -787,10 +840,12 @@ mod tests {
         b.add(
             "reader",
             Section::DeckA,
-            Box::new(FnProcessor(|_: &[&AudioBuf], out: &mut AudioBuf, ctx: &CycleCtx<'_>| {
-                out.copy_from(&ctx.external_audio[0]);
-                out.scale(ctx.controls[0]);
-            })),
+            Box::new(FnProcessor(
+                |_: &[&AudioBuf], out: &mut AudioBuf, ctx: &CycleCtx<'_>| {
+                    out.copy_from(&ctx.external_audio[0]);
+                    out.scale(ctx.controls[0]);
+                },
+            )),
             &[],
         );
         let g = b.build().unwrap();

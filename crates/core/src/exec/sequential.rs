@@ -8,6 +8,7 @@
 use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Strategy};
 use crate::graph::{GraphTopology, NodeId, TaskGraph};
 use crate::processor::{CycleCtx, Processor};
+use crate::telemetry::{CycleCounters, TelemetryRing, DEFAULT_RING_CAPACITY};
 use crate::trace::{ScheduleTrace, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::time::Instant;
@@ -18,6 +19,8 @@ pub struct SequentialExecutor {
     epoch: u64,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
+    counters: CycleCounters,
+    telemetry: Option<TelemetryRing>,
 }
 
 impl SequentialExecutor {
@@ -28,6 +31,8 @@ impl SequentialExecutor {
             epoch: 0,
             tracing: false,
             last_trace: None,
+            counters: CycleCounters::new(),
+            telemetry: None,
         }
     }
 }
@@ -48,6 +53,7 @@ impl GraphExecutor for SequentialExecutor {
             external_audio,
             controls,
         };
+        let telem = self.telemetry.is_some();
         let start = Instant::now();
         if self.tracing {
             let mut events = Vec::with_capacity(self.exec.len());
@@ -56,23 +62,37 @@ impl GraphExecutor for SequentialExecutor {
                 // SAFETY: single thread executes every node in queue order,
                 // which is a valid topological order.
                 unsafe { self.exec.execute(n as usize, &ctx) };
+                let t1 = Instant::now();
+                if telem {
+                    self.counters.add_exec((t1 - t0).as_nanos() as u64);
+                }
                 events.push(RawEvent {
                     node: n,
                     kind: TraceKind::Exec,
                     start: t0,
-                    end: Instant::now(),
+                    end: t1,
                 });
             }
             self.last_trace = Some(super::finish_trace(1, start, vec![(0, events)]));
+        } else if telem {
+            for &n in self.exec.topology().queue() {
+                let t0 = Instant::now();
+                // SAFETY: as above.
+                unsafe { self.exec.execute(n as usize, &ctx) };
+                self.counters.add_exec(t0.elapsed().as_nanos() as u64);
+            }
         } else {
             for &n in self.exec.topology().queue() {
                 // SAFETY: as above.
                 unsafe { self.exec.execute(n as usize, &ctx) };
             }
         }
-        CycleResult {
-            duration: start.elapsed(),
+        let duration = start.elapsed();
+        if let Some(ring) = self.telemetry.as_mut() {
+            let slot = ring.begin_push(self.epoch, duration.as_nanos() as u64);
+            self.counters.drain_into(&mut slot[0]);
         }
+        CycleResult { duration }
     }
 
     fn set_tracing(&mut self, on: bool) {
@@ -81,6 +101,24 @@ impl GraphExecutor for SequentialExecutor {
 
     fn take_trace(&mut self) -> Option<ScheduleTrace> {
         self.last_trace.take()
+    }
+
+    fn set_telemetry(&mut self, on: bool) {
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(TelemetryRing::new(DEFAULT_RING_CAPACITY, 1));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetryRing> {
+        let taken = self.telemetry.take();
+        if let Some(r) = &taken {
+            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+        }
+        taken
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {

@@ -22,6 +22,7 @@
 use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
 use crate::graph::{GraphTopology, NodeId, TaskGraph};
 use crate::processor::Processor;
+use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
 use crate::trace::{ScheduleTrace, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::sync::atomic::Ordering;
@@ -35,6 +36,7 @@ pub struct SleepExecutor {
     workers: Vec<JoinHandle<()>>,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
+    telemetry: Option<TelemetryRing>,
 }
 
 impl SleepExecutor {
@@ -64,6 +66,7 @@ impl SleepExecutor {
             workers,
             tracing: false,
             last_trace: None,
+            telemetry: None,
         }
     }
 }
@@ -76,24 +79,29 @@ fn worker_loop(shared: &Shared, me: usize) {
     }
 }
 
-/// Wait for `node`'s dependencies by parking (returns once `pending == 0`).
-fn sleep_until_ready(shared: &Shared, node: usize, me: usize) -> bool {
+/// Wait for `node`'s dependencies by parking. Returns `None` when the node
+/// was ready immediately, otherwise `Some(parks)` with the number of
+/// `park()` calls actually made (0 when the dependency arrived between
+/// registration and parking).
+fn sleep_until_ready(shared: &Shared, node: usize, me: usize) -> Option<u64> {
     let cell = shared.exec.cell(node);
     if cell_pending(shared, node) == 0 {
-        return false;
+        return None;
     }
+    let mut parks = 0u64;
     loop {
         // Register as this node's executor, then re-check before parking.
         cell.waiter.store(me + 1, Ordering::SeqCst);
         if cell_pending(shared, node) == 0 {
             cell.waiter.store(0, Ordering::SeqCst);
-            return true;
+            return Some(parks);
         }
         std::thread::park();
+        parks += 1;
         // Spurious wakes (e.g. the cycle-start broadcast token) re-check.
         if cell_pending(shared, node) == 0 {
             cell.waiter.store(0, Ordering::SeqCst);
-            return true;
+            return Some(parks);
         }
     }
 }
@@ -105,6 +113,8 @@ fn cell_pending(shared: &Shared, node: usize) -> u32 {
 
 fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let tracing = shared.tracing.load(Ordering::Relaxed);
+    let telem = shared.telemetry.load(Ordering::Relaxed);
+    let counters = &shared.counters[me];
     let topo = shared.exec.topology();
     // SAFETY: epoch acquired.
     let ctx = unsafe { shared.ctx(epoch) };
@@ -115,27 +125,38 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
         if k % shared.threads != me {
             continue;
         }
-        if tracing {
+        if tracing || telem {
             let w0 = Instant::now();
-            let waited = sleep_until_ready(shared, node as usize, me);
-            if waited {
-                events.push(RawEvent {
-                    node,
-                    kind: TraceKind::Sleep,
-                    start: w0,
-                    end: Instant::now(),
-                });
+            if let Some(parks) = sleep_until_ready(shared, node as usize, me) {
+                let w1 = Instant::now();
+                if tracing {
+                    events.push(RawEvent {
+                        node,
+                        kind: TraceKind::Sleep,
+                        start: w0,
+                        end: w1,
+                    });
+                }
+                if telem {
+                    counters.add_park(parks, (w1 - w0).as_nanos() as u64);
+                }
             }
             let t0 = Instant::now();
             // SAFETY: exactly-once ownership (static assignment); pending==0
             // observed with Acquire implies all predecessor outputs visible.
             unsafe { shared.exec.execute(node as usize, &ctx) };
-            events.push(RawEvent {
-                node,
-                kind: TraceKind::Exec,
-                start: t0,
-                end: Instant::now(),
-            });
+            let t1 = Instant::now();
+            if tracing {
+                events.push(RawEvent {
+                    node,
+                    kind: TraceKind::Exec,
+                    start: t0,
+                    end: t1,
+                });
+            }
+            if telem {
+                counters.add_exec((t1 - t0).as_nanos() as u64);
+            }
         } else {
             sleep_until_ready(shared, node as usize, me);
             // SAFETY: as above.
@@ -148,7 +169,21 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             if sc.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let w = sc.waiter.swap(0, Ordering::SeqCst);
                 if w != 0 {
-                    handles[w - 1].unpark();
+                    if telem {
+                        counters.add_unpark();
+                    }
+                    if tracing {
+                        let u0 = Instant::now();
+                        handles[w - 1].unpark();
+                        events.push(RawEvent {
+                            node: s,
+                            kind: TraceKind::Unpark,
+                            start: u0,
+                            end: Instant::now(),
+                        });
+                    } else {
+                        handles[w - 1].unpark();
+                    }
                 }
             }
         }
@@ -170,12 +205,21 @@ impl GraphExecutor for SleepExecutor {
 
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
         self.shared.tracing.store(self.tracing, Ordering::Relaxed);
+        self.shared
+            .telemetry
+            .store(self.telemetry.is_some(), Ordering::Relaxed);
         // SAFETY: driver thread, no cycle in flight.
         let epoch = unsafe { self.shared.begin_cycle(external_audio, controls) };
         let start = unsafe { *self.shared.cycle_start.get() };
         run_cycle_part(&self.shared, 0, epoch);
         self.shared.wait_cycle_done();
         let duration = start.elapsed();
+        if let Some(ring) = self.telemetry.as_mut() {
+            // Every worker's last counter update precedes its final
+            // done-count increment, acquired by `wait_cycle_done`.
+            let slot = ring.begin_push(epoch, duration.as_nanos() as u64);
+            self.shared.drain_counters(slot);
+        }
         if self.tracing {
             self.shared.wait_trace_flushed();
             self.last_trace = Some(self.shared.collect_trace());
@@ -189,6 +233,27 @@ impl GraphExecutor for SleepExecutor {
 
     fn take_trace(&mut self) -> Option<ScheduleTrace> {
         self.last_trace.take()
+    }
+
+    fn set_telemetry(&mut self, on: bool) {
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(TelemetryRing::new(
+                    DEFAULT_RING_CAPACITY,
+                    self.shared.threads,
+                ));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetryRing> {
+        let taken = self.telemetry.take();
+        if let Some(r) = &taken {
+            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+        }
+        taken
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
@@ -255,10 +320,7 @@ mod tests {
             let trace = ex.take_trace().unwrap();
             let topo = ex.topology();
             assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
-            saw_any_sleep |= trace
-                .events
-                .iter()
-                .any(|e| e.kind == TraceKind::Sleep);
+            saw_any_sleep |= trace.events.iter().any(|e| e.kind == TraceKind::Sleep);
         }
         // On a single-core CI box sleeping is in fact very likely, but we
         // only assert the structural properties above; `saw_any_sleep` keeps

@@ -26,6 +26,7 @@ use crate::deque::{Steal, WorkDeque};
 use crate::graph::{GraphTopology, NodeId, Section, TaskGraph};
 use crate::idle::IdleSet;
 use crate::processor::{CycleCtx, Processor};
+use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
 use crate::trace::{ScheduleTrace, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::sync::atomic::{fence, Ordering};
@@ -48,6 +49,7 @@ pub struct StealExecutor {
     workers: Vec<JoinHandle<()>>,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
+    telemetry: Option<TelemetryRing>,
 }
 
 /// Which worker a section's source nodes are seeded to (§V-C's
@@ -96,6 +98,7 @@ impl StealExecutor {
             workers,
             tracing: false,
             last_trace: None,
+            telemetry: None,
         }
     }
 }
@@ -141,17 +144,25 @@ unsafe fn run_node(
     node: u32,
     ctx: &CycleCtx<'_>,
     tracing: bool,
+    telem: bool,
     events: &mut Vec<RawEvent>,
 ) {
-    if tracing {
+    let counters = &ws.base.counters[me];
+    if tracing || telem {
         let t0 = Instant::now();
         ws.base.exec.execute(node as usize, ctx);
-        events.push(RawEvent {
-            node,
-            kind: TraceKind::Exec,
-            start: t0,
-            end: Instant::now(),
-        });
+        let t1 = Instant::now();
+        if tracing {
+            events.push(RawEvent {
+                node,
+                kind: TraceKind::Exec,
+                start: t0,
+                end: t1,
+            });
+        }
+        if telem {
+            counters.add_exec((t1 - t0).as_nanos() as u64);
+        }
     } else {
         ws.base.exec.execute(node as usize, ctx);
     }
@@ -159,7 +170,14 @@ unsafe fn run_node(
     let idle = ws.idle.get().expect("idle set initialized");
     let mut released = 0u32;
     for &s in topo.succs(NodeId(node)) {
-        if ws.base.exec.cell(s as usize).pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        if ws
+            .base
+            .exec
+            .cell(s as usize)
+            .pending
+            .fetch_sub(1, Ordering::AcqRel)
+            == 1
+        {
             ws.deques[me]
                 .push(s)
                 .expect("deque sized for the whole graph");
@@ -167,12 +185,18 @@ unsafe fn run_node(
         }
     }
     if released > 0 {
+        if telem {
+            counters.note_deque_depth(ws.deques[me].len() as u64);
+        }
         // Publish the pushes before scanning for sleepers (pairs with the
         // fence idle workers issue between registering and re-checking).
         fence(Ordering::SeqCst);
         for _ in 0..released {
             if idle.wake_one().is_none() {
                 break;
+            }
+            if telem {
+                counters.add_unpark();
             }
         }
     }
@@ -185,6 +209,8 @@ unsafe fn run_node(
 
 fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
     let tracing = ws.base.tracing.load(Ordering::Relaxed);
+    let telem = ws.base.telemetry.load(Ordering::Relaxed);
+    let counters = &ws.base.counters[me];
     // SAFETY: epoch acquired.
     let ctx = unsafe { ws.base.ctx(epoch) };
     let idle = ws.idle.get().expect("idle set initialized");
@@ -194,13 +220,33 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
         // 1. Local work, newest first (LIFO: §V-C cache-locality argument).
         if let Some(node) = ws.deques[me].pop() {
             // SAFETY: popped from own deque.
-            unsafe { run_node(ws, me, node, &ctx, tracing, &mut events) };
+            unsafe { run_node(ws, me, node, &ctx, tracing, telem, &mut events) };
             continue;
         }
         // 2. Steal, oldest first from a victim.
-        if let Some(node) = steal_sweep(ws, me) {
+        let stolen = if tracing || telem {
+            let s0 = Instant::now();
+            let stolen = steal_sweep(ws, me);
+            if telem {
+                counters.add_steal(stolen.is_some());
+            }
+            if tracing {
+                if let Some(node) = stolen {
+                    events.push(RawEvent {
+                        node,
+                        kind: TraceKind::Steal,
+                        start: s0,
+                        end: Instant::now(),
+                    });
+                }
+            }
+            stolen
+        } else {
+            steal_sweep(ws, me)
+        };
+        if let Some(node) = stolen {
             // SAFETY: stolen exactly once.
-            unsafe { run_node(ws, me, node, &ctx, tracing, &mut events) };
+            unsafe { run_node(ws, me, node, &ctx, tracing, telem, &mut events) };
             continue;
         }
         // 3. Cycle complete?
@@ -220,15 +266,21 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
             idle.deregister(me);
             continue;
         }
-        if tracing {
+        if tracing || telem {
             let w0 = Instant::now();
             std::thread::park();
-            events.push(RawEvent {
-                node: u32::MAX,
-                kind: TraceKind::Idle,
-                start: w0,
-                end: Instant::now(),
-            });
+            let w1 = Instant::now();
+            if tracing {
+                events.push(RawEvent {
+                    node: u32::MAX,
+                    kind: TraceKind::Idle,
+                    start: w0,
+                    end: w1,
+                });
+            }
+            if telem {
+                counters.add_park(1, (w1 - w0).as_nanos() as u64);
+            }
         } else {
             std::thread::park();
         }
@@ -239,7 +291,9 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
     }
     // Exit barrier: a worker that has left this loop can no longer pop
     // work, so once every worker has signalled, the driver may safely seed
-    // the next cycle's deques.
+    // the next cycle's deques. (Telemetry relies on it too: the idle-park
+    // counters above may be recorded after this worker's last
+    // `node_finished`, so the driver drains only after this barrier.)
     ws.base.signal_cycle_exit();
 }
 
@@ -255,6 +309,9 @@ impl GraphExecutor for StealExecutor {
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
         let ws = &self.shared;
         ws.base.tracing.store(self.tracing, Ordering::Relaxed);
+        ws.base
+            .telemetry
+            .store(self.telemetry.is_some(), Ordering::Relaxed);
         // Seed source nodes by section affinity *before* publishing the
         // epoch; the deques are quiescent between cycles, so these pushes
         // are ordinary owner pushes logically performed on behalf of each
@@ -267,6 +324,12 @@ impl GraphExecutor for StealExecutor {
                 .push(src)
                 .expect("deque sized for the whole graph");
         }
+        if self.telemetry.is_some() {
+            // Seeded depth counts toward each worker's deque high water.
+            for (i, d) in ws.deques.iter().enumerate() {
+                ws.base.counters[i].note_deque_depth(d.len() as u64);
+            }
+        }
         // SAFETY: driver thread, no cycle in flight. (`begin_cycle` resets
         // the pending counters again; that is idempotent.)
         let epoch = unsafe { ws.base.begin_cycle(external_audio, controls) };
@@ -277,6 +340,13 @@ impl GraphExecutor for StealExecutor {
         // loop so none can touch the deques we will seed next cycle.
         ws.base.wait_cycle_exited(ws.base.threads as u32);
         let duration = start.elapsed();
+        if let Some(ring) = self.telemetry.as_mut() {
+            // Drain strictly after the exit barrier: idle-park counters can
+            // be recorded after a worker's last `node_finished`, but always
+            // before its `signal_cycle_exit`.
+            let slot = ring.begin_push(epoch, duration.as_nanos() as u64);
+            ws.base.drain_counters(slot);
+        }
         if self.tracing {
             ws.base.wait_trace_flushed();
             self.last_trace = Some(ws.base.collect_trace());
@@ -290,6 +360,27 @@ impl GraphExecutor for StealExecutor {
 
     fn take_trace(&mut self) -> Option<ScheduleTrace> {
         self.last_trace.take()
+    }
+
+    fn set_telemetry(&mut self, on: bool) {
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(TelemetryRing::new(
+                    DEFAULT_RING_CAPACITY,
+                    self.shared.base.threads,
+                ));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetryRing> {
+        let taken = self.telemetry.take();
+        if let Some(r) = &taken {
+            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+        }
+        taken
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {

@@ -174,7 +174,11 @@ impl GraphTopology {
     /// Length of the critical path in *node count* (not time): the longest
     /// chain of dependencies, i.e. `max depth + 1`.
     pub fn critical_path_len(&self) -> usize {
-        self.depth.iter().copied().max().map_or(0, |d| d as usize + 1)
+        self.depth
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |d| d as usize + 1)
     }
 
     /// Verify that `order` is a permutation of all nodes consistent with the
@@ -348,7 +352,9 @@ impl TaskGraphBuilder {
             }
         }
         let mut depth = vec![0u32; n];
-        let mut ready: VecDeque<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut ready: VecDeque<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         let mut visited = 0usize;
         while let Some(v) = ready.pop_front() {
             visited += 1;
@@ -488,7 +494,10 @@ mod tests {
 
     #[test]
     fn empty_graph_rejected() {
-        assert_eq!(TaskGraphBuilder::new().build().err(), Some(GraphError::Empty));
+        assert_eq!(
+            TaskGraphBuilder::new().build().err(),
+            Some(GraphError::Empty)
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   work-stealing workers.
 //! * [`trace`] — per-cycle schedule traces (which thread ran which node
 //!   when, including wait intervals), the data behind Fig. 11.
+//! * [`telemetry`] — real-time-safe per-worker cycle counters (spin
+//!   iterations, park/unpark traffic, steal hit rates, execution time)
+//!   drained between cycles into a fixed-capacity ring; the always-on
+//!   complement to full tracing.
 //!
 //! # Memory-safety argument
 //!
@@ -40,6 +44,7 @@ pub mod exec;
 pub mod graph;
 pub mod idle;
 pub mod processor;
+pub mod telemetry;
 pub mod trace;
 
 pub use exec::{
@@ -48,4 +53,5 @@ pub use exec::{
 };
 pub use graph::{GraphError, NodeId, Section, TaskGraph, TaskGraphBuilder};
 pub use processor::{CycleCtx, Processor};
+pub use telemetry::{CounterSnapshot, CycleCounters, CycleRecord, TelemetryRing};
 pub use trace::{ScheduleTrace, TraceEvent, TraceKind};

@@ -1,0 +1,219 @@
+//! Per-worker cycle counters: padded atomics recorded on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// One worker's scheduling counters for the current cycle.
+///
+/// Padded to two cache lines so adjacent workers' counters never share a
+/// line (the whole point is that recording must not perturb the schedule
+/// being measured). All updates are `Relaxed`: the counters carry no
+/// synchronization of their own — the executors' cycle-completion barriers
+/// order every update before the driver's drain.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CycleCounters {
+    /// Dependency-poll iterations while busy-waiting (BUSY, HYBRID).
+    spin_iters: AtomicU64,
+    /// Nanoseconds spent busy-waiting.
+    busy_wait_ns: AtomicU64,
+    /// `park()` calls while waiting for dependencies (SLEEP, HYBRID, WS).
+    park_count: AtomicU64,
+    /// Wake-ups this worker issued to parked peers.
+    unpark_count: AtomicU64,
+    /// Nanoseconds spent in park-based waits (register → ready).
+    park_wait_ns: AtomicU64,
+    /// Steal sweeps attempted (WS).
+    steal_attempts: AtomicU64,
+    /// Steal sweeps that yielded a node.
+    steal_hits: AtomicU64,
+    /// Steal sweeps that found every victim empty.
+    steal_misses: AtomicU64,
+    /// High-water mark of this worker's ready deque (WS).
+    deque_high_water: AtomicU64,
+    /// Nodes this worker executed.
+    nodes_executed: AtomicU64,
+    /// Nanoseconds spent executing nodes.
+    exec_ns: AtomicU64,
+}
+
+impl CycleCounters {
+    /// A zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a busy-wait: `iters` polls over `ns` nanoseconds.
+    #[inline]
+    pub fn add_spin(&self, iters: u64, ns: u64) {
+        self.spin_iters.fetch_add(iters, Relaxed);
+        self.busy_wait_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Record a park-based wait: `parks` actual `park()` calls (0 when the
+    /// dependency arrived between registration and parking) over `ns`
+    /// nanoseconds of waiting.
+    #[inline]
+    pub fn add_park(&self, parks: u64, ns: u64) {
+        self.park_count.fetch_add(parks, Relaxed);
+        self.park_wait_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Record one wake-up issued to a parked peer.
+    #[inline]
+    pub fn add_unpark(&self) {
+        self.unpark_count.fetch_add(1, Relaxed);
+    }
+
+    /// Record one steal sweep and its outcome.
+    #[inline]
+    pub fn add_steal(&self, hit: bool) {
+        self.steal_attempts.fetch_add(1, Relaxed);
+        if hit {
+            self.steal_hits.fetch_add(1, Relaxed);
+        } else {
+            self.steal_misses.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Record the current ready-deque depth (keeps the maximum).
+    #[inline]
+    pub fn note_deque_depth(&self, depth: u64) {
+        self.deque_high_water.fetch_max(depth, Relaxed);
+    }
+
+    /// Record one node execution taking `ns` nanoseconds.
+    #[inline]
+    pub fn add_exec(&self, ns: u64) {
+        self.nodes_executed.fetch_add(1, Relaxed);
+        self.exec_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Move the current values into `out` and reset every counter to zero.
+    /// Driver only, after the cycle-completion barrier.
+    pub fn drain_into(&self, out: &mut CounterSnapshot) {
+        out.spin_iters = self.spin_iters.swap(0, Relaxed);
+        out.busy_wait_ns = self.busy_wait_ns.swap(0, Relaxed);
+        out.park_count = self.park_count.swap(0, Relaxed);
+        out.unpark_count = self.unpark_count.swap(0, Relaxed);
+        out.park_wait_ns = self.park_wait_ns.swap(0, Relaxed);
+        out.steal_attempts = self.steal_attempts.swap(0, Relaxed);
+        out.steal_hits = self.steal_hits.swap(0, Relaxed);
+        out.steal_misses = self.steal_misses.swap(0, Relaxed);
+        out.deque_high_water = self.deque_high_water.swap(0, Relaxed);
+        out.nodes_executed = self.nodes_executed.swap(0, Relaxed);
+        out.exec_ns = self.exec_ns.swap(0, Relaxed);
+    }
+}
+
+/// A plain-value snapshot of one worker's counters for one cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub spin_iters: u64,
+    pub busy_wait_ns: u64,
+    pub park_count: u64,
+    pub unpark_count: u64,
+    pub park_wait_ns: u64,
+    pub steal_attempts: u64,
+    pub steal_hits: u64,
+    pub steal_misses: u64,
+    pub deque_high_water: u64,
+    pub nodes_executed: u64,
+    pub exec_ns: u64,
+}
+
+impl CounterSnapshot {
+    /// Total time spent waiting (busy or parked), in nanoseconds.
+    pub fn wait_ns(&self) -> u64 {
+        self.busy_wait_ns + self.park_wait_ns
+    }
+
+    /// True when every field is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == CounterSnapshot::default()
+    }
+
+    /// Accumulate `other` into `self` (sums everywhere; the deque
+    /// high-water mark takes the maximum).
+    pub fn merge(&mut self, other: &CounterSnapshot) {
+        self.spin_iters += other.spin_iters;
+        self.busy_wait_ns += other.busy_wait_ns;
+        self.park_count += other.park_count;
+        self.unpark_count += other.unpark_count;
+        self.park_wait_ns += other.park_wait_ns;
+        self.steal_attempts += other.steal_attempts;
+        self.steal_hits += other.steal_hits;
+        self.steal_misses += other.steal_misses;
+        self.deque_high_water = self.deque_high_water.max(other.deque_high_water);
+        self.nodes_executed += other.nodes_executed;
+        self.exec_ns += other.exec_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_drain_to_zero() {
+        let c = CycleCounters::new();
+        c.add_spin(10, 500);
+        c.add_spin(5, 100);
+        c.add_park(2, 3_000);
+        c.add_unpark();
+        c.add_steal(true);
+        c.add_steal(false);
+        c.add_steal(true);
+        c.note_deque_depth(3);
+        c.note_deque_depth(7);
+        c.note_deque_depth(5);
+        c.add_exec(1_000);
+        c.add_exec(2_000);
+
+        let mut s = CounterSnapshot::default();
+        c.drain_into(&mut s);
+        assert_eq!(s.spin_iters, 15);
+        assert_eq!(s.busy_wait_ns, 600);
+        assert_eq!(s.park_count, 2);
+        assert_eq!(s.unpark_count, 1);
+        assert_eq!(s.park_wait_ns, 3_000);
+        assert_eq!(s.steal_attempts, 3);
+        assert_eq!(s.steal_hits, 2);
+        assert_eq!(s.steal_misses, 1);
+        assert_eq!(s.deque_high_water, 7);
+        assert_eq!(s.nodes_executed, 2);
+        assert_eq!(s.exec_ns, 3_000);
+        assert_eq!(s.wait_ns(), 3_600);
+
+        let mut again = CounterSnapshot::default();
+        c.drain_into(&mut again);
+        assert!(again.is_zero(), "drain must reset every counter");
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = CounterSnapshot {
+            spin_iters: 1,
+            deque_high_water: 4,
+            exec_ns: 10,
+            nodes_executed: 1,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            spin_iters: 2,
+            deque_high_water: 3,
+            exec_ns: 20,
+            nodes_executed: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.spin_iters, 3);
+        assert_eq!(a.deque_high_water, 4);
+        assert_eq!(a.exec_ns, 30);
+        assert_eq!(a.nodes_executed, 3);
+    }
+
+    #[test]
+    fn counters_are_cache_line_padded() {
+        assert!(std::mem::align_of::<CycleCounters>() >= 128);
+    }
+}

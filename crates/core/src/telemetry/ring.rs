@@ -1,0 +1,213 @@
+//! A fixed-capacity ring of per-cycle telemetry records.
+
+use super::counters::CounterSnapshot;
+
+/// Default ring capacity: enough for the standard 10 000-cycle experiment
+/// window at one record per cycle without unbounded memory.
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
+/// Everything telemetry knows about one cycle: its sequence number, its
+/// wall-clock graph time, and a drained counter snapshot per worker.
+#[derive(Debug, Clone)]
+pub struct CycleRecord {
+    /// Cycle sequence number (the executor epoch).
+    pub cycle: u64,
+    /// Wall-clock graph execution time of the cycle, nanoseconds.
+    pub graph_ns: u64,
+    /// One drained snapshot per worker, indexed by worker id.
+    pub workers: Box<[CounterSnapshot]>,
+}
+
+impl CycleRecord {
+    /// Counters summed across workers (deque high-water takes the max).
+    pub fn totals(&self) -> CounterSnapshot {
+        let mut t = CounterSnapshot::default();
+        for w in self.workers.iter() {
+            t.merge(w);
+        }
+        t
+    }
+}
+
+/// Fixed-capacity overwrite-oldest ring of [`CycleRecord`]s.
+///
+/// All slots — including every record's per-worker snapshot storage — are
+/// allocated up front in [`TelemetryRing::new`]; pushing a record between
+/// cycles only overwrites a slot in place.
+#[derive(Debug)]
+pub struct TelemetryRing {
+    records: Box<[CycleRecord]>,
+    /// Index the next push writes to.
+    next: usize,
+    /// Number of live records (`<= capacity`).
+    len: usize,
+    /// Total records ever pushed, including overwritten ones.
+    pushed: u64,
+    workers: usize,
+}
+
+impl TelemetryRing {
+    /// Preallocate a ring of `capacity` records, each with `workers`
+    /// snapshot slots.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `workers == 0`.
+    pub fn new(capacity: usize, workers: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert!(workers > 0, "ring needs at least one worker slot");
+        let records = (0..capacity)
+            .map(|_| CycleRecord {
+                cycle: 0,
+                graph_ns: 0,
+                workers: vec![CounterSnapshot::default(); workers].into_boxed_slice(),
+            })
+            .collect();
+        TelemetryRing {
+            records,
+            next: 0,
+            len: 0,
+            pushed: 0,
+            workers,
+        }
+    }
+
+    /// Number of worker slots per record.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maximum number of records held.
+    pub fn capacity(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no record has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total records ever pushed, including ones since overwritten.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Records lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.len as u64
+    }
+
+    /// Claim the next slot (overwriting the oldest record when full), stamp
+    /// it with `cycle` and `graph_ns`, and hand out its per-worker snapshot
+    /// slots for the caller to fill (typically via
+    /// [`CycleCounters::drain_into`](super::counters::CycleCounters::drain_into)).
+    /// Does not allocate.
+    pub fn begin_push(&mut self, cycle: u64, graph_ns: u64) -> &mut [CounterSnapshot] {
+        let idx = self.next;
+        self.next = (self.next + 1) % self.records.len();
+        if self.len < self.records.len() {
+            self.len += 1;
+        }
+        self.pushed += 1;
+        let slot = &mut self.records[idx];
+        slot.cycle = cycle;
+        slot.graph_ns = graph_ns;
+        &mut slot.workers
+    }
+
+    /// Live records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &CycleRecord> {
+        let cap = self.records.len();
+        let start = if self.len < cap { 0 } else { self.next };
+        (0..self.len).map(move |i| &self.records[(start + i) % cap])
+    }
+
+    /// The most recently pushed record, if any.
+    pub fn latest(&self) -> Option<&CycleRecord> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.records.len();
+        Some(&self.records[(self.next + cap - 1) % cap])
+    }
+
+    /// Forget all live records (slots stay allocated).
+    pub fn clear(&mut self) {
+        self.next = 0;
+        self.len = 0;
+        self.pushed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(ring: &mut TelemetryRing, cycle: u64) {
+        let slot = ring.begin_push(cycle, cycle * 10);
+        slot[0].nodes_executed = cycle;
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut ring = TelemetryRing::new(3, 2);
+        assert!(ring.is_empty());
+        for c in 1..=2 {
+            push(&mut ring, c);
+        }
+        assert_eq!(ring.len(), 2);
+        let cycles: Vec<u64> = ring.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![1, 2]);
+
+        for c in 3..=5 {
+            push(&mut ring, c);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_pushed(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let cycles: Vec<u64> = ring.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![3, 4, 5], "oldest first after wrap");
+        assert_eq!(ring.latest().unwrap().cycle, 5);
+        assert_eq!(ring.latest().unwrap().graph_ns, 50);
+    }
+
+    #[test]
+    fn slots_are_fully_restamped_on_overwrite() {
+        let mut ring = TelemetryRing::new(2, 1);
+        push(&mut ring, 7);
+        push(&mut ring, 8);
+        push(&mut ring, 9);
+        for r in ring.iter() {
+            assert_eq!(r.workers[0].nodes_executed, r.cycle);
+        }
+    }
+
+    #[test]
+    fn totals_merge_workers() {
+        let mut ring = TelemetryRing::new(2, 3);
+        let slot = ring.begin_push(1, 100);
+        slot[0].exec_ns = 10;
+        slot[0].deque_high_water = 2;
+        slot[1].exec_ns = 20;
+        slot[1].deque_high_water = 5;
+        slot[2].exec_ns = 30;
+        let t = ring.latest().unwrap().totals();
+        assert_eq!(t.exec_ns, 60);
+        assert_eq!(t.deque_high_water, 5);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut ring = TelemetryRing::new(4, 1);
+        push(&mut ring, 1);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 4);
+        push(&mut ring, 2);
+        assert_eq!(ring.iter().next().unwrap().cycle, 2);
+    }
+}

@@ -5,10 +5,8 @@
 //! and white gaps for sleeping. A [`ScheduleTrace`] captures exactly that
 //! data for one cycle; `djstar-sim::gantt` renders it.
 
-use serde::{Deserialize, Serialize};
-
 /// What a worker was doing during a trace interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceKind {
     /// Executing the node.
     Exec,
@@ -18,10 +16,15 @@ pub enum TraceKind {
     Sleep,
     /// Idle: no executable node found (WS strategy, before parking/stealing).
     Idle,
+    /// A successful steal sweep that obtained the node (WS strategy).
+    Steal,
+    /// Waking the parked worker registered on the node (SLEEP/HYBRID
+    /// strategies; recorded on the *waker*'s timeline).
+    Unpark,
 }
 
 /// One interval of one worker's timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Node id this interval refers to (`u32::MAX` for anonymous idling).
     pub node: u32,
@@ -43,7 +46,7 @@ impl TraceEvent {
 }
 
 /// The complete trace of one cycle.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ScheduleTrace {
     /// Number of workers that participated.
     pub workers: u32,
@@ -158,7 +161,10 @@ mod tests {
     fn dependency_check_passes_for_ordered_trace() {
         let t = ScheduleTrace {
             workers: 1,
-            events: vec![ev(0, 0, 0, 10, TraceKind::Exec), ev(1, 0, 10, 20, TraceKind::Exec)],
+            events: vec![
+                ev(0, 0, 0, 10, TraceKind::Exec),
+                ev(1, 0, 10, 20, TraceKind::Exec),
+            ],
         };
         assert!(t.respects_dependencies(|n| if n == 1 { vec![0] } else { vec![] }));
     }
@@ -167,7 +173,10 @@ mod tests {
     fn dependency_check_fails_for_overlap() {
         let t = ScheduleTrace {
             workers: 2,
-            events: vec![ev(0, 0, 0, 10, TraceKind::Exec), ev(1, 1, 5, 20, TraceKind::Exec)],
+            events: vec![
+                ev(0, 0, 0, 10, TraceKind::Exec),
+                ev(1, 1, 5, 20, TraceKind::Exec),
+            ],
         };
         assert!(!t.respects_dependencies(|n| if n == 1 { vec![0] } else { vec![] }));
     }

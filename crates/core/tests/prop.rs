@@ -1,5 +1,7 @@
-//! Property-based tests for the task graph, the deque and the executors on
-//! randomly generated DAGs.
+//! Property-style tests for the task graph, the deque and the executors on
+//! randomly generated DAGs. DAGs are generated from a seeded
+//! [`SmallRng`] so every run checks the same cases (the workspace builds
+//! offline, without proptest).
 
 use djstar_core::deque::{Steal, WorkDeque};
 use djstar_core::exec::{
@@ -7,27 +9,20 @@ use djstar_core::exec::{
 };
 use djstar_core::graph::{NodeId, Section, TaskGraph, TaskGraphBuilder};
 use djstar_core::processor::{CycleCtx, FnProcessor};
+use djstar_dsp::rng::SmallRng;
 use djstar_dsp::AudioBuf;
-use proptest::prelude::*;
 
-/// Random DAG description: for node i, a bitmask over earlier nodes
-/// selecting predecessors (truncated to MAX_INPUTS).
-fn dag_strategy(max_nodes: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    prop::collection::vec(prop::collection::vec(any::<bool>(), 0..max_nodes), 1..max_nodes)
-        .prop_map(|masks| {
-            masks
-                .iter()
-                .enumerate()
-                .map(|(i, mask)| {
-                    mask.iter()
-                        .enumerate()
-                        .filter(|&(j, &b)| j < i && b)
-                        .map(|(j, _)| j as u32)
-                        .take(8)
-                        .collect()
-                })
-                .collect()
+/// Random DAG description: for node i, a set of predecessors drawn from the
+/// earlier nodes (at most 8, matching MAX_INPUTS).
+fn random_dag(rng: &mut SmallRng, max_nodes: usize) -> Vec<Vec<u32>> {
+    let n = 1 + rng.below(max_nodes - 1);
+    (0..n)
+        .map(|i| {
+            let mut ps: Vec<u32> = (0..i as u32).filter(|_| rng.chance(0.3)).collect();
+            ps.truncate(8);
+            ps
         })
+        .collect()
 }
 
 /// Build a graph whose node i writes `i + 1 + max(pred values)` so the sink
@@ -42,10 +37,7 @@ fn build_graph(preds: &[Vec<u32>]) -> TaskGraph {
             Section::deck(i % 4),
             Box::new(FnProcessor(
                 move |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
-                    let base = inp
-                        .iter()
-                        .map(|b| b.sample(0, 0))
-                        .fold(0.0f32, f32::max);
+                    let base = inp.iter().map(|b| b.sample(0, 0)).fold(0.0f32, f32::max);
                     out.samples_mut().fill(base + val);
                 },
             )),
@@ -68,32 +60,34 @@ fn expected_values(preds: &[Vec<u32>]) -> Vec<f32> {
     vals
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_dags_build_with_valid_queues(preds in dag_strategy(24)) {
+#[test]
+fn random_dags_build_with_valid_queues() {
+    let mut rng = SmallRng::seed_from_u64(0x9A6);
+    for _ in 0..24 {
+        let preds = random_dag(&mut rng, 24);
         let g = build_graph(&preds);
         let t = g.topology();
-        prop_assert!(t.is_valid_execution_order(t.queue()));
+        assert!(t.is_valid_execution_order(t.queue()));
         // Depth is consistent: every edge increases depth.
         for n in 0..t.len() as u32 {
             for &p in t.preds(NodeId(n)) {
-                prop_assert!(t.depth(NodeId(p)) < t.depth(NodeId(n)));
+                assert!(t.depth(NodeId(p)) < t.depth(NodeId(n)));
             }
         }
         // Sources are exactly the nodes without predecessors.
         let src_count = (0..t.len() as u32)
             .filter(|&n| t.preds(NodeId(n)).is_empty())
             .count();
-        prop_assert_eq!(t.sources().len(), src_count);
+        assert_eq!(t.sources().len(), src_count);
     }
+}
 
-    #[test]
-    fn all_executors_compute_correct_values_on_random_dags(
-        preds in dag_strategy(20),
-        threads in 1usize..5,
-    ) {
+#[test]
+fn all_executors_compute_correct_values_on_random_dags() {
+    let mut rng = SmallRng::seed_from_u64(0xE8EC);
+    for case in 0..24 {
+        let preds = random_dag(&mut rng, 20);
+        let threads = 1 + rng.below(4);
         let want = expected_values(&preds);
         let sink = preds.len() - 1;
         let frames = 4;
@@ -109,41 +103,48 @@ proptest! {
             }
             let mut out = AudioBuf::zeroed(2, frames);
             ex.read_output(NodeId(sink as u32), &mut out);
-            prop_assert!(
+            assert!(
                 (out.sample(0, 0) - want[sink]).abs() < 1e-4,
-                "{:?}: got {}, want {}",
+                "case {case} {:?}: got {}, want {}",
                 ex.strategy(),
                 out.sample(0, 0),
                 want[sink]
             );
         }
     }
+}
 
-    #[test]
-    fn traces_on_random_dags_respect_dependencies(
-        preds in dag_strategy(16),
-        threads in 2usize..5,
-    ) {
+#[test]
+fn traces_on_random_dags_respect_dependencies() {
+    let mut rng = SmallRng::seed_from_u64(0x7A8);
+    for _ in 0..16 {
+        let preds = random_dag(&mut rng, 16);
+        let threads = 2 + rng.below(3);
         let mut ex = StealExecutor::new(build_graph(&preds), threads, 4);
         ex.set_tracing(true);
         for _ in 0..5 {
             ex.run_cycle(&[], &[]);
             let trace = ex.take_trace().unwrap();
-            prop_assert_eq!(trace.executions().len(), preds.len());
+            assert_eq!(trace.executions().len(), preds.len());
             let topo = ex.topology();
-            prop_assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
+            assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
         }
     }
+}
 
-    #[test]
-    fn deque_matches_sequential_model(ops in prop::collection::vec(any::<(bool, bool)>(), 0..200)) {
-        // Single-threaded model check: (push?, from_top?) operations against
-        // a VecDeque reference. Owner pops bottom (back), thief steals top
-        // (front).
+#[test]
+fn deque_matches_sequential_model() {
+    // Single-threaded model check: (push?, from_top?) operations against
+    // a VecDeque reference. Owner pops bottom (back), thief steals top
+    // (front).
+    let mut rng = SmallRng::seed_from_u64(0xDE0E);
+    for _ in 0..32 {
         let deque = WorkDeque::new(256);
         let mut model: std::collections::VecDeque<u32> = Default::default();
         let mut counter = 0u32;
-        for (push, from_top) in ops {
+        for _ in 0..200 {
+            let push = rng.chance(0.5);
+            let from_top = rng.chance(0.5);
             if push {
                 counter += 1;
                 if deque.push(counter).is_ok() {
@@ -154,11 +155,11 @@ proptest! {
                     Steal::Success(v) => Some(v),
                     _ => None,
                 };
-                prop_assert_eq!(got, model.pop_front());
+                assert_eq!(got, model.pop_front());
             } else {
-                prop_assert_eq!(deque.pop(), model.pop_back());
+                assert_eq!(deque.pop(), model.pop_back());
             }
-            prop_assert_eq!(deque.len(), model.len());
+            assert_eq!(deque.len(), model.len());
         }
     }
 }

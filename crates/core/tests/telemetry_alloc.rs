@@ -1,0 +1,122 @@
+//! Proof that the telemetry hot path allocates nothing.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after
+//! warm-up, running telemetry-enabled (tracing-off) cycles on every
+//! strategy must not allocate on the *driver* thread or any worker: the
+//! ring and all counter storage are preallocated, and `begin_push` only
+//! overwrites a slot in place.
+//!
+//! This lives in its own integration test binary because a global
+//! allocator is process-wide; the single test keeps the count
+//! interpretable (the default test harness is multi-threaded, so any
+//! sibling test's allocations would pollute the window).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use djstar_core::exec::{
+    BusyExecutor, GraphExecutor, HybridExecutor, SequentialExecutor, SleepExecutor, StealExecutor,
+};
+use djstar_core::graph::{NodeId, Section, TaskGraph, TaskGraphBuilder};
+use djstar_core::processor::{CycleCtx, FnProcessor};
+use djstar_dsp::AudioBuf;
+
+/// A diamond-ish graph with enough nodes to exercise waiting paths.
+fn graph() -> TaskGraph {
+    let mut b = TaskGraphBuilder::new();
+    let mut layer: Vec<NodeId> = Vec::new();
+    let mut prev: Vec<NodeId> = Vec::new();
+    for depth in 0..6 {
+        layer.clear();
+        for i in 0..4usize {
+            let preds: Vec<NodeId> = if depth == 0 {
+                vec![]
+            } else if i == 0 {
+                prev.clone()
+            } else {
+                vec![prev[i]]
+            };
+            layer.push(b.add(
+                format!("d{depth}n{i}"),
+                Section::deck(i),
+                Box::new(FnProcessor(
+                    |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                        let base = inp.iter().map(|b| b.sample(0, 0)).sum::<f32>();
+                        out.samples_mut().fill(base + 1.0);
+                    },
+                )),
+                &preds,
+            ));
+        }
+        prev = layer.clone();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn telemetry_cycles_do_not_allocate() {
+    const FRAMES: usize = 8;
+    const THREADS: usize = 3;
+    let execs: Vec<(&str, Box<dyn GraphExecutor>)> = vec![
+        ("SEQ", Box::new(SequentialExecutor::new(graph(), FRAMES))),
+        (
+            "BUSY",
+            Box::new(BusyExecutor::new(graph(), THREADS, FRAMES)),
+        ),
+        (
+            "SLEEP",
+            Box::new(SleepExecutor::new(graph(), THREADS, FRAMES)),
+        ),
+        ("WS", Box::new(StealExecutor::new(graph(), THREADS, FRAMES))),
+        (
+            "HYBRID",
+            Box::new(HybridExecutor::new(graph(), THREADS, FRAMES, 200)),
+        ),
+    ];
+    for (label, mut exec) in execs {
+        exec.set_telemetry(true);
+        // Warm up: first telemetry-on cycles may lazily settle thread
+        // stacks, parker state, etc.
+        for _ in 0..20 {
+            exec.run_cycle(&[], &[]);
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..50 {
+            exec.run_cycle(&[], &[]);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "{label}: telemetry-on cycles allocated {} times",
+            after - before
+        );
+        // The ring still has every record (nothing was traded for the
+        // zero-alloc property).
+        let ring = exec.take_telemetry().unwrap();
+        assert_eq!(ring.len(), 70, "{label}");
+    }
+}

@@ -15,11 +15,17 @@ pub enum FilterKind {
     Bandpass,
     Notch,
     /// Peaking EQ with the given gain in dB.
-    Peaking { gain_db: f32 },
+    Peaking {
+        gain_db: f32,
+    },
     /// Low shelf with the given gain in dB.
-    LowShelf { gain_db: f32 },
+    LowShelf {
+        gain_db: f32,
+    },
     /// High shelf with the given gain in dB.
-    HighShelf { gain_db: f32 },
+    HighShelf {
+        gain_db: f32,
+    },
 }
 
 /// Normalized biquad coefficients (a0 divided out).
@@ -279,7 +285,10 @@ mod tests {
     #[test]
     fn peaking_boosts_center() {
         let boosted = response(FilterKind::Peaking { gain_db: 12.0 }, 1000.0, 1000.0);
-        assert!(boosted > 3.0 && boosted < 4.5, "peak gain {boosted} (expect ~4x)");
+        assert!(
+            boosted > 3.0 && boosted < 4.5,
+            "peak gain {boosted} (expect ~4x)"
+        );
     }
 
     #[test]
@@ -332,8 +341,13 @@ mod tests {
     fn cascade_is_steeper_than_single() {
         let single = response(FilterKind::Lowpass, 1000.0, 4000.0);
         let mut osc = Oscillator::new(Waveform::Sine, 4000.0, 44_100);
-        let mut casc =
-            BiquadCascade::design(FilterKind::Lowpass, 1000.0, core::f32::consts::FRAC_1_SQRT_2, 44_100, 3);
+        let mut casc = BiquadCascade::design(
+            FilterKind::Lowpass,
+            1000.0,
+            core::f32::consts::FRAC_1_SQRT_2,
+            44_100,
+            3,
+        );
         let mut buf = AudioBuf::zeroed(1, 4096);
         for s in buf.samples_mut() {
             *s = osc.next_sample();

@@ -67,7 +67,14 @@ impl FourBandCrossover {
     ///
     /// # Panics
     /// Panics if the frequencies are not strictly ascending.
-    pub fn new(f1: f32, f2: f32, f3: f32, sample_rate: u32, channels: usize, frames: usize) -> Self {
+    pub fn new(
+        f1: f32,
+        f2: f32,
+        f3: f32,
+        sample_rate: u32,
+        channels: usize,
+        frames: usize,
+    ) -> Self {
         assert!(f1 < f2 && f2 < f3, "crossover points must ascend");
         FourBandCrossover {
             splits: [
@@ -84,7 +91,14 @@ impl FourBandCrossover {
 
     /// The standard DJ Star SP filterbank: 200 / 1200 / 5000 Hz.
     pub fn djstar_default(channels: usize, frames: usize) -> Self {
-        Self::new(200.0, 1_200.0, 5_000.0, crate::SAMPLE_RATE, channels, frames)
+        Self::new(
+            200.0,
+            1_200.0,
+            5_000.0,
+            crate::SAMPLE_RATE,
+            channels,
+            frames,
+        )
     }
 
     /// Split `input` into the four `bands` (lowest first).
@@ -140,7 +154,9 @@ mod tests {
 
     #[test]
     fn band_sum_is_flat_across_the_spectrum() {
-        for tone in [50.0, 120.0, 200.0, 500.0, 1_200.0, 3_000.0, 5_000.0, 9_000.0, 14_000.0] {
+        for tone in [
+            50.0, 120.0, 200.0, 500.0, 1_200.0, 3_000.0, 5_000.0, 9_000.0, 14_000.0,
+        ] {
             let g = reconstruction_gain(tone);
             assert!(
                 (0.85..=1.15).contains(&g),
@@ -164,7 +180,10 @@ mod tests {
             let input = AudioBuf::from_fn(1, 512, |_, _| osc.next_sample());
             xo.split(&input, &mut bands);
         }
-        assert!(bands[0].rms() > bands[3].rms() * 10.0, "60 Hz leaked upward");
+        assert!(
+            bands[0].rms() > bands[3].rms() * 10.0,
+            "60 Hz leaked upward"
+        );
 
         let mut xo = FourBandCrossover::djstar_default(1, 512);
         let mut osc = Oscillator::new(Waveform::Sine, 10_000.0, 44_100);
@@ -172,7 +191,10 @@ mod tests {
             let input = AudioBuf::from_fn(1, 512, |_, _| osc.next_sample());
             xo.split(&input, &mut bands);
         }
-        assert!(bands[3].rms() > bands[0].rms() * 10.0, "10 kHz leaked downward");
+        assert!(
+            bands[3].rms() > bands[0].rms() * 10.0,
+            "10 kHz leaked downward"
+        );
     }
 
     #[test]

@@ -84,7 +84,9 @@ impl EffectKind {
             EffectKind::Tremolo => Box::new(Tremolo::new(sample_rate, 5.0, 0.7)),
             EffectKind::StereoWidener => Box::new(StereoWidener::new(1.6)),
             EffectKind::Reverb => Box::new(Reverb::new(sample_rate, 0.5, 0.3, 0.35)),
-            EffectKind::SpectralFilter => Box::new(SpectralFilter::new(sample_rate, 300.0, 3_400.0, 0.8)),
+            EffectKind::SpectralFilter => {
+                Box::new(SpectralFilter::new(sample_rate, 300.0, 3_400.0, 0.8))
+            }
         }
     }
 }
@@ -151,7 +153,11 @@ mod tests {
                 .zip(orig.samples())
                 .map(|(a, b)| (a - b).abs())
                 .sum();
-            assert!(diff > 1e-3, "{:?} appears to be a bypass (diff {diff})", kind);
+            assert!(
+                diff > 1e-3,
+                "{:?} appears to be a bypass (diff {diff})",
+                kind
+            );
         }
     }
 

@@ -94,9 +94,7 @@ impl Reverb {
             (
                 COMB_DELAYS
                     .iter()
-                    .map(|&d| {
-                        Comb::new(((d + spread) as f32 * scale) as usize, feedback, damp)
-                    })
+                    .map(|&d| Comb::new(((d + spread) as f32 * scale) as usize, feedback, damp))
                     .collect(),
                 ALLPASS_DELAYS
                     .iter()
@@ -215,7 +213,8 @@ mod tests {
     fn stable_on_sustained_input() {
         let mut rv = Reverb::new(44_100, 0.95, 0.1, 0.5);
         for k in 0..300 {
-            let mut buf = AudioBuf::from_fn(2, 128, |_, i| 0.8 * ((k * 128 + i) as f32 * 0.2).sin());
+            let mut buf =
+                AudioBuf::from_fn(2, 128, |_, i| 0.8 * ((k * 128 + i) as f32 * 0.2).sin());
             rv.process(&mut buf);
             assert!(buf.is_finite());
             assert!(buf.peak() < 10.0, "reverb unstable: {}", buf.peak());

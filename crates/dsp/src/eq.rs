@@ -29,8 +29,18 @@ impl ThreeBandEq {
     /// A flat EQ.
     pub fn new(sample_rate: u32) -> Self {
         let mut eq = ThreeBandEq {
-            low: Biquad::design(FilterKind::LowShelf { gain_db: 0.0 }, LOW_FREQ, 0.7, sample_rate),
-            mid: Biquad::design(FilterKind::Peaking { gain_db: 0.0 }, MID_FREQ, 0.9, sample_rate),
+            low: Biquad::design(
+                FilterKind::LowShelf { gain_db: 0.0 },
+                LOW_FREQ,
+                0.7,
+                sample_rate,
+            ),
+            mid: Biquad::design(
+                FilterKind::Peaking { gain_db: 0.0 },
+                MID_FREQ,
+                0.9,
+                sample_rate,
+            ),
             high: Biquad::design(
                 FilterKind::HighShelf { gain_db: 0.0 },
                 HIGH_FREQ,
@@ -184,7 +194,11 @@ mod tests {
         eq.process(&mut bass);
         let mut settle = tone_buf(60.0, 8192);
         eq.process(&mut settle);
-        assert!(settle.rms() < before * 0.2, "bass remaining {}", settle.rms() / before);
+        assert!(
+            settle.rms() < before * 0.2,
+            "bass remaining {}",
+            settle.rms() / before
+        );
     }
 
     #[test]

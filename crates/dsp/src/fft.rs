@@ -125,13 +125,16 @@ pub fn dominant_frequency(signal: &[f32], sample_rate: u32) -> f32 {
         .iter()
         .enumerate()
         .skip(1)
-        .fold((0usize, 0.0f32), |best, (i, &m)| {
-            if m > best.1 {
-                (i, m)
-            } else {
-                best
-            }
-        });
+        .fold(
+            (0usize, 0.0f32),
+            |best, (i, &m)| {
+                if m > best.1 {
+                    (i, m)
+                } else {
+                    best
+                }
+            },
+        );
     idx as f32 * sample_rate as f32 / signal.len() as f32
 }
 
@@ -147,7 +150,9 @@ mod tests {
     use super::*;
 
     fn sine(n: usize, cycles: f32) -> Vec<f32> {
-        (0..n).map(|i| (TAU * cycles * i as f32 / n as f32).sin()).collect()
+        (0..n)
+            .map(|i| (TAU * cycles * i as f32 / n as f32).sin())
+            .collect()
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod meter;
 pub mod mix;
 pub mod osc;
 pub mod resample;
+pub mod rng;
 pub mod stretch;
 pub mod svf;
 pub mod wav;

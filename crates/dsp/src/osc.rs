@@ -146,7 +146,12 @@ mod tests {
 
     #[test]
     fn all_waveforms_bounded() {
-        for wf in [Waveform::Sine, Waveform::Saw, Waveform::Square, Waveform::Triangle] {
+        for wf in [
+            Waveform::Sine,
+            Waveform::Saw,
+            Waveform::Square,
+            Waveform::Triangle,
+        ] {
             let mut osc = Oscillator::new(wf, 1234.5, 44_100);
             for _ in 0..10_000 {
                 let s = osc.next_sample();

@@ -77,7 +77,11 @@ mod tests {
         let mut out = vec![0.0; 32];
         r.read(&src, 1.0, &mut out);
         for (k, &o) in out.iter().enumerate() {
-            assert!((o - src[k + 1]).abs() < 1e-4, "frame {k}: {o} vs {}", src[k + 1]);
+            assert!(
+                (o - src[k + 1]).abs() < 1e-4,
+                "frame {k}: {o} vs {}",
+                src[k + 1]
+            );
         }
     }
 

@@ -119,7 +119,8 @@ impl TimeStretcher {
                 let fade_in = 0.5 - 0.5 * (core::f32::consts::PI * (1.0 - t)).cos();
                 let fade_out = 1.0 - fade_in;
                 let new = Self::sample(src, start + i as isize);
-                self.ready.push(self.prev_tail[i] * fade_out + new * fade_in);
+                self.ready
+                    .push(self.prev_tail[i] * fade_out + new * fade_in);
             }
         }
         // Remember the second half of this frame for the next crossfade.

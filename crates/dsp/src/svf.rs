@@ -184,7 +184,11 @@ mod tests {
         for i in 0..88_200 {
             // Sweep cutoff 100 Hz → 6 kHz and back, every sample.
             let phase = (i as f32 / 44_100.0 * 0.5).fract();
-            let sweep = if phase < 0.5 { phase * 2.0 } else { 2.0 - phase * 2.0 };
+            let sweep = if phase < 0.5 {
+                phase * 2.0
+            } else {
+                2.0 - phase * 2.0
+            };
             svf.set_cutoff(100.0 * (60.0f32).powf(sweep));
             let y = svf.tick(0, 0.5 * osc.next_sample());
             assert!(y.is_finite());

@@ -52,7 +52,7 @@ pub fn write_wav<W: Write>(
     w.write_all(&byte_rate.to_le_bytes())?;
     w.write_all(&block_align.to_le_bytes())?;
     w.write_all(&16u16.to_le_bytes())?; // bits per sample
-    // data chunk
+                                        // data chunk
     w.write_all(b"data")?;
     w.write_all(&data_len.to_le_bytes())?;
     for &s in samples {

@@ -1,5 +1,7 @@
-//! Property-based tests for the DSP substrate: stability, boundedness and
-//! algebraic invariants that must hold for arbitrary audio.
+//! Property-style tests for the DSP substrate: stability, boundedness and
+//! algebraic invariants that must hold for arbitrary audio. Inputs are
+//! generated from a seeded [`SmallRng`] so every run checks the same cases
+//! (the workspace builds offline, without proptest).
 
 use djstar_dsp::biquad::{Biquad, FilterKind};
 use djstar_dsp::buffer::AudioBuf;
@@ -7,36 +9,50 @@ use djstar_dsp::db::{crossfade_gains, db_to_gain, gain_to_db, pan_gains};
 use djstar_dsp::dynamics::{HardClip, Limiter};
 use djstar_dsp::effects::EffectKind;
 use djstar_dsp::resample::VarRateReader;
-use proptest::prelude::*;
+use djstar_dsp::rng::SmallRng;
 
-fn audio_buf(frames: usize) -> impl Strategy<Value = AudioBuf> {
-    prop::collection::vec(-1.0f32..1.0, frames * 2).prop_map(move |data| {
-        let mut buf = AudioBuf::zeroed(2, frames);
-        buf.samples_mut().copy_from_slice(&data);
-        buf
-    })
+fn rand_buf(rng: &mut SmallRng, frames: usize) -> AudioBuf {
+    let mut buf = AudioBuf::zeroed(2, frames);
+    for s in buf.samples_mut() {
+        *s = rng.f32() * 2.0 - 1.0;
+    }
+    buf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rand_in(rng: &mut SmallRng, lo: f32, hi: f32) -> f32 {
+    lo + rng.f32() * (hi - lo)
+}
 
-    #[test]
-    fn db_round_trip_everywhere(db in -100.0f32..24.0) {
+#[test]
+fn db_round_trip_everywhere() {
+    let mut rng = SmallRng::seed_from_u64(0xD5B);
+    for _ in 0..256 {
+        let db = rand_in(&mut rng, -100.0, 24.0);
         let back = gain_to_db(db_to_gain(db));
-        prop_assert!((back - db).abs() < 1e-2, "{db} -> {back}");
+        assert!((back - db).abs() < 1e-2, "{db} -> {back}");
     }
+}
 
-    #[test]
-    fn pan_and_crossfade_are_equal_power(x in -1.0f32..1.0) {
+#[test]
+fn pan_and_crossfade_are_equal_power() {
+    let mut rng = SmallRng::seed_from_u64(0x9A4);
+    for _ in 0..256 {
+        let x = rand_in(&mut rng, -1.0, 1.0);
         let (l, r) = pan_gains(x);
-        prop_assert!((l * l + r * r - 1.0).abs() < 1e-4);
+        assert!((l * l + r * r - 1.0).abs() < 1e-4);
         let (a, b) = crossfade_gains((x + 1.0) / 2.0);
-        prop_assert!((a * a + b * b - 1.0).abs() < 1e-4);
+        assert!((a * a + b * b - 1.0).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn mix_add_is_linear(buf_a in audio_buf(32), buf_b in audio_buf(32),
-                         g1 in -2.0f32..2.0, g2 in -2.0f32..2.0) {
+#[test]
+fn mix_add_is_linear() {
+    let mut rng = SmallRng::seed_from_u64(0x317);
+    for _ in 0..64 {
+        let buf_a = rand_buf(&mut rng, 32);
+        let buf_b = rand_buf(&mut rng, 32);
+        let g1 = rand_in(&mut rng, -2.0, 2.0);
+        let g2 = rand_in(&mut rng, -2.0, 2.0);
         // (a*g1 + b*g2) built two ways must agree.
         let mut one = AudioBuf::zeroed(2, 32);
         one.mix_add(&buf_a, g1);
@@ -45,19 +61,17 @@ proptest! {
         two.mix_add(&buf_b, g2);
         two.mix_add(&buf_a, g1);
         for (x, y) in one.samples().iter().zip(two.samples()) {
-            prop_assert!((x - y).abs() < 1e-5);
+            assert!((x - y).abs() < 1e-5);
         }
     }
+}
 
-    #[test]
-    fn biquad_stable_for_any_design(
-        kind_sel in 0usize..7,
-        freq in 10.0f32..30_000.0, // deliberately allows beyond-Nyquist
-        q in 0.01f32..20.0,
-        gain_db in -24.0f32..24.0,
-        buf in audio_buf(128),
-    ) {
-        let kind = match kind_sel {
+#[test]
+fn biquad_stable_for_any_design() {
+    let mut rng = SmallRng::seed_from_u64(0xB1D);
+    for _ in 0..64 {
+        let gain_db = rand_in(&mut rng, -24.0, 24.0);
+        let kind = match rng.below(7) {
             0 => FilterKind::Lowpass,
             1 => FilterKind::Highpass,
             2 => FilterKind::Bandpass,
@@ -66,6 +80,10 @@ proptest! {
             5 => FilterKind::LowShelf { gain_db },
             _ => FilterKind::HighShelf { gain_db },
         };
+        // Deliberately allows beyond-Nyquist frequencies.
+        let freq = rand_in(&mut rng, 10.0, 30_000.0);
+        let q = rand_in(&mut rng, 0.01, 20.0);
+        let buf = rand_buf(&mut rng, 128);
         let mut filt = Biquad::design(kind, freq, q, 44_100);
         // Stream fresh copies of the block through the stateful filter (the
         // real usage pattern); a stable filter's output stays bounded by
@@ -73,64 +91,87 @@ proptest! {
         for _ in 0..20 {
             let mut work = buf.clone();
             filt.process(&mut work);
-            prop_assert!(work.is_finite(), "{kind:?} f={freq} q={q}");
-            prop_assert!(work.peak() < 500.0, "{kind:?} blew up: {}", work.peak());
+            assert!(work.is_finite(), "{kind:?} f={freq} q={q}");
+            assert!(work.peak() < 500.0, "{kind:?} blew up: {}", work.peak());
         }
     }
+}
 
-    #[test]
-    fn limiter_always_respects_ceiling(buf in audio_buf(128),
-                                       drive in 1.0f32..20.0,
-                                       ceiling in 0.1f32..1.0) {
+#[test]
+fn limiter_always_respects_ceiling() {
+    let mut rng = SmallRng::seed_from_u64(0x717);
+    for _ in 0..64 {
+        let buf = rand_buf(&mut rng, 128);
+        let drive = rand_in(&mut rng, 1.0, 20.0);
+        let ceiling = rand_in(&mut rng, 0.1, 1.0);
         let mut lim = Limiter::new(ceiling, 0.5, 50.0, 44_100);
         let mut work = buf.clone();
         work.scale(drive);
         for _ in 0..5 {
             lim.process(&mut work);
         }
-        prop_assert!(work.peak() <= ceiling + 1e-4);
+        assert!(work.peak() <= ceiling + 1e-4);
     }
+}
 
-    #[test]
-    fn hard_clip_is_idempotent(buf in audio_buf(64), ceiling in 0.1f32..1.0) {
+#[test]
+fn hard_clip_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0xC11);
+    for _ in 0..64 {
+        let buf = rand_buf(&mut rng, 64);
+        let ceiling = rand_in(&mut rng, 0.1, 1.0);
         let clip = HardClip::new(ceiling);
         let mut once = buf.clone();
         clip.process(&mut once);
         let mut twice = once.clone();
         let clipped_again = clip.process(&mut twice);
-        prop_assert_eq!(clipped_again, 0);
-        prop_assert_eq!(once, twice);
+        assert_eq!(clipped_again, 0);
+        assert_eq!(once, twice);
     }
+}
 
-    #[test]
-    fn effects_never_explode_on_arbitrary_input(buf in audio_buf(128), kind_sel in 0usize..10) {
-        let kind = EffectKind::ALL[kind_sel];
-        let mut fx = kind.build(44_100);
-        // Stream fresh blocks (the streaming usage pattern); internal
-        // feedback state must stay bounded across blocks.
-        for _ in 0..30 {
-            let mut work = buf.clone();
-            fx.process(&mut work);
-            prop_assert!(work.is_finite(), "{kind:?}");
-            prop_assert!(work.peak() < 20.0, "{kind:?} peak {}", work.peak());
+#[test]
+fn effects_never_explode_on_arbitrary_input() {
+    let mut rng = SmallRng::seed_from_u64(0xEFF);
+    for kind in EffectKind::ALL {
+        for _ in 0..6 {
+            let buf = rand_buf(&mut rng, 128);
+            let mut fx = kind.build(44_100);
+            // Stream fresh blocks (the streaming usage pattern); internal
+            // feedback state must stay bounded across blocks.
+            for _ in 0..30 {
+                let mut work = buf.clone();
+                fx.process(&mut work);
+                assert!(work.is_finite(), "{kind:?}");
+                assert!(work.peak() < 20.0, "{kind:?} peak {}", work.peak());
+            }
         }
     }
+}
 
-    #[test]
-    fn unit_rate_resampling_is_near_identity(src in prop::collection::vec(-1.0f32..1.0, 64..256)) {
+#[test]
+fn unit_rate_resampling_is_near_identity() {
+    let mut rng = SmallRng::seed_from_u64(0x4E5);
+    for _ in 0..64 {
+        let len = 64 + rng.below(192);
+        let src: Vec<f32> = (0..len).map(|_| rng.f32() * 2.0 - 1.0).collect();
         let mut reader = VarRateReader::new(1.0);
         let mut out = vec![0.0f32; src.len() - 3];
         reader.read(&src, 1.0, &mut out);
         for (k, &o) in out.iter().enumerate() {
-            prop_assert!((o - src[k + 1]).abs() < 1e-3, "frame {k}");
+            assert!((o - src[k + 1]).abs() < 1e-3, "frame {k}");
         }
     }
+}
 
-    #[test]
-    fn buffer_energy_matches_rms(buf in audio_buf(64)) {
+#[test]
+fn buffer_energy_matches_rms() {
+    let mut rng = SmallRng::seed_from_u64(0x4A5);
+    for _ in 0..64 {
+        let buf = rand_buf(&mut rng, 64);
         let n = buf.samples().len() as f32;
         let rms = buf.rms();
         let energy = buf.energy();
-        prop_assert!((rms * rms * n - energy).abs() < 1e-2 * energy.max(1.0));
+        assert!((rms * rms * n - energy).abs() < 1e-2 * energy.max(1.0));
     }
 }

@@ -16,8 +16,8 @@ use crate::nodes::controls;
 use crate::profiling::HotspotProfiler;
 use crate::timecode::{TimecodeDecoder, TimecodeGenerator};
 use djstar_core::exec::{
-    BusyExecutor, GraphExecutor, HybridExecutor, SequentialExecutor, SleepExecutor,
-    StealExecutor, Strategy,
+    BusyExecutor, GraphExecutor, HybridExecutor, SequentialExecutor, SleepExecutor, StealExecutor,
+    Strategy,
 };
 use djstar_dsp::buffer::AudioBuf;
 use djstar_dsp::work::burn;
@@ -122,12 +122,7 @@ impl AudioEngine {
 
     /// Build an engine with explicit auxiliary-phase weights (tests use
     /// [`AuxWork::light`]).
-    pub fn with_aux(
-        scenario: Scenario,
-        strategy: Strategy,
-        threads: usize,
-        aux: AuxWork,
-    ) -> Self {
+    pub fn with_aux(scenario: Scenario, strategy: Strategy, threads: usize, aux: AuxWork) -> Self {
         let frames = djstar_dsp::BUFFER_FRAMES;
         let (graph, map) = build_djstar_graph(&scenario);
         let executor: Box<dyn GraphExecutor> = match strategy {
@@ -144,7 +139,12 @@ impl AudioEngine {
             .iter()
             .map(|d| {
                 d.active.then(|| {
-                    TrackPlayer::new(synth_track(d.track_seed, d.bpm, scenario.track_secs, d.style))
+                    TrackPlayer::new(synth_track(
+                        d.track_seed,
+                        d.bpm,
+                        scenario.track_secs,
+                        d.style,
+                    ))
                 })
             })
             .collect();
@@ -198,6 +198,18 @@ impl AudioEngine {
     /// The underlying executor (for tracing, knob turning, output reads).
     pub fn executor_mut(&mut self) -> &mut dyn GraphExecutor {
         self.executor.as_mut()
+    }
+
+    /// Enable or disable executor telemetry (per-worker cycle counters
+    /// drained into a ring after each [`run_apc`](Self::run_apc)).
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.executor.set_telemetry(on);
+    }
+
+    /// Take the telemetry ring collected since telemetry was enabled (or
+    /// last taken); recording continues into a fresh ring.
+    pub fn take_telemetry(&mut self) -> Option<djstar_core::telemetry::TelemetryRing> {
+        self.executor.take_telemetry()
     }
 
     /// Cycles run so far.
@@ -423,12 +435,8 @@ impl AudioEngine {
     /// each step smaller (e.g. debug builds).
     pub fn calibrate(mut scenario: Scenario, target: Duration, probe_cycles: usize) -> Scenario {
         for _ in 0..6 {
-            let mut engine = AudioEngine::with_aux(
-                scenario.clone(),
-                Strategy::Sequential,
-                1,
-                AuxWork::light(),
-            );
+            let mut engine =
+                AudioEngine::with_aux(scenario.clone(), Strategy::Sequential, 1, AuxWork::light());
             engine.warmup(probe_cycles / 4 + 1);
             let mut times = engine.graph_times(probe_cycles);
             // Median, not mean: on shared hosts individual probes absorb
@@ -472,7 +480,12 @@ mod tests {
         let mut reference = light_engine(Strategy::Sequential, 1);
         reference.warmup(30);
         let want = reference.output();
-        for strategy in [Strategy::Busy, Strategy::Sleep, Strategy::Steal, Strategy::Hybrid] {
+        for strategy in [
+            Strategy::Busy,
+            Strategy::Sleep,
+            Strategy::Steal,
+            Strategy::Hybrid,
+        ] {
             let mut e = light_engine(strategy, 3);
             e.warmup(30);
             let got = e.output();
@@ -551,7 +564,12 @@ mod tests {
         for _ in 0..5 {
             e.run_apc_profiled(&mut p);
         }
-        for region in ["apc/timecode", "apc/preprocessing", "apc/graph", "apc/various"] {
+        for region in [
+            "apc/timecode",
+            "apc/preprocessing",
+            "apc/graph",
+            "apc/various",
+        ] {
             assert!(p.total_of(region) > 0, "{region} missing");
         }
     }

@@ -405,7 +405,10 @@ mod tests {
         }
         assert_eq!(p.mode(), PlayMode::Stretch);
         // Handover was seamless: position continued from the vinyl spot.
-        assert!((p.position() - pos).abs() < 44_100.0 * 0.2, "position jumped");
+        assert!(
+            (p.position() - pos).abs() < 44_100.0 * 0.2,
+            "position jumped"
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl EventQueue {
         let all: Vec<QueuedEvent> = self.queue.drain(..).collect();
         let mut out: Vec<QueuedEvent> = Vec::with_capacity(all.len());
         for qe in all {
-            let slot = out.iter_mut().rev().find(|o| coalesces(&o.event, &qe.event));
+            let slot = out
+                .iter_mut()
+                .rev()
+                .find(|o| coalesces(&o.event, &qe.event));
             match slot {
                 Some(o) if !matches!(qe.event, ControlEvent::FxToggle(..)) => *o = qe,
                 _ => out.push(qe),

@@ -100,8 +100,7 @@ pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
         // The deck's fx_weight scales the chain's compute (the paper's
         // chains are visibly imbalanced, Fig. 11).
         let mut deck_profile = profile;
-        deck_profile.fx_iters =
-            ((profile.fx_iters as f32 * cfg.fx_weight).round() as u32).max(1);
+        deck_profile.fx_iters = ((profile.fx_iters as f32 * cfg.fx_weight).round() as u32).max(1);
         for slot in 0..4 {
             let preds: Vec<NodeId> = if slot == 0 {
                 sp[d].to_vec()

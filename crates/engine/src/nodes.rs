@@ -723,7 +723,9 @@ impl SpectrumTapNode {
     /// The master spectrum analyzer.
     pub fn new(profile: WorkProfile, seed: u32) -> Self {
         SpectrumTapNode {
-            bands_hz: [60.0, 150.0, 400.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 15_000.0],
+            bands_hz: [
+                60.0, 150.0, 400.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 15_000.0,
+            ],
             cost: CostModel::new(NodeClass::Bookkeeping, profile, seed),
         }
     }
@@ -934,7 +936,9 @@ mod tests {
 
     #[test]
     fn sp_filter_reads_external_deck() {
-        let audio = vec![AudioBuf::from_fn(2, 128, |_, i| ((i as f32) * 0.2).sin() * 0.5)];
+        let audio = vec![AudioBuf::from_fn(2, 128, |_, i| {
+            ((i as f32) * 0.2).sin() * 0.5
+        })];
         let mut node = SpFilterNode::new(0, 0, light(), 1);
         let mut out = AudioBuf::zeroed(2, 128);
         node.process(&[], &mut out, &ctx_with(&audio, &[]));
@@ -1052,7 +1056,11 @@ mod tests {
         let three = AudioBuf::from_fn(2, 16, |_, _| 3.0);
         let ignored = AudioBuf::from_fn(2, 16, |_, _| 100.0);
         let mut out = AudioBuf::zeroed(2, 16);
-        node.process(&[&one, &three, &ignored, &ignored], &mut out, &ctx_with(&[], &[]));
+        node.process(
+            &[&one, &three, &ignored, &ignored],
+            &mut out,
+            &ctx_with(&[], &[]),
+        );
         assert!((out.sample(0, 0) - 2.0).abs() < 1e-5);
     }
 
@@ -1099,7 +1107,10 @@ mod tests {
             cost.iters_for(&medium),
             cost.iters_for(&quiet),
         );
-        assert!(il > im && im > iq, "iters loud {il}, medium {im}, quiet {iq}");
+        assert!(
+            il > im && im > iq,
+            "iters loud {il}, medium {im}, quiet {iq}"
+        );
         // dd = 0.9: the spread between silence and saturation is 0.55..1.45
         // of the base budget.
         let base = profile.fx_iters as f32;

@@ -140,7 +140,11 @@ impl TimecodeDecoder {
         for i in 1..l.len() {
             let (a, b) = (l[i - 1], l[i]);
             if a <= 0.0 && b > 0.0 {
-                let frac = if (b - a).abs() > 1e-12 { -a / (b - a) } else { 0.0 };
+                let frac = if (b - a).abs() > 1e-12 {
+                    -a / (b - a)
+                } else {
+                    0.0
+                };
                 let t = (i - 1) as f32 + frac;
                 if first_cross.is_none() {
                     first_cross = Some(t);
@@ -281,6 +285,9 @@ mod tests {
         let corr_lag: f32 = (0..4096 - lag)
             .map(|i| buf.sample(0, i) * buf.sample(1, i + lag))
             .sum();
-        assert!(corr0.abs() < corr_lag.abs() * 0.2, "corr0 {corr0}, corr_lag {corr_lag}");
+        assert!(
+            corr0.abs() < corr_lag.abs() * 0.2,
+            "corr0 {corr0}, corr_lag {corr_lag}"
+        );
     }
 }

@@ -1,21 +1,31 @@
-//! Property-based tests for the engine substrate: timecode decode accuracy
+//! Property-style tests for the engine substrate: timecode decode accuracy
 //! over arbitrary speeds, deck playback invariants, and event-queue laws.
+//! Cases come from a seeded [`SmallRng`] so every run is identical (the
+//! workspace builds offline, without proptest).
 
 use djstar_dsp::buffer::AudioBuf;
+use djstar_dsp::rng::SmallRng;
 use djstar_engine::deck::TrackPlayer;
 use djstar_engine::events::{ControlEvent, EventQueue};
 use djstar_engine::timecode::{TimecodeDecoder, TimecodeGenerator};
 use djstar_workload::track::{synth_track, TrackStyle};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn rand_in(rng: &mut SmallRng, lo: f32, hi: f32) -> f32 {
+    lo + rng.f32() * (hi - lo)
+}
 
-    /// The decoder recovers any steady platter speed in the DVS range
-    /// within 8 %, including direction.
-    #[test]
-    fn timecode_round_trip_over_speed_range(speed_mag in 0.3f32..2.0, forward in any::<bool>()) {
-        let speed = if forward { speed_mag } else { -speed_mag };
+/// The decoder recovers any steady platter speed in the DVS range
+/// within 8 %, including direction.
+#[test]
+fn timecode_round_trip_over_speed_range() {
+    let mut rng = SmallRng::seed_from_u64(0x7C0D);
+    for _ in 0..32 {
+        let speed_mag = rand_in(&mut rng, 0.3, 2.0);
+        let speed = if rng.chance(0.5) {
+            speed_mag
+        } else {
+            -speed_mag
+        };
         let mut generator = TimecodeGenerator::new(44_100);
         let mut decoder = TimecodeDecoder::new(44_100);
         let mut buf = AudioBuf::zeroed(2, 128);
@@ -24,54 +34,68 @@ proptest! {
             generator.generate(speed, &mut buf);
             last = decoder.decode(&buf).speed;
         }
-        prop_assert!(
+        assert!(
             (last - speed).abs() < 0.08 * speed_mag.max(1.0),
             "speed {speed}, decoded {last}"
         );
     }
+}
 
-    /// Deck playback is finite and bounded for any tempo in range, and the
-    /// source position never moves backwards under forward playback.
-    #[test]
-    fn deck_pull_invariants(tempo in 0.3f32..3.5, seed in 1u64..50) {
+/// Deck playback is finite and bounded for any tempo in range, and the
+/// source position never moves backwards under forward playback.
+#[test]
+fn deck_pull_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0xDEC4);
+    for _ in 0..12 {
+        let tempo = rand_in(&mut rng, 0.3, 3.5);
+        let seed = 1 + rng.range_u64(0, 49);
         let mut player = TrackPlayer::new(synth_track(seed, 125.0, 3.0, TrackStyle::House));
         let mut out = AudioBuf::stereo_default();
         let mut last_pos = 0.0f64;
         let len = player.track().samples().len() as f64;
         for _ in 0..60 {
             player.pull(tempo, &mut out);
-            prop_assert!(out.is_finite());
-            prop_assert!(out.peak() <= 1.3, "peak {}", out.peak());
+            assert!(out.is_finite());
+            assert!(out.peak() <= 1.3, "peak {}", out.peak());
             let pos = player.position();
             // Forward playback: position advances except at the loop wrap.
-            prop_assert!(
+            assert!(
                 pos >= last_pos || pos < len * 0.5,
                 "position moved backwards: {last_pos} -> {pos}"
             );
             last_pos = pos;
         }
     }
+}
 
-    /// Vinyl mode at any speed (including reverse) keeps the position
-    /// inside the track and the audio finite.
-    #[test]
-    fn vinyl_pull_invariants(speed in -3.0f32..3.0, seed in 1u64..30) {
+/// Vinyl mode at any speed (including reverse) keeps the position
+/// inside the track and the audio finite.
+#[test]
+fn vinyl_pull_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x1141);
+    for _ in 0..12 {
+        let speed = rand_in(&mut rng, -3.0, 3.0);
+        let seed = 1 + rng.range_u64(0, 29);
         let mut player = TrackPlayer::new(synth_track(seed, 130.0, 2.0, TrackStyle::Breakbeat));
         let len = player.track().samples().len() as f64;
         player.seek(len / 2.0);
         let mut out = AudioBuf::stereo_default();
         for _ in 0..50 {
             player.pull_vinyl(speed, &mut out);
-            prop_assert!(out.is_finite());
+            assert!(out.is_finite());
             let pos = player.position();
-            prop_assert!((0.0..=len).contains(&pos), "pos {pos} outside track");
+            assert!((0.0..=len).contains(&pos), "pos {pos} outside track");
         }
     }
+}
 
-    /// Coalesced draining never loses the *final* value of any continuous
-    /// control, never reorders toggles, and never grows the event count.
-    #[test]
-    fn event_queue_coalescing_laws(values in prop::collection::vec(0.0f32..1.0, 1..40)) {
+/// Coalesced draining never loses the *final* value of any continuous
+/// control, never reorders toggles, and never grows the event count.
+#[test]
+fn event_queue_coalescing_laws() {
+    let mut rng = SmallRng::seed_from_u64(0xE0E7);
+    for _ in 0..32 {
+        let values: Vec<f32> = (0..1 + rng.below(39)).map(|_| rng.f32()).collect();
         let mut q = EventQueue::standard();
         for (i, &v) in values.iter().enumerate() {
             q.push(i as u64, ControlEvent::Crossfader(v));
@@ -81,7 +105,7 @@ proptest! {
         }
         let n_before = q.len();
         let drained = q.drain_coalesced();
-        prop_assert!(drained.len() <= n_before);
+        assert!(drained.len() <= n_before);
         // The last crossfader value survives.
         let last_xfade = drained
             .iter()
@@ -91,31 +115,45 @@ proptest! {
                 _ => None,
             })
             .expect("crossfader event present");
-        prop_assert_eq!(last_xfade, *values.last().unwrap());
+        assert_eq!(last_xfade, *values.last().unwrap());
         // Toggle count preserved exactly.
-        let toggles_expected = values.iter().enumerate().filter(|(i, _)| i % 3 == 0).count();
+        let toggles_expected = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .count();
         let toggles = drained
             .iter()
             .filter(|e| matches!(e.event, ControlEvent::FxToggle(..)))
             .count();
-        prop_assert_eq!(toggles, toggles_expected);
+        assert_eq!(toggles, toggles_expected);
     }
+}
 
-    /// Loop regions confine playback for arbitrary loop placements.
-    #[test]
-    fn arbitrary_loops_confine_position(start_frac in 0.0f64..0.8, len_frac in 0.01f64..0.2) {
-        let mut player = TrackPlayer::new(synth_track(7, 128.0, 2.0, TrackStyle::House));
+/// Loop regions confine playback for arbitrary loop placements.
+#[test]
+fn arbitrary_loops_confine_position() {
+    let mut rng = SmallRng::seed_from_u64(0x100B);
+    let track = synth_track(7, 128.0, 2.0, TrackStyle::House);
+    let mut checked = 0;
+    while checked < 16 {
+        let start_frac = rng.f64() * 0.8;
+        let len_frac = 0.01 + rng.f64() * 0.19;
+        let mut player = TrackPlayer::new(track.clone());
         let track_len = player.track().samples().len() as f64;
         let start = start_frac * track_len;
         let end = (start + len_frac * track_len).min(track_len);
-        prop_assume!(end - start >= 4_096.0); // enough for the stretcher
-        prop_assert!(player.set_loop(start, end));
+        if end - start < 4_096.0 {
+            continue; // not enough room for the stretcher
+        }
+        checked += 1;
+        assert!(player.set_loop(start, end));
         player.seek(start);
         let mut out = AudioBuf::stereo_default();
         for _ in 0..120 {
             player.pull(1.0, &mut out);
             let pos = player.position();
-            prop_assert!(
+            assert!(
                 pos >= start - 1.0 && pos <= end + 4_096.0,
                 "pos {pos} escaped loop [{start}, {end})"
             );

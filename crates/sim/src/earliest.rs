@@ -26,7 +26,11 @@ pub struct EarliestStartResult {
 
 /// Compute the earliest-start schedule of `graph` under `durations`
 /// (simulated cycle `cycle` of the model).
-pub fn earliest_start(graph: &SimGraph, durations: &DurationModel, cycle: usize) -> EarliestStartResult {
+pub fn earliest_start(
+    graph: &SimGraph,
+    durations: &DurationModel,
+    cycle: usize,
+) -> EarliestStartResult {
     let n = graph.len();
     let mut start = vec![0u64; n];
     let mut end = vec![0u64; n];

@@ -18,10 +18,7 @@ pub fn render_schedule(s: &Schedule, width: usize) -> String {
             paint(&mut row, width, makespan, e.start_ns, e.end_ns, b'=');
             label(&mut row, width, makespan, e.start_ns, e.node);
         }
-        out.push_str(&format!(
-            "T{proc} |{}|\n",
-            String::from_utf8_lossy(&row)
-        ));
+        out.push_str(&format!("T{proc} |{}|\n", String::from_utf8_lossy(&row)));
     }
     out.push_str(&format!(
         "    0 {:>width$} ns\n",
@@ -32,15 +29,10 @@ pub fn render_schedule(s: &Schedule, width: usize) -> String {
 }
 
 /// Render a measured [`ScheduleTrace`] (Fig. 11 proper): `=` executing,
-/// `.` busy-waiting or sleeping, space idle.
+/// `.` busy-waiting or sleeping, `s` a successful steal sweep, `^` waking
+/// a parked peer, space idle.
 pub fn render_trace(t: &ScheduleTrace, width: usize) -> String {
-    let makespan = t
-        .events
-        .iter()
-        .map(|e| e.end_ns)
-        .max()
-        .unwrap_or(0)
-        .max(1);
+    let makespan = t.events.iter().map(|e| e.end_ns).max().unwrap_or(0).max(1);
     let mut out = String::new();
     for worker in 0..t.workers {
         let mut row = vec![b' '; width];
@@ -48,16 +40,15 @@ pub fn render_trace(t: &ScheduleTrace, width: usize) -> String {
             let ch = match e.kind {
                 TraceKind::Exec => b'=',
                 TraceKind::BusyWait | TraceKind::Sleep | TraceKind::Idle => b'.',
+                TraceKind::Steal => b's',
+                TraceKind::Unpark => b'^',
             };
             paint(&mut row, width, makespan, e.start_ns, e.end_ns, ch);
             if e.kind == TraceKind::Exec {
                 label(&mut row, width, makespan, e.start_ns, e.node);
             }
         }
-        out.push_str(&format!(
-            "T{worker} |{}|\n",
-            String::from_utf8_lossy(&row)
-        ));
+        out.push_str(&format!("T{worker} |{}|\n", String::from_utf8_lossy(&row)));
     }
     out.push_str(&format!(
         "    0 {:>width$} ns\n",
@@ -99,7 +90,10 @@ fn scale(t: u64, makespan: u64, width: usize) -> usize {
 pub fn schedule_csv(s: &Schedule) -> String {
     let mut out = String::from("node,proc,start_ns,end_ns\n");
     for e in &s.entries {
-        out.push_str(&format!("{},{},{},{}\n", e.node, e.proc, e.start_ns, e.end_ns));
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            e.node, e.proc, e.start_ns, e.end_ns
+        ));
     }
     out
 }
@@ -114,9 +108,24 @@ mod tests {
         Schedule {
             procs: 2,
             entries: vec![
-                ScheduleEntry { node: 0, proc: 0, start_ns: 0, end_ns: 500 },
-                ScheduleEntry { node: 1, proc: 1, start_ns: 0, end_ns: 300 },
-                ScheduleEntry { node: 2, proc: 1, start_ns: 500, end_ns: 1_000 },
+                ScheduleEntry {
+                    node: 0,
+                    proc: 0,
+                    start_ns: 0,
+                    end_ns: 500,
+                },
+                ScheduleEntry {
+                    node: 1,
+                    proc: 1,
+                    start_ns: 0,
+                    end_ns: 300,
+                },
+                ScheduleEntry {
+                    node: 2,
+                    proc: 1,
+                    start_ns: 500,
+                    end_ns: 1_000,
+                },
             ],
         }
     }
@@ -137,8 +146,20 @@ mod tests {
         let t = ScheduleTrace {
             workers: 1,
             events: vec![
-                TraceEvent { node: 5, worker: 0, start_ns: 0, end_ns: 400, kind: TraceKind::BusyWait },
-                TraceEvent { node: 5, worker: 0, start_ns: 400, end_ns: 1_000, kind: TraceKind::Exec },
+                TraceEvent {
+                    node: 5,
+                    worker: 0,
+                    start_ns: 0,
+                    end_ns: 400,
+                    kind: TraceKind::BusyWait,
+                },
+                TraceEvent {
+                    node: 5,
+                    worker: 0,
+                    start_ns: 400,
+                    end_ns: 1_000,
+                    kind: TraceKind::Exec,
+                },
             ],
         };
         let s = render_trace(&t, 50);
@@ -159,8 +180,18 @@ mod tests {
         let s = Schedule {
             procs: 1,
             entries: vec![
-                ScheduleEntry { node: 0, proc: 0, start_ns: 0, end_ns: 1 },
-                ScheduleEntry { node: 1, proc: 0, start_ns: 1, end_ns: 1_000_000 },
+                ScheduleEntry {
+                    node: 0,
+                    proc: 0,
+                    start_ns: 0,
+                    end_ns: 1,
+                },
+                ScheduleEntry {
+                    node: 1,
+                    proc: 0,
+                    start_ns: 1,
+                    end_ns: 1_000_000,
+                },
             ],
         };
         let text = render_schedule(&s, 60);

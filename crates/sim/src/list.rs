@@ -132,7 +132,9 @@ pub fn list_schedule_with(
 impl SimGraph {
     /// Predecessor counts (helper for schedulers).
     pub(crate) fn preds_counts(&self) -> Vec<usize> {
-        (0..self.len() as u32).map(|n| self.preds(n).len()).collect()
+        (0..self.len() as u32)
+            .map(|n| self.preds(n).len())
+            .collect()
     }
 }
 

@@ -7,10 +7,9 @@
 
 use crate::model::Schedule;
 use djstar_core::trace::{ScheduleTrace, TraceKind};
-use serde::{Deserialize, Serialize};
 
 /// Aggregate metrics of one schedule/cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleMetrics {
     /// Makespan (ns).
     pub makespan_ns: u64,
@@ -83,7 +82,7 @@ impl ScheduleMetrics {
 
 /// Wait-time breakdown of a measured trace (the gray boxes and white gaps
 /// of Fig. 11, summed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaitBreakdown {
     /// Total busy-wait (spin) time across workers (ns).
     pub busy_wait_ns: u64,
@@ -119,9 +118,24 @@ mod tests {
         Schedule {
             procs: 2,
             entries: vec![
-                ScheduleEntry { node: 0, proc: 0, start_ns: 0, end_ns: 60 },
-                ScheduleEntry { node: 1, proc: 1, start_ns: 0, end_ns: 20 },
-                ScheduleEntry { node: 2, proc: 1, start_ns: 20, end_ns: 40 },
+                ScheduleEntry {
+                    node: 0,
+                    proc: 0,
+                    start_ns: 0,
+                    end_ns: 60,
+                },
+                ScheduleEntry {
+                    node: 1,
+                    proc: 1,
+                    start_ns: 0,
+                    end_ns: 20,
+                },
+                ScheduleEntry {
+                    node: 2,
+                    proc: 1,
+                    start_ns: 20,
+                    end_ns: 40,
+                },
             ],
         }
     }
@@ -142,9 +156,27 @@ mod tests {
         let t = ScheduleTrace {
             workers: 2,
             events: vec![
-                TraceEvent { node: 0, worker: 0, start_ns: 0, end_ns: 50, kind: TraceKind::Exec },
-                TraceEvent { node: 1, worker: 1, start_ns: 0, end_ns: 30, kind: TraceKind::BusyWait },
-                TraceEvent { node: 1, worker: 1, start_ns: 30, end_ns: 50, kind: TraceKind::Exec },
+                TraceEvent {
+                    node: 0,
+                    worker: 0,
+                    start_ns: 0,
+                    end_ns: 50,
+                    kind: TraceKind::Exec,
+                },
+                TraceEvent {
+                    node: 1,
+                    worker: 1,
+                    start_ns: 0,
+                    end_ns: 30,
+                    kind: TraceKind::BusyWait,
+                },
+                TraceEvent {
+                    node: 1,
+                    worker: 1,
+                    start_ns: 30,
+                    end_ns: 50,
+                    kind: TraceKind::Exec,
+                },
             ],
         };
         let m = ScheduleMetrics::of_trace(&t);
@@ -158,7 +190,10 @@ mod tests {
 
     #[test]
     fn empty_schedule_is_benign() {
-        let m = ScheduleMetrics::of_schedule(&Schedule { entries: vec![], procs: 4 });
+        let m = ScheduleMetrics::of_schedule(&Schedule {
+            entries: vec![],
+            procs: 4,
+        });
         assert_eq!(m.utilization, 0.0);
         assert_eq!(m.imbalance, 1.0);
     }
@@ -168,8 +203,18 @@ mod tests {
         let s = Schedule {
             procs: 2,
             entries: vec![
-                ScheduleEntry { node: 0, proc: 0, start_ns: 0, end_ns: 50 },
-                ScheduleEntry { node: 1, proc: 1, start_ns: 0, end_ns: 50 },
+                ScheduleEntry {
+                    node: 0,
+                    proc: 0,
+                    start_ns: 0,
+                    end_ns: 50,
+                },
+                ScheduleEntry {
+                    node: 1,
+                    proc: 1,
+                    start_ns: 0,
+                    end_ns: 50,
+                },
             ],
         };
         let m = ScheduleMetrics::of_schedule(&s);

@@ -1,7 +1,6 @@
 //! The simulation model: graph structure, duration sources and schedules.
 
 use djstar_core::graph::{GraphTopology, NodeId, Section};
-use serde::{Deserialize, Serialize};
 
 /// A self-contained copy of the graph structure used by the simulators
 /// (decoupled from `djstar-core` executors so schedules can be simulated
@@ -21,10 +20,16 @@ impl SimGraph {
     pub fn from_topology(topo: &GraphTopology) -> Self {
         let n = topo.len();
         SimGraph {
-            names: (0..n).map(|i| topo.name(NodeId(i as u32)).to_string()).collect(),
+            names: (0..n)
+                .map(|i| topo.name(NodeId(i as u32)).to_string())
+                .collect(),
             sections: (0..n).map(|i| topo.section(NodeId(i as u32))).collect(),
-            preds: (0..n).map(|i| topo.preds(NodeId(i as u32)).to_vec()).collect(),
-            succs: (0..n).map(|i| topo.succs(NodeId(i as u32)).to_vec()).collect(),
+            preds: (0..n)
+                .map(|i| topo.preds(NodeId(i as u32)).to_vec())
+                .collect(),
+            succs: (0..n)
+                .map(|i| topo.succs(NodeId(i as u32)).to_vec())
+                .collect(),
             queue: topo.queue().to_vec(),
             sources: topo.sources().to_vec(),
         }
@@ -108,7 +113,7 @@ impl SimGraph {
 }
 
 /// Per-node execution durations driving a simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum DurationModel {
     /// Every node has a fixed duration (ns).
     Constant(Vec<u64>),
@@ -154,7 +159,9 @@ impl DurationModel {
     /// uses: "we measured the average vertex computation time").
     pub fn means(&self, nodes: usize) -> DurationModel {
         DurationModel::Constant(
-            (0..nodes as u32).map(|n| self.mean(n).round() as u64).collect(),
+            (0..nodes as u32)
+                .map(|n| self.mean(n).round() as u64)
+                .collect(),
         )
     }
 
@@ -170,7 +177,7 @@ impl DurationModel {
 }
 
 /// One node's placement in a simulated schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduleEntry {
     /// Node id.
     pub node: u32,
@@ -183,7 +190,7 @@ pub struct ScheduleEntry {
 }
 
 /// A complete simulated schedule of one cycle.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Schedule {
     /// All placements.
     pub entries: Vec<ScheduleEntry>,
@@ -321,10 +328,30 @@ mod tests {
         let ok = Schedule {
             procs: 2,
             entries: vec![
-                ScheduleEntry { node: 0, proc: 0, start_ns: 0, end_ns: 10 },
-                ScheduleEntry { node: 1, proc: 0, start_ns: 10, end_ns: 20 },
-                ScheduleEntry { node: 2, proc: 1, start_ns: 10, end_ns: 25 },
-                ScheduleEntry { node: 3, proc: 0, start_ns: 25, end_ns: 30 },
+                ScheduleEntry {
+                    node: 0,
+                    proc: 0,
+                    start_ns: 0,
+                    end_ns: 10,
+                },
+                ScheduleEntry {
+                    node: 1,
+                    proc: 0,
+                    start_ns: 10,
+                    end_ns: 20,
+                },
+                ScheduleEntry {
+                    node: 2,
+                    proc: 1,
+                    start_ns: 10,
+                    end_ns: 25,
+                },
+                ScheduleEntry {
+                    node: 3,
+                    proc: 0,
+                    start_ns: 25,
+                    end_ns: 30,
+                },
             ],
         };
         assert!(ok.is_valid(&g));
@@ -346,8 +373,18 @@ mod tests {
         let s = Schedule {
             procs: 2,
             entries: vec![
-                ScheduleEntry { node: 0, proc: 0, start_ns: 0, end_ns: 10 },
-                ScheduleEntry { node: 1, proc: 1, start_ns: 5, end_ns: 15 },
+                ScheduleEntry {
+                    node: 0,
+                    proc: 0,
+                    start_ns: 0,
+                    end_ns: 10,
+                },
+                ScheduleEntry {
+                    node: 1,
+                    proc: 1,
+                    start_ns: 5,
+                    end_ns: 15,
+                },
             ],
         };
         let p = s.concurrency_profile();

@@ -127,9 +127,14 @@ pub fn simulate_strategy(
     match strategy {
         SimStrategy::Busy => simulate_static(graph, durations, cycle, threads, overhead, false),
         SimStrategy::Sleep => simulate_static(graph, durations, cycle, threads, overhead, true),
-        SimStrategy::Steal => {
-            simulate_ws(graph, durations, cycle, threads, overhead, WsConfig::default())
-        }
+        SimStrategy::Steal => simulate_ws(
+            graph,
+            durations,
+            cycle,
+            threads,
+            overhead,
+            WsConfig::default(),
+        ),
     }
 }
 
@@ -233,7 +238,13 @@ fn simulate_static(
     // sleeping strategy; busy-waiting workers spin at the barrier and
     // start immediately.
     let mut thread_time: Vec<u64> = (0..threads)
-        .map(|t| if sleeping && t != 0 { overhead.wake_ns } else { 0 })
+        .map(|t| {
+            if sleeping && t != 0 {
+                overhead.wake_ns
+            } else {
+                0
+            }
+        })
         .collect();
     let mut entries = Vec::with_capacity(n);
     // Queue order is a topological order and each thread's assigned nodes
@@ -313,7 +324,7 @@ fn simulate_ws(
     // visible before every predecessor's completion.
     let mut ready_floor: Vec<u64> = vec![0; n];
     let mut deques: Vec<Vec<WsEntry>> = vec![Vec::new(); threads]; // back = newest
-    // The master seeds the source nodes before the workers wake.
+                                                                   // The master seeds the source nodes before the workers wake.
     let seed_cost = overhead.queue_op_ns * graph.sources().len() as u64;
     for (k, &src) in graph.sources().iter().enumerate() {
         let target = if config.seed_by_section {
@@ -321,7 +332,10 @@ fn simulate_ws(
         } else {
             k % threads
         };
-        deques[target].push(WsEntry { node: src, avail: 0 });
+        deques[target].push(WsEntry {
+            node: src,
+            avail: 0,
+        });
     }
     let mut thread_time: Vec<u64> = (0..threads)
         .map(|t| if t == 0 { seed_cost } else { overhead.wake_ns })
@@ -465,7 +479,8 @@ mod tests {
         let d = DurationModel::Constant((0..g.len() as u64).map(|i| 500 + i * 37).collect());
         for strat in SimStrategy::ALL {
             for threads in [1, 2, 3, 4] {
-                let s = simulate_strategy(&g, &d, 0, threads, strat, &OverheadModel::default_host());
+                let s =
+                    simulate_strategy(&g, &d, 0, threads, strat, &OverheadModel::default_host());
                 assert!(s.is_valid(&g), "{strat:?} t={threads}");
                 assert!(s.max_concurrency() <= threads as u32);
             }
@@ -486,11 +501,16 @@ mod tests {
     #[test]
     fn sleep_is_never_faster_than_busy_with_same_inputs() {
         let g = chains(4, 6);
-        let d = DurationModel::Constant((0..g.len() as u64).map(|i| 1_000 + (i * 311) % 5_000).collect());
+        let d = DurationModel::Constant(
+            (0..g.len() as u64)
+                .map(|i| 1_000 + (i * 311) % 5_000)
+                .collect(),
+        );
         let oh = OverheadModel::default_host();
         for threads in [2, 3, 4] {
             let busy = simulate_strategy(&g, &d, 0, threads, SimStrategy::Busy, &oh).makespan_ns();
-            let sleep = simulate_strategy(&g, &d, 0, threads, SimStrategy::Sleep, &oh).makespan_ns();
+            let sleep =
+                simulate_strategy(&g, &d, 0, threads, SimStrategy::Sleep, &oh).makespan_ns();
             assert!(sleep >= busy, "t={threads}: sleep {sleep} < busy {busy}");
         }
     }
@@ -498,7 +518,11 @@ mod tests {
     #[test]
     fn strategies_never_beat_the_list_scheduler_bound() {
         let g = chains(4, 5);
-        let d = DurationModel::Constant((0..g.len() as u64).map(|i| 2_000 + (i * 173) % 9_000).collect());
+        let d = DurationModel::Constant(
+            (0..g.len() as u64)
+                .map(|i| 2_000 + (i * 173) % 9_000)
+                .collect(),
+        );
         for threads in [1, 2, 4] {
             let bound = list_schedule(&g, &d, 0, threads as u32).makespan_ns();
             for strat in SimStrategy::ALL {
@@ -506,10 +530,7 @@ mod tests {
                     .makespan_ns();
                 // Zero-overhead strategies are at best as good as the list
                 // scheduler (which is work-conserving with full knowledge).
-                assert!(
-                    m + 1 >= bound,
-                    "{strat:?} t={threads}: {m} < bound {bound}"
-                );
+                assert!(m + 1 >= bound, "{strat:?} t={threads}: {m} < bound {bound}");
             }
         }
     }
@@ -547,7 +568,14 @@ mod tests {
     fn ws_executes_every_node_exactly_once() {
         let g = chains(3, 4);
         let d = DurationModel::Constant(vec![1_000; g.len()]);
-        let s = simulate_strategy(&g, &d, 0, 4, SimStrategy::Steal, &OverheadModel::default_host());
+        let s = simulate_strategy(
+            &g,
+            &d,
+            0,
+            4,
+            SimStrategy::Steal,
+            &OverheadModel::default_host(),
+        );
         assert!(s.is_valid(&g));
         let mut nodes: Vec<u32> = s.entries.iter().map(|e| e.node).collect();
         nodes.sort_unstable();
@@ -568,7 +596,9 @@ mod tests {
     fn hybrid_brackets_busy_and_sleep() {
         let g = chains(4, 6);
         let d = DurationModel::Constant(
-            (0..g.len() as u64).map(|i| 1_000 + (i * 509) % 8_000).collect(),
+            (0..g.len() as u64)
+                .map(|i| 1_000 + (i * 509) % 8_000)
+                .collect(),
         );
         let oh = OverheadModel::default_host();
         let busy = simulate_strategy(&g, &d, 0, 4, SimStrategy::Busy, &oh).makespan_ns();
@@ -578,11 +608,17 @@ mod tests {
         let inf = simulate_hybrid(&g, &d, 0, 4, &oh, u64::MAX).makespan_ns();
         let zero = simulate_hybrid(&g, &d, 0, 4, &oh, 0).makespan_ns();
         assert!(inf >= busy, "inf-budget hybrid {inf} < busy {busy}");
-        assert!(zero >= sleep.min(inf), "zero-budget hybrid {zero} implausible");
+        assert!(
+            zero >= sleep.min(inf),
+            "zero-budget hybrid {zero} implausible"
+        );
         assert!(inf <= sleep, "inf-budget hybrid {inf} > sleep {sleep}");
         // A mid budget lands between the extremes.
         let mid = simulate_hybrid(&g, &d, 0, 4, &oh, 5_000).makespan_ns();
-        assert!(mid >= inf && mid <= zero.max(sleep), "mid {mid}, inf {inf}, zero {zero}");
+        assert!(
+            mid >= inf && mid <= zero.max(sleep),
+            "mid {mid}, inf {inf}, zero {zero}"
+        );
         // And all are valid schedules.
         assert!(simulate_hybrid(&g, &d, 0, 4, &oh, 5_000).is_valid(&g));
     }
@@ -590,12 +626,8 @@ mod tests {
     #[test]
     fn makespans_vary_with_empirical_durations() {
         let g = diamond();
-        let d = DurationModel::Empirical(vec![
-            vec![10, 100],
-            vec![20, 200],
-            vec![5, 50],
-            vec![8, 80],
-        ]);
+        let d =
+            DurationModel::Empirical(vec![vec![10, 100], vec![20, 200], vec![5, 50], vec![8, 80]]);
         let ms = simulate_makespans(&g, &d, 2, SimStrategy::Busy, &OverheadModel::zero(), 4);
         assert_eq!(ms.len(), 4);
         assert_eq!(ms[0], ms[2]);

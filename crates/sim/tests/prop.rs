@@ -1,61 +1,52 @@
-//! Property-based tests for the schedule simulators on random DAGs:
-//! validity, classic makespan orderings, and monotonicity.
+//! Property-style tests for the schedule simulators on random DAGs:
+//! validity, classic makespan orderings, and monotonicity. DAGs come from a
+//! seeded [`SmallRng`] so every run is identical (the workspace builds
+//! offline, without proptest).
 
+use djstar_dsp::rng::SmallRng;
 use djstar_sim::earliest::earliest_start;
 use djstar_sim::list::list_schedule;
 use djstar_sim::model::{DurationModel, SimGraph};
 use djstar_sim::strategy::{simulate_strategy, OverheadModel, SimStrategy};
-use proptest::prelude::*;
 
-fn dag_strategy(max_nodes: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    prop::collection::vec(prop::collection::vec(any::<bool>(), 0..max_nodes), 1..max_nodes)
-        .prop_map(|masks| {
-            masks
-                .iter()
-                .enumerate()
-                .map(|(i, mask)| {
-                    mask.iter()
-                        .enumerate()
-                        .filter(|&(j, &b)| j < i && b)
-                        .map(|(j, _)| j as u32)
-                        .collect()
-                })
-                .collect()
-        })
+fn random_dag(rng: &mut SmallRng, max_nodes: usize) -> Vec<Vec<u32>> {
+    let n = 1 + rng.below(max_nodes - 1);
+    (0..n)
+        .map(|i| (0..i as u32).filter(|_| rng.chance(0.4)).collect())
+        .collect()
 }
 
-fn durations_for(n: usize) -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(1u64..100_000, n..=n)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn earliest_start_is_the_lower_bound(
-        preds in dag_strategy(20),
-        procs in 1u32..8,
-    ) {
+#[test]
+fn earliest_start_is_the_lower_bound() {
+    let mut rng = SmallRng::seed_from_u64(0xEA51);
+    for _ in 0..32 {
+        let preds = random_dag(&mut rng, 20);
+        let procs = 1 + rng.below(7) as u32;
         let n = preds.len();
         let graph = SimGraph::synthetic(preds);
         let d = DurationModel::Constant((0..n as u64).map(|i| 10 + (i * 37) % 500).collect());
         let inf = earliest_start(&graph, &d, 0);
-        prop_assert!(inf.schedule.is_valid(&graph));
+        assert!(inf.schedule.is_valid(&graph));
         let s = list_schedule(&graph, &d, 0, procs);
-        prop_assert!(s.is_valid(&graph));
-        prop_assert!(s.makespan_ns() >= inf.makespan_ns);
+        assert!(s.is_valid(&graph));
+        assert!(s.makespan_ns() >= inf.makespan_ns);
         // One processor = serial sum.
         let serial = list_schedule(&graph, &d, 0, 1).makespan_ns();
         let sum: u64 = (0..n as u32).map(|i| d.duration(i, 0)).sum();
-        prop_assert_eq!(serial, sum);
-        prop_assert!(s.makespan_ns() <= serial);
+        assert_eq!(serial, sum);
+        assert!(s.makespan_ns() <= serial);
     }
+}
 
-    #[test]
-    fn graham_bound_holds_for_list_scheduling(preds in dag_strategy(16), procs in 1u32..6) {
-        // List scheduling is within (2 - 1/m) of optimal; optimal >= max(
-        // critical path, total/m). Check the implied bound against our
-        // earliest-start and work totals.
+#[test]
+fn graham_bound_holds_for_list_scheduling() {
+    // List scheduling is within (2 - 1/m) of optimal; optimal >= max(
+    // critical path, total/m). Check the implied bound against our
+    // earliest-start and work totals.
+    let mut rng = SmallRng::seed_from_u64(0x6AA4);
+    for _ in 0..32 {
+        let preds = random_dag(&mut rng, 16);
+        let procs = 1 + rng.below(5) as u32;
         let n = preds.len();
         let graph = SimGraph::synthetic(preds);
         let d = DurationModel::Constant((0..n as u64).map(|i| 5 + (i * 97) % 300).collect());
@@ -63,34 +54,37 @@ proptest! {
         let total: u64 = (0..n as u32).map(|i| d.duration(i, 0)).sum();
         let lower = cp.max(total.div_ceil(procs as u64));
         let s = list_schedule(&graph, &d, 0, procs).makespan_ns();
-        prop_assert!(
+        assert!(
             s as f64 <= lower as f64 * (2.0 - 1.0 / procs as f64) + 1.0,
             "makespan {s}, lower bound {lower}, procs {procs}"
         );
     }
+}
 
-    #[test]
-    fn strategy_schedules_always_valid(
-        preds in dag_strategy(16),
-        threads in 1usize..6,
-        strat_sel in 0usize..3,
-    ) {
+#[test]
+fn strategy_schedules_always_valid() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7);
+    for _ in 0..32 {
+        let preds = random_dag(&mut rng, 16);
+        let threads = 1 + rng.below(5);
+        let strat = SimStrategy::ALL[rng.below(SimStrategy::ALL.len())];
         let n = preds.len();
         let graph = SimGraph::synthetic(preds);
         let d = DurationModel::Constant((0..n as u64).map(|i| 100 + (i * 613) % 20_000).collect());
-        let strat = SimStrategy::ALL[strat_sel];
         for oh in [OverheadModel::zero(), OverheadModel::default_host()] {
             let s = simulate_strategy(&graph, &d, 0, threads, strat, &oh);
-            prop_assert!(s.is_valid(&graph), "{strat:?} t={threads}");
-            prop_assert!(s.max_concurrency() <= threads as u32);
+            assert!(s.is_valid(&graph), "{strat:?} t={threads}");
+            assert!(s.max_concurrency() <= threads as u32);
         }
     }
+}
 
-    #[test]
-    fn zero_overhead_strategies_bounded_by_serial_and_critical_path(
-        preds in dag_strategy(14),
-        threads in 1usize..5,
-    ) {
+#[test]
+fn zero_overhead_strategies_bounded_by_serial_and_critical_path() {
+    let mut rng = SmallRng::seed_from_u64(0xB0CD);
+    for _ in 0..32 {
+        let preds = random_dag(&mut rng, 14);
+        let threads = 1 + rng.below(4);
         let n = preds.len();
         let graph = SimGraph::synthetic(preds);
         let d = DurationModel::Constant((0..n as u64).map(|i| 50 + (i * 211) % 5_000).collect());
@@ -99,29 +93,34 @@ proptest! {
         for strat in SimStrategy::ALL {
             let m = simulate_strategy(&graph, &d, 0, threads, strat, &OverheadModel::zero())
                 .makespan_ns();
-            prop_assert!(m >= cp, "{strat:?} beat the critical path: {m} < {cp}");
-            prop_assert!(m <= serial, "{strat:?} worse than serial: {m} > {serial}");
+            assert!(m >= cp, "{strat:?} beat the critical path: {m} < {cp}");
+            assert!(m <= serial, "{strat:?} worse than serial: {m} > {serial}");
         }
     }
+}
 
-    #[test]
-    fn overheads_never_reduce_makespan(
-        preds in dag_strategy(12),
-        threads in 1usize..5,
-        strat_sel in 0usize..3,
-        durations in durations_for(11),
-    ) {
-        // durations vector sized for the max node count; truncate.
+#[test]
+fn overheads_never_reduce_makespan() {
+    let mut rng = SmallRng::seed_from_u64(0x0BEA);
+    for _ in 0..32 {
+        let preds = random_dag(&mut rng, 12);
+        let threads = 1 + rng.below(4);
+        let strat = SimStrategy::ALL[rng.below(SimStrategy::ALL.len())];
         let n = preds.len();
         let graph = SimGraph::synthetic(preds);
-        let mut dv = durations;
-        dv.resize(n, 1_000);
+        let dv: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 100_000)).collect();
         let d = DurationModel::Constant(dv);
-        let strat = SimStrategy::ALL[strat_sel];
-        let fast = simulate_strategy(&graph, &d, 0, threads, strat, &OverheadModel::zero())
-            .makespan_ns();
-        let slow = simulate_strategy(&graph, &d, 0, threads, strat, &OverheadModel::default_host())
-            .makespan_ns();
-        prop_assert!(slow >= fast);
+        let fast =
+            simulate_strategy(&graph, &d, 0, threads, strat, &OverheadModel::zero()).makespan_ns();
+        let slow = simulate_strategy(
+            &graph,
+            &d,
+            0,
+            threads,
+            strat,
+            &OverheadModel::default_host(),
+        )
+        .makespan_ns();
+        assert!(slow >= fast);
     }
 }

@@ -7,10 +7,8 @@
 //! bookkeeping: it records per-cycle durations, counts misses, and reports
 //! headroom statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Records cycle durations against a fixed deadline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeadlineTracker {
     deadline_ns: u64,
     cycles: u64,

@@ -1,7 +1,5 @@
 //! Fixed-bin histograms and cumulative views (Figs. 9 and 10 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram with uniformly sized bins over `[lo, hi)`.
 ///
 /// Samples below `lo` are counted in the first bin and samples at or above
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// plot everything within the 0.2–0.8 ms window while a handful of outliers
 /// exist beyond it. Out-of-range counts are additionally tracked so outliers
 /// remain visible (`underflow`/`overflow`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -160,7 +158,7 @@ impl Histogram {
 }
 
 /// Cumulative histogram: monotone non-decreasing counts per bin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CumulativeView {
     lo: f64,
     hi: f64,

@@ -1,0 +1,194 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace builds offline with no registry dependencies, so there is
+//! no serde; the telemetry export layer needs only to *produce* JSON (JSONL
+//! cycle records and the `BENCH_telemetry.json` baseline), never to parse
+//! it. This writer covers exactly that: an ordered object/array tree
+//! rendered to compact, valid JSON with correct string escaping and
+//! float handling (non-finite floats render as `null`).
+
+/// A JSON value tree. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers (counters, nanosecond totals) — rendered exactly.
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn array(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(values.into_iter().collect())
+    }
+
+    /// Append a key to an object; panics on non-objects (harness bug).
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Object(pairs) => pairs.push((key.into(), value)),
+            _ => panic!("Json::push on a non-object"),
+        }
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{}` on f64 is round-trip exact in Rust and always
+                    // parses as a JSON number.
+                    out.push_str(&f.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+/// Write `s` as a JSON string literal with the mandatory escapes.
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(
+            Json::UInt(18_446_744_073_709_551_615).render(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::Int(-42).render(), "-42");
+        assert_eq!(Json::Float(2.5).render(), "2.5");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn object_preserves_order_and_nests() {
+        let j = Json::object([
+            ("b", Json::from(1u64)),
+            ("a", Json::array([Json::from(true), Json::Null])),
+        ]);
+        assert_eq!(j.render(), "{\"b\":1,\"a\":[true,null]}");
+    }
+
+    #[test]
+    fn push_extends_objects() {
+        let mut j = Json::object::<&str>([]);
+        j.push("x", Json::from(0.5));
+        assert_eq!(j.render(), "{\"x\":0.5}");
+    }
+}

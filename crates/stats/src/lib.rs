@@ -17,18 +17,22 @@
 
 pub mod deadline;
 pub mod histogram;
+pub mod json;
 pub mod online;
 pub mod render;
 pub mod report;
 pub mod speedup;
 pub mod summary;
+pub mod telemetry;
 
 pub use deadline::DeadlineTracker;
 pub use histogram::{CumulativeView, Histogram};
+pub use json::Json;
 pub use online::OnlineStats;
 pub use report::CsvReport;
 pub use speedup::SpeedupTable;
 pub use summary::Summary;
+pub use telemetry::{cycle_json, MissEntry, Percentiles, TelemetryReport};
 
 /// Convert seconds to microseconds (the unit the paper reports graph times in).
 #[inline]

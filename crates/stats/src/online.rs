@@ -6,10 +6,8 @@
 //! tracking. Merging two accumulators (for per-worker collection) uses the
 //! parallel variance combination rule.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford streaming accumulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -111,8 +109,8 @@ mod tests {
             o.push(s);
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((o.mean() - mean).abs() < 1e-12);
         assert!((o.variance() - var).abs() < 1e-12);
         assert_eq!(o.min(), Some(1.0));

@@ -94,9 +94,7 @@ mod tests {
 
     #[test]
     fn quotes_awkward_names() {
-        let csv = CsvReport::new()
-            .column("with,comma", vec![1.0])
-            .render();
+        let csv = CsvReport::new().column("with,comma", vec![1.0]).render();
         assert!(csv.starts_with("index,\"with,comma\"\n"));
     }
 }

@@ -1,15 +1,13 @@
 //! Strategy × thread-count response-time and speedup matrices
 //! (Table I and Fig. 8 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Average response times for several strategies over a range of thread
 /// counts, plus the sequential baseline they are compared against.
 ///
 /// The paper's Table I lists the mean task-graph response time in ms for
 /// BUSY/SLEEP/WS at 1–4 threads; Fig. 8 plots the speedup of the same data
 /// relative to the sequential implementation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupTable {
     /// Thread counts of the columns, e.g. `[1, 2, 3, 4]`.
     pub threads: Vec<usize>,
@@ -55,7 +53,9 @@ impl SpeedupTable {
 
     /// Speedups of one row across all columns.
     pub fn speedups(&self, r: usize) -> Vec<f64> {
-        (0..self.threads.len()).map(|c| self.speedup(r, c)).collect()
+        (0..self.threads.len())
+            .map(|c| self.speedup(r, c))
+            .collect()
     }
 
     /// Best (smallest) time in a column together with the winning row index.

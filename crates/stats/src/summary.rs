@@ -1,12 +1,10 @@
 //! Moment statistics and percentiles over a sample of measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a set of `f64` samples.
 ///
 /// The paper reports means (Table I), worst cases and distribution shape
 /// (§VI); this type computes all of them in one pass over a sample vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,

@@ -1,67 +1,98 @@
-//! Property-based tests for the statistics substrate.
+//! Property-style tests for the statistics substrate, driven by a seeded
+//! [`SmallRng`] so every run is identical (the workspace builds offline,
+//! without proptest).
 
+use djstar_dsp::rng::SmallRng;
 use djstar_stats::{Histogram, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn summary_orders_min_mean_max(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+fn samples_in(rng: &mut SmallRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = min_len + rng.below(max_len - min_len);
+    (0..len).map(|_| lo + rng.f64() * (hi - lo)).collect()
+}
+
+#[test]
+fn summary_orders_min_mean_max() {
+    let mut rng = SmallRng::seed_from_u64(0x50AA);
+    for _ in 0..64 {
+        let samples = samples_in(&mut rng, -1e6, 1e6, 1, 200);
         let s = Summary::of(&samples).unwrap();
-        prop_assert!(s.min <= s.mean + 1e-9);
-        prop_assert!(s.mean <= s.max + 1e-9);
-        prop_assert!(s.min <= s.median && s.median <= s.max);
-        prop_assert!(s.stddev >= 0.0);
-        prop_assert_eq!(s.count, samples.len());
+        assert!(s.min <= s.mean + 1e-9);
+        assert!(s.mean <= s.max + 1e-9);
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.stddev >= 0.0);
+        assert_eq!(s.count, samples.len());
     }
+}
 
-    #[test]
-    fn percentiles_are_monotone(samples in prop::collection::vec(-1e3f64..1e3, 1..100),
-                                p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+#[test]
+fn percentiles_are_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x9E4C);
+    for _ in 0..64 {
+        let samples = samples_in(&mut rng, -1e3, 1e3, 1, 100);
+        let p1 = rng.f64() * 100.0;
+        let p2 = rng.f64() * 100.0;
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         let vlo = Summary::percentile(&samples, lo).unwrap();
         let vhi = Summary::percentile(&samples, hi).unwrap();
-        prop_assert!(vlo <= vhi + 1e-9);
+        assert!(vlo <= vhi + 1e-9);
     }
+}
 
-    #[test]
-    fn histogram_conserves_samples(values in prop::collection::vec(-10.0f64..10.0, 0..500),
-                                   bins in 1usize..50) {
+#[test]
+fn histogram_conserves_samples() {
+    let mut rng = SmallRng::seed_from_u64(0x415C);
+    for _ in 0..64 {
+        let values = samples_in(&mut rng, -10.0, 10.0, 1, 500);
+        let bins = 1 + rng.below(49);
         let mut h = Histogram::new(-5.0, 5.0, bins);
         h.record_all(&values);
-        prop_assert_eq!(h.total(), values.len() as u64);
+        assert_eq!(h.total(), values.len() as u64);
         let bin_sum: u64 = h.bins().iter().sum();
-        prop_assert_eq!(bin_sum, values.len() as u64);
+        assert_eq!(bin_sum, values.len() as u64);
     }
+}
 
-    #[test]
-    fn cumulative_is_monotone_and_ends_at_total(values in prop::collection::vec(0.0f64..1.0, 1..300)) {
+#[test]
+fn cumulative_is_monotone_and_ends_at_total() {
+    let mut rng = SmallRng::seed_from_u64(0xC077);
+    for _ in 0..64 {
+        let values = samples_in(&mut rng, 0.0, 1.0, 1, 300);
         let mut h = Histogram::new(0.0, 1.0, 16);
         h.record_all(&values);
         let c = h.cumulative();
         let counts = c.counts();
         for w in counts.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
-        prop_assert_eq!(*counts.last().unwrap(), values.len() as u64);
+        assert_eq!(*counts.last().unwrap(), values.len() as u64);
     }
+}
 
-    #[test]
-    fn fraction_below_is_monotone_in_value(values in prop::collection::vec(0.0f64..1.0, 1..200),
-                                           a in 0.0f64..1.0, b in 0.0f64..1.0) {
+#[test]
+fn fraction_below_is_monotone_in_value() {
+    let mut rng = SmallRng::seed_from_u64(0xF4AC);
+    for _ in 0..64 {
+        let values = samples_in(&mut rng, 0.0, 1.0, 1, 200);
+        let a = rng.f64();
+        let b = rng.f64();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let mut h = Histogram::new(0.0, 1.0, 20);
         h.record_all(&values);
         let c = h.cumulative();
-        prop_assert!(c.fraction_below(lo) <= c.fraction_below(hi) + 1e-12);
+        assert!(c.fraction_below(lo) <= c.fraction_below(hi) + 1e-12);
     }
+}
 
-    #[test]
-    fn summary_scale_invariance(samples in prop::collection::vec(1.0f64..100.0, 2..100),
-                                k in 0.1f64..10.0) {
+#[test]
+fn summary_scale_invariance() {
+    let mut rng = SmallRng::seed_from_u64(0x5CA1);
+    for _ in 0..64 {
+        let samples = samples_in(&mut rng, 1.0, 100.0, 2, 100);
+        let k = 0.1 + rng.f64() * 9.9;
         let s1 = Summary::of(&samples).unwrap();
         let scaled: Vec<f64> = samples.iter().map(|v| v * k).collect();
         let s2 = Summary::of(&scaled).unwrap();
-        prop_assert!((s2.mean - s1.mean * k).abs() < 1e-6 * s1.mean.abs().max(1.0) * k);
-        prop_assert!((s2.max - s1.max * k).abs() < 1e-6 * s1.max.abs().max(1.0) * k);
+        assert!((s2.mean - s1.mean * k).abs() < 1e-6 * s1.mean.abs().max(1.0) * k);
+        assert!((s2.max - s1.max * k).abs() < 1e-6 * s1.max.abs().max(1.0) * k);
     }
 }

@@ -8,10 +8,8 @@
 //! additionally runs `djstar_dsp::work::burn` for a number of iterations
 //! looked up here, scaled by the signal energy of its buffer.
 
-use serde::{Deserialize, Serialize};
-
 /// Node classes with distinct cost weights, mirroring the roles in Fig. 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeClass {
     /// Sample-preprocess filter (SPx nodes): cheap.
     SpFilter,
@@ -40,7 +38,7 @@ impl NodeClass {
 }
 
 /// Iteration budgets per node class plus the strength of data dependence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkProfile {
     /// `burn` iterations for an SP filter node.
     pub sp_iters: u32,

@@ -2,10 +2,9 @@
 
 use crate::profile::WorkProfile;
 use crate::track::TrackStyle;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one deck.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DeckConfig {
     /// Whether the deck is playing.
     pub active: bool,
@@ -29,12 +28,7 @@ pub struct DeckConfig {
     /// Track tempo in BPM.
     pub bpm: f32,
     /// Track style.
-    #[serde(skip, default = "default_style")]
     pub style: TrackStyle,
-}
-
-fn default_style() -> TrackStyle {
-    TrackStyle::House
 }
 
 impl DeckConfig {
@@ -73,7 +67,7 @@ impl DeckConfig {
 }
 
 /// A complete performance scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// The four decks.
     pub decks: [DeckConfig; 4],
@@ -156,8 +150,7 @@ mod tests {
         assert_eq!(s.active_decks(), 4);
         assert!(s.decks.iter().all(|d| d.fx_enabled.iter().all(|&e| e)));
         // Different tracks per deck, as in the paper.
-        let seeds: std::collections::HashSet<u64> =
-            s.decks.iter().map(|d| d.track_seed).collect();
+        let seeds: std::collections::HashSet<u64> = s.decks.iter().map(|d| d.track_seed).collect();
         assert_eq!(seeds.len(), 4);
     }
 
@@ -171,12 +164,5 @@ mod tests {
         let s = Scenario::light_test();
         assert!(s.work.fx_iters < 1000);
         assert!(s.track_secs <= 2.0);
-    }
-
-    #[test]
-    fn scenario_is_serializable() {
-        fn assert_ser<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_ser::<Scenario>();
-        assert_ser::<DeckConfig>();
     }
 }

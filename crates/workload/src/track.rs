@@ -7,8 +7,7 @@
 //! this is the engine of the bimodal node-cost distribution (Fig. 9),
 //! because the effect nodes' data-dependent cost follows signal energy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use djstar_dsp::rng::SmallRng;
 
 /// Stylistic presets for the synthesizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,19 +67,19 @@ impl Track {
 pub fn synth_track(seed: u64, bpm: f32, seconds: f32, style: TrackStyle) -> Track {
     let sr = 44_100u32;
     let n = (seconds * sr as f32) as usize;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut samples = vec![0.0f32; n];
 
     let beat_len = (60.0 / bpm * sr as f32) as usize;
     let bar_len = beat_len * 4;
     // Minor-pentatonic-ish root offsets for the bass line.
     let scale = [0, 3, 5, 7, 10];
-    let root_hz = 55.0 * 2f32.powf(rng.random_range(0..5) as f32 / 12.0);
+    let root_hz = 55.0 * 2f32.powf(rng.below(5) as f32 / 12.0);
     let bass_notes: Vec<f32> = (0..8)
-        .map(|_| root_hz * 2f32.powf(scale[rng.random_range(0..scale.len())] as f32 / 12.0))
+        .map(|_| root_hz * 2f32.powf(scale[rng.below(scale.len())] as f32 / 12.0))
         .collect();
     let lead_notes: Vec<f32> = (0..16)
-        .map(|_| root_hz * 4.0 * 2f32.powf(scale[rng.random_range(0..scale.len())] as f32 / 12.0))
+        .map(|_| root_hz * 4.0 * 2f32.powf(scale[rng.below(scale.len())] as f32 / 12.0))
         .collect();
 
     let (kick_every, hat_level, pad_level) = match style {

@@ -34,10 +34,10 @@ fn main() {
 
     println!("DJ performance script (busy-waiting, {threads} threads)\n");
     let run = |engine: &mut AudioEngine,
-                   card: &mut SoundCardSim,
-                   label: &str,
-                   seconds: f64,
-                   mut tick: Tick| {
+               card: &mut SoundCardSim,
+               label: &str,
+               seconds: f64,
+               mut tick: Tick| {
         let cycles = (seconds * CPS as f64) as usize;
         let mut peak = 0.0f32;
         let mut rms_acc = 0.0f64;

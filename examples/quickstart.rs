@@ -55,10 +55,17 @@ fn main() {
     println!("  preprocessing (GP) : {:>6} us", timing.gp.as_micros());
     println!("  task graph         : {:>6} us", timing.graph.as_micros());
     println!("  various calc (VC)  : {:>6} us", timing.vc.as_micros());
-    println!("  total              : {:>6} us\n", timing.total().as_micros());
+    println!(
+        "  total              : {:>6} us\n",
+        timing.total().as_micros()
+    );
 
     let out = engine.output();
-    println!("output packet: rms {:.3}, peak {:.3}", out.rms(), out.peak());
+    println!(
+        "output packet: rms {:.3}, peak {:.3}",
+        out.rms(),
+        out.peak()
+    );
     println!(
         "sound card: {} packets, {} underruns, max peak {:.3}",
         card.packets(),

@@ -39,7 +39,12 @@ fn main() -> std::io::Result<()> {
 
     let path = std::env::temp_dir().join("djstar_record_set.wav");
     let file = std::fs::File::create(&path)?;
-    write_wav(std::io::BufWriter::new(file), &pcm, 2, djstar_dsp::SAMPLE_RATE)?;
+    write_wav(
+        std::io::BufWriter::new(file),
+        &pcm,
+        2,
+        djstar_dsp::SAMPLE_RATE,
+    )?;
     println!("wrote {}", path.display());
 
     // Decode it back and verify the recording survived the trip.
@@ -47,9 +52,8 @@ fn main() -> std::io::Result<()> {
     assert_eq!(decoded.channels, 2);
     assert_eq!(decoded.sample_rate, djstar_dsp::SAMPLE_RATE);
     assert_eq!(decoded.frames(), cycles * djstar_dsp::BUFFER_FRAMES);
-    let rms = (decoded.samples.iter().map(|s| s * s).sum::<f32>()
-        / decoded.samples.len() as f32)
-        .sqrt();
+    let rms =
+        (decoded.samples.iter().map(|s| s * s).sum::<f32>() / decoded.samples.len() as f32).sqrt();
     let peak = decoded.samples.iter().fold(0.0f32, |m, s| m.max(s.abs()));
     println!(
         "decoded: {} frames, rms {rms:.3}, peak {peak:.3} (record limiter ceiling 0.95)",

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Lint and test gate: formatting, clippy with warnings as errors, tests.
+# Run standalone or via `./run_experiments.sh --check`.
+set -e
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo test =="
+cargo test -q
+echo "check.sh: all gates passed"

@@ -43,11 +43,11 @@ fn scratch_session_produces_finite_audio() {
     let mut player = TrackPlayer::new(synth_track(9, 128.0, 4.0, TrackStyle::House));
     let mut out = AudioBuf::stereo_default();
     let script: Vec<(f32, usize)> = vec![
-        (1.0, 80),   // play
-        (0.1, 20),   // brake (vinyl crawl)
-        (-2.5, 30),  // backspin
-        (0.0, 10),   // stopped
-        (1.0, 80),   // release
+        (1.0, 80),  // play
+        (0.1, 20),  // brake (vinyl crawl)
+        (-2.5, 30), // backspin
+        (0.0, 10),  // stopped
+        (1.0, 80),  // release
     ];
     for (speed, cycles) in script {
         for _ in 0..cycles {
@@ -74,7 +74,10 @@ fn loop_roll_survives_full_engine_cycles() {
         engine.run_apc();
         player.pull(1.0, &mut out);
         let pos = player.position();
-        assert!(pos >= sr - 1.0 && pos < sr + 11_025.0 + 4_096.0, "pos {pos}");
+        assert!(
+            pos >= sr - 1.0 && pos < sr + 11_025.0 + 4_096.0,
+            "pos {pos}"
+        );
     }
 }
 

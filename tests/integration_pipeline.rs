@@ -18,7 +18,11 @@ fn full_pipeline_delivers_valid_packets() {
         Strategy::Sleep,
         Strategy::Steal,
     ] {
-        let threads = if strategy == Strategy::Sequential { 1 } else { 3 };
+        let threads = if strategy == Strategy::Sequential {
+            1
+        } else {
+            3
+        };
         let mut engine = light_engine(strategy, threads);
         let mut card = SoundCardSim::paper_default();
         engine.warmup(20);
@@ -56,7 +60,12 @@ fn all_strategies_bit_identical_over_long_run() {
             reference.push(engine.output());
         }
     }
-    for strategy in [Strategy::Busy, Strategy::Sleep, Strategy::Steal, Strategy::Hybrid] {
+    for strategy in [
+        Strategy::Busy,
+        Strategy::Sleep,
+        Strategy::Steal,
+        Strategy::Hybrid,
+    ] {
         let mut engine = light_engine(strategy, 4);
         for (c, want) in reference.iter().enumerate() {
             script(&mut engine, c);

@@ -71,7 +71,9 @@ fn four_core_schedule_close_to_unbounded_on_dj_graph() {
 fn simulated_strategies_valid_on_dj_graph_at_all_thread_counts() {
     let graph = dj_sim_graph();
     let d = DurationModel::Constant(
-        (0..graph.len() as u64).map(|i| 1_000 + (i * 977) % 40_000).collect(),
+        (0..graph.len() as u64)
+            .map(|i| 1_000 + (i * 977) % 40_000)
+            .collect(),
     );
     let oh = OverheadModel::default_host();
     for strat in SimStrategy::ALL {
@@ -98,8 +100,8 @@ fn busy_simulation_tracks_real_sequential_time_at_one_thread() {
     let samples = engine.measured_node_durations(40);
     let graph = SimGraph::from_topology(engine.executor_mut().topology());
     let d = DurationModel::Empirical(samples.clone());
-    let sim_1t =
-        simulate_strategy(&graph, &d, 7, 1, SimStrategy::Busy, &OverheadModel::zero()).makespan_ns();
+    let sim_1t = simulate_strategy(&graph, &d, 7, 1, SimStrategy::Busy, &OverheadModel::zero())
+        .makespan_ns();
     let sample_sum: u64 = samples.iter().map(|s| s[7]).sum();
     assert_eq!(sim_1t, sample_sum, "1-thread BUSY must equal the node sum");
 }

@@ -2,8 +2,7 @@
 //! execution, dependency safety, queue-order properties, stress cycles.
 
 use djstar_core::exec::{
-    BusyExecutor, GraphExecutor, HybridExecutor, SequentialExecutor, SleepExecutor,
-    StealExecutor,
+    BusyExecutor, GraphExecutor, HybridExecutor, SequentialExecutor, SleepExecutor, StealExecutor,
 };
 use djstar_core::graph::NodeId;
 use djstar_core::trace::TraceKind;
