@@ -63,6 +63,7 @@ fn main() {
         (Strategy::Sleep, threads),
         (Strategy::Steal, threads),
         (Strategy::Hybrid, threads),
+        (Strategy::Planned, threads),
     ];
 
     println!(

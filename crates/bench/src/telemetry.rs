@@ -32,6 +32,7 @@ pub fn strategy_label(s: Strategy) -> &'static str {
         Strategy::Sleep => "SLEEP",
         Strategy::Steal => "WS",
         Strategy::Hybrid => "HYBRID",
+        Strategy::Planned => "PLAN",
     }
 }
 

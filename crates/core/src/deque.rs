@@ -14,6 +14,7 @@
 //! reallocating. Elements are `u32` node ids stored in atomics, so the
 //! implementation is entirely safe Rust.
 
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicIsize, AtomicU32, Ordering};
 
 /// Result of a steal attempt.
@@ -32,10 +33,14 @@ pub enum Steal {
 /// The *owner* calls [`push`](WorkDeque::push) and [`pop`](WorkDeque::pop)
 /// (bottom end, LIFO); any thread may call [`steal`](WorkDeque::steal)
 /// (top end, FIFO).
+/// `bottom` is written on every owner push/pop while `top` is hammered by
+/// thieves' CAS loops; padding each onto its own cache line keeps a steal
+/// from invalidating the owner's line (and vice versa) — the textbook
+/// Chase–Lev false-sharing fix.
 #[derive(Debug)]
 pub struct WorkDeque {
-    bottom: AtomicIsize,
-    top: AtomicIsize,
+    bottom: CachePadded<AtomicIsize>,
+    top: CachePadded<AtomicIsize>,
     buf: Box<[AtomicU32]>,
     mask: usize,
 }
@@ -49,8 +54,8 @@ impl WorkDeque {
         assert!(cap > 0, "deque capacity must be positive");
         let cap = cap.next_power_of_two();
         WorkDeque {
-            bottom: AtomicIsize::new(0),
-            top: AtomicIsize::new(0),
+            bottom: CachePadded::new(AtomicIsize::new(0)),
+            top: CachePadded::new(AtomicIsize::new(0)),
             buf: (0..cap).map(|_| AtomicU32::new(0)).collect(),
             mask: cap - 1,
         }
@@ -172,6 +177,14 @@ mod tests {
         assert_eq!(d.steal(), Steal::Success(2));
         assert_eq!(d.pop(), Some(3));
         assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn bottom_and_top_on_distinct_cache_lines() {
+        let d = WorkDeque::new(8);
+        let b = &*d.bottom as *const AtomicIsize as usize;
+        let t = &*d.top as *const AtomicIsize as usize;
+        assert!(t.abs_diff(b) >= 128);
     }
 
     #[test]

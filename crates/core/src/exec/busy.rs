@@ -18,7 +18,7 @@
 //! yields every 4096 spins, which is a no-op when cores are plentiful.
 
 use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
-use crate::graph::{GraphTopology, NodeId, TaskGraph};
+use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
 use crate::trace::{ScheduleTrace, TraceKind};
@@ -44,8 +44,23 @@ impl BusyExecutor {
     /// # Panics
     /// Panics if `threads == 0` or `threads > 64`.
     pub fn new(graph: TaskGraph, threads: usize, frames: usize) -> Self {
+        Self::with_priority(graph, threads, frames, Priority::Depth)
+    }
+
+    /// Like [`new`](Self::new), but walking the queue in the order selected
+    /// by `priority` (depth order is the production default).
+    pub fn with_priority(
+        graph: TaskGraph,
+        threads: usize,
+        frames: usize,
+        priority: Priority,
+    ) -> Self {
         assert!((1..=64).contains(&threads), "1..=64 threads supported");
-        let shared = Arc::new(Shared::new(ExecGraph::new(graph, frames), threads));
+        let shared = Arc::new(Shared::new(
+            ExecGraph::new(graph, frames),
+            threads,
+            priority,
+        ));
         let mut workers = Vec::new();
         let mut handles = vec![std::thread::current()];
         for me in 1..threads {
@@ -88,7 +103,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
     let ctx = unsafe { shared.ctx(epoch) };
     let mut events: Vec<RawEvent> = Vec::new();
-    for (k, &node) in topo.queue().iter().enumerate() {
+    for (k, &node) in shared.order().iter().enumerate() {
         if k % shared.threads != me {
             continue;
         }
@@ -246,6 +261,23 @@ mod tests {
             run_and_check(
                 |g, frames| Box::new(BusyExecutor::new(g, threads, frames)),
                 &format!("busy-{threads}"),
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_priority_matches_sequential() {
+        for threads in [1, 3] {
+            run_and_check(
+                |g, frames| {
+                    Box::new(BusyExecutor::with_priority(
+                        g,
+                        threads,
+                        frames,
+                        Priority::CriticalPath,
+                    ))
+                },
+                &format!("busy-cp-{threads}"),
             );
         }
     }

@@ -15,7 +15,7 @@
 //! before the thread registers and parks.
 
 use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
-use crate::graph::{GraphTopology, NodeId, TaskGraph};
+use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
 use crate::trace::{ScheduleTrace, TraceKind};
@@ -47,9 +47,21 @@ impl HybridExecutor {
     /// # Panics
     /// Panics if `threads == 0` or `threads > 64`.
     pub fn new(graph: TaskGraph, threads: usize, frames: usize, spin_budget: u32) -> Self {
+        Self::with_priority(graph, threads, frames, spin_budget, Priority::Depth)
+    }
+
+    /// Like [`new`](Self::new), but walking the queue in the order selected
+    /// by `priority` (depth order is the production default).
+    pub fn with_priority(
+        graph: TaskGraph,
+        threads: usize,
+        frames: usize,
+        spin_budget: u32,
+        priority: Priority,
+    ) -> Self {
         assert!((1..=64).contains(&threads), "1..=64 threads supported");
         let shared = Arc::new(HybridShared {
-            base: Shared::new(ExecGraph::new(graph, frames), threads),
+            base: Shared::new(ExecGraph::new(graph, frames), threads, priority),
             spin_budget: AtomicU32::new(spin_budget),
         });
         let mut workers = Vec::new();
@@ -143,7 +155,7 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
     // SAFETY: handles written before the epoch was published.
     let handles = unsafe { sh.base.handles.get() };
     let mut events: Vec<RawEvent> = Vec::new();
-    for (k, &node) in topo.queue().iter().enumerate() {
+    for (k, &node) in sh.base.order().iter().enumerate() {
         if k % sh.base.threads != me {
             continue;
         }
@@ -337,6 +349,22 @@ mod tests {
                 &format!("hybrid-{threads}-{budget}"),
             );
         }
+    }
+
+    #[test]
+    fn critical_path_priority_matches_sequential() {
+        run_and_check(
+            |g, frames| {
+                Box::new(HybridExecutor::with_priority(
+                    g,
+                    3,
+                    frames,
+                    2_000,
+                    Priority::CriticalPath,
+                ))
+            },
+            "hybrid-cp-3",
+        );
     }
 
     #[test]

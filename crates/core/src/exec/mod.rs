@@ -27,17 +27,20 @@
 
 mod busy;
 mod hybrid;
+mod planned;
 mod sequential;
 mod sleeping;
 mod stealing;
 
 pub use busy::BusyExecutor;
 pub use hybrid::HybridExecutor;
+pub use planned::{BlueprintError, PlannedExecutor, PlannedNode, ScheduleBlueprint};
 pub use sequential::SequentialExecutor;
 pub use sleeping::SleepExecutor;
 pub use stealing::StealExecutor;
 
-use crate::graph::{GraphTopology, NodeId, TaskGraph};
+use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
+use crate::pad::CachePadded;
 use crate::processor::{CycleCtx, Processor};
 use crate::telemetry::{CounterSnapshot, CycleCounters, TelemetryRing};
 use crate::trace::{ScheduleTrace, TraceEvent, TraceKind};
@@ -64,6 +67,11 @@ pub enum Strategy {
     Steal,
     /// Extension (not in the paper): spin for a bounded budget, then park.
     Hybrid,
+    /// Extension: execute a precompiled static schedule (a
+    /// [`ScheduleBlueprint`], typically compiled from `djstar-sim`'s
+    /// resource-constrained list schedule) with zero runtime queue
+    /// management.
+    Planned,
 }
 
 impl Strategy {
@@ -75,6 +83,7 @@ impl Strategy {
             Strategy::Sleep => "SLEEP",
             Strategy::Steal => "WS",
             Strategy::Hybrid => "HYBRID",
+            Strategy::Planned => "PLAN",
         }
     }
 
@@ -138,20 +147,28 @@ struct NodeRuntime {
     output: AudioBuf,
 }
 
-/// Per-node runtime cell: payload plus atomic scheduling state.
-pub(crate) struct NodeCell {
-    runtime: UnsafeCell<NodeRuntime>,
-    /// Unmet-dependency counter for the current epoch (SLEEP and WS).
-    pending: AtomicU32,
-    /// Epoch this node last completed.
-    done_epoch: AtomicU64,
-    /// SLEEP: registered executor worker index + 1 (0 = none).
-    waiter: AtomicUsize,
-}
+/// Cold half of a node's runtime cell: the processor and output buffer,
+/// touched only by the node's executor (and predecessor readers after the
+/// `Acquire` of `done_epoch`).
+struct RuntimeCell(UnsafeCell<NodeRuntime>);
 
-// SAFETY: access to `runtime` is governed by the epoch protocol documented
-// at module level; all other fields are atomics.
-unsafe impl Sync for NodeCell {}
+// SAFETY: access is governed by the epoch protocol documented at module
+// level (exactly-once ownership per cycle, publication via `done_epoch`).
+unsafe impl Sync for RuntimeCell {}
+
+/// Hot half of a node's runtime cell: the atomics every waiter and
+/// completer hammers. One cache line per node, so a `done_epoch` store for
+/// node *i* never invalidates the line a spinner is polling for node *i+1*
+/// (the adjacent-node false sharing the packed layout suffered from).
+#[repr(align(64))]
+pub(crate) struct NodeCell {
+    /// Unmet-dependency counter for the current epoch (SLEEP and WS).
+    pub(crate) pending: AtomicU32,
+    /// Epoch this node last completed.
+    pub(crate) done_epoch: AtomicU64,
+    /// SLEEP: registered executor worker index + 1 (0 = none).
+    pub(crate) waiter: AtomicUsize,
+}
 
 /// A value written only by the driver between cycles and read by workers
 /// after acquiring the epoch.
@@ -202,9 +219,15 @@ pub(crate) struct ExternalInputs {
 }
 
 /// The executable form of a [`TaskGraph`]: topology plus runtime cells.
+///
+/// The per-node state is split hot/cold: `cells` holds the scheduling
+/// atomics (one cache line per node), `runtimes` the processor and output
+/// buffer. Spinners only ever touch `cells`, so completing a neighboring
+/// node never steals their line.
 pub struct ExecGraph {
     topo: Arc<GraphTopology>,
     cells: Box<[NodeCell]>,
+    runtimes: Box<[RuntimeCell]>,
     /// Placeholder for initializing input reference arrays.
     empty: AudioBuf,
 }
@@ -223,24 +246,27 @@ impl ExecGraph {
                 "node {n} has more than {MAX_INPUTS} predecessors"
             );
         }
-        let cells: Box<[NodeCell]> = processors
+        let runtimes: Box<[RuntimeCell]> = processors
             .into_iter()
             .map(|processor| {
                 let channels = processor.output_channels();
-                NodeCell {
-                    runtime: UnsafeCell::new(NodeRuntime {
-                        processor,
-                        output: AudioBuf::zeroed(channels, frames),
-                    }),
-                    pending: AtomicU32::new(0),
-                    done_epoch: AtomicU64::new(0),
-                    waiter: AtomicUsize::new(0),
-                }
+                RuntimeCell(UnsafeCell::new(NodeRuntime {
+                    processor,
+                    output: AudioBuf::zeroed(channels, frames),
+                }))
+            })
+            .collect();
+        let cells: Box<[NodeCell]> = (0..runtimes.len())
+            .map(|_| NodeCell {
+                pending: AtomicU32::new(0),
+                done_epoch: AtomicU64::new(0),
+                waiter: AtomicUsize::new(0),
             })
             .collect();
         ExecGraph {
             topo: Arc::new(topo),
             cells,
+            runtimes,
             empty: AudioBuf::zeroed(1, 1),
         }
     }
@@ -305,10 +331,10 @@ impl ExecGraph {
         for (k, &p) in preds.iter().enumerate() {
             // SAFETY: predecessor is done for this epoch; its executor
             // released the output before the done_epoch store we acquired.
-            inputs[k] = &(*self.cells[p as usize].runtime.get()).output;
+            inputs[k] = &(*self.runtimes[p as usize].0.get()).output;
         }
         // SAFETY: exclusive ownership of `node` this epoch.
-        let rt = &mut *self.cells[node].runtime.get();
+        let rt = &mut *self.runtimes[node].0.get();
         rt.processor
             .process(&inputs[..preds.len()], &mut rt.output, ctx);
         self.cells[node]
@@ -328,7 +354,7 @@ impl ExecGraph {
     /// Copy a node's output. Driver only, between cycles.
     pub(crate) fn read_output_internal(&mut self, node: NodeId, dst: &mut AudioBuf) {
         // `&mut self` proves no cycle is in flight.
-        let rt = self.cells[node.idx()].runtime.get_mut();
+        let rt = self.runtimes[node.idx()].0.get_mut();
         if rt.output.channels() == dst.channels() && rt.output.frames() == dst.frames() {
             dst.copy_from(&rt.output);
         } else {
@@ -339,7 +365,7 @@ impl ExecGraph {
 
     /// Mutable processor access. Driver only, between cycles.
     pub(crate) fn node_processor_internal(&mut self, node: NodeId) -> &mut dyn Processor {
-        self.cells[node.idx()].runtime.get_mut().processor.as_mut()
+        self.runtimes[node.idx()].0.get_mut().processor.as_mut()
     }
 
     /// Copy a node's output through the `UnsafeCell` without `&mut self`.
@@ -348,7 +374,7 @@ impl ExecGraph {
     /// Only the driver may call this, with no cycle in flight (the threaded
     /// executors enforce it by requiring `&mut` on themselves).
     pub(crate) unsafe fn read_output_unsync(&self, node: NodeId, dst: &mut AudioBuf) {
-        let rt = &*self.cells[node.idx()].runtime.get();
+        let rt = &*self.runtimes[node.idx()].0.get();
         if rt.output.channels() == dst.channels() && rt.output.frames() == dst.frames() {
             dst.copy_from(&rt.output);
         } else {
@@ -365,7 +391,7 @@ impl ExecGraph {
     /// same node.
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn node_processor_unsync(&self, node: NodeId) -> &mut dyn Processor {
-        (*self.cells[node.idx()].runtime.get()).processor.as_mut()
+        (*self.runtimes[node.idx()].0.get()).processor.as_mut()
     }
 }
 
@@ -404,14 +430,20 @@ pub(crate) fn finish_trace(
 /// executor.
 pub(crate) struct Shared {
     pub exec: ExecGraph,
-    /// Current cycle epoch; driver bumps with `Release`.
-    pub epoch: AtomicU64,
-    /// Nodes completed this cycle; workers increment with `Release`.
-    pub done_count: AtomicU32,
+    /// Current cycle epoch; driver bumps with `Release`. Padded: every
+    /// worker polls it between cycles while `done_count` below is being
+    /// hammered by finishing workers.
+    pub epoch: CachePadded<AtomicU64>,
+    /// Nodes completed this cycle; workers increment with `Release`. The
+    /// single most contended atomic of the queue-based executors — it gets
+    /// its own cache line.
+    pub done_count: CachePadded<AtomicU32>,
     /// Set to request worker shutdown.
     pub shutdown: AtomicBool,
     /// Total worker count, including the driver (worker 0).
     pub threads: usize,
+    /// Which precomputed topological order the queue walk uses.
+    pub priority: Priority,
     /// Whether to record trace events this cycle.
     pub tracing: AtomicBool,
     /// Whether to record telemetry counters this cycle.
@@ -436,17 +468,19 @@ pub(crate) struct Shared {
     /// lingering worker that has not yet observed completion must not be
     /// able to pop work seeded for the next cycle, so the driver waits for
     /// every worker to pass this barrier before `run_cycle` returns.
-    pub cycle_exited: AtomicU32,
+    /// Padded for the same reason as `done_count`.
+    pub cycle_exited: CachePadded<AtomicU32>,
 }
 
 impl Shared {
-    pub(crate) fn new(exec: ExecGraph, threads: usize) -> Self {
+    pub(crate) fn new(exec: ExecGraph, threads: usize, priority: Priority) -> Self {
         Shared {
             exec,
-            epoch: AtomicU64::new(0),
-            done_count: AtomicU32::new(0),
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            done_count: CachePadded::new(AtomicU32::new(0)),
             shutdown: AtomicBool::new(false),
             threads,
+            priority,
             tracing: AtomicBool::new(false),
             telemetry: AtomicBool::new(false),
             counters: (0..threads).map(|_| CycleCounters::new()).collect(),
@@ -457,8 +491,20 @@ impl Shared {
                 .map(|_| std::sync::Mutex::new(Vec::new()))
                 .collect(),
             trace_flushed: AtomicU32::new(0),
-            cycle_exited: AtomicU32::new(0),
+            cycle_exited: CachePadded::new(AtomicU32::new(0)),
         }
+    }
+
+    /// The topological order selected by this executor's priority.
+    #[inline]
+    pub(crate) fn order(&self) -> &[u32] {
+        self.exec.topology().order(self.priority)
+    }
+
+    /// Successor iteration order of `node` under this executor's priority.
+    #[inline]
+    pub(crate) fn succ_order(&self, node: u32) -> &[u32] {
+        self.exec.topology().succ_order(NodeId(node), self.priority)
     }
 
     /// Driver-side: move every worker's counters into `out` (and reset

@@ -20,7 +20,7 @@
 //! Deadlock freedom follows from the same queue-position argument as BUSY.
 
 use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
-use crate::graph::{GraphTopology, NodeId, TaskGraph};
+use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
 use crate::trace::{ScheduleTrace, TraceKind};
@@ -46,8 +46,23 @@ impl SleepExecutor {
     /// # Panics
     /// Panics if `threads == 0` or `threads > 64`.
     pub fn new(graph: TaskGraph, threads: usize, frames: usize) -> Self {
+        Self::with_priority(graph, threads, frames, Priority::Depth)
+    }
+
+    /// Like [`new`](Self::new), but walking the queue in the order selected
+    /// by `priority` (depth order is the production default).
+    pub fn with_priority(
+        graph: TaskGraph,
+        threads: usize,
+        frames: usize,
+        priority: Priority,
+    ) -> Self {
         assert!((1..=64).contains(&threads), "1..=64 threads supported");
-        let shared = Arc::new(Shared::new(ExecGraph::new(graph, frames), threads));
+        let shared = Arc::new(Shared::new(
+            ExecGraph::new(graph, frames),
+            threads,
+            priority,
+        ));
         let mut workers = Vec::new();
         let mut handles = vec![std::thread::current()];
         for me in 1..threads {
@@ -121,7 +136,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     // SAFETY: handles were written before the epoch was published.
     let handles = unsafe { shared.handles.get() };
     let mut events: Vec<RawEvent> = Vec::new();
-    for (k, &node) in topo.queue().iter().enumerate() {
+    for (k, &node) in shared.order().iter().enumerate() {
         if k % shared.threads != me {
             continue;
         }
@@ -297,6 +312,21 @@ mod tests {
                 &format!("sleep-{threads}"),
             );
         }
+    }
+
+    #[test]
+    fn critical_path_priority_matches_sequential() {
+        run_and_check(
+            |g, frames| {
+                Box::new(SleepExecutor::with_priority(
+                    g,
+                    3,
+                    frames,
+                    Priority::CriticalPath,
+                ))
+            },
+            "sleep-cp-3",
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
 use crate::deque::{Steal, WorkDeque};
-use crate::graph::{GraphTopology, NodeId, Section, TaskGraph};
+use crate::graph::{GraphTopology, NodeId, Priority, Section, TaskGraph};
 use crate::idle::IdleSet;
 use crate::processor::{CycleCtx, Processor};
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -68,11 +68,24 @@ impl StealExecutor {
     /// # Panics
     /// Panics if `threads == 0` or `threads > 64`.
     pub fn new(graph: TaskGraph, threads: usize, frames: usize) -> Self {
+        Self::with_priority(graph, threads, frames, Priority::Depth)
+    }
+
+    /// Like [`new`](Self::new), but with [`Priority::CriticalPath`] the
+    /// successors a finishing node releases are pushed in ascending
+    /// critical-path order, so the LIFO pop takes the longest-path successor
+    /// first.
+    pub fn with_priority(
+        graph: TaskGraph,
+        threads: usize,
+        frames: usize,
+        priority: Priority,
+    ) -> Self {
         assert!((1..=64).contains(&threads), "1..=64 threads supported");
         let exec = ExecGraph::new(graph, frames);
         let nodes = exec.len();
         let shared = Arc::new(WsShared {
-            base: Shared::new(exec, threads),
+            base: Shared::new(exec, threads, priority),
             deques: (0..threads).map(|_| WorkDeque::new(nodes.max(4))).collect(),
             idle: OnceLock::new(),
         });
@@ -166,10 +179,11 @@ unsafe fn run_node(
     } else {
         ws.base.exec.execute(node as usize, ctx);
     }
-    let topo = ws.base.exec.topology();
     let idle = ws.idle.get().expect("idle set initialized");
     let mut released = 0u32;
-    for &s in topo.succs(NodeId(node)) {
+    // Under critical-path priority successors are visited in ascending
+    // cp-order, so the longest-path one is pushed last and popped first.
+    for &s in ws.base.succ_order(node) {
         if ws
             .base
             .exec
@@ -422,6 +436,23 @@ mod tests {
             run_and_check(
                 |g, frames| Box::new(StealExecutor::new(g, threads, frames)),
                 &format!("ws-{threads}"),
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_priority_matches_sequential() {
+        for threads in [1, 4] {
+            run_and_check(
+                |g, frames| {
+                    Box::new(StealExecutor::with_priority(
+                        g,
+                        threads,
+                        frames,
+                        Priority::CriticalPath,
+                    ))
+                },
+                &format!("ws-cp-{threads}"),
             );
         }
     }

@@ -15,13 +15,18 @@
 //!   per-node dependency state, plus one executor per strategy:
 //!   [`SequentialExecutor`](exec::SequentialExecutor),
 //!   [`BusyExecutor`](exec::BusyExecutor),
-//!   [`SleepExecutor`](exec::SleepExecutor) and
-//!   [`StealExecutor`](exec::StealExecutor).
+//!   [`SleepExecutor`](exec::SleepExecutor),
+//!   [`StealExecutor`](exec::StealExecutor) and the precompiled-schedule
+//!   [`PlannedExecutor`](exec::PlannedExecutor) (a [`ScheduleBlueprint`]
+//!   compiled offline, e.g. from `djstar-sim`'s list scheduler).
 //! * [`deque`] — a fixed-capacity Chase–Lev work-stealing deque (owner pops
 //!   LIFO from the bottom, thieves steal FIFO from the top — the exact
 //!   convention of §V-C).
 //! * [`idle`] — a bitmask-based idle-worker set used to park and wake
 //!   work-stealing workers.
+//! * [`pad`] — [`CachePadded`](pad::CachePadded), the cache-line padding
+//!   applied to the hot shared atomics (deque ends, node completion state,
+//!   cycle counters) to stop false sharing.
 //! * [`trace`] — per-cycle schedule traces (which thread ran which node
 //!   when, including wait intervals), the data behind Fig. 11.
 //! * [`telemetry`] — real-time-safe per-worker cycle counters (spin
@@ -43,15 +48,18 @@ pub mod deque;
 pub mod exec;
 pub mod graph;
 pub mod idle;
+pub mod pad;
 pub mod processor;
 pub mod telemetry;
 pub mod trace;
 
 pub use exec::{
-    BusyExecutor, CycleResult, ExecGraph, GraphExecutor, HybridExecutor, SequentialExecutor,
-    SleepExecutor, StealExecutor, Strategy,
+    BlueprintError, BusyExecutor, CycleResult, ExecGraph, GraphExecutor, HybridExecutor,
+    PlannedExecutor, PlannedNode, ScheduleBlueprint, SequentialExecutor, SleepExecutor,
+    StealExecutor, Strategy,
 };
-pub use graph::{GraphError, NodeId, Section, TaskGraph, TaskGraphBuilder};
+pub use graph::{GraphError, NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
+pub use pad::CachePadded;
 pub use processor::{CycleCtx, Processor};
 pub use telemetry::{CounterSnapshot, CycleCounters, CycleRecord, TelemetryRing};
 pub use trace::{ScheduleTrace, TraceEvent, TraceKind};

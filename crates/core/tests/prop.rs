@@ -5,9 +5,10 @@
 
 use djstar_core::deque::{Steal, WorkDeque};
 use djstar_core::exec::{
-    BusyExecutor, GraphExecutor, SequentialExecutor, SleepExecutor, StealExecutor,
+    BusyExecutor, GraphExecutor, PlannedExecutor, ScheduleBlueprint, SequentialExecutor,
+    SleepExecutor, StealExecutor,
 };
-use djstar_core::graph::{NodeId, Section, TaskGraph, TaskGraphBuilder};
+use djstar_core::graph::{NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
 use djstar_core::processor::{CycleCtx, FnProcessor};
 use djstar_dsp::rng::SmallRng;
 use djstar_dsp::AudioBuf;
@@ -91,11 +92,17 @@ fn all_executors_compute_correct_values_on_random_dags() {
         let want = expected_values(&preds);
         let sink = preds.len() - 1;
         let frames = 4;
+        let planned = {
+            let g = build_graph(&preds);
+            let bp = ScheduleBlueprint::round_robin(g.topology(), threads, Priority::Depth);
+            PlannedExecutor::new(g, frames, bp)
+        };
         let mut executors: Vec<Box<dyn GraphExecutor>> = vec![
             Box::new(SequentialExecutor::new(build_graph(&preds), frames)),
             Box::new(BusyExecutor::new(build_graph(&preds), threads, frames)),
             Box::new(SleepExecutor::new(build_graph(&preds), threads, frames)),
             Box::new(StealExecutor::new(build_graph(&preds), threads, frames)),
+            Box::new(planned),
         ];
         for ex in &mut executors {
             for _ in 0..3 {
@@ -129,6 +136,68 @@ fn traces_on_random_dags_respect_dependencies() {
             let topo = ex.topology();
             assert!(trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()));
         }
+    }
+}
+
+#[test]
+fn planned_executor_runs_every_node_exactly_once_on_random_dags() {
+    let mut rng = SmallRng::seed_from_u64(0x91A7);
+    for case in 0..16 {
+        let preds = random_dag(&mut rng, 20);
+        let threads = 1 + rng.below(8);
+        let priority = if rng.chance(0.5) {
+            Priority::Depth
+        } else {
+            Priority::CriticalPath
+        };
+        let g = build_graph(&preds);
+        let bp = ScheduleBlueprint::round_robin(g.topology(), threads, priority);
+        let mut ex = PlannedExecutor::new(g, 4, bp);
+        ex.set_tracing(true);
+        for _ in 0..5 {
+            ex.run_cycle(&[], &[]);
+            let trace = ex.take_trace().unwrap();
+            // Exactly once: the execution count matches the node count and
+            // no node appears twice.
+            let mut nodes: Vec<u32> = trace.executions().iter().map(|e| e.node).collect();
+            nodes.sort_unstable();
+            assert_eq!(
+                nodes,
+                (0..preds.len() as u32).collect::<Vec<_>>(),
+                "case {case} t={threads} {priority:?}"
+            );
+            // Every dependency edge is respected in wall-clock order.
+            let topo = ex.topology();
+            assert!(
+                trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()),
+                "case {case} t={threads} {priority:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn planned_executor_computes_correct_values_on_random_dags() {
+    let mut rng = SmallRng::seed_from_u64(0xB1DE);
+    for case in 0..16 {
+        let preds = random_dag(&mut rng, 20);
+        let threads = 1 + rng.below(8);
+        let want = expected_values(&preds);
+        let sink = preds.len() - 1;
+        let g = build_graph(&preds);
+        let bp = ScheduleBlueprint::round_robin(g.topology(), threads, Priority::CriticalPath);
+        let mut ex = PlannedExecutor::new(g, 4, bp);
+        for _ in 0..3 {
+            ex.run_cycle(&[], &[]);
+        }
+        let mut out = AudioBuf::zeroed(2, 4);
+        ex.read_output(NodeId(sink as u32), &mut out);
+        assert!(
+            (out.sample(0, 0) - want[sink]).abs() < 1e-4,
+            "case {case} t={threads}: got {}, want {}",
+            out.sample(0, 0),
+            want[sink]
+        );
     }
 }
 

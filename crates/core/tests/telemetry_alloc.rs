@@ -38,9 +38,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 use djstar_core::exec::{
-    BusyExecutor, GraphExecutor, HybridExecutor, SequentialExecutor, SleepExecutor, StealExecutor,
+    BusyExecutor, GraphExecutor, HybridExecutor, PlannedExecutor, ScheduleBlueprint,
+    SequentialExecutor, SleepExecutor, StealExecutor,
 };
-use djstar_core::graph::{NodeId, Section, TaskGraph, TaskGraphBuilder};
+use djstar_core::graph::{NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
 use djstar_core::processor::{CycleCtx, FnProcessor};
 use djstar_dsp::AudioBuf;
 
@@ -95,6 +96,11 @@ fn telemetry_cycles_do_not_allocate() {
             "HYBRID",
             Box::new(HybridExecutor::new(graph(), THREADS, FRAMES, 200)),
         ),
+        ("PLAN", {
+            let g = graph();
+            let bp = ScheduleBlueprint::round_robin(g.topology(), THREADS, Priority::Depth);
+            Box::new(PlannedExecutor::new(g, FRAMES, bp))
+        }),
     ];
     for (label, mut exec) in execs {
         exec.set_telemetry(true);

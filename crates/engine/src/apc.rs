@@ -16,8 +16,8 @@ use crate::nodes::controls;
 use crate::profiling::HotspotProfiler;
 use crate::timecode::{TimecodeDecoder, TimecodeGenerator};
 use djstar_core::exec::{
-    BusyExecutor, GraphExecutor, HybridExecutor, SequentialExecutor, SleepExecutor, StealExecutor,
-    Strategy,
+    BusyExecutor, GraphExecutor, HybridExecutor, PlannedExecutor, ScheduleBlueprint,
+    SequentialExecutor, SleepExecutor, StealExecutor, Strategy,
 };
 use djstar_dsp::buffer::AudioBuf;
 use djstar_dsp::work::burn;
@@ -133,6 +133,13 @@ impl AudioEngine {
             // Extension strategy: a 2000-poll spin budget (~tens of µs)
             // before parking; tune via the executor handle if needed.
             Strategy::Hybrid => Box::new(HybridExecutor::new(graph, threads, frames, 2_000)),
+            // Extension strategy: probe node durations on a throwaway
+            // sequential engine, list-schedule them onto `threads`
+            // processors, and replay that static schedule.
+            Strategy::Planned => {
+                let blueprint = Self::compile_plan(&scenario, threads);
+                Box::new(PlannedExecutor::new(graph, frames, blueprint))
+            }
         };
         let decks = scenario
             .decks
@@ -173,6 +180,36 @@ impl AudioEngine {
             aux_sink: 0.0,
             scenario,
         }
+    }
+
+    /// Compile a PLAN blueprint for `scenario`: probe per-node durations on
+    /// a throwaway sequential engine, feed the per-node means to the list
+    /// scheduler with a resource constraint of `threads` processors, and
+    /// freeze its per-processor timelines into a replayable blueprint
+    /// (§IV's "optimal schedule", made executable).
+    pub fn compile_plan(scenario: &Scenario, threads: usize) -> ScheduleBlueprint {
+        const PROBE_CYCLES: usize = 12;
+        // Aux weights only shape the non-graph phases, so the probe always
+        // runs light regardless of what the real engine will use.
+        let mut probe =
+            AudioEngine::with_aux(scenario.clone(), Strategy::Sequential, 1, AuxWork::light());
+        probe.warmup(4);
+        let samples = probe.measured_node_durations(PROBE_CYCLES);
+        let means: Vec<u64> = samples
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    1
+                } else {
+                    (s.iter().sum::<u64>() / s.len() as u64).max(1)
+                }
+            })
+            .collect();
+        let sim_graph = djstar_sim::SimGraph::from_topology(probe.executor_mut().topology());
+        let durations = djstar_sim::DurationModel::Constant(means);
+        let schedule = djstar_sim::list_schedule(&sim_graph, &durations, 0, threads as u32);
+        djstar_sim::compile_blueprint(&sim_graph, &schedule)
+            .expect("a list schedule always compiles to a valid blueprint")
     }
 
     /// The scheduling strategy in use.
@@ -485,6 +522,7 @@ mod tests {
             Strategy::Sleep,
             Strategy::Steal,
             Strategy::Hybrid,
+            Strategy::Planned,
         ] {
             let mut e = light_engine(strategy, 3);
             e.warmup(30);
@@ -494,6 +532,17 @@ mod tests {
                 got.samples(),
                 "{strategy:?} diverged from sequential"
             );
+        }
+    }
+
+    #[test]
+    fn compiled_plan_covers_the_whole_graph() {
+        let bp = AudioEngine::compile_plan(&Scenario::light_test(), 4);
+        assert_eq!(bp.threads(), 4);
+        assert_eq!(bp.len(), 67);
+        // The list scheduler keeps every lane busy on this graph.
+        for w in 0..4 {
+            assert!(!bp.worker(w).is_empty(), "worker {w} got no nodes");
         }
     }
 

@@ -36,12 +36,14 @@ pub mod gantt;
 pub mod list;
 pub mod metrics;
 pub mod model;
+pub mod planned;
 pub mod strategy;
 
 pub use earliest::{earliest_start, EarliestStartResult};
 pub use list::list_schedule;
 pub use metrics::{ScheduleMetrics, WaitBreakdown};
 pub use model::{DurationModel, Schedule, ScheduleEntry, SimGraph};
+pub use planned::{compile_blueprint, simulate_plan, simulate_plan_makespans};
 pub use strategy::{
     simulate_hybrid, simulate_strategy, simulate_ws_config, OverheadModel, SimStrategy, WsConfig,
 };

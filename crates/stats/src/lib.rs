@@ -19,6 +19,7 @@ pub mod deadline;
 pub mod histogram;
 pub mod json;
 pub mod online;
+pub mod plan;
 pub mod render;
 pub mod report;
 pub mod speedup;
@@ -29,6 +30,7 @@ pub use deadline::DeadlineTracker;
 pub use histogram::{CumulativeView, Histogram};
 pub use json::Json;
 pub use online::OnlineStats;
+pub use plan::{scan_baseline_p50, PlanReport};
 pub use report::CsvReport;
 pub use speedup::SpeedupTable;
 pub use summary::Summary;

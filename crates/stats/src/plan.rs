@@ -1,0 +1,248 @@
+//! Report plumbing for E12 (`fig4_plan_executor`): the PLAN-executor
+//! comparison against the list-scheduler bound, simulated BUSY, and the
+//! E11 wall-clock baseline.
+//!
+//! Also hosts the tiny scanner that pulls a strategy's p50 out of
+//! `BENCH_telemetry.json` — the workspace has a JSON *writer* only, and the
+//! one value E12 needs does not justify growing a parser.
+
+use crate::json::Json;
+
+/// Aggregated E12 results: simulated three-way comparison at `threads`
+/// virtual cores plus the single-thread wall-clock regression check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Virtual cores of the simulated comparison.
+    pub threads: usize,
+    /// Simulated cycles behind the empirical medians.
+    pub cycles: usize,
+    /// List-scheduler bound on per-node mean durations (ns).
+    pub bound_ns: u64,
+    /// Simulated PLAN makespan on the same mean durations (ns).
+    pub plan_ns: u64,
+    /// Simulated BUSY makespan on the same mean durations (ns).
+    pub busy_ns: u64,
+    /// Median simulated PLAN makespan over empirical per-cycle durations.
+    pub plan_empirical_median_ns: u64,
+    /// Median simulated BUSY makespan over empirical per-cycle durations.
+    pub busy_empirical_median_ns: u64,
+    /// Real single-thread PLAN graph-time p50 (ns).
+    pub real_plan_p50_ns: f64,
+    /// Which E11 baseline strategy the wall-clock check compares against.
+    pub baseline_strategy: String,
+    /// Baseline p50 from `BENCH_telemetry.json` (ns); `None` when the
+    /// artifact is missing and the regression check cannot run.
+    pub baseline_p50_ns: Option<f64>,
+}
+
+impl PlanReport {
+    /// PLAN over the bound (1.0 = matches the bound exactly).
+    pub fn plan_vs_bound(&self) -> f64 {
+        self.plan_ns as f64 / self.bound_ns as f64
+    }
+
+    /// PLAN over simulated BUSY (< 1.0 = PLAN wins).
+    pub fn plan_vs_busy(&self) -> f64 {
+        self.plan_ns as f64 / self.busy_ns as f64
+    }
+
+    /// Acceptance: simulated PLAN within `slack` of the list bound
+    /// (e.g. 0.05 for the 5 % criterion).
+    pub fn within_bound(&self, slack: f64) -> bool {
+        self.plan_vs_bound() <= 1.0 + slack
+    }
+
+    /// Acceptance: simulated PLAN strictly below simulated BUSY.
+    pub fn beats_busy(&self) -> bool {
+        self.plan_ns < self.busy_ns
+    }
+
+    /// Acceptance: real single-thread p50 within `slack` of the E11
+    /// baseline. `None` when no baseline was found.
+    pub fn no_real_regression(&self, slack: f64) -> Option<bool> {
+        self.baseline_p50_ns
+            .map(|base| self.real_plan_p50_ns <= base * (1.0 + slack))
+    }
+
+    /// The `BENCH_plan.json` tree.
+    pub fn to_json(&self, bound_slack: f64, real_slack: f64) -> Json {
+        let real_check = match self.no_real_regression(real_slack) {
+            Some(ok) => Json::Bool(ok),
+            None => Json::Null,
+        };
+        Json::object([
+            ("bench", Json::from("plan")),
+            ("threads", Json::from(self.threads)),
+            ("cycles", Json::from(self.cycles)),
+            (
+                "sim",
+                Json::object([
+                    ("bound_ns", Json::from(self.bound_ns)),
+                    ("plan_ns", Json::from(self.plan_ns)),
+                    ("busy_ns", Json::from(self.busy_ns)),
+                    ("plan_vs_bound", Json::from(self.plan_vs_bound())),
+                    ("plan_vs_busy", Json::from(self.plan_vs_busy())),
+                    (
+                        "plan_empirical_median_ns",
+                        Json::from(self.plan_empirical_median_ns),
+                    ),
+                    (
+                        "busy_empirical_median_ns",
+                        Json::from(self.busy_empirical_median_ns),
+                    ),
+                ]),
+            ),
+            (
+                "real",
+                Json::object([
+                    ("threads", Json::from(1usize)),
+                    ("plan_p50_ns", Json::from(self.real_plan_p50_ns)),
+                    (
+                        "baseline_strategy",
+                        Json::from(self.baseline_strategy.clone()),
+                    ),
+                    (
+                        "baseline_p50_ns",
+                        match self.baseline_p50_ns {
+                            Some(v) => Json::from(v),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ),
+            (
+                "checks",
+                Json::object([
+                    (
+                        "plan_within_bound_slack",
+                        Json::from(self.within_bound(bound_slack)),
+                    ),
+                    ("plan_below_busy", Json::from(self.beats_busy())),
+                    ("no_single_thread_regression", real_check),
+                ]),
+            ),
+        ])
+    }
+
+    /// Human-readable summary for the binary's stdout.
+    pub fn render(&self, bound_slack: f64, real_slack: f64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "simulated on {} cores (per-node means):\n",
+            self.threads
+        ));
+        out.push_str(&format!(
+            "  list-scheduler bound : {:>9.1} us\n",
+            self.bound_ns as f64 / 1e3
+        ));
+        out.push_str(&format!(
+            "  PLAN                 : {:>9.1} us  ({:+.2} % vs bound)\n",
+            self.plan_ns as f64 / 1e3,
+            (self.plan_vs_bound() - 1.0) * 100.0
+        ));
+        out.push_str(&format!(
+            "  BUSY                 : {:>9.1} us  (PLAN is {:.2}x)\n",
+            self.busy_ns as f64 / 1e3,
+            self.plan_vs_busy()
+        ));
+        out.push_str(&format!(
+            "empirical medians over {} cycles: PLAN {:.1} us, BUSY {:.1} us\n",
+            self.cycles,
+            self.plan_empirical_median_ns as f64 / 1e3,
+            self.busy_empirical_median_ns as f64 / 1e3
+        ));
+        out.push_str(&format!(
+            "real 1-thread PLAN p50: {:.1} us (baseline {} p50: {})\n",
+            self.real_plan_p50_ns / 1e3,
+            self.baseline_strategy,
+            match self.baseline_p50_ns {
+                Some(v) => format!("{:.1} us", v / 1e3),
+                None => "missing".to_string(),
+            }
+        ));
+        out.push_str(&format!(
+            "checks: within-bound({:.0}%)={} below-busy={} no-regression({:.0}%)={}\n",
+            bound_slack * 100.0,
+            self.within_bound(bound_slack),
+            self.beats_busy(),
+            real_slack * 100.0,
+            match self.no_real_regression(real_slack) {
+                Some(ok) => ok.to_string(),
+                None => "skipped".to_string(),
+            }
+        ));
+        out
+    }
+}
+
+/// Pull `graph_ns.p50` for `strategy` out of a `BENCH_telemetry.json`
+/// rendering. A targeted scan, not a parser: finds the run whose
+/// `"strategy":"<label>"` matches, then reads the first `"p50":` number
+/// after it (the graph percentiles precede the wait percentiles in
+/// `TelemetryReport::to_json`). Returns `None` when absent or malformed.
+pub fn scan_baseline_p50(json_text: &str, strategy: &str) -> Option<f64> {
+    let tag = format!("\"strategy\":\"{strategy}\"");
+    let at = json_text.find(&tag)?;
+    let rest = &json_text[at..];
+    let p = rest.find("\"p50\":")?;
+    let num = &rest[p + 6..];
+    let end = num
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PlanReport {
+        PlanReport {
+            threads: 4,
+            cycles: 100,
+            bound_ns: 324_000,
+            plan_ns: 330_000,
+            busy_ns: 390_000,
+            plan_empirical_median_ns: 335_000,
+            busy_empirical_median_ns: 395_000,
+            real_plan_p50_ns: 1_100_000.0,
+            baseline_strategy: "BUSY".to_string(),
+            baseline_p50_ns: Some(1_155_354.0),
+        }
+    }
+
+    #[test]
+    fn ratios_and_checks() {
+        let r = report();
+        assert!((r.plan_vs_bound() - 330.0 / 324.0).abs() < 1e-9);
+        assert!(r.within_bound(0.05));
+        assert!(!r.within_bound(0.01));
+        assert!(r.beats_busy());
+        assert_eq!(r.no_real_regression(0.05), Some(true));
+        let mut slow = report();
+        slow.real_plan_p50_ns = 2_000_000.0;
+        assert_eq!(slow.no_real_regression(0.05), Some(false));
+        slow.baseline_p50_ns = None;
+        assert_eq!(slow.no_real_regression(0.05), None);
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let j = report().to_json(0.05, 0.05).render();
+        assert!(j.starts_with("{\"bench\":\"plan\""));
+        assert!(j.contains("\"sim\":{"));
+        assert!(j.contains("\"real\":{"));
+        assert!(j.contains("\"plan_below_busy\":true"));
+        assert!(j.contains("\"no_single_thread_regression\":true"));
+    }
+
+    #[test]
+    fn baseline_scan_finds_the_right_strategy() {
+        let text = r#"{"runs":[{"strategy":"SEQ","graph_ns":{"p50":1125522.5,"p90":1}},
+            {"strategy":"BUSY","graph_ns":{"p50":1155354,"p90":2}}]}"#;
+        assert_eq!(scan_baseline_p50(text, "SEQ"), Some(1_125_522.5));
+        assert_eq!(scan_baseline_p50(text, "BUSY"), Some(1_155_354.0));
+        assert_eq!(scan_baseline_p50(text, "PLAN"), None);
+        assert_eq!(scan_baseline_p50("not json", "SEQ"), None);
+    }
+}

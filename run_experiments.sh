@@ -1,8 +1,9 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper (DESIGN.md §4).
 # Results land in results/<binary>.txt; telemetry-enabled runs additionally
-# leave results/telemetry_*.jsonl, and telemetry_report writes the
-# aggregated BENCH_telemetry.json baseline at the repo root. Takes a few
+# leave results/telemetry_*.jsonl, telemetry_report writes the
+# aggregated BENCH_telemetry.json baseline at the repo root, and
+# fig4_plan_executor writes the BENCH_plan.json comparison. Takes a few
 # minutes at full scale; override DJSTAR_CYCLES / DJSTAR_MEASURE_CYCLES /
 # DJSTAR_TELEMETRY_CYCLES to trade fidelity for time.
 #
@@ -13,9 +14,10 @@ if [ "${1:-}" = "--check" ]; then
   sh scripts/check.sh
 fi
 cargo build --release -p djstar-bench --bins
-for bin in hotspot_analysis fig4_optimal_schedule table1_response_times \
-           fig9_histograms fig11_schedules fig12_busy_sim deadline_misses \
-           thread_scaling ablations telemetry_report; do
+for bin in hotspot_analysis fig4_optimal_schedule fig4_plan_executor \
+           table1_response_times fig9_histograms fig11_schedules \
+           fig12_busy_sim deadline_misses thread_scaling ablations \
+           telemetry_report; do
   echo "=== $bin ==="
   ./target/release/$bin | tee results/$bin.txt
 done
