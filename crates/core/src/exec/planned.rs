@@ -258,13 +258,17 @@ impl ScheduleBlueprint {
                 return Ok(());
             }
             if !progressed {
+                // Report a head that is genuinely stuck (has an un-done
+                // wait), not merely the first worker with slots left — that
+                // worker's head may be blocked behind a different one.
                 let stuck = self
                     .workers
                     .iter()
                     .enumerate()
-                    .find_map(|(w, list)| list.get(idx[w]))
+                    .filter_map(|(w, list)| list.get(idx[w]))
+                    .find(|e| e.waits.iter().any(|&p| !done[p as usize]))
                     .map(|e| e.node)
-                    .unwrap_or(0);
+                    .expect("no progress implies some head has an unmet wait");
                 return Err(BlueprintError::Unschedulable(stuck));
             }
         }
@@ -290,17 +294,26 @@ impl PlannedExecutor {
     /// Build the executor over `graph` with `frames`-frame buffers,
     /// replaying `blueprint`. The worker count is the blueprint's.
     ///
+    /// The blueprint is recompiled against *this* graph's topology before
+    /// use: the placements and per-worker orders are kept, but the
+    /// cross-worker waits are rebuilt from the graph's own edges. A
+    /// blueprint compiled against a predecessor table that disagrees with
+    /// `graph` therefore cannot smuggle in a missing wait — the executor
+    /// always replays waits derived from the graph it actually runs.
+    ///
     /// # Panics
     /// Panics if the blueprint's worker count is outside `1..=64` or the
-    /// blueprint does not validate against `graph`'s topology (wrong node
-    /// set, missing waits, or an unschedulable order).
+    /// blueprint does not recompile against `graph`'s topology (wrong node
+    /// set or an unschedulable order).
     pub fn new(graph: TaskGraph, frames: usize, blueprint: ScheduleBlueprint) -> Self {
         let threads = blueprint.threads();
         assert!((1..=64).contains(&threads), "1..=64 workers supported");
         let exec = ExecGraph::new(graph, frames);
-        // Re-validate against *this* graph: the blueprint may have been
-        // compiled against a different (if structurally identical) build.
-        if let Err(e) = ScheduleBlueprint::from_assignments(
+        // Recompile against *this* graph: the blueprint may have been
+        // compiled against a different (if structurally identical) build,
+        // and the executor must run waits derived from the real edges, not
+        // whatever the input blueprint claims.
+        let plan = ScheduleBlueprint::from_assignments(
             exec.topology(),
             &blueprint
                 .workers
@@ -311,12 +324,11 @@ impl PlannedExecutor {
                         .collect::<Vec<_>>()
                 })
                 .collect::<Vec<_>>(),
-        ) {
-            panic!("blueprint does not fit this graph: {e}");
-        }
+        )
+        .unwrap_or_else(|e| panic!("blueprint does not fit this graph: {e}"));
         let shared = Arc::new(PlannedShared {
             base: Shared::new(exec, threads, Priority::Depth),
-            plan: blueprint,
+            plan,
         });
         let mut workers = Vec::new();
         let mut handles = vec![std::thread::current()];
@@ -581,6 +593,30 @@ mod tests {
                 let k = topo.queue().iter().position(|&n| n == e.node).unwrap();
                 assert_eq!(e.worker as usize, k % 4);
             }
+        }
+    }
+
+    #[test]
+    fn executor_rebuilds_waits_from_the_real_graph() {
+        // Compile against a predecessor table with NO edges: the blueprint
+        // validates (nothing to wait for) but its waits are empty, so
+        // replaying it verbatim against the diamond graph would skip the
+        // cross-worker check on n1 -> n2. The executor must recompile the
+        // waits from the graph it actually runs.
+        let no_edges: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        let bp = ScheduleBlueprint::from_node_preds(
+            &no_edges,
+            &[vec![(0, 0), (2, 100), (3, 200)], vec![(1, 0)]],
+        )
+        .unwrap();
+        assert_eq!(bp.worker(0)[1].waits(), &[] as &[u32]);
+        let mut ex = PlannedExecutor::new(diamond_sum_graph(), 8, bp);
+        assert_eq!(ex.blueprint().worker(0)[1].waits(), &[1]);
+        for _ in 0..200 {
+            ex.run_cycle(&[], &[]);
+            let mut out = AudioBuf::zeroed(2, 8);
+            ex.read_output(NodeId(3), &mut out);
+            assert_eq!(out.sample(0, 0), 3.0);
         }
     }
 

@@ -177,17 +177,20 @@ impl PlanReport {
 
 /// Pull `graph_ns.p50` for `strategy` out of a `BENCH_telemetry.json`
 /// rendering. A targeted scan, not a parser: finds the run whose
-/// `"strategy":"<label>"` matches, then reads the first `"p50":` number
-/// after it (the graph percentiles precede the wait percentiles in
-/// `TelemetryReport::to_json`). Returns `None` when absent or malformed.
+/// `"strategy":"<label>"` matches, anchors on its `"graph_ns"` object, then
+/// reads the first `"p50":` number after that — so a reordering of the
+/// telemetry JSON cannot silently redirect the baseline to the wait
+/// percentiles. Returns `None` when absent or malformed.
 pub fn scan_baseline_p50(json_text: &str, strategy: &str) -> Option<f64> {
     let tag = format!("\"strategy\":\"{strategy}\"");
     let at = json_text.find(&tag)?;
     let rest = &json_text[at..];
+    let g = rest.find("\"graph_ns\"")?;
+    let rest = &rest[g..];
     let p = rest.find("\"p50\":")?;
     let num = &rest[p + 6..];
     let end = num
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
         .unwrap_or(num.len());
     num[..end].parse().ok()
 }
@@ -244,5 +247,18 @@ mod tests {
         assert_eq!(scan_baseline_p50(text, "BUSY"), Some(1_155_354.0));
         assert_eq!(scan_baseline_p50(text, "PLAN"), None);
         assert_eq!(scan_baseline_p50("not json", "SEQ"), None);
+    }
+
+    #[test]
+    fn baseline_scan_handles_exponents_and_field_order() {
+        // A '+' exponent must not truncate the number.
+        let exp = r#"{"strategy":"BUSY","graph_ns":{"p50":1.155354e+6}}"#;
+        assert_eq!(scan_baseline_p50(exp, "BUSY"), Some(1_155_354.0));
+        // Wait percentiles serialized before graph_ns must not shadow it.
+        let reordered = r#"{"strategy":"BUSY","wait_ns":{"p50":42},"graph_ns":{"p50":1155354}}"#;
+        assert_eq!(scan_baseline_p50(reordered, "BUSY"), Some(1_155_354.0));
+        // No graph_ns section at all: the check is skipped, not misdirected.
+        let missing = r#"{"strategy":"BUSY","wait_ns":{"p50":42}}"#;
+        assert_eq!(scan_baseline_p50(missing, "BUSY"), None);
     }
 }
