@@ -17,7 +17,9 @@
 //! starve the producing worker; [`ExecGraph::spin_until_done`] therefore
 //! yields every 4096 spins, which is a no-op when cores are plentiful.
 
-use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
+use super::{
+    CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
+};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -99,7 +101,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let tracing = shared.tracing.load(Ordering::Relaxed);
     let telem = shared.telemetry.load(Ordering::Relaxed);
     let counters = &shared.counters[me];
-    let topo = shared.exec.topology();
+    let topo = shared.graph().topology();
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
     let ctx = unsafe { shared.ctx(epoch) };
     let mut events: Vec<RawEvent> = Vec::new();
@@ -112,7 +114,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             let w0 = Instant::now();
             let mut spins = 0u64;
             for &p in preds {
-                spins += shared.exec.spin_until_done(p as usize, epoch);
+                spins += shared.graph().spin_until_done(p as usize, epoch);
             }
             if spins > 0 {
                 let w1 = Instant::now();
@@ -131,7 +133,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             let t0 = Instant::now();
             // SAFETY: exactly-once ownership by round-robin assignment; all
             // predecessors observed done for this epoch.
-            unsafe { shared.exec.execute(node as usize, &ctx) };
+            unsafe { shared.graph().execute(node as usize, &ctx) };
             let t1 = Instant::now();
             if tracing {
                 events.push(RawEvent {
@@ -146,10 +148,10 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             }
         } else {
             for &p in preds {
-                shared.exec.spin_until_done(p as usize, epoch);
+                shared.graph().spin_until_done(p as usize, epoch);
             }
             // SAFETY: as above.
-            unsafe { shared.exec.execute(node as usize, &ctx) };
+            unsafe { shared.graph().execute(node as usize, &ctx) };
         }
         shared.node_finished();
     }
@@ -220,19 +222,30 @@ impl GraphExecutor for BusyExecutor {
         taken
     }
 
+    fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
+        let (exec, _plan) = staged.into_parts();
+        // SAFETY: `&mut self` proves no cycle in flight; workers are waiting
+        // on the epoch and touch no node state until the next Release store.
+        Ok(unsafe { self.shared.adopt_exec(exec) })
+    }
+
+    fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Relaxed)
+    }
+
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
         // SAFETY: `&mut self` proves no cycle in flight; workers are waiting
         // on the epoch and touch no node state.
-        unsafe { self.shared.exec.read_output_unsync(node, dst) };
+        unsafe { self.shared.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
         // SAFETY: as in `read_output`.
-        unsafe { self.shared.exec.node_processor_unsync(node) }
+        unsafe { self.shared.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
-        self.shared.exec.topology()
+        self.shared.graph().topology()
     }
 }
 

@@ -14,7 +14,9 @@
 //! wait differs: up to `spin_budget` polls of the pending counter happen
 //! before the thread registers and parks.
 
-use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
+use super::{
+    CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
+};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -109,7 +111,7 @@ enum WaitOutcome {
 
 /// Spin up to the budget, then register-and-park until `pending == 0`.
 fn hybrid_wait(sh: &HybridShared, node: usize, me: usize) -> WaitOutcome {
-    let cell = sh.base.exec.cell(node);
+    let cell = sh.base.graph().cell(node);
     let pending = |o: Ordering| cell.pending.load(o);
     if pending(Ordering::Acquire) == 0 {
         return WaitOutcome::NoWait;
@@ -149,7 +151,7 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
     let tracing = sh.base.tracing.load(Ordering::Relaxed);
     let telem = sh.base.telemetry.load(Ordering::Relaxed);
     let counters = &sh.base.counters[me];
-    let topo = sh.base.exec.topology();
+    let topo = sh.base.graph().topology();
     // SAFETY: epoch acquired.
     let ctx = unsafe { sh.base.ctx(epoch) };
     // SAFETY: handles written before the epoch was published.
@@ -200,7 +202,7 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
         }
         let t0 = Instant::now();
         // SAFETY: exactly-once by static assignment; pending==0 acquired.
-        unsafe { sh.base.exec.execute(node as usize, &ctx) };
+        unsafe { sh.base.graph().execute(node as usize, &ctx) };
         if tracing || telem {
             let t1 = Instant::now();
             if tracing {
@@ -216,7 +218,7 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
             }
         }
         for &s in topo.succs(NodeId(node)) {
-            let sc = sh.base.exec.cell(s as usize);
+            let sc = sh.base.graph().cell(s as usize);
             if sc.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let w = sc.waiter.swap(0, Ordering::SeqCst);
                 if w != 0 {
@@ -308,18 +310,29 @@ impl GraphExecutor for HybridExecutor {
         taken
     }
 
+    fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
+        let (exec, _plan) = staged.into_parts();
+        // SAFETY: `&mut self` proves no cycle in flight; workers wait in
+        // `wait_for_cycle`, touching only the epoch and shutdown atomics.
+        Ok(unsafe { self.shared.base.adopt_exec(exec) })
+    }
+
+    fn generation(&self) -> u64 {
+        self.shared.base.generation.load(Ordering::Relaxed)
+    }
+
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
         // SAFETY: `&mut self` proves no cycle in flight.
-        unsafe { self.shared.base.exec.read_output_unsync(node, dst) };
+        unsafe { self.shared.base.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
         // SAFETY: as in `read_output`.
-        unsafe { self.shared.base.exec.node_processor_unsync(node) }
+        unsafe { self.shared.base.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
-        self.shared.base.exec.topology()
+        self.shared.base.graph().topology()
     }
 }
 

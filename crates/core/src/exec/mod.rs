@@ -24,6 +24,22 @@
 //!    reaches the node count with `Acquire`, so after `run_cycle` all node
 //!    state is again owned by the driver (workers increment the counter
 //!    with `Release` as their final access of the cycle).
+//!
+//! # Generation swaps
+//!
+//! Topology is *generational*: a [`StagedGeneration`] (a fully built
+//! [`ExecGraph`], plus an optional [`ScheduleBlueprint`] for PLAN) is
+//! prepared away from the audio thread, then adopted between cycles through
+//! [`GraphExecutor::adopt_generation`]. The swap is driver-only (`&mut
+//! self` proves no cycle is in flight; workers sit in `wait_for_cycle`,
+//! touching only the epoch and shutdown atomics) and becomes visible to the
+//! workers through the very next epoch `Release` store — the same edge that
+//! already publishes the external inputs, so no extra synchronization and
+//! no worker teardown. The epoch counter continues monotonically across the
+//! swap, which makes the fresh cells' `done_epoch == 0` unable to alias any
+//! live epoch; runtime state (processor boxes and output buffers) of nodes
+//! that survive the swap is carried over by node name, so DSP state and the
+//! last rendered audio persist and the handover is glitch-free.
 
 mod busy;
 mod hybrid;
@@ -89,7 +105,107 @@ impl Strategy {
 
     /// The three parallel strategies.
     pub const PARALLEL: [Strategy; 3] = [Strategy::Busy, Strategy::Sleep, Strategy::Steal];
+
+    /// Every strategy, in the order the tables list them.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::Sequential,
+        Strategy::Busy,
+        Strategy::Sleep,
+        Strategy::Steal,
+        Strategy::Hybrid,
+        Strategy::Planned,
+    ];
 }
+
+/// A fully prepared topology generation, buildable off the audio thread and
+/// handed to a running executor through
+/// [`GraphExecutor::adopt_generation`].
+///
+/// The expensive work — graph construction, buffer allocation and (for
+/// PLAN) blueprint compilation — happens in [`StagedGeneration::new`] /
+/// [`StagedGeneration::with_plan`], which any thread may call. The adopt
+/// itself is then a pointer-sized swap plus a name-keyed state carry-over.
+pub struct StagedGeneration {
+    exec: ExecGraph,
+    plan: Option<ScheduleBlueprint>,
+}
+
+impl StagedGeneration {
+    /// Stage `graph` with `frames`-frame output buffers.
+    pub fn new(graph: TaskGraph, frames: usize) -> Self {
+        StagedGeneration {
+            exec: ExecGraph::new(graph, frames),
+            plan: None,
+        }
+    }
+
+    /// Stage `graph` together with a precompiled PLAN blueprint. Executors
+    /// other than PLAN ignore the blueprint; PLAN without one falls back to
+    /// a round-robin schedule at adopt time.
+    pub fn with_plan(graph: TaskGraph, frames: usize, plan: ScheduleBlueprint) -> Self {
+        StagedGeneration {
+            exec: ExecGraph::new(graph, frames),
+            plan: Some(plan),
+        }
+    }
+
+    /// The staged topology.
+    pub fn topology(&self) -> &GraphTopology {
+        self.exec.topology()
+    }
+
+    /// Number of nodes in the staged generation.
+    pub fn len(&self) -> usize {
+        self.exec.len()
+    }
+
+    /// True when the staged graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.exec.is_empty()
+    }
+
+    /// Whether a PLAN blueprint was staged alongside the graph.
+    pub fn has_plan(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    pub(crate) fn into_parts(self) -> (ExecGraph, Option<ScheduleBlueprint>) {
+        (self.exec, self.plan)
+    }
+}
+
+/// Why an executor refused to adopt a staged generation. The running
+/// generation is left untouched on error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwapError {
+    /// PLAN: the staged blueprint does not fit the staged graph (wrong
+    /// coverage, unknown nodes, or an unschedulable replay order).
+    Blueprint(BlueprintError),
+    /// PLAN: the staged blueprint was compiled for a different worker
+    /// count than the executor runs.
+    ThreadMismatch {
+        /// Workers the executor runs.
+        expected: usize,
+        /// Workers the blueprint was compiled for.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::Blueprint(e) => write!(f, "staged blueprint rejected: {e}"),
+            SwapError::ThreadMismatch { expected, got } => {
+                write!(
+                    f,
+                    "blueprint compiled for {got} workers, executor has {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
 
 /// Result of one graph cycle.
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +245,17 @@ pub trait GraphExecutor: Send {
     fn take_telemetry(&mut self) -> Option<TelemetryRing> {
         None
     }
+
+    /// Adopt a staged topology generation at a cycle boundary (`&mut self`
+    /// proves no cycle is in flight). Runtime state of nodes that exist in
+    /// both generations (matched by name) is carried over; workers are not
+    /// torn down — the next cycle's epoch store publishes the new graph.
+    /// Returns the new generation number; on `Err` the running generation
+    /// is unchanged.
+    fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError>;
+
+    /// The topology generation currently running (0 before any swap).
+    fn generation(&self) -> u64;
 
     /// Copy a node's output buffer into `dst` (call between cycles only;
     /// enforced by `&mut self`).
@@ -351,6 +478,38 @@ impl ExecGraph {
         }
     }
 
+    /// Carry runtime state over from `old` for every node that survives a
+    /// topology swap. Nodes are matched by their unique name; a surviving
+    /// node keeps its processor box (filters, delay lines, knob settings)
+    /// and — when the buffer layout matches — its last rendered output, so
+    /// reads between the swap and the next cycle still see valid audio.
+    /// Returns the number of carried nodes. Driver only, between cycles
+    /// (`&mut` on both graphs proves it).
+    pub fn carry_over_from(&mut self, old: &mut ExecGraph) -> usize {
+        let old_ids: std::collections::HashMap<&str, usize> = (0..old.topo.len())
+            .map(|n| (old.topo.name(NodeId(n as u32)), n))
+            .collect();
+        let mut carried = 0;
+        for n in 0..self.runtimes.len() {
+            let Some(&o) = old_ids.get(self.topo.name(NodeId(n as u32))) else {
+                continue;
+            };
+            let new_rt = self.runtimes[n].0.get_mut();
+            let old_rt = old.runtimes[o].0.get_mut();
+            if new_rt.processor.output_channels() != old_rt.processor.output_channels() {
+                continue;
+            }
+            std::mem::swap(&mut new_rt.processor, &mut old_rt.processor);
+            if new_rt.output.channels() == old_rt.output.channels()
+                && new_rt.output.frames() == old_rt.output.frames()
+            {
+                std::mem::swap(&mut new_rt.output, &mut old_rt.output);
+            }
+            carried += 1;
+        }
+        carried
+    }
+
     /// Copy a node's output. Driver only, between cycles.
     pub(crate) fn read_output_internal(&mut self, node: NodeId, dst: &mut AudioBuf) {
         // `&mut self` proves no cycle is in flight.
@@ -429,7 +588,12 @@ pub(crate) fn finish_trace(
 /// State shared between the driver and the worker threads of a threaded
 /// executor.
 pub(crate) struct Shared {
-    pub exec: ExecGraph,
+    /// The current topology generation's runtime graph. Replaced only by
+    /// the driver between cycles ([`Shared::adopt_exec`]); workers read it
+    /// after the epoch-acquire edge, exactly like `external` below.
+    exec: DriverCell<ExecGraph>,
+    /// Number of generation swaps performed (driver-read telemetry).
+    pub generation: AtomicU64,
     /// Current cycle epoch; driver bumps with `Release`. Padded: every
     /// worker polls it between cycles while `done_count` below is being
     /// hammered by finishing workers.
@@ -475,7 +639,8 @@ pub(crate) struct Shared {
 impl Shared {
     pub(crate) fn new(exec: ExecGraph, threads: usize, priority: Priority) -> Self {
         Shared {
-            exec,
+            exec: DriverCell::new(exec),
+            generation: AtomicU64::new(0),
             epoch: CachePadded::new(AtomicU64::new(0)),
             done_count: CachePadded::new(AtomicU32::new(0)),
             shutdown: AtomicBool::new(false),
@@ -495,16 +660,46 @@ impl Shared {
         }
     }
 
+    /// The current generation's runtime graph.
+    ///
+    /// Only two access contexts exist in this module, and both satisfy the
+    /// [`DriverCell`] contract: the driver between cycles (the only writer),
+    /// and workers holding the epoch-acquire edge of the cycle the graph
+    /// was published for. Hence a safe accessor.
+    #[inline]
+    pub(crate) fn graph(&self) -> &ExecGraph {
+        // SAFETY: see above; swaps are driver-only between cycles and
+        // published by the next epoch Release store.
+        unsafe { self.exec.get() }
+    }
+
+    /// Swap in a staged generation's graph, carrying over runtime state of
+    /// surviving nodes. Returns the new generation number.
+    ///
+    /// # Safety
+    /// Driver-only, with no cycle in flight (workers must be waiting in
+    /// [`Shared::wait_for_cycle`], which touches only `epoch`/`shutdown`).
+    pub(crate) unsafe fn adopt_exec(&self, mut staged: ExecGraph) -> u64 {
+        let old = self.exec.get_mut();
+        staged.carry_over_from(old);
+        *old = staged;
+        // Publication rides the next epoch Release store; the counter is
+        // driver-read bookkeeping only.
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// The topological order selected by this executor's priority.
     #[inline]
     pub(crate) fn order(&self) -> &[u32] {
-        self.exec.topology().order(self.priority)
+        self.graph().topology().order(self.priority)
     }
 
     /// Successor iteration order of `node` under this executor's priority.
     #[inline]
     pub(crate) fn succ_order(&self, node: u32) -> &[u32] {
-        self.exec.topology().succ_order(NodeId(node), self.priority)
+        self.graph()
+            .topology()
+            .succ_order(NodeId(node), self.priority)
     }
 
     /// Driver-side: move every worker's counters into `out` (and reset
@@ -577,7 +772,7 @@ impl Shared {
     /// # Safety
     /// Must only be called by the driver with no cycle in flight.
     pub(crate) unsafe fn begin_cycle(&self, external_audio: &[AudioBuf], controls: &[f32]) -> u64 {
-        self.exec.reset_pending();
+        self.graph().reset_pending();
         self.done_count.store(0, Ordering::Relaxed);
         self.trace_flushed.store(0, Ordering::Relaxed);
         self.cycle_exited.store(0, Ordering::Relaxed);
@@ -615,7 +810,7 @@ impl Shared {
 
     /// Driver-side: wait until all nodes finished (spin-then-yield).
     pub(crate) fn wait_cycle_done(&self) {
-        let n = self.exec.len() as u32;
+        let n = self.graph().len() as u32;
         let mut spins = 0u32;
         while self.done_count.load(Ordering::Acquire) != n {
             spins += 1;
@@ -645,7 +840,7 @@ impl Shared {
     #[inline]
     pub(crate) fn node_finished(&self) -> bool {
         let prev = self.done_count.fetch_add(1, Ordering::Release) + 1;
-        prev == self.exec.len() as u32
+        prev == self.graph().len() as u32
     }
 
     /// Collect per-worker traces after a traced cycle (driver only).

@@ -25,7 +25,10 @@
 //! replaying the plan) that every wait refers to a node scheduled earlier
 //! in the induced partial order, so the waits-for relation is acyclic.
 
-use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
+use super::{
+    CycleResult, DriverCell, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration,
+    Strategy, SwapError,
+};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -203,6 +206,26 @@ impl ScheduleBlueprint {
         self.workers.iter().map(Vec::len).sum()
     }
 
+    /// Recompile this blueprint against `topo`: keep the placements and
+    /// per-worker orders, rebuild the cross-worker waits from the
+    /// topology's own edges, and re-validate coverage and deadlock
+    /// freedom. A blueprint compiled against a disagreeing predecessor
+    /// table therefore cannot smuggle in a missing wait.
+    pub fn recompile_for(&self, topo: &GraphTopology) -> Result<Self, BlueprintError> {
+        Self::from_assignments(
+            topo,
+            &self
+                .workers
+                .iter()
+                .map(|list| {
+                    list.iter()
+                        .map(|e| (e.node, e.expected_start_ns))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
     /// True when no slots are planned.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -275,10 +298,28 @@ impl ScheduleBlueprint {
     }
 }
 
-/// Shared state: the common cycle machinery plus the immutable plan.
+/// Shared state: the common cycle machinery plus the current plan.
+///
+/// Like `Shared`'s graph, the plan is swapped only by the driver between
+/// cycles and published to workers by the next epoch Release store, so it
+/// lives in a [`DriverCell`] with the same safety argument.
 struct PlannedShared {
     base: Shared,
-    plan: ScheduleBlueprint,
+    plan: DriverCell<ScheduleBlueprint>,
+}
+
+impl PlannedShared {
+    /// The current plan.
+    ///
+    /// Reads are sound everywhere a graph read is sound: drivers hold
+    /// `&mut` on the executor, and workers have acquired the epoch whose
+    /// Release store published any swap.
+    #[inline]
+    fn plan(&self) -> &ScheduleBlueprint {
+        // SAFETY: swaps are driver-only between cycles, published by the
+        // next epoch Release store (see `Shared::graph`).
+        unsafe { self.plan.get() }
+    }
 }
 
 /// Executor that replays a [`ScheduleBlueprint`].
@@ -313,22 +354,12 @@ impl PlannedExecutor {
         // compiled against a different (if structurally identical) build,
         // and the executor must run waits derived from the real edges, not
         // whatever the input blueprint claims.
-        let plan = ScheduleBlueprint::from_assignments(
-            exec.topology(),
-            &blueprint
-                .workers
-                .iter()
-                .map(|list| {
-                    list.iter()
-                        .map(|e| (e.node, e.expected_start_ns))
-                        .collect::<Vec<_>>()
-                })
-                .collect::<Vec<_>>(),
-        )
-        .unwrap_or_else(|e| panic!("blueprint does not fit this graph: {e}"));
+        let plan = blueprint
+            .recompile_for(exec.topology())
+            .unwrap_or_else(|e| panic!("blueprint does not fit this graph: {e}"));
         let shared = Arc::new(PlannedShared {
             base: Shared::new(exec, threads, Priority::Depth),
-            plan,
+            plan: DriverCell::new(plan),
         });
         let mut workers = Vec::new();
         let mut handles = vec![std::thread::current()];
@@ -353,9 +384,9 @@ impl PlannedExecutor {
         }
     }
 
-    /// The blueprint being replayed.
+    /// The blueprint being replayed (for the current generation).
     pub fn blueprint(&self) -> &ScheduleBlueprint {
-        &self.shared.plan
+        self.shared.plan()
     }
 }
 
@@ -375,13 +406,13 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
     let ctx = unsafe { sh.base.ctx(epoch) };
     let mut events: Vec<RawEvent> = Vec::new();
-    for entry in sh.plan.worker(me) {
+    for entry in sh.plan().worker(me) {
         let node = entry.node;
         if tracing || telem {
             let w0 = Instant::now();
             let mut spins = 0u64;
             for &p in entry.waits() {
-                spins += sh.base.exec.spin_until_done(p as usize, epoch);
+                spins += sh.base.graph().spin_until_done(p as usize, epoch);
             }
             if spins > 0 {
                 let w1 = Instant::now();
@@ -401,7 +432,7 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
             // SAFETY: exactly-once ownership by blueprint validation; all
             // predecessors observed done for this epoch (same-worker preds
             // by program order, cross-worker preds by the waits above).
-            unsafe { sh.base.exec.execute(node as usize, &ctx) };
+            unsafe { sh.base.graph().execute(node as usize, &ctx) };
             let t1 = Instant::now();
             if tracing {
                 events.push(RawEvent {
@@ -416,10 +447,10 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
             }
         } else {
             for &p in entry.waits() {
-                sh.base.exec.spin_until_done(p as usize, epoch);
+                sh.base.graph().spin_until_done(p as usize, epoch);
             }
             // SAFETY: as above.
-            unsafe { sh.base.exec.execute(node as usize, &ctx) };
+            unsafe { sh.base.graph().execute(node as usize, &ctx) };
         }
         sh.base.node_finished();
     }
@@ -491,18 +522,52 @@ impl GraphExecutor for PlannedExecutor {
         taken
     }
 
+    fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
+        let (exec, plan) = staged.into_parts();
+        let threads = self.shared.base.threads;
+        // Take the staged plan, or fall back to round-robin so a topology
+        // swap without a freshly compiled schedule still runs correctly
+        // (at BUSY-placement quality) instead of failing.
+        let plan = match plan {
+            Some(p) => p,
+            None => ScheduleBlueprint::round_robin(exec.topology(), threads, Priority::Depth),
+        };
+        if plan.threads() != threads {
+            return Err(SwapError::ThreadMismatch {
+                expected: threads,
+                got: plan.threads(),
+            });
+        }
+        // Recompile against the staged topology before touching any live
+        // state: on failure the running generation is untouched.
+        let plan = plan
+            .recompile_for(exec.topology())
+            .map_err(SwapError::Blueprint)?;
+        // SAFETY: `&mut self` proves no cycle in flight; workers are waiting
+        // on the epoch and read the plan only after acquiring the next
+        // epoch's Release store, which publishes both swaps.
+        unsafe {
+            *self.shared.plan.get_mut() = plan;
+            Ok(self.shared.base.adopt_exec(exec))
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.shared.base.generation.load(Ordering::Relaxed)
+    }
+
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
         // SAFETY: `&mut self` proves no cycle in flight.
-        unsafe { self.shared.base.exec.read_output_unsync(node, dst) };
+        unsafe { self.shared.base.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
         // SAFETY: as in `read_output`.
-        unsafe { self.shared.base.exec.node_processor_unsync(node) }
+        unsafe { self.shared.base.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
-        self.shared.base.exec.topology()
+        self.shared.base.graph().topology()
     }
 }
 

@@ -5,7 +5,9 @@
 //! can simply be removed from the queue in the same order (FIFO) during
 //! graph execution and processed sequentially."
 
-use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Strategy};
+use super::{
+    CycleResult, ExecGraph, GraphExecutor, RawEvent, StagedGeneration, Strategy, SwapError,
+};
 use crate::graph::{GraphTopology, NodeId, TaskGraph};
 use crate::processor::{CycleCtx, Processor};
 use crate::telemetry::{CycleCounters, TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -17,6 +19,7 @@ use std::time::Instant;
 pub struct SequentialExecutor {
     exec: ExecGraph,
     epoch: u64,
+    generation: u64,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
     counters: CycleCounters,
@@ -29,6 +32,7 @@ impl SequentialExecutor {
         SequentialExecutor {
             exec: ExecGraph::new(graph, frames),
             epoch: 0,
+            generation: 0,
             tracing: false,
             last_trace: None,
             counters: CycleCounters::new(),
@@ -119,6 +123,20 @@ impl GraphExecutor for SequentialExecutor {
             self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
         }
         taken
+    }
+
+    fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
+        let (mut exec, _plan) = staged.into_parts();
+        exec.carry_over_from(&mut self.exec);
+        self.exec = exec;
+        // The epoch keeps counting: nothing in the fresh graph can claim to
+        // be done for a past or future cycle.
+        self.generation += 1;
+        Ok(self.generation)
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {

@@ -19,7 +19,9 @@
 //!
 //! Deadlock freedom follows from the same queue-position argument as BUSY.
 
-use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
+use super::{
+    CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
+};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -99,7 +101,7 @@ fn worker_loop(shared: &Shared, me: usize) {
 /// `park()` calls actually made (0 when the dependency arrived between
 /// registration and parking).
 fn sleep_until_ready(shared: &Shared, node: usize, me: usize) -> Option<u64> {
-    let cell = shared.exec.cell(node);
+    let cell = shared.graph().cell(node);
     if cell_pending(shared, node) == 0 {
         return None;
     }
@@ -123,14 +125,14 @@ fn sleep_until_ready(shared: &Shared, node: usize, me: usize) -> Option<u64> {
 
 #[inline]
 fn cell_pending(shared: &Shared, node: usize) -> u32 {
-    shared.exec.cell(node).pending.load(Ordering::Acquire)
+    shared.graph().cell(node).pending.load(Ordering::Acquire)
 }
 
 fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let tracing = shared.tracing.load(Ordering::Relaxed);
     let telem = shared.telemetry.load(Ordering::Relaxed);
     let counters = &shared.counters[me];
-    let topo = shared.exec.topology();
+    let topo = shared.graph().topology();
     // SAFETY: epoch acquired.
     let ctx = unsafe { shared.ctx(epoch) };
     // SAFETY: handles were written before the epoch was published.
@@ -159,7 +161,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             let t0 = Instant::now();
             // SAFETY: exactly-once ownership (static assignment); pending==0
             // observed with Acquire implies all predecessor outputs visible.
-            unsafe { shared.exec.execute(node as usize, &ctx) };
+            unsafe { shared.graph().execute(node as usize, &ctx) };
             let t1 = Instant::now();
             if tracing {
                 events.push(RawEvent {
@@ -175,12 +177,12 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
         } else {
             sleep_until_ready(shared, node as usize, me);
             // SAFETY: as above.
-            unsafe { shared.exec.execute(node as usize, &ctx) };
+            unsafe { shared.graph().execute(node as usize, &ctx) };
         }
         // Signal successors; wake the registered executor of any successor
         // whose last dependency this was.
         for &s in topo.succs(NodeId(node)) {
-            let sc = shared.exec.cell(s as usize);
+            let sc = shared.graph().cell(s as usize);
             if sc.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let w = sc.waiter.swap(0, Ordering::SeqCst);
                 if w != 0 {
@@ -271,18 +273,29 @@ impl GraphExecutor for SleepExecutor {
         taken
     }
 
+    fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
+        let (exec, _plan) = staged.into_parts();
+        // SAFETY: `&mut self` proves no cycle in flight; workers wait in
+        // `wait_for_cycle`, touching only the epoch and shutdown atomics.
+        Ok(unsafe { self.shared.adopt_exec(exec) })
+    }
+
+    fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Relaxed)
+    }
+
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
         // SAFETY: `&mut self` proves no cycle in flight.
-        unsafe { self.shared.exec.read_output_unsync(node, dst) };
+        unsafe { self.shared.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
         // SAFETY: as in `read_output`.
-        unsafe { self.shared.exec.node_processor_unsync(node) }
+        unsafe { self.shared.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
-        self.shared.exec.topology()
+        self.shared.graph().topology()
     }
 }
 

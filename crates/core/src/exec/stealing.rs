@@ -21,7 +21,10 @@
 //! dependencies" — i.e. near the end of the graph (§VI). The driver (worker
 //! 0) never parks intra-cycle; it spin-yields so it can observe completion.
 
-use super::{CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, Strategy};
+use super::{
+    CycleResult, DriverCell, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration,
+    Strategy, SwapError,
+};
 use crate::deque::{Steal, WorkDeque};
 use crate::graph::{GraphTopology, NodeId, Priority, Section, TaskGraph};
 use crate::idle::IdleSet;
@@ -38,9 +41,23 @@ use std::time::Instant;
 /// plus per-worker deques and the idle set.
 pub(crate) struct WsShared {
     pub base: Shared,
-    pub deques: Vec<WorkDeque>,
+    /// Per-worker deques. Behind a [`DriverCell`] so a generation swap can
+    /// replace them with larger ones; the replacement happens between
+    /// cycles (after the exit barrier the deques are quiescent) and is
+    /// published by the next epoch store, like the graph itself.
+    deques: DriverCell<Vec<WorkDeque>>,
     /// Filled by the driver right after spawning, before the first cycle.
     pub idle: OnceLock<IdleSet>,
+}
+
+impl WsShared {
+    /// The per-worker deques; same access contract as [`Shared::graph`].
+    #[inline]
+    fn deques(&self) -> &[WorkDeque] {
+        // SAFETY: replaced only by the driver between cycles; workers read
+        // after the epoch-acquire edge.
+        unsafe { self.deques.get() }
+    }
 }
 
 /// Work-stealing executor.
@@ -86,7 +103,7 @@ impl StealExecutor {
         let nodes = exec.len();
         let shared = Arc::new(WsShared {
             base: Shared::new(exec, threads, priority),
-            deques: (0..threads).map(|_| WorkDeque::new(nodes.max(4))).collect(),
+            deques: DriverCell::new((0..threads).map(|_| WorkDeque::new(nodes.max(4))).collect()),
             idle: OnceLock::new(),
         });
         let mut workers = Vec::new();
@@ -130,7 +147,7 @@ fn steal_sweep(ws: &WsShared, me: usize) -> Option<u32> {
     for off in 1..threads {
         let victim = (me + off) % threads;
         loop {
-            match ws.deques[victim].steal() {
+            match ws.deques()[victim].steal() {
                 Steal::Success(n) => return Some(n),
                 Steal::Empty => break,
                 Steal::Retry => continue,
@@ -142,7 +159,7 @@ fn steal_sweep(ws: &WsShared, me: usize) -> Option<u32> {
 
 /// True when every deque currently appears empty.
 fn all_deques_empty(ws: &WsShared) -> bool {
-    ws.deques.iter().all(|d| d.is_empty())
+    ws.deques().iter().all(|d| d.is_empty())
 }
 
 /// Execute `node`, release ready successors to `me`'s deque, wake thieves.
@@ -163,7 +180,7 @@ unsafe fn run_node(
     let counters = &ws.base.counters[me];
     if tracing || telem {
         let t0 = Instant::now();
-        ws.base.exec.execute(node as usize, ctx);
+        ws.base.graph().execute(node as usize, ctx);
         let t1 = Instant::now();
         if tracing {
             events.push(RawEvent {
@@ -177,7 +194,7 @@ unsafe fn run_node(
             counters.add_exec((t1 - t0).as_nanos() as u64);
         }
     } else {
-        ws.base.exec.execute(node as usize, ctx);
+        ws.base.graph().execute(node as usize, ctx);
     }
     let idle = ws.idle.get().expect("idle set initialized");
     let mut released = 0u32;
@@ -186,13 +203,13 @@ unsafe fn run_node(
     for &s in ws.base.succ_order(node) {
         if ws
             .base
-            .exec
+            .graph()
             .cell(s as usize)
             .pending
             .fetch_sub(1, Ordering::AcqRel)
             == 1
         {
-            ws.deques[me]
+            ws.deques()[me]
                 .push(s)
                 .expect("deque sized for the whole graph");
             released += 1;
@@ -200,7 +217,7 @@ unsafe fn run_node(
     }
     if released > 0 {
         if telem {
-            counters.note_deque_depth(ws.deques[me].len() as u64);
+            counters.note_deque_depth(ws.deques()[me].len() as u64);
         }
         // Publish the pushes before scanning for sleepers (pairs with the
         // fence idle workers issue between registering and re-checking).
@@ -228,11 +245,11 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
     // SAFETY: epoch acquired.
     let ctx = unsafe { ws.base.ctx(epoch) };
     let idle = ws.idle.get().expect("idle set initialized");
-    let total = ws.base.exec.len() as u32;
+    let total = ws.base.graph().len() as u32;
     let mut events: Vec<RawEvent> = Vec::new();
     loop {
         // 1. Local work, newest first (LIFO: §V-C cache-locality argument).
-        if let Some(node) = ws.deques[me].pop() {
+        if let Some(node) = ws.deques()[me].pop() {
             // SAFETY: popped from own deque.
             unsafe { run_node(ws, me, node, &ctx, tracing, telem, &mut events) };
             continue;
@@ -330,17 +347,17 @@ impl GraphExecutor for StealExecutor {
         // epoch; the deques are quiescent between cycles, so these pushes
         // are ordinary owner pushes logically performed on behalf of each
         // target worker.
-        let topo = ws.base.exec.topology();
-        ws.base.exec.reset_pending();
+        let topo = ws.base.graph().topology();
+        ws.base.graph().reset_pending();
         for &src in topo.sources() {
             let target = seed_target(topo.section(NodeId(src)), ws.base.threads);
-            ws.deques[target]
+            ws.deques()[target]
                 .push(src)
                 .expect("deque sized for the whole graph");
         }
         if self.telemetry.is_some() {
             // Seeded depth counts toward each worker's deque high water.
-            for (i, d) in ws.deques.iter().enumerate() {
+            for (i, d) in ws.deques().iter().enumerate() {
                 ws.base.counters[i].note_deque_depth(d.len() as u64);
             }
         }
@@ -397,18 +414,43 @@ impl GraphExecutor for StealExecutor {
         taken
     }
 
+    fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
+        let (exec, _plan) = staged.into_parts();
+        let nodes = exec.len();
+        let ws = &self.shared;
+        // SAFETY: `&mut self` proves no cycle is in flight, and the exit
+        // barrier of the previous `run_cycle` guarantees every worker has
+        // left the work loop — the deques are quiescent. Both the deque
+        // replacement and the graph swap are published by the next epoch
+        // Release store.
+        unsafe {
+            if ws.deques().iter().any(|d| d.capacity() < nodes) {
+                ws.deques.set(
+                    (0..ws.base.threads)
+                        .map(|_| WorkDeque::new(nodes.max(4)))
+                        .collect(),
+                );
+            }
+            Ok(ws.base.adopt_exec(exec))
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.shared.base.generation.load(Ordering::Relaxed)
+    }
+
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
         // SAFETY: `&mut self` proves no cycle in flight.
-        unsafe { self.shared.base.exec.read_output_unsync(node, dst) };
+        unsafe { self.shared.base.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
         // SAFETY: as in `read_output`.
-        unsafe { self.shared.base.exec.node_processor_unsync(node) }
+        unsafe { self.shared.base.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
-        self.shared.base.exec.topology()
+        self.shared.base.graph().topology()
     }
 }
 

@@ -56,7 +56,7 @@ pub mod trace;
 pub use exec::{
     BlueprintError, BusyExecutor, CycleResult, ExecGraph, GraphExecutor, HybridExecutor,
     PlannedExecutor, PlannedNode, ScheduleBlueprint, SequentialExecutor, SleepExecutor,
-    StealExecutor, Strategy,
+    StagedGeneration, StealExecutor, Strategy, SwapError,
 };
 pub use graph::{GraphError, NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
 pub use pad::CachePadded;

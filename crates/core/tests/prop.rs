@@ -5,8 +5,8 @@
 
 use djstar_core::deque::{Steal, WorkDeque};
 use djstar_core::exec::{
-    BusyExecutor, GraphExecutor, PlannedExecutor, ScheduleBlueprint, SequentialExecutor,
-    SleepExecutor, StealExecutor,
+    BusyExecutor, GraphExecutor, HybridExecutor, PlannedExecutor, ScheduleBlueprint,
+    SequentialExecutor, SleepExecutor, StagedGeneration, StealExecutor, Strategy, SwapError,
 };
 use djstar_core::graph::{NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
 use djstar_core::processor::{CycleCtx, FnProcessor};
@@ -199,6 +199,231 @@ fn planned_executor_computes_correct_values_on_random_dags() {
             want[sink]
         );
     }
+}
+
+/// Build a fresh executor of `strategy` over `graph` with `threads`
+/// workers. Sequential ignores `threads`; Planned gets a round-robin
+/// blueprint (the swap path exercises the `plan: None` fallback).
+fn make_executor(
+    strategy: Strategy,
+    graph: TaskGraph,
+    threads: usize,
+    frames: usize,
+) -> Box<dyn GraphExecutor> {
+    match strategy {
+        Strategy::Sequential => Box::new(SequentialExecutor::new(graph, frames)),
+        Strategy::Busy => Box::new(BusyExecutor::new(graph, threads, frames)),
+        Strategy::Sleep => Box::new(SleepExecutor::new(graph, threads, frames)),
+        Strategy::Steal => Box::new(StealExecutor::new(graph, threads, frames)),
+        Strategy::Hybrid => Box::new(HybridExecutor::new(graph, threads, frames, 2000)),
+        Strategy::Planned => {
+            let bp = ScheduleBlueprint::round_robin(graph.topology(), threads, Priority::Depth);
+            Box::new(PlannedExecutor::new(graph, frames, bp))
+        }
+    }
+}
+
+/// Run `cycles` traced cycles and check exactly-once execution, dependency
+/// safety and the schedule-independent sink value against `preds`.
+fn check_cycles(ex: &mut dyn GraphExecutor, preds: &[Vec<u32>], cycles: usize, tag: &str) {
+    let want = expected_values(preds);
+    let sink = preds.len() - 1;
+    ex.set_tracing(true);
+    for c in 0..cycles {
+        ex.run_cycle(&[], &[]);
+        let trace = ex.take_trace().unwrap();
+        let mut nodes: Vec<u32> = trace.executions().iter().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        assert_eq!(
+            nodes,
+            (0..preds.len() as u32).collect::<Vec<_>>(),
+            "{tag} cycle {c}: not exactly-once"
+        );
+        let topo = ex.topology();
+        assert!(
+            trace.respects_dependencies(|n| topo.preds(NodeId(n)).to_vec()),
+            "{tag} cycle {c}: dependency violated"
+        );
+    }
+    ex.set_tracing(false);
+    let mut out = AudioBuf::zeroed(2, 4);
+    ex.read_output(NodeId(sink as u32), &mut out);
+    assert!(
+        (out.sample(0, 0) - want[sink]).abs() < 1e-4,
+        "{tag}: got {}, want {}",
+        out.sample(0, 0),
+        want[sink]
+    );
+}
+
+#[test]
+fn generation_swaps_preserve_exactly_once_and_dep_safety() {
+    // All six strategies x 1..=8 threads; each executor lives through two
+    // topology swaps (A -> B -> C) with correctness checked before and
+    // after every swap.
+    let mut rng = SmallRng::seed_from_u64(0x5A0B);
+    for strategy in Strategy::ALL {
+        for threads in 1..=8usize {
+            let a = random_dag(&mut rng, 20);
+            let b = random_dag(&mut rng, 20);
+            let c = random_dag(&mut rng, 20);
+            let tag = format!("{strategy:?} t={threads}");
+            let mut ex = make_executor(strategy, build_graph(&a), threads, 4);
+            assert_eq!(ex.generation(), 0, "{tag}");
+            check_cycles(ex.as_mut(), &a, 3, &format!("{tag} gen0"));
+            for (gen, preds) in [(1u64, &b), (2, &c)] {
+                let staged = StagedGeneration::new(build_graph(preds), 4);
+                let got = ex.adopt_generation(staged).expect("swap must succeed");
+                assert_eq!(got, gen, "{tag}");
+                assert_eq!(ex.generation(), gen, "{tag}");
+                assert_eq!(ex.topology().len(), preds.len(), "{tag}");
+                check_cycles(ex.as_mut(), preds, 3, &format!("{tag} gen{gen}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn planned_swap_accepts_staged_blueprint_and_rejects_misfits() {
+    let mut rng = SmallRng::seed_from_u64(0x5B1);
+    let a = random_dag(&mut rng, 16);
+    let b = random_dag(&mut rng, 16);
+    let threads = 3;
+    let g_a = build_graph(&a);
+    let bp_a = ScheduleBlueprint::round_robin(g_a.topology(), threads, Priority::Depth);
+    let mut ex = PlannedExecutor::new(g_a, 4, bp_a);
+    check_cycles(&mut ex, &a, 2, "planned pre-swap");
+
+    // A staged generation carrying a freshly compiled blueprint.
+    let g_b = build_graph(&b);
+    let bp_b = ScheduleBlueprint::round_robin(g_b.topology(), threads, Priority::CriticalPath);
+    let staged = StagedGeneration::with_plan(g_b, 4, bp_b);
+    assert!(staged.has_plan());
+    assert_eq!(ex.adopt_generation(staged).unwrap(), 1);
+    check_cycles(&mut ex, &b, 2, "planned post-swap");
+
+    // Wrong worker count: rejected, running generation untouched.
+    let bad_plan = {
+        let g = build_graph(&a);
+        ScheduleBlueprint::round_robin(g.topology(), threads + 1, Priority::Depth)
+    };
+    let staged = StagedGeneration::with_plan(build_graph(&a), 4, bad_plan);
+    match ex.adopt_generation(staged) {
+        Err(SwapError::ThreadMismatch { expected, got }) => {
+            assert_eq!((expected, got), (threads, threads + 1));
+        }
+        other => panic!("expected ThreadMismatch, got {other:?}"),
+    }
+    assert_eq!(ex.generation(), 1);
+    check_cycles(&mut ex, &b, 2, "planned after rejected swap");
+
+    // Blueprint for a different node set: rejected by recompilation.
+    let stale = ex.blueprint().clone();
+    let bigger: Vec<Vec<u32>> = (0..b.len() + 4).map(|_| Vec::new()).collect();
+    let staged = StagedGeneration::with_plan(build_graph(&bigger), 4, stale);
+    match ex.adopt_generation(staged) {
+        Err(SwapError::Blueprint(_)) => {}
+        other => panic!("expected Blueprint error, got {other:?}"),
+    }
+    assert_eq!(ex.generation(), 1);
+    check_cycles(&mut ex, &b, 2, "planned after second rejected swap");
+}
+
+/// A graph holding a stateful counter node named "acc" (its output value
+/// increments every cycle) surrounded by `extra` stateless nodes so the
+/// two generations differ in shape.
+fn counter_graph(extra: usize, prefix: &str) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new();
+    let mut count = 0.0f32;
+    let acc = b.add(
+        "acc".to_string(),
+        Section::Master,
+        Box::new(FnProcessor(
+            move |_: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                count += 1.0;
+                out.samples_mut().fill(count);
+            },
+        )),
+        &[],
+    );
+    for i in 0..extra {
+        b.add(
+            format!("{prefix}{i}"),
+            Section::deck(i % 4),
+            Box::new(FnProcessor(
+                |inp: &[&AudioBuf], out: &mut AudioBuf, _: &CycleCtx<'_>| {
+                    out.samples_mut()
+                        .fill(inp.first().map(|b| b.sample(0, 0)).unwrap_or(0.0));
+                },
+            )),
+            &[acc],
+        );
+    }
+    b.build().unwrap()
+}
+
+fn node_named(ex: &dyn GraphExecutor, name: &str) -> NodeId {
+    let topo = ex.topology();
+    (0..topo.len() as u32)
+        .map(NodeId)
+        .find(|&n| topo.name(n) == name)
+        .expect("node present")
+}
+
+#[test]
+fn swap_carries_processor_state_by_name() {
+    // Both the sequential path (executor-owned graph) and the shared path
+    // (adopt_exec) must keep the stateful "acc" processor running across
+    // a swap to a differently shaped graph.
+    let execs: Vec<Box<dyn GraphExecutor>> = vec![
+        Box::new(SequentialExecutor::new(counter_graph(2, "a"), 4)),
+        Box::new(BusyExecutor::new(counter_graph(2, "a"), 2, 4)),
+    ];
+    for mut ex in execs {
+        let tag = format!("{:?}", ex.strategy());
+        for _ in 0..5 {
+            ex.run_cycle(&[], &[]);
+        }
+        let mut out = AudioBuf::zeroed(2, 4);
+        ex.read_output(node_named(ex.as_ref(), "acc"), &mut out);
+        assert_eq!(out.sample(0, 0), 5.0, "{tag} pre-swap");
+
+        ex.adopt_generation(StagedGeneration::new(counter_graph(5, "b"), 4))
+            .unwrap();
+        for _ in 0..3 {
+            ex.run_cycle(&[], &[]);
+        }
+        let mut out = AudioBuf::zeroed(2, 4);
+        ex.read_output(node_named(ex.as_ref(), "acc"), &mut out);
+        // 5 pre-swap cycles + 3 post-swap cycles: the counter kept its
+        // state through the handover.
+        assert_eq!(out.sample(0, 0), 8.0, "{tag} post-swap");
+        // The swapped-in stateless node computes from the carried value.
+        let mut tap = AudioBuf::zeroed(2, 4);
+        ex.read_output(node_named(ex.as_ref(), "b0"), &mut tap);
+        assert_eq!(tap.sample(0, 0), 8.0, "{tag} successor");
+    }
+}
+
+#[test]
+fn swap_to_larger_graph_grows_steal_deques() {
+    // The staged graph has more nodes than the original deque capacity;
+    // adopt must rebuild the deques before the first post-swap cycle.
+    let small: Vec<Vec<u32>> = (0..3).map(|_| Vec::new()).collect();
+    let big: Vec<Vec<u32>> = (0..120)
+        .map(|i| {
+            if i == 0 {
+                Vec::new()
+            } else {
+                vec![i as u32 - 1]
+            }
+        })
+        .collect();
+    let mut ex = StealExecutor::new(build_graph(&small), 4, 4);
+    check_cycles(&mut ex, &small, 2, "steal small");
+    ex.adopt_generation(StagedGeneration::new(build_graph(&big), 4))
+        .unwrap();
+    check_cycles(&mut ex, &big, 3, "steal big");
 }
 
 #[test]

@@ -11,13 +11,16 @@
 //! their individual timings.
 
 use crate::deck::TrackPlayer;
-use crate::graphbuild::{build_djstar_graph, NodeMap};
+use crate::graphbuild::{build_shaped_graph, GraphShape, NodeMap};
 use crate::nodes::controls;
 use crate::profiling::HotspotProfiler;
+use crate::reconfig::{
+    apply_edit, stage_topology, EditError, GraphEdit, ReconfigError, StagedTopology,
+};
 use crate::timecode::{TimecodeDecoder, TimecodeGenerator};
 use djstar_core::exec::{
     BusyExecutor, GraphExecutor, HybridExecutor, PlannedExecutor, ScheduleBlueprint,
-    SequentialExecutor, SleepExecutor, StealExecutor, Strategy,
+    SequentialExecutor, SleepExecutor, StealExecutor, Strategy, SwapError,
 };
 use djstar_dsp::buffer::AudioBuf;
 use djstar_dsp::work::burn;
@@ -95,6 +98,13 @@ pub struct AudioEngine {
     scenario: Scenario,
     executor: Box<dyn GraphExecutor>,
     map: NodeMap,
+    shape: GraphShape,
+    /// Control events dropped for referring to decks/slots that do not
+    /// exist in the current shape (see [`apply_events`](Self::apply_events)).
+    dropped_events: u64,
+    /// Topology edits requested through the event middleware, waiting for
+    /// the host to stage and commit them.
+    pending_edits: Vec<GraphEdit>,
     decks: Vec<Option<TrackPlayer>>,
     tc_gen: Vec<TimecodeGenerator>,
     tc_dec: Vec<TimecodeDecoder>,
@@ -121,26 +131,29 @@ impl AudioEngine {
     }
 
     /// Build an engine with explicit auxiliary-phase weights (tests use
-    /// [`AuxWork::light`]).
+    /// [`AuxWork::light`]) and the paper's fixed 67-node shape.
     pub fn with_aux(scenario: Scenario, strategy: Strategy, threads: usize, aux: AuxWork) -> Self {
+        Self::with_shape(
+            scenario,
+            GraphShape::paper_default(),
+            strategy,
+            threads,
+            aux,
+        )
+    }
+
+    /// Build an engine around an arbitrary [`GraphShape`] — the seed of the
+    /// live-reconfiguration protocol (further shapes arrive via
+    /// [`reconfigure`](Self::reconfigure)).
+    pub fn with_shape(
+        scenario: Scenario,
+        shape: GraphShape,
+        strategy: Strategy,
+        threads: usize,
+        aux: AuxWork,
+    ) -> Self {
         let frames = djstar_dsp::BUFFER_FRAMES;
-        let (graph, map) = build_djstar_graph(&scenario);
-        let executor: Box<dyn GraphExecutor> = match strategy {
-            Strategy::Sequential => Box::new(SequentialExecutor::new(graph, frames)),
-            Strategy::Busy => Box::new(BusyExecutor::new(graph, threads, frames)),
-            Strategy::Sleep => Box::new(SleepExecutor::new(graph, threads, frames)),
-            Strategy::Steal => Box::new(StealExecutor::new(graph, threads, frames)),
-            // Extension strategy: a 2000-poll spin budget (~tens of µs)
-            // before parking; tune via the executor handle if needed.
-            Strategy::Hybrid => Box::new(HybridExecutor::new(graph, threads, frames, 2_000)),
-            // Extension strategy: probe node durations on a throwaway
-            // sequential engine, list-schedule them onto `threads`
-            // processors, and replay that static schedule.
-            Strategy::Planned => {
-                let blueprint = Self::compile_plan(&scenario, threads);
-                Box::new(PlannedExecutor::new(graph, frames, blueprint))
-            }
-        };
+        let (executor, map) = Self::build_executor(&scenario, &shape, strategy, threads, frames);
         let decks = scenario
             .decks
             .iter()
@@ -165,6 +178,9 @@ impl AudioEngine {
         AudioEngine {
             executor,
             map,
+            shape,
+            dropped_events: 0,
+            pending_edits: Vec::new(),
             decks,
             tc_gen: (0..4).map(|_| TimecodeGenerator::new(sr)).collect(),
             tc_dec: (0..4).map(|_| TimecodeDecoder::new(sr)).collect(),
@@ -182,17 +198,62 @@ impl AudioEngine {
         }
     }
 
+    /// Build the executor (and its landmark map) for a scenario + shape.
+    /// Shared by the constructors and the thread-resize rebuild path.
+    fn build_executor(
+        scenario: &Scenario,
+        shape: &GraphShape,
+        strategy: Strategy,
+        threads: usize,
+        frames: usize,
+    ) -> (Box<dyn GraphExecutor>, NodeMap) {
+        let (graph, map) = build_shaped_graph(scenario, shape);
+        let executor: Box<dyn GraphExecutor> = match strategy {
+            Strategy::Sequential => Box::new(SequentialExecutor::new(graph, frames)),
+            Strategy::Busy => Box::new(BusyExecutor::new(graph, threads, frames)),
+            Strategy::Sleep => Box::new(SleepExecutor::new(graph, threads, frames)),
+            Strategy::Steal => Box::new(StealExecutor::new(graph, threads, frames)),
+            // Extension strategy: a 2000-poll spin budget (~tens of µs)
+            // before parking; tune via the executor handle if needed.
+            Strategy::Hybrid => Box::new(HybridExecutor::new(graph, threads, frames, 2_000)),
+            // Extension strategy: probe node durations on a throwaway
+            // sequential engine, list-schedule them onto `threads`
+            // processors, and replay that static schedule.
+            Strategy::Planned => {
+                let blueprint = Self::compile_plan_for(scenario, shape, threads);
+                Box::new(PlannedExecutor::new(graph, frames, blueprint))
+            }
+        };
+        (executor, map)
+    }
+
     /// Compile a PLAN blueprint for `scenario`: probe per-node durations on
     /// a throwaway sequential engine, feed the per-node means to the list
     /// scheduler with a resource constraint of `threads` processors, and
     /// freeze its per-processor timelines into a replayable blueprint
     /// (§IV's "optimal schedule", made executable).
     pub fn compile_plan(scenario: &Scenario, threads: usize) -> ScheduleBlueprint {
+        Self::compile_plan_for(scenario, &GraphShape::paper_default(), threads)
+    }
+
+    /// [`compile_plan`](Self::compile_plan) for an arbitrary shape. The
+    /// duration probe runs on a sequential engine built with the same
+    /// shape, so the blueprint fits the shaped topology exactly.
+    pub fn compile_plan_for(
+        scenario: &Scenario,
+        shape: &GraphShape,
+        threads: usize,
+    ) -> ScheduleBlueprint {
         const PROBE_CYCLES: usize = 12;
         // Aux weights only shape the non-graph phases, so the probe always
         // runs light regardless of what the real engine will use.
-        let mut probe =
-            AudioEngine::with_aux(scenario.clone(), Strategy::Sequential, 1, AuxWork::light());
+        let mut probe = AudioEngine::with_shape(
+            scenario.clone(),
+            *shape,
+            Strategy::Sequential,
+            1,
+            AuxWork::light(),
+        );
         probe.warmup(4);
         let samples = probe.measured_node_durations(PROBE_CYCLES);
         let means: Vec<u64> = samples
@@ -232,6 +293,103 @@ impl AudioEngine {
         &self.map
     }
 
+    /// The currently committed graph shape.
+    pub fn shape(&self) -> &GraphShape {
+        &self.shape
+    }
+
+    /// Control events dropped so far for referring to decks or FX slots
+    /// missing from the current shape.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Take the topology edits requested via the event middleware
+    /// ([`ControlEvent::DeckLoadState`](crate::events::ControlEvent) and
+    /// friends). The host thread feeds them to
+    /// [`stage_edits`](Self::stage_edits)/[`commit`](Self::commit) — or
+    /// [`reconfigure`](Self::reconfigure) when staging inline is fine.
+    pub fn take_pending_edits(&mut self) -> Vec<GraphEdit> {
+        std::mem::take(&mut self.pending_edits)
+    }
+
+    /// Stage a new topology generation for the current shape plus `edits`.
+    /// This is the expensive half of a reconfiguration — graph build,
+    /// buffer allocation, PLAN blueprint compilation. To stage on another
+    /// thread while cycles keep running, copy the scenario and shape and
+    /// call [`stage_topology`] there (the result is `Send`); the
+    /// cycle-boundary half is [`commit`](Self::commit) either way.
+    ///
+    /// [`GraphEdit::ResizeThreads`] is rejected here
+    /// ([`EditError::ResizeNeedsRebuild`]); it only makes sense through
+    /// [`reconfigure`](Self::reconfigure).
+    pub fn stage_edits(&self, edits: &[GraphEdit]) -> Result<StagedTopology, ReconfigError> {
+        let mut shape = self.shape;
+        for &e in edits {
+            apply_edit(&mut shape, e)?;
+        }
+        Ok(stage_topology(
+            &self.scenario,
+            &shape,
+            self.strategy(),
+            self.threads(),
+            djstar_dsp::BUFFER_FRAMES,
+        ))
+    }
+
+    /// Commit a staged generation: the executor adopts the new graph at
+    /// the next cycle boundary (name-keyed state carry-over, no worker
+    /// teardown) and the engine's shape and landmark map swap with it.
+    /// Returns the new generation number. On error nothing changes.
+    pub fn commit(&mut self, staged: StagedTopology) -> Result<u64, SwapError> {
+        let StagedTopology { shape, map, staged } = staged;
+        let generation = self.executor.adopt_generation(staged)?;
+        self.shape = shape;
+        self.map = map;
+        Ok(generation)
+    }
+
+    /// Stage and commit `edits` in one call. Topology edits ride the
+    /// glitch-free swap path. If the script contains
+    /// [`GraphEdit::ResizeThreads`], the executor is instead **rebuilt**
+    /// with the final shape and new worker count — the one reconfiguration
+    /// that tears the pool down and resets graph-node state (deck
+    /// playback, timecode and control state live in the engine and
+    /// survive either way). Returns the executor's generation after the
+    /// change (a rebuild starts over at generation 0).
+    pub fn reconfigure(&mut self, edits: &[GraphEdit]) -> Result<u64, ReconfigError> {
+        let mut shape = self.shape;
+        let mut resize: Option<usize> = None;
+        for &e in edits {
+            match e {
+                GraphEdit::ResizeThreads(n) => {
+                    if !(1..=64).contains(&n) {
+                        return Err(EditError::BadThreadCount(n).into());
+                    }
+                    resize = Some(n);
+                }
+                _ => apply_edit(&mut shape, e)?,
+            }
+        }
+        if let Some(threads) = resize {
+            let frames = djstar_dsp::BUFFER_FRAMES;
+            let (executor, map) =
+                Self::build_executor(&self.scenario, &shape, self.strategy(), threads, frames);
+            self.executor = executor;
+            self.map = map;
+            self.shape = shape;
+            return Ok(self.executor.generation());
+        }
+        let staged = stage_topology(
+            &self.scenario,
+            &shape,
+            self.strategy(),
+            self.threads(),
+            djstar_dsp::BUFFER_FRAMES,
+        );
+        self.commit(staged).map_err(ReconfigError::Swap)
+    }
+
     /// The underlying executor (for tracing, knob turning, output reads).
     pub fn executor_mut(&mut self) -> &mut dyn GraphExecutor {
         self.executor.as_mut()
@@ -267,54 +425,134 @@ impl AudioEngine {
     /// Drain the event-middleware queue and apply every control event
     /// (Fig. 2's Event Middleware layer: the GUI and USB controllers never
     /// touch the core directly). Call once per cycle, before
-    /// [`run_apc`](Self::run_apc). Unknown deck indices are ignored.
+    /// [`run_apc`](Self::run_apc).
+    ///
+    /// Events addressing decks or FX slots that do not exist in the
+    /// current shape are **not** silently swallowed: they are counted in
+    /// [`dropped_events`](Self::dropped_events) (and logged in debug
+    /// builds) so a misbehaving controller mapping is visible in
+    /// telemetry. Topology requests (`DeckLoadState`, `FxChain`) are
+    /// translated into [`GraphEdit`]s and parked in
+    /// [`take_pending_edits`](Self::take_pending_edits) for the host to
+    /// stage off the audio thread.
     pub fn apply_events(&mut self, queue: &mut crate::events::EventQueue) {
-        use crate::events::ControlEvent::*;
-        use crate::nodes::{ChannelNode, EffectNode};
         for qe in queue.drain_coalesced() {
-            match qe.event {
-                Crossfader(x) => self.set_crossfader(x),
-                MasterGain(g) => self.ctrl[controls::MASTER_GAIN] = g.clamp(0.0, 2.0),
-                DeckGain(d, g) if d < 4 => self.set_deck_gain(d, g),
-                DeckEq(d, eq) if d < 4 => {
-                    let node = self.map.channel[d];
-                    if let Some(ch) = self
-                        .executor
-                        .node_processor(node)
-                        .as_any_mut()
-                        .and_then(|a| a.downcast_mut::<ChannelNode>())
-                    {
-                        ch.set_eq(eq[0], eq[1], eq[2]);
-                    }
-                }
-                DeckFilter(d, pos) if d < 4 => {
-                    let node = self.map.channel[d];
-                    if let Some(ch) = self
-                        .executor
-                        .node_processor(node)
-                        .as_any_mut()
-                        .and_then(|a| a.downcast_mut::<ChannelNode>())
-                    {
-                        ch.set_filter(pos);
-                    }
-                }
-                FxToggle(d, slot, on) if d < 4 && slot < 4 => {
-                    let node = self.map.fx[d][slot];
-                    if let Some(fx) = self
-                        .executor
-                        .node_processor(node)
-                        .as_any_mut()
-                        .and_then(|a| a.downcast_mut::<EffectNode>())
-                    {
-                        fx.set_enabled(on);
-                    }
-                }
-                Nudge(d, delta) if d < 4 => {
-                    self.nudge[d] = (self.nudge[d] + delta).clamp(-0.5, 0.5);
-                }
-                _ => {}
+            if !self.apply_one(qe.event) {
+                self.dropped_events += 1;
+                #[cfg(debug_assertions)]
+                eprintln!("djstar: dropped out-of-range control event {:?}", qe.event);
             }
         }
+    }
+
+    /// The shape that committing every pending edit would produce.
+    fn pending_shape(&self) -> GraphShape {
+        let mut shape = self.shape;
+        for &e in &self.pending_edits {
+            // Pending edits were validated against this very sequence when
+            // they were queued, so they always apply.
+            let _ = apply_edit(&mut shape, e);
+        }
+        shape
+    }
+
+    /// Apply a single control event; `false` means the event referred to a
+    /// deck or slot missing from the current shape and was dropped.
+    fn apply_one(&mut self, event: crate::events::ControlEvent) -> bool {
+        use crate::events::ControlEvent::*;
+        use crate::nodes::{ChannelNode, EffectNode};
+        match event {
+            Crossfader(x) => self.set_crossfader(x),
+            MasterGain(g) => self.ctrl[controls::MASTER_GAIN] = g.clamp(0.0, 2.0),
+            // Engine-level deck controls exist whether or not the deck's
+            // graph section is loaded; only the index must be in range.
+            DeckGain(d, g) => {
+                if d >= 4 {
+                    return false;
+                }
+                self.set_deck_gain(d, g);
+            }
+            Nudge(d, delta) => {
+                if d >= 4 {
+                    return false;
+                }
+                self.nudge[d] = (self.nudge[d] + delta).clamp(-0.5, 0.5);
+            }
+            // Graph-node controls need the node to exist in this shape.
+            DeckEq(d, eq) => {
+                let Some(node) = self.map.channel(d) else {
+                    return false;
+                };
+                if let Some(ch) = self
+                    .executor
+                    .node_processor(node)
+                    .as_any_mut()
+                    .and_then(|a| a.downcast_mut::<ChannelNode>())
+                {
+                    ch.set_eq(eq[0], eq[1], eq[2]);
+                }
+            }
+            DeckFilter(d, pos) => {
+                let Some(node) = self.map.channel(d) else {
+                    return false;
+                };
+                if let Some(ch) = self
+                    .executor
+                    .node_processor(node)
+                    .as_any_mut()
+                    .and_then(|a| a.downcast_mut::<ChannelNode>())
+                {
+                    ch.set_filter(pos);
+                }
+            }
+            FxToggle(d, slot, on) => {
+                let Some(node) = self.map.fx(d, slot) else {
+                    return false;
+                };
+                if let Some(fx) = self
+                    .executor
+                    .node_processor(node)
+                    .as_any_mut()
+                    .and_then(|a| a.downcast_mut::<EffectNode>())
+                {
+                    fx.set_enabled(on);
+                }
+            }
+            // Topology requests become pending graph edits, diffed against
+            // the shape the pending queue will produce so repeated
+            // requests never double-stage an edit.
+            DeckLoadState(d, load) => {
+                if d >= 4 {
+                    return false;
+                }
+                // Already satisfied by the pending queue: a valid no-op.
+                if self.pending_shape().deck_loaded[d] == load {
+                    return true;
+                }
+                self.pending_edits.push(if load {
+                    GraphEdit::LoadDeck(d)
+                } else {
+                    GraphEdit::UnloadDeck(d)
+                });
+            }
+            FxChain(d, slots) => {
+                let pending = self.pending_shape();
+                if d >= 4
+                    || !pending.deck_loaded[d]
+                    || !(1..=GraphShape::MAX_FX_SLOTS).contains(&slots)
+                {
+                    return false;
+                }
+                let cur = pending.fx_slots[d];
+                for _ in cur..slots {
+                    self.pending_edits.push(GraphEdit::InsertFxSlot(d));
+                }
+                for _ in slots..cur {
+                    self.pending_edits.push(GraphEdit::RemoveFxSlot(d));
+                }
+            }
+        }
+        true
     }
 
     /// Phase 1 — TP: generate + decode each deck's timecode control signal.

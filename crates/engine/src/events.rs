@@ -27,6 +27,12 @@ pub enum ControlEvent {
     MasterGain(f32),
     /// Deck transport nudge: a momentary speed offset (deck, delta).
     Nudge(usize, f32),
+    /// Topology request: load (`true`) or eject (`false`) a deck. The
+    /// engine turns this into a pending graph edit rather than applying it
+    /// inline — topology changes are staged off the audio thread.
+    DeckLoadState(usize, bool),
+    /// Topology request: resize a deck's FX chain to the given slot count.
+    FxChain(usize, usize),
 }
 
 /// A queued event with the cycle it was submitted in.
@@ -200,5 +206,87 @@ mod tests {
         q.push(1, ControlEvent::DeckFilter(0, -0.5));
         q.push(1, ControlEvent::DeckFilter(1, 0.5));
         assert_eq!(q.drain_coalesced().len(), 2);
+    }
+
+    #[test]
+    fn toggles_keep_relative_order_through_continuous_sweeps() {
+        // A filter sweep arrives interleaved with FX toggles on two decks.
+        // Coalescing must (a) keep every toggle, in submission order, and
+        // (b) leave each surviving continuous event at its *first*
+        // position with its *last* value — so a sweep that started before
+        // a toggle still applies before it.
+        let mut q = EventQueue::standard();
+        q.push(1, ControlEvent::DeckFilter(0, 0.1));
+        q.push(1, ControlEvent::FxToggle(0, 0, false));
+        q.push(2, ControlEvent::DeckFilter(0, 0.2));
+        q.push(2, ControlEvent::FxToggle(1, 2, true));
+        q.push(3, ControlEvent::DeckFilter(1, 0.5));
+        q.push(3, ControlEvent::FxToggle(0, 0, true));
+        q.push(4, ControlEvent::DeckFilter(0, 0.3));
+        let drained: Vec<ControlEvent> = q.drain_coalesced().iter().map(|e| e.event).collect();
+        assert_eq!(
+            drained,
+            vec![
+                ControlEvent::DeckFilter(0, 0.3),
+                ControlEvent::FxToggle(0, 0, false),
+                ControlEvent::FxToggle(1, 2, true),
+                ControlEvent::DeckFilter(1, 0.5),
+                ControlEvent::FxToggle(0, 0, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn continuous_events_coalesce_per_deck_across_interleaving() {
+        // Two decks swept simultaneously (the classic two-hand move):
+        // each deck's controls coalesce independently, none cross decks.
+        let mut q = EventQueue::standard();
+        for i in 0..6 {
+            q.push(1, ControlEvent::DeckGain(0, i as f32 * 0.1));
+            q.push(1, ControlEvent::DeckGain(1, 1.0 - i as f32 * 0.1));
+            q.push(1, ControlEvent::DeckEq(i % 2, [i as f32, 0.0, 0.0]));
+        }
+        let drained = q.drain_coalesced();
+        assert_eq!(drained.len(), 4, "{drained:?}");
+        assert!(drained.contains(&QueuedEvent {
+            cycle: 1,
+            event: ControlEvent::DeckGain(0, 0.5)
+        }));
+        assert!(drained.contains(&QueuedEvent {
+            cycle: 1,
+            event: ControlEvent::DeckGain(1, 0.5)
+        }));
+        assert!(drained.contains(&QueuedEvent {
+            cycle: 1,
+            event: ControlEvent::DeckEq(0, [4.0, 0.0, 0.0])
+        }));
+        assert!(drained.contains(&QueuedEvent {
+            cycle: 1,
+            event: ControlEvent::DeckEq(1, [5.0, 0.0, 0.0])
+        }));
+    }
+
+    #[test]
+    fn topology_requests_are_never_coalesced() {
+        // Load/eject and chain-resize requests are discrete state machines
+        // like FxToggle: a load-eject-load sequence must reach the engine
+        // as three events, not collapse to one.
+        let mut q = EventQueue::standard();
+        q.push(1, ControlEvent::DeckLoadState(2, false));
+        q.push(2, ControlEvent::DeckLoadState(2, true));
+        q.push(3, ControlEvent::DeckLoadState(2, false));
+        q.push(3, ControlEvent::FxChain(0, 6));
+        q.push(4, ControlEvent::FxChain(0, 4));
+        let drained: Vec<ControlEvent> = q.drain_coalesced().iter().map(|e| e.event).collect();
+        assert_eq!(
+            drained,
+            vec![
+                ControlEvent::DeckLoadState(2, false),
+                ControlEvent::DeckLoadState(2, true),
+                ControlEvent::DeckLoadState(2, false),
+                ControlEvent::FxChain(0, 6),
+                ControlEvent::FxChain(0, 4),
+            ]
+        );
     }
 }

@@ -26,15 +26,72 @@ use djstar_core::graph::{NodeId, Section, TaskGraph, TaskGraphBuilder};
 use djstar_dsp::effects::EffectKind;
 use djstar_workload::scenario::Scenario;
 
-/// Ids of the landmark nodes of the built graph.
+/// Build-time shape of the DJ Star graph: which decks are loaded and how
+/// many FX slots each loaded deck's chain holds.
+///
+/// The paper's fixed 67-node graph is [`paper_default`](Self::paper_default)
+/// (4 loaded decks x 4 FX slots). Live reconfiguration (see
+/// `crate::reconfig`) edits a shape, rebuilds the graph off the audio
+/// thread, and swaps it into the running executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphShape {
+    /// Whether deck `d` contributes its 13-node section to the graph.
+    pub deck_loaded: [bool; 4],
+    /// FX chain length per deck (`1..=MAX_FX_SLOTS`); ignored for
+    /// unloaded decks.
+    pub fx_slots: [usize; 4],
+}
+
+impl GraphShape {
+    /// Upper bound on a deck's FX chain length.
+    pub const MAX_FX_SLOTS: usize = 8;
+
+    /// The paper's shape: all four decks loaded, four FX slots each.
+    pub fn paper_default() -> Self {
+        GraphShape {
+            deck_loaded: [true; 4],
+            fx_slots: [4; 4],
+        }
+    }
+
+    /// Node count of the graph this shape builds: 15 master nodes plus
+    /// `4 SP + fx_slots + 1 channel + 4 bookkeeping` per loaded deck.
+    pub fn node_count(&self) -> usize {
+        15 + (0..4)
+            .filter(|&d| self.deck_loaded[d])
+            .map(|d| 9 + self.fx_slots[d])
+            .sum::<usize>()
+    }
+
+    /// Indices of the loaded decks, in order.
+    pub fn loaded_decks(&self) -> Vec<usize> {
+        (0..4).filter(|&d| self.deck_loaded[d]).collect()
+    }
+}
+
+impl Default for GraphShape {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Landmark node ids of one loaded deck.
+#[derive(Debug, Clone)]
+pub struct DeckNodes {
+    /// SP filterbank, `[band]`.
+    pub sp: [NodeId; 4],
+    /// Effect chain, one id per slot (variable length under reshaping).
+    pub fx: Vec<NodeId>,
+    /// Channel strip.
+    pub channel: NodeId,
+}
+
+/// Ids of the landmark nodes of the built graph. Unloaded decks have no
+/// nodes, so the per-deck landmarks are optional.
 #[derive(Debug, Clone)]
 pub struct NodeMap {
-    /// SP filters, `[deck][band]`.
-    pub sp: [[NodeId; 4]; 4],
-    /// Effect chain, `[deck][slot]`.
-    pub fx: [[NodeId; 4]; 4],
-    /// Channel strips per deck.
-    pub channel: [NodeId; 4],
+    /// Per-deck landmarks; `None` when the deck is not in the graph.
+    pub decks: [Option<DeckNodes>; 4],
     /// The mixer.
     pub mixer: NodeId,
     /// Master buffer (post-mixer bus).
@@ -55,6 +112,28 @@ pub struct NodeMap {
     pub stats: NodeId,
 }
 
+impl NodeMap {
+    /// Landmarks of deck `d`, when loaded.
+    pub fn deck(&self, d: usize) -> Option<&DeckNodes> {
+        self.decks.get(d).and_then(|o| o.as_ref())
+    }
+
+    /// Channel strip of deck `d`, when loaded.
+    pub fn channel(&self, d: usize) -> Option<NodeId> {
+        self.deck(d).map(|k| k.channel)
+    }
+
+    /// FX slot `slot` of deck `d`, when present.
+    pub fn fx(&self, d: usize, slot: usize) -> Option<NodeId> {
+        self.deck(d).and_then(|k| k.fx.get(slot).copied())
+    }
+
+    /// SP band filter `band` of deck `d`, when loaded.
+    pub fn sp(&self, d: usize, band: usize) -> Option<NodeId> {
+        self.deck(d).and_then(|k| k.sp.get(band).copied())
+    }
+}
+
 /// The effect kinds loaded into the four FX slots of every deck.
 pub const DECK_FX: [EffectKind; 4] = [
     EffectKind::EchoDelay,
@@ -63,12 +142,25 @@ pub const DECK_FX: [EffectKind; 4] = [
     EffectKind::Overdrive,
 ];
 
-/// Build the DJ Star graph for `scenario`.
+/// Build the paper's fixed-shape DJ Star graph for `scenario`.
 ///
 /// Inactive decks still contribute their nodes (the paper's graph always
 /// has 67 nodes; unused decks process silence), but their effects are
-/// disabled.
+/// disabled. Equivalent to [`build_shaped_graph`] with
+/// [`GraphShape::paper_default`].
 pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
+    build_shaped_graph(scenario, &GraphShape::paper_default())
+}
+
+/// Build the DJ Star graph for `scenario` with an explicit `shape`:
+/// unloaded decks contribute no nodes at all, and each loaded deck's FX
+/// chain holds `shape.fx_slots[d]` slots (slot `s` loads
+/// `DECK_FX[s % 4]`, enabled per the scenario's `fx_enabled[s % 4]`).
+///
+/// Node names are stable across shapes — `SPA1`, `FXB5`, `ChannelC`, … —
+/// which is what lets the executors' generation swap carry processor
+/// state over by name when the shape changes.
+pub fn build_shaped_graph(scenario: &Scenario, shape: &GraphShape) -> (TaskGraph, NodeMap) {
     let mut b = TaskGraphBuilder::new();
     let profile = scenario.work;
     let sr = djstar_dsp::SAMPLE_RATE;
@@ -79,45 +171,50 @@ pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
     };
     let deck_letter = |d: usize| ["A", "B", "C", "D"][d];
 
-    let mut sp = [[NodeId(0); 4]; 4];
-    let mut fx = [[NodeId(0); 4]; 4];
-    let mut channel = [NodeId(0); 4];
+    let mut decks: [Option<DeckNodes>; 4] = [None, None, None, None];
 
+    #[allow(clippy::needless_range_loop)] // `d` indexes shape, scenario and decks alike
     for d in 0..4 {
+        if !shape.deck_loaded[d] {
+            continue;
+        }
+        let slots = shape.fx_slots[d].clamp(1, GraphShape::MAX_FX_SLOTS);
         let section = Section::deck(d);
         let cfg = &scenario.decks[d];
         // Sample-preprocess filterbank (sources).
+        let mut sp = [NodeId(0); 4];
         #[allow(clippy::needless_range_loop)] // `band` names the SP slot
         for band in 0..4 {
-            sp[d][band] = b.add(
+            sp[band] = b.add(
                 format!("SP{}{}", deck_letter(d), band + 1),
                 section,
                 Box::new(SpFilterNode::new(d, band, profile, next_seed())),
                 &[],
             );
         }
-        // Effect chain: FX1 sums the four bands, then FX2..FX4 in series.
-        // The deck's fx_weight scales the chain's compute (the paper's
-        // chains are visibly imbalanced, Fig. 11).
+        // Effect chain: the first slot sums the four bands, the rest run
+        // in series. The deck's fx_weight scales the chain's compute (the
+        // paper's chains are visibly imbalanced, Fig. 11).
         let mut deck_profile = profile;
         deck_profile.fx_iters = ((profile.fx_iters as f32 * cfg.fx_weight).round() as u32).max(1);
-        for slot in 0..4 {
+        let mut fx: Vec<NodeId> = Vec::with_capacity(slots);
+        for slot in 0..slots {
             let preds: Vec<NodeId> = if slot == 0 {
-                sp[d].to_vec()
+                sp.to_vec()
             } else {
-                vec![fx[d][slot - 1]]
+                vec![fx[slot - 1]]
             };
-            let effect = DECK_FX[slot].build(sr);
-            let enabled = cfg.active && cfg.fx_enabled[slot];
-            fx[d][slot] = b.add(
+            let effect = DECK_FX[slot % 4].build(sr);
+            let enabled = cfg.active && cfg.fx_enabled[slot % 4];
+            fx.push(b.add(
                 format!("FX{}{}", deck_letter(d), slot + 1),
                 section,
                 Box::new(EffectNode::new(effect, enabled, deck_profile, next_seed())),
                 &preds,
-            );
+            ));
         }
         // Channel strip.
-        channel[d] = b.add(
+        let channel = b.add(
             format!("Channel{}", deck_letter(d)),
             section,
             Box::new(ChannelNode::new(
@@ -127,7 +224,7 @@ pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
                 profile,
                 next_seed(),
             )),
-            &[fx[d][3]],
+            &[*fx.last().expect("at least one FX slot")],
         );
         // Independent bookkeeping sources.
         b.add(
@@ -154,7 +251,27 @@ pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
             Box::new(KeyDetectNode::new(d, profile, next_seed())),
             &[],
         );
+        decks[d] = Some(DeckNodes { sp, fx, channel });
     }
+
+    // Channel inputs the master section consumes, in deck order. The
+    // crossfader side of each comes with it so the mixer's layout tracks
+    // the shape.
+    const DECK_SIDES: [f32; 4] = [-1.0, 1.0, 0.0, 0.0];
+    let wired: Vec<(usize, NodeId)> = decks
+        .iter()
+        .enumerate()
+        .filter_map(|(d, k)| k.as_ref().map(|k| (d, k.channel)))
+        .collect();
+    let mixer_sides: Vec<f32> = wired.iter().map(|&(d, _)| DECK_SIDES[d]).collect();
+    // Cue defaults to deck B, matching the paper-shape mask.
+    let cue_mask: Vec<bool> = wired.iter().map(|&(d, _)| d == 1).collect();
+    let channel_ids: Vec<NodeId> = wired.iter().map(|&(_, id)| id).collect();
+    // The mixer and cue bus are wired per shape (one input slot per loaded
+    // deck), so their names carry the wiring: the generation swap's
+    // name-keyed carry-over then never drags a stale input layout into a
+    // reshaped graph — a changed wiring gets a fresh (stateless) node.
+    let wiring: String = wired.iter().map(|&(d, _)| deck_letter(d)).collect();
 
     // Master section.
     let clock = b.add(
@@ -169,11 +286,12 @@ pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
         Box::new(SamplerNode::new(profile, next_seed())),
         &[clock],
     );
+    let mixer_preds: Vec<NodeId> = channel_ids.iter().copied().chain([sampler]).collect();
     let mixer = b.add(
-        "Mixer",
+        format!("Mixer[{wiring}]"),
         Section::Master,
-        Box::new(MixerNode::new(profile, next_seed())),
-        &[channel[0], channel[1], channel[2], channel[3], sampler],
+        Box::new(MixerNode::with_sides(mixer_sides, profile, next_seed())),
+        &mixer_preds,
     );
     let master_buffer = b.add(
         "MasterBuffer",
@@ -194,14 +312,10 @@ pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
         &[master_buffer],
     );
     let cue = b.add(
-        "CueBuffer",
+        format!("CueBuffer[{wiring}]"),
         Section::Master,
-        Box::new(CueBufferNode::new(
-            [false, true, false, false],
-            profile,
-            next_seed(),
-        )),
-        &[channel[0], channel[1], channel[2], channel[3]],
+        Box::new(CueBufferNode::new(cue_mask, profile, next_seed())),
+        &channel_ids,
     );
     let monitor = b.add(
         "MonitorBuffer",
@@ -256,9 +370,7 @@ pub fn build_djstar_graph(scenario: &Scenario) -> (TaskGraph, NodeMap) {
     (
         graph,
         NodeMap {
-            sp,
-            fx,
-            channel,
+            decks,
             mixer,
             master_buffer,
             audio_out,
@@ -312,12 +424,81 @@ mod tests {
     fn node_map_names_line_up() {
         let (g, map) = build_djstar_graph(&Scenario::light_test());
         let t = g.topology();
-        assert_eq!(t.name(map.mixer), "Mixer");
+        assert_eq!(t.name(map.mixer), "Mixer[ABCD]");
         assert_eq!(t.name(map.audio_out), "AudioOut1");
-        assert_eq!(t.name(map.sp[2][0]), "SPC1");
-        assert_eq!(t.name(map.fx[1][3]), "FXB4");
-        assert_eq!(t.name(map.channel[3]), "ChannelD");
+        assert_eq!(t.name(map.sp(2, 0).unwrap()), "SPC1");
+        assert_eq!(t.name(map.fx(1, 3).unwrap()), "FXB4");
+        assert_eq!(t.name(map.channel(3).unwrap()), "ChannelD");
         assert_eq!(t.name(map.stats), "StatsCollector");
+    }
+
+    #[test]
+    fn shaped_graph_drops_unloaded_decks() {
+        let mut shape = GraphShape::paper_default();
+        shape.deck_loaded[2] = false;
+        shape.deck_loaded[3] = false;
+        let (g, map) = build_shaped_graph(&Scenario::light_test(), &shape);
+        assert_eq!(g.len(), shape.node_count());
+        assert_eq!(g.len(), 67 - 2 * 13);
+        assert!(map.deck(0).is_some() && map.deck(1).is_some());
+        assert!(map.deck(2).is_none() && map.deck(3).is_none());
+        let t = g.topology();
+        // The mixer consumes the two wired channels plus the sampler.
+        assert_eq!(t.preds(map.mixer).len(), 3);
+        assert_eq!(t.preds(map.cue).len(), 2);
+        assert!(t.is_valid_execution_order(t.queue()));
+    }
+
+    #[test]
+    fn shaped_graph_extends_fx_chains() {
+        let mut shape = GraphShape::paper_default();
+        shape.fx_slots[0] = 7;
+        shape.fx_slots[1] = 1;
+        let (g, map) = build_shaped_graph(&Scenario::light_test(), &shape);
+        assert_eq!(g.len(), shape.node_count());
+        assert_eq!(g.len(), 67 + 3 - 3);
+        let t = g.topology();
+        assert_eq!(t.name(map.fx(0, 6).unwrap()), "FXA7");
+        assert_eq!(map.deck(1).unwrap().fx.len(), 1);
+        // The longer chain stretches the critical path: SP + 7 FX +
+        // Channel + Mixer + MasterBuffer + AudioOut + Stats = 13.
+        assert_eq!(t.critical_path_len(), 13);
+        // Channel hangs off the last slot of the chain.
+        assert_eq!(
+            t.preds(map.channel(0).unwrap()),
+            &[map.fx(0, 6).unwrap().0][..]
+        );
+        assert_eq!(
+            t.preds(map.channel(1).unwrap()),
+            &[map.fx(1, 0).unwrap().0][..]
+        );
+    }
+
+    #[test]
+    fn shaped_graph_with_no_decks_still_has_a_master_section() {
+        let shape = GraphShape {
+            deck_loaded: [false; 4],
+            fx_slots: [4; 4],
+        };
+        let (g, map) = build_shaped_graph(&Scenario::light_test(), &shape);
+        assert_eq!(g.len(), 15);
+        let t = g.topology();
+        assert_eq!(t.preds(map.mixer), &[map.sampler.0][..]);
+        assert!(t.preds(map.cue).is_empty());
+        assert!(t.is_valid_execution_order(t.queue()));
+    }
+
+    #[test]
+    fn default_shape_matches_fixed_builder() {
+        let scenario = Scenario::light_test();
+        let (a, _) = build_djstar_graph(&scenario);
+        let (b, _) = build_shaped_graph(&scenario, &GraphShape::paper_default());
+        let (ta, tb) = (a.topology(), b.topology());
+        assert_eq!(ta.len(), tb.len());
+        for n in 0..ta.len() as u32 {
+            assert_eq!(ta.name(NodeId(n)), tb.name(NodeId(n)));
+            assert_eq!(ta.preds(NodeId(n)), tb.preds(NodeId(n)));
+        }
     }
 
     #[test]

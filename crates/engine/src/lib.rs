@@ -22,10 +22,14 @@ pub mod events;
 pub mod graphbuild;
 pub mod nodes;
 pub mod profiling;
+pub mod reconfig;
 pub mod soundcard;
 pub mod sync;
 pub mod timecode;
 
 pub use apc::{ApcTiming, AudioEngine, AuxWork};
-pub use graphbuild::{build_djstar_graph, NodeMap};
+pub use graphbuild::{build_djstar_graph, build_shaped_graph, GraphShape, NodeMap};
+pub use reconfig::{
+    apply_edit, stage_topology, EditError, GraphEdit, ReconfigError, StagedTopology,
+};
 pub use soundcard::SoundCardSim;

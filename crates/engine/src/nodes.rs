@@ -277,8 +277,10 @@ impl Processor for ChannelNode {
 
 /// The mixer: crossfades channels A/B, adds C/D and the sampler.
 pub struct MixerNode {
-    /// Crossfader side of each of the four channel inputs.
-    sides: [f32; 4],
+    /// Crossfader side of each channel input; inputs beyond this list are
+    /// sampler feeds. One entry per channel actually wired into the graph,
+    /// so a reshaped graph with unloaded decks just builds a shorter list.
+    sides: Vec<f32>,
     sampler_gain: f32,
     cost: CostModel,
 }
@@ -286,8 +288,13 @@ pub struct MixerNode {
 impl MixerNode {
     /// A mixer with channels A on side -1, B on side +1, C and D center.
     pub fn new(profile: WorkProfile, seed: u32) -> Self {
+        Self::with_sides(vec![-1.0, 1.0, 0.0, 0.0], profile, seed)
+    }
+
+    /// A mixer over an explicit channel/side layout (shaped graphs).
+    pub fn with_sides(sides: Vec<f32>, profile: WorkProfile, seed: u32) -> Self {
         MixerNode {
-            sides: [-1.0, 1.0, 0.0, 0.0],
+            sides,
             sampler_gain: 0.7,
             cost: CostModel::new(NodeClass::Mixer, profile, seed),
         }
@@ -299,10 +306,9 @@ impl Processor for MixerNode {
         let x = ctrl(ctx, controls::CROSSFADER, 0.5);
         output.clear();
         for (i, buf) in inputs.iter().enumerate() {
-            let gain = if i < 4 {
-                crossfader_gain(x, self.sides[i])
-            } else {
-                self.sampler_gain
+            let gain = match self.sides.get(i) {
+                Some(&side) => crossfader_gain(x, side),
+                None => self.sampler_gain,
             };
             output.mix_add(buf, gain);
         }
@@ -398,15 +404,17 @@ impl Processor for RecordBufferNode {
 
 /// Cue buffer: pre-crossfader mix of the cue-enabled channels.
 pub struct CueBufferNode {
-    cue_enabled: [bool; 4],
+    /// One enable flag per wired channel input (shaped graphs wire only
+    /// the loaded decks).
+    cue_enabled: Vec<bool>,
     cost: CostModel,
 }
 
 impl CueBufferNode {
     /// Cue mix over the given channel-enable mask.
-    pub fn new(cue_enabled: [bool; 4], profile: WorkProfile, seed: u32) -> Self {
+    pub fn new(cue_enabled: impl Into<Vec<bool>>, profile: WorkProfile, seed: u32) -> Self {
         CueBufferNode {
-            cue_enabled,
+            cue_enabled: cue_enabled.into(),
             cost: CostModel::new(NodeClass::MasterChain, profile, seed),
         }
     }

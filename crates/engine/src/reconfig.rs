@@ -1,0 +1,307 @@
+//! Live graph reconfiguration: shape edits, off-thread staging, and the
+//! glitch-free commit protocol.
+//!
+//! DJ Star's topology is not fixed at startup: the performer loads and
+//! ejects decks and inserts or removes effect slots mid-set. Rebuilding
+//! the executor for every such edit would tear down the worker pool and
+//! miss deadlines, so reconfiguration is split into two halves:
+//!
+//! 1. **Stage** ([`stage_topology`], or
+//!    [`AudioEngine::stage_edits`](crate::apc::AudioEngine::stage_edits)):
+//!    build the new [`GraphShape`]'s task graph, allocate its buffers and
+//!    (for the PLAN strategy) compile a schedule blueprint. This is the
+//!    expensive part and runs on any thread — the audio thread never
+//!    blocks on it.
+//! 2. **Commit** ([`AudioEngine::commit`](crate::apc::AudioEngine::commit)):
+//!    hand the staged generation to the running executor between two
+//!    cycles. The executor's `adopt_generation` is a pointer-sized swap
+//!    plus a name-keyed carry-over of processor state and output buffers,
+//!    so surviving nodes (a playing deck, a ringing delay line) keep
+//!    their state and the workers never restart.
+//!
+//! The only edit that cannot ride this path is
+//! [`GraphEdit::ResizeThreads`]: worker counts are baked into each
+//! executor's spawn-time state, so a resize rebuilds the executor (and
+//! resets graph-node state). `AudioEngine::reconfigure` documents and
+//! implements that split.
+
+use crate::graphbuild::{build_shaped_graph, GraphShape, NodeMap};
+use djstar_core::exec::{StagedGeneration, Strategy, SwapError};
+use djstar_workload::scenario::Scenario;
+use std::fmt;
+
+/// One live edit to the running graph topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphEdit {
+    /// Load deck `d`: its 13-node section joins the graph.
+    LoadDeck(usize),
+    /// Eject deck `d`: its section leaves the graph.
+    UnloadDeck(usize),
+    /// Append an FX slot to deck `d`'s chain.
+    InsertFxSlot(usize),
+    /// Remove the last FX slot of deck `d`'s chain.
+    RemoveFxSlot(usize),
+    /// Change the executor's worker count. Not a shape edit: this one
+    /// rebuilds the executor (documented teardown; see the module docs).
+    ResizeThreads(usize),
+}
+
+/// Why an edit cannot be applied to a shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditError {
+    /// Deck index outside `0..4`.
+    UnknownDeck(usize),
+    /// Loading a deck that is already loaded.
+    DeckAlreadyLoaded(usize),
+    /// Editing or unloading a deck that is not loaded.
+    DeckNotLoaded(usize),
+    /// The FX chain is already at [`GraphShape::MAX_FX_SLOTS`].
+    FxChainFull(usize),
+    /// The FX chain is already at its single-slot minimum (the first slot
+    /// sums the SP bands and cannot be removed).
+    FxChainAtMinimum(usize),
+    /// Worker count outside `1..=64`.
+    BadThreadCount(usize),
+    /// `ResizeThreads` is valid but is not a shape edit — it needs the
+    /// executor-rebuild path (`AudioEngine::reconfigure`).
+    ResizeNeedsRebuild(usize),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownDeck(d) => write!(f, "unknown deck {d}"),
+            EditError::DeckAlreadyLoaded(d) => write!(f, "deck {d} is already loaded"),
+            EditError::DeckNotLoaded(d) => write!(f, "deck {d} is not loaded"),
+            EditError::FxChainFull(d) => write!(
+                f,
+                "deck {d}'s FX chain is full ({} slots)",
+                GraphShape::MAX_FX_SLOTS
+            ),
+            EditError::FxChainAtMinimum(d) => {
+                write!(f, "deck {d}'s FX chain is at its 1-slot minimum")
+            }
+            EditError::BadThreadCount(n) => write!(f, "worker count {n} outside 1..=64"),
+            EditError::ResizeNeedsRebuild(n) => {
+                write!(f, "resize to {n} workers requires an executor rebuild")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Why a reconfiguration failed. On error the running generation, shape
+/// and node map are untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// An edit did not apply to the current shape.
+    Edit(EditError),
+    /// The executor refused the staged generation.
+    Swap(SwapError),
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigError::Edit(e) => write!(f, "edit rejected: {e}"),
+            ReconfigError::Swap(e) => write!(f, "swap rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+impl From<EditError> for ReconfigError {
+    fn from(e: EditError) -> Self {
+        ReconfigError::Edit(e)
+    }
+}
+
+impl From<SwapError> for ReconfigError {
+    fn from(e: SwapError) -> Self {
+        ReconfigError::Swap(e)
+    }
+}
+
+/// Apply one topology edit to `shape`. [`GraphEdit::ResizeThreads`] is
+/// rejected with [`EditError::ResizeNeedsRebuild`] (after validating the
+/// count) — it is not expressible as a shape change.
+pub fn apply_edit(shape: &mut GraphShape, edit: GraphEdit) -> Result<(), EditError> {
+    let deck_ok = |d: usize| {
+        if d < 4 {
+            Ok(d)
+        } else {
+            Err(EditError::UnknownDeck(d))
+        }
+    };
+    match edit {
+        GraphEdit::LoadDeck(d) => {
+            let d = deck_ok(d)?;
+            if shape.deck_loaded[d] {
+                return Err(EditError::DeckAlreadyLoaded(d));
+            }
+            shape.deck_loaded[d] = true;
+        }
+        GraphEdit::UnloadDeck(d) => {
+            let d = deck_ok(d)?;
+            if !shape.deck_loaded[d] {
+                return Err(EditError::DeckNotLoaded(d));
+            }
+            shape.deck_loaded[d] = false;
+        }
+        GraphEdit::InsertFxSlot(d) => {
+            let d = deck_ok(d)?;
+            if !shape.deck_loaded[d] {
+                return Err(EditError::DeckNotLoaded(d));
+            }
+            if shape.fx_slots[d] >= GraphShape::MAX_FX_SLOTS {
+                return Err(EditError::FxChainFull(d));
+            }
+            shape.fx_slots[d] += 1;
+        }
+        GraphEdit::RemoveFxSlot(d) => {
+            let d = deck_ok(d)?;
+            if !shape.deck_loaded[d] {
+                return Err(EditError::DeckNotLoaded(d));
+            }
+            if shape.fx_slots[d] <= 1 {
+                return Err(EditError::FxChainAtMinimum(d));
+            }
+            shape.fx_slots[d] -= 1;
+        }
+        GraphEdit::ResizeThreads(n) => {
+            if !(1..=64).contains(&n) {
+                return Err(EditError::BadThreadCount(n));
+            }
+            return Err(EditError::ResizeNeedsRebuild(n));
+        }
+    }
+    Ok(())
+}
+
+/// A fully prepared topology generation: the staged core graph plus the
+/// engine-level landmarks that must swap with it. Built off the audio
+/// thread; committed by
+/// [`AudioEngine::commit`](crate::apc::AudioEngine::commit).
+pub struct StagedTopology {
+    pub(crate) shape: GraphShape,
+    pub(crate) map: NodeMap,
+    pub(crate) staged: StagedGeneration,
+}
+
+impl StagedTopology {
+    /// The shape this generation was built for.
+    pub fn shape(&self) -> &GraphShape {
+        &self.shape
+    }
+
+    /// Node count of the staged graph.
+    pub fn node_count(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether a PLAN blueprint was staged alongside the graph.
+    pub fn has_plan(&self) -> bool {
+        self.staged.has_plan()
+    }
+}
+
+/// Build a complete generation for `shape`: the shaped task graph, its
+/// buffers, and — when `strategy` is PLAN — a schedule blueprint compiled
+/// for `threads` workers (uniform node durations; callers with measured
+/// durations can stage their own blueprint via the core API). This is the
+/// expensive half of a reconfiguration and runs on any thread.
+pub fn stage_topology(
+    scenario: &Scenario,
+    shape: &GraphShape,
+    strategy: Strategy,
+    threads: usize,
+    frames: usize,
+) -> StagedTopology {
+    let (graph, map) = build_shaped_graph(scenario, shape);
+    let staged = if strategy == Strategy::Planned {
+        let topo = graph.topology();
+        let sim = djstar_sim::SimGraph::from_topology(topo);
+        let durations = djstar_sim::DurationModel::Constant(vec![1; topo.len()]);
+        let schedule = djstar_sim::list_schedule(&sim, &durations, 0, threads as u32);
+        let bp = djstar_sim::compile_blueprint(&sim, &schedule)
+            .expect("a list schedule always compiles to a valid blueprint");
+        StagedGeneration::with_plan(graph, frames, bp)
+    } else {
+        StagedGeneration::new(graph, frames)
+    };
+    StagedTopology {
+        shape: *shape,
+        map,
+        staged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_topology_is_send() {
+        // Staging must be movable across threads: the whole point is to
+        // build generations off the audio thread.
+        fn assert_send<T: Send>() {}
+        assert_send::<StagedTopology>();
+    }
+
+    #[test]
+    fn edits_apply_and_validate() {
+        let mut shape = GraphShape::paper_default();
+        apply_edit(&mut shape, GraphEdit::UnloadDeck(3)).unwrap();
+        assert!(!shape.deck_loaded[3]);
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::UnloadDeck(3)),
+            Err(EditError::DeckNotLoaded(3))
+        );
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::InsertFxSlot(3)),
+            Err(EditError::DeckNotLoaded(3))
+        );
+        apply_edit(&mut shape, GraphEdit::LoadDeck(3)).unwrap();
+        assert!(shape.deck_loaded[3]);
+        for _ in 4..GraphShape::MAX_FX_SLOTS {
+            apply_edit(&mut shape, GraphEdit::InsertFxSlot(0)).unwrap();
+        }
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::InsertFxSlot(0)),
+            Err(EditError::FxChainFull(0))
+        );
+        for _ in 1..GraphShape::MAX_FX_SLOTS {
+            apply_edit(&mut shape, GraphEdit::RemoveFxSlot(0)).unwrap();
+        }
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::RemoveFxSlot(0)),
+            Err(EditError::FxChainAtMinimum(0))
+        );
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::LoadDeck(7)),
+            Err(EditError::UnknownDeck(7))
+        );
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::ResizeThreads(0)),
+            Err(EditError::BadThreadCount(0))
+        );
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::ResizeThreads(4)),
+            Err(EditError::ResizeNeedsRebuild(4))
+        );
+    }
+
+    #[test]
+    fn stage_compiles_a_plan_only_for_planned() {
+        use djstar_workload::scenario::Scenario;
+        let scenario = Scenario::light_test();
+        let shape = GraphShape::paper_default();
+        let busy = stage_topology(&scenario, &shape, Strategy::Busy, 3, 16);
+        assert!(!busy.has_plan());
+        assert_eq!(busy.node_count(), 67);
+        let plan = stage_topology(&scenario, &shape, Strategy::Planned, 3, 16);
+        assert!(plan.has_plan());
+    }
+}

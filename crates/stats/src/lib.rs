@@ -20,6 +20,7 @@ pub mod histogram;
 pub mod json;
 pub mod online;
 pub mod plan;
+pub mod reconfig;
 pub mod render;
 pub mod report;
 pub mod speedup;
@@ -31,6 +32,7 @@ pub use histogram::{CumulativeView, Histogram};
 pub use json::Json;
 pub use online::OnlineStats;
 pub use plan::{scan_baseline_p50, PlanReport};
+pub use reconfig::{ReconfigReport, StrategyReconfig};
 pub use report::CsvReport;
 pub use speedup::SpeedupTable;
 pub use summary::Summary;

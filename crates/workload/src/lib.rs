@@ -13,8 +13,10 @@
 
 pub mod profile;
 pub mod scenario;
+pub mod switches;
 pub mod track;
 
 pub use profile::WorkProfile;
 pub use scenario::{DeckConfig, Scenario};
+pub use switches::{toggle_storm, SwitchAction, SwitchEvent, SwitchScript};
 pub use track::{synth_track, Track, TrackStyle};

@@ -1,0 +1,181 @@
+//! Deterministic topology-switch scripts: the workload half of the live
+//! reconfiguration experiment (E13).
+//!
+//! A script is a list of cycle-stamped topology actions — deck loads and
+//! ejects, FX-slot inserts and removals — that a bench harness replays
+//! against a running engine. The generator tracks the shape it has
+//! produced so far, so every emitted action is valid when applied in
+//! order; and it never touches decks A/B, which keep playing throughout
+//! (a DJ's working decks are never the ones being swapped).
+
+use djstar_dsp::rng::SmallRng;
+
+/// One topology action, engine-agnostic (the bench harness maps these to
+/// the engine's `GraphEdit`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchAction {
+    /// Load deck `d`.
+    LoadDeck(usize),
+    /// Eject deck `d`.
+    UnloadDeck(usize),
+    /// Append an FX slot to deck `d`'s chain.
+    InsertFxSlot(usize),
+    /// Remove the last FX slot of deck `d`'s chain.
+    RemoveFxSlot(usize),
+}
+
+/// A topology action scheduled at an engine cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchEvent {
+    /// Cycle (0-based) immediately before which the switch is applied.
+    pub at_cycle: usize,
+    /// What to change.
+    pub action: SwitchAction,
+}
+
+/// A replayable topology-switch script, sorted by cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchScript {
+    events: Vec<SwitchEvent>,
+}
+
+impl SwitchScript {
+    /// The scheduled switches, in cycle order.
+    pub fn events(&self) -> &[SwitchEvent] {
+        &self.events
+    }
+
+    /// Number of switches in the script.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the script schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Cycle of the last switch (0 when empty).
+    pub fn last_cycle(&self) -> usize {
+        self.events.last().map(|e| e.at_cycle).unwrap_or(0)
+    }
+}
+
+/// Bounds the generator keeps FX chains inside (matching the engine's
+/// 1..=8 slot range without depending on it).
+const MIN_FX: usize = 1;
+const MAX_FX: usize = 8;
+
+/// Generate a toggle storm: `switches` valid topology actions, one every
+/// `period_cycles` cycles starting at `period_cycles`, produced by a
+/// seeded RNG so every run of a given `(switches, period_cycles, seed)`
+/// triple replays the identical script.
+///
+/// Decks A and B (0, 1) are never loaded or ejected — they are the
+/// playing decks; the storm churns decks C/D and FX chains on all four
+/// decks. Actions are validated against the shape the script itself has
+/// built up (starting from the paper default: all decks loaded, four FX
+/// slots each), so replaying them in order never produces an invalid
+/// edit.
+pub fn toggle_storm(switches: usize, period_cycles: usize, seed: u64) -> SwitchScript {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let period = period_cycles.max(1);
+    let mut loaded = [true; 4];
+    let mut fx = [4usize; 4];
+    let mut events = Vec::with_capacity(switches);
+    for i in 0..switches {
+        let at_cycle = (i + 1) * period;
+        // Candidate actions valid in the current script-tracked shape.
+        let mut candidates: Vec<SwitchAction> = Vec::with_capacity(12);
+        for (d, &is_loaded) in loaded.iter().enumerate().skip(2) {
+            candidates.push(if is_loaded {
+                SwitchAction::UnloadDeck(d)
+            } else {
+                SwitchAction::LoadDeck(d)
+            });
+        }
+        for d in 0..4 {
+            if !loaded[d] {
+                continue;
+            }
+            if fx[d] < MAX_FX {
+                candidates.push(SwitchAction::InsertFxSlot(d));
+            }
+            if fx[d] > MIN_FX {
+                candidates.push(SwitchAction::RemoveFxSlot(d));
+            }
+        }
+        let action = candidates[rng.below(candidates.len())];
+        match action {
+            SwitchAction::LoadDeck(d) => loaded[d] = true,
+            SwitchAction::UnloadDeck(d) => loaded[d] = false,
+            SwitchAction::InsertFxSlot(d) => fx[d] += 1,
+            SwitchAction::RemoveFxSlot(d) => fx[d] -= 1,
+        }
+        events.push(SwitchEvent { at_cycle, action });
+    }
+    SwitchScript { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_is_deterministic() {
+        assert_eq!(toggle_storm(100, 10, 7), toggle_storm(100, 10, 7));
+        assert_ne!(
+            toggle_storm(100, 10, 7).events(),
+            toggle_storm(100, 10, 8).events()
+        );
+    }
+
+    #[test]
+    fn storm_actions_are_always_valid_in_order() {
+        let script = toggle_storm(500, 5, 42);
+        assert_eq!(script.len(), 500);
+        let mut loaded = [true; 4];
+        let mut fx = [4usize; 4];
+        let mut last_cycle = 0;
+        for e in script.events() {
+            assert!(e.at_cycle > last_cycle, "switches must be spaced out");
+            last_cycle = e.at_cycle;
+            match e.action {
+                SwitchAction::LoadDeck(d) => {
+                    assert!(d >= 2, "storm must not touch playing decks");
+                    assert!(!loaded[d]);
+                    loaded[d] = true;
+                }
+                SwitchAction::UnloadDeck(d) => {
+                    assert!(d >= 2, "storm must not touch playing decks");
+                    assert!(loaded[d]);
+                    loaded[d] = false;
+                }
+                SwitchAction::InsertFxSlot(d) => {
+                    assert!(loaded[d] && fx[d] < MAX_FX);
+                    fx[d] += 1;
+                }
+                SwitchAction::RemoveFxSlot(d) => {
+                    assert!(loaded[d] && fx[d] > MIN_FX);
+                    fx[d] -= 1;
+                }
+            }
+        }
+        assert_eq!(script.last_cycle(), 2500);
+    }
+
+    #[test]
+    fn storm_exercises_every_action_kind() {
+        let script = toggle_storm(200, 3, 1);
+        let mut kinds = [false; 4];
+        for e in script.events() {
+            match e.action {
+                SwitchAction::LoadDeck(_) => kinds[0] = true,
+                SwitchAction::UnloadDeck(_) => kinds[1] = true,
+                SwitchAction::InsertFxSlot(_) => kinds[2] = true,
+                SwitchAction::RemoveFxSlot(_) => kinds[3] = true,
+            }
+        }
+        assert_eq!(kinds, [true; 4], "a 200-switch storm must mix all kinds");
+    }
+}

@@ -2,22 +2,30 @@
 # Regenerate every table and figure of the paper (DESIGN.md §4).
 # Results land in results/<binary>.txt; telemetry-enabled runs additionally
 # leave results/telemetry_*.jsonl, telemetry_report writes the
-# aggregated BENCH_telemetry.json baseline at the repo root, and
-# fig4_plan_executor writes the BENCH_plan.json comparison. Takes a few
+# aggregated BENCH_telemetry.json baseline at the repo root,
+# fig4_plan_executor writes the BENCH_plan.json comparison, and
+# fig_reconfig writes BENCH_reconfig.json (E13). Takes a few
 # minutes at full scale; override DJSTAR_CYCLES / DJSTAR_MEASURE_CYCLES /
-# DJSTAR_TELEMETRY_CYCLES to trade fidelity for time.
+# DJSTAR_TELEMETRY_CYCLES / DJSTAR_RECONFIG_CYCLES to trade fidelity for
+# time.
 #
 # Usage: ./run_experiments.sh [--check]
 #   --check   run the lint/test gate (scripts/check.sh) first
-set -e
+set -eu
 if [ "${1:-}" = "--check" ]; then
   sh scripts/check.sh
 fi
 cargo build --release -p djstar-bench --bins
+mkdir -p results
 for bin in hotspot_analysis fig4_optimal_schedule fig4_plan_executor \
            table1_response_times fig9_histograms fig11_schedules \
            fig12_busy_sim deadline_misses thread_scaling ablations \
-           telemetry_report; do
+           telemetry_report fig_reconfig; do
+  if [ ! -x "./target/release/$bin" ]; then
+    echo "error: bench binary '$bin' not found or not executable at" \
+         "./target/release/$bin — did the release build fail?" >&2
+    exit 1
+  fi
   echo "=== $bin ==="
-  ./target/release/$bin | tee results/$bin.txt
+  ./target/release/$bin | tee "results/$bin.txt"
 done

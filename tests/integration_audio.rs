@@ -120,7 +120,7 @@ fn sp_filterbank_reconstructs_deck_signal() {
     engine.warmup(60);
     // Compare deck A's external input RMS with channel A's output RMS over
     // a stretch of cycles.
-    let channel = engine.node_map().channel[0];
+    let channel = engine.node_map().channel(0).unwrap();
     let mut in_rms = 0.0f64;
     let mut out_rms = 0.0f64;
     let mut ch_buf = AudioBuf::stereo_default();
@@ -131,7 +131,7 @@ fn sp_filterbank_reconstructs_deck_signal() {
         // The deck input isn't directly exposed; use SP band sum ≈ input.
         let mut sum = AudioBuf::stereo_default();
         let mut band = AudioBuf::stereo_default();
-        let sp_nodes = engine.node_map().sp[0];
+        let sp_nodes = engine.node_map().deck(0).unwrap().sp;
         for node in sp_nodes {
             engine.executor_mut().read_output(node, &mut band);
             sum.mix_add(&band, 1.0);

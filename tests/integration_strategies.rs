@@ -158,9 +158,10 @@ fn node_processor_access_allows_live_retuning() {
         ex.run_cycle(&audio, &controls);
     }
     let mut before = AudioBuf::stereo_default();
-    ex.read_output(map.channel[0], &mut before);
+    let channel_a = map.channel(0).unwrap();
+    ex.read_output(channel_a, &mut before);
     // Kill channel A's filter via the processor handle.
-    let proc = ex.node_processor(map.channel[0]);
+    let proc = ex.node_processor(channel_a);
     // Downcast is not exposed; instead verify the handle is usable by
     // processing a buffer through it manually.
     let mut scratch = AudioBuf::stereo_default();
