@@ -20,6 +20,7 @@
 use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
 };
+use crate::faults::FaultPlan;
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -102,8 +103,12 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let telem = shared.telemetry.load(Ordering::Relaxed);
     let counters = &shared.counters[me];
     let topo = shared.graph().topology();
+    let faults = shared.fault_plan();
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
     let ctx = unsafe { shared.ctx(epoch) };
+    if let Some(plan) = faults {
+        plan.inject_stalls(epoch, me, shared.threads, counters);
+    }
     let mut events: Vec<RawEvent> = Vec::new();
     for (k, &node) in shared.order().iter().enumerate() {
         if k % shared.threads != me {
@@ -131,6 +136,9 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                 }
             }
             let t0 = Instant::now();
+            if let Some(plan) = faults {
+                plan.inject_node(epoch, node, counters);
+            }
             // SAFETY: exactly-once ownership by round-robin assignment; all
             // predecessors observed done for this epoch.
             unsafe { shared.graph().execute(node as usize, &ctx) };
@@ -149,6 +157,9 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
         } else {
             for &p in preds {
                 shared.graph().spin_until_done(p as usize, epoch);
+            }
+            if let Some(plan) = faults {
+                plan.inject_node(epoch, node, counters);
             }
             // SAFETY: as above.
             unsafe { shared.graph().execute(node as usize, &ctx) };
@@ -220,6 +231,12 @@ impl GraphExecutor for BusyExecutor {
             self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
         }
         taken
+    }
+
+    fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        // SAFETY: driver-only between cycles (`&mut self`); published to
+        // workers by the next epoch Release store.
+        unsafe { self.shared.faults.set(plan) };
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

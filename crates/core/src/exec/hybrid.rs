@@ -17,6 +17,7 @@
 use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
 };
+use crate::faults::FaultPlan;
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -152,10 +153,14 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
     let telem = sh.base.telemetry.load(Ordering::Relaxed);
     let counters = &sh.base.counters[me];
     let topo = sh.base.graph().topology();
+    let faults = sh.base.fault_plan();
     // SAFETY: epoch acquired.
     let ctx = unsafe { sh.base.ctx(epoch) };
     // SAFETY: handles written before the epoch was published.
     let handles = unsafe { sh.base.handles.get() };
+    if let Some(plan) = faults {
+        plan.inject_stalls(epoch, me, sh.base.threads, counters);
+    }
     let mut events: Vec<RawEvent> = Vec::new();
     for (k, &node) in sh.base.order().iter().enumerate() {
         if k % sh.base.threads != me {
@@ -201,6 +206,9 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
             }
         }
         let t0 = Instant::now();
+        if let Some(plan) = faults {
+            plan.inject_node(epoch, node, counters);
+        }
         // SAFETY: exactly-once by static assignment; pending==0 acquired.
         unsafe { sh.base.graph().execute(node as usize, &ctx) };
         if tracing || telem {
@@ -308,6 +316,12 @@ impl GraphExecutor for HybridExecutor {
             self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
         }
         taken
+    }
+
+    fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        // SAFETY: driver-only between cycles (`&mut self`); published to
+        // workers by the next epoch Release store.
+        unsafe { self.shared.base.faults.set(plan) };
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

@@ -55,6 +55,7 @@ pub use sequential::SequentialExecutor;
 pub use sleeping::SleepExecutor;
 pub use stealing::StealExecutor;
 
+use crate::faults::FaultPlan;
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::pad::CachePadded;
 use crate::processor::{CycleCtx, Processor};
@@ -245,6 +246,13 @@ pub trait GraphExecutor: Send {
     fn take_telemetry(&mut self) -> Option<TelemetryRing> {
         None
     }
+
+    /// Install (or clear, with `None`) a fault-injection plan. Driver-only
+    /// between cycles (`&mut self`); takes effect from the next
+    /// `run_cycle`. With no plan installed the node-execution path pays
+    /// one well-predicted branch on an already-loaded `Option` per node,
+    /// nothing more.
+    fn set_faults(&mut self, plan: Option<FaultPlan>);
 
     /// Adopt a staged topology generation at a cycle boundary (`&mut self`
     /// proves no cycle is in flight). Runtime state of nodes that exist in
@@ -615,6 +623,11 @@ pub(crate) struct Shared {
     /// Per-worker telemetry counters, recorded `Relaxed` on the hot path
     /// and drained by the driver between cycles.
     pub counters: Box<[CycleCounters]>,
+    /// The installed fault-injection plan, if any. Written only by the
+    /// driver between cycles ([`GraphExecutor::set_faults`] takes `&mut`),
+    /// read by workers after the epoch-acquire edge — the same contract as
+    /// `exec` and `external`.
+    pub faults: DriverCell<Option<FaultPlan>>,
     /// External inputs for the current cycle.
     pub external: DriverCell<ExternalInputs>,
     /// Instant of the current cycle's start (for trace offsets).
@@ -649,6 +662,7 @@ impl Shared {
             tracing: AtomicBool::new(false),
             telemetry: AtomicBool::new(false),
             counters: (0..threads).map(|_| CycleCounters::new()).collect(),
+            faults: DriverCell::new(None),
             external: DriverCell::new(ExternalInputs::default()),
             cycle_start: DriverCell::new(Instant::now()),
             handles: DriverCell::new(Vec::new()),
@@ -686,6 +700,18 @@ impl Shared {
         // Publication rides the next epoch Release store; the counter is
         // driver-read bookkeeping only.
         self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The installed fault plan, if any.
+    ///
+    /// Same access contexts as [`Shared::graph`]: the driver between
+    /// cycles, or a worker holding the epoch-acquire edge of the cycle the
+    /// plan was published for.
+    #[inline]
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        // SAFETY: writes are driver-only between cycles (`set_faults`
+        // takes `&mut self`), published by the next epoch Release store.
+        unsafe { self.faults.get() }.as_ref()
     }
 
     /// The topological order selected by this executor's priority.

@@ -29,6 +29,7 @@ use super::{
     CycleResult, DriverCell, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration,
     Strategy, SwapError,
 };
+use crate::faults::FaultPlan;
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -403,8 +404,12 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
     let tracing = sh.base.tracing.load(Ordering::Relaxed);
     let telem = sh.base.telemetry.load(Ordering::Relaxed);
     let counters = &sh.base.counters[me];
+    let faults = sh.base.fault_plan();
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
     let ctx = unsafe { sh.base.ctx(epoch) };
+    if let Some(plan) = faults {
+        plan.inject_stalls(epoch, me, sh.base.threads, counters);
+    }
     let mut events: Vec<RawEvent> = Vec::new();
     for entry in sh.plan().worker(me) {
         let node = entry.node;
@@ -429,6 +434,9 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
                 }
             }
             let t0 = Instant::now();
+            if let Some(plan) = faults {
+                plan.inject_node(epoch, node, counters);
+            }
             // SAFETY: exactly-once ownership by blueprint validation; all
             // predecessors observed done for this epoch (same-worker preds
             // by program order, cross-worker preds by the waits above).
@@ -448,6 +456,9 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
         } else {
             for &p in entry.waits() {
                 sh.base.graph().spin_until_done(p as usize, epoch);
+            }
+            if let Some(plan) = faults {
+                plan.inject_node(epoch, node, counters);
             }
             // SAFETY: as above.
             unsafe { sh.base.graph().execute(node as usize, &ctx) };
@@ -520,6 +531,12 @@ impl GraphExecutor for PlannedExecutor {
             self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
         }
         taken
+    }
+
+    fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        // SAFETY: driver-only between cycles (`&mut self`); published to
+        // workers by the next epoch Release store.
+        unsafe { self.shared.base.faults.set(plan) };
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

@@ -8,6 +8,7 @@
 use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, StagedGeneration, Strategy, SwapError,
 };
+use crate::faults::FaultPlan;
 use crate::graph::{GraphTopology, NodeId, TaskGraph};
 use crate::processor::{CycleCtx, Processor};
 use crate::telemetry::{CycleCounters, TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -24,6 +25,7 @@ pub struct SequentialExecutor {
     last_trace: Option<ScheduleTrace>,
     counters: CycleCounters,
     telemetry: Option<TelemetryRing>,
+    faults: Option<FaultPlan>,
 }
 
 impl SequentialExecutor {
@@ -37,6 +39,7 @@ impl SequentialExecutor {
             last_trace: None,
             counters: CycleCounters::new(),
             telemetry: None,
+            faults: None,
         }
     }
 }
@@ -58,11 +61,19 @@ impl GraphExecutor for SequentialExecutor {
             controls,
         };
         let telem = self.telemetry.is_some();
+        let faults = self.faults.as_ref();
         let start = Instant::now();
+        // The single worker absorbs every stall lane.
+        if let Some(plan) = faults {
+            plan.inject_stalls(self.epoch, 0, 1, &self.counters);
+        }
         if self.tracing {
             let mut events = Vec::with_capacity(self.exec.len());
             for &n in self.exec.topology().queue() {
                 let t0 = Instant::now();
+                if let Some(plan) = faults {
+                    plan.inject_node(self.epoch, n, &self.counters);
+                }
                 // SAFETY: single thread executes every node in queue order,
                 // which is a valid topological order.
                 unsafe { self.exec.execute(n as usize, &ctx) };
@@ -81,12 +92,18 @@ impl GraphExecutor for SequentialExecutor {
         } else if telem {
             for &n in self.exec.topology().queue() {
                 let t0 = Instant::now();
+                if let Some(plan) = faults {
+                    plan.inject_node(self.epoch, n, &self.counters);
+                }
                 // SAFETY: as above.
                 unsafe { self.exec.execute(n as usize, &ctx) };
                 self.counters.add_exec(t0.elapsed().as_nanos() as u64);
             }
         } else {
             for &n in self.exec.topology().queue() {
+                if let Some(plan) = faults {
+                    plan.inject_node(self.epoch, n, &self.counters);
+                }
                 // SAFETY: as above.
                 unsafe { self.exec.execute(n as usize, &ctx) };
             }
@@ -123,6 +140,10 @@ impl GraphExecutor for SequentialExecutor {
             self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
         }
         taken
+    }
+
+    fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

@@ -22,6 +22,7 @@
 use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
 };
+use crate::faults::FaultPlan;
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -133,10 +134,14 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let telem = shared.telemetry.load(Ordering::Relaxed);
     let counters = &shared.counters[me];
     let topo = shared.graph().topology();
+    let faults = shared.fault_plan();
     // SAFETY: epoch acquired.
     let ctx = unsafe { shared.ctx(epoch) };
     // SAFETY: handles were written before the epoch was published.
     let handles = unsafe { shared.handles.get() };
+    if let Some(plan) = faults {
+        plan.inject_stalls(epoch, me, shared.threads, counters);
+    }
     let mut events: Vec<RawEvent> = Vec::new();
     for (k, &node) in shared.order().iter().enumerate() {
         if k % shared.threads != me {
@@ -159,6 +164,9 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                 }
             }
             let t0 = Instant::now();
+            if let Some(plan) = faults {
+                plan.inject_node(epoch, node, counters);
+            }
             // SAFETY: exactly-once ownership (static assignment); pending==0
             // observed with Acquire implies all predecessor outputs visible.
             unsafe { shared.graph().execute(node as usize, &ctx) };
@@ -176,6 +184,9 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             }
         } else {
             sleep_until_ready(shared, node as usize, me);
+            if let Some(plan) = faults {
+                plan.inject_node(epoch, node, counters);
+            }
             // SAFETY: as above.
             unsafe { shared.graph().execute(node as usize, &ctx) };
         }
@@ -271,6 +282,12 @@ impl GraphExecutor for SleepExecutor {
             self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
         }
         taken
+    }
+
+    fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        // SAFETY: driver-only between cycles (`&mut self`); published to
+        // workers by the next epoch Release store.
+        unsafe { self.shared.faults.set(plan) };
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

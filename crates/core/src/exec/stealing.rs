@@ -26,6 +26,7 @@ use super::{
     Strategy, SwapError,
 };
 use crate::deque::{Steal, WorkDeque};
+use crate::faults::FaultPlan;
 use crate::graph::{GraphTopology, NodeId, Priority, Section, TaskGraph};
 use crate::idle::IdleSet;
 use crate::processor::{CycleCtx, Processor};
@@ -178,8 +179,12 @@ unsafe fn run_node(
     events: &mut Vec<RawEvent>,
 ) {
     let counters = &ws.base.counters[me];
+    let faults = ws.base.fault_plan();
     if tracing || telem {
         let t0 = Instant::now();
+        if let Some(plan) = faults {
+            plan.inject_node(ctx.epoch, node, counters);
+        }
         ws.base.graph().execute(node as usize, ctx);
         let t1 = Instant::now();
         if tracing {
@@ -194,6 +199,9 @@ unsafe fn run_node(
             counters.add_exec((t1 - t0).as_nanos() as u64);
         }
     } else {
+        if let Some(plan) = faults {
+            plan.inject_node(ctx.epoch, node, counters);
+        }
         ws.base.graph().execute(node as usize, ctx);
     }
     let idle = ws.idle.get().expect("idle set initialized");
@@ -246,6 +254,9 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
     let ctx = unsafe { ws.base.ctx(epoch) };
     let idle = ws.idle.get().expect("idle set initialized");
     let total = ws.base.graph().len() as u32;
+    if let Some(plan) = ws.base.fault_plan() {
+        plan.inject_stalls(epoch, me, ws.base.threads, counters);
+    }
     let mut events: Vec<RawEvent> = Vec::new();
     loop {
         // 1. Local work, newest first (LIFO: §V-C cache-locality argument).
@@ -412,6 +423,12 @@ impl GraphExecutor for StealExecutor {
             self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
         }
         taken
+    }
+
+    fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        // SAFETY: driver-only between cycles (`&mut self`); published to
+        // workers by the next epoch Release store.
+        unsafe { self.shared.base.faults.set(plan) };
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

@@ -33,6 +33,10 @@
 //!   iterations, park/unpark traffic, steal hit rates, execution time)
 //!   drained between cycles into a fixed-capacity ring; the always-on
 //!   complement to full tracing.
+//! * [`faults`] — seeded, deterministic fault injection (node duration
+//!   spikes, worker stalls, CPU-pressure episodes) hooked into every
+//!   executor's node-execution path via [`exec::GraphExecutor::set_faults`];
+//!   zero-cost when no plan is installed.
 //!
 //! # Memory-safety argument
 //!
@@ -46,6 +50,7 @@
 
 pub mod deque;
 pub mod exec;
+pub mod faults;
 pub mod graph;
 pub mod idle;
 pub mod pad;
@@ -58,6 +63,7 @@ pub use exec::{
     PlannedExecutor, PlannedNode, ScheduleBlueprint, SequentialExecutor, SleepExecutor,
     StagedGeneration, StealExecutor, Strategy, SwapError,
 };
+pub use faults::FaultPlan;
 pub use graph::{GraphError, NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
 pub use pad::CachePadded;
 pub use processor::{CycleCtx, Processor};

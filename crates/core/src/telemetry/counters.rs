@@ -34,6 +34,16 @@ pub struct CycleCounters {
     nodes_executed: AtomicU64,
     /// Nanoseconds spent executing nodes.
     exec_ns: AtomicU64,
+    /// Injected node-duration spikes (`FaultInjected` events).
+    fault_spikes: AtomicU64,
+    /// Kernel iterations injected by spikes.
+    fault_spike_iters: AtomicU64,
+    /// Injected worker stalls (`FaultInjected` events).
+    fault_stalls: AtomicU64,
+    /// Kernel iterations injected by stalls.
+    fault_stall_iters: AtomicU64,
+    /// Kernel iterations injected by pressure episodes.
+    fault_pressure_iters: AtomicU64,
 }
 
 impl CycleCounters {
@@ -88,6 +98,27 @@ impl CycleCounters {
         self.exec_ns.fetch_add(ns, Relaxed);
     }
 
+    /// Record one injected node-duration spike of `iters` kernel
+    /// iterations (recorded by the worker that executed the node).
+    #[inline]
+    pub fn add_fault_spike(&self, iters: u64) {
+        self.fault_spikes.fetch_add(1, Relaxed);
+        self.fault_spike_iters.fetch_add(iters, Relaxed);
+    }
+
+    /// Record one injected worker stall of `iters` kernel iterations.
+    #[inline]
+    pub fn add_fault_stall(&self, iters: u64) {
+        self.fault_stalls.fetch_add(1, Relaxed);
+        self.fault_stall_iters.fetch_add(iters, Relaxed);
+    }
+
+    /// Record `iters` kernel iterations of injected pressure load.
+    #[inline]
+    pub fn add_fault_pressure(&self, iters: u64) {
+        self.fault_pressure_iters.fetch_add(iters, Relaxed);
+    }
+
     /// Move the current values into `out` and reset every counter to zero.
     /// Driver only, after the cycle-completion barrier.
     pub fn drain_into(&self, out: &mut CounterSnapshot) {
@@ -102,6 +133,11 @@ impl CycleCounters {
         out.deque_high_water = self.deque_high_water.swap(0, Relaxed);
         out.nodes_executed = self.nodes_executed.swap(0, Relaxed);
         out.exec_ns = self.exec_ns.swap(0, Relaxed);
+        out.fault_spikes = self.fault_spikes.swap(0, Relaxed);
+        out.fault_spike_iters = self.fault_spike_iters.swap(0, Relaxed);
+        out.fault_stalls = self.fault_stalls.swap(0, Relaxed);
+        out.fault_stall_iters = self.fault_stall_iters.swap(0, Relaxed);
+        out.fault_pressure_iters = self.fault_pressure_iters.swap(0, Relaxed);
     }
 }
 
@@ -119,12 +155,27 @@ pub struct CounterSnapshot {
     pub deque_high_water: u64,
     pub nodes_executed: u64,
     pub exec_ns: u64,
+    pub fault_spikes: u64,
+    pub fault_spike_iters: u64,
+    pub fault_stalls: u64,
+    pub fault_stall_iters: u64,
+    pub fault_pressure_iters: u64,
 }
 
 impl CounterSnapshot {
     /// Total time spent waiting (busy or parked), in nanoseconds.
     pub fn wait_ns(&self) -> u64 {
         self.busy_wait_ns + self.park_wait_ns
+    }
+
+    /// Total `FaultInjected` events (spikes + stalls) this snapshot saw.
+    pub fn fault_events(&self) -> u64 {
+        self.fault_spikes + self.fault_stalls
+    }
+
+    /// Total kernel iterations injected by any fault class.
+    pub fn fault_iters(&self) -> u64 {
+        self.fault_spike_iters + self.fault_stall_iters + self.fault_pressure_iters
     }
 
     /// True when every field is zero.
@@ -146,6 +197,11 @@ impl CounterSnapshot {
         self.deque_high_water = self.deque_high_water.max(other.deque_high_water);
         self.nodes_executed += other.nodes_executed;
         self.exec_ns += other.exec_ns;
+        self.fault_spikes += other.fault_spikes;
+        self.fault_spike_iters += other.fault_spike_iters;
+        self.fault_stalls += other.fault_stalls;
+        self.fault_stall_iters += other.fault_stall_iters;
+        self.fault_pressure_iters += other.fault_pressure_iters;
     }
 }
 
@@ -168,6 +224,10 @@ mod tests {
         c.note_deque_depth(5);
         c.add_exec(1_000);
         c.add_exec(2_000);
+        c.add_fault_spike(700);
+        c.add_fault_spike(700);
+        c.add_fault_stall(900);
+        c.add_fault_pressure(300);
 
         let mut s = CounterSnapshot::default();
         c.drain_into(&mut s);
@@ -183,6 +243,13 @@ mod tests {
         assert_eq!(s.nodes_executed, 2);
         assert_eq!(s.exec_ns, 3_000);
         assert_eq!(s.wait_ns(), 3_600);
+        assert_eq!(s.fault_spikes, 2);
+        assert_eq!(s.fault_spike_iters, 1_400);
+        assert_eq!(s.fault_stalls, 1);
+        assert_eq!(s.fault_stall_iters, 900);
+        assert_eq!(s.fault_pressure_iters, 300);
+        assert_eq!(s.fault_events(), 3);
+        assert_eq!(s.fault_iters(), 2_600);
 
         let mut again = CounterSnapshot::default();
         c.drain_into(&mut again);

@@ -11,6 +11,7 @@
 //! their individual timings.
 
 use crate::deck::TrackPlayer;
+use crate::degrade::{DegradationPolicy, DegradeAction, DegradeConfig, DegradeEvent};
 use crate::graphbuild::{build_shaped_graph, GraphShape, NodeMap};
 use crate::nodes::controls;
 use crate::profiling::HotspotProfiler;
@@ -22,8 +23,10 @@ use djstar_core::exec::{
     BusyExecutor, GraphExecutor, HybridExecutor, PlannedExecutor, ScheduleBlueprint,
     SequentialExecutor, SleepExecutor, StealExecutor, Strategy, SwapError,
 };
+use djstar_core::faults::FaultPlan;
 use djstar_dsp::buffer::AudioBuf;
 use djstar_dsp::work::burn;
+use djstar_workload::faults::FaultSpec;
 use djstar_workload::scenario::Scenario;
 use djstar_workload::track::synth_track;
 use std::time::{Duration, Instant};
@@ -121,6 +124,50 @@ pub struct AudioEngine {
     master_bpm: f32,
     /// Burn-result sink keeping the aux work observable.
     aux_sink: f32,
+    /// Installed fault plan, kept so a thread-resize rebuild can
+    /// reinstall it on the fresh executor.
+    faults: Option<FaultPlan>,
+    /// Degradation governor; `None` until
+    /// [`enable_degradation`](Self::enable_degradation).
+    degrade: Option<DegradationPolicy>,
+    /// FX chain lengths saved at shed time, restored on
+    /// [`DegradeAction::Restore`].
+    saved_fx: [usize; 4],
+    /// Aux weights saved at shed time.
+    saved_aux: Option<AuxWork>,
+}
+
+/// Convert a workload-layer [`FaultSpec`] into the executor-layer
+/// [`FaultPlan`], field by field. Public so harnesses can hand the same
+/// plan to the simulator's fault mirror for the lower-bound oracle.
+pub fn fault_plan_from_spec(spec: &FaultSpec) -> FaultPlan {
+    FaultPlan {
+        seed: spec.seed,
+        spike_rate: spec.spike_rate,
+        spike_iters: spec.spike_iters,
+        stall_lanes: spec.stall_lanes,
+        stall_rate: spec.stall_rate,
+        stall_iters: spec.stall_iters,
+        pressure_period: spec.pressure_period,
+        pressure_len: spec.pressure_len,
+        pressure_iters: spec.pressure_iters,
+    }
+}
+
+/// What [`AudioEngine::observe_deadline`] did when it committed a
+/// degradation transition: the action, the executor generation after the
+/// swap, and the cost of the two reconfiguration halves (the commit half
+/// is what could blow a deadline, and E14 gates on it never doing so).
+#[derive(Debug, Clone, Copy)]
+pub struct DegradeOutcome {
+    /// Which way the engine moved.
+    pub action: DegradeAction,
+    /// Executor generation after the swap.
+    pub generation: u64,
+    /// Wall time of the staging half (graph build, off the audio path).
+    pub stage_ns: u64,
+    /// Wall time of the cycle-boundary commit half.
+    pub commit_ns: u64,
 }
 
 impl AudioEngine {
@@ -194,6 +241,10 @@ impl AudioEngine {
             beat_clock: 0.0,
             master_bpm: scenario.decks[0].bpm,
             aux_sink: 0.0,
+            faults: None,
+            degrade: None,
+            saved_fx: [0; 4],
+            saved_aux: None,
             scenario,
         }
     }
@@ -376,6 +427,7 @@ impl AudioEngine {
             let (executor, map) =
                 Self::build_executor(&self.scenario, &shape, self.strategy(), threads, frames);
             self.executor = executor;
+            self.executor.set_faults(self.faults);
             self.map = map;
             self.shape = shape;
             return Ok(self.executor.generation());
@@ -405,6 +457,117 @@ impl AudioEngine {
     /// last taken); recording continues into a fresh ring.
     pub fn take_telemetry(&mut self) -> Option<djstar_core::telemetry::TelemetryRing> {
         self.executor.take_telemetry()
+    }
+
+    /// Install (or clear, with `None`) a fault-injection plan on the
+    /// executor. Takes effect at the next cycle's epoch publication; the
+    /// plan survives generation swaps and thread-resize rebuilds until
+    /// cleared. Fault work burns CPU inside the executor's timed windows
+    /// but never touches audio buffers, so faulted runs stay bit-exact
+    /// with fault-free ones.
+    pub fn set_faults(&mut self, spec: Option<&FaultSpec>) {
+        self.faults = spec.map(fault_plan_from_spec);
+        self.executor.set_faults(self.faults);
+    }
+
+    /// The fault plan currently installed, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults
+    }
+
+    /// Arm the graceful-degradation governor. Once armed, the host
+    /// reports each cycle's deadline verdict through
+    /// [`observe_deadline`](Self::observe_deadline) and the engine sheds
+    /// or restores quality through the glitch-free generation-swap path.
+    pub fn enable_degradation(&mut self, cfg: DegradeConfig) {
+        self.degrade = Some(DegradationPolicy::new(cfg));
+    }
+
+    /// Currently running in degraded (shed) mode?
+    pub fn is_degraded(&self) -> bool {
+        self.degrade.as_ref().is_some_and(|p| p.is_degraded())
+    }
+
+    /// Committed shed/restore transitions since the governor was armed
+    /// (empty when it never was).
+    pub fn degrade_events(&self) -> &[DegradeEvent] {
+        self.degrade.as_ref().map_or(&[], |p| p.events())
+    }
+
+    /// Report the just-finished cycle's deadline verdict to the
+    /// degradation governor and actuate any transition it orders.
+    ///
+    /// * **Shed**: save the FX chain lengths and aux weights, then in a
+    ///   single staged generation trim every loaded deck's FX chain to
+    ///   one slot and halve the auxiliary-phase work — the "bypass
+    ///   non-critical effects, drop preprocessing quality" move of a
+    ///   production engine under duress.
+    /// * **Restore**: re-insert the saved FX slots (clamped to the decks
+    ///   still loaded) and restore the saved aux weights.
+    ///
+    /// Both directions reuse the [`stage_edits`](Self::stage_edits) /
+    /// [`commit`](Self::commit) machinery, so node state carries over and
+    /// the audio stream never glitches. If staging or the swap fails the
+    /// policy is left uncommitted and simply retries next cycle.
+    ///
+    /// Returns the committed transition, if one happened. No-op `None`
+    /// when the governor is unarmed.
+    pub fn observe_deadline(&mut self, missed: bool) -> Option<DegradeOutcome> {
+        let cycle = self.cycle;
+        let action = {
+            let policy = self.degrade.as_mut()?;
+            policy.record(missed);
+            policy.pending(cycle)?
+        };
+        let mut edits = Vec::new();
+        match action {
+            DegradeAction::Shed => {
+                self.saved_fx = self.shape.fx_slots;
+                for d in 0..4 {
+                    if self.shape.deck_loaded[d] {
+                        for _ in 1..self.shape.fx_slots[d] {
+                            edits.push(GraphEdit::RemoveFxSlot(d));
+                        }
+                    }
+                }
+            }
+            DegradeAction::Restore => {
+                for d in 0..4 {
+                    if self.shape.deck_loaded[d] {
+                        let want = self.saved_fx[d].clamp(1, GraphShape::MAX_FX_SLOTS);
+                        for _ in self.shape.fx_slots[d]..want {
+                            edits.push(GraphEdit::InsertFxSlot(d));
+                        }
+                    }
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let staged = self.stage_edits(&edits).ok()?;
+        let stage_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        let generation = self.commit(staged).ok()?;
+        let commit_ns = t1.elapsed().as_nanos() as u64;
+        match action {
+            DegradeAction::Shed => {
+                self.saved_aux = Some(self.aux);
+                self.aux = self.aux.scaled(0.5);
+            }
+            DegradeAction::Restore => {
+                if let Some(aux) = self.saved_aux.take() {
+                    self.aux = aux;
+                }
+            }
+        }
+        if let Some(policy) = self.degrade.as_mut() {
+            policy.transition(cycle, action);
+        }
+        Some(DegradeOutcome {
+            action,
+            generation,
+            stage_ns,
+            commit_ns,
+        })
     }
 
     /// Cycles run so far.
@@ -960,5 +1123,111 @@ mod tests {
             mean_ns > uncalibrated * 1.3 && mean_ns < uncalibrated * 10.0,
             "calibration missed: floor {uncalibrated} ns, target {target:?}, got {mean_ns} ns"
         );
+    }
+
+    /// Sum of fault events recorded in `cycles` telemetry cycles.
+    fn fault_events_in(e: &mut AudioEngine, cycles: usize) -> u64 {
+        e.set_telemetry(true);
+        e.warmup(cycles);
+        let ring = e.take_telemetry().expect("telemetry ring");
+        e.set_telemetry(false);
+        ring.iter().map(|r| r.totals().fault_events()).sum()
+    }
+
+    #[test]
+    fn storm_faults_fire_and_leave_audio_bit_exact() {
+        let mut clean = light_engine(Strategy::Busy, 2);
+        let mut faulted = light_engine(Strategy::Busy, 2);
+        faulted.set_faults(Some(&FaultSpec::storm(0xE14).with_iters(40, 40, 20)));
+        assert!(fault_events_in(&mut faulted, 40) > 0, "storm never fired");
+        clean.warmup(40);
+        assert_eq!(
+            clean.output().samples(),
+            faulted.output().samples(),
+            "fault injection must not touch the audio path"
+        );
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_inert() {
+        let mut e = light_engine(Strategy::Sleep, 2);
+        e.set_faults(Some(&FaultSpec::quiet(9)));
+        assert_eq!(fault_events_in(&mut e, 30), 0);
+        e.set_faults(None);
+        assert_eq!(e.fault_plan(), None);
+    }
+
+    #[test]
+    fn faults_survive_thread_resize_rebuild() {
+        let mut e = light_engine(Strategy::Busy, 2);
+        e.set_faults(Some(&FaultSpec::storm(0xE14).with_iters(40, 40, 20)));
+        e.reconfigure(&[GraphEdit::ResizeThreads(3)]).unwrap();
+        assert_eq!(e.threads(), 3);
+        assert!(
+            fault_events_in(&mut e, 40) > 0,
+            "rebuild dropped the fault plan"
+        );
+    }
+
+    #[test]
+    fn degradation_sheds_then_restores_through_the_swap_path() {
+        let mut e = light_engine(Strategy::Busy, 2);
+        e.warmup(10);
+        e.enable_degradation(DegradeConfig {
+            window: 8,
+            shed_misses: 4,
+            restore_clean: 6,
+            restore_tolerance: 1,
+            min_dwell: 10,
+        });
+        let full_shape = *e.shape();
+
+        // Sustained misses: the governor must shed exactly once.
+        let mut shed = None;
+        for _ in 0..20 {
+            e.run_apc();
+            if let Some(o) = e.observe_deadline(true) {
+                assert!(shed.replace(o).is_none(), "double shed");
+            }
+        }
+        let shed = shed.expect("sustained misses must shed");
+        assert_eq!(shed.action, DegradeAction::Shed);
+        assert!(e.is_degraded());
+        for d in 0..4 {
+            assert_eq!(e.shape().fx_slots[d], 1, "deck {d} FX chain not shed");
+        }
+        assert!(e.output().is_finite());
+
+        // Pressure clears: the governor must restore the saved shape.
+        let mut restored = None;
+        for _ in 0..40 {
+            e.run_apc();
+            if let Some(o) = e.observe_deadline(false) {
+                assert!(restored.replace(o).is_none(), "double restore");
+            }
+        }
+        let restored = restored.expect("clean air must restore");
+        assert_eq!(restored.action, DegradeAction::Restore);
+        assert!(!e.is_degraded());
+        assert_eq!(*e.shape(), full_shape, "restore must rebuild full quality");
+        assert!(restored.generation > shed.generation);
+        let events = e.degrade_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].action, DegradeAction::Shed);
+        assert_eq!(events[1].action, DegradeAction::Restore);
+        assert!(e.output().is_finite());
+        assert!(e.output().rms() > 1e-4, "audio died across shed/restore");
+    }
+
+    #[test]
+    fn degradation_unarmed_is_a_no_op() {
+        let mut e = light_engine(Strategy::Sequential, 1);
+        e.warmup(5);
+        for _ in 0..50 {
+            e.run_apc();
+            assert!(e.observe_deadline(true).is_none());
+        }
+        assert!(!e.is_degraded());
+        assert!(e.degrade_events().is_empty());
     }
 }

@@ -1,0 +1,430 @@
+//! Graceful degradation under overload: the quality governor of E14.
+//!
+//! A real DJ set must keep producing audio even when the host is
+//! overloaded — a glitch is worse than a temporarily thinner mix. This
+//! module decides *when* to trade quality for headroom; the mechanics of
+//! the trade (dropping FX slots through the generation-swap path, halving
+//! the auxiliary-phase work) live in
+//! [`AudioEngine::observe_deadline`](crate::apc::AudioEngine::observe_deadline).
+//!
+//! # State machine
+//!
+//! Two states, `Full` and `Degraded`, with hysteresis on both edges:
+//!
+//! * `Full → Degraded` ([`DegradeAction::Shed`]) when at least
+//!   [`shed_misses`](DegradeConfig::shed_misses) of the last
+//!   [`window`](DegradeConfig::window) cycles missed their deadline —
+//!   a *sustained* overload signal, so an isolated scheduling hiccup
+//!   never sheds quality.
+//! * `Degraded → Full` ([`DegradeAction::Restore`]) after a full
+//!   [`restore_clean`](DegradeConfig::restore_clean)-cycle observation
+//!   chunk with at most
+//!   [`restore_tolerance`](DegradeConfig::restore_tolerance) misses.
+//!   The tolerance matters on real hosts: a shared machine sprinkles
+//!   ~1 % random stall misses over any run, and a strict
+//!   zero-miss-streak condition would block restoration forever. A
+//!   chunk that exceeds the tolerance simply starts a fresh chunk, so
+//!   sustained pressure keeps the engine degraded while sparse noise
+//!   cannot.
+//!
+//! Oscillation is impossible by construction, not by tuning:
+//!
+//! 1. Any transition arms a dwell timer; no further transition is
+//!    considered for [`min_dwell`](DegradeConfig::min_dwell) cycles.
+//! 2. Every transition clears the miss window and the restore chunk, so
+//!    the evidence for the *next* transition must accumulate entirely
+//!    after the current one — pre-transition misses can never justify a
+//!    re-shed after a restore.
+//!
+//! Together these bound the transition rate at one per `min_dwell`
+//! cycles and force each transition to be justified by fresh evidence.
+
+/// Thresholds of the degradation state machine. Cycle counts, not wall
+/// time — the engine observes one deadline verdict per audio cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Sliding window (in cycles) over which misses are counted.
+    pub window: usize,
+    /// Misses within the window that trigger a shed.
+    pub shed_misses: usize,
+    /// Length (in cycles) of the degraded-mode observation chunk a
+    /// restore needs.
+    pub restore_clean: usize,
+    /// Misses a restore chunk may contain and still count as clean
+    /// (absorbs host-noise misses; sustained pressure always exceeds it).
+    pub restore_tolerance: usize,
+    /// Minimum cycles between two transitions (both directions).
+    pub min_dwell: u64,
+}
+
+impl Default for DegradeConfig {
+    /// Defaults sized for the 2.9 ms cycle: react to sustained overload
+    /// within ~1/8 s, restore after ~1/4 s of near-clean running, and
+    /// never transition more than ~5×/s.
+    fn default() -> Self {
+        DegradeConfig {
+            window: 32,
+            shed_misses: 4,
+            restore_clean: 96,
+            restore_tolerance: 4,
+            min_dwell: 64,
+        }
+    }
+}
+
+/// A transition the policy wants the engine to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// Enter degraded mode: shed non-critical load.
+    Shed,
+    /// Leave degraded mode: restore full quality.
+    Restore,
+}
+
+/// A committed transition, for telemetry and the E14 report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeEvent {
+    /// Engine cycle at which the transition was committed.
+    pub cycle: u64,
+    /// Which way it went.
+    pub action: DegradeAction,
+}
+
+/// The hysteresis state machine. Allocation-free after construction
+/// except for the event log (one small push per committed transition,
+/// amortized by a reserved capacity — transitions are rare by design).
+#[derive(Debug)]
+pub struct DegradationPolicy {
+    cfg: DegradeConfig,
+    /// Ring of the last `cfg.window` deadline verdicts (`true` = missed).
+    ring: Vec<bool>,
+    head: usize,
+    filled: usize,
+    misses_in_window: usize,
+    /// Cycles observed in the current degraded-mode restore chunk.
+    chunk_cycles: usize,
+    /// Misses observed in the current restore chunk.
+    chunk_misses: usize,
+    degraded: bool,
+    last_transition: Option<u64>,
+    events: Vec<DegradeEvent>,
+}
+
+impl DegradationPolicy {
+    /// Build a policy. Degenerate configs are clamped into sanity
+    /// (`window ≥ 1`, `1 ≤ shed_misses ≤ window`, `restore_clean ≥ 1`)
+    /// rather than rejected — a policy must never panic mid-set.
+    pub fn new(cfg: DegradeConfig) -> Self {
+        let window = cfg.window.max(1);
+        let restore_clean = cfg.restore_clean.max(1);
+        let cfg = DegradeConfig {
+            window,
+            shed_misses: cfg.shed_misses.clamp(1, window),
+            restore_clean,
+            restore_tolerance: cfg.restore_tolerance.min(restore_clean - 1),
+            min_dwell: cfg.min_dwell,
+        };
+        DegradationPolicy {
+            ring: vec![false; window],
+            head: 0,
+            filled: 0,
+            misses_in_window: 0,
+            chunk_cycles: 0,
+            chunk_misses: 0,
+            degraded: false,
+            last_transition: None,
+            events: Vec::with_capacity(64),
+            cfg,
+        }
+    }
+
+    /// The (clamped) configuration in force.
+    pub fn config(&self) -> DegradeConfig {
+        self.cfg
+    }
+
+    /// Currently in degraded mode?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Committed transitions, oldest first.
+    pub fn events(&self) -> &[DegradeEvent] {
+        &self.events
+    }
+
+    /// Record one cycle's deadline verdict (`missed == true` when the
+    /// cycle blew its deadline). Pure bookkeeping; pair with
+    /// [`pending`](Self::pending) / [`transition`](Self::transition), or
+    /// use [`step`](Self::step) to do all three.
+    pub fn record(&mut self, missed: bool) {
+        if self.filled == self.cfg.window {
+            if self.ring[self.head] {
+                self.misses_in_window -= 1;
+            }
+        } else {
+            self.filled += 1;
+        }
+        self.ring[self.head] = missed;
+        if missed {
+            self.misses_in_window += 1;
+        }
+        self.head = (self.head + 1) % self.cfg.window;
+        if self.degraded {
+            self.chunk_cycles += 1;
+            if missed {
+                self.chunk_misses += 1;
+            }
+            // A chunk that blew its tolerance can never justify a
+            // restore; start observing afresh.
+            if self.chunk_cycles >= self.cfg.restore_clean
+                && self.chunk_misses > self.cfg.restore_tolerance
+            {
+                self.chunk_cycles = 0;
+                self.chunk_misses = 0;
+            }
+        }
+    }
+
+    /// The transition the evidence currently justifies at `cycle`, if
+    /// any. Read-only: the engine performs the (fallible) topology swap
+    /// first and only then commits via [`transition`](Self::transition),
+    /// so a failed swap is retried next cycle with no state torn.
+    pub fn pending(&self, cycle: u64) -> Option<DegradeAction> {
+        if let Some(t) = self.last_transition {
+            if cycle.saturating_sub(t) < self.cfg.min_dwell {
+                return None;
+            }
+        }
+        if !self.degraded && self.misses_in_window >= self.cfg.shed_misses {
+            Some(DegradeAction::Shed)
+        } else if self.degraded
+            && self.chunk_cycles >= self.cfg.restore_clean
+            && self.chunk_misses <= self.cfg.restore_tolerance
+        {
+            Some(DegradeAction::Restore)
+        } else {
+            None
+        }
+    }
+
+    /// Commit a transition at `cycle`: flip the mode, log the event, arm
+    /// the dwell timer, and clear both evidence accumulators so the next
+    /// transition needs entirely fresh evidence.
+    pub fn transition(&mut self, cycle: u64, action: DegradeAction) {
+        self.degraded = matches!(action, DegradeAction::Shed);
+        self.last_transition = Some(cycle);
+        self.ring.fill(false);
+        self.head = 0;
+        self.filled = 0;
+        self.misses_in_window = 0;
+        self.chunk_cycles = 0;
+        self.chunk_misses = 0;
+        self.events.push(DegradeEvent { cycle, action });
+    }
+
+    /// Record + decide + commit in one call, for hosts without a
+    /// fallible actuation step between decision and commitment.
+    pub fn step(&mut self, cycle: u64, missed: bool) -> Option<DegradeAction> {
+        self.record(missed);
+        let action = self.pending(cycle)?;
+        self.transition(cycle, action);
+        Some(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DegradeConfig {
+        DegradeConfig {
+            window: 8,
+            shed_misses: 4,
+            restore_clean: 6,
+            restore_tolerance: 1,
+            min_dwell: 10,
+        }
+    }
+
+    /// Drive the policy with a closure `cycle -> missed`.
+    fn drive(
+        policy: &mut DegradationPolicy,
+        cycles: std::ops::Range<u64>,
+        missed: impl Fn(u64) -> bool,
+    ) -> Vec<DegradeEvent> {
+        let before = policy.events().len();
+        for c in cycles {
+            policy.step(c, missed(c));
+        }
+        policy.events()[before..].to_vec()
+    }
+
+    #[test]
+    fn clean_input_never_transitions() {
+        let mut p = DegradationPolicy::new(cfg());
+        let ev = drive(&mut p, 0..10_000, |_| false);
+        assert!(ev.is_empty());
+        assert!(!p.is_degraded());
+    }
+
+    #[test]
+    fn isolated_misses_below_threshold_never_shed() {
+        let mut p = DegradationPolicy::new(cfg());
+        // 3 misses per 8-cycle window, threshold is 4.
+        let ev = drive(&mut p, 0..10_000, |c| c % 8 < 3);
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn sustained_misses_shed_and_clean_air_restores() {
+        let mut p = DegradationPolicy::new(cfg());
+        let ev = drive(&mut p, 0..100, |c| c < 50);
+        assert_eq!(ev.len(), 2, "one shed, one restore: {ev:?}");
+        assert_eq!(ev[0].action, DegradeAction::Shed);
+        assert_eq!(ev[1].action, DegradeAction::Restore);
+        // Shed as soon as the evidence allows: cycle shed_misses - 1.
+        assert_eq!(ev[0].cycle, 3);
+        // Pressure clears at 50 mid-chunk; that chunk resets at 51 (too
+        // many misses), and the first clean chunk [52, 57] restores.
+        assert_eq!(ev[1].cycle, 57);
+        assert!(!p.is_degraded());
+    }
+
+    #[test]
+    fn restore_is_always_attempted_once_pressure_clears() {
+        // Whatever miss pattern preceded it, a long-enough clean stretch
+        // always restores.
+        for storm_len in [10u64, 137, 1000] {
+            let mut p = DegradationPolicy::new(cfg());
+            drive(&mut p, 0..storm_len, |c| c % 3 != 2); // 2/3 miss rate
+            assert!(p.is_degraded(), "storm_len={storm_len}");
+            let ev = drive(&mut p, storm_len..storm_len + 200, |_| false);
+            assert_eq!(ev.len(), 1, "storm_len={storm_len}");
+            assert_eq!(ev[0].action, DegradeAction::Restore);
+            assert!(!p.is_degraded());
+        }
+    }
+
+    #[test]
+    fn transitions_alternate_and_respect_dwell() {
+        // Adversarial input engineered to oscillate as fast as possible:
+        // miss whenever running at full quality, clean whenever degraded.
+        let mut p = DegradationPolicy::new(cfg());
+        let mut events = Vec::new();
+        let mut degraded = false;
+        for c in 0..100_000u64 {
+            if let Some(a) = p.step(c, !degraded) {
+                degraded = matches!(a, DegradeAction::Shed);
+                events.push(DegradeEvent {
+                    cycle: c,
+                    action: a,
+                });
+            }
+        }
+        assert!(events.len() > 2, "adversary should force transitions");
+        for pair in events.windows(2) {
+            assert_ne!(pair[0].action, pair[1].action, "must alternate");
+            assert!(
+                pair[1].cycle - pair[0].cycle >= cfg().min_dwell,
+                "dwell violated: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shed_restore_shed_within_dwell_is_impossible_by_construction() {
+        // Strongest oscillation bound: even if every cycle between them
+        // missed, a re-shed needs (a) the dwell to expire and (b)
+        // shed_misses fresh misses after the restore cleared the window.
+        let c = cfg();
+        let mut p = DegradationPolicy::new(c);
+        drive(&mut p, 0..10, |_| true);
+        assert!(p.is_degraded());
+        // Clean air long enough to restore (the first chunk absorbs the
+        // storm's tail and resets; the next clean chunk restores).
+        let ev = drive(&mut p, 10..30, |_| false);
+        assert_eq!(ev.len(), 1);
+        let restore_cycle = ev[0].cycle;
+        // All-miss input again: the earliest legal re-shed is bounded
+        // below by BOTH restore_cycle + min_dwell and restore_cycle +
+        // shed_misses (window was cleared).
+        let ev = drive(&mut p, 30..200, |_| true);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].action, DegradeAction::Shed);
+        assert!(ev[0].cycle >= restore_cycle + c.min_dwell);
+        assert!(ev[0].cycle as i64 - 30 >= c.shed_misses as i64 - 1);
+    }
+
+    #[test]
+    fn failed_actuation_is_retried_without_state_loss() {
+        // The engine path: record + pending, but skip transition (e.g. a
+        // staging failure). The decision must persist to the next cycle.
+        let mut p = DegradationPolicy::new(cfg());
+        for _ in 0..4 {
+            p.record(true);
+        }
+        assert_eq!(p.pending(3), Some(DegradeAction::Shed));
+        // Not committed; next cycle the verdict stands.
+        p.record(true);
+        assert_eq!(p.pending(4), Some(DegradeAction::Shed));
+        p.transition(4, DegradeAction::Shed);
+        assert!(p.is_degraded());
+        assert_eq!(p.events().len(), 1);
+    }
+
+    #[test]
+    fn sparse_noise_misses_do_not_block_restore() {
+        // The failure mode a strict clean-streak condition has on real
+        // hosts: ~2 % random stall misses while degraded must not pin
+        // the engine in degraded mode forever.
+        let mut p = DegradationPolicy::new(DegradeConfig {
+            window: 8,
+            shed_misses: 4,
+            restore_clean: 100,
+            restore_tolerance: 3,
+            min_dwell: 10,
+        });
+        drive(&mut p, 0..10, |_| true);
+        assert!(p.is_degraded());
+        let ev = drive(&mut p, 10..400, |c| c % 50 == 0);
+        assert_eq!(ev.len(), 1, "sparse noise blocked the restore: {ev:?}");
+        assert_eq!(ev[0].action, DegradeAction::Restore);
+        assert!(!p.is_degraded());
+    }
+
+    #[test]
+    fn sustained_pressure_exceeds_the_tolerance_and_blocks_restore() {
+        let mut p = DegradationPolicy::new(DegradeConfig {
+            window: 8,
+            shed_misses: 4,
+            restore_clean: 20,
+            restore_tolerance: 3,
+            min_dwell: 10,
+        });
+        // Shed, then keep missing every third cycle (a 33 % miss rate is
+        // pressure, not noise): every chunk blows its tolerance.
+        drive(&mut p, 0..10, |_| true);
+        let ev = drive(&mut p, 10..2_000, |c| c % 3 == 0);
+        assert!(ev.is_empty(), "pressure must hold the shed: {ev:?}");
+        assert!(p.is_degraded());
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped_not_fatal() {
+        let p = DegradationPolicy::new(DegradeConfig {
+            window: 0,
+            shed_misses: 0,
+            restore_clean: 0,
+            restore_tolerance: 9,
+            min_dwell: 0,
+        });
+        let c = p.config();
+        assert_eq!(c.window, 1);
+        assert_eq!(c.shed_misses, 1);
+        assert_eq!(c.restore_clean, 1);
+        // Tolerance may never reach the chunk length, or a chunk of pure
+        // misses would read as clean.
+        assert_eq!(c.restore_tolerance, 0);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod apc;
 pub mod deck;
+pub mod degrade;
 pub mod events;
 pub mod graphbuild;
 pub mod nodes;
@@ -27,7 +28,8 @@ pub mod soundcard;
 pub mod sync;
 pub mod timecode;
 
-pub use apc::{ApcTiming, AudioEngine, AuxWork};
+pub use apc::{fault_plan_from_spec, ApcTiming, AudioEngine, AuxWork, DegradeOutcome};
+pub use degrade::{DegradationPolicy, DegradeAction, DegradeConfig, DegradeEvent};
 pub use graphbuild::{build_djstar_graph, build_shaped_graph, GraphShape, NodeMap};
 pub use reconfig::{
     apply_edit, stage_topology, EditError, GraphEdit, ReconfigError, StagedTopology,

@@ -1,0 +1,231 @@
+//! Simulated fault mirror: E14's lower-bound oracle.
+//!
+//! The fault injections of `djstar_core::faults` are pure functions of
+//! `(seed, cycle, node-or-lane)`, so the simulator can replay the exact
+//! same schedule in virtual time and answer the question a wall-clock
+//! experiment cannot: *which deadline misses were unavoidable?* A cycle
+//! whose Graham-style lower bound — the larger of the work area spread
+//! over `P` workers and the critical path — already exceeds the deadline
+//! would be missed by any scheduler; misses beyond those are
+//! scheduler-caused and fair game for the degradation gates.
+//!
+//! Spikes and pressure attach to nodes (they inflate execution time);
+//! stalls attach to workers, so they contribute to the work area but not
+//! to any node's path length.
+
+use crate::model::{DurationModel, SimGraph};
+use djstar_core::faults::FaultPlan;
+
+/// `node`'s duration in `cycle` with `plan`'s spike + pressure overlay,
+/// at `iter_ns` nanoseconds per injected kernel iteration.
+pub fn faulted_duration_ns(
+    base: &DurationModel,
+    plan: &FaultPlan,
+    iter_ns: f64,
+    node: u32,
+    cycle: usize,
+) -> u64 {
+    let extra = plan.spike_iters_for(cycle as u64, node) as u64
+        + plan.pressure_iters_for(cycle as u64) as u64;
+    base.duration(node, cycle) + (extra as f64 * iter_ns).round() as u64
+}
+
+/// Overlay `plan` onto `base` for `nodes` nodes across `cycles` explicit
+/// cycles, producing the [`DurationModel::Empirical`] the strategy
+/// simulators consume. A quiet plan reproduces `base` exactly.
+pub fn faulted_model(
+    base: &DurationModel,
+    nodes: usize,
+    plan: &FaultPlan,
+    iter_ns: f64,
+    cycles: usize,
+) -> DurationModel {
+    DurationModel::Empirical(
+        (0..nodes as u32)
+            .map(|n| {
+                (0..cycles.max(1))
+                    .map(|c| faulted_duration_ns(base, plan, iter_ns, n, c))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+/// Total worker-stall nanoseconds `plan` injects in `cycle` (summed over
+/// all virtual lanes — lane placement is irrelevant to the area bound).
+pub fn stall_ns(plan: &FaultPlan, cycle: u64, iter_ns: f64) -> u64 {
+    let iters: u64 = (0..plan.stall_lanes)
+        .map(|l| plan.stall_iters_for(cycle, l) as u64)
+        .sum();
+    (iters as f64 * iter_ns).round() as u64
+}
+
+/// Graham-style lower bound on `cycle`'s makespan for any scheduler on
+/// `threads` workers under `plan`:
+/// `max(⌈(Σ node work + Σ stalls) / threads⌉, critical path)`.
+/// Stalls occupy workers, so they count toward the area term only.
+pub fn faulted_cycle_bound_ns(
+    graph: &SimGraph,
+    base: &DurationModel,
+    plan: &FaultPlan,
+    iter_ns: f64,
+    cycle: usize,
+    threads: usize,
+) -> u64 {
+    let mut work = 0u64;
+    let mut finish = vec![0u64; graph.len()];
+    let mut critical_path = 0u64;
+    // The depth-sorted queue is a topological order: every predecessor
+    // sits at a strictly smaller depth.
+    for &n in graph.queue() {
+        let d = faulted_duration_ns(base, plan, iter_ns, n, cycle);
+        work += d;
+        let start = graph
+            .preds(n)
+            .iter()
+            .map(|&p| finish[p as usize])
+            .max()
+            .unwrap_or(0);
+        finish[n as usize] = start + d;
+        critical_path = critical_path.max(finish[n as usize]);
+    }
+    let area = (work + stall_ns(plan, cycle as u64, iter_ns)).div_ceil(threads.max(1) as u64);
+    area.max(critical_path)
+}
+
+/// Count the cycles in `0..cycles` whose lower bound alone exceeds
+/// `deadline_ns` — misses **no** scheduler could avoid. The E14 report
+/// prints this next to each strategy's measured misses so readers can
+/// separate "the storm was physically too big" from "the scheduler
+/// buckled".
+pub fn unavoidable_misses(
+    graph: &SimGraph,
+    base: &DurationModel,
+    plan: &FaultPlan,
+    iter_ns: f64,
+    deadline_ns: u64,
+    threads: usize,
+    cycles: usize,
+) -> usize {
+    (0..cycles)
+        .filter(|&c| faulted_cycle_bound_ns(graph, base, plan, iter_ns, c, threads) > deadline_ns)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// diamond: 0 → {1, 2} → 3, 100 ns per node.
+    fn diamond() -> (SimGraph, DurationModel) {
+        (
+            SimGraph::synthetic(vec![vec![], vec![0], vec![0], vec![1, 2]]),
+            DurationModel::Constant(vec![100; 4]),
+        )
+    }
+
+    fn storm() -> FaultPlan {
+        FaultPlan {
+            seed: 0xE14,
+            spike_rate: 0.2,
+            spike_iters: 50,
+            stall_lanes: 3,
+            stall_rate: 0.5,
+            stall_iters: 40,
+            pressure_period: 10,
+            pressure_len: 4,
+            pressure_iters: 30,
+        }
+    }
+
+    #[test]
+    fn quiet_plan_reproduces_the_base_model() {
+        let (g, base) = diamond();
+        let quiet = FaultPlan::quiet(1);
+        let m = faulted_model(&base, g.len(), &quiet, 2.0, 8);
+        for c in 0..8 {
+            for n in 0..4 {
+                assert_eq!(m.duration(n, c), base.duration(n, c));
+            }
+        }
+        // Bound without faults: area = ceil(400/2) = 200, cp = 300.
+        assert_eq!(faulted_cycle_bound_ns(&g, &base, &quiet, 2.0, 0, 2), 300);
+        assert_eq!(faulted_cycle_bound_ns(&g, &base, &quiet, 2.0, 0, 1), 400);
+        assert_eq!(stall_ns(&quiet, 0, 2.0), 0);
+    }
+
+    #[test]
+    fn overlay_is_deterministic_and_matches_the_plan_draws() {
+        let (g, base) = diamond();
+        let plan = storm();
+        let a = faulted_model(&base, g.len(), &plan, 3.0, 32);
+        let b = faulted_model(&base, g.len(), &plan, 3.0, 32);
+        for c in 0..32 {
+            for n in 0..4 {
+                assert_eq!(a.duration(n, c), b.duration(n, c));
+                let want = base.duration(n, c)
+                    + 3 * (plan.spike_iters_for(c as u64, n) as u64
+                        + plan.pressure_iters_for(c as u64) as u64);
+                assert_eq!(a.duration(n, c), want);
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_cycles_raise_the_bound_above_quiet_cycles() {
+        let (g, base) = diamond();
+        let plan = FaultPlan {
+            spike_rate: 0.0,
+            stall_lanes: 0,
+            ..storm()
+        };
+        // Pressure high in cycles 0..4 of each 10-cycle period.
+        let high = faulted_cycle_bound_ns(&g, &base, &plan, 2.0, 0, 2);
+        let low = faulted_cycle_bound_ns(&g, &base, &plan, 2.0, 5, 2);
+        assert!(
+            high > low,
+            "pressure must inflate the bound: {high} vs {low}"
+        );
+        assert_eq!(low, 300); // quiet half matches the fault-free bound
+    }
+
+    #[test]
+    fn stalls_count_toward_area_but_not_critical_path() {
+        let (g, base) = diamond();
+        let plan = FaultPlan {
+            spike_rate: 0.0,
+            pressure_period: 0,
+            stall_rate: 1.0,
+            ..storm()
+        };
+        // Every lane stalls every cycle: 3 lanes x 40 iters x 2 ns = 240 ns.
+        assert_eq!(stall_ns(&plan, 0, 2.0), 240);
+        // With many threads the area term vanishes and the bound falls
+        // back to the un-stalled critical path.
+        assert_eq!(faulted_cycle_bound_ns(&g, &base, &plan, 2.0, 0, 64), 300);
+        // Single-threaded, the stall rides on top of the serial work.
+        assert_eq!(faulted_cycle_bound_ns(&g, &base, &plan, 2.0, 0, 1), 640);
+    }
+
+    #[test]
+    fn unavoidable_misses_follow_the_pressure_wave() {
+        let (g, base) = diamond();
+        let plan = FaultPlan {
+            spike_rate: 0.0,
+            stall_lanes: 0,
+            pressure_period: 10,
+            pressure_len: 4,
+            pressure_iters: 1000,
+            ..storm()
+        };
+        // Pressure adds 2000 ns per node; quiet bound is 300 ns. A 500 ns
+        // deadline is missed exactly in the 4 high cycles of each period.
+        let misses = unavoidable_misses(&g, &base, &plan, 2.0, 500, 2, 30);
+        assert_eq!(misses, 12);
+        // An infinite deadline is never missed.
+        assert_eq!(
+            unavoidable_misses(&g, &base, &plan, 2.0, u64::MAX, 2, 30),
+            0
+        );
+    }
+}

@@ -32,6 +32,7 @@
 //! execution-time histograms bimodal).
 
 pub mod earliest;
+pub mod faults;
 pub mod gantt;
 pub mod list;
 pub mod metrics;
@@ -40,6 +41,7 @@ pub mod planned;
 pub mod strategy;
 
 pub use earliest::{earliest_start, EarliestStartResult};
+pub use faults::{faulted_cycle_bound_ns, faulted_model, unavoidable_misses};
 pub use list::list_schedule;
 pub use metrics::{ScheduleMetrics, WaitBreakdown};
 pub use model::{DurationModel, Schedule, ScheduleEntry, SimGraph};

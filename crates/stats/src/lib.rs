@@ -16,6 +16,7 @@
 //! a terminal without a plotting stack.
 
 pub mod deadline;
+pub mod faults;
 pub mod histogram;
 pub mod json;
 pub mod online;
@@ -28,6 +29,7 @@ pub mod summary;
 pub mod telemetry;
 
 pub use deadline::DeadlineTracker;
+pub use faults::{FaultReport, StrategyFaults};
 pub use histogram::{CumulativeView, Histogram};
 pub use json::Json;
 pub use online::OnlineStats;

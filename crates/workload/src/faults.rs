@@ -1,0 +1,125 @@
+//! Fault-scenario presets: the workload half of the overload experiment
+//! (E14).
+//!
+//! A [`FaultSpec`] is plain data describing a seeded fault scenario —
+//! node duration spikes, worker stalls and CPU-pressure episodes — without
+//! depending on executor internals (the engine converts a spec into
+//! `djstar-core`'s `FaultPlan`). Like [`toggle_storm`](crate::toggle_storm)
+//! for topology switches, the presets here are deterministic functions of
+//! their seed, so a scenario names a replayable experiment, not a dice
+//! roll.
+//!
+//! The `*_iters` fields are calibration-kernel iterations; the harness
+//! scales them from a measured per-iteration cost so a scenario describes
+//! *relative* pressure that reproduces across machines.
+
+/// A seeded fault scenario, engine-agnostic plain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for every injection draw.
+    pub seed: u64,
+    /// Probability a given node spikes in a given cycle.
+    pub spike_rate: f64,
+    /// Kernel iterations a spike adds to the node's execution.
+    pub spike_iters: u32,
+    /// Virtual stall lanes (fixed, so the schedule is thread-count
+    /// independent; lane `l` is absorbed by worker `l % threads`).
+    pub stall_lanes: u32,
+    /// Probability a given lane stalls in a given cycle.
+    pub stall_rate: f64,
+    /// Kernel iterations one stall costs its worker.
+    pub stall_iters: u32,
+    /// Cycle period of the pressure square wave (`0` disables pressure).
+    pub pressure_period: u64,
+    /// Leading cycles of each period under pressure.
+    pub pressure_len: u64,
+    /// Kernel iterations pressure adds to every node while high.
+    pub pressure_iters: u32,
+}
+
+impl FaultSpec {
+    /// A scenario that never injects anything: the hook runs, every draw
+    /// misses. Measures the cost of the enabled-but-idle path.
+    pub fn quiet(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            spike_rate: 0.0,
+            spike_iters: 0,
+            stall_lanes: 0,
+            stall_rate: 0.0,
+            stall_iters: 0,
+            pressure_period: 0,
+            pressure_len: 0,
+            pressure_iters: 0,
+        }
+    }
+
+    /// The calibrated fault storm of E14: occasional node spikes, a few
+    /// preempted lanes, and a sustained pressure wave that is high for
+    /// half of each period — long enough that a degradation policy with a
+    /// multi-cycle window must engage, with quiet stretches long enough
+    /// for it to restore. The `*_iters` fields carry placeholder weights;
+    /// the harness rescales them against the measured kernel cost and
+    /// deadline headroom (see [`FaultSpec::with_iters`]).
+    pub fn storm(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            spike_rate: 0.02,
+            spike_iters: 1,
+            stall_lanes: 4,
+            stall_rate: 0.1,
+            stall_iters: 1,
+            pressure_period: 400,
+            pressure_len: 200,
+            pressure_iters: 1,
+        }
+    }
+
+    /// The same scenario with calibrated iteration weights.
+    pub fn with_iters(self, spike: u32, stall: u32, pressure: u32) -> Self {
+        FaultSpec {
+            spike_iters: spike,
+            stall_iters: stall,
+            pressure_iters: pressure,
+            ..self
+        }
+    }
+
+    /// True when no draw can ever fire.
+    pub fn is_quiet(&self) -> bool {
+        (self.spike_rate <= 0.0 || self.spike_iters == 0)
+            && (self.stall_lanes == 0 || self.stall_rate <= 0.0 || self.stall_iters == 0)
+            && (self.pressure_period == 0 || self.pressure_len == 0 || self.pressure_iters == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_is_quiet_and_storm_is_not() {
+        assert!(FaultSpec::quiet(7).is_quiet());
+        assert!(!FaultSpec::storm(7).with_iters(10, 10, 10).is_quiet());
+        // A storm with zeroed weights degenerates to quiet.
+        assert!(FaultSpec::storm(7).with_iters(0, 0, 0).is_quiet());
+    }
+
+    #[test]
+    fn presets_are_pure_functions_of_the_seed() {
+        assert_eq!(FaultSpec::storm(3), FaultSpec::storm(3));
+        assert_ne!(FaultSpec::storm(3).seed, FaultSpec::storm(4).seed);
+    }
+
+    #[test]
+    fn with_iters_only_touches_the_weights() {
+        let base = FaultSpec::storm(11);
+        let scaled = base.with_iters(100, 200, 300);
+        assert_eq!(scaled.spike_iters, 100);
+        assert_eq!(scaled.stall_iters, 200);
+        assert_eq!(scaled.pressure_iters, 300);
+        assert_eq!(scaled.seed, base.seed);
+        assert_eq!(scaled.spike_rate, base.spike_rate);
+        assert_eq!(scaled.pressure_period, base.pressure_period);
+    }
+}

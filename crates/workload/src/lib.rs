@@ -11,11 +11,13 @@
 //! [`profile`] holds the per-node-class compute weights that calibrate our
 //! graph's run-time distribution to the paper's.
 
+pub mod faults;
 pub mod profile;
 pub mod scenario;
 pub mod switches;
 pub mod track;
 
+pub use faults::FaultSpec;
 pub use profile::WorkProfile;
 pub use scenario::{DeckConfig, Scenario};
 pub use switches::{toggle_storm, SwitchAction, SwitchEvent, SwitchScript};

@@ -2,9 +2,11 @@
 //! execution, dependency safety, queue-order properties, stress cycles.
 
 use djstar_core::exec::{
-    BusyExecutor, GraphExecutor, HybridExecutor, SequentialExecutor, SleepExecutor, StealExecutor,
+    BusyExecutor, GraphExecutor, HybridExecutor, PlannedExecutor, ScheduleBlueprint,
+    SequentialExecutor, SleepExecutor, StealExecutor,
 };
-use djstar_core::graph::NodeId;
+use djstar_core::faults::FaultPlan;
+use djstar_core::graph::{NodeId, Priority};
 use djstar_core::trace::TraceKind;
 use djstar_dsp::AudioBuf;
 use djstar_engine::graphbuild::build_djstar_graph;
@@ -146,6 +148,95 @@ fn executors_are_reusable_after_idle_gaps() {
     ex.set_tracing(true);
     ex.run_cycle(&audio, &[]);
     assert_eq!(ex.take_trace().unwrap().executions().len(), 67);
+}
+
+/// All six strategies over the real graph, each paired with its master
+/// output node (graphs are built per executor, so node ids are per-pair).
+fn all_executors(threads: usize) -> Vec<(Box<dyn GraphExecutor>, NodeId)> {
+    let frames = djstar_dsp::BUFFER_FRAMES;
+    let mk = || build_djstar_graph(&Scenario::light_test());
+    let mut v: Vec<(Box<dyn GraphExecutor>, NodeId)> = Vec::new();
+    let (g, m) = mk();
+    v.push((Box::new(SequentialExecutor::new(g, frames)), m.audio_out));
+    let (g, m) = mk();
+    v.push((Box::new(BusyExecutor::new(g, threads, frames)), m.audio_out));
+    let (g, m) = mk();
+    v.push((
+        Box::new(SleepExecutor::new(g, threads, frames)),
+        m.audio_out,
+    ));
+    let (g, m) = mk();
+    v.push((
+        Box::new(StealExecutor::new(g, threads, frames)),
+        m.audio_out,
+    ));
+    let (g, m) = mk();
+    v.push((
+        Box::new(HybridExecutor::new(g, threads, frames, 1_000)),
+        m.audio_out,
+    ));
+    let (g, m) = mk();
+    let bp = ScheduleBlueprint::round_robin(g.topology(), threads, Priority::CriticalPath);
+    v.push((Box::new(PlannedExecutor::new(g, frames, bp)), m.audio_out));
+    v
+}
+
+#[test]
+fn fault_storm_is_deterministic_and_audio_transparent_on_the_real_graph() {
+    // One fixed seed; every strategy must (1) keep the master output
+    // bit-exact with its own fault-free run, (2) agree with every other
+    // strategy on both the output bits and the summed fault telemetry,
+    // and (3) reproduce all of it on a repeat run.
+    let audio = deck_audio();
+    let controls = vec![0.5, 0.9, 0.0, 0.8, 0.8, 0.8, 0.8];
+    let storm = FaultPlan {
+        seed: 0xE14,
+        spike_rate: 0.06,
+        spike_iters: 60,
+        stall_lanes: 5,
+        stall_rate: 0.2,
+        stall_iters: 90,
+        pressure_period: 12,
+        pressure_len: 5,
+        pressure_iters: 40,
+    };
+    let run = |plan: Option<FaultPlan>| -> Vec<(Vec<u32>, u64, u64)> {
+        all_executors(4)
+            .into_iter()
+            .map(|(mut ex, out_node)| {
+                ex.set_faults(plan);
+                ex.set_telemetry(true);
+                for _ in 0..40 {
+                    ex.run_cycle(&audio, &controls);
+                }
+                let mut out = AudioBuf::stereo_default();
+                ex.read_output(out_node, &mut out);
+                let bits: Vec<u32> = out.samples().iter().map(|s| s.to_bits()).collect();
+                let (mut events, mut iters) = (0u64, 0u64);
+                for rec in ex.take_telemetry().unwrap().iter() {
+                    let t = rec.totals();
+                    events += t.fault_events();
+                    iters += t.fault_iters();
+                }
+                (bits, events, iters)
+            })
+            .collect()
+    };
+    let base = run(None);
+    let faulted = run(Some(storm));
+    let again = run(Some(storm));
+    assert_eq!(faulted, again, "fixed seed must reproduce exactly");
+    let (ref_bits, ref_events, ref_iters) = &faulted[0];
+    assert!(*ref_events > 0, "storm produced no fault events");
+    for (i, ((b_bits, b_events, _), (f_bits, f_events, f_iters))) in
+        base.iter().zip(&faulted).enumerate()
+    {
+        assert_eq!(b_bits, f_bits, "strategy {i}: faults leaked into audio");
+        assert_eq!(*b_events, 0, "strategy {i}: events without a plan");
+        assert_eq!(f_bits, ref_bits, "strategy {i}: output diverged");
+        assert_eq!(f_events, ref_events, "strategy {i}: event count diverged");
+        assert_eq!(f_iters, ref_iters, "strategy {i}: injected work diverged");
+    }
 }
 
 #[test]
