@@ -1,0 +1,349 @@
+//! E15 — flight-recorder forensics: a calibrated fault storm across all
+//! six strategies with the always-on span recorder armed, miss dossiers
+//! for every budget overrun, Chrome-trace export, and an overhead guard.
+//!
+//! Per strategy:
+//!
+//! 1. **Budget** — measure the fault-free graph p50 and set the cycle
+//!    budget to `DJSTAR_FLIGHTREC_BUDGET` (default 1.25) times it, so the
+//!    storm reliably produces overruns without the host's absolute speed
+//!    mattering.
+//! 2. **Storm** — run `DJSTAR_FLIGHTREC_CYCLES` APCs with a storm sized
+//!    from the measured headroom, the flight recorder armed and the
+//!    degradation governor on. The recorder window is drained every 32
+//!    cycles; every cycle stamp over budget becomes a
+//!    [`MissDossier`](djstar_stats::MissDossier) whose blame components
+//!    must sum to the measured overrun within `DJSTAR_FLIGHTREC_TOL_PCT`
+//!    (default 1 %). Dossiers cross-reference the engine's degradation
+//!    state and commit cycles.
+//! 3. **Export** — one drained window (the first with a miss) is written
+//!    as Chrome Trace Format to `results/flightrec_<label>.trace.json`
+//!    (loadable in Perfetto / `chrome://tracing`), then parsed back and
+//!    compared bit-for-bit; dossiers land in
+//!    `results/miss_dossiers_<label>.jsonl`.
+//! 4. **Overhead** — recorder off/on in adjacent 25-cycle blocks on the
+//!    same engine (paired medians, as E11/E14); the recorder must cost at
+//!    most `DJSTAR_FLIGHTREC_OVERHEAD_PCT` (default 3 %) of the fastest
+//!    recorder-off cycle.
+//!
+//! Everything lands in `BENCH_flightrec.json`; `DJSTAR_STRICT=1` turns
+//! the gates into the exit code, naming each failure.
+
+use djstar_core::exec::Strategy;
+use djstar_core::flight::{FlightConfig, FlightWindow};
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_engine::degrade::{DegradeAction, DegradeConfig, DegradeEvent};
+use djstar_stats::{
+    analyze_miss, window_from_ctf, window_to_ctf, FlightRecReport, Json, MissContext, MissDossier,
+    StrategyFlightRec, Summary,
+};
+use djstar_workload::faults::FaultSpec;
+use djstar_workload::scenario::Scenario;
+use std::time::Duration;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn p50(samples: &[u64]) -> f64 {
+    let v: Vec<f64> = samples.iter().map(|&n| n as f64).collect();
+    Summary::percentile(&v, 50.0).unwrap_or(0.0)
+}
+
+/// Size a storm so its pressure phases overdraw the *budget* headroom of
+/// this strategy (same recipe as E14, but against the relative budget
+/// rather than the absolute sound-card deadline).
+fn calibrate_storm(p50_ns: f64, budget_ns: u64, threads: usize, seed: u64) -> FaultSpec {
+    let headroom = (budget_ns as f64 - p50_ns).max(budget_ns as f64 / 20.0);
+    let iter_ns = djstar_dsp::work::measure_iter_cost_ns().max(0.1);
+    let nodes = 67.0;
+    let pressure = (2.0 * headroom * threads as f64 / (nodes * iter_ns)).max(1.0) as u32;
+    let spike = (0.5 * headroom / iter_ns).max(1.0) as u32;
+    let stall = (0.5 * headroom / iter_ns).max(1.0) as u32;
+    FaultSpec::storm(seed).with_iters(spike, stall, pressure)
+}
+
+/// Was the engine running degraded when `cycle` executed? A transition
+/// committed at cycle `e` takes effect from cycle `e + 1`.
+fn degraded_at(events: &[DegradeEvent], cycle: u64) -> bool {
+    events
+        .iter()
+        .rfind(|e| e.cycle < cycle)
+        .is_some_and(|e| e.action == DegradeAction::Shed)
+}
+
+/// Did `cycle` pay for a generation-swap commit? Commits are logged at
+/// the cycle they were decided after; the swap lands on the next one.
+fn commit_at(commits: &[u64], cycle: u64) -> bool {
+    cycle > 0 && commits.contains(&(cycle - 1))
+}
+
+struct StormOutcome {
+    misses_flagged: u64,
+    dossiers: Vec<MissDossier>,
+    max_blame_err_pct: f64,
+    spans: u64,
+    dropped_spans: u64,
+    sheds: u64,
+    restores: u64,
+    export_window: Option<FlightWindow>,
+}
+
+/// The storm run: recorder + faults + degradation governor, draining the
+/// window every `DRAIN` cycles and turning over-budget stamps into
+/// dossiers on the spot.
+fn storm_run(
+    scenario: &Scenario,
+    strategy: Strategy,
+    threads: usize,
+    cycles: usize,
+    budget_ns: u64,
+    spec: &FaultSpec,
+) -> StormOutcome {
+    const DRAIN: usize = 32;
+    let label = strategy.label();
+    let mut engine = AudioEngine::with_aux(scenario.clone(), strategy, threads, AuxWork::light());
+    engine.set_faults(Some(spec));
+    engine.enable_degradation(DegradeConfig {
+        window: 16,
+        shed_misses: 4,
+        restore_clean: (spec.pressure_len + spec.pressure_len / 4).max(8) as usize,
+        min_dwell: 8,
+        restore_tolerance: 2,
+    });
+    engine.warmup(50);
+    // Armed after warmup so the first drain window only holds measured
+    // cycles and the lanes never wrap before it.
+    engine.set_flight_recorder(Some(FlightConfig {
+        spans_per_worker: 8192,
+        cycles: 256,
+    }));
+
+    let mut out = StormOutcome {
+        misses_flagged: 0,
+        dossiers: Vec::new(),
+        max_blame_err_pct: 0.0,
+        spans: 0,
+        dropped_spans: 0,
+        sheds: 0,
+        restores: 0,
+        export_window: None,
+    };
+    let analyze = |engine: &mut AudioEngine, out: &mut StormOutcome| {
+        let Some(window) = engine.take_flight_window() else {
+            return;
+        };
+        out.spans += window.spans.len() as u64;
+        out.dropped_spans += window.dropped_spans;
+        let events: Vec<DegradeEvent> = engine.degrade_events().to_vec();
+        let commits: Vec<u64> = engine.commit_cycles().to_vec();
+        let mut window_missed = false;
+        for stamp in &window.cycles {
+            if stamp.duration_ns() <= budget_ns {
+                continue;
+            }
+            out.misses_flagged += 1;
+            window_missed = true;
+            let ctx = MissContext {
+                degraded: degraded_at(&events, stamp.cycle),
+                reconfig_commit: commit_at(&commits, stamp.cycle),
+            };
+            if let Some(d) = analyze_miss(&window, stamp.cycle, budget_ns, label, threads, ctx) {
+                let err_pct = (d.blame.total() as f64 - d.overrun_ns as f64).abs()
+                    / (d.overrun_ns as f64).max(1.0)
+                    * 100.0;
+                out.max_blame_err_pct = out.max_blame_err_pct.max(err_pct);
+                out.dossiers.push(d);
+            }
+        }
+        if window_missed && out.export_window.is_none() {
+            out.export_window = Some(window);
+        }
+    };
+    for cycle in 0..cycles {
+        let timing = engine.run_apc();
+        let missed = timing.graph.as_nanos() as u64 > budget_ns;
+        if let Some(o) = engine.observe_deadline(missed) {
+            match o.action {
+                DegradeAction::Shed => out.sheds += 1,
+                DegradeAction::Restore => out.restores += 1,
+            }
+        }
+        if (cycle + 1) % DRAIN == 0 {
+            analyze(&mut engine, &mut out);
+        }
+    }
+    analyze(&mut engine, &mut out);
+    out
+}
+
+/// Recorder cost as a fraction of the fastest recorder-off cycle: paired
+/// off/on 25-cycle blocks on one engine, median of the per-pair deltas of
+/// block minima (the E11 telemetry-overhead design, recorder edition).
+fn recorder_overhead(scenario: &Scenario, strategy: Strategy, threads: usize, pairs: usize) -> f64 {
+    const BLOCK: usize = 25;
+    let mut engine = AudioEngine::with_aux(scenario.clone(), strategy, threads, AuxWork::light());
+    engine.warmup(50);
+    let block_min = |engine: &mut AudioEngine, on: bool| -> u64 {
+        engine.set_flight_recorder(on.then(FlightConfig::default));
+        let min = (0..BLOCK)
+            .map(|_| engine.run_apc().graph.as_nanos() as u64)
+            .min()
+            .expect("BLOCK > 0");
+        // Keep the lanes empty so the drain cost never lands in a block.
+        engine.take_flight_window();
+        min
+    };
+    let mut deltas = Vec::with_capacity(pairs);
+    let mut best_off = u64::MAX;
+    for _ in 0..pairs.max(2) {
+        let off = block_min(&mut engine, false);
+        let on = block_min(&mut engine, true);
+        best_off = best_off.min(off);
+        deltas.push(on as f64 - off as f64);
+    }
+    deltas.sort_unstable_by(f64::total_cmp);
+    deltas[deltas.len() / 2] / best_off as f64
+}
+
+fn write_artifact(path: &str, text: String, what: &str) {
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!("[flightrec] wrote {path} ({what})"),
+        Err(e) => eprintln!("[flightrec] cannot write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let cycles = env_usize("DJSTAR_FLIGHTREC_CYCLES", 1_500);
+    let seed = env_usize("DJSTAR_FLIGHTREC_SEED", 0xE15) as u64;
+    let budget_factor = env_f64("DJSTAR_FLIGHTREC_BUDGET", 1.25);
+    let overhead_pct = env_f64("DJSTAR_FLIGHTREC_OVERHEAD_PCT", 3.0);
+    let blame_tol_pct = env_f64("DJSTAR_FLIGHTREC_TOL_PCT", 1.0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+
+    let scenario = if std::env::var("DJSTAR_CALIBRATE").is_ok_and(|v| v == "0") {
+        Scenario::paper_default()
+    } else {
+        eprintln!("[flightrec] calibrating work profile ...");
+        AudioEngine::calibrate(
+            Scenario::paper_default(),
+            Duration::from_nanos((djstar_bench::PAPER_SEQUENTIAL_MS * 1e6) as u64),
+            100,
+        )
+    };
+
+    let mut strategies = Vec::new();
+    for strategy in Strategy::ALL {
+        let t = if strategy == Strategy::Sequential {
+            1
+        } else {
+            threads
+        };
+        let label = strategy.label();
+
+        eprintln!("[flightrec] {label}: measuring fault-free baseline ...");
+        let mut probe = AudioEngine::with_aux(scenario.clone(), strategy, t, AuxWork::light());
+        probe.warmup(50);
+        let base: Vec<u64> = (0..100)
+            .map(|_| probe.run_apc().graph.as_nanos() as u64)
+            .collect();
+        drop(probe);
+        let base_p50 = p50(&base);
+        let budget_ns = (base_p50 * budget_factor) as u64;
+        let spec = calibrate_storm(base_p50, budget_ns, t, seed);
+        eprintln!(
+            "[flightrec] {label}: p50 {:.3} ms, budget {:.3} ms; storm run ({cycles} cycles) ...",
+            base_p50 / 1e6,
+            budget_ns as f64 / 1e6
+        );
+        let storm = storm_run(&scenario, strategy, t, cycles, budget_ns, &spec);
+
+        // Export one miss-bearing window as Chrome Trace Format and prove
+        // it survives parse → load bit-for-bit.
+        let mut ctf_roundtrip_ok = true;
+        if let Some(window) = &storm.export_window {
+            let text = window_to_ctf(window).render();
+            let path = format!("results/flightrec_{}.trace.json", label.to_lowercase());
+            write_artifact(&path, format!("{text}\n"), "Chrome Trace Format");
+            ctf_roundtrip_ok = match Json::parse(&text).and_then(|j| window_from_ctf(&j)) {
+                Ok(back) => back == *window,
+                Err(e) => {
+                    eprintln!("[flightrec] {label}: CTF reload failed: {e}");
+                    false
+                }
+            };
+        }
+
+        // Dossiers as JSONL, one per flagged miss.
+        if !storm.dossiers.is_empty() {
+            let mut text = String::new();
+            for d in &storm.dossiers {
+                text.push_str(&d.to_json().render());
+                text.push('\n');
+            }
+            let path = format!("results/miss_dossiers_{}.jsonl", label.to_lowercase());
+            write_artifact(&path, text, &format!("{} dossiers", storm.dossiers.len()));
+        }
+
+        eprintln!("[flightrec] {label}: paired recorder-overhead measurement ...");
+        let overhead_frac = recorder_overhead(&scenario, strategy, t, (cycles / 50).max(8));
+
+        strategies.push(StrategyFlightRec {
+            strategy: label.to_string(),
+            threads: t,
+            budget_ns,
+            misses_flagged: storm.misses_flagged,
+            dossiers: storm.dossiers.len() as u64,
+            max_blame_err_pct: storm.max_blame_err_pct,
+            overhead_frac,
+            ctf_roundtrip_ok,
+            spans: storm.spans,
+            dropped_spans: storm.dropped_spans,
+            sheds: storm.sheds,
+            restores: storm.restores,
+        });
+    }
+
+    let report = FlightRecReport {
+        threads,
+        cycles,
+        overhead_budget_pct: overhead_pct,
+        blame_tol_pct,
+        strategies,
+    };
+
+    println!("# E15 — flight-recorder forensics under a calibrated fault storm\n");
+    println!("{}", report.render());
+
+    let json = report.to_json().render();
+    match std::fs::write("BENCH_flightrec.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("[flightrec] wrote BENCH_flightrec.json"),
+        Err(e) => eprintln!("[flightrec] cannot write BENCH_flightrec.json: {e}"),
+    }
+
+    if std::env::var("DJSTAR_STRICT").is_ok_and(|v| v != "0") {
+        let failed = report.failed_gates();
+        if failed.is_empty() {
+            eprintln!("[flightrec] strict checks passed");
+        } else {
+            for gate in &failed {
+                eprintln!("[flightrec] FAIL: gate '{gate}' tripped");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -40,8 +40,6 @@ fn main() {
     }
 
     println!("# §III-B hotspot analysis ({cycles} APCs)\n");
-    println!("| region | total ms | share | paper |");
-    println!("|---|---|---|---|");
     let apc_ns: u64 = [
         "apc/timecode",
         "apc/preprocessing",
@@ -59,14 +57,15 @@ fn main() {
         "gui" => "~12 % of total",
         _ => "",
     };
-    for row in profiler.report() {
-        println!(
-            "| {} | {:.1} | {:.1} % | {} |",
-            row.region,
-            row.total_ns as f64 / 1e6,
-            row.share * 100.0,
-            paper(row.region)
-        );
+    print!("{}", profiler.render_table(paper));
+
+    // The same shares as a machine-readable artifact, through the same
+    // JSON writer the telemetry exporters use.
+    std::fs::create_dir_all("results").ok();
+    let json = profiler.to_json().render();
+    match std::fs::write("results/hotspot.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("[hotspot] wrote results/hotspot.json"),
+        Err(e) => eprintln!("[hotspot] cannot write results/hotspot.json: {e}"),
     }
     let total: u64 = profiler.grand_total().as_nanos() as u64;
     println!(

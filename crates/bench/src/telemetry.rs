@@ -45,15 +45,29 @@ pub fn collect_telemetry(
     warmup: usize,
     cycles: usize,
 ) -> TelemetryRing {
+    collect_telemetry_with_drops(scenario, strategy, threads, warmup, cycles).0
+}
+
+/// [`collect_telemetry`], also returning the engine's dropped-event count
+/// so reports can carry it. Harnesses that never feed control events
+/// always see 0, but the export path must not silently omit the counter.
+pub fn collect_telemetry_with_drops(
+    scenario: &Scenario,
+    strategy: Strategy,
+    threads: usize,
+    warmup: usize,
+    cycles: usize,
+) -> (TelemetryRing, u64) {
     let mut engine = AudioEngine::with_aux(scenario.clone(), strategy, threads, AuxWork::light());
     engine.warmup(warmup);
     engine.set_telemetry(true);
     for _ in 0..cycles {
         engine.run_apc();
     }
-    engine
+    let ring = engine
         .take_telemetry()
-        .expect("telemetry was enabled before the measured cycles")
+        .expect("telemetry was enabled before the measured cycles");
+    (ring, engine.dropped_events())
 }
 
 /// Aggregate a ring into a [`TelemetryReport`] against [`DEADLINE_NS`].
@@ -93,7 +107,7 @@ pub fn capture_and_export(
     warmup: usize,
     cycles: usize,
 ) -> TelemetryReport {
-    let ring = collect_telemetry(scenario, strategy, threads, warmup, cycles);
+    let (ring, dropped) = collect_telemetry_with_drops(scenario, strategy, threads, warmup, cycles);
     let path = jsonl_path(tag);
     match write_jsonl(&path, &ring) {
         Ok(()) => eprintln!(
@@ -103,7 +117,7 @@ pub fn capture_and_export(
         ),
         Err(e) => eprintln!("[telemetry] cannot write {}: {e}", path.display()),
     }
-    report_for(strategy, threads, &ring)
+    report_for(strategy, threads, &ring).with_dropped_events(dropped)
 }
 
 /// Render `BENCH_telemetry.json`: run metadata plus one entry per report.

@@ -21,6 +21,7 @@ use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
 };
 use crate::faults::FaultPlan;
+use crate::flight::{FlightConfig, FlightWindow, Span, SpanKind};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -101,13 +102,28 @@ fn worker_loop(shared: &Shared, me: usize) {
 fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let tracing = shared.tracing.load(Ordering::Relaxed);
     let telem = shared.telemetry.load(Ordering::Relaxed);
+    let rec = shared.flight_on();
     let counters = &shared.counters[me];
     let topo = shared.graph().topology();
     let faults = shared.fault_plan();
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
     let ctx = unsafe { shared.ctx(epoch) };
     if let Some(plan) = faults {
-        plan.inject_stalls(epoch, me, shared.threads, counters);
+        if rec {
+            let s0 = Instant::now();
+            if plan.inject_stalls(epoch, me, shared.threads, counters) > 0 {
+                shared.record_span(
+                    me,
+                    epoch,
+                    Span::NO_NODE,
+                    SpanKind::Fault,
+                    s0,
+                    Instant::now(),
+                );
+            }
+        } else {
+            plan.inject_stalls(epoch, me, shared.threads, counters);
+        }
     }
     let mut events: Vec<RawEvent> = Vec::new();
     for (k, &node) in shared.order().iter().enumerate() {
@@ -115,7 +131,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             continue;
         }
         let preds = topo.preds(NodeId(node));
-        if tracing || telem {
+        if tracing || telem || rec {
             let w0 = Instant::now();
             let mut spins = 0u64;
             for &p in preds {
@@ -134,10 +150,17 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                 if telem {
                     counters.add_spin(spins, (w1 - w0).as_nanos() as u64);
                 }
+                if rec {
+                    shared.record_span(me, epoch, node, SpanKind::BusyWait, w0, w1);
+                }
             }
             let t0 = Instant::now();
+            let mut fault_end = t0;
             if let Some(plan) = faults {
-                plan.inject_node(epoch, node, counters);
+                let injected = plan.inject_node(epoch, node, counters);
+                if rec && injected > 0 {
+                    fault_end = Instant::now();
+                }
             }
             // SAFETY: exactly-once ownership by round-robin assignment; all
             // predecessors observed done for this epoch.
@@ -153,6 +176,12 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             }
             if telem {
                 counters.add_exec((t1 - t0).as_nanos() as u64);
+            }
+            if rec {
+                if fault_end > t0 {
+                    shared.record_span(me, epoch, node, SpanKind::Fault, t0, fault_end);
+                }
+                shared.record_span(me, epoch, node, SpanKind::Exec, fault_end, t1);
             }
         } else {
             for &p in preds {
@@ -190,7 +219,11 @@ impl GraphExecutor for BusyExecutor {
         let start = unsafe { *self.shared.cycle_start.get() };
         run_cycle_part(&self.shared, 0, epoch);
         self.shared.wait_cycle_done();
-        let duration = start.elapsed();
+        let end = Instant::now();
+        let duration = end - start;
+        if self.shared.flight_on() {
+            self.shared.stamp_cycle(epoch, end);
+        }
         if let Some(ring) = self.telemetry.as_mut() {
             // All counter updates happen-before the workers' final
             // done-count increments, acquired by `wait_cycle_done`.
@@ -237,6 +270,16 @@ impl GraphExecutor for BusyExecutor {
         // SAFETY: driver-only between cycles (`&mut self`); published to
         // workers by the next epoch Release store.
         unsafe { self.shared.faults.set(plan) };
+    }
+
+    fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.install_recorder(cfg);
+    }
+
+    fn take_flight_window(&mut self) -> Option<FlightWindow> {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

@@ -18,6 +18,7 @@ use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
 };
 use crate::faults::FaultPlan;
+use crate::flight::{FlightConfig, FlightWindow, Span, SpanKind};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -151,6 +152,7 @@ fn hybrid_wait(sh: &HybridShared, node: usize, me: usize) -> WaitOutcome {
 fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
     let tracing = sh.base.tracing.load(Ordering::Relaxed);
     let telem = sh.base.telemetry.load(Ordering::Relaxed);
+    let rec = sh.base.flight_on();
     let counters = &sh.base.counters[me];
     let topo = sh.base.graph().topology();
     let faults = sh.base.fault_plan();
@@ -159,7 +161,21 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
     // SAFETY: handles written before the epoch was published.
     let handles = unsafe { sh.base.handles.get() };
     if let Some(plan) = faults {
-        plan.inject_stalls(epoch, me, sh.base.threads, counters);
+        if rec {
+            let s0 = Instant::now();
+            if plan.inject_stalls(epoch, me, sh.base.threads, counters) > 0 {
+                sh.base.record_span(
+                    me,
+                    epoch,
+                    Span::NO_NODE,
+                    SpanKind::Fault,
+                    s0,
+                    Instant::now(),
+                );
+            }
+        } else {
+            plan.inject_stalls(epoch, me, sh.base.threads, counters);
+        }
     }
     let mut events: Vec<RawEvent> = Vec::new();
     for (k, &node) in sh.base.order().iter().enumerate() {
@@ -168,7 +184,7 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
         }
         let w0 = Instant::now();
         let outcome = hybrid_wait(sh, node as usize, me);
-        if tracing || telem {
+        if tracing || telem || rec {
             let w1 = Instant::now();
             let wait_ns = (w1 - w0).as_nanos() as u64;
             match outcome {
@@ -184,6 +200,10 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
                     }
                     if telem {
                         counters.add_spin(spins, wait_ns);
+                    }
+                    if rec {
+                        sh.base
+                            .record_span(me, epoch, node, SpanKind::BusyWait, w0, w1);
                     }
                 }
                 WaitOutcome::Parked { spins, parks } => {
@@ -202,16 +222,24 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
                         counters.add_spin(spins, 0);
                         counters.add_park(parks, wait_ns);
                     }
+                    if rec {
+                        sh.base
+                            .record_span(me, epoch, node, SpanKind::Sleep, w0, w1);
+                    }
                 }
             }
         }
         let t0 = Instant::now();
+        let mut fault_end = t0;
         if let Some(plan) = faults {
-            plan.inject_node(epoch, node, counters);
+            let injected = plan.inject_node(epoch, node, counters);
+            if rec && injected > 0 {
+                fault_end = Instant::now();
+            }
         }
         // SAFETY: exactly-once by static assignment; pending==0 acquired.
         unsafe { sh.base.graph().execute(node as usize, &ctx) };
-        if tracing || telem {
+        if tracing || telem || rec {
             let t1 = Instant::now();
             if tracing {
                 events.push(RawEvent {
@@ -224,6 +252,14 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
             if telem {
                 counters.add_exec((t1 - t0).as_nanos() as u64);
             }
+            if rec {
+                if fault_end > t0 {
+                    sh.base
+                        .record_span(me, epoch, node, SpanKind::Fault, t0, fault_end);
+                }
+                sh.base
+                    .record_span(me, epoch, node, SpanKind::Exec, fault_end, t1);
+            }
         }
         for &s in topo.succs(NodeId(node)) {
             let sc = sh.base.graph().cell(s as usize);
@@ -233,15 +269,21 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
                     if telem {
                         counters.add_unpark();
                     }
-                    if tracing {
+                    if tracing || rec {
                         let u0 = Instant::now();
                         handles[w - 1].unpark();
-                        events.push(RawEvent {
-                            node: s,
-                            kind: TraceKind::Unpark,
-                            start: u0,
-                            end: Instant::now(),
-                        });
+                        let u1 = Instant::now();
+                        if tracing {
+                            events.push(RawEvent {
+                                node: s,
+                                kind: TraceKind::Unpark,
+                                start: u0,
+                                end: u1,
+                            });
+                        }
+                        if rec {
+                            sh.base.record_span(me, epoch, s, SpanKind::Unpark, u0, u1);
+                        }
                     } else {
                         handles[w - 1].unpark();
                     }
@@ -275,7 +317,11 @@ impl GraphExecutor for HybridExecutor {
         let start = unsafe { *sh.base.cycle_start.get() };
         run_cycle_part(sh, 0, epoch);
         sh.base.wait_cycle_done();
-        let duration = start.elapsed();
+        let end = Instant::now();
+        let duration = end - start;
+        if sh.base.flight_on() {
+            sh.base.stamp_cycle(epoch, end);
+        }
         if let Some(ring) = self.telemetry.as_mut() {
             // Counter updates happen-before the workers' final done-count
             // increments, acquired by `wait_cycle_done`.
@@ -322,6 +368,16 @@ impl GraphExecutor for HybridExecutor {
         // SAFETY: driver-only between cycles (`&mut self`); published to
         // workers by the next epoch Release store.
         unsafe { self.shared.base.faults.set(plan) };
+    }
+
+    fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.base.install_recorder(cfg);
+    }
+
+    fn take_flight_window(&mut self) -> Option<FlightWindow> {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.base.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

@@ -56,6 +56,7 @@ pub use sleeping::SleepExecutor;
 pub use stealing::StealExecutor;
 
 use crate::faults::FaultPlan;
+use crate::flight::{CycleStamp, FlightConfig, FlightRecorder, FlightWindow, Span, SpanKind};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::pad::CachePadded;
 use crate::processor::{CycleCtx, Processor};
@@ -253,6 +254,25 @@ pub trait GraphExecutor: Send {
     /// one well-predicted branch on an already-loaded `Option` per node,
     /// nothing more.
     fn set_faults(&mut self, plan: Option<FaultPlan>);
+
+    /// Install (or clear, with `None`) a flight recorder sized by `cfg`.
+    /// All buffers are allocated here, up front; from the next cycle the
+    /// executor records every Exec/BusyWait/Sleep/Steal/Unpark/Fault
+    /// interval into pre-allocated overwrite-oldest per-worker rings.
+    /// Disabled, the hot path pays one `Relaxed` flag load — the same
+    /// zero-cost-when-off contract as [`set_faults`](Self::set_faults).
+    /// Implementations that do not support recording may ignore this.
+    fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+        let _ = cfg;
+    }
+
+    /// Freeze and take the flight-recorder capture accumulated so far
+    /// (spans + cycle stamps); recording continues into the emptied
+    /// buffers. `None` when no recorder is installed or recording is
+    /// unsupported. Driver-only between cycles (`&mut self`).
+    fn take_flight_window(&mut self) -> Option<FlightWindow> {
+        None
+    }
 
     /// Adopt a staged topology generation at a cycle boundary (`&mut self`
     /// proves no cycle is in flight). Runtime state of nodes that exist in
@@ -620,6 +640,14 @@ pub(crate) struct Shared {
     pub tracing: AtomicBool,
     /// Whether to record telemetry counters this cycle.
     pub telemetry: AtomicBool,
+    /// Whether the flight recorder is armed (one `Relaxed` load per cycle
+    /// per worker when off).
+    pub flight: AtomicBool,
+    /// The installed flight recorder, if any. Written only by the driver
+    /// between cycles ([`GraphExecutor::set_flight_recorder`] takes
+    /// `&mut`), lanes written by their owning workers during a cycle —
+    /// the contract documented in [`crate::flight`].
+    pub recorder: DriverCell<Option<FlightRecorder>>,
     /// Per-worker telemetry counters, recorded `Relaxed` on the hot path
     /// and drained by the driver between cycles.
     pub counters: Box<[CycleCounters]>,
@@ -661,6 +689,8 @@ impl Shared {
             priority,
             tracing: AtomicBool::new(false),
             telemetry: AtomicBool::new(false),
+            flight: AtomicBool::new(false),
+            recorder: DriverCell::new(None),
             counters: (0..threads).map(|_| CycleCounters::new()).collect(),
             faults: DriverCell::new(None),
             external: DriverCell::new(ExternalInputs::default()),
@@ -712,6 +742,77 @@ impl Shared {
         // SAFETY: writes are driver-only between cycles (`set_faults`
         // takes `&mut self`), published by the next epoch Release store.
         unsafe { self.faults.get() }.as_ref()
+    }
+
+    /// Whether the flight recorder is armed (hot-path check).
+    #[inline]
+    pub(crate) fn flight_on(&self) -> bool {
+        self.flight.load(Ordering::Relaxed)
+    }
+
+    /// Worker-side: record one span into `worker`'s lane. Caller must have
+    /// seen [`Shared::flight_on`] under the epoch-acquire edge of the
+    /// current cycle (recorder installs are driver-only between cycles,
+    /// published like `faults`).
+    #[inline]
+    pub(crate) fn record_span(
+        &self,
+        worker: usize,
+        cycle: u64,
+        node: u32,
+        kind: SpanKind,
+        start: Instant,
+        end: Instant,
+    ) {
+        // SAFETY: same publication contract as `fault_plan`.
+        if let Some(rec) = unsafe { self.recorder.get() }.as_ref() {
+            let span = Span {
+                cycle,
+                node,
+                worker: worker as u32,
+                start_ns: rec.now_ns(start),
+                end_ns: rec.now_ns(end),
+                kind,
+            };
+            // SAFETY: each worker owns exactly its own lane during a cycle.
+            unsafe { rec.record(worker, span) };
+        }
+    }
+
+    /// Driver-side: stamp a finished cycle's bounds into the recorder.
+    /// Call after the cycle-completion barrier, before the next
+    /// `begin_cycle`.
+    pub(crate) fn stamp_cycle(&self, cycle: u64, end: Instant) {
+        // SAFETY: driver between cycles (the only writer of the cell).
+        if let Some(rec) = unsafe { self.recorder.get() }.as_ref() {
+            let start = unsafe { *self.cycle_start.get() };
+            let stamp = CycleStamp {
+                cycle,
+                start_ns: rec.now_ns(start),
+                end_ns: rec.now_ns(end),
+            };
+            // SAFETY: driver-only between cycles.
+            unsafe { rec.stamp(stamp) };
+        }
+    }
+
+    /// Driver-side: install or clear the flight recorder. The caller must
+    /// hold `&mut` on the executor (no cycle in flight).
+    pub(crate) fn install_recorder(&self, cfg: Option<FlightConfig>) {
+        let rec = cfg.map(|c| FlightRecorder::new(self.threads, c));
+        self.flight.store(rec.is_some(), Ordering::Relaxed);
+        // SAFETY: driver-only between cycles (`&mut` held by caller).
+        unsafe { self.recorder.set(rec) };
+    }
+
+    /// Driver-side: freeze and take the recorder's capture; recording
+    /// continues into the emptied buffers. Same contract as
+    /// [`Shared::install_recorder`].
+    pub(crate) fn take_window(&self) -> Option<FlightWindow> {
+        // SAFETY: driver-only between cycles (`&mut` held by caller).
+        unsafe { self.recorder.get_mut() }
+            .as_mut()
+            .map(|r| r.take_window())
     }
 
     /// The topological order selected by this executor's priority.

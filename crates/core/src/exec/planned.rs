@@ -30,6 +30,7 @@ use super::{
     Strategy, SwapError,
 };
 use crate::faults::FaultPlan;
+use crate::flight::{FlightConfig, FlightWindow, Span, SpanKind};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -403,17 +404,32 @@ fn worker_loop(shared: &PlannedShared, me: usize) {
 fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
     let tracing = sh.base.tracing.load(Ordering::Relaxed);
     let telem = sh.base.telemetry.load(Ordering::Relaxed);
+    let rec = sh.base.flight_on();
     let counters = &sh.base.counters[me];
     let faults = sh.base.fault_plan();
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
     let ctx = unsafe { sh.base.ctx(epoch) };
     if let Some(plan) = faults {
-        plan.inject_stalls(epoch, me, sh.base.threads, counters);
+        if rec {
+            let s0 = Instant::now();
+            if plan.inject_stalls(epoch, me, sh.base.threads, counters) > 0 {
+                sh.base.record_span(
+                    me,
+                    epoch,
+                    Span::NO_NODE,
+                    SpanKind::Fault,
+                    s0,
+                    Instant::now(),
+                );
+            }
+        } else {
+            plan.inject_stalls(epoch, me, sh.base.threads, counters);
+        }
     }
     let mut events: Vec<RawEvent> = Vec::new();
     for entry in sh.plan().worker(me) {
         let node = entry.node;
-        if tracing || telem {
+        if tracing || telem || rec {
             let w0 = Instant::now();
             let mut spins = 0u64;
             for &p in entry.waits() {
@@ -432,10 +448,18 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
                 if telem {
                     counters.add_spin(spins, (w1 - w0).as_nanos() as u64);
                 }
+                if rec {
+                    sh.base
+                        .record_span(me, epoch, node, SpanKind::BusyWait, w0, w1);
+                }
             }
             let t0 = Instant::now();
+            let mut fault_end = t0;
             if let Some(plan) = faults {
-                plan.inject_node(epoch, node, counters);
+                let injected = plan.inject_node(epoch, node, counters);
+                if rec && injected > 0 {
+                    fault_end = Instant::now();
+                }
             }
             // SAFETY: exactly-once ownership by blueprint validation; all
             // predecessors observed done for this epoch (same-worker preds
@@ -452,6 +476,14 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
             }
             if telem {
                 counters.add_exec((t1 - t0).as_nanos() as u64);
+            }
+            if rec {
+                if fault_end > t0 {
+                    sh.base
+                        .record_span(me, epoch, node, SpanKind::Fault, t0, fault_end);
+                }
+                sh.base
+                    .record_span(me, epoch, node, SpanKind::Exec, fault_end, t1);
             }
         } else {
             for &p in entry.waits() {
@@ -490,7 +522,11 @@ impl GraphExecutor for PlannedExecutor {
         let start = unsafe { *sh.base.cycle_start.get() };
         run_cycle_part(sh, 0, epoch);
         sh.base.wait_cycle_done();
-        let duration = start.elapsed();
+        let end = Instant::now();
+        let duration = end - start;
+        if sh.base.flight_on() {
+            sh.base.stamp_cycle(epoch, end);
+        }
         if let Some(ring) = self.telemetry.as_mut() {
             // All counter updates happen-before the workers' final
             // done-count increments, acquired by `wait_cycle_done`.
@@ -537,6 +573,16 @@ impl GraphExecutor for PlannedExecutor {
         // SAFETY: driver-only between cycles (`&mut self`); published to
         // workers by the next epoch Release store.
         unsafe { self.shared.base.faults.set(plan) };
+    }
+
+    fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.base.install_recorder(cfg);
+    }
+
+    fn take_flight_window(&mut self) -> Option<FlightWindow> {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.base.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

@@ -9,6 +9,7 @@ use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, StagedGeneration, Strategy, SwapError,
 };
 use crate::faults::FaultPlan;
+use crate::flight::{CycleStamp, FlightConfig, FlightRecorder, FlightWindow, Span, SpanKind};
 use crate::graph::{GraphTopology, NodeId, TaskGraph};
 use crate::processor::{CycleCtx, Processor};
 use crate::telemetry::{CycleCounters, TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -26,6 +27,22 @@ pub struct SequentialExecutor {
     counters: CycleCounters,
     telemetry: Option<TelemetryRing>,
     faults: Option<FaultPlan>,
+    flight: Option<FlightRecorder>,
+}
+
+/// Record a span on the single worker lane.
+#[inline]
+fn rec_span(r: &FlightRecorder, cycle: u64, node: u32, kind: SpanKind, t0: Instant, t1: Instant) {
+    let span = Span {
+        cycle,
+        node,
+        worker: 0,
+        start_ns: r.now_ns(t0),
+        end_ns: r.now_ns(t1),
+        kind,
+    };
+    // SAFETY: single-threaded executor — lane 0 has exactly one writer.
+    unsafe { r.record(0, span) };
 }
 
 impl SequentialExecutor {
@@ -40,6 +57,7 @@ impl SequentialExecutor {
             counters: CycleCounters::new(),
             telemetry: None,
             faults: None,
+            flight: None,
         }
     }
 }
@@ -61,18 +79,40 @@ impl GraphExecutor for SequentialExecutor {
             controls,
         };
         let telem = self.telemetry.is_some();
+        let rec = self.flight.is_some();
+        let flight = self.flight.as_ref();
         let faults = self.faults.as_ref();
         let start = Instant::now();
         // The single worker absorbs every stall lane.
         if let Some(plan) = faults {
-            plan.inject_stalls(self.epoch, 0, 1, &self.counters);
+            if rec {
+                let s0 = Instant::now();
+                if plan.inject_stalls(self.epoch, 0, 1, &self.counters) > 0 {
+                    if let Some(r) = flight {
+                        rec_span(
+                            r,
+                            self.epoch,
+                            Span::NO_NODE,
+                            SpanKind::Fault,
+                            s0,
+                            Instant::now(),
+                        );
+                    }
+                }
+            } else {
+                plan.inject_stalls(self.epoch, 0, 1, &self.counters);
+            }
         }
         if self.tracing {
             let mut events = Vec::with_capacity(self.exec.len());
             for &n in self.exec.topology().queue() {
                 let t0 = Instant::now();
+                let mut fault_end = t0;
                 if let Some(plan) = faults {
-                    plan.inject_node(self.epoch, n, &self.counters);
+                    let injected = plan.inject_node(self.epoch, n, &self.counters);
+                    if rec && injected > 0 {
+                        fault_end = Instant::now();
+                    }
                 }
                 // SAFETY: single thread executes every node in queue order,
                 // which is a valid topological order.
@@ -80,6 +120,12 @@ impl GraphExecutor for SequentialExecutor {
                 let t1 = Instant::now();
                 if telem {
                     self.counters.add_exec((t1 - t0).as_nanos() as u64);
+                }
+                if let Some(r) = flight {
+                    if fault_end > t0 {
+                        rec_span(r, self.epoch, n, SpanKind::Fault, t0, fault_end);
+                    }
+                    rec_span(r, self.epoch, n, SpanKind::Exec, fault_end, t1);
                 }
                 events.push(RawEvent {
                     node: n,
@@ -89,15 +135,28 @@ impl GraphExecutor for SequentialExecutor {
                 });
             }
             self.last_trace = Some(super::finish_trace(1, start, vec![(0, events)]));
-        } else if telem {
+        } else if telem || rec {
             for &n in self.exec.topology().queue() {
                 let t0 = Instant::now();
+                let mut fault_end = t0;
                 if let Some(plan) = faults {
-                    plan.inject_node(self.epoch, n, &self.counters);
+                    let injected = plan.inject_node(self.epoch, n, &self.counters);
+                    if rec && injected > 0 {
+                        fault_end = Instant::now();
+                    }
                 }
                 // SAFETY: as above.
                 unsafe { self.exec.execute(n as usize, &ctx) };
-                self.counters.add_exec(t0.elapsed().as_nanos() as u64);
+                let t1 = Instant::now();
+                if telem {
+                    self.counters.add_exec((t1 - t0).as_nanos() as u64);
+                }
+                if let Some(r) = flight {
+                    if fault_end > t0 {
+                        rec_span(r, self.epoch, n, SpanKind::Fault, t0, fault_end);
+                    }
+                    rec_span(r, self.epoch, n, SpanKind::Exec, fault_end, t1);
+                }
             }
         } else {
             for &n in self.exec.topology().queue() {
@@ -108,7 +167,17 @@ impl GraphExecutor for SequentialExecutor {
                 unsafe { self.exec.execute(n as usize, &ctx) };
             }
         }
-        let duration = start.elapsed();
+        let end = Instant::now();
+        let duration = end - start;
+        if let Some(r) = self.flight.as_ref() {
+            let stamp = CycleStamp {
+                cycle: self.epoch,
+                start_ns: r.now_ns(start),
+                end_ns: r.now_ns(end),
+            };
+            // SAFETY: single-threaded executor — only the driver stamps.
+            unsafe { r.stamp(stamp) };
+        }
         if let Some(ring) = self.telemetry.as_mut() {
             let slot = ring.begin_push(self.epoch, duration.as_nanos() as u64);
             self.counters.drain_into(&mut slot[0]);
@@ -144,6 +213,14 @@ impl GraphExecutor for SequentialExecutor {
 
     fn set_faults(&mut self, plan: Option<FaultPlan>) {
         self.faults = plan;
+    }
+
+    fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+        self.flight = cfg.map(|c| FlightRecorder::new(1, c));
+    }
+
+    fn take_flight_window(&mut self) -> Option<FlightWindow> {
+        self.flight.as_mut().map(|r| r.take_window())
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

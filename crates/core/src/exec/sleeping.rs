@@ -23,6 +23,7 @@ use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
 };
 use crate::faults::FaultPlan;
+use crate::flight::{FlightConfig, FlightWindow, Span, SpanKind};
 use crate::graph::{GraphTopology, NodeId, Priority, TaskGraph};
 use crate::processor::Processor;
 use crate::telemetry::{TelemetryRing, DEFAULT_RING_CAPACITY};
@@ -132,6 +133,7 @@ fn cell_pending(shared: &Shared, node: usize) -> u32 {
 fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let tracing = shared.tracing.load(Ordering::Relaxed);
     let telem = shared.telemetry.load(Ordering::Relaxed);
+    let rec = shared.flight_on();
     let counters = &shared.counters[me];
     let topo = shared.graph().topology();
     let faults = shared.fault_plan();
@@ -140,14 +142,28 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     // SAFETY: handles were written before the epoch was published.
     let handles = unsafe { shared.handles.get() };
     if let Some(plan) = faults {
-        plan.inject_stalls(epoch, me, shared.threads, counters);
+        if rec {
+            let s0 = Instant::now();
+            if plan.inject_stalls(epoch, me, shared.threads, counters) > 0 {
+                shared.record_span(
+                    me,
+                    epoch,
+                    Span::NO_NODE,
+                    SpanKind::Fault,
+                    s0,
+                    Instant::now(),
+                );
+            }
+        } else {
+            plan.inject_stalls(epoch, me, shared.threads, counters);
+        }
     }
     let mut events: Vec<RawEvent> = Vec::new();
     for (k, &node) in shared.order().iter().enumerate() {
         if k % shared.threads != me {
             continue;
         }
-        if tracing || telem {
+        if tracing || telem || rec {
             let w0 = Instant::now();
             if let Some(parks) = sleep_until_ready(shared, node as usize, me) {
                 let w1 = Instant::now();
@@ -162,10 +178,17 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                 if telem {
                     counters.add_park(parks, (w1 - w0).as_nanos() as u64);
                 }
+                if rec {
+                    shared.record_span(me, epoch, node, SpanKind::Sleep, w0, w1);
+                }
             }
             let t0 = Instant::now();
+            let mut fault_end = t0;
             if let Some(plan) = faults {
-                plan.inject_node(epoch, node, counters);
+                let injected = plan.inject_node(epoch, node, counters);
+                if rec && injected > 0 {
+                    fault_end = Instant::now();
+                }
             }
             // SAFETY: exactly-once ownership (static assignment); pending==0
             // observed with Acquire implies all predecessor outputs visible.
@@ -181,6 +204,12 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
             }
             if telem {
                 counters.add_exec((t1 - t0).as_nanos() as u64);
+            }
+            if rec {
+                if fault_end > t0 {
+                    shared.record_span(me, epoch, node, SpanKind::Fault, t0, fault_end);
+                }
+                shared.record_span(me, epoch, node, SpanKind::Exec, fault_end, t1);
             }
         } else {
             sleep_until_ready(shared, node as usize, me);
@@ -200,15 +229,21 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                     if telem {
                         counters.add_unpark();
                     }
-                    if tracing {
+                    if tracing || rec {
                         let u0 = Instant::now();
                         handles[w - 1].unpark();
-                        events.push(RawEvent {
-                            node: s,
-                            kind: TraceKind::Unpark,
-                            start: u0,
-                            end: Instant::now(),
-                        });
+                        let u1 = Instant::now();
+                        if tracing {
+                            events.push(RawEvent {
+                                node: s,
+                                kind: TraceKind::Unpark,
+                                start: u0,
+                                end: u1,
+                            });
+                        }
+                        if rec {
+                            shared.record_span(me, epoch, s, SpanKind::Unpark, u0, u1);
+                        }
                     } else {
                         handles[w - 1].unpark();
                     }
@@ -241,7 +276,11 @@ impl GraphExecutor for SleepExecutor {
         let start = unsafe { *self.shared.cycle_start.get() };
         run_cycle_part(&self.shared, 0, epoch);
         self.shared.wait_cycle_done();
-        let duration = start.elapsed();
+        let end = Instant::now();
+        let duration = end - start;
+        if self.shared.flight_on() {
+            self.shared.stamp_cycle(epoch, end);
+        }
         if let Some(ring) = self.telemetry.as_mut() {
             // Every worker's last counter update precedes its final
             // done-count increment, acquired by `wait_cycle_done`.
@@ -288,6 +327,16 @@ impl GraphExecutor for SleepExecutor {
         // SAFETY: driver-only between cycles (`&mut self`); published to
         // workers by the next epoch Release store.
         unsafe { self.shared.faults.set(plan) };
+    }
+
+    fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.install_recorder(cfg);
+    }
+
+    fn take_flight_window(&mut self) -> Option<FlightWindow> {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

@@ -27,6 +27,7 @@ use super::{
 };
 use crate::deque::{Steal, WorkDeque};
 use crate::faults::FaultPlan;
+use crate::flight::{FlightConfig, FlightWindow, Span, SpanKind};
 use crate::graph::{GraphTopology, NodeId, Priority, Section, TaskGraph};
 use crate::idle::IdleSet;
 use crate::processor::{CycleCtx, Processor};
@@ -169,6 +170,7 @@ fn all_deques_empty(ws: &WsShared) -> bool {
 /// `node` must have been obtained from a deque `pop`/`steal` this epoch
 /// (exactly-once ownership; readiness was established by the pending
 /// protocol before the node entered a deque).
+#[allow(clippy::too_many_arguments)] // the three observability gates travel together
 unsafe fn run_node(
     ws: &WsShared,
     me: usize,
@@ -176,14 +178,19 @@ unsafe fn run_node(
     ctx: &CycleCtx<'_>,
     tracing: bool,
     telem: bool,
+    rec: bool,
     events: &mut Vec<RawEvent>,
 ) {
     let counters = &ws.base.counters[me];
     let faults = ws.base.fault_plan();
-    if tracing || telem {
+    if tracing || telem || rec {
         let t0 = Instant::now();
+        let mut fault_end = t0;
         if let Some(plan) = faults {
-            plan.inject_node(ctx.epoch, node, counters);
+            let injected = plan.inject_node(ctx.epoch, node, counters);
+            if rec && injected > 0 {
+                fault_end = Instant::now();
+            }
         }
         ws.base.graph().execute(node as usize, ctx);
         let t1 = Instant::now();
@@ -197,6 +204,14 @@ unsafe fn run_node(
         }
         if telem {
             counters.add_exec((t1 - t0).as_nanos() as u64);
+        }
+        if rec {
+            if fault_end > t0 {
+                ws.base
+                    .record_span(me, ctx.epoch, node, SpanKind::Fault, t0, fault_end);
+            }
+            ws.base
+                .record_span(me, ctx.epoch, node, SpanKind::Exec, fault_end, t1);
         }
     } else {
         if let Some(plan) = faults {
@@ -249,24 +264,39 @@ unsafe fn run_node(
 fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
     let tracing = ws.base.tracing.load(Ordering::Relaxed);
     let telem = ws.base.telemetry.load(Ordering::Relaxed);
+    let rec = ws.base.flight_on();
     let counters = &ws.base.counters[me];
     // SAFETY: epoch acquired.
     let ctx = unsafe { ws.base.ctx(epoch) };
     let idle = ws.idle.get().expect("idle set initialized");
     let total = ws.base.graph().len() as u32;
     if let Some(plan) = ws.base.fault_plan() {
-        plan.inject_stalls(epoch, me, ws.base.threads, counters);
+        if rec {
+            let s0 = Instant::now();
+            if plan.inject_stalls(epoch, me, ws.base.threads, counters) > 0 {
+                ws.base.record_span(
+                    me,
+                    epoch,
+                    Span::NO_NODE,
+                    SpanKind::Fault,
+                    s0,
+                    Instant::now(),
+                );
+            }
+        } else {
+            plan.inject_stalls(epoch, me, ws.base.threads, counters);
+        }
     }
     let mut events: Vec<RawEvent> = Vec::new();
     loop {
         // 1. Local work, newest first (LIFO: §V-C cache-locality argument).
         if let Some(node) = ws.deques()[me].pop() {
             // SAFETY: popped from own deque.
-            unsafe { run_node(ws, me, node, &ctx, tracing, telem, &mut events) };
+            unsafe { run_node(ws, me, node, &ctx, tracing, telem, rec, &mut events) };
             continue;
         }
         // 2. Steal, oldest first from a victim.
-        let stolen = if tracing || telem {
+        let stolen = if tracing || telem || rec {
             let s0 = Instant::now();
             let stolen = steal_sweep(ws, me);
             if telem {
@@ -282,13 +312,19 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
                     });
                 }
             }
+            if rec {
+                if let Some(node) = stolen {
+                    ws.base
+                        .record_span(me, epoch, node, SpanKind::Steal, s0, Instant::now());
+                }
+            }
             stolen
         } else {
             steal_sweep(ws, me)
         };
         if let Some(node) = stolen {
             // SAFETY: stolen exactly once.
-            unsafe { run_node(ws, me, node, &ctx, tracing, telem, &mut events) };
+            unsafe { run_node(ws, me, node, &ctx, tracing, telem, rec, &mut events) };
             continue;
         }
         // 3. Cycle complete?
@@ -308,7 +344,7 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
             idle.deregister(me);
             continue;
         }
-        if tracing || telem {
+        if tracing || telem || rec {
             let w0 = Instant::now();
             std::thread::park();
             let w1 = Instant::now();
@@ -322,6 +358,10 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
             }
             if telem {
                 counters.add_park(1, (w1 - w0).as_nanos() as u64);
+            }
+            if rec {
+                ws.base
+                    .record_span(me, epoch, Span::NO_NODE, SpanKind::Idle, w0, w1);
             }
         } else {
             std::thread::park();
@@ -381,7 +421,11 @@ impl GraphExecutor for StealExecutor {
         // All nodes are done; now wait for every worker to leave the work
         // loop so none can touch the deques we will seed next cycle.
         ws.base.wait_cycle_exited(ws.base.threads as u32);
-        let duration = start.elapsed();
+        let end = Instant::now();
+        let duration = end - start;
+        if ws.base.flight_on() {
+            ws.base.stamp_cycle(epoch, end);
+        }
         if let Some(ring) = self.telemetry.as_mut() {
             // Drain strictly after the exit barrier: idle-park counters can
             // be recorded after a worker's last `node_finished`, but always
@@ -429,6 +473,16 @@ impl GraphExecutor for StealExecutor {
         // SAFETY: driver-only between cycles (`&mut self`); published to
         // workers by the next epoch Release store.
         unsafe { self.shared.base.faults.set(plan) };
+    }
+
+    fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.base.install_recorder(cfg);
+    }
+
+    fn take_flight_window(&mut self) -> Option<FlightWindow> {
+        // Driver-only between cycles (`&mut self`).
+        self.shared.base.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {

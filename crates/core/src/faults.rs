@@ -161,12 +161,16 @@ impl FaultPlan {
     ///
     /// The injected work never touches audio buffers, so output remains
     /// bit-exact with a fault-free run.
+    ///
+    /// Returns the kernel iterations burned (0 when nothing fired), so
+    /// flight-recording executors can split the injected interval into a
+    /// `Fault` span without re-deriving the draw.
     #[inline]
-    pub fn inject_node(&self, cycle: u64, node: u32, counters: &CycleCounters) {
+    pub fn inject_node(&self, cycle: u64, node: u32, counters: &CycleCounters) -> u64 {
         let spike = self.spike_iters_for(cycle, node);
         let pressure = self.pressure_iters_for(cycle);
         if spike == 0 && pressure == 0 {
-            return;
+            return 0;
         }
         // Seed varies per (cycle, node) so the kernel cannot be hoisted.
         let seed = 0.25 + 0.5 * ((cycle as u32 ^ node) % 127) as f32 / 127.0;
@@ -177,6 +181,7 @@ impl FaultPlan {
         if pressure > 0 {
             counters.add_fault_pressure(pressure as u64);
         }
+        (spike + pressure) as u64
     }
 
     /// Burn worker `me`'s share of the cycle's stall lanes (lane `l` maps
@@ -186,11 +191,22 @@ impl FaultPlan {
     /// the telemetry event counts — identical across strategies and
     /// thread counts (a sequential run absorbs every lane on its only
     /// worker).
+    ///
+    /// Returns the total kernel iterations burned on this worker (0 when
+    /// no lane fired), for the same flight-recording purpose as
+    /// [`inject_node`](Self::inject_node).
     #[inline]
-    pub fn inject_stalls(&self, cycle: u64, me: usize, threads: usize, counters: &CycleCounters) {
+    pub fn inject_stalls(
+        &self,
+        cycle: u64,
+        me: usize,
+        threads: usize,
+        counters: &CycleCounters,
+    ) -> u64 {
         if self.stall_lanes == 0 || self.stall_iters == 0 || self.stall_rate <= 0.0 {
-            return;
+            return 0;
         }
+        let mut burned = 0u64;
         let mut lane = me as u32;
         while lane < self.stall_lanes {
             let iters = self.stall_iters_for(cycle, lane);
@@ -198,9 +214,11 @@ impl FaultPlan {
                 let seed = 0.25 + 0.5 * ((cycle as u32 ^ lane) % 113) as f32 / 113.0;
                 std::hint::black_box(burn(iters, seed));
                 counters.add_fault_stall(iters as u64);
+                burned += iters as u64;
             }
             lane += threads as u32;
         }
+        burned
     }
 
     /// Total kernel iterations the plan injects into `cycle` across all

@@ -37,6 +37,11 @@
 //!   spikes, worker stalls, CPU-pressure episodes) hooked into every
 //!   executor's node-execution path via [`exec::GraphExecutor::set_faults`];
 //!   zero-cost when no plan is installed.
+//! * [`flight`] — the flight recorder: pre-allocated, overwrite-oldest
+//!   per-worker span rings capturing the last N cycles of
+//!   Exec/BusyWait/Sleep/Steal/Unpark/Fault intervals with zero hot-path
+//!   allocation, behind [`exec::GraphExecutor::set_flight_recorder`]; the
+//!   raw material for deadline-miss forensics and Chrome-trace export.
 //!
 //! # Memory-safety argument
 //!
@@ -51,6 +56,7 @@
 pub mod deque;
 pub mod exec;
 pub mod faults;
+pub mod flight;
 pub mod graph;
 pub mod idle;
 pub mod pad;
@@ -64,6 +70,7 @@ pub use exec::{
     StagedGeneration, StealExecutor, Strategy, SwapError,
 };
 pub use faults::FaultPlan;
+pub use flight::{CycleStamp, FlightConfig, FlightRecorder, FlightWindow, Span, SpanKind};
 pub use graph::{GraphError, NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
 pub use pad::CachePadded;
 pub use processor::{CycleCtx, Processor};

@@ -42,6 +42,7 @@ use djstar_core::exec::{
     SequentialExecutor, SleepExecutor, StealExecutor,
 };
 use djstar_core::faults::FaultPlan;
+use djstar_core::flight::FlightConfig;
 use djstar_core::graph::{NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
 use djstar_core::processor::{CycleCtx, FnProcessor};
 use djstar_dsp::AudioBuf;
@@ -161,6 +162,31 @@ fn telemetry_cycles_do_not_allocate() {
             );
         }
         exec.set_faults(None);
+        // The flight recorder shares the hot path: with a deliberately
+        // tiny window the span lanes *wrap* during the measured cycles,
+        // so both the record and the overwrite-oldest path must run
+        // allocation-free.
+        exec.set_flight_recorder(Some(FlightConfig {
+            spans_per_worker: 256,
+            cycles: 16,
+        }));
+        exec.run_cycle(&[], &[]);
+        cycles_run += 1;
+        let mut allocs = measure(&mut exec, &mut cycles_run);
+        if allocs > 0 {
+            allocs = measure(&mut exec, &mut cycles_run);
+        }
+        assert_eq!(
+            allocs, 0,
+            "{label}: recorder-on cycles allocated {allocs} times"
+        );
+        let window = exec.take_flight_window().expect("recorder installed");
+        assert!(!window.is_empty(), "{label}: recorder captured nothing");
+        assert!(
+            window.dropped_spans > 0,
+            "{label}: the tiny ring never wrapped, the overwrite path went untested"
+        );
+        exec.set_flight_recorder(None);
         // The ring still has every record (nothing was traded for the
         // zero-alloc property).
         let ring = exec.take_telemetry().unwrap();

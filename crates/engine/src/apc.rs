@@ -24,6 +24,7 @@ use djstar_core::exec::{
     SequentialExecutor, SleepExecutor, StealExecutor, Strategy, SwapError,
 };
 use djstar_core::faults::FaultPlan;
+use djstar_core::flight::{FlightConfig, FlightWindow};
 use djstar_dsp::buffer::AudioBuf;
 use djstar_dsp::work::burn;
 use djstar_workload::faults::FaultSpec;
@@ -127,6 +128,14 @@ pub struct AudioEngine {
     /// Installed fault plan, kept so a thread-resize rebuild can
     /// reinstall it on the fresh executor.
     faults: Option<FaultPlan>,
+    /// Installed flight-recorder config, kept (like `faults`) so a
+    /// thread-resize rebuild can re-arm the recorder on the fresh
+    /// executor. The recorded window itself does not survive a rebuild.
+    flight_cfg: Option<FlightConfig>,
+    /// Engine cycles at which a generation swap committed (reconfig or
+    /// degradation), so miss forensics can cross-reference overruns with
+    /// commit activity.
+    commit_cycles: Vec<u64>,
     /// Degradation governor; `None` until
     /// [`enable_degradation`](Self::enable_degradation).
     degrade: Option<DegradationPolicy>,
@@ -242,6 +251,8 @@ impl AudioEngine {
             master_bpm: scenario.decks[0].bpm,
             aux_sink: 0.0,
             faults: None,
+            flight_cfg: None,
+            commit_cycles: Vec::new(),
             degrade: None,
             saved_fx: [0; 4],
             saved_aux: None,
@@ -397,6 +408,7 @@ impl AudioEngine {
         let generation = self.executor.adopt_generation(staged)?;
         self.shape = shape;
         self.map = map;
+        self.commit_cycles.push(self.cycle);
         Ok(generation)
     }
 
@@ -428,8 +440,10 @@ impl AudioEngine {
                 Self::build_executor(&self.scenario, &shape, self.strategy(), threads, frames);
             self.executor = executor;
             self.executor.set_faults(self.faults);
+            self.executor.set_flight_recorder(self.flight_cfg);
             self.map = map;
             self.shape = shape;
+            self.commit_cycles.push(self.cycle);
             return Ok(self.executor.generation());
         }
         let staged = stage_topology(
@@ -457,6 +471,28 @@ impl AudioEngine {
     /// last taken); recording continues into a fresh ring.
     pub fn take_telemetry(&mut self) -> Option<djstar_core::telemetry::TelemetryRing> {
         self.executor.take_telemetry()
+    }
+
+    /// Install (or clear, with `None`) the flight recorder on the
+    /// executor. Like the fault plan, the config survives generation
+    /// swaps and thread-resize rebuilds until cleared — though a rebuild
+    /// discards any spans recorded on the torn-down executor.
+    pub fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+        self.flight_cfg = cfg;
+        self.executor.set_flight_recorder(cfg);
+    }
+
+    /// Drain the flight-recorder window captured since the recorder was
+    /// installed (or last drained); recording continues into empty lanes.
+    pub fn take_flight_window(&mut self) -> Option<FlightWindow> {
+        self.executor.take_flight_window()
+    }
+
+    /// Engine cycles at which a generation swap committed (degradation
+    /// shed/restore or explicit reconfiguration). Miss forensics uses
+    /// this to mark overruns that coincided with a commit.
+    pub fn commit_cycles(&self) -> &[u64] {
+        &self.commit_cycles
     }
 
     /// Install (or clear, with `None`) a fault-injection plan on the
@@ -1167,6 +1203,39 @@ mod tests {
             fault_events_in(&mut e, 40) > 0,
             "rebuild dropped the fault plan"
         );
+    }
+
+    #[test]
+    fn flight_recorder_survives_thread_resize_rebuild() {
+        use djstar_core::flight::FlightConfig;
+        let mut e = light_engine(Strategy::Busy, 2);
+        e.set_flight_recorder(Some(FlightConfig::default()));
+        e.warmup(5);
+        let first = e.take_flight_window().expect("recorder installed");
+        assert!(!first.is_empty(), "no spans before the rebuild");
+        e.reconfigure(&[GraphEdit::ResizeThreads(3)]).unwrap();
+        assert_eq!(e.commit_cycles(), &[5], "rebuild must log its cycle");
+        e.warmup(5);
+        let second = e
+            .take_flight_window()
+            .expect("rebuild dropped the recorder");
+        assert!(!second.is_empty(), "no spans after the rebuild");
+        e.set_flight_recorder(None);
+        e.warmup(2);
+        assert!(e.take_flight_window().is_none());
+    }
+
+    #[test]
+    fn flight_window_carries_cycle_stamps() {
+        use djstar_core::flight::FlightConfig;
+        let mut e = light_engine(Strategy::Steal, 2);
+        e.set_flight_recorder(Some(FlightConfig::default()));
+        e.warmup(6);
+        let w = e.take_flight_window().expect("recorder installed");
+        assert!(w.cycles.len() >= 6, "stamps: {}", w.cycles.len());
+        let last = w.cycles.last().unwrap();
+        assert!(w.stamp_for(last.cycle).is_some());
+        assert!(!w.spans_in(last.cycle).is_empty());
     }
 
     #[test]

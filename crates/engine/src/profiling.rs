@@ -8,6 +8,7 @@
 //! [`HotspotProfiler::report`] produces the share table the
 //! `hotspot_analysis` binary prints.
 
+use djstar_stats::Json;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -87,6 +88,49 @@ impl HotspotProfiler {
     pub fn clear(&mut self) {
         self.totals.clear();
     }
+
+    /// Render the report through the same JSON writer the telemetry
+    /// exporters use: a `regions` array of `{region, total_ns, share}`
+    /// rows (largest first) plus the grand total.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .report()
+            .into_iter()
+            .map(|r| {
+                Json::object([
+                    ("region", Json::from(r.region)),
+                    ("total_ns", Json::from(r.total_ns)),
+                    ("share", Json::from(r.share)),
+                ])
+            })
+            .collect();
+        Json::object([
+            (
+                "grand_total_ns",
+                Json::from(self.grand_total().as_nanos() as u64),
+            ),
+            ("regions", Json::Array(rows)),
+        ])
+    }
+
+    /// Render the report as a markdown table, largest share first.
+    /// `annotate` supplies the right-hand commentary column per region
+    /// (return `""` to leave a row blank).
+    pub fn render_table(&self, annotate: impl Fn(&str) -> &'static str) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("| region | total ms | share | paper |\n|---|---|---|---|\n");
+        for row in self.report() {
+            let _ = writeln!(
+                out,
+                "| {} | {:.1} | {:.1} % | {} |",
+                row.region,
+                row.total_ns as f64 / 1e6,
+                row.share * 100.0,
+                annotate(row.region)
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +178,32 @@ mod tests {
         let p = HotspotProfiler::new();
         assert_eq!(p.share_of("x"), 0.0);
         assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn json_export_matches_report() {
+        let mut p = HotspotProfiler::new();
+        p.record("big", 300);
+        p.record("small", 100);
+        let j = p.to_json();
+        assert_eq!(j.get("grand_total_ns").and_then(Json::as_u64), Some(400));
+        let rows = j.get("regions").and_then(Json::items).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("region").and_then(Json::as_str), Some("big"));
+        assert_eq!(rows[0].get("total_ns").and_then(Json::as_u64), Some(300));
+        assert!((rows[0].get("share").and_then(Json::as_f64).unwrap() - 0.75).abs() < 1e-12);
+        // The writer round-trips through the parser.
+        let back = Json::parse(&j.render()).unwrap();
+        assert_eq!(back.get("grand_total_ns").and_then(Json::as_u64), Some(400));
+    }
+
+    #[test]
+    fn table_renders_markdown_rows() {
+        let mut p = HotspotProfiler::new();
+        p.record("x", 2_000_000);
+        let t = p.render_table(|r| if r == "x" { "the hot one" } else { "" });
+        assert!(t.starts_with("| region | total ms | share | paper |"));
+        assert!(t.contains("| x | 2.0 | 100.0 % | the hot one |"), "{t}");
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Chrome Trace Format export for flight-recorder windows.
+//!
+//! Renders a [`FlightWindow`] as a Chrome Trace Format (CTF) JSON object —
+//! the `{"traceEvents": [...]}` dialect `chrome://tracing` and Perfetto's
+//! legacy loader accept. Every span becomes a complete duration event
+//! (`"ph":"X"`): `tid` is the worker lane, `ts`/`dur` are microsecond
+//! floats (CTF's unit), `cat` is the span kind label, and `args` carries
+//! the cycle and node so events stay greppable after export. Cycle stamps
+//! are emitted under a separate `pid` so the per-cycle envelope renders as
+//! its own track.
+//!
+//! The inverse, [`window_from_ctf`], reconstructs the window from parsed
+//! JSON. Nanosecond timestamps below 2^53 survive the microsecond float
+//! encoding exactly (`(ts * 1000).round()`), so export → parse → load is
+//! lossless and the bench harness uses it as a gate.
+
+use crate::json::Json;
+use djstar_core::flight::{CycleStamp, FlightWindow, Span, SpanKind};
+
+/// `pid` used for worker span events.
+const PID_SPANS: u64 = 1;
+/// `pid` used for per-cycle envelope events.
+const PID_CYCLES: u64 = 2;
+
+fn ns_to_us_f(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn us_f_to_ns(us: f64) -> u64 {
+    (us * 1000.0).round() as u64
+}
+
+/// Render `window` as a CTF JSON tree.
+pub fn window_to_ctf(window: &FlightWindow) -> Json {
+    let mut events: Vec<Json> = Vec::with_capacity(window.spans.len() + window.cycles.len());
+    for sp in &window.spans {
+        let name = if sp.node == Span::NO_NODE {
+            sp.kind.label().to_string()
+        } else {
+            format!("n{}", sp.node)
+        };
+        events.push(Json::object([
+            ("ph", Json::from("X")),
+            ("pid", Json::from(PID_SPANS)),
+            ("tid", Json::from(u64::from(sp.worker))),
+            ("ts", Json::from(ns_to_us_f(sp.start_ns))),
+            ("dur", Json::from(ns_to_us_f(sp.duration_ns()))),
+            ("name", Json::from(name)),
+            ("cat", Json::from(sp.kind.label())),
+            (
+                "args",
+                Json::object([
+                    ("cycle", Json::from(sp.cycle)),
+                    (
+                        "node",
+                        if sp.node == Span::NO_NODE {
+                            Json::Null
+                        } else {
+                            Json::from(u64::from(sp.node))
+                        },
+                    ),
+                ]),
+            ),
+        ]));
+    }
+    for st in &window.cycles {
+        events.push(Json::object([
+            ("ph", Json::from("X")),
+            ("pid", Json::from(PID_CYCLES)),
+            ("tid", Json::from(0u64)),
+            ("ts", Json::from(ns_to_us_f(st.start_ns))),
+            ("dur", Json::from(ns_to_us_f(st.duration_ns()))),
+            ("name", Json::from(format!("cycle {}", st.cycle))),
+            ("cat", Json::from("cycle")),
+            ("args", Json::object([("cycle", Json::from(st.cycle))])),
+        ]));
+    }
+    Json::object([
+        ("traceEvents", Json::Array(events)),
+        ("displayTimeUnit", Json::from("ns")),
+        (
+            "otherData",
+            Json::object([
+                ("workers", Json::from(window.workers)),
+                ("dropped_spans", Json::from(window.dropped_spans)),
+            ]),
+        ),
+    ])
+}
+
+/// Reconstruct a [`FlightWindow`] from a parsed CTF tree produced by
+/// [`window_to_ctf`]. Events it did not write (unknown `cat`, non-`X`
+/// phases) are rejected so a corrupted export fails loudly.
+pub fn window_from_ctf(json: &Json) -> Result<FlightWindow, String> {
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::items)
+        .ok_or("missing traceEvents array")?;
+    let other = json.get("otherData").ok_or("missing otherData")?;
+    let workers = other
+        .get("workers")
+        .and_then(Json::as_u64)
+        .ok_or("missing otherData.workers")? as usize;
+    let dropped_spans = other
+        .get("dropped_spans")
+        .and_then(Json::as_u64)
+        .ok_or("missing otherData.dropped_spans")?;
+    let mut spans = Vec::new();
+    let mut cycles = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let bad = |what: &str| format!("event {i}: {what}");
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            return Err(bad("phase is not X"));
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("missing ts"))?;
+        let dur = ev
+            .get("dur")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("missing dur"))?;
+        let start_ns = us_f_to_ns(ts);
+        let end_ns = start_ns + us_f_to_ns(dur);
+        let cat = ev
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing cat"))?;
+        let args = ev.get("args").ok_or_else(|| bad("missing args"))?;
+        let cycle = args
+            .get("cycle")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing args.cycle"))?;
+        if cat == "cycle" {
+            cycles.push(CycleStamp {
+                cycle,
+                start_ns,
+                end_ns,
+            });
+            continue;
+        }
+        let kind = SpanKind::from_label(cat).ok_or_else(|| bad("unknown span kind"))?;
+        let worker = ev
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing tid"))? as u32;
+        let node = match args.get("node") {
+            Some(Json::Null) | None => Span::NO_NODE,
+            Some(v) => v.as_u64().ok_or_else(|| bad("bad args.node"))? as u32,
+        };
+        spans.push(Span {
+            cycle,
+            node,
+            worker,
+            start_ns,
+            end_ns,
+            kind,
+        });
+    }
+    Ok(FlightWindow {
+        workers,
+        spans,
+        cycles,
+        dropped_spans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_window() -> FlightWindow {
+        FlightWindow {
+            workers: 2,
+            spans: vec![
+                Span {
+                    cycle: 3,
+                    node: 5,
+                    worker: 0,
+                    start_ns: 1_000,
+                    end_ns: 4_500,
+                    kind: SpanKind::Exec,
+                },
+                Span {
+                    cycle: 3,
+                    node: Span::NO_NODE,
+                    worker: 1,
+                    start_ns: 1_234,
+                    end_ns: 2_001,
+                    kind: SpanKind::Fault,
+                },
+                Span {
+                    cycle: 4,
+                    node: 6,
+                    worker: 1,
+                    start_ns: 5_000,
+                    end_ns: 5_003,
+                    kind: SpanKind::BusyWait,
+                },
+            ],
+            cycles: vec![
+                CycleStamp {
+                    cycle: 3,
+                    start_ns: 900,
+                    end_ns: 4_800,
+                },
+                CycleStamp {
+                    cycle: 4,
+                    start_ns: 4_900,
+                    end_ns: 5_100,
+                },
+            ],
+            dropped_spans: 7,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_trace_events() {
+        let text = window_to_ctf(&sample_window()).render();
+        let parsed = Json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").and_then(Json::items).unwrap();
+        // 3 spans + 2 cycle envelopes.
+        assert_eq!(events.len(), 5);
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let w = sample_window();
+        let text = window_to_ctf(&w).render();
+        let back = window_from_ctf(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.workers, w.workers);
+        assert_eq!(back.dropped_spans, w.dropped_spans);
+        assert_eq!(back.spans, w.spans);
+        assert_eq!(back.cycles, w.cycles);
+    }
+
+    #[test]
+    fn corrupted_exports_fail_loudly() {
+        let w = sample_window();
+        let mut j = window_to_ctf(&w);
+        // Break the cat of the first event.
+        if let Json::Object(pairs) = &mut j {
+            if let Some((_, Json::Array(events))) =
+                pairs.iter_mut().find(|(k, _)| k == "traceEvents")
+            {
+                if let Json::Object(ev) = &mut events[0] {
+                    for (k, v) in ev.iter_mut() {
+                        if k == "cat" {
+                            *v = Json::from("bogus");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(window_from_ctf(&j).is_err());
+        assert!(window_from_ctf(&Json::object([("traceEvents", Json::Null)])).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! E15 report: flight-recorder forensics under a fault storm.
+//!
+//! One [`StrategyFlightRec`] row per scheduling strategy, carrying what the
+//! `fig_flightrec` harness measured: how many cycles blew the per-strategy
+//! budget, how many of those produced a [`MissDossier`], the worst
+//! blame-sum error, the recorder's paired-median overhead, and whether the
+//! exported Chrome-trace window survived a parse → load round trip.
+//! [`FlightRecReport::failed_gates`] names every acceptance gate that
+//! tripped so strict runs can turn them into an exit code.
+//!
+//! [`MissDossier`]: crate::forensics::MissDossier
+
+use crate::json::Json;
+
+/// Per-strategy outcome of the flight-recorder storm run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyFlightRec {
+    /// Strategy label (`SEQ`, `BUSY`, ...).
+    pub strategy: String,
+    /// Worker threads of the run.
+    pub threads: usize,
+    /// Per-cycle graph budget (ns) the misses were flagged against.
+    pub budget_ns: u64,
+    /// Cycles flagged as misses from the recorder's cycle stamps.
+    pub misses_flagged: u64,
+    /// Dossiers produced for those misses.
+    pub dossiers: u64,
+    /// Worst |blame total − overrun| across dossiers, as a percentage of
+    /// the overrun.
+    pub max_blame_err_pct: f64,
+    /// Recorder overhead as a fraction of the fastest recorder-off cycle
+    /// (paired-median measurement).
+    pub overhead_frac: f64,
+    /// Did the exported CTF window parse back bit-identical?
+    pub ctf_roundtrip_ok: bool,
+    /// Spans captured across all drained windows.
+    pub spans: u64,
+    /// Spans overwritten before they could be drained.
+    pub dropped_spans: u64,
+    /// Degradation transitions committed during the storm run.
+    pub sheds: u64,
+    /// Restores committed during the storm run.
+    pub restores: u64,
+}
+
+/// The full E15 report (serialized to `BENCH_flightrec.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecReport {
+    /// Worker threads parallel strategies ran with.
+    pub threads: usize,
+    /// Measured cycles per run.
+    pub cycles: usize,
+    /// Overhead budget in percent (gate).
+    pub overhead_budget_pct: f64,
+    /// Blame-sum tolerance in percent of the overrun (gate).
+    pub blame_tol_pct: f64,
+    /// One row per strategy.
+    pub strategies: Vec<StrategyFlightRec>,
+}
+
+impl FlightRecReport {
+    /// Names of every acceptance gate that tripped; empty means all pass.
+    ///
+    /// * `<label>/dossier_coverage` — a flagged miss produced no dossier;
+    /// * `<label>/blame_sum` — some dossier's blame components missed the
+    ///   measured overrun by more than the tolerance;
+    /// * `<label>/ctf_roundtrip` — the exported trace did not survive
+    ///   parse → load;
+    /// * `<label>/overhead` — the recorder cost more than its budget;
+    /// * `misses_observed` — the storm produced no miss anywhere, so the
+    ///   forensics path was never exercised.
+    pub fn failed_gates(&self) -> Vec<String> {
+        let mut failed = Vec::new();
+        for s in &self.strategies {
+            if s.dossiers != s.misses_flagged {
+                failed.push(format!("{}/dossier_coverage", s.strategy));
+            }
+            if s.misses_flagged > 0 && s.max_blame_err_pct > self.blame_tol_pct {
+                failed.push(format!("{}/blame_sum", s.strategy));
+            }
+            if !s.ctf_roundtrip_ok {
+                failed.push(format!("{}/ctf_roundtrip", s.strategy));
+            }
+            if s.overhead_frac * 100.0 > self.overhead_budget_pct {
+                failed.push(format!("{}/overhead", s.strategy));
+            }
+        }
+        if self
+            .strategies
+            .iter()
+            .map(|s| s.misses_flagged)
+            .sum::<u64>()
+            == 0
+        {
+            failed.push("misses_observed".to_string());
+        }
+        failed
+    }
+
+    /// Markdown table of the per-strategy rows.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| strategy | budget ms | misses | dossiers | blame err % | overhead % | CTF | spans | dropped | sheds |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
+        for s in &self.strategies {
+            let _ = writeln!(
+                out,
+                "| {} ({}t) | {:.3} | {} | {} | {:.3} | {:+.3} | {} | {} | {} | {} |",
+                s.strategy,
+                s.threads,
+                s.budget_ns as f64 / 1e6,
+                s.misses_flagged,
+                s.dossiers,
+                s.max_blame_err_pct,
+                s.overhead_frac * 100.0,
+                if s.ctf_roundtrip_ok { "ok" } else { "FAIL" },
+                s.spans,
+                s.dropped_spans,
+                s.sheds,
+            );
+        }
+        out
+    }
+
+    /// The `BENCH_flightrec.json` tree.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("bench", Json::from("flightrec")),
+            ("threads", Json::from(self.threads)),
+            ("cycles", Json::from(self.cycles)),
+            ("overhead_budget_pct", Json::from(self.overhead_budget_pct)),
+            ("blame_tol_pct", Json::from(self.blame_tol_pct)),
+            (
+                "strategies",
+                Json::array(self.strategies.iter().map(|s| {
+                    Json::object([
+                        ("strategy", Json::from(s.strategy.as_str())),
+                        ("threads", Json::from(s.threads)),
+                        ("budget_ns", Json::from(s.budget_ns)),
+                        ("misses_flagged", Json::from(s.misses_flagged)),
+                        ("dossiers", Json::from(s.dossiers)),
+                        ("max_blame_err_pct", Json::from(s.max_blame_err_pct)),
+                        ("overhead_frac", Json::from(s.overhead_frac)),
+                        ("ctf_roundtrip_ok", Json::from(s.ctf_roundtrip_ok)),
+                        ("spans", Json::from(s.spans)),
+                        ("dropped_spans", Json::from(s.dropped_spans)),
+                        ("sheds", Json::from(s.sheds)),
+                        ("restores", Json::from(s.restores)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_row(label: &str) -> StrategyFlightRec {
+        StrategyFlightRec {
+            strategy: label.to_string(),
+            threads: 2,
+            budget_ns: 1_500_000,
+            misses_flagged: 10,
+            dossiers: 10,
+            max_blame_err_pct: 0.0,
+            overhead_frac: 0.01,
+            ctf_roundtrip_ok: true,
+            spans: 100_000,
+            dropped_spans: 0,
+            sheds: 1,
+            restores: 1,
+        }
+    }
+
+    fn report(strategies: Vec<StrategyFlightRec>) -> FlightRecReport {
+        FlightRecReport {
+            threads: 2,
+            cycles: 500,
+            overhead_budget_pct: 3.0,
+            blame_tol_pct: 1.0,
+            strategies,
+        }
+    }
+
+    #[test]
+    fn clean_report_passes_all_gates() {
+        let r = report(vec![clean_row("BUSY"), clean_row("WS")]);
+        assert!(r.failed_gates().is_empty(), "{:?}", r.failed_gates());
+    }
+
+    #[test]
+    fn each_gate_trips_by_name() {
+        let mut uncovered = clean_row("BUSY");
+        uncovered.dossiers = 9;
+        let mut off_blame = clean_row("WS");
+        off_blame.max_blame_err_pct = 2.5;
+        let mut bad_ctf = clean_row("SLEEP");
+        bad_ctf.ctf_roundtrip_ok = false;
+        let mut slow = clean_row("PLAN");
+        slow.overhead_frac = 0.05;
+        let r = report(vec![uncovered, off_blame, bad_ctf, slow]);
+        let failed = r.failed_gates();
+        assert!(failed.contains(&"BUSY/dossier_coverage".to_string()));
+        assert!(failed.contains(&"WS/blame_sum".to_string()));
+        assert!(failed.contains(&"SLEEP/ctf_roundtrip".to_string()));
+        assert!(failed.contains(&"PLAN/overhead".to_string()));
+        assert_eq!(failed.len(), 4);
+    }
+
+    #[test]
+    fn a_missless_storm_is_itself_a_failure() {
+        let mut row = clean_row("BUSY");
+        row.misses_flagged = 0;
+        row.dossiers = 0;
+        let r = report(vec![row]);
+        assert_eq!(r.failed_gates(), vec!["misses_observed".to_string()]);
+    }
+
+    #[test]
+    fn json_and_table_carry_the_rows() {
+        let r = report(vec![clean_row("HYBRID")]);
+        let j = r.to_json();
+        assert_eq!(j.get("bench").and_then(Json::as_str), Some("flightrec"));
+        let rows = j.get("strategies").and_then(Json::items).unwrap();
+        assert_eq!(
+            rows[0].get("strategy").and_then(Json::as_str),
+            Some("HYBRID")
+        );
+        assert_eq!(
+            rows[0].get("misses_flagged").and_then(Json::as_u64),
+            Some(10)
+        );
+        let table = r.render();
+        assert!(table.contains("| HYBRID (2t) |"), "{table}");
+        // The writer output stays parseable.
+        assert!(Json::parse(&j.render()).is_ok());
+    }
+}

@@ -1,0 +1,470 @@
+//! Causal deadline-miss forensics over flight-recorder windows.
+//!
+//! When a cycle blows its budget, the raw span window says *what* every
+//! worker was doing; this module says *why the deadline was missed*. It
+//! reconstructs the realized critical path of the cycle by walking spans
+//! backwards from the cycle's end, producing a chain of disjoint slices
+//! that tile the cycle `[start, end]` exactly, then attributes the portion
+//! of each slice past the budget line to its span kind. By construction
+//! the blame components sum to the measured overrun **exactly** — there is
+//! no unexplained residue for a gate to chase.
+//!
+//! The backward walk:
+//!
+//! * The tail `[last span end, cycle end]` is the **driver**'s: barrier
+//!   exit, telemetry drain, cycle bookkeeping.
+//! * A work slice (`exec`/`fault`) is caused by whatever *its own worker*
+//!   did before it — the same-worker span with the greatest end before the
+//!   cursor (static-assignment executors run their slice in program order;
+//!   work-stealing workers run what they popped, in pop order).
+//! * A wait slice (`busy_wait`/`sleep`/`idle`/`steal`/`unpark`) ended
+//!   because a dependency finished elsewhere — the walk jumps to the work
+//!   span with the greatest end before the cursor on *any* worker.
+//! * Uncovered time becomes an `idle` gap slice, so instrumentation holes
+//!   never break the tiling.
+
+use crate::json::Json;
+use djstar_core::flight::{FlightWindow, Span, SpanKind};
+
+/// Where a slice of the realized critical path was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceKind {
+    /// A recorded span of this kind.
+    Span(SpanKind),
+    /// The driver tail after the last recorded span (barrier exit,
+    /// telemetry drain, bookkeeping).
+    Driver,
+    /// A gap no span covers.
+    Gap,
+}
+
+impl SliceKind {
+    /// Stable label used in JSON exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SliceKind::Span(k) => k.label(),
+            SliceKind::Driver => "driver",
+            SliceKind::Gap => "idle",
+        }
+    }
+}
+
+/// One slice of the realized critical path. Slices are disjoint and tile
+/// the cycle `[start, end]` exactly, in chronological order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSlice {
+    /// Worker the slice ran on (`None` for driver tail and gaps).
+    pub worker: Option<u32>,
+    /// Node involved, when the span had one.
+    pub node: Option<u32>,
+    /// What the time was spent on.
+    pub kind: SliceKind,
+    /// Slice start, ns since the recorder origin.
+    pub start_ns: u64,
+    /// Slice end, ns since the recorder origin.
+    pub end_ns: u64,
+}
+
+impl PathSlice {
+    /// Slice length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    fn to_json(self) -> Json {
+        Json::object([
+            ("kind", Json::from(self.kind.label())),
+            (
+                "worker",
+                self.worker.map_or(Json::Null, |w| Json::from(u64::from(w))),
+            ),
+            (
+                "node",
+                self.node.map_or(Json::Null, |n| Json::from(u64::from(n))),
+            ),
+            ("start_ns", Json::from(self.start_ns)),
+            ("end_ns", Json::from(self.end_ns)),
+        ])
+    }
+}
+
+/// Overrun attribution by cause, in nanoseconds. Components sum to the
+/// cycle's overrun exactly (see [`analyze_miss`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlameBreakdown {
+    /// Node execution past the budget line.
+    pub exec_ns: u64,
+    /// Spinning on dependencies.
+    pub busy_wait_ns: u64,
+    /// Parked waiting for a wake-up.
+    pub sleep_ns: u64,
+    /// Idle gaps (parked thieves, uninstrumented holes).
+    pub idle_ns: u64,
+    /// Steal sweeps.
+    pub steal_ns: u64,
+    /// Waking successors.
+    pub unpark_ns: u64,
+    /// Injected fault burn (spikes, stalls, pressure).
+    pub fault_ns: u64,
+    /// Driver tail after the last worker span.
+    pub driver_ns: u64,
+}
+
+impl BlameBreakdown {
+    /// Sum of every component; equals the overrun by construction.
+    pub fn total(&self) -> u64 {
+        self.exec_ns
+            + self.busy_wait_ns
+            + self.sleep_ns
+            + self.idle_ns
+            + self.steal_ns
+            + self.unpark_ns
+            + self.fault_ns
+            + self.driver_ns
+    }
+
+    fn add(&mut self, kind: SliceKind, ns: u64) {
+        match kind {
+            SliceKind::Span(SpanKind::Exec) => self.exec_ns += ns,
+            SliceKind::Span(SpanKind::BusyWait) => self.busy_wait_ns += ns,
+            SliceKind::Span(SpanKind::Sleep) => self.sleep_ns += ns,
+            SliceKind::Span(SpanKind::Idle) | SliceKind::Gap => self.idle_ns += ns,
+            SliceKind::Span(SpanKind::Steal) => self.steal_ns += ns,
+            SliceKind::Span(SpanKind::Unpark) => self.unpark_ns += ns,
+            SliceKind::Span(SpanKind::Fault) => self.fault_ns += ns,
+            SliceKind::Driver => self.driver_ns += ns,
+        }
+    }
+
+    /// The breakdown as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("exec_ns", Json::from(self.exec_ns)),
+            ("busy_wait_ns", Json::from(self.busy_wait_ns)),
+            ("sleep_ns", Json::from(self.sleep_ns)),
+            ("idle_ns", Json::from(self.idle_ns)),
+            ("steal_ns", Json::from(self.steal_ns)),
+            ("unpark_ns", Json::from(self.unpark_ns)),
+            ("fault_ns", Json::from(self.fault_ns)),
+            ("driver_ns", Json::from(self.driver_ns)),
+        ])
+    }
+}
+
+/// Executor state the window itself cannot see, cross-referenced into the
+/// dossier by the harness (degradation mode, reconfiguration commits).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MissContext {
+    /// The engine was running degraded (quality shed) during this cycle.
+    pub degraded: bool,
+    /// A staged topology was committed on this cycle.
+    pub reconfig_commit: bool,
+}
+
+/// A structured post-mortem for one deadline miss.
+#[derive(Debug, Clone)]
+pub struct MissDossier {
+    /// Executor epoch of the missed cycle.
+    pub cycle: u64,
+    /// Strategy label (e.g. `BUSY`).
+    pub strategy: String,
+    /// Worker count.
+    pub threads: usize,
+    /// Measured cycle duration (driver stamp), ns.
+    pub duration_ns: u64,
+    /// The budget the cycle was held to, ns.
+    pub budget_ns: u64,
+    /// `duration - budget`, ns.
+    pub overrun_ns: u64,
+    /// Attribution of the overrun; sums to `overrun_ns` exactly.
+    pub blame: BlameBreakdown,
+    /// The realized critical path: disjoint slices tiling the cycle.
+    pub path: Vec<PathSlice>,
+    /// Engine state during the cycle.
+    pub context: MissContext,
+}
+
+impl MissDossier {
+    /// The dossier as a JSON object (one JSONL line per miss when
+    /// rendered).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("cycle", Json::from(self.cycle)),
+            ("strategy", Json::from(self.strategy.as_str())),
+            ("threads", Json::from(self.threads)),
+            ("duration_ns", Json::from(self.duration_ns)),
+            ("budget_ns", Json::from(self.budget_ns)),
+            ("overrun_ns", Json::from(self.overrun_ns)),
+            ("degraded", Json::from(self.context.degraded)),
+            ("reconfig_commit", Json::from(self.context.reconfig_commit)),
+            ("blame", self.blame.to_json()),
+            ("path", Json::array(self.path.iter().map(|s| s.to_json()))),
+        ])
+    }
+}
+
+/// Kinds whose end is explained by a dependency finishing elsewhere.
+fn is_wait(kind: SpanKind) -> bool {
+    !kind.is_work()
+}
+
+/// Reconstruct the realized critical path of `cycle` and attribute its
+/// overrun over `budget_ns`. Returns `None` when the window has no stamp
+/// for the cycle (evicted or never recorded).
+///
+/// Invariants on the result: `path` tiles `[stamp.start, stamp.end]` with
+/// disjoint, chronologically ordered slices, and `blame.total()` equals
+/// `overrun_ns` exactly.
+pub fn analyze_miss(
+    window: &FlightWindow,
+    cycle: u64,
+    budget_ns: u64,
+    strategy: &str,
+    threads: usize,
+    ctx: MissContext,
+) -> Option<MissDossier> {
+    let stamp = window.stamp_for(cycle)?;
+    let (s, e) = (stamp.start_ns, stamp.end_ns);
+    let duration_ns = stamp.duration_ns();
+    let overrun_ns = duration_ns.saturating_sub(budget_ns);
+
+    // Clamp spans to the cycle window and drop empty ones.
+    let spans: Vec<Span> = window
+        .spans_in(cycle)
+        .into_iter()
+        .filter_map(|mut sp| {
+            sp.start_ns = sp.start_ns.max(s);
+            sp.end_ns = sp.end_ns.min(e);
+            (sp.end_ns > sp.start_ns).then_some(sp)
+        })
+        .collect();
+
+    // Backward walk from the cycle end. `pick` selects the span explaining
+    // the time just before `cursor`: greatest end, then greatest start.
+    // Candidates must start strictly before the cursor so every step makes
+    // progress.
+    let pick = |cursor: u64, filter: &dyn Fn(&Span) -> bool| -> Option<Span> {
+        spans
+            .iter()
+            .filter(|sp| sp.start_ns < cursor && filter(sp))
+            .max_by_key(|sp| (sp.end_ns.min(cursor), sp.start_ns))
+            .copied()
+    };
+
+    let mut rev: Vec<PathSlice> = Vec::new();
+    let mut cursor = e;
+    // The driver tail: time after the last span end belongs to the driver
+    // (barrier exit, stamps, drains).
+    if let Some(last_end) = spans.iter().map(|sp| sp.end_ns).max() {
+        if last_end < e {
+            rev.push(PathSlice {
+                worker: None,
+                node: None,
+                kind: SliceKind::Driver,
+                start_ns: last_end,
+                end_ns: e,
+            });
+            cursor = last_end;
+        }
+    }
+    // What the next pick is constrained to, set by the previous slice.
+    let mut constraint: Option<(bool, u32)> = None; // (same_worker, worker)
+    while cursor > s {
+        let chosen = match constraint {
+            Some((true, w)) => {
+                pick(cursor, &|sp: &Span| sp.worker == w).or_else(|| pick(cursor, &|_| true))
+            }
+            Some((false, _)) => {
+                pick(cursor, &|sp: &Span| sp.kind.is_work()).or_else(|| pick(cursor, &|_| true))
+            }
+            None => pick(cursor, &|_| true),
+        };
+        let Some(sp) = chosen else {
+            // Nothing recorded before the cursor: the head of the cycle is
+            // an uncovered gap.
+            rev.push(PathSlice {
+                worker: None,
+                node: None,
+                kind: SliceKind::Gap,
+                start_ns: s,
+                end_ns: cursor,
+            });
+            break;
+        };
+        let end = sp.end_ns.min(cursor);
+        if end < cursor {
+            rev.push(PathSlice {
+                worker: None,
+                node: None,
+                kind: SliceKind::Gap,
+                start_ns: end,
+                end_ns: cursor,
+            });
+        }
+        rev.push(PathSlice {
+            worker: Some(sp.worker),
+            node: (sp.node != Span::NO_NODE).then_some(sp.node),
+            kind: SliceKind::Span(sp.kind),
+            start_ns: sp.start_ns,
+            end_ns: end,
+        });
+        cursor = sp.start_ns;
+        constraint = Some((!is_wait(sp.kind), sp.worker));
+    }
+    rev.reverse();
+    let path = rev;
+
+    // Attribute each slice's overlap with the post-budget region.
+    let budget_line = s.saturating_add(budget_ns).min(e);
+    let mut blame = BlameBreakdown::default();
+    for slice in &path {
+        let blamed = slice.end_ns.saturating_sub(slice.start_ns.max(budget_line));
+        if blamed > 0 {
+            blame.add(slice.kind, blamed);
+        }
+    }
+
+    Some(MissDossier {
+        cycle,
+        strategy: strategy.to_string(),
+        threads,
+        duration_ns,
+        budget_ns,
+        overrun_ns,
+        blame,
+        path,
+        context: ctx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use djstar_core::flight::CycleStamp;
+
+    fn span(worker: u32, node: u32, kind: SpanKind, start: u64, end: u64) -> Span {
+        Span {
+            cycle: 1,
+            node,
+            worker,
+            start_ns: start,
+            end_ns: end,
+            kind,
+        }
+    }
+
+    fn window(spans: Vec<Span>, start: u64, end: u64) -> FlightWindow {
+        FlightWindow {
+            workers: 2,
+            spans,
+            cycles: vec![CycleStamp {
+                cycle: 1,
+                start_ns: start,
+                end_ns: end,
+            }],
+            dropped_spans: 0,
+        }
+    }
+
+    fn assert_tiles(d: &MissDossier, s: u64, e: u64) {
+        assert!(!d.path.is_empty());
+        assert_eq!(d.path.first().unwrap().start_ns, s);
+        assert_eq!(d.path.last().unwrap().end_ns, e);
+        for w in d.path.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns, "slices must tile exactly");
+        }
+    }
+
+    #[test]
+    fn no_stamp_means_no_dossier() {
+        let w = window(vec![], 0, 100);
+        assert!(analyze_miss(&w, 7, 10, "BUSY", 2, MissContext::default()).is_none());
+    }
+
+    #[test]
+    fn blame_sums_to_overrun_exactly() {
+        // Worker 0: exec 0..400, spin 400..700, exec 700..900.
+        // Worker 1: exec 100..650.
+        // Cycle [0, 1000], budget 500 -> overrun 500.
+        let w = window(
+            vec![
+                span(0, 1, SpanKind::Exec, 0, 400),
+                span(0, 2, SpanKind::BusyWait, 400, 700),
+                span(0, 2, SpanKind::Exec, 700, 900),
+                span(1, 3, SpanKind::Exec, 100, 650),
+            ],
+            0,
+            1000,
+        );
+        let d = analyze_miss(&w, 1, 500, "BUSY", 2, MissContext::default()).unwrap();
+        assert_eq!(d.overrun_ns, 500);
+        assert_eq!(d.blame.total(), d.overrun_ns);
+        assert_tiles(&d, 0, 1000);
+        // Tail [900, 1000] is the driver's; the exec [700,900] rides the
+        // spin [400,700] which jumped to worker 1's exec.
+        assert_eq!(d.blame.driver_ns, 100);
+        assert_eq!(d.blame.exec_ns, 200);
+        assert_eq!(d.blame.busy_wait_ns, 200);
+    }
+
+    #[test]
+    fn gaps_become_idle_blame() {
+        // Single span at the end; the head of the cycle is uncovered.
+        let w = window(vec![span(0, 1, SpanKind::Exec, 600, 900)], 0, 1000);
+        let d = analyze_miss(&w, 1, 200, "SLEEP", 2, MissContext::default()).unwrap();
+        assert_eq!(d.overrun_ns, 800);
+        assert_eq!(d.blame.total(), 800);
+        assert_tiles(&d, 0, 1000);
+        // [200,600] gap + nothing before 600 -> idle; [600,900] exec;
+        // [900,1000] driver.
+        assert_eq!(d.blame.idle_ns, 400);
+        assert_eq!(d.blame.exec_ns, 300);
+        assert_eq!(d.blame.driver_ns, 100);
+    }
+
+    #[test]
+    fn fault_spans_carry_their_own_blame() {
+        let w = window(
+            vec![
+                span(0, 1, SpanKind::Fault, 0, 300),
+                span(0, 1, SpanKind::Exec, 300, 500),
+            ],
+            0,
+            500,
+        );
+        let d = analyze_miss(&w, 1, 100, "PLAN", 1, MissContext::default()).unwrap();
+        assert_eq!(d.overrun_ns, 400);
+        assert_eq!(d.blame.total(), 400);
+        assert_eq!(d.blame.fault_ns, 200);
+        assert_eq!(d.blame.exec_ns, 200);
+    }
+
+    #[test]
+    fn under_budget_cycle_has_zero_blame() {
+        let w = window(vec![span(0, 1, SpanKind::Exec, 0, 400)], 0, 500);
+        let d = analyze_miss(&w, 1, 1000, "SEQ", 1, MissContext::default()).unwrap();
+        assert_eq!(d.overrun_ns, 0);
+        assert_eq!(d.blame.total(), 0);
+        assert_tiles(&d, 0, 500);
+    }
+
+    #[test]
+    fn dossier_json_shape_is_stable() {
+        let w = window(vec![span(0, 1, SpanKind::Exec, 0, 400)], 0, 500);
+        let ctx = MissContext {
+            degraded: true,
+            reconfig_commit: false,
+        };
+        let d = analyze_miss(&w, 1, 300, "WS", 2, ctx).unwrap();
+        let j = d.to_json().render();
+        let parsed = Json::parse(&j).unwrap();
+        assert_eq!(parsed.get("cycle").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("strategy").and_then(Json::as_str), Some("WS"));
+        assert_eq!(parsed.get("degraded"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("overrun_ns").and_then(Json::as_u64), Some(200));
+        let blame = parsed.get("blame").unwrap();
+        assert!(blame.get("exec_ns").is_some());
+        assert!(blame.get("driver_ns").is_some());
+        assert!(parsed.get("path").unwrap().items().unwrap().len() >= 2);
+    }
+}

@@ -1,11 +1,12 @@
-//! A minimal hand-rolled JSON writer.
+//! A minimal hand-rolled JSON writer and parser.
 //!
 //! The workspace builds offline with no registry dependencies, so there is
-//! no serde; the telemetry export layer needs only to *produce* JSON (JSONL
-//! cycle records and the `BENCH_telemetry.json` baseline), never to parse
-//! it. This writer covers exactly that: an ordered object/array tree
-//! rendered to compact, valid JSON with correct string escaping and
-//! float handling (non-finite floats render as `null`).
+//! no serde. This module covers what the export layer needs: an ordered
+//! object/array tree rendered to compact, valid JSON with correct string
+//! escaping and float handling (non-finite floats render as `null`), plus a
+//! recursive-descent [`Json::parse`] so exported artifacts (Chrome Trace
+//! Format windows, bench baselines) can be validated and round-tripped
+//! without leaving the workspace.
 
 /// A JSON value tree. Object keys keep insertion order.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +46,70 @@ impl Json {
         let mut out = String::new();
         self.write_into(&mut out);
         out
+    }
+
+    /// Parse a JSON document. Numbers without `.`/`e` parse as [`Json::UInt`]
+    /// (or [`Json::Int`] when negative), everything else as [`Json::Float`];
+    /// object key order is preserved. Errors carry a byte offset.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Look up `key` in an object; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, or `None` for non-arrays.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer (`UInt`, non-negative `Int`, or an
+    /// integral non-negative `Float`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            Json::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(u) => Some(*u as f64),
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
     }
 
     fn write_into(&self, out: &mut String) {
@@ -131,6 +196,193 @@ impl From<String> for Json {
     }
 }
 
+/// Recursive-descent parser state over the raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let s = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let cp = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape")?;
+                            // Surrogates (emitted by other writers for
+                            // astral-plane chars) are not needed for our own
+                            // artifacts; map lone ones to the replacement char.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // on char boundaries is safe via chars()).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf8")?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid utf8")?;
+        if float {
+            s.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| format!("bad number at byte {start}"))
+        } else if let Ok(u) = s.parse::<u64>() {
+            Ok(Json::UInt(u))
+        } else if let Ok(i) = s.parse::<i64>() {
+            Ok(Json::Int(i))
+        } else {
+            // Integer out of u64/i64 range: fall back to float.
+            s.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+    }
+}
+
 /// Write `s` as a JSON string literal with the mandatory escapes.
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
@@ -190,5 +442,56 @@ mod tests {
         let mut j = Json::object::<&str>([]);
         j.push("x", Json::from(0.5));
         assert_eq!(j.render(), "{\"x\":0.5}");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Json::object([
+            ("s", Json::from("a\"b\\c\nd\u{1}")),
+            ("u", Json::from(18_446_744_073_709_551_615u64)),
+            ("i", Json::from(-42i64)),
+            ("f", Json::from(2.5)),
+            (
+                "arr",
+                Json::array([Json::Null, Json::Bool(true), Json::Bool(false)]),
+            ),
+            ("nested", Json::object([("k", Json::from(0u64))])),
+        ]);
+        assert_eq!(Json::parse(&j.render()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_preserves_key_order() {
+        let j = Json::parse(" { \"b\" : 1 ,\n\t\"a\" : [ 1.5 , -2 ] } ").unwrap();
+        assert_eq!(
+            j,
+            Json::object([
+                ("b", Json::UInt(1)),
+                ("a", Json::array([Json::Float(1.5), Json::Int(-2)])),
+            ])
+        );
+        assert_eq!(j.get("b"), Some(&Json::UInt(1)));
+        assert_eq!(j.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn numeric_accessors_coerce() {
+        assert_eq!(Json::UInt(7).as_u64(), Some(7));
+        assert_eq!(Json::Int(7).as_u64(), Some(7));
+        assert_eq!(Json::Int(-7).as_u64(), None);
+        assert_eq!(Json::Float(7.0).as_u64(), Some(7));
+        assert_eq!(Json::Float(7.5).as_u64(), None);
+        assert_eq!(Json::UInt(7).as_f64(), Some(7.0));
+        assert_eq!(Json::Str("x".into()).as_str(), Some("x"));
     }
 }

@@ -15,8 +15,11 @@
 //! ([`render`]) used by every harness binary so figures can be regenerated on
 //! a terminal without a plotting stack.
 
+pub mod ctf;
 pub mod deadline;
 pub mod faults;
+pub mod flightrec;
+pub mod forensics;
 pub mod histogram;
 pub mod json;
 pub mod online;
@@ -28,8 +31,11 @@ pub mod speedup;
 pub mod summary;
 pub mod telemetry;
 
+pub use ctf::{window_from_ctf, window_to_ctf};
 pub use deadline::DeadlineTracker;
 pub use faults::{FaultReport, StrategyFaults};
+pub use flightrec::{FlightRecReport, StrategyFlightRec};
+pub use forensics::{analyze_miss, BlameBreakdown, MissContext, MissDossier, PathSlice, SliceKind};
 pub use histogram::{CumulativeView, Histogram};
 pub use json::Json;
 pub use online::OnlineStats;

@@ -89,6 +89,10 @@ pub struct TelemetryReport {
     pub misses: Vec<MissEntry>,
     /// Total number of misses, including any beyond the ledger cap.
     pub miss_count: u64,
+    /// Engine-level overload drops (events shed by the APC layer), not
+    /// derivable from the ring; attached by the capture path via
+    /// [`with_dropped_events`](Self::with_dropped_events).
+    pub dropped_events: u64,
 }
 
 impl TelemetryReport {
@@ -142,7 +146,14 @@ impl TelemetryReport {
             totals,
             misses,
             miss_count,
+            dropped_events: 0,
         })
+    }
+
+    /// Attach the engine's overload-drop counter to the report.
+    pub fn with_dropped_events(mut self, dropped: u64) -> Self {
+        self.dropped_events = dropped;
+        self
     }
 
     /// The report as a JSON object (one entry of `BENCH_telemetry.json`).
@@ -158,6 +169,7 @@ impl TelemetryReport {
             ("wait_mean_ns", Json::Float(self.wait_mean_ns)),
             ("wait_ns", self.wait_pct.to_json()),
             ("counters", counters_json(&self.totals)),
+            ("dropped_events", Json::from(self.dropped_events)),
             ("deadline_misses", Json::from(self.miss_count)),
             (
                 "miss_ledger",
@@ -279,6 +291,11 @@ pub fn counters_json(c: &CounterSnapshot) -> Json {
         ("deque_high_water", Json::from(c.deque_high_water)),
         ("nodes_executed", Json::from(c.nodes_executed)),
         ("exec_ns", Json::from(c.exec_ns)),
+        ("fault_spikes", Json::from(c.fault_spikes)),
+        ("fault_spike_iters", Json::from(c.fault_spike_iters)),
+        ("fault_stalls", Json::from(c.fault_stalls)),
+        ("fault_stall_iters", Json::from(c.fault_stall_iters)),
+        ("fault_pressure_iters", Json::from(c.fault_pressure_iters)),
     ])
 }
 
@@ -348,6 +365,65 @@ mod tests {
         assert!(j.contains("\"strategy\":\"SLEEP\""));
         assert!(j.contains("\"deadline_misses\":0"));
         assert!(j.contains("\"p99_9\""));
+        assert!(j.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn every_counter_field_is_exported() {
+        let c = CounterSnapshot {
+            spin_iters: 1,
+            busy_wait_ns: 2,
+            park_count: 3,
+            unpark_count: 4,
+            park_wait_ns: 5,
+            steal_attempts: 6,
+            steal_hits: 7,
+            steal_misses: 8,
+            deque_high_water: 9,
+            nodes_executed: 10,
+            exec_ns: 11,
+            fault_spikes: 12,
+            fault_spike_iters: 13,
+            fault_stalls: 14,
+            fault_stall_iters: 15,
+            fault_pressure_iters: 16,
+        };
+        let j = counters_json(&c).render();
+        for (i, field) in [
+            "spin_iters",
+            "busy_wait_ns",
+            "park_count",
+            "unpark_count",
+            "park_wait_ns",
+            "steal_attempts",
+            "steal_hits",
+            "steal_misses",
+            "deque_high_water",
+            "nodes_executed",
+            "exec_ns",
+            "fault_spikes",
+            "fault_spike_iters",
+            "fault_stalls",
+            "fault_stall_iters",
+            "fault_pressure_iters",
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!(
+                j.contains(&format!("\"{}\":{}", field, i + 1)),
+                "missing {field} in {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_events_ride_the_report() {
+        let r = record(1, 1000, 10, 0);
+        let report = TelemetryReport::from_records("WS", 2, 2_000, [r].iter())
+            .unwrap()
+            .with_dropped_events(42);
+        assert!(report.to_json().render().contains("\"dropped_events\":42"));
     }
 
     #[test]

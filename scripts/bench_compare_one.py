@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare one BENCH_*.json file against its baseline (bench_compare.sh helper).
+
+Usage: bench_compare_one.py <name> <baseline-path> <candidate-path> <tol-pct>
+
+Extracts the file's key p50 metrics, prints a delta line per metric, and
+exits non-zero if any candidate value exceeds baseline * (1 + tol/100).
+Metrics present in only one file are skipped with a warning (strategy sets
+can differ between reduced and full runs).
+"""
+
+import json
+import sys
+
+
+def metrics(name, doc):
+    """Yield (metric-label, value) for the file's key p50 numbers."""
+    if name == "BENCH_telemetry.json":
+        for run in doc.get("runs", []):
+            label = f"{run.get('strategy', '?')}@{run.get('threads', '?')}t"
+            p50 = run.get("graph_ns", {}).get("p50")
+            if p50 is not None:
+                yield f"graph_p50[{label}]", float(p50)
+    elif name == "BENCH_plan.json":
+        p50 = doc.get("real", {}).get("plan_p50_ns")
+        if p50 is not None:
+            yield "real.plan_p50_ns", float(p50)
+    elif name == "BENCH_reconfig.json":
+        for s in doc.get("strategies", []):
+            label = s.get("strategy", "?")
+            for half in ("stage_ns", "commit_ns"):
+                p50 = s.get(half, {}).get("p50")
+                if p50 is not None:
+                    yield f"{half}.p50[{label}]", float(p50)
+    elif name == "BENCH_faults.json":
+        for s in doc.get("strategies", []):
+            label = s.get("strategy", "?")
+            p50 = s.get("baseline_p50_ns")
+            if p50 is not None:
+                yield f"baseline_p50_ns[{label}]", float(p50)
+
+
+def main():
+    name, base_path, cand_path, tol_pct = sys.argv[1:5]
+    tol = float(tol_pct)
+    with open(base_path) as f:
+        base = dict(metrics(name, json.load(f)))
+    with open(cand_path) as f:
+        cand = dict(metrics(name, json.load(f)))
+    if not base or not cand:
+        print(f"[bench_compare] skip {name}: no key metrics found", file=sys.stderr)
+        return 0
+    failed = 0
+    for key in base:
+        if key not in cand:
+            print(f"[bench_compare] warn {name} {key}: missing in candidate", file=sys.stderr)
+            continue
+        b, c = base[key], cand[key]
+        delta = (c - b) / b * 100.0 if b else 0.0
+        verdict = "ok"
+        if delta > tol:
+            verdict = "REGRESSED"
+            failed = 1
+        print(
+            f"[bench_compare] {name} {key}: {b:.0f} -> {c:.0f} ns "
+            f"({delta:+.1f}%, tol {tol:.0f}%) {verdict}"
+        )
+    for key in cand:
+        if key not in base:
+            print(f"[bench_compare] warn {name} {key}: missing in baseline", file=sys.stderr)
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main())
