@@ -2,13 +2,16 @@
 //! the raw material of the graph's node-duration distribution.
 
 use djstar_bench::microbench::{bench, group};
-use djstar_dsp::biquad::{Biquad, FilterKind};
+use djstar_dsp::biquad::{process_chain, process_chain_scalar, Biquad, FilterKind};
 use djstar_dsp::buffer::AudioBuf;
-use djstar_dsp::dynamics::Limiter;
+use djstar_dsp::dynamics::{Compressor, Limiter};
 use djstar_dsp::effects::EffectKind;
 use djstar_dsp::eq::ThreeBandEq;
 use djstar_dsp::meter::goertzel_power;
+use djstar_dsp::mix::{mix_into, mix_into_scalar};
 use djstar_dsp::osc::NoiseSource;
+use djstar_dsp::simd;
+use djstar_dsp::stretch::TimeStretcher;
 
 fn music_buf() -> AudioBuf {
     let mut noise = NoiseSource::new(17);
@@ -62,6 +65,106 @@ fn bench_fft() {
     }
 }
 
+/// A six-section cascade shaped like `SpFilterNode`'s chain.
+fn spfilter_chain() -> Vec<Biquad> {
+    let sr = djstar_dsp::SAMPLE_RATE;
+    vec![
+        Biquad::design(FilterKind::Highpass, 30.0, 0.7, sr),
+        Biquad::design(FilterKind::Peaking { gain_db: 2.0 }, 120.0, 1.1, sr),
+        Biquad::design(FilterKind::Peaking { gain_db: -3.0 }, 800.0, 0.9, sr),
+        Biquad::design(FilterKind::Peaking { gain_db: 1.5 }, 2_500.0, 1.3, sr),
+        Biquad::design(FilterKind::HighShelf { gain_db: -1.0 }, 8_000.0, 0.7, sr),
+        Biquad::design(FilterKind::Lowpass, 16_000.0, 0.7, sr),
+    ]
+}
+
+/// Every vectorized kernel, scalar vs SIMD on the same corpus — the raw
+/// per-kernel speedups the E16 gate (`fig_dsp_simd`) checks.
+fn bench_simd_pairs() {
+    group("simd_vs_scalar_128f");
+
+    let mut chain = spfilter_chain();
+    let mut buf = music_buf();
+    bench("biquad_chain6/scalar", || {
+        process_chain_scalar(&mut chain, &mut buf)
+    });
+    bench("biquad_chain6/simd", || process_chain(&mut chain, &mut buf));
+
+    let mut eq = ThreeBandEq::new(djstar_dsp::SAMPLE_RATE);
+    eq.set_gains(3.0, -2.0, 4.0);
+    let mut buf = music_buf();
+    bench("three_band_eq/scalar", || eq.process_scalar(&mut buf));
+    bench("three_band_eq/simd", || eq.process(&mut buf));
+
+    let inputs: Vec<AudioBuf> = (0..8).map(|_| music_buf()).collect();
+    let refs: Vec<&AudioBuf> = inputs.iter().collect();
+    let gains = [0.5f32; 8];
+    let mut out = AudioBuf::zeroed(2, djstar_dsp::BUFFER_FRAMES);
+    bench("mix_into_8/scalar", || {
+        mix_into_scalar(&mut out, &refs, &gains)
+    });
+    bench("mix_into_8/simd", || mix_into(&mut out, &refs, &gains));
+
+    let mut lim = Limiter::master(djstar_dsp::SAMPLE_RATE);
+    let mut buf = music_buf();
+    bench("limiter/scalar", || lim.process_scalar(&mut buf));
+    bench("limiter/simd", || lim.process(&mut buf));
+
+    let mut comp = Compressor::new(0.3, 4.0, 10.0, djstar_dsp::SAMPLE_RATE);
+    let mut buf = music_buf();
+    bench("compressor/scalar", || comp.process_scalar(&mut buf));
+    bench("compressor/simd", || comp.process(&mut buf));
+
+    use djstar_dsp::fft::{Complex, Fft};
+    for n in [128usize, 1024] {
+        let mut plan = Fft::new(n);
+        let template: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((i as f32) * 0.13).sin(), 0.0))
+            .collect();
+        let mut data = template.clone();
+        bench(&format!("fft_plan/{n}/scalar"), || {
+            plan.process_scalar(&mut data, false);
+            plan.process_scalar(&mut data, true);
+            data[0].re
+        });
+        let mut data = template;
+        bench(&format!("fft_plan/{n}/simd"), || {
+            plan.process(&mut data, false);
+            plan.process(&mut data, true);
+            data[0].re
+        });
+    }
+
+    // The stretcher and the raw buffer kernels dispatch on the global
+    // SIMD switch, so the scalar leg forces it off for the duration.
+    let src: Vec<f32> = (0..44_100)
+        .map(|i| ((i as f32) * 0.06).sin() * 0.7)
+        .collect();
+    let mut st = TimeStretcher::new();
+    let mut out = vec![0.0f32; 512];
+    simd::set_force_scalar(true);
+    bench("stretch_512/scalar", || {
+        st.seek(1_000.0);
+        st.process(&src, 1.3, &mut out);
+        out[0]
+    });
+    simd::set_force_scalar(false);
+    bench("stretch_512/simd", || {
+        st.seek(1_000.0);
+        st.process(&src, 1.3, &mut out);
+        out[0]
+    });
+
+    let other = music_buf();
+    let mut buf = music_buf();
+    simd::set_force_scalar(true);
+    bench("buf_mix_add/scalar", || buf.mix_add(&other, 0.5));
+    bench("buf_rms/scalar", || buf.rms());
+    simd::set_force_scalar(false);
+    bench("buf_mix_add/simd", || buf.mix_add(&other, 0.5));
+    bench("buf_rms/simd", || buf.rms());
+}
+
 fn bench_burn() {
     group("burn_kernel");
     for iters in [1_000u32, 16_000] {
@@ -75,5 +178,6 @@ fn main() {
     bench_effects();
     bench_filters();
     bench_fft();
+    bench_simd_pairs();
     bench_burn();
 }

@@ -1,0 +1,499 @@
+//! E16 — SIMD + planar-layout speedup of the DSP hot path.
+//!
+//! Three legs, all against the crate-wide scalar switch
+//! (`djstar_dsp::simd::set_force_scalar`), which flips every dispatching
+//! kernel onto its scalar reference path on an otherwise identical engine:
+//!
+//! 1. **kernel speedups** — each vectorized kernel timed through its
+//!    deployed entry point, scalar and SIMD batches *interleaved* so host
+//!    noise hits both legs alike, best-of per leg. Gates: the six-section
+//!    biquad cascade (the `SpFilter` shape) and the fused mixer sum must
+//!    clear `DJSTAR_DSP_MIN_SPEEDUP` (default 2x); the remaining kernels
+//!    are reported for context.
+//! 2. **parity** — the same kernels on identical randomized inputs
+//!    (including non-lane-multiple lengths and mono/stereo), max absolute
+//!    scalar↔SIMD difference, gated at 1e-6 per sample. The shim performs
+//!    lane-wise IEEE singles with no FMA, so the expected measurement is
+//!    exactly zero.
+//! 3. **whole-graph A/B** — per strategy, one engine alternating 25-cycle
+//!    scalar/SIMD blocks on a DSP-heavy scenario (light burn weights, so
+//!    kernel time dominates the cycle): SIMD p50 must not exceed the
+//!    paired scalar p50 and must add no deadline misses beyond the
+//!    host-preemption noise band; plus two
+//!    deterministic runs whose output checksums must match bit-exactly.
+//!
+//! Everything lands in `BENCH_dsp.json`. `DJSTAR_STRICT=1` turns the
+//! acceptance checks into the exit code, naming each failed gate.
+
+use djstar_core::exec::Strategy;
+use djstar_dsp::biquad::{process_chain, Biquad, FilterKind};
+use djstar_dsp::buffer::AudioBuf;
+use djstar_dsp::dynamics::{Compressor, Limiter};
+use djstar_dsp::eq::ThreeBandEq;
+use djstar_dsp::fft::{Complex, Fft};
+use djstar_dsp::mix::mix_into;
+use djstar_dsp::osc::NoiseSource;
+use djstar_dsp::simd;
+use djstar_dsp::stretch::TimeStretcher;
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_engine::soundcard::SoundCardSim;
+use djstar_stats::{DspReport, KernelSpeedup, StrategyDsp, Summary};
+use djstar_workload::profile::WorkProfile;
+use djstar_workload::scenario::Scenario;
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Order-sensitive fold of the output buffer into a u64 (FNV-1a over the
+/// raw f32 bits): bit-exact audio in, bit-exact checksum out.
+fn fold_checksum(mut acc: u64, buf: &AudioBuf) -> u64 {
+    for &s in buf.samples() {
+        acc = (acc ^ s.to_bits() as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+/// Paired scalar/SIMD best ns/iter: calibrate a batch size once, then
+/// *alternate* scalar and SIMD batches (12 rounds each) and keep each
+/// leg's best. Interleaving matters on shared hosts: a slow phase
+/// (preemption, a frequency dip) spans both legs instead of biasing
+/// whichever leg happened to own that window, so the ratio stays stable
+/// even when absolute numbers wobble.
+fn paired_best_ns_per_iter<R>(mut f: impl FnMut() -> R) -> (f64, f64) {
+    simd::set_force_scalar(false);
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        if t0.elapsed() >= Duration::from_millis(2) || iters >= 1 << 28 {
+            break;
+        }
+        iters *= 2;
+    }
+    // best[0] = scalar leg, best[1] = SIMD leg.
+    let mut best = [f64::INFINITY; 2];
+    for round in 0..24 {
+        let on_simd = round % 2 == 1;
+        simd::set_force_scalar(!on_simd);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        let leg = &mut best[on_simd as usize];
+        *leg = leg.min(ns);
+    }
+    simd::set_force_scalar(false);
+    (best[0], best[1])
+}
+
+/// A noisy stereo 128-frame buffer (the standard cycle block).
+fn music_buf(seed: u32) -> AudioBuf {
+    let mut noise = NoiseSource::new(seed);
+    AudioBuf::from_fn(2, djstar_dsp::BUFFER_FRAMES, |_, i| {
+        0.4 * noise.next_sample() + 0.3 * ((i as f32) * 0.2).sin()
+    })
+}
+
+/// A noisy buffer of arbitrary shape for the parity corpus.
+fn noisy_buf(channels: usize, frames: usize, seed: u32) -> AudioBuf {
+    let mut noise = NoiseSource::new(seed);
+    AudioBuf::from_fn(channels, frames, |_, _| noise.next_sample() * 0.8)
+}
+
+/// Six-section cascade shaped like `SpFilterNode`'s chain.
+fn spfilter_chain() -> Vec<Biquad> {
+    let sr = djstar_dsp::SAMPLE_RATE;
+    vec![
+        Biquad::design(FilterKind::Highpass, 30.0, 0.7, sr),
+        Biquad::design(FilterKind::Peaking { gain_db: 2.0 }, 120.0, 1.1, sr),
+        Biquad::design(FilterKind::Peaking { gain_db: -3.0 }, 800.0, 0.9, sr),
+        Biquad::design(FilterKind::Peaking { gain_db: 1.5 }, 2_500.0, 1.3, sr),
+        Biquad::design(FilterKind::HighShelf { gain_db: -1.0 }, 8_000.0, 0.7, sr),
+        Biquad::design(FilterKind::Lowpass, 16_000.0, 0.7, sr),
+    ]
+}
+
+/// Max |a - b| across two equally shaped buffers.
+fn max_diff(a: &AudioBuf, b: &AudioBuf) -> f64 {
+    a.samples()
+        .iter()
+        .zip(b.samples())
+        .map(|(x, y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+/// Run `op` once with the scalar switch forced on and once off, on two
+/// clones of the same state, and return the max output divergence.
+fn parity_of(mut op: impl FnMut() -> AudioBuf) -> f64 {
+    simd::set_force_scalar(true);
+    let scalar = op();
+    simd::set_force_scalar(false);
+    let wide = op();
+    max_diff(&scalar, &wide)
+}
+
+/// The parity corpus: mono and stereo, lane-multiple and ragged lengths.
+const SHAPES: [(usize, usize); 5] = [(2, 128), (1, 128), (2, 96), (1, 37), (2, 5)];
+
+fn kernel_measurements() -> Vec<KernelSpeedup> {
+    let mut kernels = Vec::new();
+    let mut push =
+        |kernel: &str, gated: bool, max_abs_diff: f64, mut bench: Box<dyn FnMut() -> f32 + '_>| {
+            let (scalar_ns, simd_ns) = paired_best_ns_per_iter(&mut bench);
+            eprintln!(
+                "[dsp] {kernel:<16} scalar {scalar_ns:>9.1} ns  simd {simd_ns:>9.1} ns  ({:.2}x)",
+                scalar_ns / simd_ns
+            );
+            kernels.push(KernelSpeedup {
+                kernel: kernel.to_string(),
+                scalar_ns,
+                simd_ns,
+                max_abs_diff,
+                gated,
+            });
+        };
+
+    // Biquad cascade (the SpFilter shape; the dominant filter kernel).
+    let diff = SHAPES
+        .iter()
+        .enumerate()
+        .map(|(i, &(ch, frames))| {
+            parity_of(|| {
+                let mut chain = spfilter_chain();
+                let mut buf = noisy_buf(ch, frames, 100 + i as u32);
+                process_chain(&mut chain, &mut buf);
+                buf
+            })
+        })
+        .fold(0.0, f64::max);
+    let mut chain = spfilter_chain();
+    let mut buf = music_buf(17);
+    push(
+        "biquad_chain6",
+        true,
+        diff,
+        Box::new(move || {
+            process_chain(&mut chain, &mut buf);
+            0.0
+        }),
+    );
+
+    // Fused mixer sum (8 inputs, per-input gains).
+    let gains = [0.5f32; 8];
+    let diff = SHAPES
+        .iter()
+        .enumerate()
+        .map(|(i, &(ch, frames))| {
+            parity_of(|| {
+                let inputs: Vec<AudioBuf> = (0..8)
+                    .map(|k| noisy_buf(ch, frames, 200 + 10 * i as u32 + k))
+                    .collect();
+                let refs: Vec<&AudioBuf> = inputs.iter().collect();
+                let mut out = AudioBuf::zeroed(ch, frames);
+                mix_into(&mut out, &refs, &gains);
+                out
+            })
+        })
+        .fold(0.0, f64::max);
+    let inputs: Vec<AudioBuf> = (0..8).map(|k| music_buf(30 + k)).collect();
+    let refs: Vec<&AudioBuf> = inputs.iter().collect();
+    let mut out = AudioBuf::zeroed(2, djstar_dsp::BUFFER_FRAMES);
+    push(
+        "mix_into_8",
+        true,
+        diff,
+        Box::new(move || {
+            mix_into(&mut out, &refs, &gains);
+            0.0
+        }),
+    );
+
+    // Three-band EQ (fused biquad cascade behind the scenes).
+    let diff = SHAPES
+        .iter()
+        .enumerate()
+        .map(|(i, &(ch, frames))| {
+            parity_of(|| {
+                let mut eq = ThreeBandEq::new(djstar_dsp::SAMPLE_RATE);
+                eq.set_gains(3.0, -2.0, 4.0);
+                let mut buf = noisy_buf(ch, frames, 300 + i as u32);
+                eq.process(&mut buf);
+                buf
+            })
+        })
+        .fold(0.0, f64::max);
+    let mut eq = ThreeBandEq::new(djstar_dsp::SAMPLE_RATE);
+    eq.set_gains(3.0, -2.0, 4.0);
+    let mut buf = music_buf(18);
+    push(
+        "three_band_eq",
+        false,
+        diff,
+        Box::new(move || {
+            eq.process(&mut buf);
+            0.0
+        }),
+    );
+
+    // Limiter (chunked envelope + vector apply).
+    let diff = SHAPES
+        .iter()
+        .enumerate()
+        .map(|(i, &(ch, frames))| {
+            parity_of(|| {
+                let mut lim = Limiter::master(djstar_dsp::SAMPLE_RATE);
+                let mut buf = noisy_buf(ch, frames, 400 + i as u32);
+                buf.scale(2.0);
+                lim.process(&mut buf);
+                buf
+            })
+        })
+        .fold(0.0, f64::max);
+    let mut lim = Limiter::master(djstar_dsp::SAMPLE_RATE);
+    let mut buf = music_buf(19);
+    push(
+        "limiter",
+        false,
+        diff,
+        Box::new(move || {
+            lim.process(&mut buf);
+            0.0
+        }),
+    );
+
+    // Compressor (chunked RMS envelope + vector apply).
+    let diff = SHAPES
+        .iter()
+        .enumerate()
+        .map(|(i, &(ch, frames))| {
+            parity_of(|| {
+                let mut comp = Compressor::new(0.3, 4.0, 10.0, djstar_dsp::SAMPLE_RATE);
+                let mut buf = noisy_buf(ch, frames, 500 + i as u32);
+                comp.process(&mut buf);
+                buf
+            })
+        })
+        .fold(0.0, f64::max);
+    let mut comp = Compressor::new(0.3, 4.0, 10.0, djstar_dsp::SAMPLE_RATE);
+    let mut buf = music_buf(20);
+    push(
+        "compressor",
+        false,
+        diff,
+        Box::new(move || {
+            comp.process(&mut buf);
+            0.0
+        }),
+    );
+
+    // FFT plan (precomputed twiddles + 4-lane butterflies), one block.
+    let diff = {
+        let template: Vec<Complex> = (0..128)
+            .map(|i| Complex::new(((i as f32) * 0.13).sin(), 0.0))
+            .collect();
+        let mut plan = Fft::new(128);
+        let mut a = template.clone();
+        let mut b = template;
+        plan.process_scalar(&mut a, false);
+        plan.process(&mut b, false);
+        a.iter()
+            .zip(&b)
+            .map(|(x, y)| ((x.re - y.re).abs().max((x.im - y.im).abs())) as f64)
+            .fold(0.0, f64::max)
+    };
+    let mut plan = Fft::new(128);
+    let mut data: Vec<Complex> = (0..128)
+        .map(|i| Complex::new(((i as f32) * 0.13).sin(), 0.0))
+        .collect();
+    push(
+        "fft_plan_128",
+        false,
+        diff,
+        Box::new(move || {
+            plan.process(&mut data, false);
+            plan.process(&mut data, true);
+            data[0].re
+        }),
+    );
+
+    // WSOLA stretch (table-driven 4-lane crossfade).
+    let src: Vec<f32> = (0..44_100)
+        .map(|i| ((i as f32) * 0.06).sin() * 0.7)
+        .collect();
+    let diff = {
+        let run = |src: &[f32]| {
+            let mut st = TimeStretcher::new();
+            let mut out = vec![0.0f32; 4096];
+            st.process(src, 1.3, &mut out);
+            out
+        };
+        simd::set_force_scalar(true);
+        let scalar = run(&src);
+        simd::set_force_scalar(false);
+        let wide = run(&src);
+        scalar
+            .iter()
+            .zip(&wide)
+            .map(|(x, y)| (x - y).abs() as f64)
+            .fold(0.0, f64::max)
+    };
+    let mut st = TimeStretcher::new();
+    let mut out = vec![0.0f32; 512];
+    push(
+        "stretch_512",
+        false,
+        diff,
+        Box::new(move || {
+            st.seek(1_000.0);
+            st.process(&src, 1.3, &mut out);
+            out[0]
+        }),
+    );
+
+    simd::set_force_scalar(false);
+    kernels
+}
+
+/// Per-strategy whole-graph A/B: paired 25-cycle blocks for timing and
+/// misses, then two deterministic runs for the bit-exactness check.
+fn strategy_ab(
+    scenario: &Scenario,
+    strategy: Strategy,
+    threads: usize,
+    cycles: usize,
+    deadline_ns: u64,
+) -> StrategyDsp {
+    const BLOCK: usize = 25;
+    let mut engine = AudioEngine::with_aux(scenario.clone(), strategy, threads, AuxWork::light());
+    engine.warmup(50);
+    let mut scalar_ns: Vec<f64> = Vec::with_capacity(cycles);
+    let mut simd_ns: Vec<f64> = Vec::with_capacity(cycles);
+    let mut scalar_misses = 0u64;
+    let mut simd_misses = 0u64;
+    let mut on_simd = false;
+    while scalar_ns.len() < cycles || simd_ns.len() < cycles {
+        simd::set_force_scalar(!on_simd);
+        for _ in 0..BLOCK {
+            let ns = engine.run_apc().total().as_nanos() as u64;
+            let missed = (ns > deadline_ns) as u64;
+            if on_simd {
+                simd_ns.push(ns as f64);
+                simd_misses += missed;
+            } else {
+                scalar_ns.push(ns as f64);
+                scalar_misses += missed;
+            }
+        }
+        on_simd = !on_simd;
+    }
+    simd::set_force_scalar(false);
+
+    // Bit-exactness: same scenario, same cycle count, fresh deterministic
+    // engines — the two output streams must fold to the same checksum.
+    let checksum_of = |force_scalar: bool| {
+        simd::set_force_scalar(force_scalar);
+        let mut engine =
+            AudioEngine::with_aux(scenario.clone(), strategy, threads, AuxWork::light());
+        engine.warmup(10);
+        let mut acc = 0xCBF2_9CE4_8422_2325u64;
+        for _ in 0..256 {
+            engine.run_apc();
+            acc = fold_checksum(acc, &engine.output());
+        }
+        acc
+    };
+    let scalar_sum = checksum_of(true);
+    let simd_sum = checksum_of(false);
+    simd::set_force_scalar(false);
+
+    StrategyDsp {
+        strategy: strategy.label().to_string(),
+        scalar_p50_ns: Summary::percentile(&scalar_ns, 50.0).unwrap_or(0.0),
+        simd_p50_ns: Summary::percentile(&simd_ns, 50.0).unwrap_or(0.0),
+        scalar_misses,
+        simd_misses,
+        checksums_equal: scalar_sum == simd_sum,
+    }
+}
+
+fn main() {
+    let cycles = env_usize("DJSTAR_DSP_CYCLES", 2_000);
+    let min_speedup = env_f64("DJSTAR_DSP_MIN_SPEEDUP", 2.0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let deadline_ns = SoundCardSim::paper_default().deadline_ns();
+
+    eprintln!(
+        "[dsp] measuring kernel speedups ({} backend) ...",
+        simd::backend()
+    );
+    let kernels = kernel_measurements();
+
+    // DSP-heavy scenario: the paper topology with light burn weights, so
+    // the cycle is dominated by real kernel work and the A/B isolates the
+    // SIMD + planar-layout effect.
+    let mut scenario = Scenario::paper_default();
+    scenario.work = WorkProfile::light();
+    let mut strategies = Vec::new();
+    for strategy in Strategy::ALL {
+        let t = if strategy == Strategy::Sequential {
+            1
+        } else {
+            threads
+        };
+        eprintln!(
+            "[dsp] {} paired whole-graph A/B ({cycles} cycles per leg) ...",
+            strategy.label()
+        );
+        strategies.push(strategy_ab(&scenario, strategy, t, cycles, deadline_ns));
+    }
+
+    let report = DspReport {
+        threads,
+        cycles,
+        deadline_ns,
+        backend: simd::backend().to_string(),
+        min_kernel_speedup: min_speedup,
+        parity_tol: 1e-6,
+        kernels,
+        strategies,
+    };
+
+    println!("# E16 — SIMD + planar-layout speedup of the DSP hot path\n");
+    println!("{}", report.render());
+
+    let json = report.to_json().render();
+    match std::fs::write("BENCH_dsp.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("[dsp] wrote BENCH_dsp.json"),
+        Err(e) => eprintln!("[dsp] cannot write BENCH_dsp.json: {e}"),
+    }
+
+    if std::env::var("DJSTAR_STRICT").is_ok_and(|v| v != "0") {
+        let failed = report.failed_gates();
+        if failed.is_empty() {
+            eprintln!("[dsp] strict checks passed");
+        } else {
+            for gate in &failed {
+                eprintln!("[dsp] FAIL: gate '{gate}' tripped");
+            }
+            std::process::exit(1);
+        }
+    }
+}

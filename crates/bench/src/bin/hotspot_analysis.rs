@@ -11,7 +11,7 @@
 use djstar_bench::measure_cycles;
 use djstar_core::exec::Strategy;
 use djstar_engine::apc::AudioEngine;
-use djstar_engine::profiling::HotspotProfiler;
+use djstar_engine::profiling::{record_kernel_totals, HotspotProfiler};
 use djstar_workload::scenario::Scenario;
 use std::time::Instant;
 
@@ -20,6 +20,12 @@ fn main() {
     eprintln!("[hotspot] running {cycles} profiled sequential APCs ...");
     let mut engine = AudioEngine::new(Scenario::paper_default(), Strategy::Sequential, 1);
     engine.warmup(50);
+
+    // Per-kernel-family accounting: drain anything warmup left behind,
+    // then count every biquad/eq/mix/fft/stretch/dynamics kernel call the
+    // measured cycles make.
+    djstar_dsp::kprof::set_enabled(true);
+    let _ = djstar_dsp::kprof::take_totals();
 
     let mut profiler = HotspotProfiler::new();
     for cycle in 0..cycles {
@@ -38,6 +44,10 @@ fn main() {
             profiler.record("gui", t0.elapsed().as_nanos() as u64);
         }
     }
+
+    djstar_dsp::kprof::set_enabled(false);
+    let mut kernels = HotspotProfiler::new();
+    record_kernel_totals(&mut kernels);
 
     println!("# §III-B hotspot analysis ({cycles} APCs)\n");
     let apc_ns: u64 = [
@@ -59,10 +69,32 @@ fn main() {
     };
     print!("{}", profiler.render_table(paper));
 
+    // Break the phase time down by DSP kernel family (stretch runs in
+    // preprocessing, every other family inside graph execution). Shares in
+    // this table are relative to total *kernel* time; the gap between a
+    // family sum and its phase total is scheduling + non-kernel node work.
+    println!("\n## DSP kernel families inside the APC\n");
+    print!(
+        "{}",
+        kernels.render_table(|region| match region {
+            "apc/graph/biquad" => "SpFilter cascades",
+            "apc/graph/eq" => "3-band EQ",
+            "apc/graph/mix" => "gain / sum / crossfade",
+            "apc/graph/fft" => "spectral effects",
+            "apc/graph/dynamics" => "limiter / compressor / clip",
+            "apc/preprocessing/stretch" => "WSOLA time stretch",
+            _ => "",
+        })
+    );
+
     // The same shares as a machine-readable artifact, through the same
-    // JSON writer the telemetry exporters use.
+    // JSON writer the telemetry exporters use. The per-family breakdown
+    // rides along under "kernels" so before/after SIMD shares are
+    // comparable across runs.
     std::fs::create_dir_all("results").ok();
-    let json = profiler.to_json().render();
+    let mut doc = profiler.to_json();
+    doc.push("kernels", kernels.to_json());
+    let json = doc.render();
     match std::fs::write("results/hotspot.json", format!("{json}\n")) {
         Ok(()) => eprintln!("[hotspot] wrote results/hotspot.json"),
         Err(e) => eprintln!("[hotspot] cannot write results/hotspot.json: {e}"),

@@ -383,6 +383,13 @@ pub struct ExecGraph {
     topo: Arc<GraphTopology>,
     cells: Box<[NodeCell]>,
     runtimes: Box<[RuntimeCell]>,
+    /// One cache-aligned allocation backing every node's output buffer
+    /// (each node's `output` is a view into a distinct, cache-line-rounded
+    /// slot). Allocated once at build time; never touched directly during
+    /// a cycle — all access goes through the node output views under the
+    /// epoch protocol. Kept alive here for exactly as long as the views.
+    #[allow(dead_code)]
+    arena: djstar_dsp::BufferArena,
     /// Placeholder for initializing input reference arrays.
     empty: AudioBuf,
 }
@@ -401,14 +408,24 @@ impl ExecGraph {
                 "node {n} has more than {MAX_INPUTS} predecessors"
             );
         }
+        // One arena slot per node output, all in a single cache-aligned
+        // allocation (planar slabs, cache-line-rounded so neighboring nodes
+        // never share a line).
+        let specs: Vec<(usize, usize)> = processors
+            .iter()
+            .map(|p| (p.output_channels(), frames))
+            .collect();
+        let arena = djstar_dsp::BufferArena::new(&specs);
         let runtimes: Box<[RuntimeCell]> = processors
             .into_iter()
-            .map(|processor| {
-                let channels = processor.output_channels();
-                RuntimeCell(UnsafeCell::new(NodeRuntime {
-                    processor,
-                    output: AudioBuf::zeroed(channels, frames),
-                }))
+            .enumerate()
+            .map(|(n, processor)| {
+                // SAFETY: slot `n` is a distinct arena region; the view is
+                // owned by exactly this node's runtime cell, whose access is
+                // governed by the epoch protocol, and the arena lives in the
+                // same `ExecGraph` as the view.
+                let output = unsafe { arena.view(n) };
+                RuntimeCell(UnsafeCell::new(NodeRuntime { processor, output }))
             })
             .collect();
         let cells: Box<[NodeCell]> = (0..runtimes.len())
@@ -422,6 +439,7 @@ impl ExecGraph {
             topo: Arc::new(topo),
             cells,
             runtimes,
+            arena,
             empty: AudioBuf::zeroed(1, 1),
         }
     }
@@ -456,7 +474,7 @@ impl ExecGraph {
         let mut spins = 1u64;
         while cell.done_epoch.load(Ordering::Acquire) != epoch {
             spins += 1;
-            if spins % 4096 == 0 {
+            if spins.is_multiple_of(4096) {
                 // On over-subscribed machines a pure spin would starve the
                 // worker that must produce this dependency.
                 std::thread::yield_now();
@@ -531,7 +549,10 @@ impl ExecGraph {
             if new_rt.output.channels() == old_rt.output.channels()
                 && new_rt.output.frames() == old_rt.output.frames()
             {
-                std::mem::swap(&mut new_rt.output, &mut old_rt.output);
+                // Copy, never swap: both outputs are views into their own
+                // generation's arena, and the old arena dies with the old
+                // graph — a swapped-in view would dangle.
+                new_rt.output.copy_from(&old_rt.output);
             }
             carried += 1;
         }
@@ -850,7 +871,7 @@ impl Shared {
         let mut spins = 0u32;
         while self.cycle_exited.load(Ordering::Acquire) < count {
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 core::hint::spin_loop();
@@ -941,7 +962,7 @@ impl Shared {
         let mut spins = 0u32;
         while self.done_count.load(Ordering::Acquire) != n {
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 core::hint::spin_loop();

@@ -611,7 +611,7 @@ mod tests {
             let preds: Vec<NodeId> = ids
                 .iter()
                 .copied()
-                .filter(|p: &NodeId| (i + p.0) % 7 == 0)
+                .filter(|p: &NodeId| (i + p.0).is_multiple_of(7))
                 .collect();
             ids.push(b.add(format!("n{i}"), Section::Master, pt(), &preds));
         }
@@ -658,7 +658,7 @@ mod tests {
             let preds: Vec<NodeId> = ids
                 .iter()
                 .copied()
-                .filter(|p: &NodeId| (i * 3 + p.0) % 5 == 0)
+                .filter(|p: &NodeId| (i * 3 + p.0).is_multiple_of(5))
                 .collect();
             ids.push(b.add(format!("n{i}"), Section::Master, pt(), &preds));
         }

@@ -133,6 +133,40 @@ fn telemetry_cycles_do_not_allocate() {
             allocs, 0,
             "{label}: telemetry-on cycles allocated {allocs} times"
         );
+        // The planar buffer arena shares the hot path: every node's
+        // output is a view into one per-graph allocation made at build
+        // time, so cycles interleaved with output reads into preallocated
+        // sinks (both matching and mismatching layouts, which take the
+        // copy and the clear + mix_add paths) must also allocate nothing.
+        let mut stereo_sink = AudioBuf::zeroed(2, FRAMES);
+        let mut mono_sink = AudioBuf::zeroed(1, FRAMES);
+        let measure_reads = |exec: &mut Box<dyn GraphExecutor>,
+                             cycles_run: &mut u64,
+                             stereo: &mut AudioBuf,
+                             mono: &mut AudioBuf|
+         -> u64 {
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            for _ in 0..50 {
+                exec.run_cycle(&[], &[]);
+                *cycles_run += 1;
+                exec.read_output(NodeId(23), stereo);
+                exec.read_output(NodeId(0), mono);
+            }
+            ALLOCATIONS.load(Ordering::SeqCst) - before
+        };
+        let mut allocs =
+            measure_reads(&mut exec, &mut cycles_run, &mut stereo_sink, &mut mono_sink);
+        if allocs > 0 {
+            allocs = measure_reads(&mut exec, &mut cycles_run, &mut stereo_sink, &mut mono_sink);
+        }
+        assert_eq!(
+            allocs, 0,
+            "{label}: arena output reads allocated {allocs} times"
+        );
+        assert!(
+            stereo_sink.samples().iter().any(|&s| s != 0.0),
+            "{label}: arena read produced silence"
+        );
         // Fault injection shares the hot path: cycles with a firing storm
         // plan and with an enabled-but-idle quiet plan must also allocate
         // nothing — the plan is plain `Copy` data and every draw is

@@ -4,8 +4,18 @@
 //! filter nodes in the DJ Star graph. Coefficients follow Robert
 //! Bristow-Johnson's cookbook formulas; the state uses transposed direct
 //! form II, which is well-behaved in `f32`.
+//!
+//! Whole-buffer filtering is vectorized with channels-in-lanes: both
+//! channels of a frame ride one [`F32x4`], and [`process_chain`] fuses a
+//! whole cascade into a *single* pass over the buffer (per-section state
+//! lives in registers), instead of one read-modify-write pass per section.
+//! The fused pass is bit-identical to the per-section reference: section
+//! `k` still sees exactly the sequence section `k-1` produced, and every
+//! lane operation is the same IEEE-754 single operation the scalar
+//! expression performs (no FMA, no reassociation).
 
 use crate::buffer::AudioBuf;
+use crate::simd::{self, F32x4};
 
 /// Filter kinds supported by [`BiquadCoeffs::design`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,6 +172,11 @@ impl Biquad {
         self.z2 = [0.0; 2];
     }
 
+    /// The per-channel delay state `(z1, z2)`, for parity checks.
+    pub fn state(&self) -> ([f32; 2], [f32; 2]) {
+        (self.z1, self.z2)
+    }
+
     /// Process one sample on `channel` (0 or 1).
     #[inline]
     pub fn tick(&mut self, channel: usize, x: f32) -> f32 {
@@ -174,14 +189,112 @@ impl Biquad {
 
     /// Filter a whole buffer in place.
     pub fn process(&mut self, buf: &mut AudioBuf) {
+        let _t = crate::kprof::timer(crate::kprof::Family::Biquad);
+        if simd::wide_enabled() {
+            process_chunk_wide(core::slice::from_mut(self), buf);
+        } else {
+            self.process_scalar(buf);
+        }
+    }
+
+    /// Scalar reference for [`Biquad::process`]: the seed's per-sample
+    /// `tick` loop. Bit-identical to the vector path.
+    pub fn process_scalar(&mut self, buf: &mut AudioBuf) {
         let channels = buf.channels();
         let frames = buf.frames();
-        let data = buf.samples_mut();
         for i in 0..frames {
             for ch in 0..channels {
-                let idx = i * channels + ch;
-                data[idx] = self.tick(ch, data[idx]);
+                let y = self.tick(ch, buf.sample(ch, i));
+                buf.set_sample(ch, i, y);
             }
+        }
+    }
+}
+
+/// Most fused sections per buffer pass; longer chains run in fused chunks.
+const MAX_FUSED: usize = 8;
+
+/// Filter `buf` through every section of `chain` in series, fusing up to
+/// [`MAX_FUSED`] sections into one pass over the buffer.
+pub fn process_chain(chain: &mut [Biquad], buf: &mut AudioBuf) {
+    let _t = crate::kprof::timer(crate::kprof::Family::Biquad);
+    chain_dispatch(chain, buf);
+}
+
+/// [`process_chain`] without the kernel-family timer, for callers (the EQ)
+/// that account the time to their own family.
+pub(crate) fn chain_dispatch(chain: &mut [Biquad], buf: &mut AudioBuf) {
+    if simd::wide_enabled() {
+        for chunk in chain.chunks_mut(MAX_FUSED) {
+            process_chunk_wide(chunk, buf);
+        }
+    } else {
+        process_chain_scalar(chain, buf);
+    }
+}
+
+/// Scalar reference for [`process_chain`]: one buffer pass per section.
+pub fn process_chain_scalar(chain: &mut [Biquad], buf: &mut AudioBuf) {
+    for section in chain {
+        section.process_scalar(buf);
+    }
+}
+
+/// One fused pass: per-section coefficients and state in lanes, channels
+/// 0/1 in lanes 0/1. Lanes 2–3 (and lane 1 for mono buffers) carry zeros
+/// whose results are discarded, so unused channel state is left untouched.
+fn process_chunk_wide(chain: &mut [Biquad], buf: &mut AudioBuf) {
+    let n = chain.len();
+    debug_assert!(n <= MAX_FUSED);
+    if n == 0 {
+        return;
+    }
+    let channels = buf.channels();
+    let stereo = channels == 2;
+    let mut b0 = [F32x4::zero(); MAX_FUSED];
+    let mut b1 = [F32x4::zero(); MAX_FUSED];
+    let mut b2 = [F32x4::zero(); MAX_FUSED];
+    let mut a1 = [F32x4::zero(); MAX_FUSED];
+    let mut a2 = [F32x4::zero(); MAX_FUSED];
+    let mut z1 = [F32x4::zero(); MAX_FUSED];
+    let mut z2 = [F32x4::zero(); MAX_FUSED];
+    for (k, s) in chain.iter().enumerate() {
+        let c = s.coeffs;
+        b0[k] = F32x4::splat(c.b0);
+        b1[k] = F32x4::splat(c.b1);
+        b2[k] = F32x4::splat(c.b2);
+        a1[k] = F32x4::splat(c.a1);
+        a2[k] = F32x4::splat(c.a2);
+        let r1 = if stereo { s.z1[1] } else { 0.0 };
+        let r2 = if stereo { s.z2[1] } else { 0.0 };
+        z1[k] = F32x4::from_array([s.z1[0], r1, 0.0, 0.0]);
+        z2[k] = F32x4::from_array([s.z2[0], r2, 0.0, 0.0]);
+    }
+    let frames = buf.frames();
+    let (l, r) = buf.as_planar_slices_mut();
+    for i in 0..frames {
+        let xr = if stereo { r[i] } else { 0.0 };
+        let mut x = F32x4::from_array([l[i], xr, 0.0, 0.0]);
+        for k in 0..n {
+            let y = b0[k].mul(x).add(z1[k]);
+            z1[k] = b1[k].mul(x).sub(a1[k].mul(y)).add(z2[k]);
+            z2[k] = b2[k].mul(x).sub(a2[k].mul(y));
+            x = y;
+        }
+        let out = x.to_array();
+        l[i] = out[0];
+        if stereo {
+            r[i] = out[1];
+        }
+    }
+    for (k, s) in chain.iter_mut().enumerate() {
+        let s1 = z1[k].to_array();
+        let s2 = z2[k].to_array();
+        s.z1[0] = s1[0];
+        s.z2[0] = s2[0];
+        if stereo {
+            s.z1[1] = s1[1];
+            s.z2[1] = s2[1];
         }
     }
 }
@@ -220,11 +333,9 @@ impl BiquadCascade {
         }
     }
 
-    /// Filter a buffer in place through every section.
+    /// Filter a buffer in place through every section (one fused pass).
     pub fn process(&mut self, buf: &mut AudioBuf) {
-        for s in &mut self.sections {
-            s.process(buf);
-        }
+        process_chain(&mut self.sections, buf);
     }
 }
 
@@ -360,6 +471,74 @@ mod tests {
         casc.process(&mut buf2);
         let triple = buf2.rms() / core::f32::consts::FRAC_1_SQRT_2;
         assert!(triple < single * 0.1, "single {single}, cascade {triple}");
+    }
+
+    #[test]
+    fn fused_chain_matches_per_section_scalar_exactly() {
+        use crate::osc::NoiseSource;
+        // Long enough to exceed MAX_FUSED (forces chunking) and odd frame
+        // counts for the tails; both mono and stereo.
+        for &(channels, frames, sections) in &[(2usize, 128usize, 6usize), (1, 37, 9), (2, 5, 1)] {
+            let mk = || -> Vec<Biquad> {
+                (0..sections)
+                    .map(|k| {
+                        Biquad::design(
+                            FilterKind::Peaking {
+                                gain_db: 3.0 + k as f32,
+                            },
+                            300.0 * (k + 1) as f32,
+                            0.8,
+                            44_100,
+                        )
+                    })
+                    .collect()
+            };
+            let mut wide_chain = mk();
+            let mut scalar_chain = mk();
+            let mut noise = NoiseSource::new(11);
+            for _ in 0..5 {
+                let buf = AudioBuf::from_fn(channels, frames, |_, _| noise.next_sample() * 0.5);
+                let mut a = buf.clone();
+                let mut b = buf.clone();
+                process_chain(&mut wide_chain, &mut a);
+                process_chain_scalar(&mut scalar_chain, &mut b);
+                assert_eq!(
+                    a.samples(),
+                    b.samples(),
+                    "{channels}ch x {frames} x {sections} sections"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_biquad_wide_matches_scalar_exactly() {
+        use crate::osc::NoiseSource;
+        let mut noise = NoiseSource::new(5);
+        let mut wide = Biquad::design(FilterKind::Lowpass, 900.0, 0.9, 44_100);
+        let mut scalar = wide.clone();
+        for _ in 0..8 {
+            let buf = AudioBuf::from_fn(2, 61, |_, _| noise.next_sample());
+            let mut a = buf.clone();
+            let mut b = buf.clone();
+            wide.process(&mut a);
+            scalar.process_scalar(&mut b);
+            assert_eq!(a.samples(), b.samples());
+        }
+    }
+
+    #[test]
+    fn mono_buffers_leave_right_channel_state_untouched() {
+        let mut filt = Biquad::design(FilterKind::Lowpass, 500.0, 0.7, 44_100);
+        // Charge the right-channel state via a stereo buffer.
+        let mut st = AudioBuf::from_fn(2, 32, |_, _| 1.0);
+        filt.process(&mut st);
+        let before = filt.clone();
+        let mut mono = AudioBuf::from_fn(1, 32, |_, _| 0.25);
+        filt.process(&mut mono);
+        assert_eq!(filt.z1[1], before.z1[1]);
+        assert_eq!(filt.z2[1], before.z2[1]);
+        assert_ne!(filt.z1[0], before.z1[0]);
     }
 
     #[test]

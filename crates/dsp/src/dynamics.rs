@@ -2,8 +2,21 @@
 //!
 //! Fig. 3's master section runs "Limiter, Clip" on the record buffer and the
 //! audio outputs; these are those processors.
+//!
+//! The limiter and compressor have a serial per-frame envelope follower
+//! sandwiched between two embarrassingly-parallel phases. The vector path
+//! stages frames through fixed stack chunks: per-frame peaks (or mean
+//! squares) are computed 4 lanes at a time, the envelope/gain recurrence
+//! runs scalar over the chunk, and the gains are applied back to each
+//! channel plane 4 lanes at a time. Every per-frame formula matches the
+//! scalar reference operation-for-operation, so the result is
+//! bit-identical.
 
 use crate::buffer::AudioBuf;
+use crate::simd::{self, F32x4};
+
+/// Frames staged per stack chunk (one engine buffer); no heap involved.
+const CHUNK: usize = 128;
 
 /// Hard clipper: clamps every sample into `[-ceiling, ceiling]`.
 #[derive(Debug, Clone)]
@@ -22,6 +35,9 @@ impl HardClip {
     /// Clip a buffer in place; returns the number of clipped samples (a
     /// diagnostic DJ Star surfaces as a clip indicator).
     pub fn process(&self, buf: &mut AudioBuf) -> usize {
+        // Kept scalar on purpose: vector min/max would change NaN
+        // propagation vs these strict comparisons, and clipping is cheap.
+        let _t = crate::kprof::timer(crate::kprof::Family::Dynamics);
         let c = self.ceiling;
         let mut clipped = 0;
         for s in buf.samples_mut() {
@@ -74,6 +90,17 @@ impl Limiter {
 
     /// Limit a buffer in place.
     pub fn process(&mut self, buf: &mut AudioBuf) {
+        let _t = crate::kprof::timer(crate::kprof::Family::Dynamics);
+        if simd::wide_enabled() {
+            self.process_wide(buf);
+        } else {
+            self.process_scalar(buf);
+        }
+    }
+
+    /// Scalar reference for [`Limiter::process`]: the seed's per-frame
+    /// loop. Bit-identical to the vector path.
+    pub fn process_scalar(&mut self, buf: &mut AudioBuf) {
         let channels = buf.channels();
         let frames = buf.frames();
         for i in 0..frames {
@@ -82,23 +109,79 @@ impl Limiter {
             for ch in 0..channels {
                 peak = peak.max(buf.sample(ch, i).abs());
             }
-            // Envelope follower.
-            let coeff = if peak > self.envelope {
-                self.attack_coeff
-            } else {
-                self.release_coeff
-            };
-            self.envelope = coeff * self.envelope + (1.0 - coeff) * peak;
-            let over = self.envelope.max(peak);
-            let gain = if over > self.ceiling {
-                self.ceiling / over
-            } else {
-                1.0
-            };
+            let gain = self.gain_step(peak);
             for ch in 0..channels {
                 let s = buf.sample(ch, i) * gain;
                 // Safety clamp for attack transients.
                 buf.set_sample(ch, i, s.clamp(-self.ceiling, self.ceiling));
+            }
+        }
+    }
+
+    /// Advance the envelope by one frame peak and return the frame gain.
+    #[inline]
+    fn gain_step(&mut self, peak: f32) -> f32 {
+        let coeff = if peak > self.envelope {
+            self.attack_coeff
+        } else {
+            self.release_coeff
+        };
+        self.envelope = coeff * self.envelope + (1.0 - coeff) * peak;
+        let over = self.envelope.max(peak);
+        if over > self.ceiling {
+            self.ceiling / over
+        } else {
+            1.0
+        }
+    }
+
+    fn process_wide(&mut self, buf: &mut AudioBuf) {
+        let ceiling = self.ceiling;
+        let lo = F32x4::splat(-ceiling);
+        let hi = F32x4::splat(ceiling);
+        let mut peaks = [0.0f32; CHUNK];
+        let mut gains = [0.0f32; CHUNK];
+        for (l, r) in buf.frames_chunks_mut(CHUNK) {
+            let m = l.len();
+            let stereo = !r.is_empty();
+            let n = m & !3;
+            let mut i = 0;
+            while i < n {
+                let mut p = F32x4::zero().max(F32x4::load(&l[i..]).abs());
+                if stereo {
+                    p = p.max(F32x4::load(&r[i..]).abs());
+                }
+                p.store(&mut peaks[i..]);
+                i += 4;
+            }
+            for i in n..m {
+                let mut peak = 0.0f32.max(l[i].abs());
+                if stereo {
+                    peak = peak.max(r[i].abs());
+                }
+                peaks[i] = peak;
+            }
+            // The envelope recurrence is inherently serial.
+            for i in 0..m {
+                gains[i] = self.gain_step(peaks[i]);
+            }
+            for plane in [&mut *l, r] {
+                if plane.is_empty() {
+                    continue;
+                }
+                let mut i = 0;
+                while i < n {
+                    let g = F32x4::load(&gains[i..]);
+                    F32x4::load(&plane[i..])
+                        .mul(g)
+                        .max(lo)
+                        .min(hi)
+                        .store(&mut plane[i..]);
+                    i += 4;
+                }
+                for i in n..m {
+                    plane[i] = (plane[i] * gains[i]).clamp(-ceiling, ceiling);
+                }
             }
         }
     }
@@ -134,6 +217,17 @@ impl Compressor {
     /// Compress a buffer in place; returns the final gain applied (for
     /// metering).
     pub fn process(&mut self, buf: &mut AudioBuf) -> f32 {
+        let _t = crate::kprof::timer(crate::kprof::Family::Dynamics);
+        if simd::wide_enabled() {
+            self.process_wide(buf)
+        } else {
+            self.process_scalar(buf)
+        }
+    }
+
+    /// Scalar reference for [`Compressor::process`]: the seed's per-frame
+    /// loop. Bit-identical to the vector path.
+    pub fn process_scalar(&mut self, buf: &mut AudioBuf) -> f32 {
         let channels = buf.channels();
         let frames = buf.frames();
         let mut last_gain = 1.0;
@@ -144,19 +238,82 @@ impl Compressor {
                 sq += s * s;
             }
             sq /= channels as f32;
-            self.envelope = self.coeff * self.envelope + (1.0 - self.coeff) * sq;
-            let rms = self.envelope.sqrt();
-            let gain = if rms > self.threshold {
-                // Gain reduction toward threshold + (rms-threshold)/ratio.
-                let target = self.threshold + (rms - self.threshold) / self.ratio;
-                target / rms
-            } else {
-                1.0
-            };
+            let gain = self.gain_step(sq);
             last_gain = gain;
             for ch in 0..channels {
                 let s = buf.sample(ch, i);
                 buf.set_sample(ch, i, s * gain);
+            }
+        }
+        last_gain
+    }
+
+    /// Advance the RMS envelope by one frame mean-square and return the
+    /// frame gain.
+    #[inline]
+    fn gain_step(&mut self, sq: f32) -> f32 {
+        self.envelope = self.coeff * self.envelope + (1.0 - self.coeff) * sq;
+        let rms = self.envelope.sqrt();
+        if rms > self.threshold {
+            // Gain reduction toward threshold + (rms-threshold)/ratio.
+            let target = self.threshold + (rms - self.threshold) / self.ratio;
+            target / rms
+        } else {
+            1.0
+        }
+    }
+
+    fn process_wide(&mut self, buf: &mut AudioBuf) -> f32 {
+        let mut sqs = [0.0f32; CHUNK];
+        let mut gains = [0.0f32; CHUNK];
+        let mut last_gain = 1.0f32;
+        for (l, r) in buf.frames_chunks_mut(CHUNK) {
+            let m = l.len();
+            let stereo = !r.is_empty();
+            let n = m & !3;
+            // Mean square per frame: dividing by 1 or 2 channels is exact,
+            // so the halving multiply below rounds identically to the
+            // scalar division.
+            let half = F32x4::splat(0.5);
+            let mut i = 0;
+            while i < n {
+                let lv = F32x4::load(&l[i..]);
+                let mut sq = F32x4::zero().add(lv.mul(lv));
+                if stereo {
+                    let rv = F32x4::load(&r[i..]);
+                    sq = sq.add(rv.mul(rv)).mul(half);
+                }
+                sq.store(&mut sqs[i..]);
+                i += 4;
+            }
+            for i in n..m {
+                let mut sq = l[i] * l[i];
+                if stereo {
+                    sq += r[i] * r[i];
+                    sq /= 2.0;
+                }
+                sqs[i] = sq;
+            }
+            for i in 0..m {
+                gains[i] = self.gain_step(sqs[i]);
+            }
+            if m > 0 {
+                last_gain = gains[m - 1];
+            }
+            for plane in [&mut *l, r] {
+                if plane.is_empty() {
+                    continue;
+                }
+                let mut i = 0;
+                while i < n {
+                    F32x4::load(&plane[i..])
+                        .mul(F32x4::load(&gains[i..]))
+                        .store(&mut plane[i..]);
+                    i += 4;
+                }
+                for i in n..m {
+                    plane[i] *= gains[i];
+                }
             }
         }
         last_gain
@@ -228,6 +385,47 @@ mod tests {
         let gain = comp.process(&mut buf);
         assert!(gain < 0.8, "gain {gain}");
         assert!(buf.rms() < 0.5);
+    }
+
+    #[test]
+    fn limiter_wide_matches_scalar_exactly() {
+        // Mono + stereo, odd frame counts (tail path), envelope carried
+        // across several buffers.
+        for channels in [1usize, 2] {
+            let mut wide = Limiter::new(0.6, 0.3, 8.0, 44_100);
+            let mut scalar = wide.clone();
+            for (block, frames) in [(0u32, 128usize), (1, 37), (2, 128), (3, 5)] {
+                let buf = AudioBuf::from_fn(channels, frames, |ch, i| {
+                    1.8 * ((block as usize * 131 + ch * 7 + i) as f32 * 0.23).sin()
+                });
+                let mut a = buf.clone();
+                let mut b = buf;
+                wide.process(&mut a);
+                scalar.process_scalar(&mut b);
+                assert_eq!(a.samples(), b.samples(), "ch={channels} block={block}");
+            }
+            assert_eq!(wide.envelope, scalar.envelope);
+        }
+    }
+
+    #[test]
+    fn compressor_wide_matches_scalar_exactly() {
+        for channels in [1usize, 2] {
+            let mut wide = Compressor::new(0.15, 4.0, 5.0, 44_100);
+            let mut scalar = wide.clone();
+            for (block, frames) in [(0u32, 128usize), (1, 41), (2, 128), (3, 3)] {
+                let buf = AudioBuf::from_fn(channels, frames, |ch, i| {
+                    0.9 * ((block as usize * 97 + ch * 11 + i) as f32 * 0.31).sin()
+                });
+                let mut a = buf.clone();
+                let mut b = buf;
+                let ga = wide.process(&mut a);
+                let gb = scalar.process_scalar(&mut b);
+                assert_eq!(a.samples(), b.samples(), "ch={channels} block={block}");
+                assert_eq!(ga, gb);
+            }
+            assert_eq!(wide.envelope, scalar.envelope);
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::buffer::AudioBuf;
 use crate::effects::Effect;
-use crate::fft::{fft_inplace, Complex};
+use crate::fft::{Complex, Fft};
 
 /// FFT band-pass effect.
 pub struct SpectralFilter {
@@ -19,6 +19,9 @@ pub struct SpectralFilter {
     mix: f32,
     sample_rate: f32,
     scratch: Vec<Complex>,
+    /// FFT plan, built lazily for the host's block size and reused for
+    /// every subsequent block (no per-block trigonometry).
+    plan: Option<Fft>,
 }
 
 impl SpectralFilter {
@@ -30,6 +33,7 @@ impl SpectralFilter {
             mix: mix.clamp(0.0, 1.0),
             sample_rate: sample_rate as f32,
             scratch: Vec::new(),
+            plan: None,
         }
     }
 
@@ -43,10 +47,14 @@ impl SpectralFilter {
         if !n.is_power_of_two() || n < 2 {
             return; // non-power-of-two hosts bypass rather than crash
         }
+        if self.plan.as_ref().map(Fft::len) != Some(n) {
+            self.plan = Some(Fft::new(n));
+        }
         self.scratch.clear();
         self.scratch
-            .extend((0..n).map(|i| Complex::new(buf.sample(ch, i), 0.0)));
-        fft_inplace(&mut self.scratch, false);
+            .extend(buf.channel(ch).iter().map(|&s| Complex::new(s, 0.0)));
+        let plan = self.plan.as_mut().expect("plan built above");
+        plan.process(&mut self.scratch, false);
         let bin_hz = self.sample_rate / n as f32;
         for k in 0..n {
             // Frequency of bin k (mirror bins share the magnitude).
@@ -59,11 +67,11 @@ impl SpectralFilter {
                 self.scratch[k] = Complex::new(0.0, 0.0);
             }
         }
-        fft_inplace(&mut self.scratch, true);
-        for i in 0..n {
-            let dry = buf.sample(ch, i);
-            let wet = self.scratch[i].re;
-            buf.set_sample(ch, i, dry * (1.0 - self.mix) + wet * self.mix);
+        let plan = self.plan.as_mut().expect("plan built above");
+        plan.process(&mut self.scratch, true);
+        let dry_gain = 1.0 - self.mix;
+        for (dry, wet) in buf.channel_mut(ch).iter_mut().zip(&self.scratch) {
+            *dry = *dry * dry_gain + wet.re * self.mix;
         }
     }
 }

@@ -7,15 +7,19 @@ use crate::buffer::AudioBuf;
 /// A classic DJ mixer 3-band EQ: low shelf, mid peaking, high shelf.
 ///
 /// Band gains range from full kill (-26 dB, like an "isolator" EQ) to
-/// +12 dB boost.
+/// +12 dB boost. The three sections are stored as one contiguous chain so
+/// [`ThreeBandEq::process`] runs a single fused buffer pass.
 #[derive(Debug, Clone)]
 pub struct ThreeBandEq {
-    low: Biquad,
-    mid: Biquad,
-    high: Biquad,
+    /// `[low shelf, mid peaking, high shelf]`.
+    sections: [Biquad; 3],
     gains_db: [f32; 3],
     sample_rate: u32,
 }
+
+const LOW: usize = 0;
+const MID: usize = 1;
+const HIGH: usize = 2;
 
 /// Crossover frequencies of the EQ bands (Hz).
 const LOW_FREQ: f32 = 250.0;
@@ -29,24 +33,26 @@ impl ThreeBandEq {
     /// A flat EQ.
     pub fn new(sample_rate: u32) -> Self {
         let mut eq = ThreeBandEq {
-            low: Biquad::design(
-                FilterKind::LowShelf { gain_db: 0.0 },
-                LOW_FREQ,
-                0.7,
-                sample_rate,
-            ),
-            mid: Biquad::design(
-                FilterKind::Peaking { gain_db: 0.0 },
-                MID_FREQ,
-                0.9,
-                sample_rate,
-            ),
-            high: Biquad::design(
-                FilterKind::HighShelf { gain_db: 0.0 },
-                HIGH_FREQ,
-                0.7,
-                sample_rate,
-            ),
+            sections: [
+                Biquad::design(
+                    FilterKind::LowShelf { gain_db: 0.0 },
+                    LOW_FREQ,
+                    0.7,
+                    sample_rate,
+                ),
+                Biquad::design(
+                    FilterKind::Peaking { gain_db: 0.0 },
+                    MID_FREQ,
+                    0.9,
+                    sample_rate,
+                ),
+                Biquad::design(
+                    FilterKind::HighShelf { gain_db: 0.0 },
+                    HIGH_FREQ,
+                    0.7,
+                    sample_rate,
+                ),
+            ],
             gains_db: [0.0; 3],
             sample_rate,
         };
@@ -58,7 +64,7 @@ impl ThreeBandEq {
     pub fn set_gains(&mut self, low_db: f32, mid_db: f32, high_db: f32) {
         let clamp = |g: f32| g.clamp(MIN_GAIN_DB, MAX_GAIN_DB);
         self.gains_db = [clamp(low_db), clamp(mid_db), clamp(high_db)];
-        self.low.set_coeffs(crate::biquad::BiquadCoeffs::design(
+        self.sections[LOW].set_coeffs(crate::biquad::BiquadCoeffs::design(
             FilterKind::LowShelf {
                 gain_db: self.gains_db[0],
             },
@@ -66,7 +72,7 @@ impl ThreeBandEq {
             0.7,
             self.sample_rate,
         ));
-        self.mid.set_coeffs(crate::biquad::BiquadCoeffs::design(
+        self.sections[MID].set_coeffs(crate::biquad::BiquadCoeffs::design(
             FilterKind::Peaking {
                 gain_db: self.gains_db[1],
             },
@@ -74,7 +80,7 @@ impl ThreeBandEq {
             0.9,
             self.sample_rate,
         ));
-        self.high.set_coeffs(crate::biquad::BiquadCoeffs::design(
+        self.sections[HIGH].set_coeffs(crate::biquad::BiquadCoeffs::design(
             FilterKind::HighShelf {
                 gain_db: self.gains_db[2],
             },
@@ -91,16 +97,21 @@ impl ThreeBandEq {
 
     /// Clear filter state.
     pub fn reset(&mut self) {
-        self.low.reset();
-        self.mid.reset();
-        self.high.reset();
+        for s in &mut self.sections {
+            s.reset();
+        }
     }
 
-    /// Equalize a buffer in place.
+    /// Equalize a buffer in place (one fused three-section pass).
     pub fn process(&mut self, buf: &mut AudioBuf) {
-        self.low.process(buf);
-        self.mid.process(buf);
-        self.high.process(buf);
+        let _t = crate::kprof::timer(crate::kprof::Family::Eq);
+        crate::biquad::chain_dispatch(&mut self.sections, buf);
+    }
+
+    /// Scalar reference for [`ThreeBandEq::process`]: one buffer pass per
+    /// band, the seed's algorithm. Bit-identical to the fused pass.
+    pub fn process_scalar(&mut self, buf: &mut AudioBuf) {
+        crate::biquad::process_chain_scalar(&mut self.sections, buf);
     }
 }
 
@@ -240,6 +251,23 @@ mod tests {
         let mut settled = tone_buf(60.0, 8192);
         cf.process(&mut settled);
         assert!(settled.rms() < 0.1, "bass remaining {}", settled.rms());
+    }
+
+    #[test]
+    fn fused_eq_matches_scalar_exactly() {
+        let mut fused = ThreeBandEq::new(44_100);
+        let mut scalar = ThreeBandEq::new(44_100);
+        fused.set_gains(-6.0, 4.0, 9.0);
+        scalar.set_gains(-6.0, 4.0, 9.0);
+        let mut osc = Oscillator::new(Waveform::Sine, 523.0, 44_100);
+        for _ in 0..6 {
+            let buf = AudioBuf::from_fn(2, 97, |_, _| osc.next_sample() * 0.8);
+            let mut a = buf.clone();
+            let mut b = buf;
+            fused.process(&mut a);
+            scalar.process_scalar(&mut b);
+            assert_eq!(a.samples(), b.samples());
+        }
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Per-kernel-family time accounting for hotspot analysis.
+//!
+//! `hotspot_analysis` (E1) needs to break the engine's `apc/graph` share
+//! down by DSP kernel family (biquad / eq / mix / fft / stretch /
+//! dynamics). The executors run nodes on worker threads, so the accounting
+//! lives here, at the kernel call sites, as a handful of global atomics:
+//! each public kernel entry point opens a [`timer`] for its family and the
+//! elapsed nanoseconds accumulate into a per-family counter.
+//!
+//! Disabled (the default) the cost is one relaxed load per kernel call and
+//! no `Instant` reads — far below timer resolution — so the real-time hot
+//! path is unaffected; only the profiling binary enables it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The kernel families `hotspot_analysis` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    Biquad,
+    Eq,
+    Mix,
+    Fft,
+    Stretch,
+    Dynamics,
+}
+
+impl Family {
+    /// Every family, in report order.
+    pub const ALL: [Family; 6] = [
+        Family::Biquad,
+        Family::Eq,
+        Family::Mix,
+        Family::Fft,
+        Family::Stretch,
+        Family::Dynamics,
+    ];
+
+    /// Short lowercase label used in report keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Biquad => "biquad",
+            Family::Eq => "eq",
+            Family::Mix => "mix",
+            Family::Fft => "fft",
+            Family::Stretch => "stretch",
+            Family::Dynamics => "dynamics",
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TOTALS: [AtomicU64; 6] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Turn family accounting on or off (process-wide).
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Release);
+}
+
+/// True when kernel entry points should time themselves.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drain and reset the per-family nanosecond totals, in [`Family::ALL`]
+/// order.
+pub fn take_totals() -> [u64; 6] {
+    let mut out = [0u64; 6];
+    for (slot, total) in out.iter_mut().zip(TOTALS.iter()) {
+        *slot = total.swap(0, Ordering::Relaxed);
+    }
+    out
+}
+
+/// An RAII scope crediting its lifetime to `family` when accounting is on.
+pub struct KernelTimer {
+    start: Option<(Family, Instant)>,
+}
+
+/// Open a timing scope for `family`; a no-op unless [`set_enabled`] is on.
+#[inline]
+pub fn timer(family: Family) -> KernelTimer {
+    KernelTimer {
+        start: if enabled() {
+            Some((family, Instant::now()))
+        } else {
+            None
+        },
+    }
+}
+
+impl Drop for KernelTimer {
+    fn drop(&mut self) {
+        if let Some((family, start)) = self.start.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            TOTALS[family as usize].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timers_record_nothing() {
+        set_enabled(false);
+        let _ = take_totals();
+        {
+            let _t = timer(Family::Mix);
+        }
+        assert_eq!(take_totals(), [0; 6]);
+    }
+
+    #[test]
+    fn enabled_timers_accumulate_and_drain() {
+        set_enabled(true);
+        let _ = take_totals();
+        {
+            let _t = timer(Family::Biquad);
+            std::hint::black_box(0u64);
+        }
+        set_enabled(false);
+        let totals = take_totals();
+        assert!(totals[Family::Biquad as usize] > 0);
+        assert_eq!(take_totals(), [0; 6], "drain resets");
+    }
+}

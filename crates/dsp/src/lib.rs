@@ -12,6 +12,7 @@
 //! [`Effect`] trait so the task-graph nodes in `djstar-engine` can hold them
 //! uniformly.
 
+pub mod arena;
 pub mod biquad;
 pub mod buffer;
 pub mod crossover;
@@ -21,16 +22,19 @@ pub mod dynamics;
 pub mod effects;
 pub mod eq;
 pub mod fft;
+pub mod kprof;
 pub mod meter;
 pub mod mix;
 pub mod osc;
 pub mod resample;
 pub mod rng;
+pub mod simd;
 pub mod stretch;
 pub mod svf;
 pub mod wav;
 pub mod work;
 
+pub use arena::BufferArena;
 pub use buffer::AudioBuf;
 pub use effects::Effect;
 

@@ -1,0 +1,367 @@
+//! A minimal portable SIMD shim for the DSP hot path.
+//!
+//! The workspace builds offline with no registry dependencies, so there is
+//! no `wide`/`portable_simd`. This module wraps the 4-lane `f32` vector the
+//! target guarantees — SSE2 `__m128` on `x86_64` (part of the baseline ABI,
+//! no runtime feature detection needed) — behind [`F32x4`], with a plain
+//! `[f32; 4]` fallback elsewhere. Every operation is a lane-wise IEEE-754
+//! single operation (no FMA, no reassociation), so a kernel written against
+//! [`F32x4`] produces **bit-identical** results to the equivalent scalar
+//! loop; the vectorized kernels in this crate lean on that to keep the
+//! determinism-sensitive tests (fault differential, reconfig carry-over,
+//! cross-strategy audio equality) byte-for-byte stable.
+//!
+//! [`set_force_scalar`] flips every dispatching kernel in the crate onto its
+//! scalar reference path; the E16 harness (`fig_dsp_simd`) uses it for
+//! whole-graph scalar↔SIMD A/B runs on an otherwise identical engine.
+
+use core::sync::atomic::{AtomicBool, Ordering};
+
+/// Lane count of [`F32x4`].
+pub const LANES: usize = 4;
+
+/// When set, [`wide_enabled`] reports `false` and every dispatching kernel
+/// takes its scalar reference path.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Force (or release) the scalar reference path crate-wide.
+///
+/// Only the bench/experiment harnesses flip this; it is racy-by-design in
+/// the sense that in-flight cycles may finish on the old path, so callers
+/// toggle it between engine runs, never mid-cycle.
+pub fn set_force_scalar(force: bool) {
+    FORCE_SCALAR.store(force, Ordering::Release);
+}
+
+/// True when kernels should take their vector path.
+#[inline]
+pub fn wide_enabled() -> bool {
+    !FORCE_SCALAR.load(Ordering::Acquire)
+}
+
+/// Name of the compiled vector backend, for reports.
+pub fn backend() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx512_available() {
+            "sse2+avx512"
+        } else if avx_available() {
+            "sse2+avx"
+        } else {
+            "sse2"
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "scalar-4lane"
+    }
+}
+
+/// True when the 8-lane AVX fast paths may run (`x86_64` with AVX detected
+/// at runtime — AVX is *not* part of the baseline ABI, so this is a runtime
+/// check, unlike the unconditional SSE2 shim). The AVX kernels perform the
+/// same lane-wise IEEE-754 single operations in the same per-sample order
+/// as the 4-lane and scalar paths (`vmulps`/`vaddps`, no FMA), so they only
+/// widen throughput; results stay bit-identical.
+pub fn avx_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // `is_x86_feature_detected!` caches the CPUID result internally.
+        std::arch::is_x86_feature_detected!("avx")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the 16-lane AVX-512 fast paths may run. Same bit-exactness
+/// contract as [`avx_available`]: lane-wise `vmulps`/`vaddps` only, wider
+/// registers, identical per-sample rounding.
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use core::arch::x86_64::*;
+
+    /// Four `f32` lanes; SSE2 `__m128` on this target.
+    #[derive(Clone, Copy, Debug)]
+    pub struct F32x4(__m128);
+
+    // Plain `add`/`sub`/`mul` methods rather than `std::ops` impls, on
+    // purpose: the shim mirrors intrinsic naming, and operator sugar would
+    // suggest general arithmetic where only explicit lane-wise single
+    // operations are part of the bit-exactness contract.
+    #[allow(clippy::should_implement_trait)]
+    impl F32x4 {
+        /// All lanes zero.
+        #[inline]
+        pub fn zero() -> Self {
+            F32x4(unsafe { _mm_setzero_ps() })
+        }
+
+        /// All lanes `v`.
+        #[inline]
+        pub fn splat(v: f32) -> Self {
+            F32x4(unsafe { _mm_set1_ps(v) })
+        }
+
+        /// Lanes from an array.
+        #[inline]
+        pub fn from_array(a: [f32; 4]) -> Self {
+            F32x4(unsafe { _mm_set_ps(a[3], a[2], a[1], a[0]) })
+        }
+
+        /// Unaligned load of `src[0..4]`.
+        ///
+        /// # Panics
+        /// Panics if `src` holds fewer than 4 elements.
+        #[inline]
+        pub fn load(src: &[f32]) -> Self {
+            assert!(src.len() >= 4);
+            F32x4(unsafe { _mm_loadu_ps(src.as_ptr()) })
+        }
+
+        /// Unaligned store into `dst[0..4]`.
+        ///
+        /// # Panics
+        /// Panics if `dst` holds fewer than 4 elements.
+        #[inline]
+        pub fn store(self, dst: &mut [f32]) {
+            assert!(dst.len() >= 4);
+            unsafe { _mm_storeu_ps(dst.as_mut_ptr(), self.0) }
+        }
+
+        /// Lanes as an array.
+        #[inline]
+        pub fn to_array(self) -> [f32; 4] {
+            let mut out = [0.0f32; 4];
+            unsafe { _mm_storeu_ps(out.as_mut_ptr(), self.0) };
+            out
+        }
+
+        #[inline]
+        pub fn add(self, rhs: Self) -> Self {
+            F32x4(unsafe { _mm_add_ps(self.0, rhs.0) })
+        }
+
+        #[inline]
+        pub fn sub(self, rhs: Self) -> Self {
+            F32x4(unsafe { _mm_sub_ps(self.0, rhs.0) })
+        }
+
+        #[inline]
+        pub fn mul(self, rhs: Self) -> Self {
+            F32x4(unsafe { _mm_mul_ps(self.0, rhs.0) })
+        }
+
+        #[inline]
+        pub fn min(self, rhs: Self) -> Self {
+            F32x4(unsafe { _mm_min_ps(self.0, rhs.0) })
+        }
+
+        #[inline]
+        pub fn max(self, rhs: Self) -> Self {
+            F32x4(unsafe { _mm_max_ps(self.0, rhs.0) })
+        }
+
+        /// Lane-wise absolute value (sign-bit mask, exact for every input).
+        #[inline]
+        pub fn abs(self) -> Self {
+            let mask = unsafe { _mm_castsi128_ps(_mm_set1_epi32(0x7FFF_FFFF)) };
+            F32x4(unsafe { _mm_and_ps(self.0, mask) })
+        }
+
+        /// Horizontal sum as `(l0 + l2) + (l1 + l3)`.
+        ///
+        /// The pairing is part of the contract: the fallback implementation
+        /// reproduces it exactly so reductions round identically on every
+        /// target.
+        #[inline]
+        pub fn hsum(self) -> f32 {
+            let [l0, l1, l2, l3] = self.to_array();
+            (l0 + l2) + (l1 + l3)
+        }
+
+        /// Horizontal max of all four lanes.
+        #[inline]
+        pub fn hmax(self) -> f32 {
+            let [l0, l1, l2, l3] = self.to_array();
+            l0.max(l2).max(l1.max(l3))
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod imp {
+    /// Four `f32` lanes; a plain array on targets without a guaranteed
+    /// vector baseline. Each operation is the same lane-wise IEEE-754
+    /// single operation the `x86_64` implementation performs, so results
+    /// stay bit-identical across targets.
+    #[derive(Clone, Copy, Debug)]
+    pub struct F32x4([f32; 4]);
+
+    // See the `x86_64` impl: intrinsic-style method names are intentional.
+    #[allow(clippy::should_implement_trait)]
+    impl F32x4 {
+        #[inline]
+        pub fn zero() -> Self {
+            F32x4([0.0; 4])
+        }
+
+        #[inline]
+        pub fn splat(v: f32) -> Self {
+            F32x4([v; 4])
+        }
+
+        #[inline]
+        pub fn from_array(a: [f32; 4]) -> Self {
+            F32x4(a)
+        }
+
+        #[inline]
+        pub fn load(src: &[f32]) -> Self {
+            F32x4([src[0], src[1], src[2], src[3]])
+        }
+
+        #[inline]
+        pub fn store(self, dst: &mut [f32]) {
+            dst[..4].copy_from_slice(&self.0);
+        }
+
+        #[inline]
+        pub fn to_array(self) -> [f32; 4] {
+            self.0
+        }
+
+        #[inline]
+        pub fn add(self, rhs: Self) -> Self {
+            let mut out = [0.0; 4];
+            for i in 0..4 {
+                out[i] = self.0[i] + rhs.0[i];
+            }
+            F32x4(out)
+        }
+
+        #[inline]
+        pub fn sub(self, rhs: Self) -> Self {
+            let mut out = [0.0; 4];
+            for i in 0..4 {
+                out[i] = self.0[i] - rhs.0[i];
+            }
+            F32x4(out)
+        }
+
+        #[inline]
+        pub fn mul(self, rhs: Self) -> Self {
+            let mut out = [0.0; 4];
+            for i in 0..4 {
+                out[i] = self.0[i] * rhs.0[i];
+            }
+            F32x4(out)
+        }
+
+        #[inline]
+        pub fn min(self, rhs: Self) -> Self {
+            // `_mm_min_ps(a, b)` is `b < a ? b : a` (second operand on
+            // ties/NaN); mirror it exactly.
+            let mut out = [0.0; 4];
+            for i in 0..4 {
+                out[i] = if rhs.0[i] < self.0[i] {
+                    rhs.0[i]
+                } else {
+                    self.0[i]
+                };
+            }
+            F32x4(out)
+        }
+
+        #[inline]
+        pub fn max(self, rhs: Self) -> Self {
+            let mut out = [0.0; 4];
+            for i in 0..4 {
+                out[i] = if rhs.0[i] > self.0[i] {
+                    rhs.0[i]
+                } else {
+                    self.0[i]
+                };
+            }
+            F32x4(out)
+        }
+
+        #[inline]
+        pub fn abs(self) -> Self {
+            let mut out = [0.0; 4];
+            for i in 0..4 {
+                out[i] = f32::from_bits(self.0[i].to_bits() & 0x7FFF_FFFF);
+            }
+            F32x4(out)
+        }
+
+        #[inline]
+        pub fn hsum(self) -> f32 {
+            let [l0, l1, l2, l3] = self.0;
+            (l0 + l2) + (l1 + l3)
+        }
+
+        #[inline]
+        pub fn hmax(self) -> f32 {
+            let [l0, l1, l2, l3] = self.0;
+            l0.max(l2).max(l1.max(l3))
+        }
+    }
+}
+
+pub use imp::F32x4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_arithmetic() {
+        let a = F32x4::from_array([1.0, 2.0, 3.0, 4.0]);
+        let b = F32x4::splat(0.5);
+        assert_eq!(a.add(b).to_array(), [1.5, 2.5, 3.5, 4.5]);
+        assert_eq!(a.mul(b).to_array(), [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(a.sub(a).to_array(), [0.0; 4]);
+    }
+
+    #[test]
+    fn load_store_slices() {
+        let src = [9.0f32, 8.0, 7.0, 6.0, 5.0];
+        let v = F32x4::load(&src[1..]);
+        let mut dst = [0.0f32; 4];
+        v.store(&mut dst);
+        assert_eq!(dst, [8.0, 7.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn abs_minmax_and_reductions() {
+        let v = F32x4::from_array([-1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(v.abs().to_array(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.hmax(), 4.0);
+        assert_eq!(v.abs().hsum(), (1.0 + 3.0) + (2.0 + 4.0));
+        let lo = F32x4::splat(-0.5);
+        let hi = F32x4::splat(0.5);
+        assert_eq!(v.max(lo).min(hi).to_array(), [-0.5, 0.5, -0.5, 0.5]);
+    }
+
+    #[test]
+    fn force_scalar_toggles_dispatch() {
+        assert!(wide_enabled());
+        set_force_scalar(true);
+        assert!(!wide_enabled());
+        set_force_scalar(false);
+        assert!(wide_enabled());
+    }
+}

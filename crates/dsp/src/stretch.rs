@@ -6,6 +6,16 @@
 //! segments, each chosen within a small search window to maximize
 //! cross-correlation with the previously emitted tail, which avoids the
 //! phase discontinuities of naive overlap-add.
+//!
+//! Hot-path notes: the crossfade gains are precomputed once (same formula,
+//! same values as computing them inline) and the crossfade itself runs 4
+//! lanes at a time when the whole segment is in range; the correlation
+//! search keeps its strictly serial accumulation order — reassociating it
+//! could flip the argmax and cascade into a different (still valid, but
+//! not bit-identical) output — and instead gains a bounds-check-free fast
+//! path.
+
+use crate::simd::{self, F32x4};
 
 /// Synthesis frame length (samples).
 const FRAME: usize = 512;
@@ -28,6 +38,10 @@ pub struct TimeStretcher {
     ready_read: usize,
     /// True until the first frame primes `prev_tail`.
     priming: bool,
+    /// Precomputed raised-cosine fade-in gains for one hop.
+    fade_in: Vec<f32>,
+    /// `1.0 - fade_in[i]`, precomputed.
+    fade_out: Vec<f32>,
 }
 
 impl Default for TimeStretcher {
@@ -39,12 +53,22 @@ impl Default for TimeStretcher {
 impl TimeStretcher {
     /// A stretcher positioned at the start of the source.
     pub fn new() -> Self {
+        let fade_in: Vec<f32> = (0..HOP)
+            .map(|i| {
+                let t = i as f32 / HOP as f32;
+                // Hann-like raised-cosine crossfade (equal gain at midpoint).
+                0.5 - 0.5 * (core::f32::consts::PI * (1.0 - t)).cos()
+            })
+            .collect();
+        let fade_out: Vec<f32> = fade_in.iter().map(|&f| 1.0 - f).collect();
         TimeStretcher {
             in_pos: 0.0,
             prev_tail: vec![0.0; HOP],
             ready: Vec::with_capacity(2 * FRAME),
             ready_read: 0,
             priming: true,
+            fade_in,
+            fade_out,
         }
     }
 
@@ -67,6 +91,7 @@ impl TimeStretcher {
     /// (1.0 = original speed, 2.0 = double speed / half duration, pitch
     /// preserved). Positions beyond the source read as silence.
     pub fn process(&mut self, src: &[f32], tempo: f32, out: &mut [f32]) {
+        let _t = crate::kprof::timer(crate::kprof::Family::Stretch);
         let tempo = tempo.clamp(0.25, 4.0) as f64;
         let mut written = 0;
         while written < out.len() {
@@ -105,27 +130,54 @@ impl TimeStretcher {
         };
         let start = natural + offset;
 
+        // When the whole frame lies inside `src`, use slices (no per-sample
+        // bounds logic) and the 4-lane crossfade; edges fall back to the
+        // per-sample loop. Both paths evaluate the identical formula.
+        let in_range =
+            start >= 0 && start as usize <= src.len() && src.len() - start as usize >= FRAME;
+
         if self.priming {
             // First frame: emit its first half verbatim, remember the tail.
-            for i in 0..HOP {
-                self.ready.push(Self::sample(src, start + i as isize));
+            if in_range {
+                let s = start as usize;
+                self.ready.extend_from_slice(&src[s..s + HOP]);
+            } else {
+                for i in 0..HOP {
+                    self.ready.push(Self::sample(src, start + i as isize));
+                }
             }
             self.priming = false;
+        } else if in_range && simd::wide_enabled() {
+            // Crossfade prev_tail (fading out) with the new segment
+            // (fading in); HOP is a multiple of 4, so no scalar tail.
+            let s = start as usize;
+            let seg = &src[s..s + HOP];
+            let base = self.ready.len();
+            self.ready.resize(base + HOP, 0.0);
+            let out = &mut self.ready[base..];
+            let mut i = 0;
+            while i < HOP {
+                F32x4::load(&self.prev_tail[i..])
+                    .mul(F32x4::load(&self.fade_out[i..]))
+                    .add(F32x4::load(&seg[i..]).mul(F32x4::load(&self.fade_in[i..])))
+                    .store(&mut out[i..]);
+                i += 4;
+            }
         } else {
-            // Crossfade prev_tail (fading out) with the new segment (fading in).
             for i in 0..HOP {
-                let t = i as f32 / HOP as f32;
-                // Hann-like raised-cosine crossfade (equal gain at midpoint).
-                let fade_in = 0.5 - 0.5 * (core::f32::consts::PI * (1.0 - t)).cos();
-                let fade_out = 1.0 - fade_in;
                 let new = Self::sample(src, start + i as isize);
                 self.ready
-                    .push(self.prev_tail[i] * fade_out + new * fade_in);
+                    .push(self.prev_tail[i] * self.fade_out[i] + new * self.fade_in[i]);
             }
         }
         // Remember the second half of this frame for the next crossfade.
-        for i in 0..HOP {
-            self.prev_tail[i] = Self::sample(src, start + (HOP + i) as isize);
+        if in_range {
+            let s = start as usize;
+            self.prev_tail.copy_from_slice(&src[s + HOP..s + FRAME]);
+        } else {
+            for i in 0..HOP {
+                self.prev_tail[i] = Self::sample(src, start + (HOP + i) as isize);
+            }
         }
         self.in_pos += HOP as f64 * tempo;
     }
@@ -133,6 +185,12 @@ impl TimeStretcher {
     /// Find the offset in `[-SEARCH, SEARCH]` whose segment best matches the
     /// previous tail (maximum normalized cross-correlation).
     fn best_offset(&self, src: &[f32], natural: isize) -> isize {
+        // The accumulation below stays strictly serial and in order:
+        // reassociating it (e.g. 4-lane partial sums) can flip the argmax
+        // between near-tied candidates and cascade into a different output.
+        // The fast path only removes the per-sample bounds branch.
+        let in_range = natural - (SEARCH as isize) >= 0
+            && natural + (SEARCH + HOP) as isize <= src.len() as isize;
         let mut best_off = 0isize;
         let mut best_score = f32::NEG_INFINITY;
         let mut d = -(SEARCH as isize);
@@ -141,12 +199,23 @@ impl TimeStretcher {
             let mut energy = 1e-9f32;
             // Correlate on a decimated grid: every 2nd sample is plenty for
             // alignment and halves the dominant cost of the stretcher.
-            let mut i = 0;
-            while i < HOP {
-                let s = Self::sample(src, natural + d + i as isize);
-                corr += s * self.prev_tail[i];
-                energy += s * s;
-                i += 2;
+            if in_range {
+                let seg = &src[(natural + d) as usize..];
+                let mut i = 0;
+                while i < HOP {
+                    let s = seg[i];
+                    corr += s * self.prev_tail[i];
+                    energy += s * s;
+                    i += 2;
+                }
+            } else {
+                let mut i = 0;
+                while i < HOP {
+                    let s = Self::sample(src, natural + d + i as isize);
+                    corr += s * self.prev_tail[i];
+                    energy += s * s;
+                    i += 2;
+                }
             }
             let score = corr / energy.sqrt();
             if score > best_score {
@@ -250,6 +319,23 @@ mod tests {
         let mut out2 = vec![0.0f32; 1024];
         st.process(&src, 1.0, &mut out2);
         assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn wide_crossfade_matches_scalar_exactly() {
+        // Short source so frames also cross the end (slow-path parity).
+        for src_len in [2_000usize, 44_100] {
+            let src = sine(src_len, 440.0);
+            crate::simd::set_force_scalar(true);
+            let mut st = TimeStretcher::new();
+            let mut scalar = vec![0.0f32; 6144];
+            st.process(&src, 1.3, &mut scalar);
+            crate::simd::set_force_scalar(false);
+            let mut st = TimeStretcher::new();
+            let mut wide = vec![0.0f32; 6144];
+            st.process(&src, 1.3, &mut wide);
+            assert_eq!(scalar, wide, "src_len {src_len}");
+        }
     }
 
     #[test]

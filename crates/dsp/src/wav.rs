@@ -65,7 +65,7 @@ pub fn write_wav<W: Write>(
 /// Append an [`AudioBuf`]'s interleaved samples to a growing sample vector
 /// (a convenience for recording loops).
 pub fn append_buffer(sink: &mut Vec<f32>, buf: &AudioBuf) {
-    sink.extend_from_slice(buf.samples());
+    buf.extend_interleaved_into(sink);
 }
 
 fn read_exact_buf<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {

@@ -1,0 +1,239 @@
+//! SIMD↔scalar parity for every vectorized kernel over randomized shapes.
+//!
+//! The E16 acceptance bound is 1e-6 per sample; the shim performs lane-wise
+//! IEEE-754 single operations with no FMA and no reassociation, so these
+//! tests assert the stronger property — **bit-exact** equality — across
+//! randomized frame counts (including non-lane-multiple tails), channel
+//! counts, parameter draws and multi-block streams. Inputs come from the
+//! seeded [`SmallRng`], so every run checks the same cases (the workspace
+//! builds offline, without proptest).
+//!
+//! Kernels with explicit `*_scalar` reference entry points are compared
+//! through those; the stretcher (which only dispatches on the global
+//! switch) uses `set_force_scalar`. The toggle is process-global, but both
+//! paths are bit-identical by construction, so concurrent tests flipping
+//! it cannot change any kernel's output — only which (equal) path ran.
+
+use djstar_dsp::biquad::{process_chain, process_chain_scalar, Biquad, FilterKind};
+use djstar_dsp::buffer::AudioBuf;
+use djstar_dsp::dynamics::{Compressor, Limiter};
+use djstar_dsp::eq::ThreeBandEq;
+use djstar_dsp::fft::{fft_inplace, Complex, Fft};
+use djstar_dsp::mix::{
+    apply_strip, apply_strip_scalar, mix_into, mix_into_scalar, ChannelStripParams,
+};
+use djstar_dsp::rng::SmallRng;
+use djstar_dsp::simd;
+use djstar_dsp::stretch::TimeStretcher;
+
+fn rand_buf(rng: &mut SmallRng, channels: usize, frames: usize) -> AudioBuf {
+    let mut buf = AudioBuf::zeroed(channels, frames);
+    for s in buf.samples_mut() {
+        *s = rng.f32() * 2.0 - 1.0;
+    }
+    buf
+}
+
+/// A random shape: mono or stereo, 1..=300 frames (tails of every length
+/// mod 4 appear many times over the draws).
+fn rand_shape(rng: &mut SmallRng) -> (usize, usize) {
+    (1 + rng.below(2), 1 + rng.below(300))
+}
+
+fn rand_filter(rng: &mut SmallRng) -> Biquad {
+    let gain_db = rng.f32() * 36.0 - 18.0;
+    let kind = match rng.below(7) {
+        0 => FilterKind::Lowpass,
+        1 => FilterKind::Highpass,
+        2 => FilterKind::Bandpass,
+        3 => FilterKind::Notch,
+        4 => FilterKind::Peaking { gain_db },
+        5 => FilterKind::LowShelf { gain_db },
+        _ => FilterKind::HighShelf { gain_db },
+    };
+    let freq = 40.0 + rng.f32() * 15_000.0;
+    let q = 0.3 + rng.f32() * 3.0;
+    Biquad::design(kind, freq, q, djstar_dsp::SAMPLE_RATE)
+}
+
+#[test]
+fn biquad_chains_bit_exact_for_any_shape_and_length() {
+    let mut rng = SmallRng::seed_from_u64(0x51AD);
+    for _ in 0..60 {
+        // 1..=10 sections: covers the fused single chunk and the >8
+        // multi-chunk path.
+        let sections = 1 + rng.below(10);
+        let mut wide: Vec<Biquad> = (0..sections).map(|_| rand_filter(&mut rng)).collect();
+        let mut scalar = wide.clone();
+        let (ch, frames) = rand_shape(&mut rng);
+        let input = rand_buf(&mut rng, ch, frames);
+        // Two blocks through the same chain: state carry-over must agree
+        // too, not just the first block.
+        for _ in 0..2 {
+            let mut a = input.clone();
+            let mut b = input.clone();
+            process_chain(&mut wide, &mut a);
+            process_chain_scalar(&mut scalar, &mut b);
+            assert_eq!(
+                a.samples(),
+                b.samples(),
+                "{sections} sections, {ch}ch x {frames}f"
+            );
+        }
+        for (w, s) in wide.iter().zip(&scalar) {
+            assert_eq!(w.state(), s.state(), "filter state diverged");
+        }
+    }
+}
+
+#[test]
+fn eq_bit_exact_for_any_gains() {
+    let mut rng = SmallRng::seed_from_u64(0xE9);
+    for _ in 0..40 {
+        let mut wide = ThreeBandEq::new(djstar_dsp::SAMPLE_RATE);
+        let mut scalar = ThreeBandEq::new(djstar_dsp::SAMPLE_RATE);
+        let gains = [
+            rng.f32() * 24.0 - 12.0,
+            rng.f32() * 24.0 - 12.0,
+            rng.f32() * 24.0 - 12.0,
+        ];
+        wide.set_gains(gains[0], gains[1], gains[2]);
+        scalar.set_gains(gains[0], gains[1], gains[2]);
+        let (ch, frames) = rand_shape(&mut rng);
+        let input = rand_buf(&mut rng, ch, frames);
+        let mut a = input.clone();
+        let mut b = input;
+        wide.process(&mut a);
+        scalar.process_scalar(&mut b);
+        assert_eq!(
+            a.samples(),
+            b.samples(),
+            "gains {gains:?}, {ch}ch x {frames}f"
+        );
+    }
+}
+
+#[test]
+fn mix_bit_exact_for_any_input_count_and_layout_mix() {
+    let mut rng = SmallRng::seed_from_u64(0x317A);
+    for _ in 0..60 {
+        let (out_ch, frames) = rand_shape(&mut rng);
+        // 1..=18 inputs: crosses the fused-path cap (16) into the
+        // fallback; occasionally throw in a mismatched layout to force
+        // the per-input path.
+        let count = 1 + rng.below(18);
+        let inputs: Vec<AudioBuf> = (0..count)
+            .map(|_| {
+                let ch = if rng.chance(0.15) { 3 - out_ch } else { out_ch };
+                rand_buf(&mut rng, ch, frames)
+            })
+            .collect();
+        let refs: Vec<&AudioBuf> = inputs.iter().collect();
+        let gains: Vec<f32> = (0..count).map(|_| rng.f32() * 2.0 - 0.5).collect();
+        let mut fused = AudioBuf::zeroed(out_ch, frames);
+        let mut scalar = AudioBuf::zeroed(out_ch, frames);
+        mix_into(&mut fused, &refs, &gains);
+        mix_into_scalar(&mut scalar, &refs, &gains);
+        assert_eq!(
+            fused.samples(),
+            scalar.samples(),
+            "{count} inputs, {out_ch}ch x {frames}f"
+        );
+    }
+}
+
+#[test]
+fn strip_bit_exact_for_any_params() {
+    let mut rng = SmallRng::seed_from_u64(0x57B1);
+    for _ in 0..40 {
+        let params = ChannelStripParams {
+            fader: rng.f32() * 1.5,
+            pan: rng.f32() * 2.0 - 1.0,
+            crossfader_side: (rng.below(3) as f32) - 1.0,
+        };
+        let (ch, frames) = rand_shape(&mut rng);
+        let input = rand_buf(&mut rng, ch, frames);
+        let mut a = input.clone();
+        let mut b = input;
+        apply_strip(&mut a, &params);
+        apply_strip_scalar(&mut b, &params);
+        assert_eq!(a.samples(), b.samples());
+    }
+}
+
+#[test]
+fn dynamics_bit_exact_over_multi_block_streams() {
+    let mut rng = SmallRng::seed_from_u64(0xD1A);
+    for _ in 0..25 {
+        let ch = 1 + rng.below(2);
+        let mut lim_w = Limiter::master(djstar_dsp::SAMPLE_RATE);
+        let mut lim_s = Limiter::master(djstar_dsp::SAMPLE_RATE);
+        let mut comp_w = Compressor::new(0.25, 4.0, 8.0, djstar_dsp::SAMPLE_RATE);
+        let mut comp_s = Compressor::new(0.25, 4.0, 8.0, djstar_dsp::SAMPLE_RATE);
+        // A stream of ragged block sizes so the chunked wide paths hit
+        // every tail; envelope state must stay identical across blocks.
+        for _ in 0..6 {
+            let frames = 1 + rng.below(200);
+            let mut input = rand_buf(&mut rng, ch, frames);
+            input.scale(1.8); // hot enough to engage gain reduction
+            let mut a = input.clone();
+            let mut b = input.clone();
+            lim_w.process(&mut a);
+            lim_s.process_scalar(&mut b);
+            assert_eq!(a.samples(), b.samples(), "limiter {ch}ch x {frames}f");
+            let mut a = input.clone();
+            let mut b = input;
+            let gw = comp_w.process(&mut a);
+            let gs = comp_s.process_scalar(&mut b);
+            assert_eq!(a.samples(), b.samples(), "compressor {ch}ch x {frames}f");
+            assert_eq!(gw, gs, "compressor gain diverged");
+        }
+    }
+}
+
+#[test]
+fn fft_plan_bit_exact_against_legacy_and_scalar() {
+    let mut rng = SmallRng::seed_from_u64(0xFF7);
+    for &n in &[2usize, 8, 32, 128, 256, 1024] {
+        let template: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.f32() * 2.0 - 1.0, rng.f32() * 2.0 - 1.0))
+            .collect();
+        let mut plan = Fft::new(n);
+        for inverse in [false, true] {
+            let mut legacy = template.clone();
+            let mut wide = template.clone();
+            let mut scalar = template.clone();
+            fft_inplace(&mut legacy, inverse);
+            plan.process(&mut wide, inverse);
+            plan.process_scalar(&mut scalar, inverse);
+            for i in 0..n {
+                assert_eq!(wide[i].re.to_bits(), legacy[i].re.to_bits(), "n={n} i={i}");
+                assert_eq!(wide[i].im.to_bits(), legacy[i].im.to_bits(), "n={n} i={i}");
+                assert_eq!(wide[i].re.to_bits(), scalar[i].re.to_bits(), "n={n} i={i}");
+                assert_eq!(wide[i].im.to_bits(), scalar[i].im.to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn stretch_bit_exact_for_any_tempo_and_source_length() {
+    let mut rng = SmallRng::seed_from_u64(0x57E7);
+    for _ in 0..10 {
+        let src_len = 1_500 + rng.below(40_000);
+        let src: Vec<f32> = (0..src_len).map(|_| rng.f32() * 2.0 - 1.0).collect();
+        let tempo = 0.5 + rng.f32() * 2.0;
+        let out_len = 512 + rng.below(4096);
+        let run = |force_scalar: bool| {
+            simd::set_force_scalar(force_scalar);
+            let mut st = TimeStretcher::new();
+            let mut out = vec![0.0f32; out_len];
+            st.process(&src, tempo, &mut out);
+            simd::set_force_scalar(false);
+            out
+        };
+        let scalar = run(true);
+        let wide = run(false);
+        assert_eq!(scalar, wide, "src {src_len}, tempo {tempo}, out {out_len}");
+    }
+}

@@ -163,12 +163,10 @@ impl TrackPlayer {
         if p < 0.0 || p >= len {
             self.vinyl.seek(p.rem_euclid(len.max(1.0)));
         }
-        for i in 0..frames {
-            let s = self.mono[i];
-            out.set_sample(0, i, s);
-            if out.channels() > 1 {
-                out.set_sample(1, i, s);
-            }
+        let (l, r) = out.as_planar_slices_mut();
+        l.copy_from_slice(&self.mono);
+        if !r.is_empty() {
+            r.copy_from_slice(&self.mono);
         }
         let beats_per_buffer =
             self.track.bpm() * speed / 60.0 * frames as f32 / self.track.sample_rate() as f32;
@@ -204,12 +202,10 @@ impl TrackPlayer {
         }
         self.stretcher
             .process(self.track.samples(), self.tempo, &mut self.mono);
-        for i in 0..frames {
-            let s = self.mono[i];
-            out.set_sample(0, i, s);
-            if out.channels() > 1 {
-                out.set_sample(1, i, s);
-            }
+        let (l, r) = out.as_planar_slices_mut();
+        l.copy_from_slice(&self.mono);
+        if !r.is_empty() {
+            r.copy_from_slice(&self.mono);
         }
         // Advance the beat phase: beats advance at bpm * tempo.
         let beats_per_buffer =

@@ -14,7 +14,7 @@ use djstar_dsp::dynamics::{Compressor, HardClip, Limiter};
 use djstar_dsp::effects::Effect;
 use djstar_dsp::eq::{ChannelFilter, ThreeBandEq};
 use djstar_dsp::meter::{goertzel_power, LevelMeter};
-use djstar_dsp::mix::crossfader_gain;
+use djstar_dsp::mix::{crossfader_gain, mix_into};
 use djstar_dsp::work::burn;
 use djstar_workload::profile::{NodeClass, WorkProfile};
 
@@ -64,11 +64,11 @@ impl CostModel {
     /// levels, preserving the loud/quiet cost contrast that produces the
     /// paper's bimodal execution-time histograms (Fig. 9).
     fn energy_of(buf: &AudioBuf) -> f32 {
-        let samples = buf.samples();
-        let mean_sq = if samples.is_empty() {
+        let len = buf.samples().len();
+        let mean_sq = if len == 0 {
             0.0
         } else {
-            samples.iter().map(|s| s * s).sum::<f32>() / samples.len() as f32
+            buf.energy() / len as f32
         };
         (mean_sq.sqrt() * 1.6).clamp(0.0, 1.0)
     }
@@ -93,11 +93,20 @@ impl CostModel {
     }
 }
 
+/// Unity gains for summing nodes (the graph caps predecessors at 16).
+const UNITY_GAINS: [f32; 16] = [1.0; 16];
+
 /// Sum all inputs into `out` (cleared first); a no-op clear for sources.
+/// Routed through the fused mixer kernel, which makes a single pass per
+/// channel plane when the layouts line up.
 fn sum_inputs(inputs: &[&AudioBuf], out: &mut AudioBuf) {
-    out.clear();
-    for i in inputs {
-        out.mix_add(i, 1.0);
+    if inputs.len() <= UNITY_GAINS.len() {
+        mix_into(out, inputs, &UNITY_GAINS[..inputs.len()]);
+    } else {
+        out.clear();
+        for i in inputs {
+            out.mix_add(i, 1.0);
+        }
     }
 }
 
@@ -168,9 +177,9 @@ impl Processor for SpFilterNode {
             Some(src) => output.copy_from(src),
             None => output.clear(),
         }
-        for f in &mut self.chain {
-            f.process(output);
-        }
+        // One fused pass over the whole 6–8 section chain (channels ride
+        // the SIMD lanes, coefficients stay in registers).
+        djstar_dsp::biquad::process_chain(&mut self.chain, output);
         self.cost.apply(output);
     }
 }
@@ -304,13 +313,24 @@ impl MixerNode {
 impl Processor for MixerNode {
     fn process(&mut self, inputs: &[&AudioBuf], output: &mut AudioBuf, ctx: &CycleCtx<'_>) {
         let x = ctrl(ctx, controls::CROSSFADER, 0.5);
-        output.clear();
-        for (i, buf) in inputs.iter().enumerate() {
-            let gain = match self.sides.get(i) {
-                Some(&side) => crossfader_gain(x, side),
-                None => self.sampler_gain,
-            };
-            output.mix_add(buf, gain);
+        let mut gains = [0.0f32; 16];
+        if inputs.len() <= gains.len() {
+            for (i, g) in gains.iter_mut().take(inputs.len()).enumerate() {
+                *g = match self.sides.get(i) {
+                    Some(&side) => crossfader_gain(x, side),
+                    None => self.sampler_gain,
+                };
+            }
+            mix_into(output, inputs, &gains[..inputs.len()]);
+        } else {
+            output.clear();
+            for (i, buf) in inputs.iter().enumerate() {
+                let gain = match self.sides.get(i) {
+                    Some(&side) => crossfader_gain(x, side),
+                    None => self.sampler_gain,
+                };
+                output.mix_add(buf, gain);
+            }
         }
         self.cost.apply(output);
     }
@@ -535,17 +555,17 @@ impl Processor for SamplerNode {
             }
         }
         output.clear();
-        if let Some(mut p) = self.pos.take() {
-            for i in 0..output.frames() {
-                if p >= self.sample.len() {
-                    break;
-                }
-                output.set_sample(0, i, self.sample[p]);
-                output.set_sample(1, i, self.sample[p]);
-                p += 1;
+        if let Some(p) = self.pos.take() {
+            // Straight slice copies into the planar channel planes.
+            let n = (self.sample.len() - p).min(output.frames());
+            let seg = &self.sample[p..p + n];
+            let (l, r) = output.as_planar_slices_mut();
+            l[..n].copy_from_slice(seg);
+            if !r.is_empty() {
+                r[..n].copy_from_slice(seg);
             }
-            if p < self.sample.len() {
-                self.pos = Some(p);
+            if p + n < self.sample.len() {
+                self.pos = Some(p + n);
             }
         }
         self.cost.apply(output);

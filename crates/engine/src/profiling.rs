@@ -8,9 +8,35 @@
 //! [`HotspotProfiler::report`] produces the share table the
 //! `hotspot_analysis` binary prints.
 
+use djstar_dsp::kprof::{self, Family};
 use djstar_stats::Json;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Region name for a DSP kernel family, nested under the APC phase that
+/// executes it: time stretching runs in the preprocessing phase, every
+/// other family runs inside graph execution.
+pub fn kernel_region(family: Family) -> &'static str {
+    match family {
+        Family::Biquad => "apc/graph/biquad",
+        Family::Eq => "apc/graph/eq",
+        Family::Mix => "apc/graph/mix",
+        Family::Fft => "apc/graph/fft",
+        Family::Stretch => "apc/preprocessing/stretch",
+        Family::Dynamics => "apc/graph/dynamics",
+    }
+}
+
+/// Drain the DSP crate's per-family kernel counters (see
+/// `djstar_dsp::kprof`) into `profiler` under [`kernel_region`] names.
+/// Families with no recorded time produce no row.
+pub fn record_kernel_totals(profiler: &mut HotspotProfiler) {
+    for (family, ns) in Family::ALL.into_iter().zip(kprof::take_totals()) {
+        if ns > 0 {
+            profiler.record(kernel_region(family), ns);
+        }
+    }
+}
 
 /// Aggregates wall-clock time per named region.
 #[derive(Debug, Default, Clone)]
@@ -204,6 +230,20 @@ mod tests {
         let t = p.render_table(|r| if r == "x" { "the hot one" } else { "" });
         assert!(t.starts_with("| region | total ms | share | paper |"));
         assert!(t.contains("| x | 2.0 | 100.0 % | the hot one |"), "{t}");
+    }
+
+    #[test]
+    fn kernel_regions_nest_under_their_phase() {
+        for family in Family::ALL {
+            let region = kernel_region(family);
+            let phase = if family == Family::Stretch {
+                "apc/preprocessing/"
+            } else {
+                "apc/graph/"
+            };
+            assert!(region.starts_with(phase), "{region}");
+            assert!(region.ends_with(family.label()), "{region}");
+        }
     }
 
     #[test]

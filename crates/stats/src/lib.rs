@@ -17,6 +17,7 @@
 
 pub mod ctf;
 pub mod deadline;
+pub mod dsp;
 pub mod faults;
 pub mod flightrec;
 pub mod forensics;
@@ -33,6 +34,7 @@ pub mod telemetry;
 
 pub use ctf::{window_from_ctf, window_to_ctf};
 pub use deadline::DeadlineTracker;
+pub use dsp::{DspReport, KernelSpeedup, StrategyDsp};
 pub use faults::{FaultReport, StrategyFaults};
 pub use flightrec::{FlightRecReport, StrategyFlightRec};
 pub use forensics::{analyze_miss, BlameBreakdown, MissContext, MissDossier, PathSlice, SliceKind};

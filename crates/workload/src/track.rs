@@ -103,12 +103,12 @@ pub fn synth_track(seed: u64, bpm: f32, seconds: f32, style: TrackStyle) -> Trac
         let beat = in_bar / beat_len;
         let in_beat = in_bar % beat_len;
         // Loud / quiet alternation every 4 bars.
-        let loud = (bar / 4) % 2 == 0;
+        let loud = (bar / 4).is_multiple_of(2);
         let section_gain = if loud { 1.0 } else { 0.35 };
 
         let mut s = 0.0f32;
         // Kick: 55 Hz decaying sine with a downward pitch sweep.
-        if beat % kick_every == 0 && loud {
+        if beat.is_multiple_of(kick_every) && loud {
             let tt = in_beat as f32 / sr as f32;
             let pitch = 55.0 + 140.0 * (-tt * 40.0).exp();
             s += 0.9 * (-tt * 18.0).exp() * (core::f32::consts::TAU * pitch * tt).sin();

@@ -4,11 +4,12 @@
 # leave results/telemetry_*.jsonl, telemetry_report writes the
 # aggregated BENCH_telemetry.json baseline at the repo root,
 # fig4_plan_executor writes the BENCH_plan.json comparison,
-# fig_reconfig writes BENCH_reconfig.json (E13), and fig_faults writes
-# BENCH_faults.json (E14). Takes a few minutes at full scale; override
-# DJSTAR_CYCLES / DJSTAR_MEASURE_CYCLES / DJSTAR_TELEMETRY_CYCLES /
-# DJSTAR_RECONFIG_CYCLES / DJSTAR_FAULT_CYCLES to trade fidelity for
-# time.
+# fig_reconfig writes BENCH_reconfig.json (E13), fig_faults writes
+# BENCH_faults.json (E14), and fig_dsp_simd writes BENCH_dsp.json (E16).
+# Takes a few minutes at full scale; override DJSTAR_CYCLES /
+# DJSTAR_MEASURE_CYCLES / DJSTAR_TELEMETRY_CYCLES /
+# DJSTAR_RECONFIG_CYCLES / DJSTAR_FAULT_CYCLES / DJSTAR_DSP_CYCLES to
+# trade fidelity for time.
 #
 # Usage: ./run_experiments.sh [--check]
 #   --check   run the lint/test gate (scripts/check.sh) first
@@ -21,7 +22,7 @@ mkdir -p results
 for bin in hotspot_analysis fig4_optimal_schedule fig4_plan_executor \
            table1_response_times fig9_histograms fig11_schedules \
            fig12_busy_sim deadline_misses thread_scaling ablations \
-           telemetry_report fig_reconfig fig_faults; do
+           telemetry_report fig_reconfig fig_faults fig_dsp_simd; do
   if [ ! -x "./target/release/$bin" ]; then
     echo "error: bench binary '$bin' not found or not executable at" \
          "./target/release/$bin — did the release build fail?" >&2

@@ -38,6 +38,17 @@ def metrics(name, doc):
             p50 = s.get("baseline_p50_ns")
             if p50 is not None:
                 yield f"baseline_p50_ns[{label}]", float(p50)
+    elif name == "BENCH_dsp.json":
+        for s in doc.get("strategies", []):
+            label = s.get("strategy", "?")
+            p50 = s.get("simd_p50_ns")
+            if p50 is not None:
+                yield f"simd_p50_ns[{label}]", float(p50)
+        for k in doc.get("kernels", []):
+            label = k.get("kernel", "?")
+            ns = k.get("simd_ns")
+            if ns is not None:
+                yield f"kernel_simd_ns[{label}]", float(ns)
 
 
 def main():
