@@ -107,7 +107,11 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let topo = shared.graph().topology();
     let faults = shared.fault_plan();
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
-    let ctx = unsafe { shared.ctx(epoch) };
+    let ctx = if telem || rec {
+        unsafe { shared.ctx_counted(epoch, me) }
+    } else {
+        unsafe { shared.ctx(epoch) }
+    };
     if let Some(plan) = faults {
         if rec {
             let s0 = Instant::now();
@@ -162,6 +166,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                     fault_end = Instant::now();
                 }
             }
+            let net0 = if rec { shared.net_ns_of(me) } else { (0, 0) };
             // SAFETY: exactly-once ownership by round-robin assignment; all
             // predecessors observed done for this epoch.
             unsafe { shared.graph().execute(node as usize, &ctx) };
@@ -181,7 +186,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                 if fault_end > t0 {
                     shared.record_span(me, epoch, node, SpanKind::Fault, t0, fault_end);
                 }
-                shared.record_span(me, epoch, node, SpanKind::Exec, fault_end, t1);
+                shared.record_exec_carved(me, epoch, node, fault_end, t1, net0);
             }
         } else {
             for &p in preds {

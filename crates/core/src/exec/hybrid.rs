@@ -157,7 +157,11 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
     let topo = sh.base.graph().topology();
     let faults = sh.base.fault_plan();
     // SAFETY: epoch acquired.
-    let ctx = unsafe { sh.base.ctx(epoch) };
+    let ctx = if telem || rec {
+        unsafe { sh.base.ctx_counted(epoch, me) }
+    } else {
+        unsafe { sh.base.ctx(epoch) }
+    };
     // SAFETY: handles written before the epoch was published.
     let handles = unsafe { sh.base.handles.get() };
     if let Some(plan) = faults {
@@ -237,6 +241,7 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
                 fault_end = Instant::now();
             }
         }
+        let net0 = if rec { sh.base.net_ns_of(me) } else { (0, 0) };
         // SAFETY: exactly-once by static assignment; pending==0 acquired.
         unsafe { sh.base.graph().execute(node as usize, &ctx) };
         if tracing || telem || rec {
@@ -258,7 +263,7 @@ fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
                         .record_span(me, epoch, node, SpanKind::Fault, t0, fault_end);
                 }
                 sh.base
-                    .record_span(me, epoch, node, SpanKind::Exec, fault_end, t1);
+                    .record_exec_carved(me, epoch, node, fault_end, t1, net0);
             }
         }
         for &s in topo.succs(NodeId(node)) {

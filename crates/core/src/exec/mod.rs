@@ -800,6 +800,65 @@ impl Shared {
         }
     }
 
+    /// Worker-side: record a node's execution interval `[start, end]`,
+    /// carving the time its processor booked on the net counters into
+    /// leading [`SpanKind::NetWait`] / [`SpanKind::Conceal`] spans (the
+    /// remainder stays [`SpanKind::Exec`]). `net_before` is the worker's
+    /// [`CycleCounters::net_ns`] reading taken just before `execute`. The
+    /// three spans tile the interval exactly, so forensics blame still
+    /// sums to the overrun. Publication contract as [`record_span`].
+    pub(crate) fn record_exec_carved(
+        &self,
+        worker: usize,
+        cycle: u64,
+        node: u32,
+        start: Instant,
+        end: Instant,
+        net_before: (u64, u64),
+    ) {
+        let (w1, c1) = self.counters[worker].net_ns();
+        let wait = w1.wrapping_sub(net_before.0);
+        let conceal = c1.wrapping_sub(net_before.1);
+        if wait == 0 && conceal == 0 {
+            self.record_span(worker, cycle, node, SpanKind::Exec, start, end);
+            return;
+        }
+        // SAFETY: same publication contract as `fault_plan`.
+        if let Some(rec) = unsafe { self.recorder.get() }.as_ref() {
+            let s = rec.now_ns(start);
+            let e = rec.now_ns(end);
+            // Clamp so the carve never escapes the measured interval even
+            // if the counter booked more time than the wall clock saw.
+            let wait_end = s.saturating_add(wait).min(e);
+            let conceal_end = wait_end.saturating_add(conceal).min(e);
+            let emit = |kind, start_ns, end_ns| {
+                if end_ns > start_ns {
+                    let span = Span {
+                        cycle,
+                        node,
+                        worker: worker as u32,
+                        start_ns,
+                        end_ns,
+                        kind,
+                    };
+                    // SAFETY: each worker owns exactly its own lane
+                    // during a cycle.
+                    unsafe { rec.record(worker, span) };
+                }
+            };
+            emit(SpanKind::NetWait, s, wait_end);
+            emit(SpanKind::Conceal, wait_end, conceal_end);
+            emit(SpanKind::Exec, conceal_end, e);
+        }
+    }
+
+    /// Worker-side: the current net (wait, conceal) ns of `worker`'s
+    /// counters, for a later [`record_exec_carved`] diff.
+    #[inline]
+    pub(crate) fn net_ns_of(&self, worker: usize) -> (u64, u64) {
+        self.counters[worker].net_ns()
+    }
+
     /// Driver-side: stamp a finished cycle's bounds into the recorder.
     /// Call after the cycle-completion barrier, before the next
     /// `begin_cycle`.
@@ -981,7 +1040,21 @@ impl Shared {
             epoch,
             external_audio: &ext.audio,
             controls: &ext.controls,
+            counters: None,
         }
+    }
+
+    /// Build the cycle context for `epoch` with worker `me`'s counters
+    /// attached (for processors that record their own telemetry). Only used
+    /// when telemetry or the flight recorder is armed; the bare [`ctx`]
+    /// keeps the disarmed hot path free of the extra load.
+    ///
+    /// # Safety
+    /// Same obligation as [`ctx`](Self::ctx).
+    pub(crate) unsafe fn ctx_counted(&self, epoch: u64, me: usize) -> CycleCtx<'_> {
+        let mut ctx = unsafe { self.ctx(epoch) };
+        ctx.counters = Some(&self.counters[me]);
+        ctx
     }
 
     /// Record completion of one node; returns `true` when it was the last.
@@ -1244,6 +1317,7 @@ mod tests {
             epoch: 1,
             external_audio: std::slice::from_ref(&ext),
             controls: &[0.5],
+            counters: None,
         };
         unsafe { exec.execute(0, &ctx) };
         let mut out = AudioBuf::zeroed(2, 4);

@@ -408,7 +408,11 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
     let counters = &sh.base.counters[me];
     let faults = sh.base.fault_plan();
     // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
-    let ctx = unsafe { sh.base.ctx(epoch) };
+    let ctx = if telem || rec {
+        unsafe { sh.base.ctx_counted(epoch, me) }
+    } else {
+        unsafe { sh.base.ctx(epoch) }
+    };
     if let Some(plan) = faults {
         if rec {
             let s0 = Instant::now();
@@ -461,6 +465,7 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
                     fault_end = Instant::now();
                 }
             }
+            let net0 = if rec { sh.base.net_ns_of(me) } else { (0, 0) };
             // SAFETY: exactly-once ownership by blueprint validation; all
             // predecessors observed done for this epoch (same-worker preds
             // by program order, cross-worker preds by the waits above).
@@ -483,7 +488,7 @@ fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
                         .record_span(me, epoch, node, SpanKind::Fault, t0, fault_end);
                 }
                 sh.base
-                    .record_span(me, epoch, node, SpanKind::Exec, fault_end, t1);
+                    .record_exec_carved(me, epoch, node, fault_end, t1, net0);
             }
         } else {
             for &p in entry.waits() {

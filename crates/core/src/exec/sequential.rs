@@ -45,6 +45,48 @@ fn rec_span(r: &FlightRecorder, cycle: u64, node: u32, kind: SpanKind, t0: Insta
     unsafe { r.record(0, span) };
 }
 
+/// Record the execution interval of `node`, carving any net wait/conceal
+/// time its processor booked (counter deltas vs `net0`) into `NetWait` /
+/// `Conceal` spans; the three spans tile `[t0, t1]` exactly.
+fn rec_exec_carved(
+    r: &FlightRecorder,
+    counters: &CycleCounters,
+    cycle: u64,
+    node: u32,
+    t0: Instant,
+    t1: Instant,
+    net0: (u64, u64),
+) {
+    let (w1, c1) = counters.net_ns();
+    let (wait, conceal) = (w1.wrapping_sub(net0.0), c1.wrapping_sub(net0.1));
+    if wait == 0 && conceal == 0 {
+        rec_span(r, cycle, node, SpanKind::Exec, t0, t1);
+        return;
+    }
+    let s = r.now_ns(t0);
+    let e = r.now_ns(t1);
+    let wait_end = s.saturating_add(wait).min(e);
+    let conceal_end = wait_end.saturating_add(conceal).min(e);
+    for (kind, start_ns, end_ns) in [
+        (SpanKind::NetWait, s, wait_end),
+        (SpanKind::Conceal, wait_end, conceal_end),
+        (SpanKind::Exec, conceal_end, e),
+    ] {
+        if end_ns > start_ns {
+            let span = Span {
+                cycle,
+                node,
+                worker: 0,
+                start_ns,
+                end_ns,
+                kind,
+            };
+            // SAFETY: single-threaded executor — lane 0 has one writer.
+            unsafe { r.record(0, span) };
+        }
+    }
+}
+
 impl SequentialExecutor {
     /// Build a sequential executor over `graph` with `frames`-frame buffers.
     pub fn new(graph: TaskGraph, frames: usize) -> Self {
@@ -73,13 +115,14 @@ impl GraphExecutor for SequentialExecutor {
 
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
         self.epoch += 1;
+        let telem = self.telemetry.is_some();
+        let rec = self.flight.is_some();
         let ctx = CycleCtx {
             epoch: self.epoch,
             external_audio,
             controls,
+            counters: (telem || rec).then_some(&self.counters),
         };
-        let telem = self.telemetry.is_some();
-        let rec = self.flight.is_some();
         let flight = self.flight.as_ref();
         let faults = self.faults.as_ref();
         let start = Instant::now();
@@ -114,6 +157,7 @@ impl GraphExecutor for SequentialExecutor {
                         fault_end = Instant::now();
                     }
                 }
+                let net0 = if rec { self.counters.net_ns() } else { (0, 0) };
                 // SAFETY: single thread executes every node in queue order,
                 // which is a valid topological order.
                 unsafe { self.exec.execute(n as usize, &ctx) };
@@ -125,7 +169,7 @@ impl GraphExecutor for SequentialExecutor {
                     if fault_end > t0 {
                         rec_span(r, self.epoch, n, SpanKind::Fault, t0, fault_end);
                     }
-                    rec_span(r, self.epoch, n, SpanKind::Exec, fault_end, t1);
+                    rec_exec_carved(r, &self.counters, self.epoch, n, fault_end, t1, net0);
                 }
                 events.push(RawEvent {
                     node: n,
@@ -145,6 +189,7 @@ impl GraphExecutor for SequentialExecutor {
                         fault_end = Instant::now();
                     }
                 }
+                let net0 = if rec { self.counters.net_ns() } else { (0, 0) };
                 // SAFETY: as above.
                 unsafe { self.exec.execute(n as usize, &ctx) };
                 let t1 = Instant::now();
@@ -155,7 +200,7 @@ impl GraphExecutor for SequentialExecutor {
                     if fault_end > t0 {
                         rec_span(r, self.epoch, n, SpanKind::Fault, t0, fault_end);
                     }
-                    rec_span(r, self.epoch, n, SpanKind::Exec, fault_end, t1);
+                    rec_exec_carved(r, &self.counters, self.epoch, n, fault_end, t1, net0);
                 }
             }
         } else {

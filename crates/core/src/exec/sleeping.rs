@@ -138,7 +138,11 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let topo = shared.graph().topology();
     let faults = shared.fault_plan();
     // SAFETY: epoch acquired.
-    let ctx = unsafe { shared.ctx(epoch) };
+    let ctx = if telem || rec {
+        unsafe { shared.ctx_counted(epoch, me) }
+    } else {
+        unsafe { shared.ctx(epoch) }
+    };
     // SAFETY: handles were written before the epoch was published.
     let handles = unsafe { shared.handles.get() };
     if let Some(plan) = faults {
@@ -190,6 +194,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                     fault_end = Instant::now();
                 }
             }
+            let net0 = if rec { shared.net_ns_of(me) } else { (0, 0) };
             // SAFETY: exactly-once ownership (static assignment); pending==0
             // observed with Acquire implies all predecessor outputs visible.
             unsafe { shared.graph().execute(node as usize, &ctx) };
@@ -209,7 +214,7 @@ fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
                 if fault_end > t0 {
                     shared.record_span(me, epoch, node, SpanKind::Fault, t0, fault_end);
                 }
-                shared.record_span(me, epoch, node, SpanKind::Exec, fault_end, t1);
+                shared.record_exec_carved(me, epoch, node, fault_end, t1, net0);
             }
         } else {
             sleep_until_ready(shared, node as usize, me);

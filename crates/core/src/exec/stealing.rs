@@ -192,6 +192,7 @@ unsafe fn run_node(
                 fault_end = Instant::now();
             }
         }
+        let net0 = if rec { ws.base.net_ns_of(me) } else { (0, 0) };
         ws.base.graph().execute(node as usize, ctx);
         let t1 = Instant::now();
         if tracing {
@@ -211,7 +212,7 @@ unsafe fn run_node(
                     .record_span(me, ctx.epoch, node, SpanKind::Fault, t0, fault_end);
             }
             ws.base
-                .record_span(me, ctx.epoch, node, SpanKind::Exec, fault_end, t1);
+                .record_exec_carved(me, ctx.epoch, node, fault_end, t1, net0);
         }
     } else {
         if let Some(plan) = faults {
@@ -267,7 +268,11 @@ fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
     let rec = ws.base.flight_on();
     let counters = &ws.base.counters[me];
     // SAFETY: epoch acquired.
-    let ctx = unsafe { ws.base.ctx(epoch) };
+    let ctx = if telem || rec {
+        unsafe { ws.base.ctx_counted(epoch, me) }
+    } else {
+        unsafe { ws.base.ctx(epoch) }
+    };
     let idle = ws.idle.get().expect("idle set initialized");
     let total = ws.base.graph().len() as u32;
     if let Some(plan) = ws.base.fault_plan() {

@@ -44,6 +44,12 @@ pub enum SpanKind {
     /// Injected fault work (spike/stall/pressure burn) from an installed
     /// [`FaultPlan`](crate::faults::FaultPlan).
     Fault,
+    /// Receiving remote-deck packets into a jitter buffer (carved out of
+    /// the owning node's Exec interval from its `net_wait_ns` counter).
+    NetWait,
+    /// Synthesizing concealment for late/lost network frames (carved the
+    /// same way from `net_conceal_ns`).
+    Conceal,
 }
 
 impl SpanKind {
@@ -57,6 +63,8 @@ impl SpanKind {
             SpanKind::Steal => "steal",
             SpanKind::Unpark => "unpark",
             SpanKind::Fault => "fault",
+            SpanKind::NetWait => "net_wait",
+            SpanKind::Conceal => "conceal",
         }
     }
 
@@ -70,6 +78,8 @@ impl SpanKind {
             "steal" => SpanKind::Steal,
             "unpark" => SpanKind::Unpark,
             "fault" => SpanKind::Fault,
+            "net_wait" => SpanKind::NetWait,
+            "conceal" => SpanKind::Conceal,
             _ => return None,
         })
     }
@@ -77,11 +87,14 @@ impl SpanKind {
     /// Spans that represent productive on-CPU work (or injected work
     /// masquerading as it) rather than waiting.
     pub fn is_work(self) -> bool {
-        matches!(self, SpanKind::Exec | SpanKind::Fault)
+        matches!(
+            self,
+            SpanKind::Exec | SpanKind::Fault | SpanKind::NetWait | SpanKind::Conceal
+        )
     }
 
     /// Every kind, in a stable order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::Exec,
         SpanKind::BusyWait,
         SpanKind::Sleep,
@@ -89,6 +102,8 @@ impl SpanKind {
         SpanKind::Steal,
         SpanKind::Unpark,
         SpanKind::Fault,
+        SpanKind::NetWait,
+        SpanKind::Conceal,
     ];
 }
 

@@ -37,6 +37,10 @@
 //!   spikes, worker stalls, CPU-pressure episodes) hooked into every
 //!   executor's node-execution path via [`exec::GraphExecutor::set_faults`];
 //!   zero-cost when no plan is installed.
+//! * [`net`] — seeded network-fault traces ([`net::NetFaultPlan`]: loss,
+//!   duplication, reorder, jitter bursts per `(cycle, stream)`) and the
+//!   zero-alloc adaptive [`net::JitterBuffer`] behind the engine's remote
+//!   deck sources; deterministic by construction, no sockets involved.
 //! * [`flight`] — the flight recorder: pre-allocated, overwrite-oldest
 //!   per-worker span rings capturing the last N cycles of
 //!   Exec/BusyWait/Sleep/Steal/Unpark/Fault intervals with zero hot-path
@@ -59,6 +63,7 @@ pub mod faults;
 pub mod flight;
 pub mod graph;
 pub mod idle;
+pub mod net;
 pub mod pad;
 pub mod processor;
 pub mod telemetry;
@@ -72,6 +77,7 @@ pub use exec::{
 pub use faults::FaultPlan;
 pub use flight::{CycleStamp, FlightConfig, FlightRecorder, FlightWindow, Span, SpanKind};
 pub use graph::{GraphError, NodeId, Priority, Section, TaskGraph, TaskGraphBuilder};
+pub use net::{JitterBuffer, JitterConfig, NetFaultPlan, NetStats};
 pub use pad::CachePadded;
 pub use processor::{CycleCtx, Processor};
 pub use telemetry::{CounterSnapshot, CycleCounters, CycleRecord, TelemetryRing};

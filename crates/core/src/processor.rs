@@ -1,5 +1,6 @@
 //! The node payload trait and the per-cycle context.
 
+use crate::telemetry::CycleCounters;
 use djstar_dsp::AudioBuf;
 
 /// Per-cycle context handed to every node processor.
@@ -17,6 +18,10 @@ pub struct CycleCtx<'a> {
     pub external_audio: &'a [AudioBuf],
     /// External scalar controls (interpretation is up to the application).
     pub controls: &'a [f32],
+    /// The executing worker's cycle counters, when telemetry or the flight
+    /// recorder is armed. Processors with their own observability (e.g. the
+    /// engine's network nodes) record into these; `None` costs nothing.
+    pub counters: Option<&'a CycleCounters>,
 }
 
 impl<'a> CycleCtx<'a> {
@@ -26,6 +31,7 @@ impl<'a> CycleCtx<'a> {
             epoch,
             external_audio: &[],
             controls: &[],
+            counters: None,
         }
     }
 }

@@ -44,6 +44,22 @@ pub struct CycleCounters {
     fault_stall_iters: AtomicU64,
     /// Kernel iterations injected by pressure episodes.
     fault_pressure_iters: AtomicU64,
+    /// Remote-stream packets the trace lost outright.
+    net_packets_lost: AtomicU64,
+    /// Packets that arrived behind the playout head (too late to play).
+    net_packets_late: AtomicU64,
+    /// Duplicate packet arrivals discarded by the jitter buffer.
+    net_packets_dup: AtomicU64,
+    /// Frames concealed at playout (the audible dropout count).
+    net_frames_concealed: AtomicU64,
+    /// Jitter-buffer depth changes applied (latency/dropout trades).
+    net_depth_changes: AtomicU64,
+    /// Nanoseconds spent receiving packets into the jitter buffer.
+    net_wait_ns: AtomicU64,
+    /// Nanoseconds spent synthesizing concealment frames.
+    net_conceal_ns: AtomicU64,
+    /// Broadcast packets dropped by per-listener backpressure.
+    broadcast_drops: AtomicU64,
 }
 
 impl CycleCounters {
@@ -119,6 +135,65 @@ impl CycleCounters {
         self.fault_pressure_iters.fetch_add(iters, Relaxed);
     }
 
+    /// Record one cycle of jitter-buffer reception telemetry: packet
+    /// events observed by the pushes plus the playout outcome. Called by
+    /// the worker that executed the net source node, inside its timed
+    /// execution window.
+    #[inline]
+    pub fn add_net_cycle(
+        &self,
+        lost: u64,
+        late: u64,
+        dup: u64,
+        concealed: u64,
+        depth_changes: u64,
+    ) {
+        if lost > 0 {
+            self.net_packets_lost.fetch_add(lost, Relaxed);
+        }
+        if late > 0 {
+            self.net_packets_late.fetch_add(late, Relaxed);
+        }
+        if dup > 0 {
+            self.net_packets_dup.fetch_add(dup, Relaxed);
+        }
+        if concealed > 0 {
+            self.net_frames_concealed.fetch_add(concealed, Relaxed);
+        }
+        if depth_changes > 0 {
+            self.net_depth_changes.fetch_add(depth_changes, Relaxed);
+        }
+    }
+
+    /// Record nanoseconds spent in packet reception (NetWait time).
+    #[inline]
+    pub fn add_net_wait_ns(&self, ns: u64) {
+        self.net_wait_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Record nanoseconds spent synthesizing concealment (Conceal time).
+    #[inline]
+    pub fn add_net_conceal_ns(&self, ns: u64) {
+        self.net_conceal_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Record broadcast packets dropped by listener backpressure.
+    #[inline]
+    pub fn add_broadcast_drops(&self, drops: u64) {
+        self.broadcast_drops.fetch_add(drops, Relaxed);
+    }
+
+    /// Snapshot of the (wait, conceal) nanosecond counters without
+    /// draining, `Relaxed`. Executors diff this around a node execution to
+    /// carve `NetWait`/`Conceal` spans out of the Exec interval.
+    #[inline]
+    pub fn net_ns(&self) -> (u64, u64) {
+        (
+            self.net_wait_ns.load(Relaxed),
+            self.net_conceal_ns.load(Relaxed),
+        )
+    }
+
     /// Move the current values into `out` and reset every counter to zero.
     /// Driver only, after the cycle-completion barrier.
     pub fn drain_into(&self, out: &mut CounterSnapshot) {
@@ -138,6 +213,14 @@ impl CycleCounters {
         out.fault_stalls = self.fault_stalls.swap(0, Relaxed);
         out.fault_stall_iters = self.fault_stall_iters.swap(0, Relaxed);
         out.fault_pressure_iters = self.fault_pressure_iters.swap(0, Relaxed);
+        out.net_packets_lost = self.net_packets_lost.swap(0, Relaxed);
+        out.net_packets_late = self.net_packets_late.swap(0, Relaxed);
+        out.net_packets_dup = self.net_packets_dup.swap(0, Relaxed);
+        out.net_frames_concealed = self.net_frames_concealed.swap(0, Relaxed);
+        out.net_depth_changes = self.net_depth_changes.swap(0, Relaxed);
+        out.net_wait_ns = self.net_wait_ns.swap(0, Relaxed);
+        out.net_conceal_ns = self.net_conceal_ns.swap(0, Relaxed);
+        out.broadcast_drops = self.broadcast_drops.swap(0, Relaxed);
     }
 }
 
@@ -160,6 +243,14 @@ pub struct CounterSnapshot {
     pub fault_stalls: u64,
     pub fault_stall_iters: u64,
     pub fault_pressure_iters: u64,
+    pub net_packets_lost: u64,
+    pub net_packets_late: u64,
+    pub net_packets_dup: u64,
+    pub net_frames_concealed: u64,
+    pub net_depth_changes: u64,
+    pub net_wait_ns: u64,
+    pub net_conceal_ns: u64,
+    pub broadcast_drops: u64,
 }
 
 impl CounterSnapshot {
@@ -176,6 +267,11 @@ impl CounterSnapshot {
     /// Total kernel iterations injected by any fault class.
     pub fn fault_iters(&self) -> u64 {
         self.fault_spike_iters + self.fault_stall_iters + self.fault_pressure_iters
+    }
+
+    /// Total network packet-fault events (lost + late + duplicated).
+    pub fn net_packet_events(&self) -> u64 {
+        self.net_packets_lost + self.net_packets_late + self.net_packets_dup
     }
 
     /// True when every field is zero.
@@ -202,6 +298,14 @@ impl CounterSnapshot {
         self.fault_stalls += other.fault_stalls;
         self.fault_stall_iters += other.fault_stall_iters;
         self.fault_pressure_iters += other.fault_pressure_iters;
+        self.net_packets_lost += other.net_packets_lost;
+        self.net_packets_late += other.net_packets_late;
+        self.net_packets_dup += other.net_packets_dup;
+        self.net_frames_concealed += other.net_frames_concealed;
+        self.net_depth_changes += other.net_depth_changes;
+        self.net_wait_ns += other.net_wait_ns;
+        self.net_conceal_ns += other.net_conceal_ns;
+        self.broadcast_drops += other.broadcast_drops;
     }
 }
 
@@ -228,6 +332,11 @@ mod tests {
         c.add_fault_spike(700);
         c.add_fault_stall(900);
         c.add_fault_pressure(300);
+        c.add_net_cycle(4, 3, 2, 5, 1);
+        c.add_net_wait_ns(250);
+        c.add_net_conceal_ns(750);
+        c.add_broadcast_drops(6);
+        assert_eq!(c.net_ns(), (250, 750));
 
         let mut s = CounterSnapshot::default();
         c.drain_into(&mut s);
@@ -250,6 +359,15 @@ mod tests {
         assert_eq!(s.fault_pressure_iters, 300);
         assert_eq!(s.fault_events(), 3);
         assert_eq!(s.fault_iters(), 2_600);
+        assert_eq!(s.net_packets_lost, 4);
+        assert_eq!(s.net_packets_late, 3);
+        assert_eq!(s.net_packets_dup, 2);
+        assert_eq!(s.net_frames_concealed, 5);
+        assert_eq!(s.net_depth_changes, 1);
+        assert_eq!(s.net_wait_ns, 250);
+        assert_eq!(s.net_conceal_ns, 750);
+        assert_eq!(s.broadcast_drops, 6);
+        assert_eq!(s.net_packet_events(), 9);
 
         let mut again = CounterSnapshot::default();
         c.drain_into(&mut again);

@@ -1,0 +1,244 @@
+//! Property-style tests for the packet-fault trace and the jitter
+//! buffer on randomly drawn plans. Plans are generated from a seeded
+//! [`SmallRng`] so every run checks the same cases (the workspace builds
+//! offline, without proptest).
+
+use djstar_core::net::{
+    Arrival, JitterBuffer, JitterConfig, NetFaultPlan, PopOutcome, MAX_ARRIVALS, MAX_DELAY,
+};
+use djstar_dsp::rng::SmallRng;
+use djstar_dsp::AudioBuf;
+
+const FRAMES: usize = 16;
+
+fn random_plan(rng: &mut SmallRng) -> NetFaultPlan {
+    let bursty = rng.chance(0.5);
+    NetFaultPlan {
+        seed: rng.next_u64(),
+        base_delay: rng.below(4) as u32,
+        jitter: rng.below(8) as u32,
+        loss_rate: rng.f64() * 0.15,
+        dup_rate: rng.f64() * 0.1,
+        dup_delay: 1 + rng.below(3) as u32,
+        reorder_rate: rng.f64() * 0.1,
+        reorder_extra: rng.below(6) as u32,
+        burst_period: if bursty { 32 + rng.below(96) as u64 } else { 0 },
+        burst_len: 8 + rng.below(24) as u64,
+        burst_jitter: rng.below(12) as u32,
+        listener_stall_rate: 0.0,
+    }
+}
+
+fn random_config(rng: &mut SmallRng) -> JitterConfig {
+    let min = 1 + rng.below(3) as u32;
+    let max = min + rng.below(10) as u32;
+    if rng.chance(0.5) {
+        JitterConfig::adaptive(min, max)
+    } else {
+        JitterConfig::fixed(min + rng.below((max - min + 1) as usize) as u32)
+    }
+}
+
+/// Drive `buf` for `cycles` with `plan`'s arrivals for `stream`, the way
+/// the engine's receiver does; returns per-cycle pop outcomes.
+fn drive(plan: &NetFaultPlan, stream: u32, buf: &mut JitterBuffer, cycles: u64) -> Vec<PopOutcome> {
+    let mut out = AudioBuf::zeroed(1, FRAMES);
+    let mut arrivals = [Arrival { seq: 0, dup: false }; MAX_ARRIVALS];
+    (0..cycles)
+        .map(|cycle| {
+            if plan.lost(cycle, stream) {
+                buf.note_lost();
+            }
+            let n = plan.arrivals(cycle, stream, &mut arrivals);
+            for a in &arrivals[..n] {
+                let seq = a.seq;
+                buf.push_with(seq, |slot| {
+                    slot.samples_mut().fill(seq as f32);
+                });
+            }
+            buf.pop(cycle, &mut out)
+        })
+        .collect()
+}
+
+#[test]
+fn every_sent_packet_is_lost_late_or_arrives_in_horizon() {
+    let mut rng = SmallRng::seed_from_u64(0x9E70);
+    for _ in 0..40 {
+        let plan = random_plan(&mut rng);
+        let cycles = 300u64;
+        let mut seen = vec![0u32; cycles as usize];
+        let mut arrivals = [Arrival { seq: 0, dup: false }; MAX_ARRIVALS];
+        for stream in 0..2u32 {
+            seen.fill(0);
+            for cycle in 0..cycles + MAX_DELAY as u64 {
+                let n = plan.arrivals(cycle, stream, &mut arrivals);
+                assert!(n <= MAX_ARRIVALS);
+                for a in &arrivals[..n] {
+                    // Arrivals come from the bounded horizon, never the
+                    // future, and never from a lost send.
+                    assert!(a.seq <= cycle);
+                    assert!(cycle - a.seq <= MAX_DELAY as u64, "beyond horizon");
+                    assert!(!plan.lost(a.seq, stream), "lost packet arrived");
+                    if a.seq < cycles {
+                        seen[a.seq as usize] += 1;
+                    }
+                }
+            }
+            for (seq, &copies) in seen.iter().enumerate() {
+                let lost = plan.lost(seq as u64, stream);
+                let dup = plan.dup_delay_of(seq as u64, stream).is_some();
+                let want = if lost {
+                    0
+                } else if dup {
+                    2
+                } else {
+                    1
+                };
+                assert_eq!(
+                    copies, want,
+                    "seq {seq}: lost={lost} dup={dup} copies={copies}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn playout_accounts_for_every_cycle_and_respects_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0x9E71);
+    for case in 0..40 {
+        let plan = random_plan(&mut rng);
+        let cfg = random_config(&mut rng);
+        let (min_d, max_d) = (cfg.min_depth, cfg.max_depth);
+        let mut buf = JitterBuffer::for_plan(1, FRAMES, &plan, cfg);
+        let cycles = 400u64;
+        let outcomes = drive(&plan, 0, &mut buf, cycles);
+        // Every pop is accounted: played + concealed + preroll == cycles.
+        let played = outcomes
+            .iter()
+            .filter(|o| matches!(o, PopOutcome::Played))
+            .count() as u64;
+        let concealed = outcomes
+            .iter()
+            .filter(|o| matches!(o, PopOutcome::Concealed | PopOutcome::Held))
+            .count() as u64;
+        let preroll = outcomes
+            .iter()
+            .filter(|o| matches!(o, PopOutcome::Preroll))
+            .count() as u64;
+        assert_eq!(played + concealed + preroll, cycles, "case {case}");
+        let s = buf.stats();
+        // Held pops are depth transitions, not conceals; only Concealed
+        // outcomes hit the conceal counter.
+        let held = outcomes
+            .iter()
+            .filter(|o| matches!(o, PopOutcome::Held))
+            .count() as u64;
+        assert_eq!(s.concealed + held, concealed, "case {case}: conceal drift");
+        // Depth stays inside the configured bounds whatever the trace does.
+        assert!(buf.depth() >= min_d && buf.depth() <= max_d, "case {case}");
+        assert!(buf.target_depth() >= min_d && buf.target_depth() <= max_d);
+        // Push accounting: every arrival copy the trace delivered was
+        // stored, rejected as late, or detected as a duplicate — none
+        // invented, none silently dropped.
+        let mut arrivals = [Arrival { seq: 0, dup: false }; MAX_ARRIVALS];
+        let pushes: u64 = (0..cycles)
+            .map(|c| plan.arrivals(c, 0, &mut arrivals) as u64)
+            .sum();
+        assert_eq!(
+            s.received + s.late + s.duplicated,
+            pushes,
+            "case {case}: push accounting"
+        );
+    }
+}
+
+#[test]
+fn identical_drives_are_bit_identical() {
+    let mut rng = SmallRng::seed_from_u64(0x9E72);
+    for _ in 0..20 {
+        let plan = random_plan(&mut rng);
+        let cfg = random_config(&mut rng);
+        let mut a = JitterBuffer::for_plan(1, FRAMES, &plan, cfg);
+        let mut b = JitterBuffer::for_plan(1, FRAMES, &plan, cfg);
+        assert_eq!(drive(&plan, 3, &mut a, 300), drive(&plan, 3, &mut b, 300));
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.depth(), b.depth());
+    }
+}
+
+#[test]
+fn deeper_fixed_buffers_never_conceal_more() {
+    let mut rng = SmallRng::seed_from_u64(0x9E73);
+    for case in 0..25 {
+        let plan = NetFaultPlan {
+            // Keep reordering out: a reordered packet is a fixed +extra
+            // delay, so it still obeys monotonicity, but duplication of
+            // reordered packets can land copies outside the shallow
+            // buffer's window in either order; stick to the jitter/loss
+            // core for the cleanest monotone claim.
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            ..random_plan(&mut rng)
+        };
+        // Count dropouts, not raw conceal stats: a buffer too shallow to
+        // ever play a frame never "warms", so its misses surface as
+        // Preroll rather than Concealed. Non-played cycles after the
+        // fixed preroll window are the depth-monotone quantity.
+        let dropouts_at = |depth: u32| {
+            let mut buf = JitterBuffer::for_plan(1, FRAMES, &plan, JitterConfig::fixed(depth));
+            let outcomes = drive(&plan, 1, &mut buf, 500);
+            outcomes[depth as usize..]
+                .iter()
+                .filter(|o| !matches!(o, PopOutcome::Played))
+                .count() as u64
+        };
+        let mut prev = u64::MAX;
+        for depth in [1u32, 2, 4, 8, 16, 32] {
+            let d = dropouts_at(depth);
+            assert!(
+                d <= prev,
+                "case {case}: depth {depth} dropped {d} > shallower {prev}"
+            );
+            prev = d;
+        }
+        // At the full delay horizon every delivered frame is in the
+        // buffer by playout time; only outright losses can drop.
+        let horizon = 500 - MAX_DELAY as u64;
+        let floor = (0..horizon).filter(|&c| plan.lost(c, 1)).count() as u64;
+        assert_eq!(
+            dropouts_at(MAX_DELAY),
+            floor,
+            "case {case}: full-depth dropouts should equal the loss floor"
+        );
+    }
+}
+
+#[test]
+fn governor_retunes_are_clamped_and_stick() {
+    let mut rng = SmallRng::seed_from_u64(0x9E74);
+    for _ in 0..20 {
+        let plan = random_plan(&mut rng);
+        // adapt=false: only the external governor order moves the target
+        // (watermark self-adaptation would fight the explicit setting).
+        let cfg = JitterConfig {
+            min_depth: 2,
+            max_depth: 9,
+            start_depth: 2,
+            adapt: false,
+            ..JitterConfig::default()
+        };
+        let mut buf = JitterBuffer::for_plan(1, FRAMES, &plan, cfg);
+        drive(&plan, 0, &mut buf, 50);
+        let order = rng.below(16) as u32;
+        buf.set_target_depth(order);
+        assert_eq!(buf.target_depth(), order.clamp(2, 9));
+        drive(&plan, 0, &mut buf, 100);
+        // One bounded step per pop: after 100 pops the depth reached the
+        // clamped target.
+        assert_eq!(buf.depth(), order.clamp(2, 9));
+        buf.set_depth_bounds(1, 4);
+        assert!(buf.target_depth() <= 4);
+    }
+}

@@ -11,8 +11,12 @@
 //! their individual timings.
 
 use crate::deck::TrackPlayer;
-use crate::degrade::{DegradationPolicy, DegradeAction, DegradeConfig, DegradeEvent};
+use crate::degrade::{
+    DegradationPolicy, DegradeAction, DegradeConfig, DegradeEvent, NetDegradeAction,
+    NetDegradeConfig, NetDegradeEvent, NetLatencyPolicy,
+};
 use crate::graphbuild::{build_shaped_graph, GraphShape, NodeMap};
+use crate::netnodes::{BroadcastSink, BroadcastStats, NetDeckSource};
 use crate::nodes::controls;
 use crate::profiling::HotspotProfiler;
 use crate::reconfig::{
@@ -25,6 +29,7 @@ use djstar_core::exec::{
 };
 use djstar_core::faults::FaultPlan;
 use djstar_core::flight::{FlightConfig, FlightWindow};
+use djstar_core::net::NetStats;
 use djstar_dsp::buffer::AudioBuf;
 use djstar_dsp::work::burn;
 use djstar_workload::faults::FaultSpec;
@@ -144,6 +149,11 @@ pub struct AudioEngine {
     saved_fx: [usize; 4],
     /// Aux weights saved at shed time.
     saved_aux: Option<AuxWork>,
+    /// Network latency/dropout governor; `None` until
+    /// [`enable_net_degradation`](Self::enable_net_degradation).
+    net_degrade: Option<NetLatencyPolicy>,
+    /// Total concealed frames already reported to the network governor.
+    net_conceals_seen: u64,
 }
 
 /// Convert a workload-layer [`FaultSpec`] into the executor-layer
@@ -179,6 +189,20 @@ pub struct DegradeOutcome {
     pub commit_ns: u64,
 }
 
+/// What [`AudioEngine::observe_network`] did when it committed a
+/// jitter-buffer depth transition through the generation-swap path.
+#[derive(Debug, Clone, Copy)]
+pub struct NetDegradeOutcome {
+    /// Which way the latency/dropout trade moved.
+    pub action: NetDegradeAction,
+    /// Executor generation after the swap.
+    pub generation: u64,
+    /// Wall time of the staging half (graph build, off the audio path).
+    pub stage_ns: u64,
+    /// Wall time of the cycle-boundary commit half.
+    pub commit_ns: u64,
+}
+
 impl AudioEngine {
     /// Build an engine running `scenario` with the given strategy and
     /// thread count, and paper-scale auxiliary work.
@@ -187,15 +211,12 @@ impl AudioEngine {
     }
 
     /// Build an engine with explicit auxiliary-phase weights (tests use
-    /// [`AuxWork::light`]) and the paper's fixed 67-node shape.
+    /// [`AuxWork::light`]) and the paper's fixed shape — extended with the
+    /// network machinery the scenario's [`NetSpec`](djstar_workload::NetSpec)
+    /// asks for (a disabled spec reproduces the 67-node graph exactly).
     pub fn with_aux(scenario: Scenario, strategy: Strategy, threads: usize, aux: AuxWork) -> Self {
-        Self::with_shape(
-            scenario,
-            GraphShape::paper_default(),
-            strategy,
-            threads,
-            aux,
-        )
+        let shape = GraphShape::for_net(&scenario.net);
+        Self::with_shape(scenario, shape, strategy, threads, aux)
     }
 
     /// Build an engine around an arbitrary [`GraphShape`] — the seed of the
@@ -256,6 +277,8 @@ impl AudioEngine {
             degrade: None,
             saved_fx: [0; 4],
             saved_aux: None,
+            net_degrade: None,
+            net_conceals_seen: 0,
             scenario,
         }
     }
@@ -353,6 +376,11 @@ impl AudioEngine {
     /// Landmark node ids of the graph.
     pub fn node_map(&self) -> &NodeMap {
         &self.map
+    }
+
+    /// The executor's current topology generation.
+    pub fn generation(&self) -> u64 {
+        self.executor.generation()
     }
 
     /// The currently committed graph shape.
@@ -599,6 +627,145 @@ impl AudioEngine {
             policy.transition(cycle, action);
         }
         Some(DegradeOutcome {
+            action,
+            generation,
+            stage_ns,
+            commit_ns,
+        })
+    }
+
+    /// Arm the network latency/dropout governor. Once armed, the host
+    /// calls [`observe_network`](Self::observe_network) each cycle and the
+    /// engine trades jitter-buffer depth (latency) against dropout rate,
+    /// actuating every depth change through the same glitch-free
+    /// generation-swap path as quality degradation.
+    ///
+    /// The starting rung is the deepest depth any remote deck currently
+    /// runs at (so arming mid-flight never yanks an established buffer),
+    /// falling back to the config's floor on a fully local graph.
+    pub fn enable_net_degradation(&mut self, cfg: NetDegradeConfig) {
+        let start = (0..4)
+            .filter_map(|d| self.net_deck_source(d).map(|s| s.target_depth()))
+            .max()
+            .unwrap_or(cfg.min_depth);
+        self.net_conceals_seen = self.net_stats().concealed;
+        self.net_degrade = Some(NetLatencyPolicy::new(cfg, start));
+    }
+
+    /// Committed depth transitions since the network governor was armed.
+    pub fn net_degrade_events(&self) -> &[NetDegradeEvent] {
+        self.net_degrade.as_ref().map_or(&[], |p| p.events())
+    }
+
+    /// The depth rung the network governor is currently targeting
+    /// (`None` when unarmed).
+    pub fn net_target_depth(&self) -> Option<u32> {
+        self.net_degrade.as_ref().map(|p| p.target_depth())
+    }
+
+    /// Jitter-buffer statistics summed over every remote deck (all zeros
+    /// on a fully local graph).
+    pub fn net_stats(&mut self) -> NetStats {
+        let mut total = NetStats::default();
+        for d in 0..4 {
+            if let Some(src) = self.net_deck_source(d) {
+                let s = src.net_stats();
+                total.received += s.received;
+                total.lost += s.lost;
+                total.late += s.late;
+                total.duplicated += s.duplicated;
+                total.concealed += s.concealed;
+                total.depth_changes += s.depth_changes;
+                total.skipped += s.skipped;
+            }
+        }
+        total
+    }
+
+    /// Per-deck jitter-buffer stats; `None` for local decks.
+    pub fn net_deck_stats(&mut self, d: usize) -> Option<NetStats> {
+        self.net_deck_source(d).map(|s| s.net_stats())
+    }
+
+    /// Current jitter-buffer depth per deck (0 for local decks).
+    pub fn net_depths(&mut self) -> [u32; 4] {
+        let mut out = [0u32; 4];
+        for (d, slot) in out.iter_mut().enumerate() {
+            if let Some(src) = self.net_deck_source(d) {
+                *slot = src.depth();
+            }
+        }
+        out
+    }
+
+    /// Broadcast-sink statistics, when the graph carries one.
+    pub fn broadcast_stats(&mut self) -> Option<BroadcastStats> {
+        let node = self.map.broadcast?;
+        self.executor
+            .node_processor(node)
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<BroadcastSink>())
+            .map(|s| s.broadcast_stats())
+    }
+
+    /// Borrow deck `d`'s network receiver, if that deck is remote.
+    fn net_deck_source(&mut self, d: usize) -> Option<&mut NetDeckSource> {
+        let node = *self.map.net_src.get(d)?;
+        self.executor
+            .node_processor(node?)
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<NetDeckSource>())
+    }
+
+    /// Feed the just-finished cycle's concealment evidence to the network
+    /// governor and actuate any depth transition it orders.
+    ///
+    /// * **Deepen**: dropouts concentrated in the observation window —
+    ///   buy reliability with latency by climbing the depth ladder.
+    /// * **Shallow**: a full clean restore chunk — give one rung of
+    ///   latency back.
+    ///
+    /// The transition rides [`stage_edits`](Self::stage_edits) /
+    /// [`commit`](Self::commit) ([`GraphEdit::SetNetDepth`] per remote
+    /// deck), so the `NetSrc` nodes — whose names carry no depth — are
+    /// carried across the swap with their buffered audio intact; the new
+    /// target is then applied to the carried buffers in place. If staging
+    /// or the swap fails the policy is left uncommitted and retries next
+    /// cycle. No-op `None` when unarmed or no deck is remote.
+    pub fn observe_network(&mut self) -> Option<NetDegradeOutcome> {
+        self.net_degrade.as_ref()?;
+        let concealed = self.net_stats().concealed;
+        let delta = concealed.saturating_sub(self.net_conceals_seen);
+        self.net_conceals_seen = concealed;
+        let cycle = self.cycle;
+        let action = {
+            let policy = self.net_degrade.as_mut()?;
+            policy.record(delta.min(u32::MAX as u64) as u32);
+            policy.pending(cycle)?
+        };
+        let depth = action.target();
+        let edits: Vec<GraphEdit> = (0..4)
+            .filter(|&d| self.shape.remote_decks[d])
+            .map(|d| GraphEdit::SetNetDepth(d, depth))
+            .collect();
+        if edits.is_empty() {
+            return None;
+        }
+        let t0 = Instant::now();
+        let staged = self.stage_edits(&edits).ok()?;
+        let stage_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        let generation = self.commit(staged).ok()?;
+        let commit_ns = t1.elapsed().as_nanos() as u64;
+        for d in 0..4 {
+            if let Some(src) = self.net_deck_source(d) {
+                src.set_target_depth(depth);
+            }
+        }
+        if let Some(policy) = self.net_degrade.as_mut() {
+            policy.transition(cycle, action);
+        }
+        Some(NetDegradeOutcome {
             action,
             generation,
             stage_ns,
@@ -1298,5 +1465,157 @@ mod tests {
         }
         assert!(!e.is_degraded());
         assert!(e.degrade_events().is_empty());
+    }
+
+    fn net_scenario(net: djstar_workload::NetSpec) -> Scenario {
+        let mut s = Scenario::light_test();
+        s.net = net;
+        s
+    }
+
+    #[test]
+    fn networked_engine_produces_audio_and_counts_packets() {
+        let mut e = AudioEngine::with_aux(
+            net_scenario(djstar_workload::NetSpec::lossy(7)),
+            Strategy::Sequential,
+            1,
+            AuxWork::light(),
+        );
+        assert!(e.node_map().net_src[0].is_some(), "deck A should be remote");
+        assert!(
+            e.node_map().broadcast.is_some(),
+            "lossy preset carries listeners"
+        );
+        e.warmup(60);
+        let out = e.output();
+        assert!(out.is_finite());
+        assert!(out.rms() > 1e-4, "rms {}", out.rms());
+        let stats = e.net_stats();
+        assert!(stats.received > 60, "receivers saw no packets: {stats:?}");
+        assert!(
+            stats.lost + stats.late > 0,
+            "lossy trace produced no faults: {stats:?}"
+        );
+        let depths = e.net_depths();
+        assert!(depths[0] >= 1 && depths[2] == 0, "depths {depths:?}");
+        assert!(e.broadcast_stats().is_some());
+    }
+
+    #[test]
+    fn networked_strategies_produce_identical_audio() {
+        let scenario = net_scenario(djstar_workload::NetSpec::lossy(11));
+        let mut reference =
+            AudioEngine::with_aux(scenario.clone(), Strategy::Sequential, 1, AuxWork::light());
+        reference.warmup(40);
+        let want = reference.output();
+        assert!(want.rms() > 1e-4);
+        for strategy in [
+            Strategy::Busy,
+            Strategy::Sleep,
+            Strategy::Steal,
+            Strategy::Hybrid,
+            Strategy::Planned,
+        ] {
+            let mut e = AudioEngine::with_aux(scenario.clone(), strategy, 3, AuxWork::light());
+            e.warmup(40);
+            assert_eq!(
+                want.samples(),
+                e.output().samples(),
+                "{strategy:?} diverged from sequential on the networked graph"
+            );
+        }
+    }
+
+    #[test]
+    fn net_governor_deepens_through_the_swap_path() {
+        // Shallow buffer under heavy jitter: conceals pile up fast, so the
+        // governor must climb the depth ladder via staged generation swaps.
+        let mut net = djstar_workload::NetSpec::lossy(3);
+        net.jitter = 6;
+        net.start_depth = 1;
+        net.adapt = false; // the engine governor is the only actuator
+        let mut e = AudioEngine::with_aux(net_scenario(net), Strategy::Busy, 2, AuxWork::light());
+        e.warmup(10);
+        let gen0 = e.generation();
+        e.enable_net_degradation(NetDegradeConfig {
+            window: 8,
+            deepen_conceals: 2,
+            restore_clean: 512,
+            restore_tolerance: 0,
+            min_dwell: 6,
+            depth_step: 2,
+            min_depth: 1,
+            max_depth: 8,
+        });
+        assert_eq!(e.net_target_depth(), Some(1), "start at the node's depth");
+        let mut outcomes = Vec::new();
+        for _ in 0..200 {
+            e.run_apc();
+            if let Some(o) = e.observe_network() {
+                outcomes.push(o);
+            }
+        }
+        assert!(
+            !outcomes.is_empty(),
+            "heavy jitter on a depth-1 buffer must force a deepen"
+        );
+        let first = outcomes[0];
+        assert!(matches!(first.action, NetDegradeAction::Deepen(_)));
+        assert!(
+            first.generation > gen0,
+            "retune must ride a generation swap"
+        );
+        let target = e.net_target_depth().unwrap();
+        assert!(target > 1);
+        // Shape, carried node and governor all agree on the new rung.
+        assert_eq!(e.shape().net_depth[0], target);
+        assert_eq!(e.net_depths()[0], target);
+        let events = e.net_degrade_events();
+        assert_eq!(events.len(), outcomes.len());
+        // The carried jitter buffer kept its history across every swap.
+        assert!(e.net_stats().received > 150, "state lost across swaps");
+        assert!(e.output().is_finite());
+        assert!(e.output().rms() > 1e-4, "audio died across depth retunes");
+    }
+
+    #[test]
+    fn net_governor_is_quiet_on_a_clean_network() {
+        let mut e = AudioEngine::with_aux(
+            net_scenario(djstar_workload::NetSpec::clean(5)),
+            Strategy::Sequential,
+            1,
+            AuxWork::light(),
+        );
+        e.warmup(10);
+        e.enable_net_degradation(NetDegradeConfig::default());
+        for _ in 0..100 {
+            e.run_apc();
+            assert!(
+                e.observe_network().is_none(),
+                "clean reception must never retune"
+            );
+        }
+        assert!(e.net_degrade_events().is_empty());
+        let stats = e.net_stats();
+        assert_eq!(stats.lost, 0);
+        assert_eq!(stats.concealed, 0);
+        let bc = e.broadcast_stats().expect("clean preset has listeners");
+        assert_eq!(bc.dropped, 0, "clean network must not drop broadcast");
+    }
+
+    #[test]
+    fn net_governor_unarmed_is_a_no_op() {
+        let mut e = AudioEngine::with_aux(
+            net_scenario(djstar_workload::NetSpec::bursty(5)),
+            Strategy::Sequential,
+            1,
+            AuxWork::light(),
+        );
+        for _ in 0..50 {
+            e.run_apc();
+            assert!(e.observe_network().is_none());
+        }
+        assert!(e.net_degrade_events().is_empty());
+        assert_eq!(e.net_target_depth(), None);
     }
 }

@@ -233,6 +233,231 @@ impl DegradationPolicy {
     }
 }
 
+// --------------------------------------------------------------------------
+// The network axis: latency vs. dropouts
+// --------------------------------------------------------------------------
+
+/// Thresholds of the network degradation axis (E17).
+///
+/// Where the deadline axis trades *quality* (FX slots) for *headroom*,
+/// this axis trades *latency* (jitter-buffer playout depth) for *dropout
+/// rate* (concealed frames). Deepening is cheap and urgent — every conceal
+/// is an audible artifact — while shallowing merely recovers latency, so
+/// the ladder climbs in [`depth_step`](Self::depth_step) jumps and
+/// descends one step per clean observation chunk (the chunked restore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetDegradeConfig {
+    /// Sliding window (in cycles) over which conceals are counted.
+    pub window: usize,
+    /// Conceals within the window that trigger a deepen.
+    pub deepen_conceals: usize,
+    /// Length (in cycles) of the clean observation chunk one shallowing
+    /// step needs.
+    pub restore_clean: usize,
+    /// Conceals a restore chunk may contain and still count as clean.
+    pub restore_tolerance: usize,
+    /// Minimum cycles between two depth transitions (both directions).
+    pub min_dwell: u64,
+    /// Depth cycles added per deepen (and removed per shallow step).
+    pub depth_step: u32,
+    /// Floor of the depth ladder (the latency target).
+    pub min_depth: u32,
+    /// Ceiling of the depth ladder (the dropout-protection limit).
+    pub max_depth: u32,
+}
+
+impl Default for NetDegradeConfig {
+    /// Defaults sized for the 2.9 ms cycle: react to a dropout burst
+    /// within ~1/10 s, recover one step of latency per ~3/4 s of clean
+    /// reception, and never retune more than ~5×/s.
+    fn default() -> Self {
+        NetDegradeConfig {
+            window: 32,
+            deepen_conceals: 2,
+            restore_clean: 256,
+            restore_tolerance: 0,
+            min_dwell: 64,
+            depth_step: 2,
+            min_depth: 1,
+            max_depth: 12,
+        }
+    }
+}
+
+/// A depth transition the network policy wants the engine to perform.
+/// Carries the new target depth so actuation needs no second read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDegradeAction {
+    /// Dropouts observed: raise the playout depth to the carried target
+    /// (more latency, fewer conceals).
+    Deepen(u32),
+    /// A clean chunk elapsed: lower the depth one step to the carried
+    /// target (recover latency).
+    Shallow(u32),
+}
+
+impl NetDegradeAction {
+    /// The depth the action retunes to.
+    pub fn target(&self) -> u32 {
+        match *self {
+            NetDegradeAction::Deepen(d) | NetDegradeAction::Shallow(d) => d,
+        }
+    }
+}
+
+/// A committed depth transition, for telemetry and the E17 report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetDegradeEvent {
+    /// Engine cycle at which the transition was committed.
+    pub cycle: u64,
+    /// Which way it went, with the new target depth.
+    pub action: NetDegradeAction,
+}
+
+/// The depth-ladder state machine of the network axis. Same
+/// anti-oscillation construction as [`DegradationPolicy`]: any transition
+/// arms the dwell timer and clears all evidence, so consecutive
+/// transitions are at least `min_dwell` apart and each is justified by
+/// observations made entirely after the previous one. Allocation-free
+/// after construction except the event log.
+#[derive(Debug)]
+pub struct NetLatencyPolicy {
+    cfg: NetDegradeConfig,
+    /// Ring of the last `cfg.window` per-cycle conceal counts.
+    ring: Vec<u32>,
+    head: usize,
+    filled: usize,
+    conceals_in_window: u64,
+    /// Cycles observed in the current shallow-restore chunk.
+    chunk_cycles: usize,
+    /// Conceals observed in the current restore chunk.
+    chunk_conceals: u64,
+    target_depth: u32,
+    last_transition: Option<u64>,
+    events: Vec<NetDegradeEvent>,
+}
+
+impl NetLatencyPolicy {
+    /// Build a policy starting at `start_depth`. Degenerate configs are
+    /// clamped into sanity rather than rejected.
+    pub fn new(cfg: NetDegradeConfig, start_depth: u32) -> Self {
+        let window = cfg.window.max(1);
+        let restore_clean = cfg.restore_clean.max(1);
+        let max_depth = cfg.max_depth.max(cfg.min_depth.max(1));
+        let cfg = NetDegradeConfig {
+            window,
+            deepen_conceals: cfg.deepen_conceals.max(1),
+            restore_clean,
+            restore_tolerance: cfg.restore_tolerance,
+            min_dwell: cfg.min_dwell,
+            depth_step: cfg.depth_step.max(1),
+            min_depth: cfg.min_depth.max(1),
+            max_depth,
+        };
+        NetLatencyPolicy {
+            ring: vec![0; window],
+            head: 0,
+            filled: 0,
+            conceals_in_window: 0,
+            chunk_cycles: 0,
+            chunk_conceals: 0,
+            target_depth: start_depth.clamp(cfg.min_depth, cfg.max_depth),
+            last_transition: None,
+            events: Vec::with_capacity(64),
+            cfg,
+        }
+    }
+
+    /// The (clamped) configuration in force.
+    pub fn config(&self) -> NetDegradeConfig {
+        self.cfg
+    }
+
+    /// The depth the policy currently wants the jitter buffers at.
+    pub fn target_depth(&self) -> u32 {
+        self.target_depth
+    }
+
+    /// Committed depth transitions, oldest first.
+    pub fn events(&self) -> &[NetDegradeEvent] {
+        &self.events
+    }
+
+    /// Record one cycle's dropout evidence: how many frames the remote
+    /// decks concealed this cycle.
+    pub fn record(&mut self, conceals: u32) {
+        if self.filled == self.cfg.window {
+            self.conceals_in_window -= self.ring[self.head] as u64;
+        } else {
+            self.filled += 1;
+        }
+        self.ring[self.head] = conceals;
+        self.conceals_in_window += conceals as u64;
+        self.head = (self.head + 1) % self.cfg.window;
+        if self.target_depth > self.cfg.min_depth {
+            self.chunk_cycles += 1;
+            self.chunk_conceals += conceals as u64;
+            if self.chunk_cycles >= self.cfg.restore_clean
+                && self.chunk_conceals > self.cfg.restore_tolerance as u64
+            {
+                self.chunk_cycles = 0;
+                self.chunk_conceals = 0;
+            }
+        }
+    }
+
+    /// The depth transition the evidence currently justifies at `cycle`.
+    /// Read-only, like [`DegradationPolicy::pending`]: the engine actuates
+    /// first and commits via [`transition`](Self::transition) only on
+    /// success.
+    pub fn pending(&self, cycle: u64) -> Option<NetDegradeAction> {
+        if let Some(t) = self.last_transition {
+            if cycle.saturating_sub(t) < self.cfg.min_dwell {
+                return None;
+            }
+        }
+        if self.target_depth < self.cfg.max_depth
+            && self.conceals_in_window >= self.cfg.deepen_conceals as u64
+        {
+            let to = (self.target_depth + self.cfg.depth_step).min(self.cfg.max_depth);
+            Some(NetDegradeAction::Deepen(to))
+        } else if self.target_depth > self.cfg.min_depth
+            && self.chunk_cycles >= self.cfg.restore_clean
+            && self.chunk_conceals <= self.cfg.restore_tolerance as u64
+        {
+            let to = self
+                .target_depth
+                .saturating_sub(self.cfg.depth_step)
+                .max(self.cfg.min_depth);
+            Some(NetDegradeAction::Shallow(to))
+        } else {
+            None
+        }
+    }
+
+    /// Commit a depth transition at `cycle`: adopt the target, log the
+    /// event, arm the dwell timer, and clear both evidence accumulators.
+    pub fn transition(&mut self, cycle: u64, action: NetDegradeAction) {
+        self.target_depth = action.target();
+        self.last_transition = Some(cycle);
+        self.ring.fill(0);
+        self.head = 0;
+        self.filled = 0;
+        self.conceals_in_window = 0;
+        self.chunk_cycles = 0;
+        self.chunk_conceals = 0;
+        self.events.push(NetDegradeEvent { cycle, action });
+    }
+
+    /// Record + decide + commit in one call.
+    pub fn step(&mut self, cycle: u64, conceals: u32) -> Option<NetDegradeAction> {
+        self.record(conceals);
+        let action = self.pending(cycle)?;
+        self.transition(cycle, action);
+        Some(action)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +633,132 @@ mod tests {
         let ev = drive(&mut p, 10..2_000, |c| c % 3 == 0);
         assert!(ev.is_empty(), "pressure must hold the shed: {ev:?}");
         assert!(p.is_degraded());
+    }
+
+    fn net_cfg() -> NetDegradeConfig {
+        NetDegradeConfig {
+            window: 8,
+            deepen_conceals: 2,
+            restore_clean: 12,
+            restore_tolerance: 0,
+            min_dwell: 10,
+            depth_step: 2,
+            min_depth: 1,
+            max_depth: 9,
+        }
+    }
+
+    #[test]
+    fn clean_reception_never_retunes() {
+        let mut p = NetLatencyPolicy::new(net_cfg(), 1);
+        for c in 0..10_000u64 {
+            assert!(p.step(c, 0).is_none());
+        }
+        assert_eq!(p.target_depth(), 1);
+    }
+
+    #[test]
+    fn dropout_bursts_climb_the_ladder_and_clean_air_descends_it() {
+        let mut p = NetLatencyPolicy::new(net_cfg(), 1);
+        // A dropout storm: one conceal per cycle for 40 cycles.
+        for c in 0..40u64 {
+            p.step(c, 1);
+        }
+        assert_eq!(p.target_depth(), 9, "storm should drive to max depth");
+        let climbs = p.events().len();
+        assert!(climbs >= 3, "ladder climbs in steps: {:?}", p.events());
+        for pair in p.events().windows(2) {
+            assert!(pair[1].cycle - pair[0].cycle >= net_cfg().min_dwell);
+        }
+        // Clean air: chunked restore walks back down one step at a time.
+        for c in 40..2_000u64 {
+            p.step(c, 0);
+        }
+        assert_eq!(p.target_depth(), 1, "clean air must recover the latency");
+        let descents = &p.events()[climbs..];
+        assert!(descents.len() >= 4, "one step per chunk: {descents:?}");
+        for e in descents {
+            assert!(matches!(e.action, NetDegradeAction::Shallow(_)));
+        }
+        for pair in descents.windows(2) {
+            assert!(
+                pair[1].cycle - pair[0].cycle >= net_cfg().restore_clean as u64,
+                "chunked restore: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_dropouts_hold_the_depth() {
+        let mut p = NetLatencyPolicy::new(net_cfg(), 1);
+        for c in 0..100u64 {
+            p.step(c, 1);
+        }
+        assert_eq!(p.target_depth(), 9);
+        let before = p.events().len();
+        // Keep concealing every 8th cycle: every restore chunk is dirty.
+        for c in 100..5_000u64 {
+            p.step(c, u32::from(c % 8 == 0));
+        }
+        assert_eq!(p.target_depth(), 9, "pressure must hold the depth");
+        assert_eq!(p.events().len(), before);
+    }
+
+    #[test]
+    fn net_transitions_respect_dwell_under_adversarial_input() {
+        // Conceal exactly when shallow, play clean when deep — the
+        // fastest oscillation an adversary can force.
+        let mut p = NetLatencyPolicy::new(net_cfg(), 1);
+        for c in 0..50_000u64 {
+            let conceals = u32::from(p.target_depth() <= 3);
+            p.step(c, conceals);
+        }
+        assert!(p.events().len() > 2);
+        for pair in p.events().windows(2) {
+            assert!(
+                pair[1].cycle - pair[0].cycle >= net_cfg().min_dwell,
+                "dwell violated: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_net_actuation_is_retried_without_state_loss() {
+        let mut p = NetLatencyPolicy::new(net_cfg(), 1);
+        p.record(1);
+        p.record(1);
+        let a = p.pending(1).expect("two conceals reach the watermark");
+        assert_eq!(a, NetDegradeAction::Deepen(3));
+        // Not committed (staging failed); the verdict stands next cycle.
+        p.record(0);
+        assert_eq!(p.pending(2), Some(NetDegradeAction::Deepen(3)));
+        p.transition(2, a);
+        assert_eq!(p.target_depth(), 3);
+    }
+
+    #[test]
+    fn net_degenerate_configs_are_clamped_not_fatal() {
+        let p = NetLatencyPolicy::new(
+            NetDegradeConfig {
+                window: 0,
+                deepen_conceals: 0,
+                restore_clean: 0,
+                restore_tolerance: 0,
+                min_dwell: 0,
+                depth_step: 0,
+                min_depth: 0,
+                max_depth: 0,
+            },
+            0,
+        );
+        let c = p.config();
+        assert_eq!(c.window, 1);
+        assert_eq!(c.deepen_conceals, 1);
+        assert_eq!(c.restore_clean, 1);
+        assert_eq!(c.depth_step, 1);
+        assert_eq!(c.min_depth, 1);
+        assert!(c.max_depth >= c.min_depth);
+        assert_eq!(p.target_depth(), 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! nodes: 16 SP + 16 deck bookkeeping + ClockTick = **33**, matching the
 //! paper's measured initial concurrency of 33.
 
+use crate::netnodes::{jitter_config_from_spec, net_plan_from_spec, BroadcastSink, NetDeckSource};
 use crate::nodes::*;
 use djstar_core::graph::{NodeId, Section, TaskGraph, TaskGraphBuilder};
 use djstar_dsp::effects::EffectKind;
@@ -40,27 +41,58 @@ pub struct GraphShape {
     /// FX chain length per deck (`1..=MAX_FX_SLOTS`); ignored for
     /// unloaded decks.
     pub fx_slots: [usize; 4],
+    /// Whether a loaded deck streams over the network: a `NetSrc` receiver
+    /// node feeds its SP filterbank instead of the local audio slot.
+    pub remote_decks: [bool; 4],
+    /// Jitter-buffer playout depth override per remote deck (`0` = use the
+    /// scenario's start depth). The degradation governor's latency axis:
+    /// rebuilding with a larger depth trades latency for fewer dropouts.
+    pub net_depth: [u32; 4],
+    /// Broadcast listeners fed from the master bus (`0` = no sink node).
+    pub listeners: u32,
 }
 
 impl GraphShape {
     /// Upper bound on a deck's FX chain length.
     pub const MAX_FX_SLOTS: usize = 8;
 
-    /// The paper's shape: all four decks loaded, four FX slots each.
+    /// The paper's shape: all four decks loaded, four FX slots each, no
+    /// networking.
     pub fn paper_default() -> Self {
         GraphShape {
             deck_loaded: [true; 4],
             fx_slots: [4; 4],
+            remote_decks: [false; 4],
+            net_depth: [0; 4],
+            listeners: 0,
         }
     }
 
-    /// Node count of the graph this shape builds: 15 master nodes plus
-    /// `4 SP + fx_slots + 1 channel + 4 bookkeeping` per loaded deck.
+    /// The paper shape with the network machinery a [`NetSpec`] asks for.
+    pub fn for_net(net: &djstar_workload::NetSpec) -> Self {
+        let mut net_depth = [0u32; 4];
+        for (d, slot) in net_depth.iter_mut().enumerate() {
+            if net.remote_decks[d] {
+                *slot = net.start_depth;
+            }
+        }
+        GraphShape {
+            remote_decks: net.remote_decks,
+            net_depth,
+            listeners: net.listeners,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Node count of the graph this shape builds: 15 master nodes, plus
+    /// `4 SP + fx_slots + 1 channel + 4 bookkeeping` per loaded deck, one
+    /// `NetSrc` per loaded remote deck, and the broadcast sink.
     pub fn node_count(&self) -> usize {
-        15 + (0..4)
-            .filter(|&d| self.deck_loaded[d])
-            .map(|d| 9 + self.fx_slots[d])
-            .sum::<usize>()
+        15 + usize::from(self.listeners > 0)
+            + (0..4)
+                .filter(|&d| self.deck_loaded[d])
+                .map(|d| 9 + self.fx_slots[d] + usize::from(self.remote_decks[d]))
+                .sum::<usize>()
     }
 
     /// Indices of the loaded decks, in order.
@@ -110,6 +142,10 @@ pub struct NodeMap {
     pub sampler: NodeId,
     /// The stats sink (last node of the queue).
     pub stats: NodeId,
+    /// Per-deck network receiver; `None` when the deck plays locally.
+    pub net_src: [Option<NodeId>; 4],
+    /// The broadcast sink, when the shape has listeners.
+    pub broadcast: Option<NodeId>,
 }
 
 impl NodeMap {
@@ -170,8 +206,10 @@ pub fn build_shaped_graph(scenario: &Scenario, shape: &GraphShape) -> (TaskGraph
         seed
     };
     let deck_letter = |d: usize| ["A", "B", "C", "D"][d];
+    let net_plan = net_plan_from_spec(&scenario.net);
 
     let mut decks: [Option<DeckNodes>; 4] = [None, None, None, None];
+    let mut net_src: [Option<NodeId>; 4] = [None; 4];
 
     #[allow(clippy::needless_range_loop)] // `d` indexes shape, scenario and decks alike
     for d in 0..4 {
@@ -181,7 +219,22 @@ pub fn build_shaped_graph(scenario: &Scenario, shape: &GraphShape) -> (TaskGraph
         let slots = shape.fx_slots[d].clamp(1, GraphShape::MAX_FX_SLOTS);
         let section = Section::deck(d);
         let cfg = &scenario.decks[d];
-        // Sample-preprocess filterbank (sources).
+        // Remote deck: a network receiver feeds the SP filterbank. The
+        // name carries no depth — the generation swap's name-keyed carry
+        // preserves the jitter buffer's state across reshapes, and the
+        // engine retunes the carried buffer's target depth post-commit.
+        if shape.remote_decks[d] {
+            let depth = (shape.net_depth[d] > 0).then_some(shape.net_depth[d]);
+            let jcfg = jitter_config_from_spec(&scenario.net, depth);
+            net_src[d] = Some(b.add(
+                format!("NetSrc{}", deck_letter(d)),
+                section,
+                Box::new(NetDeckSource::new(d, net_plan, jcfg, profile, next_seed())),
+                &[],
+            ));
+        }
+        let sp_preds: Vec<NodeId> = net_src[d].into_iter().collect();
+        // Sample-preprocess filterbank (sources for local decks).
         let mut sp = [NodeId(0); 4];
         #[allow(clippy::needless_range_loop)] // `band` names the SP slot
         for band in 0..4 {
@@ -189,7 +242,7 @@ pub fn build_shaped_graph(scenario: &Scenario, shape: &GraphShape) -> (TaskGraph
                 format!("SP{}{}", deck_letter(d), band + 1),
                 section,
                 Box::new(SpFilterNode::new(d, band, profile, next_seed())),
-                &[],
+                &sp_preds,
             );
         }
         // Effect chain: the first slot sums the four bands, the rest run
@@ -365,6 +418,22 @@ pub fn build_shaped_graph(scenario: &Scenario, shape: &GraphShape) -> (TaskGraph
         Box::new(StatsCollectorNode::new(profile, next_seed())),
         &[audio_out, record, monitor],
     );
+    // Broadcast sink: encodes the master bus for N listeners. The name
+    // carries the listener count, so a changed audience gets a fresh node
+    // (its queues are sized at construction).
+    let broadcast = (shape.listeners > 0).then(|| {
+        b.add(
+            format!("BroadcastSink[n{}]", shape.listeners),
+            Section::Master,
+            Box::new(BroadcastSink::new(
+                shape.listeners,
+                net_plan,
+                profile,
+                next_seed(),
+            )),
+            &[master_buffer],
+        )
+    });
 
     let graph = b.build().expect("the DJ Star graph is a valid DAG");
     (
@@ -380,6 +449,8 @@ pub fn build_shaped_graph(scenario: &Scenario, shape: &GraphShape) -> (TaskGraph
             clock,
             sampler,
             stats,
+            net_src,
+            broadcast,
         },
     )
 }
@@ -478,7 +549,7 @@ mod tests {
     fn shaped_graph_with_no_decks_still_has_a_master_section() {
         let shape = GraphShape {
             deck_loaded: [false; 4],
-            fx_slots: [4; 4],
+            ..GraphShape::paper_default()
         };
         let (g, map) = build_shaped_graph(&Scenario::light_test(), &shape);
         assert_eq!(g.len(), 15);
@@ -531,6 +602,41 @@ mod tests {
         assert_eq!(per_section[&Section::DeckC], 13);
         assert_eq!(per_section[&Section::DeckD], 13);
         assert_eq!(per_section[&Section::Master], 15);
+    }
+
+    #[test]
+    fn networked_shape_adds_receivers_and_broadcast() {
+        let mut scenario = Scenario::light_test();
+        scenario.net = djstar_workload::NetSpec::lossy(5);
+        let shape = GraphShape::for_net(&scenario.net);
+        let (g, map) = build_shaped_graph(&scenario, &shape);
+        // 67 + 2 NetSrc + 1 BroadcastSink.
+        assert_eq!(g.len(), shape.node_count());
+        assert_eq!(g.len(), 70);
+        let t = g.topology();
+        let na = map.net_src[0].expect("deck A is remote");
+        assert_eq!(t.name(na), "NetSrcA");
+        assert!(map.net_src[2].is_none());
+        // The receiver feeds all four SP bands of its deck.
+        for band in 0..4 {
+            assert_eq!(t.preds(map.sp(0, band).unwrap()), &[na.0][..]);
+        }
+        // Local decks keep their SP sources.
+        assert!(t.preds(map.sp(2, 0).unwrap()).is_empty());
+        let bc = map.broadcast.expect("listeners > 0");
+        assert_eq!(t.name(bc), "BroadcastSink[n4]");
+        assert_eq!(t.preds(bc), &[map.master_buffer.0][..]);
+        // The receiver stretches the deck's chain by one level.
+        assert_eq!(t.critical_path_len(), 11);
+        assert!(t.is_valid_execution_order(t.queue()));
+    }
+
+    #[test]
+    fn default_shape_has_no_network_nodes() {
+        let (g, map) = build_djstar_graph(&Scenario::light_test());
+        assert!(map.net_src.iter().all(|n| n.is_none()));
+        assert!(map.broadcast.is_none());
+        assert_eq!(g.len(), GraphShape::paper_default().node_count());
     }
 
     #[test]

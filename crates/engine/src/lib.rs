@@ -21,6 +21,7 @@ pub mod deck;
 pub mod degrade;
 pub mod events;
 pub mod graphbuild;
+pub mod netnodes;
 pub mod nodes;
 pub mod profiling;
 pub mod reconfig;
@@ -28,9 +29,15 @@ pub mod soundcard;
 pub mod sync;
 pub mod timecode;
 
-pub use apc::{fault_plan_from_spec, ApcTiming, AudioEngine, AuxWork, DegradeOutcome};
-pub use degrade::{DegradationPolicy, DegradeAction, DegradeConfig, DegradeEvent};
+pub use apc::{
+    fault_plan_from_spec, ApcTiming, AudioEngine, AuxWork, DegradeOutcome, NetDegradeOutcome,
+};
+pub use degrade::{
+    DegradationPolicy, DegradeAction, DegradeConfig, DegradeEvent, NetDegradeAction,
+    NetDegradeConfig, NetDegradeEvent, NetLatencyPolicy,
+};
 pub use graphbuild::{build_djstar_graph, build_shaped_graph, GraphShape, NodeMap};
+pub use netnodes::{BroadcastSink, BroadcastStats, NetDeckSource};
 pub use reconfig::{
     apply_edit, stage_topology, EditError, GraphEdit, ReconfigError, StagedTopology,
 };

@@ -99,7 +99,7 @@ const UNITY_GAINS: [f32; 16] = [1.0; 16];
 /// Sum all inputs into `out` (cleared first); a no-op clear for sources.
 /// Routed through the fused mixer kernel, which makes a single pass per
 /// channel plane when the layouts line up.
-fn sum_inputs(inputs: &[&AudioBuf], out: &mut AudioBuf) {
+pub(crate) fn sum_inputs(inputs: &[&AudioBuf], out: &mut AudioBuf) {
     if inputs.len() <= UNITY_GAINS.len() {
         mix_into(out, inputs, &UNITY_GAINS[..inputs.len()]);
     } else {
@@ -172,10 +172,16 @@ impl SpFilterNode {
 }
 
 impl Processor for SpFilterNode {
-    fn process(&mut self, _inputs: &[&AudioBuf], output: &mut AudioBuf, ctx: &CycleCtx<'_>) {
-        match ctx.external_audio.get(self.deck) {
-            Some(src) => output.copy_from(src),
-            None => output.clear(),
+    fn process(&mut self, inputs: &[&AudioBuf], output: &mut AudioBuf, ctx: &CycleCtx<'_>) {
+        // A wired predecessor (the deck's network receiver) takes priority
+        // over the local external-audio slot; local decks stay sources.
+        if let Some(src) = inputs.first() {
+            output.copy_from(src);
+        } else {
+            match ctx.external_audio.get(self.deck) {
+                Some(src) => output.copy_from(src),
+                None => output.clear(),
+            }
         }
         // One fused pass over the whole 6–8 section chain (channels ride
         // the SIMD lanes, coefficients stay in registers).
@@ -959,6 +965,7 @@ mod tests {
             epoch: 1,
             external_audio: audio,
             controls: ctrls,
+            counters: None,
         }
     }
 

@@ -44,6 +44,16 @@ pub enum GraphEdit {
     /// Change the executor's worker count. Not a shape edit: this one
     /// rebuilds the executor (documented teardown; see the module docs).
     ResizeThreads(usize),
+    /// Attach deck `d` to its network stream: a `NetSrc` receiver joins
+    /// the graph and feeds the deck's SP filterbank.
+    ConnectRemoteDeck(usize),
+    /// Detach deck `d` from the network (back to local audio).
+    DisconnectRemoteDeck(usize),
+    /// Retarget the jitter-buffer playout depth of remote deck `d` — the
+    /// degradation governor's latency axis. The commit carries the
+    /// receiver's state over by name; the engine then retunes the carried
+    /// buffer, which converges one bounded step per cycle.
+    SetNetDepth(usize, u32),
 }
 
 /// Why an edit cannot be applied to a shape.
@@ -62,6 +72,12 @@ pub enum EditError {
     FxChainAtMinimum(usize),
     /// Worker count outside `1..=64`.
     BadThreadCount(usize),
+    /// Connecting a deck that is already remote.
+    DeckAlreadyRemote(usize),
+    /// A network edit on a deck that is not remote.
+    DeckNotRemote(usize),
+    /// A playout depth of zero (the buffer needs at least one cycle).
+    BadNetDepth(u32),
     /// `ResizeThreads` is valid but is not a shape edit — it needs the
     /// executor-rebuild path (`AudioEngine::reconfigure`).
     ResizeNeedsRebuild(usize),
@@ -82,6 +98,9 @@ impl fmt::Display for EditError {
                 write!(f, "deck {d}'s FX chain is at its 1-slot minimum")
             }
             EditError::BadThreadCount(n) => write!(f, "worker count {n} outside 1..=64"),
+            EditError::DeckAlreadyRemote(d) => write!(f, "deck {d} is already remote"),
+            EditError::DeckNotRemote(d) => write!(f, "deck {d} is not remote"),
+            EditError::BadNetDepth(n) => write!(f, "playout depth {n} must be at least 1"),
             EditError::ResizeNeedsRebuild(n) => {
                 write!(f, "resize to {n} workers requires an executor rebuild")
             }
@@ -175,6 +194,34 @@ pub fn apply_edit(shape: &mut GraphShape, edit: GraphEdit) -> Result<(), EditErr
                 return Err(EditError::BadThreadCount(n));
             }
             return Err(EditError::ResizeNeedsRebuild(n));
+        }
+        GraphEdit::ConnectRemoteDeck(d) => {
+            let d = deck_ok(d)?;
+            if !shape.deck_loaded[d] {
+                return Err(EditError::DeckNotLoaded(d));
+            }
+            if shape.remote_decks[d] {
+                return Err(EditError::DeckAlreadyRemote(d));
+            }
+            shape.remote_decks[d] = true;
+        }
+        GraphEdit::DisconnectRemoteDeck(d) => {
+            let d = deck_ok(d)?;
+            if !shape.remote_decks[d] {
+                return Err(EditError::DeckNotRemote(d));
+            }
+            shape.remote_decks[d] = false;
+            shape.net_depth[d] = 0;
+        }
+        GraphEdit::SetNetDepth(d, depth) => {
+            let d = deck_ok(d)?;
+            if !shape.remote_decks[d] {
+                return Err(EditError::DeckNotRemote(d));
+            }
+            if depth == 0 {
+                return Err(EditError::BadNetDepth(depth));
+            }
+            shape.net_depth[d] = depth;
         }
     }
     Ok(())
@@ -290,6 +337,36 @@ mod tests {
         assert_eq!(
             apply_edit(&mut shape, GraphEdit::ResizeThreads(4)),
             Err(EditError::ResizeNeedsRebuild(4))
+        );
+    }
+
+    #[test]
+    fn net_edits_apply_and_validate() {
+        let mut shape = GraphShape::paper_default();
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::SetNetDepth(0, 4)),
+            Err(EditError::DeckNotRemote(0))
+        );
+        apply_edit(&mut shape, GraphEdit::ConnectRemoteDeck(0)).unwrap();
+        assert!(shape.remote_decks[0]);
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::ConnectRemoteDeck(0)),
+            Err(EditError::DeckAlreadyRemote(0))
+        );
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::SetNetDepth(0, 0)),
+            Err(EditError::BadNetDepth(0))
+        );
+        apply_edit(&mut shape, GraphEdit::SetNetDepth(0, 6)).unwrap();
+        assert_eq!(shape.net_depth[0], 6);
+        apply_edit(&mut shape, GraphEdit::DisconnectRemoteDeck(0)).unwrap();
+        assert!(!shape.remote_decks[0]);
+        assert_eq!(shape.net_depth[0], 0);
+        // An unloaded deck cannot stream.
+        apply_edit(&mut shape, GraphEdit::UnloadDeck(2)).unwrap();
+        assert_eq!(
+            apply_edit(&mut shape, GraphEdit::ConnectRemoteDeck(2)),
+            Err(EditError::DeckNotLoaded(2))
         );
     }
 

@@ -1,0 +1,86 @@
+//! Proof that the networked hot path allocates nothing.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after
+//! warm-up, executor cycles on a networked graph — remote deck sources
+//! draining their jitter buffers plus the broadcast sink fanning out to
+//! listeners — must not allocate: the trace is stateless arithmetic,
+//! the ring slots are preallocated, and concealment writes in place.
+//!
+//! This lives in its own integration test binary because a global
+//! allocator is process-wide and the default harness is multi-threaded;
+//! a sibling test's allocations would pollute the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use djstar_core::exec::Strategy;
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_workload::scenario::Scenario;
+use djstar_workload::NetSpec;
+
+#[test]
+fn networked_cycles_do_not_allocate() {
+    // Two remote decks, listeners on the sink, all fault classes firing:
+    // the worst case the fault plan can throw at the buffers.
+    let mut net = NetSpec::bursty(0xA110C);
+    net.adapt = true; // watermark adaptation shares the hot path
+    let mut scenario = Scenario::light_test();
+    scenario.net = net;
+    for (strategy, threads) in [
+        (Strategy::Sequential, 1usize),
+        (Strategy::Steal, 3),
+        (Strategy::Planned, 3),
+    ] {
+        let mut engine =
+            AudioEngine::with_aux(scenario.clone(), strategy, threads, AuxWork::light());
+        engine.warmup(30);
+        let exec = engine.executor_mut();
+        // Count allocations across a 50-cycle window. A genuine hot-path
+        // allocation repeats every window, so re-measuring once filters
+        // the rare one-shot lazy initialization std performs without
+        // weakening the per-cycle claim.
+        let mut measure = || {
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            for _ in 0..50 {
+                exec.run_cycle(&[], &[]);
+            }
+            ALLOCATIONS.load(Ordering::SeqCst) - before
+        };
+        let mut allocs = measure();
+        if allocs > 0 {
+            allocs = measure();
+        }
+        assert_eq!(
+            allocs, 0,
+            "{strategy:?}/{threads}: networked cycles allocated {allocs} times"
+        );
+        let stats = engine.net_stats();
+        assert!(
+            stats.received > 0,
+            "{strategy:?}: no packets flowed, the claim is vacuous"
+        );
+    }
+}

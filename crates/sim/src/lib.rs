@@ -37,6 +37,7 @@ pub mod gantt;
 pub mod list;
 pub mod metrics;
 pub mod model;
+pub mod netsim;
 pub mod planned;
 pub mod strategy;
 
@@ -45,6 +46,7 @@ pub use faults::{faulted_cycle_bound_ns, faulted_model, unavoidable_misses};
 pub use list::list_schedule;
 pub use metrics::{ScheduleMetrics, WaitBreakdown};
 pub use model::{DurationModel, Schedule, ScheduleEntry, SimGraph};
+pub use netsim::{dropout_by_depth, dropouts_at_depth, lost_packets, min_adequate_depth};
 pub use planned::{compile_blueprint, simulate_plan, simulate_plan_makespans};
 pub use strategy::{
     simulate_hybrid, simulate_strategy, simulate_ws_config, OverheadModel, SimStrategy, WsConfig,

@@ -106,6 +106,10 @@ pub struct BlameBreakdown {
     pub unpark_ns: u64,
     /// Injected fault burn (spikes, stalls, pressure).
     pub fault_ns: u64,
+    /// Remote-deck packet reception (jitter-buffer pushes).
+    pub net_wait_ns: u64,
+    /// Network dropout concealment synthesis.
+    pub conceal_ns: u64,
     /// Driver tail after the last worker span.
     pub driver_ns: u64,
 }
@@ -120,6 +124,8 @@ impl BlameBreakdown {
             + self.steal_ns
             + self.unpark_ns
             + self.fault_ns
+            + self.net_wait_ns
+            + self.conceal_ns
             + self.driver_ns
     }
 
@@ -132,6 +138,8 @@ impl BlameBreakdown {
             SliceKind::Span(SpanKind::Steal) => self.steal_ns += ns,
             SliceKind::Span(SpanKind::Unpark) => self.unpark_ns += ns,
             SliceKind::Span(SpanKind::Fault) => self.fault_ns += ns,
+            SliceKind::Span(SpanKind::NetWait) => self.net_wait_ns += ns,
+            SliceKind::Span(SpanKind::Conceal) => self.conceal_ns += ns,
             SliceKind::Driver => self.driver_ns += ns,
         }
     }
@@ -146,6 +154,8 @@ impl BlameBreakdown {
             ("steal_ns", Json::from(self.steal_ns)),
             ("unpark_ns", Json::from(self.unpark_ns)),
             ("fault_ns", Json::from(self.fault_ns)),
+            ("net_wait_ns", Json::from(self.net_wait_ns)),
+            ("conceal_ns", Json::from(self.conceal_ns)),
             ("driver_ns", Json::from(self.driver_ns)),
         ])
     }
@@ -437,6 +447,28 @@ mod tests {
         assert_eq!(d.blame.total(), 400);
         assert_eq!(d.blame.fault_ns, 200);
         assert_eq!(d.blame.exec_ns, 200);
+    }
+
+    #[test]
+    fn net_spans_carry_their_own_blame() {
+        // A remote-deck node: reception, then concealment, then the rest
+        // of its exec — carved the way the executors tile them.
+        let w = window(
+            vec![
+                span(0, 1, SpanKind::NetWait, 0, 150),
+                span(0, 1, SpanKind::Conceal, 150, 300),
+                span(0, 1, SpanKind::Exec, 300, 500),
+            ],
+            0,
+            500,
+        );
+        let d = analyze_miss(&w, 1, 100, "BUSY", 1, MissContext::default()).unwrap();
+        assert_eq!(d.overrun_ns, 400);
+        assert_eq!(d.blame.total(), 400);
+        assert_eq!(d.blame.net_wait_ns, 50);
+        assert_eq!(d.blame.conceal_ns, 150);
+        assert_eq!(d.blame.exec_ns, 200);
+        assert_tiles(&d, 0, 500);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod flightrec;
 pub mod forensics;
 pub mod histogram;
 pub mod json;
+pub mod net;
 pub mod online;
 pub mod plan;
 pub mod reconfig;
@@ -40,6 +41,7 @@ pub use flightrec::{FlightRecReport, StrategyFlightRec};
 pub use forensics::{analyze_miss, BlameBreakdown, MissContext, MissDossier, PathSlice, SliceKind};
 pub use histogram::{CumulativeView, Histogram};
 pub use json::Json;
+pub use net::{DepthTrade, FixedDepthRun, NetReport, StrategyNet};
 pub use online::OnlineStats;
 pub use plan::{scan_baseline_p50, PlanReport};
 pub use reconfig::{ReconfigReport, StrategyReconfig};

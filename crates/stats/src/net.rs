@@ -1,0 +1,535 @@
+//! Report plumbing for E17 (`fig_net`): networked decks under a
+//! deterministic packet-fault trace, across strategies and jitter-buffer
+//! depth policies.
+//!
+//! The experiment has three legs:
+//!
+//! 1. **Determinism** — every strategy × thread-count run of the same
+//!    lossy trace seed must produce byte-identical audio *and* identical
+//!    packet statistics (the trace is a pure function of
+//!    `(seed, cycle, stream)`, never of scheduling).
+//! 2. **Latency/dropout trade** — a fixed-depth sweep maps the frontier
+//!    (deeper buffer ⇒ more latency, fewer dropouts); the adaptive
+//!    policy must cut dropouts by [`NetReport::cut_factor`] against the
+//!    best fixed depth at no more median latency, with the clairvoyant
+//!    oracle floor ([`djstar_sim::netsim`]) reported alongside.
+//! 3. **Cost of the machinery** — a clean network adds zero deadline
+//!    misses over the no-network baseline, and the reception hot path
+//!    allocates nothing.
+
+use crate::json::Json;
+
+/// One strategy × thread-count run of the lossy trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyNet {
+    /// Strategy label ("SEQ", "BUSY", …).
+    pub strategy: String,
+    /// Worker threads of this run.
+    pub threads: usize,
+    /// Output checksum of the lossy-trace run (gate: all runs agree).
+    pub checksum: u64,
+    /// Packets received across all remote decks.
+    pub received: u64,
+    /// Packets outright lost in the trace.
+    pub lost: u64,
+    /// Packets that arrived too late for their play slot.
+    pub late: u64,
+    /// Play slots concealed (hold-last/fade) — the dropout count.
+    pub concealed: u64,
+    /// Deadline misses with no network in the graph (reference).
+    pub baseline_misses: u64,
+    /// Deadline misses with remote decks on a *clean* network.
+    pub clean_net_misses: u64,
+}
+
+/// One fixed-depth run of the latency/dropout sweep (reference
+/// strategy; audio is strategy-independent by the determinism gate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedDepthRun {
+    /// Jitter-buffer depth in cycles — also the added latency.
+    pub depth: u32,
+    /// Concealed play slots over the measured run.
+    pub dropouts: u64,
+}
+
+/// The fixed-vs-adaptive depth comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthTrade {
+    /// Fixed-depth sweep, shallow to deep.
+    pub fixed: Vec<FixedDepthRun>,
+    /// Dropouts of the adaptive run.
+    pub adaptive_dropouts: u64,
+    /// Median buffer depth (= median latency, cycles) of the adaptive run.
+    pub adaptive_median_depth: f64,
+    /// Depth transitions the governor committed.
+    pub adaptive_transitions: u64,
+    /// Clairvoyant lower bound: dropouts no buffer at any depth avoids
+    /// (outright-lost packets, from the sim oracle).
+    pub unavoidable: u64,
+}
+
+impl DepthTrade {
+    /// The best (fewest-dropout) fixed run whose latency does not exceed
+    /// the adaptive run's median — the fair competitor.
+    pub fn best_fixed_at_equal_latency(&self) -> Option<FixedDepthRun> {
+        self.fixed
+            .iter()
+            .filter(|r| (r.depth as f64) <= self.adaptive_median_depth + 1e-9)
+            .min_by_key(|r| r.dropouts)
+            .copied()
+    }
+}
+
+/// Aggregated E17 results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetReport {
+    /// Measured cycles per run.
+    pub cycles: usize,
+    /// Trace seed (every packet fate is a pure function of it).
+    pub seed: u64,
+    /// Sound-card deadline (ns) for the miss gates.
+    pub deadline_ns: u64,
+    /// Required dropout-division factor for the adaptive gate.
+    pub cut_factor: f64,
+    /// Dropouts the fair fixed competitor must accumulate for the cut
+    /// ratio to be meaningful (calibration check).
+    pub min_fixed_dropouts: u64,
+    /// Extra clean-network misses tolerated per strategy (host noise).
+    pub miss_slack: u64,
+    /// Allocations counted on the reception hot path during the measured
+    /// window (gate: exactly zero).
+    pub hot_path_allocs: u64,
+    /// Per-strategy lossy-trace runs.
+    pub strategies: Vec<StrategyNet>,
+    /// The depth sweep and adaptive comparison.
+    pub trade: DepthTrade,
+}
+
+impl NetReport {
+    /// Acceptance (headline): every strategy × thread-count run of the
+    /// fixed trace seed produced byte-identical audio.
+    pub fn bit_exact_across_runs(&self) -> bool {
+        self.strategies
+            .windows(2)
+            .all(|w| w[0].checksum == w[1].checksum)
+    }
+
+    /// Acceptance: packet statistics are scheduling-independent — every
+    /// run counted the same received/lost/late/concealed totals.
+    pub fn stats_identical_across_runs(&self) -> bool {
+        self.strategies.windows(2).all(|w| {
+            w[0].received == w[1].received
+                && w[0].lost == w[1].lost
+                && w[0].late == w[1].late
+                && w[0].concealed == w[1].concealed
+        }) && self.strategies.iter().all(|s| s.received > 0)
+    }
+
+    /// Acceptance: the trace actually bites — the fair fixed competitor
+    /// drops at least [`min_fixed_dropouts`](Self::min_fixed_dropouts)
+    /// (otherwise the cut ratio would be vacuous).
+    pub fn trace_bites(&self) -> bool {
+        self.trade
+            .best_fixed_at_equal_latency()
+            .is_some_and(|r| r.dropouts >= self.min_fixed_dropouts)
+    }
+
+    /// Acceptance (headline): the adaptive policy divides dropouts by at
+    /// least [`cut_factor`](Self::cut_factor) against the best fixed
+    /// depth at no more median latency.
+    pub fn adaptive_cuts_dropouts(&self) -> bool {
+        self.trade
+            .best_fixed_at_equal_latency()
+            .is_some_and(|best| {
+                self.trade.adaptive_dropouts as f64 * self.cut_factor <= best.dropouts as f64
+            })
+    }
+
+    /// Acceptance: the governor actually navigated the ladder — at least
+    /// one committed depth transition in the adaptive run.
+    pub fn governor_engaged(&self) -> bool {
+        self.trade.adaptive_transitions >= 1
+    }
+
+    /// Acceptance: deeper fixed buffers never drop more — the sweep is
+    /// monotone non-increasing in depth (a jitter-buffer sanity check).
+    pub fn sweep_monotone(&self) -> bool {
+        self.trade.fixed.windows(2).all(|w| {
+            debug_assert!(w[0].depth < w[1].depth, "sweep must be sorted");
+            w[0].dropouts >= w[1].dropouts
+        })
+    }
+
+    /// Acceptance: no run beat the clairvoyant oracle — measured
+    /// dropouts are at least the unavoidable floor (a counting-integrity
+    /// check; beating a lower bound means a counter lies).
+    pub fn oracle_floor_holds(&self) -> bool {
+        self.trade.adaptive_dropouts >= self.trade.unavoidable
+            && self
+                .trade
+                .fixed
+                .iter()
+                .all(|r| r.dropouts >= self.trade.unavoidable)
+    }
+
+    /// Acceptance: remote decks on a clean network add zero deadline
+    /// misses (within [`miss_slack`](Self::miss_slack)) per strategy.
+    pub fn no_added_misses_clean(&self) -> bool {
+        self.strategies
+            .iter()
+            .all(|s| s.clean_net_misses <= s.baseline_misses + self.miss_slack)
+    }
+
+    /// Acceptance: the reception hot path allocated nothing during the
+    /// measured window.
+    pub fn zero_alloc_hot_path(&self) -> bool {
+        self.hot_path_allocs == 0
+    }
+
+    /// Names of the acceptance gates that currently fail — a tripped
+    /// strict run prints exactly which gate died.
+    pub fn failed_gates(&self) -> Vec<&'static str> {
+        let mut failed = Vec::new();
+        if !self.bit_exact_across_runs() {
+            failed.push("bit_exact_across_runs");
+        }
+        if !self.stats_identical_across_runs() {
+            failed.push("stats_identical_across_runs");
+        }
+        if !self.trace_bites() {
+            failed.push("trace_bites");
+        }
+        if !self.adaptive_cuts_dropouts() {
+            failed.push("adaptive_cuts_dropouts");
+        }
+        if !self.governor_engaged() {
+            failed.push("governor_engaged");
+        }
+        if !self.sweep_monotone() {
+            failed.push("sweep_monotone");
+        }
+        if !self.oracle_floor_holds() {
+            failed.push("oracle_floor_holds");
+        }
+        if !self.no_added_misses_clean() {
+            failed.push("no_added_misses_clean");
+        }
+        if !self.zero_alloc_hot_path() {
+            failed.push("zero_alloc_hot_path");
+        }
+        failed
+    }
+
+    /// The `BENCH_net.json` tree.
+    pub fn to_json(&self) -> Json {
+        let strategies = Json::Array(
+            self.strategies
+                .iter()
+                .map(|s| {
+                    Json::object([
+                        ("strategy", Json::from(s.strategy.clone())),
+                        ("threads", Json::from(s.threads)),
+                        ("checksum", Json::from(s.checksum)),
+                        ("received", Json::from(s.received)),
+                        ("lost", Json::from(s.lost)),
+                        ("late", Json::from(s.late)),
+                        ("concealed", Json::from(s.concealed)),
+                        ("baseline_misses", Json::from(s.baseline_misses)),
+                        ("clean_net_misses", Json::from(s.clean_net_misses)),
+                    ])
+                })
+                .collect(),
+        );
+        let fixed = Json::Array(
+            self.trade
+                .fixed
+                .iter()
+                .map(|r| {
+                    Json::object([
+                        ("depth", Json::from(r.depth as u64)),
+                        ("dropouts", Json::from(r.dropouts)),
+                    ])
+                })
+                .collect(),
+        );
+        let best = self.trade.best_fixed_at_equal_latency();
+        Json::object([
+            ("bench", Json::from("net")),
+            ("cycles", Json::from(self.cycles)),
+            ("seed", Json::from(self.seed)),
+            ("deadline_ns", Json::from(self.deadline_ns)),
+            ("cut_factor", Json::from(self.cut_factor)),
+            ("min_fixed_dropouts", Json::from(self.min_fixed_dropouts)),
+            ("miss_slack", Json::from(self.miss_slack)),
+            ("hot_path_allocs", Json::from(self.hot_path_allocs)),
+            ("strategies", strategies),
+            (
+                "trade",
+                Json::object([
+                    ("fixed", fixed),
+                    (
+                        "adaptive_dropouts",
+                        Json::from(self.trade.adaptive_dropouts),
+                    ),
+                    (
+                        "adaptive_median_depth",
+                        Json::from(self.trade.adaptive_median_depth),
+                    ),
+                    (
+                        "adaptive_transitions",
+                        Json::from(self.trade.adaptive_transitions),
+                    ),
+                    ("unavoidable", Json::from(self.trade.unavoidable)),
+                    (
+                        "best_fixed_depth",
+                        Json::from(best.map_or(0u64, |r| r.depth as u64)),
+                    ),
+                    (
+                        "best_fixed_dropouts",
+                        Json::from(best.map_or(0u64, |r| r.dropouts)),
+                    ),
+                ]),
+            ),
+            (
+                "checks",
+                Json::object([
+                    (
+                        "bit_exact_across_runs",
+                        Json::from(self.bit_exact_across_runs()),
+                    ),
+                    (
+                        "stats_identical_across_runs",
+                        Json::from(self.stats_identical_across_runs()),
+                    ),
+                    ("trace_bites", Json::from(self.trace_bites())),
+                    (
+                        "adaptive_cuts_dropouts",
+                        Json::from(self.adaptive_cuts_dropouts()),
+                    ),
+                    ("governor_engaged", Json::from(self.governor_engaged())),
+                    ("sweep_monotone", Json::from(self.sweep_monotone())),
+                    ("oracle_floor_holds", Json::from(self.oracle_floor_holds())),
+                    (
+                        "no_added_misses_clean",
+                        Json::from(self.no_added_misses_clean()),
+                    ),
+                    (
+                        "zero_alloc_hot_path",
+                        Json::from(self.zero_alloc_hot_path()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Human-readable summary table for the binary's stdout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "net trace seed {:#x} over {} cycles, deadline {:.1} ms\n",
+            self.seed,
+            self.cycles,
+            self.deadline_ns as f64 / 1e6
+        ));
+        out.push_str("strategy   thr  recv    lost  late  conceal  base-miss  clean-miss\n");
+        for s in &self.strategies {
+            out.push_str(&format!(
+                "{:<9} {:>4} {:>6} {:>6} {:>5} {:>8} {:>10} {:>11}\n",
+                s.strategy,
+                s.threads,
+                s.received,
+                s.lost,
+                s.late,
+                s.concealed,
+                s.baseline_misses,
+                s.clean_net_misses,
+            ));
+        }
+        out.push_str("depth sweep (fixed):");
+        for r in &self.trade.fixed {
+            out.push_str(&format!(" d{}={}", r.depth, r.dropouts));
+        }
+        let best = self.trade.best_fixed_at_equal_latency();
+        out.push_str(&format!(
+            "\nadaptive: dropouts={} median-depth={:.1} transitions={} | best-fixed@<=latency: d{}={} | oracle floor={}\n",
+            self.trade.adaptive_dropouts,
+            self.trade.adaptive_median_depth,
+            self.trade.adaptive_transitions,
+            best.map_or(0, |r| r.depth),
+            best.map_or(0, |r| r.dropouts),
+            self.trade.unavoidable,
+        ));
+        out.push_str(&format!(
+            "checks: bit-exact={} stats-identical={} trace-bites={} adaptive-cuts={} governor-engaged={} sweep-monotone={} oracle-floor={} no-added-misses={} zero-alloc={}\n",
+            self.bit_exact_across_runs(),
+            self.stats_identical_across_runs(),
+            self.trace_bites(),
+            self.adaptive_cuts_dropouts(),
+            self.governor_engaged(),
+            self.sweep_monotone(),
+            self.oracle_floor_holds(),
+            self.no_added_misses_clean(),
+            self.zero_alloc_hot_path(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strat(label: &str, threads: usize) -> StrategyNet {
+        StrategyNet {
+            strategy: label.to_string(),
+            threads,
+            checksum: 0xFEED,
+            received: 5_800,
+            lost: 120,
+            late: 300,
+            concealed: 150,
+            baseline_misses: 2,
+            clean_net_misses: 2,
+        }
+    }
+
+    fn report() -> NetReport {
+        NetReport {
+            cycles: 3_000,
+            seed: 0xE17,
+            deadline_ns: 2_900_000,
+            cut_factor: 5.0,
+            min_fixed_dropouts: 50,
+            miss_slack: 0,
+            hot_path_allocs: 0,
+            strategies: vec![strat("SEQ", 1), strat("WS", 4)],
+            trade: DepthTrade {
+                fixed: vec![
+                    FixedDepthRun {
+                        depth: 1,
+                        dropouts: 900,
+                    },
+                    FixedDepthRun {
+                        depth: 3,
+                        dropouts: 400,
+                    },
+                    FixedDepthRun {
+                        depth: 6,
+                        dropouts: 140,
+                    },
+                    FixedDepthRun {
+                        depth: 9,
+                        dropouts: 120,
+                    },
+                ],
+                adaptive_dropouts: 60,
+                adaptive_median_depth: 4.0,
+                adaptive_transitions: 7,
+                unavoidable: 55,
+            },
+        }
+    }
+
+    #[test]
+    fn fair_competitor_respects_the_latency_budget() {
+        let r = report();
+        // Median depth 4.0: depths 1 and 3 qualify, 6 and 9 do not.
+        let best = r.trade.best_fixed_at_equal_latency().unwrap();
+        assert_eq!(best.depth, 3);
+        assert_eq!(best.dropouts, 400);
+        // 60 * 5 = 300 <= 400: the adaptive gate passes.
+        assert!(r.adaptive_cuts_dropouts());
+        // A deeper median unlocks the deeper (better) fixed runs and the
+        // gate tightens.
+        let mut deep = report();
+        deep.trade.adaptive_median_depth = 6.0;
+        assert_eq!(deep.trade.best_fixed_at_equal_latency().unwrap().depth, 6);
+        assert!(!deep.adaptive_cuts_dropouts()); // 300 > 140
+    }
+
+    #[test]
+    fn bit_exactness_and_stats_cover_all_runs() {
+        let good = report();
+        assert!(good.bit_exact_across_runs());
+        assert!(good.stats_identical_across_runs());
+        let mut diverged = report();
+        diverged.strategies[1].checksum = 1;
+        assert!(!diverged.bit_exact_across_runs());
+        let mut skewed = report();
+        skewed.strategies[1].concealed = 151;
+        assert!(!skewed.stats_identical_across_runs());
+        let mut silent = report();
+        for s in &mut silent.strategies {
+            s.received = 0;
+        }
+        assert!(!silent.stats_identical_across_runs());
+    }
+
+    #[test]
+    fn calibration_and_governor_gates() {
+        let good = report();
+        assert!(good.trace_bites());
+        assert!(good.governor_engaged());
+        let mut gentle = report();
+        gentle.min_fixed_dropouts = 500; // fair competitor only drops 400
+        assert!(!gentle.trace_bites());
+        let mut frozen = report();
+        frozen.trade.adaptive_transitions = 0;
+        assert!(!frozen.governor_engaged());
+    }
+
+    #[test]
+    fn sweep_and_oracle_sanity_gates() {
+        let good = report();
+        assert!(good.sweep_monotone());
+        assert!(good.oracle_floor_holds());
+        let mut bumpy = report();
+        bumpy.trade.fixed[2].dropouts = 500; // deeper than d3 yet worse
+        assert!(!bumpy.sweep_monotone());
+        let mut impossible = report();
+        impossible.trade.adaptive_dropouts = 54; // beats the lower bound
+        assert!(!impossible.oracle_floor_holds());
+    }
+
+    #[test]
+    fn clean_misses_and_alloc_gates() {
+        let good = report();
+        assert!(good.no_added_misses_clean());
+        assert!(good.zero_alloc_hot_path());
+        let mut pricey = report();
+        pricey.strategies[1].clean_net_misses = 3;
+        assert!(!pricey.no_added_misses_clean());
+        pricey.miss_slack = 1;
+        assert!(pricey.no_added_misses_clean());
+        let mut leaky = report();
+        leaky.hot_path_allocs = 64;
+        assert!(!leaky.zero_alloc_hot_path());
+    }
+
+    #[test]
+    fn failed_gates_name_the_culprits() {
+        assert!(report().failed_gates().is_empty());
+        let mut bad = report();
+        bad.trade.adaptive_dropouts = 90; // 450 > 400
+        bad.hot_path_allocs = 8;
+        assert_eq!(
+            bad.failed_gates(),
+            vec!["adaptive_cuts_dropouts", "zero_alloc_hot_path"]
+        );
+    }
+
+    #[test]
+    fn json_and_render_have_all_sections() {
+        let j = report().to_json().render();
+        assert!(j.starts_with("{\"bench\":\"net\""));
+        assert!(j.contains("\"strategies\":["));
+        assert!(j.contains("\"trade\":{"));
+        assert!(j.contains("\"adaptive_cuts_dropouts\":true"));
+        assert!(j.contains("\"zero_alloc_hot_path\":true"));
+        assert!(j.contains("\"best_fixed_depth\":3"));
+        let text = report().render();
+        assert!(text.contains("WS"));
+        assert!(text.contains("depth sweep"));
+        assert!(text.contains("adaptive-cuts=true"));
+    }
+}

@@ -219,6 +219,18 @@ impl TelemetryReport {
             t.unpark_count,
             t.park_wait_ns as f64 * ms,
         ));
+        if t.net_packet_events() > 0 || t.net_frames_concealed > 0 {
+            out.push_str(&format!(
+                "  network     {} lost, {} late, {} dup | {} concealed, {} depth changes | wait {:.2} ms, conceal {:.2} ms\n",
+                t.net_packets_lost,
+                t.net_packets_late,
+                t.net_packets_dup,
+                t.net_frames_concealed,
+                t.net_depth_changes,
+                t.net_wait_ns as f64 * ms,
+                t.net_conceal_ns as f64 * ms,
+            ));
+        }
         if t.steal_attempts > 0 {
             out.push_str(&format!(
                 "  stealing    {} sweeps: {} hits, {} misses ({:.1}% hit rate), deque high water {}\n",
@@ -296,6 +308,14 @@ pub fn counters_json(c: &CounterSnapshot) -> Json {
         ("fault_stalls", Json::from(c.fault_stalls)),
         ("fault_stall_iters", Json::from(c.fault_stall_iters)),
         ("fault_pressure_iters", Json::from(c.fault_pressure_iters)),
+        ("net_packets_lost", Json::from(c.net_packets_lost)),
+        ("net_packets_late", Json::from(c.net_packets_late)),
+        ("net_packets_dup", Json::from(c.net_packets_dup)),
+        ("net_frames_concealed", Json::from(c.net_frames_concealed)),
+        ("net_depth_changes", Json::from(c.net_depth_changes)),
+        ("net_wait_ns", Json::from(c.net_wait_ns)),
+        ("net_conceal_ns", Json::from(c.net_conceal_ns)),
+        ("broadcast_drops", Json::from(c.broadcast_drops)),
     ])
 }
 
@@ -387,6 +407,14 @@ mod tests {
             fault_stalls: 14,
             fault_stall_iters: 15,
             fault_pressure_iters: 16,
+            net_packets_lost: 17,
+            net_packets_late: 18,
+            net_packets_dup: 19,
+            net_frames_concealed: 20,
+            net_depth_changes: 21,
+            net_wait_ns: 22,
+            net_conceal_ns: 23,
+            broadcast_drops: 24,
         };
         let j = counters_json(&c).render();
         for (i, field) in [
@@ -406,6 +434,14 @@ mod tests {
             "fault_stalls",
             "fault_stall_iters",
             "fault_pressure_iters",
+            "net_packets_lost",
+            "net_packets_late",
+            "net_packets_dup",
+            "net_frames_concealed",
+            "net_depth_changes",
+            "net_wait_ns",
+            "net_conceal_ns",
+            "broadcast_drops",
         ]
         .iter()
         .enumerate()

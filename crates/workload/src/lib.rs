@@ -12,12 +12,14 @@
 //! graph's run-time distribution to the paper's.
 
 pub mod faults;
+pub mod netspec;
 pub mod profile;
 pub mod scenario;
 pub mod switches;
 pub mod track;
 
 pub use faults::FaultSpec;
+pub use netspec::NetSpec;
 pub use profile::WorkProfile;
 pub use scenario::{DeckConfig, Scenario};
 pub use switches::{toggle_storm, SwitchAction, SwitchEvent, SwitchScript};

@@ -1,5 +1,6 @@
 //! DJ performance scenarios: deck, mixer and effect configurations.
 
+use crate::netspec::NetSpec;
 use crate::profile::WorkProfile;
 use crate::track::TrackStyle;
 
@@ -79,6 +80,8 @@ pub struct Scenario {
     pub work: WorkProfile,
     /// Length of the synthesized tracks in seconds.
     pub track_secs: f32,
+    /// Network scenario (remote decks + broadcast); disabled by default.
+    pub net: NetSpec,
 }
 
 impl Scenario {
@@ -114,6 +117,7 @@ impl Scenario {
             master_gain: 0.9,
             work: WorkProfile::paper_scale(),
             track_secs: 30.0,
+            net: NetSpec::default(),
         }
     }
 

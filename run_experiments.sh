@@ -5,11 +5,12 @@
 # aggregated BENCH_telemetry.json baseline at the repo root,
 # fig4_plan_executor writes the BENCH_plan.json comparison,
 # fig_reconfig writes BENCH_reconfig.json (E13), fig_faults writes
-# BENCH_faults.json (E14), and fig_dsp_simd writes BENCH_dsp.json (E16).
+# BENCH_faults.json (E14), fig_dsp_simd writes BENCH_dsp.json (E16),
+# and fig_net writes BENCH_net.json (E17).
 # Takes a few minutes at full scale; override DJSTAR_CYCLES /
 # DJSTAR_MEASURE_CYCLES / DJSTAR_TELEMETRY_CYCLES /
-# DJSTAR_RECONFIG_CYCLES / DJSTAR_FAULT_CYCLES / DJSTAR_DSP_CYCLES to
-# trade fidelity for time.
+# DJSTAR_RECONFIG_CYCLES / DJSTAR_FAULT_CYCLES / DJSTAR_DSP_CYCLES /
+# DJSTAR_NET_CYCLES to trade fidelity for time.
 #
 # Usage: ./run_experiments.sh [--check]
 #   --check   run the lint/test gate (scripts/check.sh) first
@@ -22,7 +23,8 @@ mkdir -p results
 for bin in hotspot_analysis fig4_optimal_schedule fig4_plan_executor \
            table1_response_times fig9_histograms fig11_schedules \
            fig12_busy_sim deadline_misses thread_scaling ablations \
-           telemetry_report fig_reconfig fig_faults fig_dsp_simd; do
+           telemetry_report fig_reconfig fig_faults fig_dsp_simd \
+           fig_net; do
   if [ ! -x "./target/release/$bin" ]; then
     echo "error: bench binary '$bin' not found or not executable at" \
          "./target/release/$bin — did the release build fail?" >&2

@@ -49,6 +49,18 @@ def metrics(name, doc):
             ns = k.get("simd_ns")
             if ns is not None:
                 yield f"kernel_simd_ns[{label}]", float(ns)
+    elif name == "BENCH_net.json":
+        # Dropout counts, not timings: deterministic for a fixed trace
+        # seed and cycle count, so any delta is a real behavior change.
+        trade = doc.get("trade", {})
+        adaptive = trade.get("adaptive_dropouts")
+        if adaptive is not None:
+            yield "trade.adaptive_dropouts", float(adaptive)
+        for run in trade.get("fixed", []):
+            depth = run.get("depth", "?")
+            drops = run.get("dropouts")
+            if drops is not None:
+                yield f"fixed_dropouts[d{depth}]", float(drops)
 
 
 def main():
