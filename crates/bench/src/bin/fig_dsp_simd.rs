@@ -25,6 +25,7 @@
 //! Everything lands in `BENCH_dsp.json`. `DJSTAR_STRICT=1` turns the
 //! acceptance checks into the exit code, naming each failed gate.
 
+use djstar_bench::{env_f64, env_usize, fold_checksum, host_threads, strategy_threads};
 use djstar_core::exec::Strategy;
 use djstar_dsp::biquad::{process_chain, Biquad, FilterKind};
 use djstar_dsp::buffer::AudioBuf;
@@ -41,29 +42,6 @@ use djstar_stats::{DspReport, KernelSpeedup, StrategyDsp, Summary};
 use djstar_workload::profile::WorkProfile;
 use djstar_workload::scenario::Scenario;
 use std::time::{Duration, Instant};
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Order-sensitive fold of the output buffer into a u64 (FNV-1a over the
-/// raw f32 bits): bit-exact audio in, bit-exact checksum out.
-fn fold_checksum(mut acc: u64, buf: &AudioBuf) -> u64 {
-    for &s in buf.samples() {
-        acc = (acc ^ s.to_bits() as u64).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    acc
-}
 
 /// Paired scalar/SIMD best ns/iter: calibrate a batch size once, then
 /// *alternate* scalar and SIMD batches (12 rounds each) and keep each
@@ -434,10 +412,7 @@ fn strategy_ab(
 fn main() {
     let cycles = env_usize("DJSTAR_DSP_CYCLES", 2_000);
     let min_speedup = env_f64("DJSTAR_DSP_MIN_SPEEDUP", 2.0);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4);
+    let threads = host_threads(4);
     let deadline_ns = SoundCardSim::paper_default().deadline_ns();
 
     eprintln!(
@@ -453,11 +428,7 @@ fn main() {
     scenario.work = WorkProfile::light();
     let mut strategies = Vec::new();
     for strategy in Strategy::ALL {
-        let t = if strategy == Strategy::Sequential {
-            1
-        } else {
-            threads
-        };
+        let t = strategy_threads(strategy, threads);
         eprintln!(
             "[dsp] {} paired whole-graph A/B ({cycles} cycles per leg) ...",
             strategy.label()

@@ -27,6 +27,7 @@
 //! Everything lands in `BENCH_faults.json`. `DJSTAR_STRICT=1` turns the
 //! acceptance checks into the exit code, naming each failed gate.
 
+use djstar_bench::{env_f64, env_usize, fold_checksum, host_threads, strategy_threads};
 use djstar_core::exec::Strategy;
 use djstar_engine::apc::{fault_plan_from_spec, AudioEngine, AuxWork};
 use djstar_engine::degrade::{DegradeAction, DegradeConfig};
@@ -36,29 +37,6 @@ use djstar_stats::{FaultReport, StrategyFaults, Summary};
 use djstar_workload::faults::FaultSpec;
 use djstar_workload::scenario::Scenario;
 use std::time::Duration;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Order-sensitive fold of the output buffer into a u64 (FNV-1a over the
-/// raw f32 bits): bit-exact audio in, bit-exact checksum out.
-fn fold_checksum(mut acc: u64, buf: &djstar_dsp::buffer::AudioBuf) -> u64 {
-    for &s in buf.samples() {
-        acc = (acc ^ s.to_bits() as u64).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    acc
-}
 
 /// The governor tuned to the storm's pressure wave: shed fast (a few
 /// misses inside a 16-cycle window), restore only after a clean stretch
@@ -282,10 +260,7 @@ fn main() {
     let cut_factor = env_f64("DJSTAR_FAULT_CUT", 5.0);
     let overhead_pct = env_f64("DJSTAR_FAULT_OVERHEAD_PCT", 3.0);
     let overshoot = env_f64("DJSTAR_FAULT_OVERSHOOT", 1.3);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4);
+    let threads = host_threads(4);
     let deadline_ns = SoundCardSim::paper_default().deadline_ns();
 
     eprintln!("[faults] calibrating scenario ...");
@@ -300,11 +275,7 @@ fn main() {
     let mut strategies = Vec::new();
     let mut aux_p50_ns = 0u64;
     for strategy in Strategy::ALL {
-        let t = if strategy == Strategy::Sequential {
-            1
-        } else {
-            threads
-        };
+        let t = strategy_threads(strategy, threads);
         let label = strategy.label();
         let run_pair = |spec: Option<&FaultSpec>, tag: &str| {
             eprintln!("[faults] {label} {tag} run ({cycles} cycles) ...");

@@ -29,6 +29,7 @@
 //! Everything lands in `BENCH_flightrec.json`; `DJSTAR_STRICT=1` turns
 //! the gates into the exit code, naming each failure.
 
+use djstar_bench::{env_f64, env_usize, host_threads, strategy_threads};
 use djstar_core::exec::Strategy;
 use djstar_core::flight::{FlightConfig, FlightWindow};
 use djstar_engine::apc::{AudioEngine, AuxWork};
@@ -40,20 +41,6 @@ use djstar_stats::{
 use djstar_workload::faults::FaultSpec;
 use djstar_workload::scenario::Scenario;
 use std::time::Duration;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn p50(samples: &[u64]) -> f64 {
     let v: Vec<f64> = samples.iter().map(|&n| n as f64).collect();
@@ -127,6 +114,7 @@ fn storm_run(
     engine.set_flight_recorder(Some(FlightConfig {
         spans_per_worker: 8192,
         cycles: 256,
+        session: 0,
     }));
 
     let mut out = StormOutcome {
@@ -230,10 +218,7 @@ fn main() {
     let budget_factor = env_f64("DJSTAR_FLIGHTREC_BUDGET", 1.25);
     let overhead_pct = env_f64("DJSTAR_FLIGHTREC_OVERHEAD_PCT", 3.0);
     let blame_tol_pct = env_f64("DJSTAR_FLIGHTREC_TOL_PCT", 1.0);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4);
+    let threads = host_threads(4);
 
     let scenario = if std::env::var("DJSTAR_CALIBRATE").is_ok_and(|v| v == "0") {
         Scenario::paper_default()
@@ -248,11 +233,7 @@ fn main() {
 
     let mut strategies = Vec::new();
     for strategy in Strategy::ALL {
-        let t = if strategy == Strategy::Sequential {
-            1
-        } else {
-            threads
-        };
+        let t = strategy_threads(strategy, threads);
         let label = strategy.label();
 
         eprintln!("[flightrec] {label}: measuring fault-free baseline ...");

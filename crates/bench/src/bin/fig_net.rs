@@ -47,6 +47,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+use djstar_bench::{env_f64, env_usize, fold_checksum, host_threads, strategy_threads};
 use djstar_core::exec::Strategy;
 use djstar_engine::apc::{AudioEngine, AuxWork};
 use djstar_engine::degrade::NetDegradeConfig;
@@ -55,29 +56,6 @@ use djstar_engine::soundcard::SoundCardSim;
 use djstar_stats::{DepthTrade, FixedDepthRun, NetReport, StrategyNet};
 use djstar_workload::scenario::Scenario;
 use djstar_workload::NetSpec;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Order-sensitive fold of the output buffer into a u64 (FNV-1a over the
-/// raw f32 bits): bit-exact audio in, bit-exact checksum out.
-fn fold_checksum(mut acc: u64, buf: &djstar_dsp::buffer::AudioBuf) -> u64 {
-    for &s in buf.samples() {
-        acc = (acc ^ s.to_bits() as u64).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    acc
-}
 
 /// The determinism trace: both real-world fault classes active (loss,
 /// duplication, reordering, jitter bursts) at a fixed buffer depth so
@@ -304,10 +282,7 @@ fn main() {
     let seed = env_usize("DJSTAR_NET_SEED", 0xE17) as u64;
     let cut_factor = env_f64("DJSTAR_NET_CUT", 5.0);
     let warmup = 50usize;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4);
+    let threads = host_threads(4);
     let deadline_ns = SoundCardSim::paper_default().deadline_ns();
 
     // Leg 1: determinism across strategies and thread counts.
@@ -366,11 +341,7 @@ fn main() {
     let mut clean_paper = paper.clone();
     clean_paper.net = NetSpec::clean(seed);
     for strategy in Strategy::ALL {
-        let t = if strategy == Strategy::Sequential {
-            1
-        } else {
-            threads
-        };
+        let t = strategy_threads(strategy, threads);
         eprintln!(
             "[net] {} paired local/clean-network miss runs ({miss_cycles} cycles each) ...",
             strategy.label()

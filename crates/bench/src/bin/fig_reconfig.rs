@@ -22,6 +22,7 @@
 //! Everything lands in `BENCH_reconfig.json`. `DJSTAR_STRICT=1` turns the
 //! acceptance checks into the exit code.
 
+use djstar_bench::{env_usize, host_threads, strategy_threads};
 use djstar_core::exec::Strategy;
 use djstar_engine::apc::{AudioEngine, AuxWork};
 use djstar_engine::reconfig::GraphEdit;
@@ -30,13 +31,6 @@ use djstar_stats::{ReconfigReport, StrategyReconfig};
 use djstar_workload::scenario::Scenario;
 use djstar_workload::switches::{toggle_storm, SwitchAction, SwitchScript};
 use std::time::{Duration, Instant};
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn to_edit(action: SwitchAction) -> GraphEdit {
     match action {
@@ -127,10 +121,7 @@ fn run(
 fn main() {
     let cycles = env_usize("DJSTAR_RECONFIG_CYCLES", 3_000);
     let switches = env_usize("DJSTAR_RECONFIG_SWITCHES", 100);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4);
+    let threads = host_threads(4);
     // Spread the storm over the measured window, leaving a settling tail.
     let period = (cycles / (switches + 1)).max(1);
     let script = toggle_storm(switches, period, 0xE13);
@@ -148,11 +139,7 @@ fn main() {
 
     let mut strategies = Vec::new();
     for strategy in Strategy::ALL {
-        let t = if strategy == Strategy::Sequential {
-            1
-        } else {
-            threads
-        };
+        let t = strategy_threads(strategy, threads);
         let run_pair = || {
             eprintln!(
                 "[reconfig] {} static run ({cycles} cycles) ...",

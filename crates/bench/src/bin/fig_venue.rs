@@ -1,0 +1,316 @@
+//! E18 — venue server: many engines on one shared worker pool, with
+//! per-session deadlines and admission control. Three evidence legs land
+//! in `BENCH_venue.json`:
+//!
+//! 1. **Solo-vs-venue parity.** Every strategy runs the same calibrated
+//!    workload twice: solo (its own `run_apc` loop) and as the only
+//!    session of a venue, in alternating 25-cycle blocks so host noise
+//!    lands on both sides of the differential. Hosting must add zero
+//!    deadline misses — up to a small noise allowance
+//!    (`DJSTAR_VENUE_MISS_SLACK`: both runs sit far under the deadline
+//!    at p50, so residual misses are preemption spikes) — and the audio
+//!    must stay bit-exact. The batch protocol may cost overhead, never
+//!    correctness.
+//! 2. **Scaling to the admission bound.** One venue per session count
+//!    (1..=bound, identical sessions), measured in interleaved blocks
+//!    so host-load drift cannot masquerade as super-linear growth; the
+//!    batch cycle p50 must grow at most linearly in the session count
+//!    (the shared pool multiplexes at least as well as running the
+//!    sessions back-to-back). The full venue's per-session ledger
+//!    (cycles, misses, degradation state, bounds) is exported.
+//! 3. **Admission sweep.** Candidates are offered two past the bound;
+//!    every rejection must be confirmed unschedulable by the same
+//!    oracle the venue consulted ([`djstar_sim::admissible`]), and no
+//!    candidate the oracle admits may be rejected.
+//!
+//! The sweep deadline is *derived* (three probed bounds plus margin) so
+//! the admit/reject boundary lands at exactly three sessions on any
+//! host; the parity leg uses the real 2.9 ms sound-card deadline.
+//!
+//! Knobs: `DJSTAR_VENUE_CYCLES` (parity cycles, default 1000),
+//! `DJSTAR_VENUE_SCALE_CYCLES` (cycles per scaling point, default 300),
+//! `DJSTAR_VENUE_SLACK` (scaling slack fraction, default 0.25),
+//! `DJSTAR_VENUE_MISS_SLACK` (tolerated noise misses, default 2 % of
+//! cycles, min 5), `DJSTAR_THREADS`, `DJSTAR_CALIBRATE=0`,
+//! `DJSTAR_STRICT=1`.
+
+use djstar_bench::telemetry::{strategy_label, DEADLINE_NS};
+use djstar_bench::{
+    env_f64, env_usize, fold_checksum, host_threads, strategy_threads, CHECKSUM_SEED,
+    PAPER_SEQUENTIAL_MS,
+};
+use djstar_core::exec::Strategy;
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_engine::venue::{SessionSpec, VenueServer};
+use djstar_stats::{AdmissionTrial, ScalingPoint, SessionLedgerEntry, StrategyVenue, VenueReport};
+use djstar_workload::scenario::Scenario;
+use std::time::Duration;
+
+fn p50(mut samples: Vec<u64>) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}
+
+fn spec(scenario: &Scenario, strategy: Strategy, threads: usize) -> SessionSpec {
+    SessionSpec {
+        scenario: scenario.clone(),
+        strategy,
+        threads,
+        aux: AuxWork::light(),
+    }
+}
+
+/// How many cycles each side of the paired parity run executes before
+/// handing the host back to the other side.
+const PARITY_BLOCK: usize = 25;
+
+/// Paired parity run: the solo engine and a one-session venue of the
+/// same workload alternate [`PARITY_BLOCK`]-cycle blocks, so a noisy
+/// neighbor stalling the host lands on both sides of the differential
+/// instead of inflating whichever run it happened to overlap (the same
+/// pairing discipline as the telemetry overhead guard). Both engines
+/// are deterministic per own-cycle, so interleaving cannot perturb the
+/// checksums. Returns `(misses, p50_ns, checksum)` for solo then venue.
+#[allow(clippy::type_complexity)]
+fn parity_run(
+    scenario: &Scenario,
+    strategy: Strategy,
+    threads: usize,
+    cycles: usize,
+    bound_ns: u64,
+) -> ((u64, f64, u64), (u64, f64, u64)) {
+    let mut solo = AudioEngine::with_aux(scenario.clone(), strategy, threads, AuxWork::light());
+    solo.warmup(50);
+    let mut venue = VenueServer::new(threads, Duration::from_nanos(DEADLINE_NS), 0.1);
+    let id = venue
+        .admit_bounded(spec(scenario, strategy, threads), bound_ns)
+        .expect("single calibrated session fits the sound-card budget");
+    venue.run_cycles(50);
+
+    let mut solo_misses = 0u64;
+    let venue_miss_base = venue.misses(id).unwrap();
+    let mut solo_totals = Vec::with_capacity(cycles);
+    let mut venue_totals = Vec::with_capacity(cycles);
+    let mut solo_checksum = CHECKSUM_SEED;
+    let mut venue_checksum = CHECKSUM_SEED;
+    let mut done = 0;
+    while done < cycles {
+        let block = PARITY_BLOCK.min(cycles - done);
+        for _ in 0..block {
+            let t = solo.run_apc();
+            let ns = t.total().as_nanos() as u64;
+            solo_totals.push(ns);
+            if ns > DEADLINE_NS {
+                solo_misses += 1;
+            }
+            solo_checksum = fold_checksum(solo_checksum, &solo.output());
+        }
+        for _ in 0..block {
+            venue.run_cycle();
+            venue_totals.push(venue.last_timing(id).unwrap().total().as_nanos() as u64);
+            venue_checksum = fold_checksum(venue_checksum, &venue.engine_mut(id).unwrap().output());
+        }
+        done += block;
+    }
+    let venue_misses = venue.misses(id).unwrap() - venue_miss_base;
+    (
+        (solo_misses, p50(solo_totals), solo_checksum),
+        (venue_misses, p50(venue_totals), venue_checksum),
+    )
+}
+
+fn main() {
+    let cycles = env_usize("DJSTAR_VENUE_CYCLES", 1_000);
+    let scale_cycles = env_usize("DJSTAR_VENUE_SCALE_CYCLES", 300);
+    let scaling_slack = env_f64("DJSTAR_VENUE_SLACK", 0.25);
+    let miss_slack = env_usize("DJSTAR_VENUE_MISS_SLACK", (cycles / 50).max(5)) as u64;
+    let threads = host_threads(4);
+    let margin = 0.1;
+
+    let scenario = if std::env::var("DJSTAR_CALIBRATE").is_ok_and(|v| v == "0") {
+        Scenario::paper_default()
+    } else {
+        eprintln!("[venue] calibrating work profile toward {PAPER_SEQUENTIAL_MS} ms ...");
+        AudioEngine::calibrate(
+            Scenario::paper_default(),
+            Duration::from_nanos((PAPER_SEQUENTIAL_MS * 1e6) as u64),
+            100,
+        )
+    };
+
+    // Leg 1: solo-vs-venue parity, every strategy. The venue's only
+    // overhead over solo is the batch stage/dispatch/collect protocol —
+    // it must not cost misses and cannot touch the audio.
+    let mut strategies = Vec::new();
+    for strategy in Strategy::ALL {
+        let t = strategy_threads(strategy, threads);
+        let label = strategy_label(strategy);
+        eprintln!("[venue] {label}: probing admission bound ...");
+        let bound = VenueServer::probe_session_bound(&spec(&scenario, strategy, t));
+        eprintln!("[venue] {label}: paired solo/venue run ({cycles} cycles each) ...");
+        let (
+            (solo_misses, solo_p50_ns, solo_checksum),
+            (venue_misses, venue_p50_ns, venue_checksum),
+        ) = parity_run(&scenario, strategy, t, cycles, bound);
+        strategies.push(StrategyVenue {
+            strategy: label.to_string(),
+            threads: t,
+            solo_misses,
+            venue_misses,
+            solo_p50_ns,
+            venue_p50_ns,
+            solo_checksum,
+            venue_checksum,
+        });
+    }
+
+    // Derive the sweep deadline from the probed BUSY bound so the
+    // admit/reject boundary lands at exactly three sessions regardless
+    // of host speed: budget = 3 bounds, deadline = budget / (1 - margin).
+    let sweep_spec = spec(&scenario, Strategy::Busy, threads);
+    eprintln!("[venue] probing sweep bound ...");
+    let bound = VenueServer::probe_session_bound(&sweep_spec);
+    let sweep_deadline_ns = ((bound * 3 + 1) as f64 / (1.0 - margin)).ceil() as u64;
+    let fit = djstar_sim::max_sessions(bound, sweep_deadline_ns, margin);
+    assert_eq!(fit, 3, "derived deadline must admit exactly 3 sessions");
+
+    // Leg 2: batch-time scaling to the bound. One venue per session
+    // count, measured in interleaved blocks (the parity pairing again):
+    // sequential sweeps let host-load drift between the k=1 and k=N
+    // measurements masquerade as super-linear scaling.
+    let mut venues: Vec<VenueServer> = (1..=fit)
+        .map(|k| {
+            let mut v = VenueServer::new(threads, Duration::from_nanos(sweep_deadline_ns), margin);
+            for _ in 0..k {
+                v.admit_bounded(sweep_spec.clone(), bound)
+                    .expect("oracle admits up to the bound");
+            }
+            v.run_cycles(30);
+            v
+        })
+        .collect();
+    eprintln!("[venue] scaling: 1..={fit} sessions, {scale_cycles} interleaved cycles each ...");
+    let mut batches: Vec<Vec<u64>> = vec![Vec::with_capacity(scale_cycles); fit];
+    let mut done = 0;
+    while done < scale_cycles {
+        let block = PARITY_BLOCK.min(scale_cycles - done);
+        for (samples, venue) in batches.iter_mut().zip(venues.iter_mut()) {
+            for _ in 0..block {
+                samples.push(venue.run_cycle().as_nanos() as u64);
+            }
+        }
+        done += block;
+    }
+    let scaling: Vec<ScalingPoint> = batches
+        .into_iter()
+        .enumerate()
+        .map(|(i, batch)| ScalingPoint {
+            sessions: i + 1,
+            batch_p50_ns: p50(batch),
+        })
+        .collect();
+    let sessions: Vec<SessionLedgerEntry> = venues
+        .last()
+        .unwrap()
+        .session_counters()
+        .into_iter()
+        .map(|c| SessionLedgerEntry {
+            id: c.id,
+            strategy: strategy_label(Strategy::Busy).to_string(),
+            cycles: c.cycles,
+            misses: c.misses,
+            degraded: c.degraded,
+            bound_ns: c.bound_ns,
+        })
+        .collect();
+
+    // Leg 3: admission sweep two candidates past the bound, with an
+    // independent oracle verdict recorded for every offer.
+    let mut admission = Vec::new();
+    let mut sweep_venue =
+        VenueServer::new(threads, Duration::from_nanos(sweep_deadline_ns), margin);
+    let mut accepted_bounds: Vec<u64> = Vec::new();
+    for candidate in 0..fit + 2 {
+        let load_before_ns = sweep_venue.load_ns();
+        let mut with_candidate = accepted_bounds.clone();
+        with_candidate.push(bound);
+        let oracle_admissible = djstar_sim::admissible(&with_candidate, sweep_deadline_ns, margin);
+        let admitted = sweep_venue.admit_bounded(sweep_spec.clone(), bound).is_ok();
+        if admitted {
+            accepted_bounds.push(bound);
+        }
+        admission.push(AdmissionTrial {
+            candidate,
+            bound_ns: bound,
+            load_before_ns,
+            admitted,
+            oracle_admissible,
+        });
+    }
+
+    let report = VenueReport {
+        threads,
+        cycles,
+        deadline_ns: DEADLINE_NS,
+        margin,
+        scaling_slack,
+        miss_slack,
+        rejections: sweep_venue.rejections(),
+        strategies,
+        scaling,
+        admission,
+        sessions,
+    };
+
+    println!("# E18 venue server ({threads} pool lanes, {cycles} parity cycles)\n");
+    println!("strategy  threads  solo_miss  venue_miss  solo_p50_ms  venue_p50_ms  bit_exact");
+    for s in &report.strategies {
+        println!(
+            "{:<9} {:>7} {:>10} {:>11} {:>12.4} {:>13.4}  {}",
+            s.strategy,
+            s.threads,
+            s.solo_misses,
+            s.venue_misses,
+            s.solo_p50_ns / 1e6,
+            s.venue_p50_ns / 1e6,
+            s.bit_exact()
+        );
+    }
+    println!(
+        "\nscaling (sweep deadline {:.4} ms):",
+        sweep_deadline_ns as f64 / 1e6
+    );
+    for p in &report.scaling {
+        println!(
+            "  {} session(s): batch p50 {:.4} ms",
+            p.sessions,
+            p.batch_p50_ns / 1e6
+        );
+    }
+    println!(
+        "\nadmission: {} offered, {} admitted, {} rejected (oracle agreed on every verdict: {})",
+        report.admission.len(),
+        report.admission.iter().filter(|t| t.admitted).count(),
+        report.rejections,
+        report.rejections_confirmed() && report.no_false_rejects()
+    );
+
+    let json = report.to_json().render();
+    match std::fs::write("BENCH_venue.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("[venue] wrote BENCH_venue.json"),
+        Err(e) => eprintln!("[venue] cannot write BENCH_venue.json: {e}"),
+    }
+
+    if std::env::var("DJSTAR_STRICT").is_ok_and(|v| v != "0") {
+        let failed = report.failed_gates();
+        if failed.is_empty() {
+            eprintln!("[venue] strict checks passed");
+        } else {
+            for gate in &failed {
+                eprintln!("[venue] FAIL: gate '{gate}' tripped");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -20,31 +20,20 @@
 //! to skip workload calibration.
 
 use djstar_bench::telemetry::{
-    bench_json, capture_and_export, overhead_fraction, strategy_label, DEADLINE_NS,
+    bench_json, capture_and_export, jsonl_path, overhead_fraction, strategy_label,
+    write_jsonl_multi, DEADLINE_NS,
 };
 use djstar_bench::PAPER_SEQUENTIAL_MS;
+use djstar_bench::{env_usize, host_threads};
 use djstar_core::exec::Strategy;
-use djstar_engine::apc::AudioEngine;
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_engine::venue::{SessionSpec, VenueServer};
 use djstar_workload::scenario::Scenario;
 use std::time::Duration;
 
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
     let cycles = env_usize("DJSTAR_TELEMETRY_CYCLES", 2_000);
-    let threads = env_usize(
-        "DJSTAR_THREADS",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(4),
-    )
-    .max(1);
+    let threads = host_threads(4);
 
     let scenario = if std::env::var("DJSTAR_CALIBRATE").is_ok_and(|v| v == "0") {
         Scenario::paper_default()
@@ -84,6 +73,66 @@ fn main() {
     match std::fs::write("BENCH_telemetry.json", format!("{json}\n")) {
         Ok(()) => eprintln!("[telemetry] wrote BENCH_telemetry.json"),
         Err(e) => eprintln!("[telemetry] cannot write BENCH_telemetry.json: {e}"),
+    }
+
+    // Venue leg: host two sessions of the same workload on one shared
+    // pool, with per-session telemetry rings, and leave a session-tagged
+    // JSONL next to the solo exports. The per-session ledger (misses,
+    // degradation state, rejections) prints below.
+    eprintln!("[telemetry] running venue leg ({} sessions offered) ...", 2);
+    let venue_cycles = (cycles / 4).max(100);
+    let mut venue = VenueServer::new(threads.max(2), Duration::from_nanos(DEADLINE_NS), 0.1);
+    let mut admitted = Vec::new();
+    for strategy in [Strategy::Busy, Strategy::Steal] {
+        let spec = SessionSpec {
+            scenario: scenario.clone(),
+            strategy,
+            threads: threads.max(2),
+            aux: AuxWork::light(),
+        };
+        match venue.admit(spec) {
+            Ok(id) => {
+                venue.engine_mut(id).unwrap().set_telemetry(true);
+                admitted.push((id, strategy_label(strategy)));
+            }
+            Err(rej) => eprintln!(
+                "[telemetry] venue rejected {} (bound {:.3} ms over budget {:.3} ms at load {:.3} ms)",
+                strategy_label(strategy),
+                rej.bound_ns as f64 / 1e6,
+                rej.budget_ns as f64 / 1e6,
+                rej.load_ns as f64 / 1e6,
+            ),
+        }
+    }
+    if admitted.is_empty() {
+        println!("venue: no session admitted (deadline too tight on this host)");
+    } else {
+        venue.run_cycles(venue_cycles);
+        println!(
+            "# Venue session ledger ({} cycles, {} sessions, {} rejections)",
+            venue_cycles,
+            venue.session_count(),
+            venue.rejections()
+        );
+        for c in venue.session_counters() {
+            println!(
+                "session {}: cycles={} misses={} degraded={} bound={:.4} ms",
+                c.id,
+                c.cycles,
+                c.misses,
+                c.degraded,
+                c.bound_ns as f64 / 1e6
+            );
+        }
+        let rings: Vec<_> = admitted
+            .iter()
+            .filter_map(|&(id, _)| venue.engine_mut(id).unwrap().take_telemetry())
+            .collect();
+        let path = jsonl_path(&format!("venue_{}t", threads.max(2)));
+        match write_jsonl_multi(&path, &rings) {
+            Ok(()) => eprintln!("[telemetry] wrote {} (session-tagged)", path.display()),
+            Err(e) => eprintln!("[telemetry] cannot write {}: {e}", path.display()),
+        }
     }
 
     // Overhead guard: counters + ring drain must stay under 2 % of the

@@ -14,7 +14,7 @@
 use djstar_core::exec::Strategy;
 use djstar_core::telemetry::TelemetryRing;
 use djstar_engine::apc::{AudioEngine, AuxWork};
-use djstar_stats::telemetry::{cycle_json, TelemetryReport};
+use djstar_stats::telemetry::{cycle_json_for_session, TelemetryReport};
 use djstar_stats::Json;
 use djstar_workload::scenario::Scenario;
 use std::io::Write;
@@ -71,9 +71,11 @@ pub fn collect_telemetry_with_drops(
 }
 
 /// Aggregate a ring into a [`TelemetryReport`] against [`DEADLINE_NS`].
+/// The report carries the ring's venue session id (0 for solo engines).
 pub fn report_for(strategy: Strategy, threads: usize, ring: &TelemetryRing) -> TelemetryReport {
     TelemetryReport::from_records(strategy_label(strategy), threads, DEADLINE_NS, ring.iter())
         .expect("telemetry ring is non-empty after a measured run")
+        .with_session(ring.session())
 }
 
 /// `results/telemetry_<tag>.jsonl`, creating `results/` if needed.
@@ -85,12 +87,32 @@ pub fn jsonl_path(tag: &str) -> PathBuf {
     dir.join(format!("telemetry_{tag}.jsonl"))
 }
 
-/// Write a ring as JSONL, one cycle record per line, oldest first.
+/// Write a ring as JSONL, one cycle record per line, oldest first. Every
+/// line carries the ring's venue session id (0 for solo engines) so
+/// multi-session exports stay attributable.
 pub fn write_jsonl(path: &Path, ring: &TelemetryRing) -> std::io::Result<()> {
     let mut out = String::new();
+    render_jsonl(&mut out, ring);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+/// Append a ring's JSONL lines to `out` (used to concatenate several
+/// sessions' rings into one venue export).
+pub fn render_jsonl(out: &mut String, ring: &TelemetryRing) {
+    let session = ring.session();
     for record in ring.iter() {
-        out.push_str(&cycle_json(record).render());
+        out.push_str(&cycle_json_for_session(record, session).render());
         out.push('\n');
+    }
+}
+
+/// Write several rings — typically one per venue session — into a single
+/// JSONL file, each line tagged with its ring's session id.
+pub fn write_jsonl_multi(path: &Path, rings: &[TelemetryRing]) -> std::io::Result<()> {
+    let mut out = String::new();
+    for ring in rings {
+        render_jsonl(&mut out, ring);
     }
     let mut f = std::fs::File::create(path)?;
     f.write_all(out.as_bytes())
@@ -255,6 +277,54 @@ mod tests {
             assert!(line.contains("\"workers\":["));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn venue_rings_export_session_tagged_jsonl() {
+        use djstar_engine::venue::{SessionSpec, VenueServer};
+        let mut venue = VenueServer::new(2, std::time::Duration::from_secs(1), 0.0);
+        let mut ids = Vec::new();
+        for strategy in [Strategy::Busy, Strategy::Steal] {
+            let id = venue
+                .admit_bounded(
+                    SessionSpec {
+                        scenario: Scenario::light_test(),
+                        strategy,
+                        threads: 2,
+                        aux: AuxWork::light(),
+                    },
+                    1,
+                )
+                .unwrap();
+            venue.engine_mut(id).unwrap().set_telemetry(true);
+            ids.push(id);
+        }
+        venue.run_cycles(6);
+        let rings: Vec<TelemetryRing> = ids
+            .iter()
+            .map(|&id| venue.engine_mut(id).unwrap().take_telemetry().unwrap())
+            .collect();
+        // Each ring knows its session, and the aggregated report carries it.
+        assert_eq!(rings[0].session(), ids[0]);
+        assert_eq!(rings[1].session(), ids[1]);
+        let report = report_for(Strategy::Busy, 2, &rings[0]);
+        assert_eq!(report.session, ids[0]);
+        assert!(report.to_json().render().contains("\"session\":1"));
+        // The combined JSONL attributes every line to its session.
+        let mut out = String::new();
+        for r in &rings {
+            render_jsonl(&mut out, r);
+        }
+        assert_eq!(out.lines().count(), 12);
+        for (i, id) in ids.iter().enumerate() {
+            let tag = format!("\"session\":{id}");
+            assert_eq!(
+                out.lines().filter(|l| l.contains(&tag)).count(),
+                6,
+                "session {} lines missing (ring {i})",
+                id
+            );
+        }
     }
 
     #[test]

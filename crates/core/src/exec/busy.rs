@@ -16,7 +16,13 @@
 //! On an over-subscribed host (fewer cores than workers) a pure spin would
 //! starve the producing worker; [`ExecGraph::spin_until_done`] therefore
 //! yields every 4096 spins, which is a no-op when cores are plentiful.
+//!
+//! The OS threads belong to a [`VenuePool`](super::pool::VenuePool): the
+//! single-session constructors spin up a private one-session pool, and
+//! [`BusyExecutor::with_pool`] registers onto an existing shared pool so
+//! many sessions multiplex the same workers (see `exec::pool`).
 
+use super::pool::{PoolBinding, SessionState, VenuePool};
 use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
 };
@@ -29,16 +35,16 @@ use crate::trace::{ScheduleTrace, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Busy-waiting executor: static round-robin assignment + spin waits.
 pub struct BusyExecutor {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    pool: PoolBinding,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
     telemetry: Option<TelemetryRing>,
+    session: u32,
 }
 
 impl BusyExecutor {
@@ -59,54 +65,51 @@ impl BusyExecutor {
         frames: usize,
         priority: Priority,
     ) -> Self {
+        let pool = Arc::new(VenuePool::new(threads));
+        Self::with_pool(graph, threads, frames, priority, &pool)
+    }
+
+    /// Register this session on an existing shared [`VenuePool`] instead of
+    /// spawning private threads. `threads` is this session's lane count and
+    /// must not exceed the pool's.
+    pub fn with_pool(
+        graph: TaskGraph,
+        threads: usize,
+        frames: usize,
+        priority: Priority,
+        pool: &Arc<VenuePool>,
+    ) -> Self {
         assert!((1..=64).contains(&threads), "1..=64 threads supported");
         let shared = Arc::new(Shared::new(
             ExecGraph::new(graph, frames),
             threads,
             priority,
         ));
-        let mut workers = Vec::new();
-        let mut handles = vec![std::thread::current()];
-        for me in 1..threads {
-            let sh = Arc::clone(&shared);
-            let h = std::thread::Builder::new()
-                .name(format!("busy-worker-{me}"))
-                .spawn(move || worker_loop(&sh, me))
-                .expect("spawn busy worker");
-            handles.push(h.thread().clone());
-            workers.push(h);
-        }
         // SAFETY: no cycle in flight yet; workers only read handles during a
-        // cycle (after acquiring the epoch published by `begin_cycle`).
-        unsafe { shared.handles.set(handles) };
+        // cycle (after acquiring the epoch that published them).
+        unsafe { shared.handles.set(pool.session_handles(threads)) };
+        let pool = pool.register(SessionState::Busy(Arc::clone(&shared)));
         BusyExecutor {
             shared,
-            workers,
+            pool,
             tracing: false,
             last_trace: None,
             telemetry: None,
+            session: 0,
         }
-    }
-}
-
-/// Background worker: wait for a cycle, run the assigned queue positions.
-fn worker_loop(shared: &Shared, me: usize) {
-    let mut seen = 0u64;
-    while let Some(epoch) = shared.wait_for_cycle(seen) {
-        seen = epoch;
-        run_cycle_part(shared, me, epoch);
     }
 }
 
 /// Execute worker `me`'s round-robin share of the queue for `epoch`.
-fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
+pub(crate) fn run_cycle_part(shared: &Shared, me: usize, epoch: u64) {
     let tracing = shared.tracing.load(Ordering::Relaxed);
     let telem = shared.telemetry.load(Ordering::Relaxed);
     let rec = shared.flight_on();
     let counters = &shared.counters[me];
     let topo = shared.graph().topology();
     let faults = shared.fault_plan();
-    // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
+    // SAFETY: epoch acquired (worker via the pool batch epoch, driver
+    // trivially).
     let ctx = if telem || rec {
         unsafe { shared.ctx_counted(epoch, me) }
     } else {
@@ -215,16 +218,34 @@ impl GraphExecutor for BusyExecutor {
     }
 
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        let epoch = self
+            .venue_stage(external_audio, controls)
+            .expect("busy executor always stages");
+        self.pool.pool().dispatch();
+        run_cycle_part(&self.shared, 0, epoch);
+        let result = self.venue_collect(epoch);
+        self.pool.pool().quiesce();
+        result
+    }
+
+    fn venue_stage(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> Option<u64> {
+        self.pool.pool().quiesce();
         self.shared.tracing.store(self.tracing, Ordering::Relaxed);
         self.shared
             .telemetry
             .store(self.telemetry.is_some(), Ordering::Relaxed);
-        // SAFETY: driver thread, no cycle in flight (`&mut self`).
-        let epoch = unsafe { self.shared.begin_cycle(external_audio, controls) };
-        let start = unsafe { *self.shared.cycle_start.get() };
-        run_cycle_part(&self.shared, 0, epoch);
+        // SAFETY: driver thread, no cycle in flight (`&mut self`), pool
+        // quiescent.
+        let epoch = unsafe { self.shared.prepare_cycle(external_audio, controls) };
+        self.pool.stage(epoch);
+        Some(epoch)
+    }
+
+    fn venue_collect(&mut self, epoch: u64) -> CycleResult {
         self.shared.wait_cycle_done();
         let end = Instant::now();
+        // SAFETY: driver-owned; set by `prepare_cycle` this cycle.
+        let start = unsafe { *self.shared.cycle_start.get() };
         let duration = end - start;
         if self.shared.flight_on() {
             self.shared.stamp_cycle(epoch, end);
@@ -242,6 +263,17 @@ impl GraphExecutor for BusyExecutor {
         CycleResult { duration }
     }
 
+    fn set_session(&mut self, session: u32) {
+        self.session = session;
+        if let Some(r) = &self.telemetry {
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                session,
+            ));
+        }
+    }
+
     fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
     }
@@ -253,9 +285,10 @@ impl GraphExecutor for BusyExecutor {
     fn set_telemetry(&mut self, on: bool) {
         if on {
             if self.telemetry.is_none() {
-                self.telemetry = Some(TelemetryRing::new(
+                self.telemetry = Some(TelemetryRing::with_session(
                     DEFAULT_RING_CAPACITY,
                     self.shared.threads,
+                    self.session,
                 ));
             }
         } else {
@@ -266,31 +299,39 @@ impl GraphExecutor for BusyExecutor {
     fn take_telemetry(&mut self) -> Option<TelemetryRing> {
         let taken = self.telemetry.take();
         if let Some(r) = &taken {
-            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                r.session(),
+            ));
         }
         taken
     }
 
     fn set_faults(&mut self, plan: Option<FaultPlan>) {
-        // SAFETY: driver-only between cycles (`&mut self`); published to
-        // workers by the next epoch Release store.
+        self.pool.pool().quiesce();
+        // SAFETY: driver-only between cycles (`&mut self`), pool quiescent;
+        // published to workers by the next epoch Release store.
         unsafe { self.shared.faults.set(plan) };
     }
 
     fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
         // Driver-only between cycles (`&mut self`).
+        self.pool.pool().quiesce();
         self.shared.install_recorder(cfg);
     }
 
     fn take_flight_window(&mut self) -> Option<FlightWindow> {
         // Driver-only between cycles (`&mut self`).
+        self.pool.pool().quiesce();
         self.shared.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
         let (exec, _plan) = staged.into_parts();
-        // SAFETY: `&mut self` proves no cycle in flight; workers are waiting
-        // on the epoch and touch no node state until the next Release store.
+        self.pool.pool().quiesce();
+        // SAFETY: `&mut self` proves no cycle in flight; the pool is
+        // quiescent, so workers touch no node state until the next batch.
         Ok(unsafe { self.shared.adopt_exec(exec) })
     }
 
@@ -299,32 +340,20 @@ impl GraphExecutor for BusyExecutor {
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
-        // SAFETY: `&mut self` proves no cycle in flight; workers are waiting
-        // on the epoch and touch no node state.
+        self.pool.pool().quiesce();
+        // SAFETY: `&mut self` proves no cycle in flight; the pool is
+        // quiescent, so workers touch no node state.
         unsafe { self.shared.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
+        self.pool.pool().quiesce();
         // SAFETY: as in `read_output`.
         unsafe { self.shared.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
         self.shared.graph().topology()
-    }
-}
-
-impl Drop for BusyExecutor {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        // SAFETY: no cycle in flight.
-        let handles = unsafe { self.shared.handles.get() };
-        for h in handles.iter().skip(1) {
-            h.unpark();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
     }
 }
 

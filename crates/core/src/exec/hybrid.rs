@@ -14,6 +14,7 @@
 //! wait differs: up to `spin_budget` polls of the pending counter happen
 //! before the thread registers and parks.
 
+use super::pool::{PoolBinding, SessionState, VenuePool};
 use super::{
     CycleResult, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration, Strategy, SwapError,
 };
@@ -26,20 +27,20 @@ use crate::trace::{ScheduleTrace, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Spin-then-park executor.
 pub struct HybridExecutor {
     shared: Arc<HybridShared>,
-    workers: Vec<JoinHandle<()>>,
+    pool: PoolBinding,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
     telemetry: Option<TelemetryRing>,
+    session: u32,
 }
 
-struct HybridShared {
-    base: Shared,
+pub(crate) struct HybridShared {
+    pub(crate) base: Shared,
     /// Maximum spin polls before parking.
     spin_budget: AtomicU32,
 }
@@ -63,44 +64,42 @@ impl HybridExecutor {
         spin_budget: u32,
         priority: Priority,
     ) -> Self {
+        let pool = Arc::new(VenuePool::new(threads));
+        Self::with_pool(graph, threads, frames, spin_budget, priority, &pool)
+    }
+
+    /// Register this session on an existing shared [`VenuePool`] instead of
+    /// spawning private threads. `threads` is this session's lane count and
+    /// must not exceed the pool's.
+    pub fn with_pool(
+        graph: TaskGraph,
+        threads: usize,
+        frames: usize,
+        spin_budget: u32,
+        priority: Priority,
+        pool: &Arc<VenuePool>,
+    ) -> Self {
         assert!((1..=64).contains(&threads), "1..=64 threads supported");
         let shared = Arc::new(HybridShared {
             base: Shared::new(ExecGraph::new(graph, frames), threads, priority),
             spin_budget: AtomicU32::new(spin_budget),
         });
-        let mut workers = Vec::new();
-        let mut handles = vec![std::thread::current()];
-        for me in 1..threads {
-            let sh = Arc::clone(&shared);
-            let h = std::thread::Builder::new()
-                .name(format!("hybrid-worker-{me}"))
-                .spawn(move || worker_loop(&sh, me))
-                .expect("spawn hybrid worker");
-            handles.push(h.thread().clone());
-            workers.push(h);
-        }
         // SAFETY: no cycle in flight yet.
-        unsafe { shared.base.handles.set(handles) };
+        unsafe { shared.base.handles.set(pool.session_handles(threads)) };
+        let pool = pool.register(SessionState::Hybrid(Arc::clone(&shared)));
         HybridExecutor {
             shared,
-            workers,
+            pool,
             tracing: false,
             last_trace: None,
             telemetry: None,
+            session: 0,
         }
     }
 
     /// Change the spin budget between cycles.
     pub fn set_spin_budget(&mut self, budget: u32) {
         self.shared.spin_budget.store(budget, Ordering::Relaxed);
-    }
-}
-
-fn worker_loop(shared: &HybridShared, me: usize) {
-    let mut seen = 0u64;
-    while let Some(epoch) = shared.base.wait_for_cycle(seen) {
-        seen = epoch;
-        run_cycle_part(shared, me, epoch);
     }
 }
 
@@ -149,7 +148,7 @@ fn hybrid_wait(sh: &HybridShared, node: usize, me: usize) -> WaitOutcome {
     }
 }
 
-fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
+pub(crate) fn run_cycle_part(sh: &HybridShared, me: usize, epoch: u64) {
     let tracing = sh.base.tracing.load(Ordering::Relaxed);
     let telem = sh.base.telemetry.load(Ordering::Relaxed);
     let rec = sh.base.flight_on();
@@ -312,17 +311,36 @@ impl GraphExecutor for HybridExecutor {
     }
 
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        let epoch = self
+            .venue_stage(external_audio, controls)
+            .expect("hybrid executor always stages");
+        self.pool.pool().dispatch();
+        run_cycle_part(&self.shared, 0, epoch);
+        let result = self.venue_collect(epoch);
+        self.pool.pool().quiesce();
+        result
+    }
+
+    fn venue_stage(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> Option<u64> {
+        self.pool.pool().quiesce();
         let sh = &self.shared;
         sh.base.tracing.store(self.tracing, Ordering::Relaxed);
         sh.base
             .telemetry
             .store(self.telemetry.is_some(), Ordering::Relaxed);
-        // SAFETY: driver thread, no cycle in flight.
-        let epoch = unsafe { sh.base.begin_cycle(external_audio, controls) };
-        let start = unsafe { *sh.base.cycle_start.get() };
-        run_cycle_part(sh, 0, epoch);
+        // SAFETY: driver thread, no cycle in flight (`&mut self`), pool
+        // quiescent.
+        let epoch = unsafe { sh.base.prepare_cycle(external_audio, controls) };
+        self.pool.stage(epoch);
+        Some(epoch)
+    }
+
+    fn venue_collect(&mut self, epoch: u64) -> CycleResult {
+        let sh = &self.shared;
         sh.base.wait_cycle_done();
         let end = Instant::now();
+        // SAFETY: driver-owned; set by `prepare_cycle` this cycle.
+        let start = unsafe { *sh.base.cycle_start.get() };
         let duration = end - start;
         if sh.base.flight_on() {
             sh.base.stamp_cycle(epoch, end);
@@ -340,6 +358,17 @@ impl GraphExecutor for HybridExecutor {
         CycleResult { duration }
     }
 
+    fn set_session(&mut self, session: u32) {
+        self.session = session;
+        if let Some(r) = &self.telemetry {
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                session,
+            ));
+        }
+    }
+
     fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
     }
@@ -351,9 +380,10 @@ impl GraphExecutor for HybridExecutor {
     fn set_telemetry(&mut self, on: bool) {
         if on {
             if self.telemetry.is_none() {
-                self.telemetry = Some(TelemetryRing::new(
+                self.telemetry = Some(TelemetryRing::with_session(
                     DEFAULT_RING_CAPACITY,
                     self.shared.base.threads,
+                    self.session,
                 ));
             }
         } else {
@@ -364,31 +394,39 @@ impl GraphExecutor for HybridExecutor {
     fn take_telemetry(&mut self) -> Option<TelemetryRing> {
         let taken = self.telemetry.take();
         if let Some(r) = &taken {
-            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                r.session(),
+            ));
         }
         taken
     }
 
     fn set_faults(&mut self, plan: Option<FaultPlan>) {
-        // SAFETY: driver-only between cycles (`&mut self`); published to
-        // workers by the next epoch Release store.
+        self.pool.pool().quiesce();
+        // SAFETY: driver-only between cycles (`&mut self`), pool quiescent;
+        // published to workers by the next epoch Release store.
         unsafe { self.shared.base.faults.set(plan) };
     }
 
     fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
         // Driver-only between cycles (`&mut self`).
+        self.pool.pool().quiesce();
         self.shared.base.install_recorder(cfg);
     }
 
     fn take_flight_window(&mut self) -> Option<FlightWindow> {
         // Driver-only between cycles (`&mut self`).
+        self.pool.pool().quiesce();
         self.shared.base.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
         let (exec, _plan) = staged.into_parts();
-        // SAFETY: `&mut self` proves no cycle in flight; workers wait in
-        // `wait_for_cycle`, touching only the epoch and shutdown atomics.
+        self.pool.pool().quiesce();
+        // SAFETY: `&mut self` proves no cycle in flight; the pool is
+        // quiescent, so workers touch no node state until the next batch.
         Ok(unsafe { self.shared.base.adopt_exec(exec) })
     }
 
@@ -397,30 +435,19 @@ impl GraphExecutor for HybridExecutor {
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
-        // SAFETY: `&mut self` proves no cycle in flight.
+        self.pool.pool().quiesce();
+        // SAFETY: `&mut self` proves no cycle in flight; pool quiescent.
         unsafe { self.shared.base.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
+        self.pool.pool().quiesce();
         // SAFETY: as in `read_output`.
         unsafe { self.shared.base.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
         self.shared.base.graph().topology()
-    }
-}
-
-impl Drop for HybridExecutor {
-    fn drop(&mut self) {
-        self.shared.base.shutdown.store(true, Ordering::Release);
-        let handles = unsafe { self.shared.base.handles.get() };
-        for h in handles.iter().skip(1) {
-            h.unpark();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
     }
 }
 

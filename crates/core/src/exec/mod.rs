@@ -31,8 +31,8 @@
 //! [`ExecGraph`], plus an optional [`ScheduleBlueprint`] for PLAN) is
 //! prepared away from the audio thread, then adopted between cycles through
 //! [`GraphExecutor::adopt_generation`]. The swap is driver-only (`&mut
-//! self` proves no cycle is in flight; workers sit in `wait_for_cycle`,
-//! touching only the epoch and shutdown atomics) and becomes visible to the
+//! self` plus a pool quiesce proves no cycle is in flight; pool workers sit
+//! in the batch wait loop, touching only pool atomics) and becomes visible to the
 //! workers through the very next epoch `Release` store — the same edge that
 //! already publishes the external inputs, so no extra synchronization and
 //! no worker teardown. The epoch counter continues monotonically across the
@@ -44,6 +44,7 @@
 mod busy;
 mod hybrid;
 mod planned;
+pub mod pool;
 mod sequential;
 mod sleeping;
 mod stealing;
@@ -51,6 +52,7 @@ mod stealing;
 pub use busy::BusyExecutor;
 pub use hybrid::HybridExecutor;
 pub use planned::{BlueprintError, PlannedExecutor, PlannedNode, ScheduleBlueprint};
+pub use pool::{SessionId, VenuePool};
 pub use sequential::SequentialExecutor;
 pub use sleeping::SleepExecutor;
 pub use stealing::StealExecutor;
@@ -226,6 +228,41 @@ pub trait GraphExecutor: Send {
 
     /// Execute one full graph cycle with the given external inputs.
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult;
+
+    /// Venue path, first half: publish this session's cycle (reset the
+    /// graph, copy externals, bump the session epoch) WITHOUT dispatching
+    /// pool workers, and stage it for the pool's next batch. Returns the
+    /// session epoch to pass to [`venue_collect`](Self::venue_collect), or
+    /// `None` when the executor does not run on a pool (Sequential) — the
+    /// caller then runs `run_cycle` inline instead. After staging every
+    /// session, the caller fires one `VenuePool::dispatch`, runs each
+    /// staged session's driver share via `VenuePool::run_driver_parts`,
+    /// and collects.
+    fn venue_stage(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> Option<u64> {
+        let _ = (external_audio, controls);
+        None
+    }
+
+    /// Venue path, second half: wait for this session's staged cycle
+    /// (published by [`venue_stage`](Self::venue_stage)) to complete and
+    /// harvest its timing/telemetry/trace exactly as `run_cycle` would.
+    /// Must only be called with the epoch returned by the matching
+    /// `venue_stage`, after the batch was dispatched and the driver parts
+    /// ran. Default panics: executors that return `Some` from
+    /// `venue_stage` override it.
+    fn venue_collect(&mut self, epoch: u64) -> CycleResult {
+        let _ = epoch;
+        unreachable!("venue_collect on an executor that never stages");
+    }
+
+    /// Tag this executor's exported telemetry rings and flight windows
+    /// with a venue session id (0 = single-session default). Takes effect
+    /// for rings/recorders installed *after* the call; the venue server
+    /// sets it once, right after construction. Implementations without
+    /// telemetry may ignore it.
+    fn set_session(&mut self, session: u32) {
+        let _ = session;
+    }
 
     /// Enable/disable schedule tracing (adds overhead; off by default).
     fn set_tracing(&mut self, on: bool);
@@ -651,8 +688,6 @@ pub(crate) struct Shared {
     /// single most contended atomic of the queue-based executors — it gets
     /// its own cache line.
     pub done_count: CachePadded<AtomicU32>,
-    /// Set to request worker shutdown.
-    pub shutdown: AtomicBool,
     /// Total worker count, including the driver (worker 0).
     pub threads: usize,
     /// Which precomputed topological order the queue walk uses.
@@ -705,7 +740,6 @@ impl Shared {
             generation: AtomicU64::new(0),
             epoch: CachePadded::new(AtomicU64::new(0)),
             done_count: CachePadded::new(AtomicU32::new(0)),
-            shutdown: AtomicBool::new(false),
             threads,
             priority,
             tracing: AtomicBool::new(false),
@@ -742,8 +776,8 @@ impl Shared {
     /// surviving nodes. Returns the new generation number.
     ///
     /// # Safety
-    /// Driver-only, with no cycle in flight (workers must be waiting in
-    /// [`Shared::wait_for_cycle`], which touches only `epoch`/`shutdown`).
+    /// Driver-only, with no cycle in flight (the pool must be quiesced, so
+    /// workers sit in the batch wait loop touching only pool atomics).
     pub(crate) unsafe fn adopt_exec(&self, mut staged: ExecGraph) -> u64 {
         let old = self.exec.get_mut();
         staged.carry_over_from(old);
@@ -861,7 +895,7 @@ impl Shared {
 
     /// Driver-side: stamp a finished cycle's bounds into the recorder.
     /// Call after the cycle-completion barrier, before the next
-    /// `begin_cycle`.
+    /// `prepare_cycle`.
     pub(crate) fn stamp_cycle(&self, cycle: u64, end: Instant) {
         // SAFETY: driver between cycles (the only writer of the cell).
         if let Some(rec) = unsafe { self.recorder.get() }.as_ref() {
@@ -951,34 +985,19 @@ impl Shared {
         }
     }
 
-    /// Worker-side: wait until the epoch exceeds `seen` (spin, then park).
-    /// Returns the new epoch, or `None` on shutdown.
-    pub(crate) fn wait_for_cycle(&self, seen: u64) -> Option<u64> {
-        let mut spins = 0u32;
-        loop {
-            let e = self.epoch.load(Ordering::Acquire);
-            if e > seen {
-                return Some(e);
-            }
-            if self.shutdown.load(Ordering::Acquire) {
-                return None;
-            }
-            spins += 1;
-            if spins < 512 {
-                core::hint::spin_loop();
-            } else if spins < 1024 {
-                std::thread::yield_now();
-            } else {
-                std::thread::park();
-            }
-        }
-    }
-
-    /// Driver-side: prepare and publish a new cycle. Returns its epoch.
+    /// Driver-side: prepare and publish a new cycle WITHOUT waking any
+    /// workers itself. Lane execution is driven by the venue pool: a single
+    /// batch-level wakeup ([`pool::VenuePool::dispatch`]) covers every staged
+    /// session; pool workers observe this session's epoch store through the
+    /// pool epoch's Release/Acquire edge.
     ///
     /// # Safety
     /// Must only be called by the driver with no cycle in flight.
-    pub(crate) unsafe fn begin_cycle(&self, external_audio: &[AudioBuf], controls: &[f32]) -> u64 {
+    pub(crate) unsafe fn prepare_cycle(
+        &self,
+        external_audio: &[AudioBuf],
+        controls: &[f32],
+    ) -> u64 {
         self.graph().reset_pending();
         self.done_count.store(0, Ordering::Relaxed);
         self.trace_flushed.store(0, Ordering::Relaxed);
@@ -1006,12 +1025,6 @@ impl Shared {
         self.cycle_start.set(Instant::now());
         let epoch = self.epoch.load(Ordering::Relaxed) + 1;
         self.epoch.store(epoch, Ordering::Release);
-        // Wake any parked workers (unpark before park is safe: the token is
-        // consumed by the next park).
-        let handles = self.handles.get();
-        for h in handles.iter().skip(1) {
-            h.unpark();
-        }
         epoch
     }
 
@@ -1032,8 +1045,8 @@ impl Shared {
     /// Build the borrowed cycle context for `epoch`.
     ///
     /// # Safety
-    /// Caller must hold the epoch happens-before edge (worker after
-    /// `wait_for_cycle`, or the driver).
+    /// Caller must hold the epoch happens-before edge (pool worker after
+    /// the batch-epoch acquire, or the driver).
     pub(crate) unsafe fn ctx(&self, epoch: u64) -> CycleCtx<'_> {
         let ext = self.external.get();
         CycleCtx {

@@ -25,6 +25,7 @@
 //! replaying the plan) that every wait refers to a node scheduled earlier
 //! in the induced partial order, so the waits-for relation is acyclic.
 
+use super::pool::{PoolBinding, SessionState, VenuePool};
 use super::{
     CycleResult, DriverCell, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration,
     Strategy, SwapError,
@@ -39,7 +40,6 @@ use djstar_dsp::AudioBuf;
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// One slot of a worker's precompiled schedule.
@@ -305,8 +305,8 @@ impl ScheduleBlueprint {
 /// Like `Shared`'s graph, the plan is swapped only by the driver between
 /// cycles and published to workers by the next epoch Release store, so it
 /// lives in a [`DriverCell`] with the same safety argument.
-struct PlannedShared {
-    base: Shared,
+pub(crate) struct PlannedShared {
+    pub(crate) base: Shared,
     plan: DriverCell<ScheduleBlueprint>,
 }
 
@@ -327,10 +327,11 @@ impl PlannedShared {
 /// Executor that replays a [`ScheduleBlueprint`].
 pub struct PlannedExecutor {
     shared: Arc<PlannedShared>,
-    workers: Vec<JoinHandle<()>>,
+    pool: PoolBinding,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
     telemetry: Option<TelemetryRing>,
+    session: u32,
 }
 
 impl PlannedExecutor {
@@ -349,6 +350,19 @@ impl PlannedExecutor {
     /// blueprint does not recompile against `graph`'s topology (wrong node
     /// set or an unschedulable order).
     pub fn new(graph: TaskGraph, frames: usize, blueprint: ScheduleBlueprint) -> Self {
+        let pool = Arc::new(VenuePool::new(blueprint.threads().clamp(1, 64)));
+        Self::with_pool(graph, frames, blueprint, &pool)
+    }
+
+    /// Register this session on an existing shared [`VenuePool`] instead of
+    /// spawning private threads. The blueprint's worker count is this
+    /// session's lane count and must not exceed the pool's.
+    pub fn with_pool(
+        graph: TaskGraph,
+        frames: usize,
+        blueprint: ScheduleBlueprint,
+        pool: &Arc<VenuePool>,
+    ) -> Self {
         let threads = blueprint.threads();
         assert!((1..=64).contains(&threads), "1..=64 workers supported");
         let exec = ExecGraph::new(graph, frames);
@@ -363,26 +377,17 @@ impl PlannedExecutor {
             base: Shared::new(exec, threads, Priority::Depth),
             plan: DriverCell::new(plan),
         });
-        let mut workers = Vec::new();
-        let mut handles = vec![std::thread::current()];
-        for me in 1..threads {
-            let sh = Arc::clone(&shared);
-            let h = std::thread::Builder::new()
-                .name(format!("plan-worker-{me}"))
-                .spawn(move || worker_loop(&sh, me))
-                .expect("spawn plan worker");
-            handles.push(h.thread().clone());
-            workers.push(h);
-        }
         // SAFETY: no cycle in flight yet; workers only read handles during a
-        // cycle (after acquiring the epoch published by `begin_cycle`).
-        unsafe { shared.base.handles.set(handles) };
+        // cycle (after acquiring the epoch that published them).
+        unsafe { shared.base.handles.set(pool.session_handles(threads)) };
+        let pool = pool.register(SessionState::Planned(Arc::clone(&shared)));
         PlannedExecutor {
             shared,
-            workers,
+            pool,
             tracing: false,
             last_trace: None,
             telemetry: None,
+            session: 0,
         }
     }
 
@@ -392,22 +397,14 @@ impl PlannedExecutor {
     }
 }
 
-fn worker_loop(shared: &PlannedShared, me: usize) {
-    let mut seen = 0u64;
-    while let Some(epoch) = shared.base.wait_for_cycle(seen) {
-        seen = epoch;
-        run_cycle_part(shared, me, epoch);
-    }
-}
-
 /// Replay worker `me`'s slice of the plan for `epoch`.
-fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
+pub(crate) fn run_cycle_part(sh: &PlannedShared, me: usize, epoch: u64) {
     let tracing = sh.base.tracing.load(Ordering::Relaxed);
     let telem = sh.base.telemetry.load(Ordering::Relaxed);
     let rec = sh.base.flight_on();
     let counters = &sh.base.counters[me];
     let faults = sh.base.fault_plan();
-    // SAFETY: epoch acquired (worker via wait_for_cycle, driver trivially).
+    // SAFETY: epoch acquired (pool worker via the batch edge, driver trivially).
     let ctx = if telem || rec {
         unsafe { sh.base.ctx_counted(epoch, me) }
     } else {
@@ -517,17 +514,36 @@ impl GraphExecutor for PlannedExecutor {
     }
 
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        let epoch = self
+            .venue_stage(external_audio, controls)
+            .expect("planned executor always stages");
+        self.pool.pool().dispatch();
+        run_cycle_part(&self.shared, 0, epoch);
+        let result = self.venue_collect(epoch);
+        self.pool.pool().quiesce();
+        result
+    }
+
+    fn venue_stage(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> Option<u64> {
+        self.pool.pool().quiesce();
         let sh = &self.shared;
         sh.base.tracing.store(self.tracing, Ordering::Relaxed);
         sh.base
             .telemetry
             .store(self.telemetry.is_some(), Ordering::Relaxed);
-        // SAFETY: driver thread, no cycle in flight (`&mut self`).
-        let epoch = unsafe { sh.base.begin_cycle(external_audio, controls) };
-        let start = unsafe { *sh.base.cycle_start.get() };
-        run_cycle_part(sh, 0, epoch);
+        // SAFETY: driver thread, no cycle in flight (`&mut self`), pool
+        // quiescent.
+        let epoch = unsafe { sh.base.prepare_cycle(external_audio, controls) };
+        self.pool.stage(epoch);
+        Some(epoch)
+    }
+
+    fn venue_collect(&mut self, epoch: u64) -> CycleResult {
+        let sh = &self.shared;
         sh.base.wait_cycle_done();
         let end = Instant::now();
+        // SAFETY: driver-owned; set by `prepare_cycle` this cycle.
+        let start = unsafe { *sh.base.cycle_start.get() };
         let duration = end - start;
         if sh.base.flight_on() {
             sh.base.stamp_cycle(epoch, end);
@@ -545,6 +561,17 @@ impl GraphExecutor for PlannedExecutor {
         CycleResult { duration }
     }
 
+    fn set_session(&mut self, session: u32) {
+        self.session = session;
+        if let Some(r) = &self.telemetry {
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                session,
+            ));
+        }
+    }
+
     fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
     }
@@ -556,9 +583,10 @@ impl GraphExecutor for PlannedExecutor {
     fn set_telemetry(&mut self, on: bool) {
         if on {
             if self.telemetry.is_none() {
-                self.telemetry = Some(TelemetryRing::new(
+                self.telemetry = Some(TelemetryRing::with_session(
                     DEFAULT_RING_CAPACITY,
                     self.shared.base.threads,
+                    self.session,
                 ));
             }
         } else {
@@ -569,28 +597,36 @@ impl GraphExecutor for PlannedExecutor {
     fn take_telemetry(&mut self) -> Option<TelemetryRing> {
         let taken = self.telemetry.take();
         if let Some(r) = &taken {
-            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                r.session(),
+            ));
         }
         taken
     }
 
     fn set_faults(&mut self, plan: Option<FaultPlan>) {
-        // SAFETY: driver-only between cycles (`&mut self`); published to
-        // workers by the next epoch Release store.
+        self.pool.pool().quiesce();
+        // SAFETY: driver-only between cycles (`&mut self`), pool quiescent;
+        // published to workers by the next epoch Release store.
         unsafe { self.shared.base.faults.set(plan) };
     }
 
     fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
         // Driver-only between cycles (`&mut self`).
+        self.pool.pool().quiesce();
         self.shared.base.install_recorder(cfg);
     }
 
     fn take_flight_window(&mut self) -> Option<FlightWindow> {
         // Driver-only between cycles (`&mut self`).
+        self.pool.pool().quiesce();
         self.shared.base.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
+        self.pool.pool().quiesce();
         let (exec, plan) = staged.into_parts();
         let threads = self.shared.base.threads;
         // Take the staged plan, or fall back to round-robin so a topology
@@ -625,31 +661,19 @@ impl GraphExecutor for PlannedExecutor {
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
-        // SAFETY: `&mut self` proves no cycle in flight.
+        self.pool.pool().quiesce();
+        // SAFETY: `&mut self` proves no cycle in flight; pool quiescent.
         unsafe { self.shared.base.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
+        self.pool.pool().quiesce();
         // SAFETY: as in `read_output`.
         unsafe { self.shared.base.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
         self.shared.base.graph().topology()
-    }
-}
-
-impl Drop for PlannedExecutor {
-    fn drop(&mut self) {
-        self.shared.base.shutdown.store(true, Ordering::Release);
-        // SAFETY: no cycle in flight.
-        let handles = unsafe { self.shared.base.handles.get() };
-        for h in handles.iter().skip(1) {
-            h.unpark();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
     }
 }
 

@@ -28,6 +28,7 @@ pub struct SequentialExecutor {
     telemetry: Option<TelemetryRing>,
     faults: Option<FaultPlan>,
     flight: Option<FlightRecorder>,
+    session: u32,
 }
 
 /// Record a span on the single worker lane.
@@ -100,6 +101,7 @@ impl SequentialExecutor {
             telemetry: None,
             faults: None,
             flight: None,
+            session: 0,
         }
     }
 }
@@ -230,6 +232,17 @@ impl GraphExecutor for SequentialExecutor {
         CycleResult { duration }
     }
 
+    fn set_session(&mut self, session: u32) {
+        self.session = session;
+        if let Some(r) = &self.telemetry {
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                session,
+            ));
+        }
+    }
+
     fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
     }
@@ -241,7 +254,11 @@ impl GraphExecutor for SequentialExecutor {
     fn set_telemetry(&mut self, on: bool) {
         if on {
             if self.telemetry.is_none() {
-                self.telemetry = Some(TelemetryRing::new(DEFAULT_RING_CAPACITY, 1));
+                self.telemetry = Some(TelemetryRing::with_session(
+                    DEFAULT_RING_CAPACITY,
+                    1,
+                    self.session,
+                ));
             }
         } else {
             self.telemetry = None;
@@ -251,7 +268,11 @@ impl GraphExecutor for SequentialExecutor {
     fn take_telemetry(&mut self) -> Option<TelemetryRing> {
         let taken = self.telemetry.take();
         if let Some(r) = &taken {
-            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                r.session(),
+            ));
         }
         taken
     }

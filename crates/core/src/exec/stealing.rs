@@ -21,6 +21,7 @@
 //! dependencies" — i.e. near the end of the graph (§VI). The driver (worker
 //! 0) never parks intra-cycle; it spin-yields so it can observe completion.
 
+use super::pool::{PoolBinding, SessionState, VenuePool};
 use super::{
     CycleResult, DriverCell, ExecGraph, GraphExecutor, RawEvent, Shared, StagedGeneration,
     Strategy, SwapError,
@@ -36,7 +37,6 @@ use crate::trace::{ScheduleTrace, TraceKind};
 use djstar_dsp::AudioBuf;
 use std::sync::atomic::{fence, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Shared state of the work-stealing executor: the common cycle machinery
@@ -65,10 +65,11 @@ impl WsShared {
 /// Work-stealing executor.
 pub struct StealExecutor {
     shared: Arc<WsShared>,
-    workers: Vec<JoinHandle<()>>,
+    pool: PoolBinding,
     tracing: bool,
     last_trace: Option<ScheduleTrace>,
     telemetry: Option<TelemetryRing>,
+    session: u32,
 }
 
 /// Which worker a section's source nodes are seeded to (§V-C's
@@ -100,6 +101,20 @@ impl StealExecutor {
         frames: usize,
         priority: Priority,
     ) -> Self {
+        let pool = Arc::new(VenuePool::new(threads));
+        Self::with_pool(graph, threads, frames, priority, &pool)
+    }
+
+    /// Register this session on an existing shared [`VenuePool`] instead of
+    /// spawning private threads. `threads` is this session's lane count and
+    /// must not exceed the pool's.
+    pub fn with_pool(
+        graph: TaskGraph,
+        threads: usize,
+        frames: usize,
+        priority: Priority,
+        pool: &Arc<VenuePool>,
+    ) -> Self {
         assert!((1..=64).contains(&threads), "1..=64 threads supported");
         let exec = ExecGraph::new(graph, frames);
         let nodes = exec.len();
@@ -108,38 +123,22 @@ impl StealExecutor {
             deques: DriverCell::new((0..threads).map(|_| WorkDeque::new(nodes.max(4))).collect()),
             idle: OnceLock::new(),
         });
-        let mut workers = Vec::new();
-        let mut handles = vec![std::thread::current()];
-        for me in 1..threads {
-            let sh = Arc::clone(&shared);
-            let h = std::thread::Builder::new()
-                .name(format!("ws-worker-{me}"))
-                .spawn(move || worker_loop(&sh, me))
-                .expect("spawn ws worker");
-            handles.push(h.thread().clone());
-            workers.push(h);
-        }
+        let handles = pool.session_handles(threads);
         shared
             .idle
             .set(IdleSet::new(handles.clone()))
             .expect("idle set initialized once");
         // SAFETY: no cycle in flight yet.
         unsafe { shared.base.handles.set(handles) };
+        let pool = pool.register(SessionState::Steal(Arc::clone(&shared)));
         StealExecutor {
             shared,
-            workers,
+            pool,
             tracing: false,
             last_trace: None,
             telemetry: None,
+            session: 0,
         }
-    }
-}
-
-fn worker_loop(ws: &WsShared, me: usize) {
-    let mut seen = 0u64;
-    while let Some(epoch) = ws.base.wait_for_cycle(seen) {
-        seen = epoch;
-        run_cycle_part(ws, me, epoch);
     }
 }
 
@@ -262,7 +261,7 @@ unsafe fn run_node(
     }
 }
 
-fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
+pub(crate) fn run_cycle_part(ws: &WsShared, me: usize, epoch: u64) {
     let tracing = ws.base.tracing.load(Ordering::Relaxed);
     let telem = ws.base.telemetry.load(Ordering::Relaxed);
     let rec = ws.base.flight_on();
@@ -394,6 +393,20 @@ impl GraphExecutor for StealExecutor {
     }
 
     fn run_cycle(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> CycleResult {
+        let epoch = self
+            .venue_stage(external_audio, controls)
+            .expect("ws executor always stages");
+        self.pool.pool().dispatch();
+        run_cycle_part(&self.shared, 0, epoch);
+        let result = self.venue_collect(epoch);
+        self.pool.pool().quiesce();
+        result
+    }
+
+    fn venue_stage(&mut self, external_audio: &[AudioBuf], controls: &[f32]) -> Option<u64> {
+        // The previous batch must be fully exited before the deques are
+        // reseeded (a lagging pool worker could still be scanning them).
+        self.pool.pool().quiesce();
         let ws = &self.shared;
         ws.base.tracing.store(self.tracing, Ordering::Relaxed);
         ws.base
@@ -417,16 +430,22 @@ impl GraphExecutor for StealExecutor {
                 ws.base.counters[i].note_deque_depth(d.len() as u64);
             }
         }
-        // SAFETY: driver thread, no cycle in flight. (`begin_cycle` resets
-        // the pending counters again; that is idempotent.)
-        let epoch = unsafe { ws.base.begin_cycle(external_audio, controls) };
-        let start = unsafe { *ws.base.cycle_start.get() };
-        run_cycle_part(ws, 0, epoch);
+        // SAFETY: driver thread, no cycle in flight. (`prepare_cycle`
+        // resets the pending counters again; that is idempotent.)
+        let epoch = unsafe { ws.base.prepare_cycle(external_audio, controls) };
+        self.pool.stage(epoch);
+        Some(epoch)
+    }
+
+    fn venue_collect(&mut self, epoch: u64) -> CycleResult {
+        let ws = &self.shared;
         ws.base.wait_cycle_done();
         // All nodes are done; now wait for every worker to leave the work
         // loop so none can touch the deques we will seed next cycle.
         ws.base.wait_cycle_exited(ws.base.threads as u32);
         let end = Instant::now();
+        // SAFETY: driver-owned; set by `prepare_cycle` this cycle.
+        let start = unsafe { *ws.base.cycle_start.get() };
         let duration = end - start;
         if ws.base.flight_on() {
             ws.base.stamp_cycle(epoch, end);
@@ -445,6 +464,17 @@ impl GraphExecutor for StealExecutor {
         CycleResult { duration }
     }
 
+    fn set_session(&mut self, session: u32) {
+        self.session = session;
+        if let Some(r) = &self.telemetry {
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                session,
+            ));
+        }
+    }
+
     fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
     }
@@ -456,9 +486,10 @@ impl GraphExecutor for StealExecutor {
     fn set_telemetry(&mut self, on: bool) {
         if on {
             if self.telemetry.is_none() {
-                self.telemetry = Some(TelemetryRing::new(
+                self.telemetry = Some(TelemetryRing::with_session(
                     DEFAULT_RING_CAPACITY,
                     self.shared.base.threads,
+                    self.session,
                 ));
             }
         } else {
@@ -469,36 +500,43 @@ impl GraphExecutor for StealExecutor {
     fn take_telemetry(&mut self) -> Option<TelemetryRing> {
         let taken = self.telemetry.take();
         if let Some(r) = &taken {
-            self.telemetry = Some(TelemetryRing::new(r.capacity(), r.workers()));
+            self.telemetry = Some(TelemetryRing::with_session(
+                r.capacity(),
+                r.workers(),
+                r.session(),
+            ));
         }
         taken
     }
 
     fn set_faults(&mut self, plan: Option<FaultPlan>) {
-        // SAFETY: driver-only between cycles (`&mut self`); published to
-        // workers by the next epoch Release store.
+        self.pool.pool().quiesce();
+        // SAFETY: driver-only between cycles (`&mut self`), pool quiescent;
+        // published to workers by the next epoch Release store.
         unsafe { self.shared.base.faults.set(plan) };
     }
 
     fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
         // Driver-only between cycles (`&mut self`).
+        self.pool.pool().quiesce();
         self.shared.base.install_recorder(cfg);
     }
 
     fn take_flight_window(&mut self) -> Option<FlightWindow> {
         // Driver-only between cycles (`&mut self`).
+        self.pool.pool().quiesce();
         self.shared.base.take_window()
     }
 
     fn adopt_generation(&mut self, staged: StagedGeneration) -> Result<u64, SwapError> {
         let (exec, _plan) = staged.into_parts();
         let nodes = exec.len();
+        self.pool.pool().quiesce();
         let ws = &self.shared;
         // SAFETY: `&mut self` proves no cycle is in flight, and the exit
-        // barrier of the previous `run_cycle` guarantees every worker has
-        // left the work loop — the deques are quiescent. Both the deque
-        // replacement and the graph swap are published by the next epoch
-        // Release store.
+        // barrier plus the pool quiesce guarantee every worker has left the
+        // work loop — the deques are quiescent. Both the deque replacement
+        // and the graph swap are published by the next epoch Release store.
         unsafe {
             if ws.deques().iter().any(|d| d.capacity() < nodes) {
                 ws.deques.set(
@@ -516,30 +554,19 @@ impl GraphExecutor for StealExecutor {
     }
 
     fn read_output(&mut self, node: NodeId, dst: &mut AudioBuf) {
-        // SAFETY: `&mut self` proves no cycle in flight.
+        self.pool.pool().quiesce();
+        // SAFETY: `&mut self` proves no cycle in flight; pool quiescent.
         unsafe { self.shared.base.graph().read_output_unsync(node, dst) };
     }
 
     fn node_processor(&mut self, node: NodeId) -> &mut dyn Processor {
+        self.pool.pool().quiesce();
         // SAFETY: as in `read_output`.
         unsafe { self.shared.base.graph().node_processor_unsync(node) }
     }
 
     fn topology(&self) -> &GraphTopology {
         self.shared.base.graph().topology()
-    }
-}
-
-impl Drop for StealExecutor {
-    fn drop(&mut self) {
-        self.shared.base.shutdown.store(true, Ordering::Release);
-        let handles = unsafe { self.shared.base.handles.get() };
-        for h in handles.iter().skip(1) {
-            h.unpark();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
     }
 }
 

@@ -146,6 +146,8 @@ pub struct FlightConfig {
     pub spans_per_worker: usize,
     /// Cycle-stamp ring capacity (how many recent cycles stay addressable).
     pub cycles: usize,
+    /// Venue session id stamped into exported windows (0 = single-session).
+    pub session: u32,
 }
 
 impl Default for FlightConfig {
@@ -154,6 +156,7 @@ impl Default for FlightConfig {
         FlightConfig {
             spans_per_worker: 4096,
             cycles: 256,
+            session: 0,
         }
     }
 }
@@ -286,6 +289,7 @@ pub struct FlightRecorder {
     origin: Instant,
     lanes: Box<[LaneCell]>,
     stamps: UnsafeCell<StampRing>,
+    session: u32,
 }
 
 // SAFETY: lanes are per-worker single-writer (see `LaneCell`); the stamp
@@ -304,6 +308,7 @@ impl FlightRecorder {
                 .map(|_| LaneCell(UnsafeCell::new(WorkerLane::new(cfg.spans_per_worker))))
                 .collect(),
             stamps: UnsafeCell::new(StampRing::new(cfg.cycles)),
+            session: cfg.session,
         }
     }
 
@@ -360,6 +365,7 @@ impl FlightRecorder {
             spans,
             cycles,
             dropped_spans: dropped,
+            session: self.session,
         }
     }
 }
@@ -377,6 +383,8 @@ pub struct FlightWindow {
     pub cycles: Vec<CycleStamp>,
     /// Spans overwritten before they could be taken.
     pub dropped_spans: u64,
+    /// Venue session id this window was captured for (0 = single-session).
+    pub session: u32,
 }
 
 impl FlightWindow {
@@ -422,6 +430,7 @@ mod tests {
             FlightConfig {
                 spans_per_worker: 3,
                 cycles: 4,
+                session: 0,
             },
         );
         for i in 0..5u64 {
@@ -469,6 +478,7 @@ mod tests {
             FlightConfig {
                 spans_per_worker: 4,
                 cycles: 2,
+                session: 0,
             },
         );
         for c in 1..=3u64 {

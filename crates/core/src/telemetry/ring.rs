@@ -44,6 +44,8 @@ pub struct TelemetryRing {
     /// Total records ever pushed, including overwritten ones.
     pushed: u64,
     workers: usize,
+    /// Venue session this ring belongs to (0 for single-session engines).
+    session: u32,
 }
 
 impl TelemetryRing {
@@ -53,6 +55,15 @@ impl TelemetryRing {
     /// # Panics
     /// Panics if `capacity == 0` or `workers == 0`.
     pub fn new(capacity: usize, workers: usize) -> Self {
+        Self::with_session(capacity, workers, 0)
+    }
+
+    /// Like [`TelemetryRing::new`], but tagging every record exported from
+    /// this ring with a venue session id.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `workers == 0`.
+    pub fn with_session(capacity: usize, workers: usize, session: u32) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
         assert!(workers > 0, "ring needs at least one worker slot");
         let records = (0..capacity)
@@ -68,12 +79,18 @@ impl TelemetryRing {
             len: 0,
             pushed: 0,
             workers,
+            session,
         }
     }
 
     /// Number of worker slots per record.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Venue session id this ring's records are attributed to.
+    pub fn session(&self) -> u32 {
+        self.session
     }
 
     /// Maximum number of records held.

@@ -203,6 +203,7 @@ fn telemetry_cycles_do_not_allocate() {
         exec.set_flight_recorder(Some(FlightConfig {
             spans_per_worker: 256,
             cycles: 16,
+            session: 0,
         }));
         exec.run_cycle(&[], &[]);
         cycles_run += 1;

@@ -25,7 +25,7 @@ use crate::reconfig::{
 use crate::timecode::{TimecodeDecoder, TimecodeGenerator};
 use djstar_core::exec::{
     BusyExecutor, GraphExecutor, HybridExecutor, PlannedExecutor, ScheduleBlueprint,
-    SequentialExecutor, SleepExecutor, StealExecutor, Strategy, SwapError,
+    SequentialExecutor, SleepExecutor, StealExecutor, Strategy, SwapError, VenuePool,
 };
 use djstar_core::faults::FaultPlan;
 use djstar_core::flight::{FlightConfig, FlightWindow};
@@ -35,6 +35,7 @@ use djstar_dsp::work::burn;
 use djstar_workload::faults::FaultSpec;
 use djstar_workload::scenario::Scenario;
 use djstar_workload::track::synth_track;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Compute weights of the non-graph APC phases, calibratable like the node
@@ -102,6 +103,20 @@ impl ApcTiming {
     }
 }
 
+/// In-flight state of one venue-batched cycle, produced by
+/// [`AudioEngine::venue_prepare`] and consumed by
+/// [`AudioEngine::venue_finish`].
+#[derive(Debug, Clone, Copy)]
+pub struct VenueCyclePrep {
+    /// The staged cycle epoch, or `None` for engines (sequential) whose
+    /// graph runs inline on the driver during `venue_finish`.
+    pub epoch: Option<u64>,
+    /// Timecode-phase duration measured during prepare.
+    pub tp: Duration,
+    /// Preprocessing-phase duration measured during prepare.
+    pub gp: Duration,
+}
+
 /// The DJ Star engine: decks, timecode, control surface and graph executor.
 pub struct AudioEngine {
     scenario: Scenario,
@@ -154,6 +169,14 @@ pub struct AudioEngine {
     net_degrade: Option<NetLatencyPolicy>,
     /// Total concealed frames already reported to the network governor.
     net_conceals_seen: u64,
+    /// The shared worker pool this engine's executor is registered on, if
+    /// it was built through [`on_pool`](Self::on_pool). Kept so a
+    /// thread-resize rebuild re-registers on the *same* pool instead of
+    /// spawning private threads.
+    pool: Option<Arc<VenuePool>>,
+    /// Venue session id tagged into telemetry and flight exports
+    /// (0 = single-session).
+    session: u32,
 }
 
 /// Convert a workload-layer [`FaultSpec`] into the executor-layer
@@ -229,8 +252,37 @@ impl AudioEngine {
         threads: usize,
         aux: AuxWork,
     ) -> Self {
+        Self::with_shape_pooled(scenario, shape, strategy, threads, aux, None)
+    }
+
+    /// Build an engine whose executor registers on an existing shared
+    /// [`VenuePool`] instead of spawning private worker threads — the
+    /// venue-server constructor. `threads` is this session's lane count
+    /// and must not exceed the pool's. Sequential engines accept a pool
+    /// too (they simply never stage work on it), so a venue can host
+    /// mixed-strategy sessions uniformly.
+    pub fn on_pool(
+        scenario: Scenario,
+        strategy: Strategy,
+        threads: usize,
+        aux: AuxWork,
+        pool: &Arc<VenuePool>,
+    ) -> Self {
+        let shape = GraphShape::for_net(&scenario.net);
+        Self::with_shape_pooled(scenario, shape, strategy, threads, aux, Some(pool))
+    }
+
+    fn with_shape_pooled(
+        scenario: Scenario,
+        shape: GraphShape,
+        strategy: Strategy,
+        threads: usize,
+        aux: AuxWork,
+        pool: Option<&Arc<VenuePool>>,
+    ) -> Self {
         let frames = djstar_dsp::BUFFER_FRAMES;
-        let (executor, map) = Self::build_executor(&scenario, &shape, strategy, threads, frames);
+        let (executor, map) =
+            Self::build_executor(&scenario, &shape, strategy, threads, frames, pool);
         let decks = scenario
             .decks
             .iter()
@@ -279,6 +331,8 @@ impl AudioEngine {
             saved_aux: None,
             net_degrade: None,
             net_conceals_seen: 0,
+            pool: pool.cloned(),
+            session: 0,
             scenario,
         }
     }
@@ -291,22 +345,60 @@ impl AudioEngine {
         strategy: Strategy,
         threads: usize,
         frames: usize,
+        pool: Option<&Arc<VenuePool>>,
     ) -> (Box<dyn GraphExecutor>, NodeMap) {
+        use djstar_core::graph::Priority;
         let (graph, map) = build_shaped_graph(scenario, shape);
-        let executor: Box<dyn GraphExecutor> = match strategy {
-            Strategy::Sequential => Box::new(SequentialExecutor::new(graph, frames)),
-            Strategy::Busy => Box::new(BusyExecutor::new(graph, threads, frames)),
-            Strategy::Sleep => Box::new(SleepExecutor::new(graph, threads, frames)),
-            Strategy::Steal => Box::new(StealExecutor::new(graph, threads, frames)),
+        let executor: Box<dyn GraphExecutor> = match (strategy, pool) {
+            // Sequential never stages pool work; a venue runs it inline on
+            // the driver while the pool crunches the parallel sessions.
+            (Strategy::Sequential, _) => Box::new(SequentialExecutor::new(graph, frames)),
+            (Strategy::Busy, None) => Box::new(BusyExecutor::new(graph, threads, frames)),
+            (Strategy::Busy, Some(p)) => Box::new(BusyExecutor::with_pool(
+                graph,
+                threads,
+                frames,
+                Priority::Depth,
+                p,
+            )),
+            (Strategy::Sleep, None) => Box::new(SleepExecutor::new(graph, threads, frames)),
+            (Strategy::Sleep, Some(p)) => Box::new(SleepExecutor::with_pool(
+                graph,
+                threads,
+                frames,
+                Priority::Depth,
+                p,
+            )),
+            (Strategy::Steal, None) => Box::new(StealExecutor::new(graph, threads, frames)),
+            (Strategy::Steal, Some(p)) => Box::new(StealExecutor::with_pool(
+                graph,
+                threads,
+                frames,
+                Priority::Depth,
+                p,
+            )),
             // Extension strategy: a 2000-poll spin budget (~tens of µs)
             // before parking; tune via the executor handle if needed.
-            Strategy::Hybrid => Box::new(HybridExecutor::new(graph, threads, frames, 2_000)),
+            (Strategy::Hybrid, None) => {
+                Box::new(HybridExecutor::new(graph, threads, frames, 2_000))
+            }
+            (Strategy::Hybrid, Some(p)) => Box::new(HybridExecutor::with_pool(
+                graph,
+                threads,
+                frames,
+                2_000,
+                Priority::Depth,
+                p,
+            )),
             // Extension strategy: probe node durations on a throwaway
             // sequential engine, list-schedule them onto `threads`
             // processors, and replay that static schedule.
-            Strategy::Planned => {
+            (Strategy::Planned, pool) => {
                 let blueprint = Self::compile_plan_for(scenario, shape, threads);
-                Box::new(PlannedExecutor::new(graph, frames, blueprint))
+                match pool {
+                    None => Box::new(PlannedExecutor::new(graph, frames, blueprint)),
+                    Some(p) => Box::new(PlannedExecutor::with_pool(graph, frames, blueprint, p)),
+                }
             }
         };
         (executor, map)
@@ -464,9 +556,16 @@ impl AudioEngine {
         }
         if let Some(threads) = resize {
             let frames = djstar_dsp::BUFFER_FRAMES;
-            let (executor, map) =
-                Self::build_executor(&self.scenario, &shape, self.strategy(), threads, frames);
+            let (executor, map) = Self::build_executor(
+                &self.scenario,
+                &shape,
+                self.strategy(),
+                threads,
+                frames,
+                self.pool.as_ref(),
+            );
             self.executor = executor;
+            self.executor.set_session(self.session);
             self.executor.set_faults(self.faults);
             self.executor.set_flight_recorder(self.flight_cfg);
             self.map = map;
@@ -505,7 +604,13 @@ impl AudioEngine {
     /// executor. Like the fault plan, the config survives generation
     /// swaps and thread-resize rebuilds until cleared — though a rebuild
     /// discards any spans recorded on the torn-down executor.
-    pub fn set_flight_recorder(&mut self, cfg: Option<FlightConfig>) {
+    pub fn set_flight_recorder(&mut self, mut cfg: Option<FlightConfig>) {
+        // The engine's session id is authoritative: windows captured here
+        // are always tagged with it so venue forensics can blame the
+        // offending session.
+        if let Some(c) = cfg.as_mut() {
+            c.session = self.session;
+        }
         self.flight_cfg = cfg;
         self.executor.set_flight_recorder(cfg);
     }
@@ -988,6 +1093,78 @@ impl AudioEngine {
         self.beat_clock += (self.master_bpm as f64 / 60.0)
             * (djstar_dsp::BUFFER_FRAMES as f64 / djstar_dsp::SAMPLE_RATE as f64);
         self.aux_sink += burn(self.aux.vc_iters, self.master_bpm / 200.0);
+    }
+
+    /// Tag this engine (and everything it records — telemetry rings,
+    /// flight windows) with a venue session id. Re-applied automatically
+    /// across thread-resize rebuilds. Takes effect for telemetry rings
+    /// and flight recorders installed after the call.
+    pub fn set_session(&mut self, session: u32) {
+        self.session = session;
+        self.executor.set_session(session);
+        if let Some(c) = self.flight_cfg.as_mut() {
+            c.session = session;
+            self.executor.set_flight_recorder(self.flight_cfg);
+        }
+    }
+
+    /// The venue session id this engine was tagged with (0 = solo).
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// The shared worker pool this engine stages onto, if it was built
+    /// with [`on_pool`](Self::on_pool).
+    pub fn pool(&self) -> Option<&Arc<VenuePool>> {
+        self.pool.as_ref()
+    }
+
+    /// First half of a venue-batched cycle: run the driver-side phases
+    /// that precede the graph (TP, GP, beat clock) and *stage* the graph
+    /// cycle on the shared pool without dispatching it. The venue server
+    /// stages every session, then issues one [`VenuePool::dispatch`] for
+    /// the whole batch, drives lane 0 via [`VenuePool::run_driver_parts`],
+    /// and finishes each session with [`venue_finish`](Self::venue_finish).
+    ///
+    /// Sequential engines stage nothing (`epoch: None`); their graph runs
+    /// inline on the driver during `venue_finish`, overlapping with the
+    /// pool workers crunching the parallel sessions.
+    pub fn venue_prepare(&mut self) -> VenueCyclePrep {
+        self.cycle += 1;
+
+        let t0 = Instant::now();
+        self.timecode_phase();
+        let tp = t0.elapsed();
+
+        let t1 = Instant::now();
+        self.preprocess_phase();
+        let gp = t1.elapsed();
+
+        self.ctrl[controls::BEAT_CLOCK] = self.beat_clock as f32;
+        let epoch = self.executor.venue_stage(&self.deck_bufs, &self.ctrl);
+        VenueCyclePrep { epoch, tp, gp }
+    }
+
+    /// Second half of a venue-batched cycle: collect the staged graph
+    /// result (or run it inline for sequential engines), then run the
+    /// VC phase. Must follow [`venue_prepare`](Self::venue_prepare) and,
+    /// for staged engines, the pool's dispatch + driver parts.
+    pub fn venue_finish(&mut self, prep: VenueCyclePrep) -> ApcTiming {
+        let result = match prep.epoch {
+            Some(epoch) => self.executor.venue_collect(epoch),
+            None => self.executor.run_cycle(&self.deck_bufs, &self.ctrl),
+        };
+
+        let t3 = Instant::now();
+        self.various_calculations_phase();
+        let vc = t3.elapsed();
+
+        ApcTiming {
+            tp: prep.tp,
+            gp: prep.gp,
+            graph: result.duration,
+            vc,
+        }
     }
 
     /// Run one full APC and return the phase timings.

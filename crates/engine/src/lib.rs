@@ -28,9 +28,11 @@ pub mod reconfig;
 pub mod soundcard;
 pub mod sync;
 pub mod timecode;
+pub mod venue;
 
 pub use apc::{
     fault_plan_from_spec, ApcTiming, AudioEngine, AuxWork, DegradeOutcome, NetDegradeOutcome,
+    VenueCyclePrep,
 };
 pub use degrade::{
     DegradationPolicy, DegradeAction, DegradeConfig, DegradeEvent, NetDegradeAction,
@@ -42,3 +44,4 @@ pub use reconfig::{
     apply_edit, stage_topology, EditError, GraphEdit, ReconfigError, StagedTopology,
 };
 pub use soundcard::SoundCardSim;
+pub use venue::{AdmissionRejection, SessionCounters, SessionSpec, VenueServer};

@@ -130,8 +130,10 @@ impl TimecodeDecoder {
                 position: self.position,
             };
         }
-        let l: Vec<f32> = self.window_l.iter().copied().collect();
-        let r: Vec<f32> = self.window_r.iter().copied().collect();
+        // In-place slices of the ring contents — the decode path must not
+        // allocate (it runs inside the real-time APC every cycle).
+        let l: &[f32] = self.window_l.make_contiguous();
+        let r: &[f32] = self.window_r.make_contiguous();
         // |speed| from the zero-crossing rate of the left channel over the
         // window, refined by linear interpolation of the crossing instants.
         let mut crossings = 0u32;

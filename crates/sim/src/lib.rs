@@ -40,6 +40,7 @@ pub mod model;
 pub mod netsim;
 pub mod planned;
 pub mod strategy;
+pub mod venue;
 
 pub use earliest::{earliest_start, EarliestStartResult};
 pub use faults::{faulted_cycle_bound_ns, faulted_model, unavoidable_misses};
@@ -51,3 +52,4 @@ pub use planned::{compile_blueprint, simulate_plan, simulate_plan_makespans};
 pub use strategy::{
     simulate_hybrid, simulate_strategy, simulate_ws_config, OverheadModel, SimStrategy, WsConfig,
 };
+pub use venue::{admissible, cycle_budget_ns, max_sessions, session_bound_ns};

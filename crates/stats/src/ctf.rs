@@ -83,6 +83,7 @@ pub fn window_to_ctf(window: &FlightWindow) -> Json {
             Json::object([
                 ("workers", Json::from(window.workers)),
                 ("dropped_spans", Json::from(window.dropped_spans)),
+                ("session", Json::from(u64::from(window.session))),
             ]),
         ),
     ])
@@ -105,6 +106,8 @@ pub fn window_from_ctf(json: &Json) -> Result<FlightWindow, String> {
         .get("dropped_spans")
         .and_then(Json::as_u64)
         .ok_or("missing otherData.dropped_spans")?;
+    // Absent in pre-venue exports; default to the single-session id.
+    let session = other.get("session").and_then(Json::as_u64).unwrap_or(0) as u32;
     let mut spans = Vec::new();
     let mut cycles = Vec::new();
     for (i, ev) in events.iter().enumerate() {
@@ -162,6 +165,7 @@ pub fn window_from_ctf(json: &Json) -> Result<FlightWindow, String> {
         spans,
         cycles,
         dropped_spans,
+        session,
     })
 }
 
@@ -211,6 +215,7 @@ mod tests {
                 },
             ],
             dropped_spans: 7,
+            session: 3,
         }
     }
 
@@ -235,6 +240,7 @@ mod tests {
         assert_eq!(back.dropped_spans, w.dropped_spans);
         assert_eq!(back.spans, w.spans);
         assert_eq!(back.cycles, w.cycles);
+        assert_eq!(back.session, w.session);
     }
 
     #[test]

@@ -176,6 +176,8 @@ pub struct MissContext {
 pub struct MissDossier {
     /// Executor epoch of the missed cycle.
     pub cycle: u64,
+    /// Venue session the window was captured for (0 = single-session).
+    pub session: u32,
     /// Strategy label (e.g. `BUSY`).
     pub strategy: String,
     /// Worker count.
@@ -200,6 +202,7 @@ impl MissDossier {
     pub fn to_json(&self) -> Json {
         Json::object([
             ("cycle", Json::from(self.cycle)),
+            ("session", Json::from(u64::from(self.session))),
             ("strategy", Json::from(self.strategy.as_str())),
             ("threads", Json::from(self.threads)),
             ("duration_ns", Json::from(self.duration_ns)),
@@ -336,6 +339,7 @@ pub fn analyze_miss(
 
     Some(MissDossier {
         cycle,
+        session: window.session,
         strategy: strategy.to_string(),
         threads,
         duration_ns,
@@ -373,6 +377,7 @@ mod tests {
                 end_ns: end,
             }],
             dropped_spans: 0,
+            session: 0,
         }
     }
 

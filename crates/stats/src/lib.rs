@@ -32,6 +32,7 @@ pub mod report;
 pub mod speedup;
 pub mod summary;
 pub mod telemetry;
+pub mod venue;
 
 pub use ctf::{window_from_ctf, window_to_ctf};
 pub use deadline::DeadlineTracker;
@@ -48,7 +49,8 @@ pub use reconfig::{ReconfigReport, StrategyReconfig};
 pub use report::CsvReport;
 pub use speedup::SpeedupTable;
 pub use summary::Summary;
-pub use telemetry::{cycle_json, MissEntry, Percentiles, TelemetryReport};
+pub use telemetry::{cycle_json, cycle_json_for_session, MissEntry, Percentiles, TelemetryReport};
+pub use venue::{AdmissionTrial, ScalingPoint, SessionLedgerEntry, StrategyVenue, VenueReport};
 
 /// Convert seconds to microseconds (the unit the paper reports graph times in).
 #[inline]

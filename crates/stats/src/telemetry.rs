@@ -93,6 +93,9 @@ pub struct TelemetryReport {
     /// derivable from the ring; attached by the capture path via
     /// [`with_dropped_events`](Self::with_dropped_events).
     pub dropped_events: u64,
+    /// Venue session id the aggregated ring was recording for (0 = solo
+    /// engine); attached via [`with_session`](Self::with_session).
+    pub session: u32,
 }
 
 impl TelemetryReport {
@@ -147,6 +150,7 @@ impl TelemetryReport {
             misses,
             miss_count,
             dropped_events: 0,
+            session: 0,
         })
     }
 
@@ -156,10 +160,17 @@ impl TelemetryReport {
         self
     }
 
+    /// Attach the venue session id the ring was recording for.
+    pub fn with_session(mut self, session: u32) -> Self {
+        self.session = session;
+        self
+    }
+
     /// The report as a JSON object (one entry of `BENCH_telemetry.json`).
     pub fn to_json(&self) -> Json {
         Json::object([
             ("strategy", Json::from(self.strategy.clone())),
+            ("session", Json::from(u64::from(self.session))),
             ("threads", Json::from(self.threads)),
             ("cycles", Json::from(self.cycles)),
             ("deadline_ns", Json::from(self.deadline_ns)),
@@ -277,10 +288,19 @@ impl TelemetryReport {
 }
 
 /// One cycle record as a JSONL line object: cycle stamp, graph time, and
-/// the full per-worker counter snapshots.
+/// the full per-worker counter snapshots. Equivalent to
+/// [`cycle_json_for_session`] with the solo session id 0.
 pub fn cycle_json(record: &CycleRecord) -> Json {
+    cycle_json_for_session(record, 0)
+}
+
+/// [`cycle_json`] tagged with the venue session id the record's ring was
+/// recording for (`TelemetryRing::session`; 0 = solo engine), so venue
+/// JSONL exports attribute every cycle line to its session.
+pub fn cycle_json_for_session(record: &CycleRecord, session: u32) -> Json {
     Json::object([
         ("cycle", Json::from(record.cycle)),
+        ("session", Json::from(u64::from(session))),
         ("graph_ns", Json::from(record.graph_ns)),
         (
             "workers",
@@ -377,8 +397,10 @@ mod tests {
     fn json_shapes_are_stable() {
         let r = record(7, 1234, 500, 100);
         let line = cycle_json(&r).render();
-        assert!(line.starts_with("{\"cycle\":7,\"graph_ns\":1234,\"workers\":[{"));
+        assert!(line.starts_with("{\"cycle\":7,\"session\":0,\"graph_ns\":1234,\"workers\":[{"));
         assert!(line.contains("\"exec_ns\":500"));
+        let tagged = cycle_json_for_session(&r, 3).render();
+        assert!(tagged.starts_with("{\"cycle\":7,\"session\":3,"));
 
         let report = TelemetryReport::from_records("SLEEP", 2, 2_000, [r].iter()).unwrap();
         let j = report.to_json().render();

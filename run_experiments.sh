@@ -6,11 +6,12 @@
 # fig4_plan_executor writes the BENCH_plan.json comparison,
 # fig_reconfig writes BENCH_reconfig.json (E13), fig_faults writes
 # BENCH_faults.json (E14), fig_dsp_simd writes BENCH_dsp.json (E16),
-# and fig_net writes BENCH_net.json (E17).
+# fig_net writes BENCH_net.json (E17), and fig_venue writes
+# BENCH_venue.json (E18).
 # Takes a few minutes at full scale; override DJSTAR_CYCLES /
 # DJSTAR_MEASURE_CYCLES / DJSTAR_TELEMETRY_CYCLES /
 # DJSTAR_RECONFIG_CYCLES / DJSTAR_FAULT_CYCLES / DJSTAR_DSP_CYCLES /
-# DJSTAR_NET_CYCLES to trade fidelity for time.
+# DJSTAR_NET_CYCLES / DJSTAR_VENUE_CYCLES to trade fidelity for time.
 #
 # Usage: ./run_experiments.sh [--check]
 #   --check   run the lint/test gate (scripts/check.sh) first
@@ -24,7 +25,7 @@ for bin in hotspot_analysis fig4_optimal_schedule fig4_plan_executor \
            table1_response_times fig9_histograms fig11_schedules \
            fig12_busy_sim deadline_misses thread_scaling ablations \
            telemetry_report fig_reconfig fig_faults fig_dsp_simd \
-           fig_net; do
+           fig_net fig_venue; do
   if [ ! -x "./target/release/$bin" ]; then
     echo "error: bench binary '$bin' not found or not executable at" \
          "./target/release/$bin — did the release build fail?" >&2

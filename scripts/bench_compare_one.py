@@ -61,6 +61,17 @@ def metrics(name, doc):
             drops = run.get("dropouts")
             if drops is not None:
                 yield f"fixed_dropouts[d{depth}]", float(drops)
+    elif name == "BENCH_venue.json":
+        for s in doc.get("strategies", []):
+            label = s.get("strategy", "?")
+            p50 = s.get("venue_p50_ns")
+            if p50 is not None:
+                yield f"venue_p50_ns[{label}]", float(p50)
+        for p in doc.get("scaling", []):
+            sessions = p.get("sessions", "?")
+            p50 = p.get("batch_p50_ns")
+            if p50 is not None:
+                yield f"batch_p50_ns[{sessions}s]", float(p50)
 
 
 def main():

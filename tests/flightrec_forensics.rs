@@ -35,6 +35,7 @@ fn blame_sums_to_overrun_across_strategies_and_threads() {
             engine.set_flight_recorder(Some(FlightConfig {
                 spans_per_worker: 8192,
                 cycles: 64,
+                session: 0,
             }));
             for _ in 0..CYCLES {
                 engine.run_apc();
