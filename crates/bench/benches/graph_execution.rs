@@ -69,6 +69,8 @@ fn bench_priority_order() {
     for (priority, label) in [
         (Priority::Depth, "depth"),
         (Priority::CriticalPath, "critical-path"),
+        (Priority::LongerIsShorter, "longer-is-shorter"),
+        (Priority::GlobalFixed, "global-fixed"),
     ] {
         let (graph, _map) = build_djstar_graph(&scenario());
         let mut exec = BusyExecutor::with_priority(graph, 2, djstar_dsp::BUFFER_FRAMES, priority);
@@ -88,6 +90,8 @@ fn bench_priority_order() {
     for (priority, label) in [
         (SimPriority::QueueOrder, "queue-order"),
         (SimPriority::CriticalPath, "critical-path"),
+        (SimPriority::LongerIsShorter, "longer-is-shorter"),
+        (SimPriority::GlobalFixed, "global-fixed"),
     ] {
         let mut cycle = 0usize;
         bench(&format!("priority_order/list_bound_4p/{label}"), || {

@@ -1,0 +1,454 @@
+//! E19 — mode-aware scheduling: warm blueprint-cache switches and the
+//! schedulability admission sweep.
+//!
+//! Two claims ride this experiment:
+//!
+//! 1. **Cache speedup.** Every strategy replays the same revisit-biased
+//!    mode walk twice: *cold* (PR 4 behaviour — each switch stages its
+//!    generation from scratch) and *warm* (the one-edit neighborhood is
+//!    precompiled into the [`BlueprintCache`] off the audio path, so each
+//!    switch is a take-once hit). The warm median stage latency must beat
+//!    the cold median by at least `DJSTAR_MODES_MIN_SPEEDUP` (default
+//!    5×), with bit-exact audio, every switch served from cache, and no
+//!    misses added beyond host noise.
+//! 2. **Admission agreement.** A family of target shapes — light to
+//!    saturated, plus shapes whose list-schedule bound straddles the
+//!    margined budget by exactly ±1 ns — is pushed through
+//!    `stage_edits` with admission armed, and every accept/reject must
+//!    agree with the simulator's `admissible` oracle computed
+//!    independently from the same calibrated cost model.
+//!
+//! Everything lands in `BENCH_modes.json`. `DJSTAR_STRICT=1` turns the
+//! acceptance checks into the exit code.
+
+use djstar_bench::{
+    env_f64, env_usize, fold_checksum, host_threads, strategy_threads, CHECKSUM_SEED,
+};
+use djstar_core::exec::Strategy;
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_engine::modes::{AdmissionControl, NodeCostModel};
+use djstar_engine::reconfig::{apply_edit, GraphEdit};
+use djstar_engine::soundcard::SoundCardSim;
+use djstar_engine::GraphShape;
+use djstar_stats::{ModeAdmissionTrial, ModesReport, StrategyModes};
+use djstar_workload::scenario::Scenario;
+use djstar_workload::switches::{shape_walk, SwitchAction, SwitchScript};
+use std::time::{Duration, Instant};
+
+fn to_edit(action: SwitchAction) -> GraphEdit {
+    match action {
+        SwitchAction::LoadDeck(d) => GraphEdit::LoadDeck(d),
+        SwitchAction::UnloadDeck(d) => GraphEdit::UnloadDeck(d),
+        SwitchAction::InsertFxSlot(d) => GraphEdit::InsertFxSlot(d),
+        SwitchAction::RemoveFxSlot(d) => GraphEdit::RemoveFxSlot(d),
+    }
+}
+
+struct RunResult {
+    misses: u64,
+    swaps: u64,
+    commit_blown: u64,
+    checksum: u64,
+    stage_ns: Vec<u64>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Replay `script` over `cycles` APCs against a fresh sound card. With
+/// `warm`, the engine's blueprint cache is armed and the one-edit
+/// neighborhood precompiled before the storm and refreshed after every
+/// commit — the refresh is *not* charged to the cycle (it stands in for
+/// the background stager of a real host). Only the stage latency of the
+/// switch itself is timed into `stage_ns`, and only the commit is charged
+/// to the cycle's deadline, exactly as in E13.
+fn run(
+    scenario: &Scenario,
+    strategy: Strategy,
+    threads: usize,
+    cycles: usize,
+    script: &SwitchScript,
+    warm: bool,
+) -> RunResult {
+    let mut engine =
+        AudioEngine::with_aux(scenario.clone(), strategy, threads, AuxWork::paper_scale());
+    engine.warmup(50);
+    if warm {
+        engine.enable_mode_cache(32);
+        engine.precompile_neighborhood();
+    }
+    let mut card = SoundCardSim::paper_default();
+    let mut events = script.events().iter().peekable();
+    let mut stage_ns = Vec::with_capacity(script.len());
+    let mut swaps = 0u64;
+    let mut commit_blown = 0u64;
+    let mut checksum = CHECKSUM_SEED;
+    let deadline = card.deadline_ns();
+    for cycle in 0..cycles {
+        let mut commit_cost = 0u64;
+        while let Some(&&e) = events.peek() {
+            if e.at_cycle != cycle {
+                break;
+            }
+            events.next();
+            let t0 = Instant::now();
+            let staged = engine
+                .stage_edits(&[to_edit(e.action)])
+                .expect("walk scripts only contain valid edits");
+            stage_ns.push(t0.elapsed().as_nanos() as u64);
+            let t1 = Instant::now();
+            engine.commit(staged).expect("staged generation commits");
+            let c = t1.elapsed().as_nanos() as u64;
+            commit_cost += c;
+            swaps += 1;
+            if warm {
+                // Background-stager stand-in: re-fill the neighborhood of
+                // the newly committed shape so the next switch is warm.
+                engine.precompile_neighborhood();
+            }
+        }
+        let timing = engine.run_apc();
+        let out = engine.output();
+        checksum = fold_checksum(checksum, &out);
+        let cycle_ns = timing.total().as_nanos() as u64;
+        // Same causal glitch metric as E13: only commits that materially
+        // tipped an otherwise-passing cycle are blamed on the protocol.
+        if cycle_ns <= deadline && cycle_ns + commit_cost > deadline && commit_cost > deadline / 10
+        {
+            commit_blown += 1;
+        }
+        card.submit(&out, cycle_ns + commit_cost);
+    }
+    let stats = engine.mode_cache().map(|c| c.stats()).unwrap_or_default();
+    RunResult {
+        misses: card.underruns(),
+        swaps,
+        commit_blown,
+        checksum,
+        stage_ns,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    }
+}
+
+/// The edit script that morphs `from` into `to`, validated step by step.
+fn edits_to(from: &GraphShape, to: &GraphShape) -> Vec<GraphEdit> {
+    let mut cur = *from;
+    let mut edits = Vec::new();
+    let push = |cur: &mut GraphShape, edits: &mut Vec<GraphEdit>, e: GraphEdit| {
+        apply_edit(cur, e).expect("shape diffs only produce valid edits");
+        edits.push(e);
+    };
+    for d in 0..4 {
+        if cur.deck_loaded[d] && cur.remote_decks[d] && (!to.deck_loaded[d] || !to.remote_decks[d])
+        {
+            push(&mut cur, &mut edits, GraphEdit::DisconnectRemoteDeck(d));
+        }
+        match (cur.deck_loaded[d], to.deck_loaded[d]) {
+            (true, false) => {
+                push(&mut cur, &mut edits, GraphEdit::UnloadDeck(d));
+                continue;
+            }
+            (false, true) => push(&mut cur, &mut edits, GraphEdit::LoadDeck(d)),
+            _ => {}
+        }
+        if !to.deck_loaded[d] {
+            continue;
+        }
+        while cur.fx_slots[d] < to.fx_slots[d] {
+            push(&mut cur, &mut edits, GraphEdit::InsertFxSlot(d));
+        }
+        while cur.fx_slots[d] > to.fx_slots[d] {
+            push(&mut cur, &mut edits, GraphEdit::RemoveFxSlot(d));
+        }
+        if !cur.remote_decks[d] && to.remote_decks[d] {
+            push(&mut cur, &mut edits, GraphEdit::ConnectRemoteDeck(d));
+        }
+        if to.remote_decks[d] && to.net_depth[d] > 0 && cur.net_depth[d] != to.net_depth[d] {
+            push(
+                &mut cur,
+                &mut edits,
+                GraphEdit::SetNetDepth(d, to.net_depth[d]),
+            );
+        }
+    }
+    edits
+}
+
+fn shape_label(shape: &GraphShape) -> String {
+    let decks: String = shape
+        .deck_loaded
+        .iter()
+        .map(|&l| if l { '1' } else { '0' })
+        .collect();
+    let fx: Vec<String> = (0..4)
+        .map(|d| {
+            if shape.deck_loaded[d] {
+                shape.fx_slots[d].to_string()
+            } else {
+                "-".to_string()
+            }
+        })
+        .collect();
+    let remote = shape.remote_decks.iter().filter(|&&r| r).count();
+    format!("decks={decks} fx={} remote={remote}", fx.join("/"))
+}
+
+/// The shape family the admission sweep walks: light to saturated.
+fn shape_family() -> Vec<GraphShape> {
+    let mut family = Vec::new();
+    family.push(GraphShape::paper_default());
+    let mut light = GraphShape::paper_default();
+    light.deck_loaded = [true, true, false, false];
+    light.fx_slots = [1, 1, 1, 1];
+    family.push(light);
+    let mut mid = GraphShape::paper_default();
+    mid.deck_loaded = [true, true, true, false];
+    mid.fx_slots = [4, 4, 2, 4];
+    family.push(mid);
+    let mut heavy = GraphShape::paper_default();
+    heavy.fx_slots = [GraphShape::MAX_FX_SLOTS; 4];
+    family.push(heavy);
+    let mut skewed = GraphShape::paper_default();
+    skewed.fx_slots = [GraphShape::MAX_FX_SLOTS, 1, 1, 1];
+    family.push(skewed);
+    let mut remote = GraphShape::paper_default();
+    remote.remote_decks[2] = true;
+    remote.net_depth[2] = 4;
+    family.push(remote);
+    family
+}
+
+/// Engine-side verdict: arm admission with (`deadline`, `margin`) and ask
+/// `stage_edits` for the diff script from the engine's current shape.
+/// The staged generation (accept) is dropped, never committed, so the
+/// engine's shape stays put across trials.
+fn engine_accepts(
+    engine: &mut AudioEngine,
+    costs: &NodeCostModel,
+    threads: usize,
+    deadline_ns: u64,
+    margin: f64,
+    target: &GraphShape,
+) -> bool {
+    engine.enable_admission(AdmissionControl::new(
+        deadline_ns,
+        margin,
+        threads,
+        costs.clone(),
+    ));
+    let edits = edits_to(engine.shape(), target);
+    let accepted = engine.stage_edits(&edits).is_ok();
+    engine.disable_admission();
+    accepted
+}
+
+/// Oracle-side bound: the same sim primitives, invoked independently of
+/// the engine's `AdmissionControl` (PR 9's venue-oracle pattern).
+fn oracle_bound_ns(
+    scenario: &Scenario,
+    shape: &GraphShape,
+    costs: &NodeCostModel,
+    threads: usize,
+) -> u64 {
+    let (graph, _) = djstar_engine::build_shaped_graph(scenario, shape);
+    let topo = graph.topology();
+    let sim = djstar_sim::SimGraph::from_topology(topo);
+    let durations = djstar_sim::DurationModel::Constant(costs.durations_for(topo));
+    djstar_sim::session_bound_ns(&sim, &durations, threads as u32, 0)
+}
+
+fn admission_sweep(
+    scenario: &Scenario,
+    threads: usize,
+    deadline_ns: u64,
+) -> Vec<ModeAdmissionTrial> {
+    // Calibrate the cost model on a sequential probe of the paper shape —
+    // the same measured input the engine's admission would run with.
+    let mut probe =
+        AudioEngine::with_aux(scenario.clone(), Strategy::Sequential, 1, AuxWork::light());
+    probe.warmup(10);
+    let costs = probe.calibrated_costs(12);
+
+    let mut engine =
+        AudioEngine::with_aux(scenario.clone(), Strategy::Busy, threads, AuxWork::light());
+    let family = shape_family();
+    let bounds: Vec<u64> = family
+        .iter()
+        .map(|s| oracle_bound_ns(scenario, s, &costs, threads))
+        .collect();
+
+    let mut trials = Vec::new();
+    // Sweep 1: the real deadline at the venue margin — the production
+    // configuration (typically all-accept at paper scale).
+    let margin = 0.1;
+    for (shape, &bound) in family.iter().zip(&bounds) {
+        trials.push(ModeAdmissionTrial {
+            label: format!("{} @ deadline", shape_label(shape)),
+            bound_ns: bound,
+            budget_ns: djstar_sim::cycle_budget_ns(deadline_ns, margin),
+            accepted: engine_accepts(&mut engine, &costs, threads, deadline_ns, margin, shape),
+            oracle_admits: djstar_sim::admissible(&[bound], deadline_ns, margin),
+        });
+    }
+    // Sweep 2: a budget pinned at the family's median bound, so the
+    // family splits into accepts and rejects.
+    let mut sorted = bounds.clone();
+    sorted.sort_unstable();
+    let pivot = sorted[sorted.len() / 2];
+    for (shape, &bound) in family.iter().zip(&bounds) {
+        trials.push(ModeAdmissionTrial {
+            label: format!("{} @ pivot", shape_label(shape)),
+            bound_ns: bound,
+            budget_ns: djstar_sim::cycle_budget_ns(pivot, 0.0),
+            accepted: engine_accepts(&mut engine, &costs, threads, pivot, 0.0, shape),
+            oracle_admits: djstar_sim::admissible(&[bound], pivot, 0.0),
+        });
+    }
+    // Sweep 3: boundary shapes — budgets straddling each shape's own
+    // bound by exactly one nanosecond, where off-by-one disagreement
+    // between engine and oracle would show immediately.
+    for (shape, &bound) in family.iter().zip(&bounds).take(3) {
+        for budget in [bound, bound - 1] {
+            trials.push(ModeAdmissionTrial {
+                label: format!(
+                    "{} @ boundary{}",
+                    shape_label(shape),
+                    if budget == bound { "+0" } else { "-1" }
+                ),
+                bound_ns: bound,
+                budget_ns: djstar_sim::cycle_budget_ns(budget, 0.0),
+                accepted: engine_accepts(&mut engine, &costs, threads, budget, 0.0, shape),
+                oracle_admits: djstar_sim::admissible(&[bound], budget, 0.0),
+            });
+        }
+    }
+    trials
+}
+
+fn main() {
+    let cycles = env_usize("DJSTAR_MODES_CYCLES", 3_000);
+    let switches = env_usize("DJSTAR_MODES_SWITCHES", 100);
+    let min_speedup = env_f64("DJSTAR_MODES_MIN_SPEEDUP", 5.0);
+    let threads = host_threads(4);
+    let period = (cycles / (switches + 1)).max(1);
+    let script = shape_walk(switches, period, 0xE19);
+    assert!(
+        script.last_cycle() < cycles,
+        "script must fit the cycle budget"
+    );
+
+    eprintln!("[modes] calibrating scenario ...");
+    let scenario = AudioEngine::calibrate(
+        Scenario::paper_default(),
+        Duration::from_nanos((djstar_bench::PAPER_SEQUENTIAL_MS * 1e6) as u64),
+        100,
+    );
+    let deadline_ns = SoundCardSim::paper_default().deadline_ns();
+
+    let mut strategies = Vec::new();
+    for strategy in Strategy::ALL {
+        let t = strategy_threads(strategy, threads);
+        let run_pair = || {
+            eprintln!(
+                "[modes] {} cold storm ({switches} switches over {cycles} cycles) ...",
+                strategy.label()
+            );
+            let cold = run(&scenario, strategy, t, cycles, &script, false);
+            eprintln!(
+                "[modes] {} warm storm (precompiled cache) ...",
+                strategy.label()
+            );
+            let warm = run(&scenario, strategy, t, cycles, &script, true);
+            assert_eq!(cold.swaps, warm.swaps, "both runs replay the same script");
+            StrategyModes {
+                strategy: strategy.label().to_string(),
+                cold_stage_ns: cold.stage_ns,
+                warm_stage_ns: warm.stage_ns,
+                cold_misses: cold.misses,
+                warm_misses: warm.misses,
+                cold_checksum: cold.checksum,
+                warm_checksum: warm.checksum,
+                cache_hits: warm.cache_hits,
+                cache_misses: warm.cache_misses,
+                swaps: warm.swaps,
+                commit_blown: warm.commit_blown,
+            }
+        };
+        let mut entry = run_pair();
+        // Cold and warm runs are independent; a host load burst in either
+        // can blow the miss difference (or depress the measured speedup)
+        // without any protocol defect. Bursts do not repeat on demand —
+        // one pair retry separates them from real regressions, as in E13.
+        if entry.added_misses() > entry.noise_allowance(switches)
+            || entry.stage_speedup() < min_speedup
+        {
+            eprintln!(
+                "[modes] {} outside gates (speedup {:.1}x, added misses {}) — \
+                 retrying the pair once (host load burst?)",
+                strategy.label(),
+                entry.stage_speedup(),
+                entry.added_misses()
+            );
+            entry = run_pair();
+        }
+        strategies.push(entry);
+    }
+
+    eprintln!("[modes] admission sweep ...");
+    let admission = admission_sweep(&scenario, threads, deadline_ns);
+
+    let report = ModesReport {
+        threads,
+        cycles,
+        switches,
+        deadline_ns,
+        min_speedup,
+        strategies,
+        admission,
+    };
+
+    println!("# E19 — mode-aware scheduling: blueprint cache + admission\n");
+    println!("{}", report.render());
+
+    let json = report.to_json().render();
+    match std::fs::write("BENCH_modes.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("[modes] wrote BENCH_modes.json"),
+        Err(e) => eprintln!("[modes] cannot write BENCH_modes.json: {e}"),
+    }
+
+    if std::env::var("DJSTAR_STRICT").is_ok_and(|v| v != "0") {
+        if !report.cache_speedup_ok() {
+            eprintln!("[modes] FAIL: warm stage p50 did not beat cold by {min_speedup}x");
+            std::process::exit(1);
+        }
+        if !report.bit_exact() {
+            eprintln!("[modes] FAIL: cached execution diverged from cold-staged audio");
+            std::process::exit(1);
+        }
+        if !report.all_from_cache() {
+            eprintln!("[modes] FAIL: a warm switch fell back to cold staging");
+            std::process::exit(1);
+        }
+        if !report.warm_within_noise() {
+            eprintln!("[modes] FAIL: warm storm added more misses than the noise allowance");
+            std::process::exit(1);
+        }
+        if !report.no_commit_blown() {
+            eprintln!("[modes] FAIL: a commit pushed a cycle over its deadline");
+            std::process::exit(1);
+        }
+        if !report.all_swaps_committed() {
+            eprintln!("[modes] FAIL: not every scheduled switch was committed");
+            std::process::exit(1);
+        }
+        if !report.admission_agrees() {
+            eprintln!("[modes] FAIL: engine admission disagreed with the sim oracle");
+            std::process::exit(1);
+        }
+        if !report.admission_non_vacuous() {
+            eprintln!("[modes] FAIL: admission sweep did not exercise both verdicts");
+            std::process::exit(1);
+        }
+        eprintln!("[modes] strict checks passed");
+    }
+}

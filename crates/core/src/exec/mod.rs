@@ -173,6 +173,13 @@ impl StagedGeneration {
         self.plan.is_some()
     }
 
+    /// The staged PLAN blueprint, when one was compiled alongside the
+    /// graph. Lets differential tests compare cached generations against
+    /// freshly staged ones slot by slot.
+    pub fn plan(&self) -> Option<&ScheduleBlueprint> {
+        self.plan.as_ref()
+    }
+
     pub(crate) fn into_parts(self) -> (ExecGraph, Option<ScheduleBlueprint>) {
         (self.exec, self.plan)
     }
@@ -429,6 +436,10 @@ pub struct ExecGraph {
     arena: djstar_dsp::BufferArena,
     /// Placeholder for initializing input reference arrays.
     empty: AudioBuf,
+    /// Node index by unique name, built once at construction (staging
+    /// time) so generation swaps resolve carried-over nodes without
+    /// allocating on the audio thread.
+    name_index: std::collections::HashMap<String, usize>,
 }
 
 impl ExecGraph {
@@ -472,12 +483,16 @@ impl ExecGraph {
                 waiter: AtomicUsize::new(0),
             })
             .collect();
+        let name_index = (0..topo.len())
+            .map(|n| (topo.name(NodeId(n as u32)).to_string(), n))
+            .collect();
         ExecGraph {
             topo: Arc::new(topo),
             cells,
             runtimes,
             arena,
             empty: AudioBuf::zeroed(1, 1),
+            name_index,
         }
     }
 
@@ -569,12 +584,11 @@ impl ExecGraph {
     /// Returns the number of carried nodes. Driver only, between cycles
     /// (`&mut` on both graphs proves it).
     pub fn carry_over_from(&mut self, old: &mut ExecGraph) -> usize {
-        let old_ids: std::collections::HashMap<&str, usize> = (0..old.topo.len())
-            .map(|n| (old.topo.name(NodeId(n as u32)), n))
-            .collect();
+        // The name index was built when `old` was constructed (staging
+        // time), so the swap itself allocates nothing.
         let mut carried = 0;
         for n in 0..self.runtimes.len() {
-            let Some(&o) = old_ids.get(self.topo.name(NodeId(n as u32))) else {
+            let Some(&o) = old.name_index.get(self.topo.name(NodeId(n as u32))) else {
                 continue;
             };
             let new_rt = self.runtimes[n].0.get_mut();

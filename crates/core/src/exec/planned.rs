@@ -104,7 +104,7 @@ impl std::error::Error for BlueprintError {}
 /// Build one from a simulated schedule (see `djstar-sim`'s
 /// `compile_blueprint`) or from [`round_robin`](Self::round_robin), which
 /// reproduces the BUSY assignment for baselines and tests.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleBlueprint {
     workers: Vec<Vec<PlannedNode>>,
 }

@@ -98,14 +98,40 @@ pub enum Priority {
     /// nodes), insertion order within a tie. Nodes that gate the most
     /// downstream work run first.
     CriticalPath,
+    /// "Longer Is Shorter" path shaping (He et al.): descending
+    /// critical-path length like [`Priority::CriticalPath`], but ties are
+    /// broken by the longest *total* path through the node
+    /// (`depth + cp_len`, descending) instead of insertion order. Nodes
+    /// sitting on long end-to-end chains are serialized first, which
+    /// lengthens the nominal priority list but shortens the parallel
+    /// response time on skewed graphs. Still a valid topological order:
+    /// edges strictly decrease `cp_len`, so ties never carry edges.
+    LongerIsShorter,
+    /// Global fixed-priority: one static, structure-derived priority per
+    /// node (ascending depth, then descending `cp_len`, then descending
+    /// out-degree), mirroring global fixed-priority DAG response-time
+    /// analysis where every vertex carries a single system-wide priority.
+    /// Ascending depth is the strictly monotone primary key, so the order
+    /// stays topologically valid.
+    GlobalFixed,
 }
 
 impl Priority {
+    /// Every queue policy, in sweep order.
+    pub const ALL: [Priority; 4] = [
+        Priority::Depth,
+        Priority::CriticalPath,
+        Priority::LongerIsShorter,
+        Priority::GlobalFixed,
+    ];
+
     /// Short label for reports and benchmarks.
     pub fn label(self) -> &'static str {
         match self {
             Priority::Depth => "depth",
             Priority::CriticalPath => "critical-path",
+            Priority::LongerIsShorter => "longer-is-shorter",
+            Priority::GlobalFixed => "global-fixed",
         }
     }
 }
@@ -158,6 +184,14 @@ pub struct GraphTopology {
     /// Node ids sorted by descending critical-path length (stable, so
     /// insertion order breaks ties). Also a valid topological order.
     cp_queue: Vec<u32>,
+    /// "Longer Is Shorter" order: descending `cp_len`, ties by descending
+    /// total path through the node (`depth + cp_len`). Topologically valid
+    /// for the same reason as `cp_queue`.
+    lis_queue: Vec<u32>,
+    /// Global fixed-priority order: ascending depth, ties by descending
+    /// `cp_len`, then descending out-degree. Topologically valid because
+    /// depth strictly increases along edges.
+    gfp_queue: Vec<u32>,
     /// Per-node successor lists re-sorted by ascending critical-path length.
     /// The work-stealing executor pushes released successors in this order so
     /// its LIFO deque pops the longest-path successor first.
@@ -226,6 +260,8 @@ impl GraphTopology {
         match priority {
             Priority::Depth => &self.queue,
             Priority::CriticalPath => &self.cp_queue,
+            Priority::LongerIsShorter => &self.lis_queue,
+            Priority::GlobalFixed => &self.gfp_queue,
         }
     }
 
@@ -237,12 +273,14 @@ impl GraphTopology {
     }
 
     /// The successor iteration order selected by `priority`: graph order for
-    /// [`Priority::Depth`], ascending critical-path length for
-    /// [`Priority::CriticalPath`].
+    /// [`Priority::Depth`] and [`Priority::GlobalFixed`] (a single static
+    /// rank needs no per-release reshuffle), ascending critical-path length
+    /// for the path-shaping policies so a LIFO pop takes the longest path
+    /// first.
     pub fn succ_order(&self, n: NodeId, priority: Priority) -> &[u32] {
         match priority {
-            Priority::Depth => &self.succs[n.idx()],
-            Priority::CriticalPath => &self.succs_by_cp[n.idx()],
+            Priority::Depth | Priority::GlobalFixed => &self.succs[n.idx()],
+            Priority::CriticalPath | Priority::LongerIsShorter => &self.succs_by_cp[n.idx()],
         }
     }
 
@@ -468,6 +506,30 @@ impl TaskGraphBuilder {
         }
         let mut cp_queue: Vec<u32> = (0..n as u32).collect();
         cp_queue.sort_by_key(|&i| std::cmp::Reverse(cp_len[i as usize]));
+        // "Longer Is Shorter": same strictly monotone primary key as
+        // cp_queue, but ties prefer the node on the longest end-to-end path
+        // (depth + cp_len counts the node once per term, which is fine for
+        // ranking).
+        let mut lis_queue: Vec<u32> = (0..n as u32).collect();
+        lis_queue.sort_by_key(|&i| {
+            let i = i as usize;
+            (
+                std::cmp::Reverse(cp_len[i]),
+                std::cmp::Reverse(depth[i] + cp_len[i]),
+            )
+        });
+        // Global fixed-priority: one static rank per node. Ascending depth
+        // keeps it a topological order; within a column the node gating the
+        // longest tail (then the most successors) outranks its peers.
+        let mut gfp_queue: Vec<u32> = (0..n as u32).collect();
+        gfp_queue.sort_by_key(|&i| {
+            let i = i as usize;
+            (
+                depth[i],
+                std::cmp::Reverse(cp_len[i]),
+                std::cmp::Reverse(succs[i].len()),
+            )
+        });
         let succs_by_cp: Vec<Vec<u32>> = succs
             .iter()
             .map(|ss| {
@@ -497,6 +559,8 @@ impl TaskGraphBuilder {
                 cp_len,
                 queue,
                 cp_queue,
+                lis_queue,
+                gfp_queue,
                 succs_by_cp,
                 sources,
             },
@@ -673,6 +737,73 @@ mod tests {
                 assert!(t.cp_len(NodeId(p)) > t.cp_len(id));
             }
         }
+    }
+
+    #[test]
+    fn all_priority_orders_are_valid_execution_orders() {
+        // Random-ish DAG: every precomputed policy order must respect every
+        // edge, including the two DAG-literature policies.
+        let mut b = TaskGraphBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..60u32 {
+            let preds: Vec<NodeId> = ids
+                .iter()
+                .copied()
+                .filter(|p: &NodeId| (i * 5 + p.0 * 2).is_multiple_of(7))
+                .collect();
+            ids.push(b.add(format!("n{i}"), Section::Master, pt(), &preds));
+        }
+        let g = b.build().unwrap();
+        let t = g.topology();
+        for pr in Priority::ALL {
+            assert!(
+                t.is_valid_execution_order(t.order(pr)),
+                "{} order violates dependencies",
+                pr.label()
+            );
+        }
+    }
+
+    #[test]
+    fn longer_is_shorter_ties_prefer_long_total_paths() {
+        // Two nodes with equal cp_len (2): node 1 sits on a depth-1 chain
+        // (total path 3), node 2 is a source (total path 2). LIS must rank
+        // the deeper chain first; plain CP keeps insertion order.
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add("a", Section::DeckA, pt(), &[]);
+        let x = b.add("x", Section::DeckA, pt(), &[a]); // depth 1, cp 2
+        let y = b.add("y", Section::DeckB, pt(), &[]); // depth 0, cp 2
+        b.add("xs", Section::Master, pt(), &[x]);
+        b.add("ys", Section::Master, pt(), &[y]);
+        let g = b.build().unwrap();
+        let t = g.topology();
+        assert_eq!(t.cp_len(x), t.cp_len(y));
+        let lis = t.order(Priority::LongerIsShorter);
+        let px = lis.iter().position(|&n| n == x.0).unwrap();
+        let py = lis.iter().position(|&n| n == y.0).unwrap();
+        assert!(
+            px < py,
+            "LIS must rank the longer total path first: {lis:?}"
+        );
+        assert!(t.is_valid_execution_order(lis));
+    }
+
+    #[test]
+    fn global_fixed_ranks_within_columns() {
+        // Same depth column: the node with the longer tail outranks its
+        // peer regardless of insertion order.
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add("a", Section::DeckA, pt(), &[]);
+        let short = b.add("short", Section::DeckA, pt(), &[a]); // cp 1
+        let long = b.add("long", Section::DeckB, pt(), &[a]); // cp 2
+        b.add("tail", Section::Master, pt(), &[long]);
+        let g = b.build().unwrap();
+        let t = g.topology();
+        let gfp = t.order(Priority::GlobalFixed);
+        let ps = gfp.iter().position(|&n| n == short.0).unwrap();
+        let pl = gfp.iter().position(|&n| n == long.0).unwrap();
+        assert!(pl < ps, "GFP must rank the longer tail first: {gfp:?}");
+        assert!(t.is_valid_execution_order(gfp));
     }
 
     #[test]

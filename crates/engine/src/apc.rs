@@ -16,6 +16,7 @@ use crate::degrade::{
     NetDegradeConfig, NetDegradeEvent, NetLatencyPolicy,
 };
 use crate::graphbuild::{build_shaped_graph, GraphShape, NodeMap};
+use crate::modes::{reachable_edits, AdmissionControl, BlueprintCache, NodeCostModel};
 use crate::netnodes::{BroadcastSink, BroadcastStats, NetDeckSource};
 use crate::nodes::controls;
 use crate::profiling::HotspotProfiler;
@@ -129,6 +130,18 @@ pub struct AudioEngine {
     /// Topology edits requested through the event middleware, waiting for
     /// the host to stage and commit them.
     pending_edits: Vec<GraphEdit>,
+    /// Mode-aware blueprint cache; `None` until
+    /// [`enable_mode_cache`](Self::enable_mode_cache). When armed,
+    /// [`stage_edits`](Self::stage_edits) serves warm shapes without
+    /// building anything.
+    modes: Option<BlueprintCache>,
+    /// Schedulability admission; `None` until
+    /// [`enable_admission`](Self::enable_admission). When armed, staging
+    /// rejects shapes the list-schedule bound proves unschedulable.
+    admission: Option<AdmissionControl>,
+    /// Stagings whose PLAN blueprint failed to compile — surfaced as
+    /// [`ReconfigError::Blueprint`] and counted here for telemetry.
+    stage_failures: u64,
     decks: Vec<Option<TrackPlayer>>,
     tc_gen: Vec<TimecodeGenerator>,
     tc_dec: Vec<TimecodeDecoder>,
@@ -310,6 +323,9 @@ impl AudioEngine {
             shape,
             dropped_events: 0,
             pending_edits: Vec::new(),
+            modes: None,
+            admission: None,
+            stage_failures: 0,
             decks,
             tc_gen: (0..4).map(|_| TimecodeGenerator::new(sr)).collect(),
             tc_dec: (0..4).map(|_| TimecodeDecoder::new(sr)).collect(),
@@ -502,21 +518,179 @@ impl AudioEngine {
     /// call [`stage_topology`] there (the result is `Send`); the
     /// cycle-boundary half is [`commit`](Self::commit) either way.
     ///
+    /// With [`enable_admission`](Self::enable_admission) armed, the target
+    /// shape is first checked against the list-schedule bound and rejected
+    /// ([`ReconfigError::Unschedulable`]) before anything is built. With
+    /// [`enable_mode_cache`](Self::enable_mode_cache) armed, an admitted
+    /// shape whose generation was precompiled is served straight from the
+    /// cache — a take-once hit that allocates nothing.
+    ///
     /// [`GraphEdit::ResizeThreads`] is rejected here
     /// ([`EditError::ResizeNeedsRebuild`]); it only makes sense through
     /// [`reconfigure`](Self::reconfigure).
-    pub fn stage_edits(&self, edits: &[GraphEdit]) -> Result<StagedTopology, ReconfigError> {
+    pub fn stage_edits(&mut self, edits: &[GraphEdit]) -> Result<StagedTopology, ReconfigError> {
         let mut shape = self.shape;
         for &e in edits {
             apply_edit(&mut shape, e)?;
         }
-        Ok(stage_topology(
+        self.stage_shape(&shape)
+    }
+
+    /// Admission gate → cache lookup → cold stage, in that order. The
+    /// shared tail of [`stage_edits`](Self::stage_edits) and
+    /// [`reconfigure`](Self::reconfigure).
+    fn stage_shape(&mut self, shape: &GraphShape) -> Result<StagedTopology, ReconfigError> {
+        if let Some(adm) = self.admission.as_mut() {
+            adm.check(&self.scenario, shape)?;
+        }
+        if let Some(hit) = self.modes.as_mut().and_then(|c| c.take(shape)) {
+            return Ok(hit);
+        }
+        stage_topology(
             &self.scenario,
-            &shape,
+            shape,
             self.strategy(),
             self.threads(),
             djstar_dsp::BUFFER_FRAMES,
-        ))
+        )
+        .map_err(|e| {
+            self.stage_failures += 1;
+            ReconfigError::Blueprint(e)
+        })
+    }
+
+    /// Arm the mode-aware blueprint cache with room for `capacity` staged
+    /// generations. Fill it with
+    /// [`precompile_neighborhood`](Self::precompile_neighborhood) (inline
+    /// or from a background thread via
+    /// [`take_mode_cache`](Self::take_mode_cache)).
+    pub fn enable_mode_cache(&mut self, capacity: usize) {
+        self.modes = Some(BlueprintCache::new(capacity));
+    }
+
+    /// The blueprint cache, when armed.
+    pub fn mode_cache(&self) -> Option<&BlueprintCache> {
+        self.modes.as_ref()
+    }
+
+    /// Mutable access to the blueprint cache, when armed.
+    pub fn mode_cache_mut(&mut self) -> Option<&mut BlueprintCache> {
+        self.modes.as_mut()
+    }
+
+    /// Detach the cache so a background thread can fill it with
+    /// [`stage_topology`] results ([`StagedTopology`] is `Send`) while the
+    /// audio thread keeps cycling cache-less; reinstall with
+    /// [`install_mode_cache`](Self::install_mode_cache).
+    pub fn take_mode_cache(&mut self) -> Option<BlueprintCache> {
+        self.modes.take()
+    }
+
+    /// Reinstall a cache detached by
+    /// [`take_mode_cache`](Self::take_mode_cache).
+    pub fn install_mode_cache(&mut self, cache: BlueprintCache) {
+        self.modes = Some(cache);
+    }
+
+    /// Arm schedulability admission: every subsequent staging first proves
+    /// the target shape fits the margined deadline or is rejected typed.
+    pub fn enable_admission(&mut self, ctrl: AdmissionControl) {
+        self.admission = Some(ctrl);
+    }
+
+    /// The admission controller, when armed.
+    pub fn admission(&self) -> Option<&AdmissionControl> {
+        self.admission.as_ref()
+    }
+
+    /// Disarm admission; staging accepts every valid shape again.
+    pub fn disable_admission(&mut self) {
+        self.admission = None;
+    }
+
+    /// Swap a recalibrated [`NodeCostModel`] into the admission controller
+    /// and invalidate every cached blueprint in the same breath — a
+    /// blueprint compiled against stale costs must never be committed, and
+    /// the cache's epoch bump also voids any background precompile still
+    /// in flight.
+    pub fn recalibrate_admission(&mut self, costs: NodeCostModel) {
+        if let Some(adm) = self.admission.as_mut() {
+            adm.set_costs(costs);
+        }
+        if let Some(cache) = self.modes.as_mut() {
+            cache.invalidate();
+        }
+    }
+
+    /// Calibrate a [`NodeCostModel`] from `cycles` traced cycles of this
+    /// engine's own execution — the measured input to
+    /// [`AdmissionControl`] and blueprint compilation.
+    pub fn calibrated_costs(&mut self, cycles: usize) -> NodeCostModel {
+        let samples = self.measured_node_durations(cycles);
+        NodeCostModel::from_samples(self.executor.topology(), &samples)
+    }
+
+    /// Stage every admissible shape one [`GraphEdit`] away from the
+    /// current one into the blueprint cache (shapes already cached are
+    /// skipped). This is the eager half of mode-aware scheduling: run it
+    /// off the audio path — after a commit, between cycles, or on a
+    /// background thread via [`take_mode_cache`](Self::take_mode_cache) —
+    /// and the next mode switch is a warm hit. Returns how many fresh
+    /// generations were staged. No-op `0` when the cache is unarmed.
+    pub fn precompile_neighborhood(&mut self) -> usize {
+        if self.modes.is_none() {
+            return 0;
+        }
+        let base = self.shape;
+        let strategy = self.strategy();
+        let threads = self.threads();
+        let mut staged_new = 0;
+        for edit in reachable_edits(&base) {
+            let mut target = base;
+            if apply_edit(&mut target, edit).is_err() {
+                continue;
+            }
+            // Never precompile what admission would reject at switch time.
+            if let Some(adm) = self.admission.as_mut() {
+                if adm.check(&self.scenario, &target).is_err() {
+                    continue;
+                }
+            }
+            let Some(cache) = self.modes.as_mut() else {
+                break;
+            };
+            // Already staged: refresh its LRU stamp instead of
+            // recompiling, so a still-reachable neighbor is never the
+            // eviction victim of this pass's fresh inserts.
+            if cache.touch(&target) {
+                continue;
+            }
+            let epoch = cache.epoch();
+            match stage_topology(
+                &self.scenario,
+                &target,
+                strategy,
+                threads,
+                djstar_dsp::BUFFER_FRAMES,
+            ) {
+                Ok(staged) => {
+                    if let Some(cache) = self.modes.as_mut() {
+                        if cache.insert_at(epoch, staged) {
+                            staged_new += 1;
+                        }
+                    }
+                }
+                Err(_) => self.stage_failures += 1,
+            }
+        }
+        staged_new
+    }
+
+    /// Stagings whose PLAN blueprint failed to compile (each surfaced as
+    /// a typed [`ReconfigError::Blueprint`]). Nonzero means a mode switch
+    /// was refused rather than silently committed planless.
+    pub fn stage_failures(&self) -> u64 {
+        self.stage_failures
     }
 
     /// Commit a staged generation: the executor adopts the new graph at
@@ -571,15 +745,17 @@ impl AudioEngine {
             self.map = map;
             self.shape = shape;
             self.commit_cycles.push(self.cycle);
+            // Worker counts are baked into every cached blueprint and
+            // admission bound: void them all.
+            if let Some(cache) = self.modes.as_mut() {
+                cache.invalidate();
+            }
+            if let Some(adm) = self.admission.as_mut() {
+                adm.set_threads(threads);
+            }
             return Ok(self.executor.generation());
         }
-        let staged = stage_topology(
-            &self.scenario,
-            &shape,
-            self.strategy(),
-            self.threads(),
-            djstar_dsp::BUFFER_FRAMES,
-        );
+        let staged = self.stage_shape(&shape)?;
         self.commit(staged).map_err(ReconfigError::Swap)
     }
 

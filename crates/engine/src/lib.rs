@@ -21,6 +21,7 @@ pub mod deck;
 pub mod degrade;
 pub mod events;
 pub mod graphbuild;
+pub mod modes;
 pub mod netnodes;
 pub mod nodes;
 pub mod profiling;
@@ -39,6 +40,10 @@ pub use degrade::{
     NetDegradeConfig, NetDegradeEvent, NetLatencyPolicy,
 };
 pub use graphbuild::{build_djstar_graph, build_shaped_graph, GraphShape, NodeMap};
+pub use modes::{
+    canonical_shape, reachable_edits, shape_fingerprint, AdmissionControl, BlueprintCache,
+    ModeCacheStats, NodeCostModel, ShapeFingerprint, Unschedulable,
+};
 pub use netnodes::{BroadcastSink, BroadcastStats, NetDeckSource};
 pub use reconfig::{
     apply_edit, stage_topology, EditError, GraphEdit, ReconfigError, StagedTopology,

@@ -1,0 +1,785 @@
+//! Mode-aware scheduling: a per-shape blueprint cache and a
+//! schedulability admission check for live reconfiguration.
+//!
+//! PR 4's stage/commit split keeps the *commit* cheap, but every mode
+//! switch still pays a full stage — graph build, buffer allocation and
+//! (for PLAN) blueprint compilation — before it can commit. A performer
+//! flipping between a handful of deck/FX *modes* rebuilds the same few
+//! generations over and over. This module closes that gap:
+//!
+//! * [`shape_fingerprint`] canonicalises a [`GraphShape`] into a stable
+//!   64-bit key. Fields the build ignores (FX slots of an unloaded deck,
+//!   playout depth of a local deck) are zeroed first, so two shapes that
+//!   build the same graph share one cache slot.
+//! * [`BlueprintCache`] maps fingerprints to fully staged generations
+//!   ([`StagedTopology`]). Hits are *take-once*: the staged generation
+//!   moves out of the cache and into the commit, so a hit allocates
+//!   nothing. Capacity is bounded (LRU eviction) and a **generation
+//!   epoch** invalidates every entry when the node-cost calibration or
+//!   the worker count changes — a blueprint compiled against stale costs
+//!   must never be committed.
+//! * [`reachable_edits`] enumerates the one-[`GraphEdit`] neighborhood of
+//!   a shape. The engine precompiles those targets off the audio thread
+//!   (`AudioEngine::precompile_neighborhood`), so the *next* switch is a
+//!   warm hit with high probability.
+//! * [`AdmissionControl`] runs a schedulability check before anything is
+//!   staged: a list-schedule bound ([`djstar_sim::session_bound_ns`]) on
+//!   the *target* shape under the calibrated [`NodeCostModel`], compared
+//!   against the margined deadline ([`djstar_sim::cycle_budget_ns`]).
+//!   A shape the simulator proves unschedulable is rejected with a typed
+//!   [`Unschedulable`] before a single node is built — mirroring the
+//!   venue layer's oracle-confirmed session admission.
+
+use crate::graphbuild::{build_shaped_graph, GraphShape};
+use crate::reconfig::{GraphEdit, StagedTopology};
+use djstar_core::graph::GraphTopology;
+use djstar_sim::{cycle_budget_ns, session_bound_ns, DurationModel, SimGraph};
+use djstar_workload::scenario::Scenario;
+use std::fmt;
+
+/// The admission check proved the target shape cannot meet the margined
+/// deadline. Nothing was staged; the running generation is untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unschedulable {
+    /// List-schedule bound of the target shape (plus aux floor), ns.
+    pub bound_ns: u64,
+    /// The margined cycle budget the bound must fit, ns.
+    pub budget_ns: u64,
+    /// Node count of the rejected shape.
+    pub node_count: usize,
+}
+
+impl fmt::Display for Unschedulable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape of {} nodes bounded at {} ns exceeds the {} ns cycle budget",
+            self.node_count, self.bound_ns, self.budget_ns
+        )
+    }
+}
+
+impl std::error::Error for Unschedulable {}
+
+/// Canonical 64-bit fingerprint of a [`GraphShape`] (FNV-1a over the
+/// canonicalised fields). Equal fingerprints mean the shapes build the
+/// same graph generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeFingerprint(u64);
+
+impl ShapeFingerprint {
+    /// The raw 64-bit key.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// `shape` with every build-ignored field zeroed: unloaded decks carry no
+/// FX/remote/depth state, local decks no playout depth. Two shapes with
+/// equal canonical forms build identical graphs.
+pub fn canonical_shape(shape: &GraphShape) -> GraphShape {
+    let mut c = *shape;
+    for d in 0..4 {
+        if !c.deck_loaded[d] {
+            c.fx_slots[d] = 0;
+            c.remote_decks[d] = false;
+        }
+        if !c.remote_decks[d] {
+            c.net_depth[d] = 0;
+        }
+    }
+    c
+}
+
+/// Fingerprint of the [`canonical_shape`] of `shape`.
+pub fn shape_fingerprint(shape: &GraphShape) -> ShapeFingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let c = canonical_shape(shape);
+    let mut h = OFFSET;
+    let mut fold = |byte: u64| {
+        h ^= byte;
+        h = h.wrapping_mul(PRIME);
+    };
+    for d in 0..4 {
+        fold(u64::from(c.deck_loaded[d]));
+        fold(c.fx_slots[d] as u64);
+        fold(u64::from(c.remote_decks[d]));
+        fold(u64::from(c.net_depth[d]));
+    }
+    fold(u64::from(c.listeners));
+    ShapeFingerprint(h)
+}
+
+/// Every [`GraphEdit`] that applies to `shape` — its one-edit
+/// reachability neighborhood, the precompile frontier of the blueprint
+/// cache. `ResizeThreads` is excluded (not a shape edit) and playout
+/// depth only steps by one in either direction.
+pub fn reachable_edits(shape: &GraphShape) -> Vec<GraphEdit> {
+    let mut edits = Vec::new();
+    for d in 0..4 {
+        if !shape.deck_loaded[d] {
+            edits.push(GraphEdit::LoadDeck(d));
+            continue;
+        }
+        edits.push(GraphEdit::UnloadDeck(d));
+        if shape.fx_slots[d] < GraphShape::MAX_FX_SLOTS {
+            edits.push(GraphEdit::InsertFxSlot(d));
+        }
+        if shape.fx_slots[d] > 1 {
+            edits.push(GraphEdit::RemoveFxSlot(d));
+        }
+        if shape.remote_decks[d] {
+            edits.push(GraphEdit::DisconnectRemoteDeck(d));
+            if shape.net_depth[d] > 0 {
+                edits.push(GraphEdit::SetNetDepth(d, shape.net_depth[d] + 1));
+                if shape.net_depth[d] > 1 {
+                    edits.push(GraphEdit::SetNetDepth(d, shape.net_depth[d] - 1));
+                }
+            }
+        } else {
+            edits.push(GraphEdit::ConnectRemoteDeck(d));
+        }
+    }
+    edits
+}
+
+/// Counters of one [`BlueprintCache`]'s life so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeCacheStats {
+    /// `take` found a staged generation for the requested shape.
+    pub hits: u64,
+    /// `take` found nothing; the caller staged from scratch.
+    pub misses: u64,
+    /// Entries inserted (precompiles and refreshes alike).
+    pub inserted: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evicted: u64,
+    /// Inserts dropped because their epoch was stale.
+    pub stale_rejected: u64,
+    /// Times the whole cache was invalidated (epoch bumps).
+    pub invalidations: u64,
+}
+
+struct CacheEntry {
+    key: ShapeFingerprint,
+    /// Insert/refresh stamp — the LRU axis. Hits *remove* entries, so
+    /// recency of insertion is recency of use.
+    stamp: u64,
+    staged: StagedTopology,
+}
+
+/// Bounded cache of fully staged generations, keyed by canonical shape
+/// fingerprint.
+///
+/// Hits are take-once (the generation moves out, zero allocation on the
+/// taking thread); capacity evicts least-recently-inserted; and the
+/// **epoch** guards against stale blueprints: [`invalidate`]
+/// (BlueprintCache::invalidate) bumps it and clears the cache, and any
+/// insert stamped with an older epoch (a background precompile that
+/// raced a recalibration) is dropped instead of stored.
+pub struct BlueprintCache {
+    capacity: usize,
+    epoch: u64,
+    clock: u64,
+    entries: Vec<CacheEntry>,
+    stats: ModeCacheStats,
+}
+
+impl BlueprintCache {
+    /// An empty cache holding at most `capacity` staged generations.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BlueprintCache {
+            capacity,
+            epoch: 0,
+            clock: 0,
+            entries: Vec::with_capacity(capacity),
+            stats: ModeCacheStats::default(),
+        }
+    }
+
+    /// Current generation epoch. Capture it before staging off-thread and
+    /// pass it to [`insert_at`](Self::insert_at) so a racing
+    /// recalibration voids the work instead of caching a stale blueprint.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of cached generations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ModeCacheStats {
+        self.stats
+    }
+
+    /// Is a generation for `shape` cached? (No effect on hit/miss
+    /// counters.)
+    pub fn contains(&self, shape: &GraphShape) -> bool {
+        let key = shape_fingerprint(shape);
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// Take the staged generation for `shape` out of the cache, if one is
+    /// cached. A hit removes the entry (generations are single-use — the
+    /// commit consumes them) and performs no allocation.
+    ///
+    /// The hit is re-stamped with the *requested* shape: canonical
+    /// equality only guarantees the built graphs match, and committing
+    /// the donor's shape verbatim would resurrect its latent don't-care
+    /// fields (e.g. the FX chain length of an unloaded deck, which
+    /// decides the chain the deck reloads with later).
+    pub fn take(&mut self, shape: &GraphShape) -> Option<StagedTopology> {
+        let key = shape_fingerprint(shape);
+        match self.entries.iter().position(|e| e.key == key) {
+            Some(i) => {
+                self.stats.hits += 1;
+                let mut staged = self.entries.swap_remove(i).staged;
+                staged.shape = *shape;
+                Some(staged)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Refresh `shape`'s LRU stamp without taking it. The eager
+    /// precompiler touches entries it would otherwise re-stage, so a
+    /// neighbor that is still one edit away is never the eviction
+    /// victim of unrelated inserts. Returns whether the entry exists.
+    pub fn touch(&mut self, shape: &GraphShape) -> bool {
+        let key = shape_fingerprint(shape);
+        match self.entries.iter_mut().find(|e| e.key == key) {
+            Some(e) => {
+                self.clock += 1;
+                e.stamp = self.clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert a staged generation under the current epoch. Replaces any
+    /// entry for the same canonical shape; evicts the least-recently
+    /// inserted entry when full. Returns whether it was stored.
+    pub fn insert(&mut self, staged: StagedTopology) -> bool {
+        let epoch = self.epoch;
+        self.insert_at(epoch, staged)
+    }
+
+    /// Insert a generation staged under `epoch`. Dropped (returns
+    /// `false`) when `epoch` is no longer current — the staging raced an
+    /// [`invalidate`](Self::invalidate) and its blueprint is stale.
+    pub fn insert_at(&mut self, epoch: u64, staged: StagedTopology) -> bool {
+        if epoch != self.epoch {
+            self.stats.stale_rejected += 1;
+            return false;
+        }
+        let key = shape_fingerprint(staged.shape());
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            self.entries[i] = CacheEntry { key, stamp, staged };
+            self.stats.inserted += 1;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(oldest);
+                self.stats.evicted += 1;
+            }
+        }
+        self.entries.push(CacheEntry { key, stamp, staged });
+        self.stats.inserted += 1;
+        true
+    }
+
+    /// Void every cached generation and bump the epoch. Called whenever
+    /// the inputs a blueprint bakes in change: node-cost recalibration,
+    /// worker-count resize, strategy change.
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+        self.epoch += 1;
+        self.stats.invalidations += 1;
+    }
+}
+
+impl fmt::Debug for BlueprintCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlueprintCache")
+            .field("len", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .field("epoch", &self.epoch)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Per-node cost estimates for the admission bound, calibrated from
+/// traced execution or uniform as a structural fallback.
+///
+/// Lookup is by node name: exact name first, then the node's *kind* (the
+/// name with its deck letter, slot digits and bracket suffix stripped —
+/// `FXB5` → `FX`, `ChannelC` → `Channel`, `Mixer[0.5/0.5]` → `Mixer`),
+/// then the default. The kind fallback is what lets costs measured on
+/// one shape price a *different* shape: deck C's fifth FX slot costs
+/// about what deck A's slots did, even if no `FXC5` ever ran.
+#[derive(Debug, Clone)]
+pub struct NodeCostModel {
+    exact: Vec<(String, u64)>,
+    kinds: Vec<(String, u64)>,
+    default_ns: u64,
+}
+
+impl NodeCostModel {
+    /// Every node costs `ns` — the structural (uncalibrated) model.
+    pub fn uniform(ns: u64) -> Self {
+        NodeCostModel {
+            exact: Vec::new(),
+            kinds: Vec::new(),
+            default_ns: ns.max(1),
+        }
+    }
+
+    /// Calibrate from per-node duration samples (ns), one sample vector
+    /// per node of `topo` — the shape of
+    /// `AudioEngine::measured_node_durations`. Node cost is the sample
+    /// mean; kind cost is the mean over the kind's nodes; the default is
+    /// the global mean.
+    pub fn from_samples(topo: &GraphTopology, samples: &[Vec<u64>]) -> Self {
+        let mean = |v: &[u64]| -> Option<u64> {
+            if v.is_empty() {
+                None
+            } else {
+                Some((v.iter().sum::<u64>() / v.len() as u64).max(1))
+            }
+        };
+        let mut exact: Vec<(String, u64)> = Vec::with_capacity(topo.len());
+        let mut kind_sums: Vec<(String, u64, u64)> = Vec::new();
+        let mut total = 0u64;
+        let mut counted = 0u64;
+        for i in 0..topo.len() {
+            let name = topo.name(djstar_core::graph::NodeId(i as u32));
+            let Some(cost) = samples.get(i).and_then(|v| mean(v)) else {
+                continue;
+            };
+            exact.push((name.to_string(), cost));
+            total += cost;
+            counted += 1;
+            let kind = Self::kind_of(name);
+            match kind_sums.iter_mut().find(|(k, _, _)| k == kind) {
+                Some((_, sum, n)) => {
+                    *sum += cost;
+                    *n += 1;
+                }
+                None => kind_sums.push((kind.to_string(), cost, 1)),
+            }
+        }
+        let default_ns = total.checked_div(counted).map_or(1, |d| d.max(1));
+        let kinds = kind_sums
+            .into_iter()
+            .map(|(k, sum, n)| (k, (sum / n).max(1)))
+            .collect();
+        NodeCostModel {
+            exact,
+            kinds,
+            default_ns,
+        }
+    }
+
+    /// The cost (ns) estimated for a node named `name`.
+    pub fn cost(&self, name: &str) -> u64 {
+        if let Some((_, c)) = self.exact.iter().find(|(n, _)| n == name) {
+            return *c;
+        }
+        let kind = Self::kind_of(name);
+        if let Some((_, c)) = self.kinds.iter().find(|(k, _)| k == kind) {
+            return *c;
+        }
+        self.default_ns
+    }
+
+    /// Per-node constant durations for every node of `topo`, in node
+    /// order — the [`DurationModel::Constant`] the admission bound feeds
+    /// the list scheduler.
+    pub fn durations_for(&self, topo: &GraphTopology) -> Vec<u64> {
+        (0..topo.len())
+            .map(|i| self.cost(topo.name(djstar_core::graph::NodeId(i as u32))))
+            .collect()
+    }
+
+    /// A node name's kind: the bracket suffix, trailing slot digits and
+    /// trailing deck letter (`A`–`D`) stripped.
+    fn kind_of(name: &str) -> &str {
+        let base = match name.find('[') {
+            Some(i) => &name[..i],
+            None => name,
+        };
+        let base = base.trim_end_matches(|c: char| c.is_ascii_digit());
+        let bytes = base.as_bytes();
+        if bytes.len() >= 2 && matches!(bytes[bytes.len() - 1], b'A'..=b'D') {
+            &base[..base.len() - 1]
+        } else {
+            base
+        }
+    }
+}
+
+/// Schedulability admission for mode switches: before a target shape is
+/// staged, bound its cycle cost with a list schedule under the calibrated
+/// [`NodeCostModel`] and reject it ([`Unschedulable`]) when the bound
+/// exceeds the margined deadline.
+///
+/// Verdicts are cached per canonical fingerprint (bounding a shape builds
+/// its graph, which is expensive), and [`set_costs`](Self::set_costs)
+/// clears them — callers must invalidate their [`BlueprintCache`] in the
+/// same breath.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    deadline_ns: u64,
+    margin: f64,
+    threads: u32,
+    aux_floor_ns: u64,
+    costs: NodeCostModel,
+    verdicts: Vec<(ShapeFingerprint, Result<u64, Unschedulable>)>,
+}
+
+impl AdmissionControl {
+    /// Admission against `deadline_ns` at safety `margin` for a
+    /// `threads`-worker executor, pricing nodes with `costs`.
+    pub fn new(deadline_ns: u64, margin: f64, threads: usize, costs: NodeCostModel) -> Self {
+        AdmissionControl {
+            deadline_ns,
+            margin,
+            threads: threads.max(1) as u32,
+            aux_floor_ns: 0,
+            costs,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Add a fixed per-cycle floor (ns) for non-graph work sharing the
+    /// cycle (aux mixing, soundcard submit).
+    pub fn with_aux_floor(mut self, aux_floor_ns: u64) -> Self {
+        self.aux_floor_ns = aux_floor_ns;
+        self.verdicts.clear();
+        self
+    }
+
+    /// The margined cycle budget a bound must fit (ns).
+    pub fn budget_ns(&self) -> u64 {
+        cycle_budget_ns(self.deadline_ns, self.margin)
+    }
+
+    /// The deadline being admitted against (ns).
+    pub fn deadline_ns(&self) -> u64 {
+        self.deadline_ns
+    }
+
+    /// The safety margin.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Worker count the bound schedules for.
+    pub fn threads(&self) -> usize {
+        self.threads as usize
+    }
+
+    /// Retarget the worker count (an executor resize). Clears cached
+    /// verdicts; the caller must invalidate its blueprint cache too.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1) as u32;
+        self.verdicts.clear();
+    }
+
+    /// The cost model in use.
+    pub fn costs(&self) -> &NodeCostModel {
+        &self.costs
+    }
+
+    /// Swap in a recalibrated cost model. Clears cached verdicts; the
+    /// caller must invalidate its blueprint cache too.
+    pub fn set_costs(&mut self, costs: NodeCostModel) {
+        self.costs = costs;
+        self.verdicts.clear();
+    }
+
+    /// The list-schedule bound (ns) of `shape` under the cost model —
+    /// uncached, for oracles and sweeps.
+    pub fn bound_ns(&self, scenario: &Scenario, shape: &GraphShape) -> u64 {
+        let (graph, _) = build_shaped_graph(scenario, shape);
+        let topo = graph.topology();
+        let sim = SimGraph::from_topology(topo);
+        let durations = DurationModel::Constant(self.costs.durations_for(topo));
+        session_bound_ns(&sim, &durations, self.threads, self.aux_floor_ns)
+    }
+
+    /// Admit or reject `shape`: `Ok(bound_ns)` when its list-schedule
+    /// bound fits the margined budget, a typed [`Unschedulable`]
+    /// otherwise. Verdicts are cached by canonical fingerprint.
+    pub fn check(&mut self, scenario: &Scenario, shape: &GraphShape) -> Result<u64, Unschedulable> {
+        let key = shape_fingerprint(shape);
+        if let Some((_, verdict)) = self.verdicts.iter().find(|(k, _)| *k == key) {
+            return *verdict;
+        }
+        let bound_ns = self.bound_ns(scenario, shape);
+        let budget_ns = self.budget_ns();
+        let verdict = if bound_ns <= budget_ns {
+            Ok(bound_ns)
+        } else {
+            Err(Unschedulable {
+                bound_ns,
+                budget_ns,
+                node_count: shape.node_count(),
+            })
+        };
+        self.verdicts.push((key, verdict));
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconfig::{apply_edit, stage_topology};
+    use djstar_core::exec::Strategy;
+
+    #[test]
+    fn fingerprint_canonicalises_ignored_fields() {
+        let mut a = GraphShape::paper_default();
+        a.deck_loaded[2] = false;
+        let mut b = a;
+        b.fx_slots[2] = 7; // unloaded: ignored
+        b.net_depth[1] = 9; // not remote: ignored
+        assert_eq!(shape_fingerprint(&a), shape_fingerprint(&b));
+
+        let mut c = a;
+        c.fx_slots[0] = 5; // loaded: significant
+        assert_ne!(shape_fingerprint(&a), shape_fingerprint(&c));
+        let mut d = a;
+        d.listeners = 3;
+        assert_ne!(shape_fingerprint(&a), shape_fingerprint(&d));
+        let mut e = a;
+        e.remote_decks[1] = true;
+        e.net_depth[1] = 9; // remote: depth now significant
+        assert_ne!(shape_fingerprint(&a), shape_fingerprint(&e));
+    }
+
+    #[test]
+    fn reachable_edits_all_apply() {
+        let mut shape = GraphShape::paper_default();
+        shape.deck_loaded[3] = false;
+        shape.fx_slots[0] = GraphShape::MAX_FX_SLOTS;
+        shape.fx_slots[1] = 1;
+        shape.remote_decks[2] = true;
+        shape.net_depth[2] = 3;
+        let edits = reachable_edits(&shape);
+        assert!(!edits.is_empty());
+        for &edit in &edits {
+            let mut target = shape;
+            apply_edit(&mut target, edit).unwrap_or_else(|e| {
+                panic!("reachable edit {edit:?} must apply, got {e}");
+            });
+            assert_ne!(
+                shape_fingerprint(&target),
+                shape_fingerprint(&shape),
+                "edit {edit:?} must change the canonical shape"
+            );
+        }
+        // Saturated chains don't offer the saturating edit.
+        assert!(!edits.contains(&GraphEdit::InsertFxSlot(0)));
+        assert!(!edits.contains(&GraphEdit::RemoveFxSlot(1)));
+        // The unloaded deck offers exactly a load.
+        assert!(edits.contains(&GraphEdit::LoadDeck(3)));
+        assert!(!edits.contains(&GraphEdit::UnloadDeck(3)));
+        // Depth steps both ways around 3.
+        assert!(edits.contains(&GraphEdit::SetNetDepth(2, 4)));
+        assert!(edits.contains(&GraphEdit::SetNetDepth(2, 2)));
+    }
+
+    fn staged_for(shape: &GraphShape) -> StagedTopology {
+        let scenario = Scenario::light_test();
+        stage_topology(&scenario, shape, Strategy::Busy, 2, 16).unwrap()
+    }
+
+    #[test]
+    fn cache_takes_are_single_use_and_counted() {
+        let mut cache = BlueprintCache::new(4);
+        let shape = GraphShape::paper_default();
+        assert!(cache.take(&shape).is_none());
+        assert!(cache.insert(staged_for(&shape)));
+        assert!(cache.contains(&shape));
+        let hit = cache.take(&shape).expect("warm hit");
+        assert_eq!(hit.shape(), &shape);
+        assert!(cache.take(&shape).is_none(), "takes are single-use");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.inserted, 1);
+    }
+
+    #[test]
+    fn touch_protects_an_entry_from_eviction() {
+        let mut cache = BlueprintCache::new(2);
+        let mut shapes = Vec::new();
+        for fx in 1..=3usize {
+            let mut s = GraphShape::paper_default();
+            s.fx_slots[0] = fx;
+            shapes.push(s);
+        }
+        cache.insert(staged_for(&shapes[0]));
+        cache.insert(staged_for(&shapes[1]));
+        assert!(cache.touch(&shapes[0]), "touch must find the cached entry");
+        assert!(!cache.touch(&shapes[2]), "touch must miss uncached shapes");
+        cache.insert(staged_for(&shapes[2]));
+        assert!(cache.contains(&shapes[0]), "touched entry must survive");
+        assert!(!cache.contains(&shapes[1]), "untouched entry is the victim");
+    }
+
+    #[test]
+    fn hits_are_restamped_with_the_requested_shape() {
+        // Donor and requester share a canonical shape (deck 2 unloaded,
+        // so its FX count is a don't-care for the built graph) but
+        // disagree on the latent FX count. The hit must carry the
+        // requester's shape — committing the donor's verbatim would make
+        // deck 2 reload with the donor's chain length later.
+        let mut donor = GraphShape::paper_default();
+        donor.deck_loaded[2] = false;
+        donor.fx_slots[2] = 7;
+        let mut requested = donor;
+        requested.fx_slots[2] = 3;
+        assert_eq!(shape_fingerprint(&donor), shape_fingerprint(&requested));
+        let mut cache = BlueprintCache::new(4);
+        cache.insert(staged_for(&donor));
+        let hit = cache.take(&requested).expect("canonical-equal hit");
+        assert_eq!(hit.shape(), &requested);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_inserted() {
+        let mut cache = BlueprintCache::new(2);
+        let mut shapes = Vec::new();
+        for fx in 1..=3usize {
+            let mut s = GraphShape::paper_default();
+            s.fx_slots[0] = fx;
+            shapes.push(s);
+            cache.insert(staged_for(&s));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evicted, 1);
+        assert!(!cache.contains(&shapes[0]), "oldest entry evicted");
+        assert!(cache.contains(&shapes[1]));
+        assert!(cache.contains(&shapes[2]));
+    }
+
+    #[test]
+    fn invalidation_bumps_epoch_and_voids_stale_inserts() {
+        let mut cache = BlueprintCache::new(4);
+        let shape = GraphShape::paper_default();
+        let epoch = cache.epoch();
+        cache.insert(staged_for(&shape));
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), epoch + 1);
+        // A precompile that was in flight under the old epoch is dropped.
+        assert!(!cache.insert_at(epoch, staged_for(&shape)));
+        assert!(!cache.contains(&shape));
+        assert_eq!(cache.stats().stale_rejected, 1);
+        // Under the fresh epoch it stores fine.
+        assert!(cache.insert_at(cache.epoch(), staged_for(&shape)));
+        assert!(cache.contains(&shape));
+    }
+
+    #[test]
+    fn kind_fallback_prices_unseen_names() {
+        let scenario = Scenario::light_test();
+        let (graph, _) = build_shaped_graph(&scenario, &GraphShape::paper_default());
+        let topo = graph.topology();
+        let samples: Vec<Vec<u64>> = (0..topo.len()).map(|i| vec![100 + i as u64]).collect();
+        let model = NodeCostModel::from_samples(topo, &samples);
+        // Exact names resolve to their own mean.
+        let sp_a1 = (0..topo.len())
+            .find(|&i| topo.name(djstar_core::graph::NodeId(i as u32)) == "SPA1")
+            .unwrap();
+        assert_eq!(model.cost("SPA1"), 100 + sp_a1 as u64);
+        // An FX slot never built (paper shape stops at FX?4) prices via
+        // the FX kind, not the global default.
+        let fx_kind = model.cost("FXC7");
+        assert_ne!(fx_kind, 0);
+        assert_eq!(fx_kind, model.cost("FXA8"));
+        // Kinds strip deck letters, digits and bracket suffixes.
+        assert_eq!(NodeCostModel::kind_of("FXB5"), "FX");
+        assert_eq!(NodeCostModel::kind_of("SPA1"), "SP");
+        assert_eq!(NodeCostModel::kind_of("ChannelC"), "Channel");
+        assert_eq!(NodeCostModel::kind_of("NetSrcA"), "NetSrc");
+        assert_eq!(NodeCostModel::kind_of("Mixer[0.50/0.50]"), "Mixer");
+        assert_eq!(NodeCostModel::kind_of("BroadcastSink[n3]"), "BroadcastSink");
+        assert_eq!(NodeCostModel::kind_of("AudioOut1"), "AudioOut");
+    }
+
+    #[test]
+    fn admission_rejects_exactly_over_budget_shapes() {
+        let scenario = Scenario::light_test();
+        let shape = GraphShape::paper_default();
+        let costs = NodeCostModel::uniform(100);
+        let mut generous = AdmissionControl::new(1_000_000_000, 0.1, 2, costs.clone());
+        let bound = generous
+            .check(&scenario, &shape)
+            .expect("a 1s deadline admits everything");
+        assert!(bound > 0);
+
+        // A budget exactly at the bound admits; one below rejects with
+        // the same bound — the boundary the differential battery walks.
+        let mut exact = AdmissionControl::new(bound, 0.0, 2, costs.clone());
+        assert_eq!(exact.check(&scenario, &shape), Ok(bound));
+        let mut tight = AdmissionControl::new(bound - 1, 0.0, 2, costs);
+        let err = tight.check(&scenario, &shape).unwrap_err();
+        assert_eq!(err.bound_ns, bound);
+        assert_eq!(err.budget_ns, bound - 1);
+        assert_eq!(err.node_count, shape.node_count());
+        // Verdicts are cached: a second check agrees without rebuilding.
+        assert_eq!(tight.check(&scenario, &shape), Err(err));
+    }
+
+    #[test]
+    fn admission_bound_matches_sim_oracle() {
+        let scenario = Scenario::light_test();
+        let mut shape = GraphShape::paper_default();
+        shape.deck_loaded[1] = false;
+        shape.fx_slots[2] = 7;
+        let ctrl = AdmissionControl::new(50_000, 0.2, 3, NodeCostModel::uniform(250));
+        let bound = ctrl.bound_ns(&scenario, &shape);
+        // Recompute independently through the public sim API.
+        let (graph, _) = build_shaped_graph(&scenario, &shape);
+        let topo = graph.topology();
+        let sim = SimGraph::from_topology(topo);
+        let durations = DurationModel::Constant(vec![250; topo.len()]);
+        assert_eq!(bound, session_bound_ns(&sim, &durations, 3, 0));
+        assert_eq!(
+            bound <= ctrl.budget_ns(),
+            djstar_sim::admissible(&[bound], 50_000, 0.2)
+        );
+    }
+}

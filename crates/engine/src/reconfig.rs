@@ -26,7 +26,8 @@
 //! implements that split.
 
 use crate::graphbuild::{build_shaped_graph, GraphShape, NodeMap};
-use djstar_core::exec::{StagedGeneration, Strategy, SwapError};
+use crate::modes::Unschedulable;
+use djstar_core::exec::{BlueprintError, ScheduleBlueprint, StagedGeneration, Strategy, SwapError};
 use djstar_workload::scenario::Scenario;
 use std::fmt;
 
@@ -118,6 +119,14 @@ pub enum ReconfigError {
     Edit(EditError),
     /// The executor refused the staged generation.
     Swap(SwapError),
+    /// The PLAN blueprint for the target shape failed to compile. Staging
+    /// surfaces this as a typed error (and the engine counts it in
+    /// telemetry) instead of silently committing a planless generation
+    /// that would fall back to a round-robin schedule.
+    Blueprint(BlueprintError),
+    /// The schedulability admission check proved the target shape cannot
+    /// meet the margined deadline; nothing was staged.
+    Unschedulable(Unschedulable),
 }
 
 impl fmt::Display for ReconfigError {
@@ -125,6 +134,8 @@ impl fmt::Display for ReconfigError {
         match self {
             ReconfigError::Edit(e) => write!(f, "edit rejected: {e}"),
             ReconfigError::Swap(e) => write!(f, "swap rejected: {e}"),
+            ReconfigError::Blueprint(e) => write!(f, "blueprint compilation failed: {e}"),
+            ReconfigError::Unschedulable(u) => write!(f, "admission rejected: {u}"),
         }
     }
 }
@@ -140,6 +151,18 @@ impl From<EditError> for ReconfigError {
 impl From<SwapError> for ReconfigError {
     fn from(e: SwapError) -> Self {
         ReconfigError::Swap(e)
+    }
+}
+
+impl From<BlueprintError> for ReconfigError {
+    fn from(e: BlueprintError) -> Self {
+        ReconfigError::Blueprint(e)
+    }
+}
+
+impl From<Unschedulable> for ReconfigError {
+    fn from(u: Unschedulable) -> Self {
+        ReconfigError::Unschedulable(u)
     }
 }
 
@@ -252,6 +275,13 @@ impl StagedTopology {
     pub fn has_plan(&self) -> bool {
         self.staged.has_plan()
     }
+
+    /// The staged PLAN blueprint, when one was compiled. Differential
+    /// tests use this to compare a cached generation against a freshly
+    /// staged one slot by slot.
+    pub fn blueprint(&self) -> Option<&ScheduleBlueprint> {
+        self.staged.plan()
+    }
 }
 
 /// Build a complete generation for `shape`: the shaped task graph, its
@@ -259,30 +289,33 @@ impl StagedTopology {
 /// for `threads` workers (uniform node durations; callers with measured
 /// durations can stage their own blueprint via the core API). This is the
 /// expensive half of a reconfiguration and runs on any thread.
+///
+/// A blueprint that fails to compile is a typed
+/// [`BlueprintError`] — never a silent fall-back to an unplanned
+/// generation, which the PLAN executor would quietly round-robin.
 pub fn stage_topology(
     scenario: &Scenario,
     shape: &GraphShape,
     strategy: Strategy,
     threads: usize,
     frames: usize,
-) -> StagedTopology {
+) -> Result<StagedTopology, BlueprintError> {
     let (graph, map) = build_shaped_graph(scenario, shape);
     let staged = if strategy == Strategy::Planned {
         let topo = graph.topology();
         let sim = djstar_sim::SimGraph::from_topology(topo);
         let durations = djstar_sim::DurationModel::Constant(vec![1; topo.len()]);
         let schedule = djstar_sim::list_schedule(&sim, &durations, 0, threads as u32);
-        let bp = djstar_sim::compile_blueprint(&sim, &schedule)
-            .expect("a list schedule always compiles to a valid blueprint");
+        let bp = djstar_sim::compile_blueprint(&sim, &schedule)?;
         StagedGeneration::with_plan(graph, frames, bp)
     } else {
         StagedGeneration::new(graph, frames)
     };
-    StagedTopology {
+    Ok(StagedTopology {
         shape: *shape,
         map,
         staged,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -375,10 +408,12 @@ mod tests {
         use djstar_workload::scenario::Scenario;
         let scenario = Scenario::light_test();
         let shape = GraphShape::paper_default();
-        let busy = stage_topology(&scenario, &shape, Strategy::Busy, 3, 16);
+        let busy = stage_topology(&scenario, &shape, Strategy::Busy, 3, 16).unwrap();
         assert!(!busy.has_plan());
+        assert!(busy.blueprint().is_none());
         assert_eq!(busy.node_count(), 67);
-        let plan = stage_topology(&scenario, &shape, Strategy::Planned, 3, 16);
+        let plan = stage_topology(&scenario, &shape, Strategy::Planned, 3, 16).unwrap();
         assert!(plan.has_plan());
+        assert_eq!(plan.blueprint().map(|bp| bp.len()), Some(67));
     }
 }

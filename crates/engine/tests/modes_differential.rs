@@ -1,0 +1,226 @@
+//! Differential battery for the mode-aware blueprint cache (the test
+//! counterpart of E19): replaying one seeded shape walk, an engine that
+//! serves every switch from a warm [`BlueprintCache`] must stay
+//! bit-identical to an engine compiling every blueprint fresh — across
+//! all six strategies and 1/2/4 worker threads — and a cache that only
+//! ever misses must be indistinguishable from having no cache at all.
+//!
+//! The two engines run in lockstep: each switch is staged on both, the
+//! staged shapes (and, for PLAN, the compiled blueprints) are compared
+//! before either commits, and every cycle's master output is folded
+//! into per-engine FNV checksums that must agree at the end.
+
+use djstar_core::exec::Strategy;
+use djstar_dsp::AudioBuf;
+use djstar_engine::apc::{AudioEngine, AuxWork};
+use djstar_engine::reconfig::GraphEdit;
+use djstar_engine::NodeCostModel;
+use djstar_workload::scenario::Scenario;
+use djstar_workload::{shape_walk, SwitchAction};
+
+const SWITCHES: usize = 12;
+const PERIOD: usize = 6;
+const SEED: u64 = 0x00D1_FF19;
+
+fn edit_for(action: SwitchAction) -> GraphEdit {
+    match action {
+        SwitchAction::LoadDeck(d) => GraphEdit::LoadDeck(d),
+        SwitchAction::UnloadDeck(d) => GraphEdit::UnloadDeck(d),
+        SwitchAction::InsertFxSlot(d) => GraphEdit::InsertFxSlot(d),
+        SwitchAction::RemoveFxSlot(d) => GraphEdit::RemoveFxSlot(d),
+    }
+}
+
+fn fold_checksum(mut acc: u64, buf: &AudioBuf) -> u64 {
+    for &s in buf.samples() {
+        acc = (acc ^ s.to_bits() as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+fn engine(strategy: Strategy, threads: usize) -> AudioEngine {
+    AudioEngine::with_aux(Scenario::light_test(), strategy, threads, AuxWork::light())
+}
+
+/// Replay the walk on a cached and a fresh engine in lockstep and return
+/// `(cached_checksum, fresh_checksum, hits, misses)`. `precompile`
+/// selects the warm protocol (neighborhood precompiled before the storm
+/// and after every commit) versus the always-miss protocol.
+fn lockstep(strategy: Strategy, threads: usize, precompile: bool) -> (u64, u64, u64, u64) {
+    let script = shape_walk(SWITCHES, PERIOD, SEED);
+    let mut cached = engine(strategy, threads);
+    let mut fresh = engine(strategy, threads);
+    cached.warmup(10);
+    fresh.warmup(10);
+    cached.enable_mode_cache(32);
+    if precompile {
+        cached.precompile_neighborhood();
+    }
+    let total = script.last_cycle() + PERIOD;
+    let mut acc_c = 0xcbf2_9ce4_8422_2325u64;
+    let mut acc_f = acc_c;
+    let mut next = 0usize;
+    for cycle in 0..total {
+        while next < script.len() && script.events()[next].at_cycle == cycle {
+            let edit = edit_for(script.events()[next].action);
+            let staged_c = cached.stage_edits(&[edit]).expect("cached stage");
+            let staged_f = fresh.stage_edits(&[edit]).expect("fresh stage");
+            assert_eq!(
+                staged_c.shape(),
+                staged_f.shape(),
+                "{strategy:?}/{threads}: staged shapes diverged at cycle {cycle}"
+            );
+            if strategy == Strategy::Planned {
+                assert_eq!(
+                    staged_c.blueprint(),
+                    staged_f.blueprint(),
+                    "{strategy:?}/{threads}: cached blueprint differs from a \
+                     fresh compile at cycle {cycle}"
+                );
+            }
+            cached.commit(staged_c).expect("cached commit");
+            fresh.commit(staged_f).expect("fresh commit");
+            if precompile {
+                cached.precompile_neighborhood();
+            }
+            next += 1;
+        }
+        cached.run_apc();
+        fresh.run_apc();
+        acc_c = fold_checksum(acc_c, &cached.output());
+        acc_f = fold_checksum(acc_f, &fresh.output());
+    }
+    let stats = cached.mode_cache().expect("cache enabled").stats();
+    (acc_c, acc_f, stats.hits, stats.misses)
+}
+
+#[test]
+fn warm_cache_is_bit_exact_across_strategies_and_threads() {
+    for strategy in Strategy::ALL {
+        let threads: &[usize] = if strategy == Strategy::Sequential {
+            &[1]
+        } else {
+            &[1, 2, 4]
+        };
+        for &t in threads {
+            let (acc_c, acc_f, hits, misses) = lockstep(strategy, t, true);
+            assert_eq!(
+                acc_c, acc_f,
+                "{strategy:?}/{t}: warm-cache audio diverged from fresh compiles"
+            );
+            // Every switch moves one edit from the precompiled
+            // neighborhood, so the warm protocol never misses.
+            assert_eq!(
+                (hits, misses),
+                (SWITCHES as u64, 0),
+                "{strategy:?}/{t}: warm protocol should hit on every switch"
+            );
+        }
+    }
+}
+
+#[test]
+fn long_walk_keeps_latent_shape_fields_straight() {
+    // A 100-switch walk revisits canonically-equal shapes that disagree
+    // on latent don't-care fields (the FX count of an unloaded deck).
+    // The per-switch shape assertions inside `lockstep` catch any hit
+    // that resurrects a donor's latent fields — the bug class that only
+    // appears once the walk unloads a deck, reshapes elsewhere, and
+    // reloads it (first seen around switch 46 of this seed).
+    let script = shape_walk(100, 3, SEED);
+    let mut cached = engine(Strategy::Busy, 2);
+    let mut fresh = engine(Strategy::Busy, 2);
+    cached.warmup(10);
+    fresh.warmup(10);
+    cached.enable_mode_cache(32);
+    cached.precompile_neighborhood();
+    let mut acc_c = 0xcbf2_9ce4_8422_2325u64;
+    let mut acc_f = acc_c;
+    let mut next = 0usize;
+    for cycle in 0..script.last_cycle() + 3 {
+        while next < script.len() && script.events()[next].at_cycle == cycle {
+            let edit = edit_for(script.events()[next].action);
+            let staged_c = cached.stage_edits(&[edit]).expect("cached stage");
+            let staged_f = fresh.stage_edits(&[edit]).expect("fresh stage");
+            assert_eq!(
+                staged_c.shape(),
+                staged_f.shape(),
+                "latent shape fields diverged at switch {next}"
+            );
+            cached.commit(staged_c).expect("cached commit");
+            fresh.commit(staged_f).expect("fresh commit");
+            cached.precompile_neighborhood();
+            next += 1;
+        }
+        cached.run_apc();
+        fresh.run_apc();
+        acc_c = fold_checksum(acc_c, &cached.output());
+        acc_f = fold_checksum(acc_f, &fresh.output());
+    }
+    assert_eq!(acc_c, acc_f, "long-walk audio diverged");
+    assert_eq!(cached.mode_cache().unwrap().stats().misses, 0);
+}
+
+#[test]
+fn cold_cache_misses_are_identical_to_no_cache() {
+    // Cache armed but never precompiled: every take is a miss and the
+    // engine falls through to a fresh compile — the audio (and the
+    // staged shapes checked inside `lockstep`) must be unchanged.
+    let (acc_c, acc_f, hits, misses) = lockstep(Strategy::Busy, 2, false);
+    assert_eq!(acc_c, acc_f, "miss path diverged from the uncached engine");
+    assert_eq!(hits, 0, "nothing was precompiled, so nothing may hit");
+    assert_eq!(misses, SWITCHES as u64, "every switch should miss");
+}
+
+#[test]
+fn recalibration_invalidates_midwalk_without_audible_effect() {
+    // Swap the admission cost model halfway through the walk: the cache
+    // epoch bumps, precompiled generations for the old calibration are
+    // voided, and the audio must still match the fresh engine exactly.
+    let script = shape_walk(SWITCHES, PERIOD, SEED);
+    let mut cached = engine(Strategy::Steal, 2);
+    let mut fresh = engine(Strategy::Steal, 2);
+    cached.warmup(10);
+    fresh.warmup(10);
+    cached.enable_mode_cache(32);
+    cached.precompile_neighborhood();
+    let total = script.last_cycle() + PERIOD;
+    let mut acc_c = 0xcbf2_9ce4_8422_2325u64;
+    let mut acc_f = acc_c;
+    let mut next = 0usize;
+    let mut epoch_before = 0;
+    let mut epoch_after = 0;
+    for cycle in 0..total {
+        while next < script.len() && script.events()[next].at_cycle == cycle {
+            if next == SWITCHES / 2 {
+                epoch_before = cached.mode_cache().unwrap().epoch();
+                cached.recalibrate_admission(NodeCostModel::uniform(1_000));
+                epoch_after = cached.mode_cache().unwrap().epoch();
+                assert!(cached.mode_cache().unwrap().is_empty());
+            }
+            let edit = edit_for(script.events()[next].action);
+            let staged_c = cached.stage_edits(&[edit]).expect("cached stage");
+            let staged_f = fresh.stage_edits(&[edit]).expect("fresh stage");
+            assert_eq!(staged_c.shape(), staged_f.shape());
+            cached.commit(staged_c).expect("cached commit");
+            fresh.commit(staged_f).expect("fresh commit");
+            cached.precompile_neighborhood();
+            next += 1;
+        }
+        cached.run_apc();
+        fresh.run_apc();
+        acc_c = fold_checksum(acc_c, &cached.output());
+        acc_f = fold_checksum(acc_f, &fresh.output());
+    }
+    assert!(
+        epoch_after > epoch_before,
+        "recalibration must bump the epoch"
+    );
+    assert_eq!(acc_c, acc_f, "post-invalidation audio diverged");
+    let stats = cached.mode_cache().unwrap().stats();
+    assert!(stats.invalidations >= 1);
+    assert!(
+        stats.hits + stats.misses == SWITCHES as u64,
+        "every switch takes exactly one cache lookup"
+    );
+}

@@ -112,7 +112,7 @@ fn staging_runs_off_the_audio_thread() {
         )
     });
     engine.warmup(5); // audio keeps flowing while the stager works
-    let staged = stager.join().expect("staging thread");
+    let staged = stager.join().expect("staging thread").expect("staging");
     assert_eq!(staged.node_count(), 67 - 13 + 1);
     let generation = engine.commit(staged).expect("commit");
     assert_eq!(generation, 1);

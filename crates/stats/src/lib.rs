@@ -23,6 +23,7 @@ pub mod flightrec;
 pub mod forensics;
 pub mod histogram;
 pub mod json;
+pub mod modes;
 pub mod net;
 pub mod online;
 pub mod plan;
@@ -42,6 +43,7 @@ pub use flightrec::{FlightRecReport, StrategyFlightRec};
 pub use forensics::{analyze_miss, BlameBreakdown, MissContext, MissDossier, PathSlice, SliceKind};
 pub use histogram::{CumulativeView, Histogram};
 pub use json::Json;
+pub use modes::{ModeAdmissionTrial, ModesReport, StrategyModes};
 pub use net::{DepthTrade, FixedDepthRun, NetReport, StrategyNet};
 pub use online::OnlineStats;
 pub use plan::{scan_baseline_p50, PlanReport};

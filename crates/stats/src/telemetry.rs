@@ -93,6 +93,10 @@ pub struct TelemetryReport {
     /// derivable from the ring; attached by the capture path via
     /// [`with_dropped_events`](Self::with_dropped_events).
     pub dropped_events: u64,
+    /// Stagings whose PLAN blueprint failed to compile — typed refusals,
+    /// never silent planless commits; attached via
+    /// [`with_stage_failures`](Self::with_stage_failures).
+    pub stage_failures: u64,
     /// Venue session id the aggregated ring was recording for (0 = solo
     /// engine); attached via [`with_session`](Self::with_session).
     pub session: u32,
@@ -150,6 +154,7 @@ impl TelemetryReport {
             misses,
             miss_count,
             dropped_events: 0,
+            stage_failures: 0,
             session: 0,
         })
     }
@@ -157,6 +162,13 @@ impl TelemetryReport {
     /// Attach the engine's overload-drop counter to the report.
     pub fn with_dropped_events(mut self, dropped: u64) -> Self {
         self.dropped_events = dropped;
+        self
+    }
+
+    /// Attach the engine's blueprint-staging-failure counter to the
+    /// report.
+    pub fn with_stage_failures(mut self, failures: u64) -> Self {
+        self.stage_failures = failures;
         self
     }
 
@@ -181,6 +193,7 @@ impl TelemetryReport {
             ("wait_ns", self.wait_pct.to_json()),
             ("counters", counters_json(&self.totals)),
             ("dropped_events", Json::from(self.dropped_events)),
+            ("stage_failures", Json::from(self.stage_failures)),
             ("deadline_misses", Json::from(self.miss_count)),
             (
                 "miss_ledger",

@@ -22,5 +22,5 @@ pub use faults::FaultSpec;
 pub use netspec::NetSpec;
 pub use profile::WorkProfile;
 pub use scenario::{DeckConfig, Scenario};
-pub use switches::{toggle_storm, SwitchAction, SwitchEvent, SwitchScript};
+pub use switches::{shape_walk, toggle_storm, SwitchAction, SwitchEvent, SwitchScript};
 pub use track::{synth_track, Track, TrackStyle};

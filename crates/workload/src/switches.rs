@@ -117,6 +117,70 @@ pub fn toggle_storm(switches: usize, period_cycles: usize, seed: u64) -> SwitchS
     SwitchScript { events }
 }
 
+/// The action that undoes `action` (same deck, opposite direction).
+fn inverse(action: SwitchAction) -> SwitchAction {
+    match action {
+        SwitchAction::LoadDeck(d) => SwitchAction::UnloadDeck(d),
+        SwitchAction::UnloadDeck(d) => SwitchAction::LoadDeck(d),
+        SwitchAction::InsertFxSlot(d) => SwitchAction::RemoveFxSlot(d),
+        SwitchAction::RemoveFxSlot(d) => SwitchAction::InsertFxSlot(d),
+    }
+}
+
+/// Generate a revisit-biased mode walk: like [`toggle_storm`], but every
+/// other step (on average) *undoes* the previous action, so the walk
+/// oscillates between a handful of recurring shapes instead of drifting —
+/// the workload of a performer flipping between set modes, and the access
+/// pattern a per-shape blueprint cache exists for (E19). Same determinism
+/// contract and deck A/B protection as [`toggle_storm`].
+pub fn shape_walk(switches: usize, period_cycles: usize, seed: u64) -> SwitchScript {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let period = period_cycles.max(1);
+    let mut loaded = [true; 4];
+    let mut fx = [4usize; 4];
+    let mut events: Vec<SwitchEvent> = Vec::with_capacity(switches);
+    let mut last: Option<SwitchAction> = None;
+    for i in 0..switches {
+        let at_cycle = (i + 1) * period;
+        // Half the time, revisit the shape we just left.
+        let revisit = last.map(inverse).filter(|_| rng.below(2) == 0);
+        let action = match revisit {
+            Some(back) => back,
+            None => {
+                let mut candidates: Vec<SwitchAction> = Vec::with_capacity(12);
+                for (d, &is_loaded) in loaded.iter().enumerate().skip(2) {
+                    candidates.push(if is_loaded {
+                        SwitchAction::UnloadDeck(d)
+                    } else {
+                        SwitchAction::LoadDeck(d)
+                    });
+                }
+                for d in 0..4 {
+                    if !loaded[d] {
+                        continue;
+                    }
+                    if fx[d] < MAX_FX {
+                        candidates.push(SwitchAction::InsertFxSlot(d));
+                    }
+                    if fx[d] > MIN_FX {
+                        candidates.push(SwitchAction::RemoveFxSlot(d));
+                    }
+                }
+                candidates[rng.below(candidates.len())]
+            }
+        };
+        match action {
+            SwitchAction::LoadDeck(d) => loaded[d] = true,
+            SwitchAction::UnloadDeck(d) => loaded[d] = false,
+            SwitchAction::InsertFxSlot(d) => fx[d] += 1,
+            SwitchAction::RemoveFxSlot(d) => fx[d] -= 1,
+        }
+        last = Some(action);
+        events.push(SwitchEvent { at_cycle, action });
+    }
+    SwitchScript { events }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +226,53 @@ mod tests {
             }
         }
         assert_eq!(script.last_cycle(), 2500);
+    }
+
+    #[test]
+    fn shape_walk_is_deterministic_valid_and_revisits() {
+        assert_eq!(shape_walk(200, 5, 9), shape_walk(200, 5, 9));
+        assert_ne!(
+            shape_walk(200, 5, 9).events(),
+            shape_walk(200, 5, 10).events()
+        );
+        let script = shape_walk(300, 5, 42);
+        let mut loaded = [true; 4];
+        let mut fx = [4usize; 4];
+        // Shapes as (loaded, fx) snapshots after each step; revisits are
+        // steps landing on a shape seen before.
+        let mut seen: Vec<([bool; 4], [usize; 4])> = vec![(loaded, fx)];
+        let mut revisits = 0usize;
+        for e in script.events() {
+            match e.action {
+                SwitchAction::LoadDeck(d) => {
+                    assert!(d >= 2 && !loaded[d]);
+                    loaded[d] = true;
+                }
+                SwitchAction::UnloadDeck(d) => {
+                    assert!(d >= 2 && loaded[d]);
+                    loaded[d] = false;
+                }
+                SwitchAction::InsertFxSlot(d) => {
+                    assert!(loaded[d] && fx[d] < MAX_FX);
+                    fx[d] += 1;
+                }
+                SwitchAction::RemoveFxSlot(d) => {
+                    assert!(loaded[d] && fx[d] > MIN_FX);
+                    fx[d] -= 1;
+                }
+            }
+            if seen.contains(&(loaded, fx)) {
+                revisits += 1;
+            } else {
+                seen.push((loaded, fx));
+            }
+        }
+        // The undo bias makes revisits the norm, not the exception.
+        assert!(
+            revisits >= script.len() / 3,
+            "only {revisits}/{} steps revisited a known shape",
+            script.len()
+        );
     }
 
     #[test]

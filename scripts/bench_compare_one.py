@@ -61,6 +61,14 @@ def metrics(name, doc):
             drops = run.get("dropouts")
             if drops is not None:
                 yield f"fixed_dropouts[d{depth}]", float(drops)
+    elif name == "BENCH_modes.json":
+        # Warm (cached) stage latency is the metric the blueprint cache
+        # exists for; the cold half is tracked by BENCH_reconfig.json.
+        for s in doc.get("strategies", []):
+            label = s.get("strategy", "?")
+            p50 = s.get("warm_stage_ns", {}).get("p50")
+            if p50 is not None:
+                yield f"warm_stage_ns.p50[{label}]", float(p50)
     elif name == "BENCH_venue.json":
         for s in doc.get("strategies", []):
             label = s.get("strategy", "?")
